@@ -1,0 +1,184 @@
+//! Ablation benches for the design choices DESIGN.md §5 calls out, plus
+//! substrate micro-benchmarks.
+//!
+//! 1. **Continuous verification vs verify-at-import** (§4.3 strawman):
+//!    checking all policies after every technician action vs once when the
+//!    change-set is imported.
+//! 2. **Naive vs dependency-aware scheduling**: transient-violation counts
+//!    and planning cost.
+//! 3. **Slicing strategies**: task-driven vs All vs Neighbor — build cost
+//!    and exposure.
+//! 4. **Substrate micro-benches**: convergence, flow tracing, policy
+//!    checking, audit chaining, SHA-256.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use heimdall::dataplane::{DataPlane, Flow};
+use heimdall::enforcer::audit::{AuditKind, AuditLog};
+use heimdall::enforcer::crypto::sha256;
+use heimdall::enforcer::{naive_schedule, schedule};
+use heimdall::msp::issues::{inject_issue, IssueKind};
+use heimdall::nets::{enterprise, university};
+use heimdall::netmodel::diff::diff_networks;
+use heimdall::privilege::derive::{derive_privileges, Task};
+use heimdall::routing::converge;
+use heimdall::twin::session::TwinSession;
+use heimdall::twin::slice::{slice_all, slice_for_task, slice_neighbors};
+use heimdall::verify::checker::check_policies;
+use std::hint::black_box;
+
+/// Ablation 1: verification placement.
+fn bench_verification_placement(c: &mut Criterion) {
+    let (net, meta, policies) = enterprise();
+    let mut broken = net;
+    let issue = inject_issue(&mut broken, &meta, IssueKind::AclDeny).expect("acl issue");
+    let task = Task {
+        kind: issue.task_kind,
+        affected: issue.affected.clone(),
+    };
+    let spec = derive_privileges(&broken, &task);
+    let twin = slice_for_task(&broken, &task);
+
+    let mut g = c.benchmark_group("ablation/verification");
+    // Verify once, at import (Heimdall's choice).
+    g.bench_function("at_import", |b| {
+        b.iter(|| {
+            let mut s = TwinSession::open("t", twin.clone(), spec.clone());
+            for (d, cmd) in &issue.fix {
+                let _ = s.exec(d, cmd);
+            }
+            let (diff, _) = s.finish();
+            let mut patched = broken.clone();
+            diff.apply_to_network(&mut patched).expect("applies");
+            let cp = converge(&patched);
+            black_box(check_policies(&patched, &cp, &policies))
+        })
+    });
+    // Verify continuously, after every action (the strawman the paper
+    // rejects: "verifying the policy is time-consuming ... and can
+    // significantly slow down a technician's work").
+    g.bench_function("continuous", |b| {
+        b.iter(|| {
+            let mut s = TwinSession::open("t", twin.clone(), spec.clone());
+            let mut reports = 0usize;
+            for (d, cmd) in &issue.fix {
+                let _ = s.exec(d, cmd);
+                let twin_net = {
+                    // Snapshot current twin changes without closing it.
+                    let diff = heimdall::netmodel::diff::diff_networks(
+                        &twin.net,
+                        s.emu_mut().network(),
+                    );
+                    let mut patched = broken.clone();
+                    let _ = diff.apply_to_network(&mut patched);
+                    patched
+                };
+                let cp = converge(&twin_net);
+                reports += check_policies(&twin_net, &cp, &policies).results.len();
+            }
+            black_box(reports)
+        })
+    });
+    g.finish();
+}
+
+/// Ablation 2: scheduling strategy.
+fn bench_scheduling(c: &mut Criterion) {
+    let (net, meta, policies) = enterprise();
+    let mut broken = net.clone();
+    let issue = inject_issue(&mut broken, &meta, IssueKind::Isp).expect("isp issue");
+    // The fix applied to broken production is the change-set to schedule.
+    let mut fixed = broken.clone();
+    {
+        let mut emu = heimdall::twin::emu::EmulatedNetwork::new(fixed.clone());
+        for (d, cmd) in &issue.fix {
+            let parsed = heimdall::twin::console::Command::parse(cmd).expect("parses");
+            let _ = heimdall::twin::console::execute(&mut emu, d, &parsed);
+        }
+        fixed = emu.network().clone();
+    }
+    let diff = diff_networks(&broken, &fixed);
+
+    let naive = naive_schedule(&broken, &diff, &policies);
+    let planned = schedule(&broken, &diff, &policies);
+    println!(
+        "\n=== Ablation: scheduling (isp change-set, {} changes) ===",
+        diff.len()
+    );
+    println!(
+        "naive order transient violations: {}; dependency-aware: {}",
+        naive.transient_count(),
+        planned.transient_count()
+    );
+
+    let mut g = c.benchmark_group("ablation/scheduling");
+    g.bench_function("naive", |b| {
+        b.iter(|| black_box(naive_schedule(&broken, &diff, &policies)))
+    });
+    g.bench_function("dependency_aware", |b| {
+        b.iter(|| black_box(schedule(&broken, &diff, &policies)))
+    });
+    g.finish();
+}
+
+/// Ablation 3: slicing strategy (cost + exposure).
+fn bench_slicing(c: &mut Criterion) {
+    let (net, _, _) = enterprise();
+    let task = Task::connectivity("h7", "srv1");
+    println!("\n=== Ablation: slicing exposure (devices cloned of {}) ===", net.device_count());
+    println!("  all:       {}", slice_all(&net).net.device_count());
+    println!("  neighbor:  {}", slice_neighbors(&net, &task).net.device_count());
+    println!("  heimdall:  {}", slice_for_task(&net, &task).net.device_count());
+
+    let mut g = c.benchmark_group("ablation/slicing");
+    g.bench_function("all", |b| b.iter(|| black_box(slice_all(&net))));
+    g.bench_function("neighbor", |b| b.iter(|| black_box(slice_neighbors(&net, &task))));
+    g.bench_function("task_driven", |b| b.iter(|| black_box(slice_for_task(&net, &task))));
+    g.finish();
+}
+
+/// Substrate micro-benchmarks.
+fn bench_substrates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro");
+
+    let (ent, _, ent_policies) = enterprise();
+    let (uni, _, uni_policies) = university();
+    g.bench_function("converge/enterprise", |b| b.iter(|| black_box(converge(&ent))));
+    g.bench_function("converge/university", |b| b.iter(|| black_box(converge(&uni))));
+
+    let cp = converge(&ent);
+    let dp = DataPlane::new(&ent, &cp);
+    let flow = Flow::probe("10.1.1.10".parse().unwrap(), "10.2.1.10".parse().unwrap());
+    let src = ent.idx_of("h1");
+    g.bench_function("trace/enterprise_h1_srv1", |b| {
+        b.iter(|| black_box(dp.trace_all(src, &flow)))
+    });
+
+    g.bench_function("check_policies/enterprise_21", |b| {
+        b.iter(|| black_box(check_policies(&ent, &cp, &ent_policies)))
+    });
+    let uni_cp = converge(&uni);
+    g.bench_function("check_policies/university_175", |b| {
+        b.iter(|| black_box(check_policies(&uni, &uni_cp, &uni_policies)))
+    });
+
+    g.bench_function("audit/append_1000_verify", |b| {
+        b.iter(|| {
+            let mut log = AuditLog::new();
+            for i in 0..1000 {
+                log.append(AuditKind::Command, "t", &format!("cmd {i}"));
+            }
+            black_box(log.verify_chain().is_ok())
+        })
+    });
+
+    let blob = vec![0xabu8; 64 * 1024];
+    g.bench_function("sha256/64KiB", |b| b.iter(|| black_box(sha256(&blob))));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_verification_placement, bench_scheduling, bench_slicing, bench_substrates
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 7: time to solve three real issues (vlan, ospf, isp) on the
+//! enterprise network — regenerates the figure's table, then benchmarks
+//! each (issue × approach) workflow end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use heimdall::msp::issues::{inject_issue, IssueKind};
+use heimdall::nets::enterprise;
+use heimdall::workflow::{run_current_approach, run_heimdall};
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let rows = heimdall::experiments::fig7();
+    println!("\n=== Figure 7 (paper: +28 s avg overhead; 15 s isp, 42 s vlan) ===");
+    println!("{}", heimdall::experiments::render_fig7(&rows));
+    println!("measured simulator wall time per engagement:");
+    for r in &rows {
+        println!(
+            "  {:<5} current {:>8} us   heimdall {:>8} us",
+            r.issue, r.current_wall_us, r.heimdall_wall_us
+        );
+    }
+
+    let mut g = c.benchmark_group("fig7");
+    for kind in [IssueKind::Vlan, IssueKind::Ospf, IssueKind::Isp] {
+        let (net, meta, policies) = enterprise();
+        let mut broken = net;
+        let issue = inject_issue(&mut broken, &meta, kind).expect("enterprise issue");
+        g.bench_function(format!("{}/current", kind.label()), |b| {
+            b.iter(|| black_box(run_current_approach(&broken, &issue)))
+        });
+        g.bench_function(format!("{}/heimdall", kind.label()), |b| {
+            b.iter(|| black_box(run_heimdall(&broken, &issue, &policies)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig7
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 9: feasibility and attack surface on the university network.
+//!
+//! The full sweep covers every linked infrastructure interface; Criterion
+//! timing uses a sampled sweep (stride 8) so the bench converges in
+//! reasonable time, while the printed figure uses stride 2 for coverage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use heimdall::baselines::AccessMode;
+use heimdall::metrics::attack_surface;
+use heimdall::nets::university;
+use heimdall::privilege::derive::Task;
+use std::hint::black_box;
+
+fn bench_fig9(c: &mut Criterion) {
+    let summary = heimdall::experiments::fig9(2);
+    println!("\n=== Figure 9 (paper: up to ~40-point reduction vs All; feasibility ~= All) ===");
+    println!("{}", heimdall::experiments::render_surface(&summary));
+
+    let (net, _, policies) = university();
+    let task = Task::connectivity("cs-h1", "www");
+
+    let mut g = c.benchmark_group("fig9");
+    for mode in [AccessMode::Neighbor, AccessMode::Heimdall] {
+        let spec = mode.privileges(&net, &task);
+        g.bench_function(format!("attack_surface/{}", mode.label()), |b| {
+            b.iter(|| black_box(attack_surface(&net, &policies, &spec, mode.enforced())))
+        });
+    }
+    g.bench_function("sweep/stride8", |b| {
+        b.iter(|| {
+            black_box(heimdall::experiments::surface_sweep(
+                &net, &policies, 8, "university",
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig9
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Scalability: how the substrates grow with network size.
+//!
+//! The paper's practicality argument ("Heimdall should be low-overhead")
+//! rests on the machinery staying cheap as networks grow. This bench
+//! sweeps random networks from 10 to 80 routers and measures convergence,
+//! policy mining, full-workflow latency, and twin slicing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heimdall::netmodel::gen::{random_network, RandomNetConfig};
+use heimdall::privilege::derive::{derive_privileges, Task};
+use heimdall::routing::converge;
+use heimdall::twin::slice::slice_for_task;
+use heimdall::verify::mine::{mine_policies, MinerInput};
+use std::hint::black_box;
+
+fn cfg(routers: usize) -> RandomNetConfig {
+    RandomNetConfig {
+        routers,
+        extra_links: routers / 2,
+        lans: (routers / 3).max(2),
+        hosts_per_lan: 2,
+    }
+}
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scalability");
+    for routers in [10usize, 20, 40, 80] {
+        let net = random_network(42, cfg(routers));
+        g.bench_with_input(BenchmarkId::new("converge", routers), &net, |b, net| {
+            b.iter(|| black_box(converge(&net.net)))
+        });
+
+        let cp = converge(&net.net);
+        let input = MinerInput::from_meta(&net.meta);
+        g.bench_with_input(BenchmarkId::new("mine", routers), &net, |b, net| {
+            b.iter(|| black_box(mine_policies(&net.net, &cp, &input)))
+        });
+
+        // Ticket between the two most distant LAN hosts.
+        let hosts: Vec<String> = net
+            .net
+            .devices()
+            .filter(|(_, d)| d.kind == heimdall::netmodel::device::DeviceKind::Host)
+            .map(|(_, d)| d.name.clone())
+            .collect();
+        if hosts.len() >= 2 {
+            let task = Task::connectivity(&hosts[0], &hosts[hosts.len() - 1]);
+            g.bench_with_input(BenchmarkId::new("derive_privileges", routers), &net, |b, net| {
+                b.iter(|| black_box(derive_privileges(&net.net, &task)))
+            });
+            g.bench_with_input(BenchmarkId::new("slice_twin", routers), &net, |b, net| {
+                b.iter(|| black_box(slice_for_task(&net.net, &task)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scalability
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Table 1: evaluation networks — regenerates the table, then benchmarks
+//! its three production stages (generation, convergence, mining) per
+//! network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use heimdall::netmodel::gen::{enterprise_network, university_network};
+use heimdall::routing::converge;
+use heimdall::verify::mine::{mine_policies, MinerInput};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    // Regenerate and print the table once (the experiment record).
+    let rows = heimdall::experiments::table1();
+    println!("\n=== Table 1 (paper: 9/9/22/21/1394 and 13/17/92/175/2146) ===");
+    println!("{}", heimdall::experiments::render_table1(&rows));
+
+    type GenFn = fn() -> heimdall::netmodel::gen::GeneratedNet;
+    let mut g = c.benchmark_group("table1");
+    let gens: [(&str, GenFn); 2] = [
+        ("enterprise", enterprise_network),
+        ("university", university_network),
+    ];
+    for (name, gen) in gens {
+        g.bench_function(format!("{name}/generate"), |b| b.iter(|| black_box(gen())));
+        let net = gen();
+        g.bench_function(format!("{name}/converge"), |b| {
+            b.iter(|| black_box(converge(&net.net)))
+        });
+        let cp = converge(&net.net);
+        let input = MinerInput::from_meta(&net.meta);
+        g.bench_function(format!("{name}/mine_policies"), |b| {
+            b.iter(|| black_box(mine_policies(&net.net, &cp, &input)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_table1
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! # heimdall-bench
+//!
+//! The benchmark harness. One Criterion bench per paper artifact:
+//!
+//! - `table1` — regenerates Table 1 and benchmarks network generation,
+//!   convergence, and policy mining per network;
+//! - `fig7` — regenerates Figure 7 (time to solve three issues, current
+//!   approach vs Heimdall) and benchmarks both workflows end-to-end;
+//! - `fig8` / `fig9` — regenerate Figures 8/9 (feasibility and attack
+//!   surface per access mode) and benchmark the sweeps;
+//! - `ablations` — the DESIGN.md §5 design-choice benches: continuous
+//!   verification vs verify-at-import, naive vs dependency-aware
+//!   scheduling, slicing strategies, and micro-benchmarks of the
+//!   substrates (convergence, tracing, policy checking, audit chaining);
+//! - `scalability` — random networks from 10 to 80 routers: convergence,
+//!   mining, privilege derivation, and twin slicing as the network grows.
+//!
+//! Each bench *prints* the regenerated table/figure once before timing, so
+//! `cargo bench` output doubles as the experiment record.
+
+/// Re-exported so benches share one entry point.
+pub use heimdall;

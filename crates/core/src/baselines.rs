@@ -1,0 +1,130 @@
+//! The three access models compared in Figures 8 and 9.
+//!
+//! - **All** — "gives the technician access to all nodes" (Figure 5(b)):
+//!   every device, every action;
+//! - **Neighbor** — "access to affected nodes and their neighbors only"
+//!   (Figure 5(c)): full root, but only on that small set;
+//! - **Heimdall** — the task-driven slice with derived least privileges.
+
+use heimdall_netmodel::topology::{DeviceIdx, Network};
+use heimdall_privilege::derive::{derive_privileges, relevant_devices, Task};
+use heimdall_privilege::model::{Predicate, PrivilegeMsp, ResourcePattern};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Which approach mediates the technician.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessMode {
+    All,
+    Neighbor,
+    Heimdall,
+}
+
+impl AccessMode {
+    /// Display label (figure legend).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AccessMode::All => "All",
+            AccessMode::Neighbor => "Neighbor",
+            AccessMode::Heimdall => "Heimdall",
+        }
+    }
+
+    /// The devices this mode exposes for a given task.
+    pub fn accessible(&self, net: &Network, task: &Task) -> BTreeSet<DeviceIdx> {
+        match self {
+            AccessMode::All => net.devices().map(|(i, _)| i).collect(),
+            AccessMode::Neighbor => {
+                let mut set = BTreeSet::new();
+                for name in &task.affected {
+                    if let Ok(i) = net.idx(name) {
+                        set.insert(i);
+                        set.extend(net.neighbors_any_state(i));
+                    }
+                }
+                set
+            }
+            AccessMode::Heimdall => relevant_devices(net, task),
+        }
+    }
+
+    /// The privilege specification this mode grants for a task.
+    ///
+    /// *All* and *Neighbor* grant every action on their accessible set
+    /// (that is what "access" means under the current model); *Heimdall*
+    /// derives least privileges.
+    pub fn privileges(&self, net: &Network, task: &Task) -> PrivilegeMsp {
+        match self {
+            AccessMode::Heimdall => derive_privileges(net, task),
+            _ => {
+                let mut spec = PrivilegeMsp::new();
+                for &d in &self.accessible(net, task) {
+                    spec.predicates.push(Predicate::allow_all(ResourcePattern::Device(
+                        net.device(d).name.clone(),
+                    )));
+                }
+                spec
+            }
+        }
+    }
+
+    /// Whether Heimdall's enforcer guards imports under this mode.
+    /// (Only Heimdall verifies changes; the baselines write straight to
+    /// production.)
+    pub fn enforced(&self) -> bool {
+        matches!(self, AccessMode::Heimdall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_netmodel::gen::enterprise_network;
+    use heimdall_privilege::derive::Task;
+
+    #[test]
+    fn all_exposes_everything() {
+        let g = enterprise_network();
+        let task = Task::connectivity("h1", "srv1");
+        assert_eq!(
+            AccessMode::All.accessible(&g.net, &task).len(),
+            g.net.device_count()
+        );
+    }
+
+    #[test]
+    fn neighbor_exposes_endpoints_plus_adjacent() {
+        let g = enterprise_network();
+        let task = Task::connectivity("h1", "srv1");
+        let set = AccessMode::Neighbor.accessible(&g.net, &task);
+        let names: Vec<&str> = set.iter().map(|&i| g.net.device(i).name.as_str()).collect();
+        assert!(names.contains(&"h1"));
+        assert!(names.contains(&"acc1")); // h1's gateway
+        assert!(names.contains(&"fw1")); // srv1's gateway
+        assert!(!names.contains(&"core1")); // mid-path: invisible
+        assert!(!names.contains(&"dist1"));
+    }
+
+    #[test]
+    fn heimdall_between_the_extremes() {
+        let g = enterprise_network();
+        let task = Task::connectivity("h1", "srv1");
+        let all = AccessMode::All.accessible(&g.net, &task).len();
+        let nbr = AccessMode::Neighbor.accessible(&g.net, &task).len();
+        let hd = AccessMode::Heimdall.accessible(&g.net, &task).len();
+        assert!(nbr < hd && hd < all, "nbr={nbr} hd={hd} all={all}");
+    }
+
+    #[test]
+    fn baseline_privileges_are_root_heimdalls_are_not() {
+        use heimdall_privilege::eval::allowed_action_count;
+        use heimdall_privilege::model::Action;
+        let g = enterprise_network();
+        let task = Task::connectivity("h1", "srv1");
+        let all = AccessMode::All.privileges(&g.net, &task);
+        assert_eq!(allowed_action_count(&all, "core1"), Action::ALL.len());
+        let hd = AccessMode::Heimdall.privileges(&g.net, &task);
+        assert!(allowed_action_count(&hd, "core1") < Action::ALL.len());
+        assert_eq!(allowed_action_count(&hd, "acc3"), 0);
+    }
+}

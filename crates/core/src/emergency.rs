@@ -1,0 +1,279 @@
+//! Emergency mode (§7): "an emergency mode in which the reference monitor
+//! bypasses the twin network and sends commands directly to the production
+//! network via the policy enforcer could be necessary."
+//!
+//! Some problems cannot reproduce inside an emulated twin (hardware
+//! faults, optics, anything the paper's §7 lists as an emulation
+//! limitation). For those, Heimdall degrades gracefully rather than
+//! falling back to raw RMM root: the technician talks to *production*, but
+//!
+//! - every command still passes the reference monitor (privilege check),
+//! - every **mutating** command is applied to a shadow copy first,
+//!   re-converged, and differentially checked against the network
+//!   policies; a command that would newly violate a policy is refused and
+//!   never touches production,
+//! - everything — activations, commands, refusals — lands in the
+//!   enclave-sealed audit chain.
+//!
+//! This is deliberately the "continuous verification" strawman of §4.3:
+//! slower per command, and with the false-positive risk the paper
+//! describes (a mid-sequence state may transiently violate a policy).
+//! That cost is the price of skipping the twin, which is why emergency
+//! mode is an explicit, audited, per-ticket opt-in — never the default.
+
+use heimdall_enforcer::audit::AuditKind;
+use heimdall_enforcer::enclave::Platform;
+use heimdall_enforcer::pipeline::EnforcerPipeline;
+use heimdall_netmodel::topology::Network;
+use heimdall_privilege::model::PrivilegeMsp;
+use heimdall_routing::converge;
+use heimdall_twin::console::{execute, Command, CommandError};
+use heimdall_twin::emu::EmulatedNetwork;
+use heimdall_twin::monitor::ReferenceMonitor;
+use heimdall_verify::checker::check_policies;
+use heimdall_verify::differential::diff_reports;
+use heimdall_verify::policy::PolicySet;
+
+/// Why an emergency command failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EmergencyError {
+    /// The reference monitor refused it (privilege).
+    PermissionDenied { command: String },
+    /// Applying it would newly violate the named policies.
+    PolicyVeto { command: String, policies: Vec<String> },
+    /// Parse/execution failure.
+    Command(CommandError),
+}
+
+impl std::fmt::Display for EmergencyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmergencyError::PermissionDenied { command } => {
+                write!(f, "% Permission denied by Privilege_msp: {command}")
+            }
+            EmergencyError::PolicyVeto { command, policies } => {
+                write!(f, "% Refused by policy enforcer ({policies:?}): {command}")
+            }
+            EmergencyError::Command(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EmergencyError {}
+
+/// An emergency session: mediated, per-command-enforced access to
+/// production.
+pub struct EmergencySession {
+    emu: EmulatedNetwork,
+    monitor: ReferenceMonitor,
+    policies: PolicySet,
+    pipeline: EnforcerPipeline,
+    technician: String,
+}
+
+impl EmergencySession {
+    /// Activates emergency mode. The activation itself — who, and the
+    /// stated reason — is the first audit entry.
+    pub fn activate(
+        technician: &str,
+        production: Network,
+        spec: PrivilegeMsp,
+        policies: PolicySet,
+        reason: &str,
+    ) -> Self {
+        let platform = Platform::new("heimdall-host");
+        let mut pipeline = EnforcerPipeline::launch(&platform);
+        pipeline.log(
+            AuditKind::Session,
+            technician,
+            &format!("EMERGENCY MODE ACTIVATED: {reason}"),
+        );
+        EmergencySession {
+            emu: EmulatedNetwork::new(production),
+            monitor: ReferenceMonitor::new(technician, spec),
+            policies,
+            pipeline,
+            technician: technician.to_string(),
+        }
+    }
+
+    /// Executes one mediated, enforced command against production.
+    pub fn exec(&mut self, device: &str, line: &str) -> Result<String, EmergencyError> {
+        let cmd = Command::parse(line).map_err(EmergencyError::Command)?;
+        let decision = self.monitor.mediate(device, line, &cmd);
+        if !decision.is_allowed() {
+            self.pipeline.log(
+                AuditKind::Command,
+                &self.technician,
+                &format!("{device}: {line} [DENIED: privilege]"),
+            );
+            return Err(EmergencyError::PermissionDenied {
+                command: line.to_string(),
+            });
+        }
+
+        if !cmd.is_mutating() {
+            let out = execute(&mut self.emu, device, &cmd).map_err(EmergencyError::Command)?;
+            self.pipeline.log(
+                AuditKind::Command,
+                &self.technician,
+                &format!("{device}: {line} [read-only]"),
+            );
+            return Ok(out);
+        }
+
+        // Mutating: dry-run on a shadow copy, differential policy check.
+        let before = self.emu.network().clone();
+        let cp_before = converge(&before);
+        let report_before = check_policies(&before, &cp_before, &self.policies);
+
+        let mut shadow = EmulatedNetwork::new(before.clone());
+        execute(&mut shadow, device, &cmd).map_err(EmergencyError::Command)?;
+        let after = shadow.network().clone();
+        let cp_after = converge(&after);
+        let report_after = check_policies(&after, &cp_after, &self.policies);
+        let diff = diff_reports(&report_before, &report_after);
+
+        if !diff.is_safe() {
+            self.pipeline.log(
+                AuditKind::Command,
+                &self.technician,
+                &format!(
+                    "{device}: {line} [VETOED: would violate {:?}]",
+                    diff.newly_violated
+                ),
+            );
+            return Err(EmergencyError::PolicyVeto {
+                command: line.to_string(),
+                policies: diff.newly_violated,
+            });
+        }
+
+        // Safe: commit to production.
+        let out = execute(&mut self.emu, device, &cmd).map_err(EmergencyError::Command)?;
+        self.pipeline.log(
+            AuditKind::ChangeApplied,
+            &self.technician,
+            &format!("{device}: {line} [emergency-applied]"),
+        );
+        Ok(out)
+    }
+
+    /// The live production network.
+    pub fn production(&self) -> &Network {
+        self.emu.network()
+    }
+
+    /// The reference monitor's event feed.
+    pub fn monitor(&self) -> &ReferenceMonitor {
+        &self.monitor
+    }
+
+    /// Audit integrity check (chain + enclave seal).
+    pub fn verify_audit_integrity(&self) -> bool {
+        self.pipeline.verify_audit_integrity()
+    }
+
+    /// Deactivates emergency mode, returning production and the audit log.
+    pub fn deactivate(mut self) -> (Network, heimdall_enforcer::audit::AuditLog) {
+        self.pipeline.log(
+            AuditKind::Session,
+            &self.technician,
+            "EMERGENCY MODE DEACTIVATED",
+        );
+        let net = self.emu.network().clone();
+        (net, self.pipeline.audit().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nets::enterprise;
+    use heimdall_msp::issues::{inject_issue, IssueKind};
+    use heimdall_privilege::derive::derive_privileges;
+
+    fn setup() -> (Network, heimdall_msp::issues::Issue, PolicySet, PrivilegeMsp) {
+        let (net, meta, policies) = enterprise();
+        let mut broken = net;
+        let issue = inject_issue(&mut broken, &meta, IssueKind::Isp).expect("isp issue");
+        let task = heimdall_privilege::derive::Task {
+            kind: issue.task_kind,
+            affected: issue.affected.clone(),
+        };
+        let spec = derive_privileges(&broken, &task);
+        (broken, issue, policies, spec)
+    }
+
+    #[test]
+    fn emergency_fixes_production_directly() {
+        let (broken, issue, policies, spec) = setup();
+        let mut s = EmergencySession::activate(
+            "alice",
+            broken,
+            spec,
+            policies,
+            "upstream optics fault: twin cannot reproduce carrier loss",
+        );
+        for (d, c) in &issue.fix {
+            s.exec(d, c).unwrap_or_else(|e| panic!("{d}: {c}: {e}"));
+        }
+        let (net, audit) = s.deactivate();
+        assert!(crate::workflow::probe_ok(&net, &issue));
+        assert!(audit.verify_chain().is_ok());
+        // Activation, commands, deactivation all present.
+        assert!(audit.entries[0].detail.contains("EMERGENCY MODE ACTIVATED"));
+        assert!(audit.entries.last().unwrap().detail.contains("DEACTIVATED"));
+        assert!(audit
+            .entries
+            .iter()
+            .any(|e| e.detail.contains("emergency-applied")));
+    }
+
+    #[test]
+    fn privilege_still_enforced_in_emergencies() {
+        let (broken, _, policies, spec) = setup();
+        let mut s = EmergencySession::activate("mallory", broken, spec, policies, "test");
+        // The ISP ticket scopes to bdr1 only.
+        let e = s.exec("fw1", "show running-config").unwrap_err();
+        assert!(matches!(e, EmergencyError::PermissionDenied { .. }));
+        let e = s.exec("bdr1", "write erase").unwrap_err();
+        assert!(matches!(e, EmergencyError::PermissionDenied { .. }));
+        assert!(s.verify_audit_integrity());
+    }
+
+    #[test]
+    fn policy_veto_blocks_harmful_commands() {
+        let (broken, _, policies, _) = setup();
+        // Give the technician broad rights; the *policy* layer must still
+        // refuse a command that would break reachability.
+        let spec = PrivilegeMsp::allow_everything();
+        let before = broken.clone();
+        let mut s = EmergencySession::activate("alice", broken, spec, policies, "test");
+        let e = s.exec("acc1", "interface Gi0/0 shutdown").unwrap_err();
+        match e {
+            EmergencyError::PolicyVeto { policies, .. } => {
+                assert!(policies.iter().any(|p| p.contains("LAN1")), "{policies:?}");
+            }
+            other => panic!("expected veto, got {other}"),
+        }
+        // Production unchanged.
+        let (net, audit) = s.deactivate();
+        assert_eq!(
+            net.device_by_name("acc1").unwrap().config,
+            before.device_by_name("acc1").unwrap().config
+        );
+        assert!(audit.entries.iter().any(|e| e.detail.contains("VETOED")));
+    }
+
+    #[test]
+    fn read_only_commands_skip_the_shadow_check() {
+        let (broken, _, policies, _) = setup();
+        let spec = PrivilegeMsp::allow_everything();
+        let mut s = EmergencySession::activate("alice", broken, spec, policies, "test");
+        let out = s.exec("bdr1", "show ip route").unwrap();
+        assert!(out.contains("S"), "{out}");
+        let out = s.exec("h1", "ping 10.2.1.10").unwrap();
+        assert!(out.contains("success"), "{out}");
+    }
+}

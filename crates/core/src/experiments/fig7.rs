@@ -1,0 +1,247 @@
+//! Figure 7: time to solve three real issues (vlan, ospf, isp) on the
+//! enterprise network — current approach vs. Heimdall, with the per-step
+//! breakdown.
+//!
+//! Paper result: Heimdall adds 28 s average overhead (15 s for the simple
+//! ISP reconfiguration, 42 s for the complex VLAN issue), and "the most
+//! time is spent performing operations to resolve the issue".
+
+use crate::nets::enterprise;
+use crate::workflow::{run_current_approach, run_heimdall};
+use heimdall_msp::issues::{inject_issue, IssueKind};
+use heimdall_msp::technician::{TimeBreakdown, TimeModel};
+use serde::{Deserialize, Serialize};
+
+/// One issue's timing comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7Row {
+    pub issue: String,
+    /// Modeled seconds, current approach (connect / operate / save).
+    pub current: TimeBreakdown,
+    /// Modeled seconds, Heimdall (plus privilege / twin / verify steps).
+    pub heimdall: TimeBreakdown,
+    /// Heimdall's extra-step overhead in modeled seconds.
+    pub overhead: f64,
+    /// Actual simulator wall time (microseconds), current approach.
+    pub current_wall_us: u128,
+    /// Actual simulator wall time (microseconds), Heimdall.
+    pub heimdall_wall_us: u128,
+    /// Both approaches must actually fix the issue.
+    pub both_resolved: bool,
+}
+
+/// Runs the Figure 7 pilot study: three issues, both approaches.
+pub fn fig7() -> Vec<Fig7Row> {
+    fig7_on(enterprise, &[IssueKind::Vlan, IssueKind::Ospf, IssueKind::Isp])
+}
+
+/// The university counterpart. The paper: "we omit the university results
+/// due to their similarity" — this driver exists so that similarity is a
+/// checkable claim rather than an assertion (no VLAN issue exists there;
+/// the ACL issue stands in as the third problem).
+pub fn fig7_university() -> Vec<Fig7Row> {
+    fig7_on(
+        crate::nets::university,
+        &[IssueKind::AclDeny, IssueKind::Ospf, IssueKind::Isp],
+    )
+}
+
+type NetFn = fn() -> (
+    heimdall_netmodel::topology::Network,
+    heimdall_netmodel::gen::GenMeta,
+    heimdall_verify::policy::PolicySet,
+);
+
+fn fig7_on(nets: NetFn, kinds: &[IssueKind]) -> Vec<Fig7Row> {
+    let model = TimeModel::default();
+    kinds
+        .iter()
+        .copied()
+        .map(|kind| {
+            let (net, meta, policies) = nets();
+            let mut broken = net;
+            let issue = inject_issue(&mut broken, &meta, kind).expect("issue exists");
+
+            let current_run = run_current_approach(&broken, &issue);
+            let heimdall_run = run_heimdall(&broken, &issue, &policies);
+
+            let current = model.current_approach(current_run.commands);
+            let heimdall = model.heimdall(
+                heimdall_run.commands,
+                heimdall_run.predicates,
+                heimdall_run.twin_devices,
+                heimdall_run.twin_l2_devices,
+                policies.len(),
+                heimdall_run.changes,
+            );
+            Fig7Row {
+                issue: kind.label().to_string(),
+                overhead: heimdall.overhead(),
+                current,
+                heimdall,
+                current_wall_us: current_run.wall.as_micros(),
+                heimdall_wall_us: heimdall_run.wall.as_micros(),
+                both_resolved: current_run.resolved && heimdall_run.resolved,
+            }
+        })
+        .collect()
+}
+
+/// Renders the figure as a per-step table.
+pub fn render_fig7(rows: &[Fig7Row]) -> String {
+    let mut out = String::from(
+        "issue  approach  connect  privilege  twin  operate  verify  save  total  overhead\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<6} current   {:>7.1} {:>10.1} {:>5.1} {:>8.1} {:>7.1} {:>5.1} {:>6.1} {:>9.1}\n",
+            r.issue,
+            r.current.connect,
+            r.current.generate_privilege,
+            r.current.setup_twin,
+            r.current.perform_operations,
+            r.current.verify_schedule,
+            r.current.save,
+            r.current.total(),
+            0.0,
+        ));
+        out.push_str(&format!(
+            "{:<6} heimdall  {:>7.1} {:>10.1} {:>5.1} {:>8.1} {:>7.1} {:>5.1} {:>6.1} {:>9.1}\n",
+            r.issue,
+            r.heimdall.connect,
+            r.heimdall.generate_privilege,
+            r.heimdall.setup_twin,
+            r.heimdall.perform_operations,
+            r.heimdall.verify_schedule,
+            r.heimdall.save,
+            r.heimdall.total(),
+            r.overhead,
+        ));
+    }
+    let avg: f64 = rows.iter().map(|r| r.overhead).sum::<f64>() / rows.len().max(1) as f64;
+    out.push_str(&format!("average Heimdall overhead: {avg:.1} s (modeled)\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_the_paper() {
+        let rows = fig7();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.both_resolved), "all issues fixed both ways");
+
+        let by = |label: &str| rows.iter().find(|r| r.issue == label).unwrap();
+        let vlan = by("vlan");
+        let ospf = by("ospf");
+        let isp = by("isp");
+
+        // Simple (isp) < middle (ospf) < complex (vlan) overhead ordering.
+        assert!(isp.overhead < ospf.overhead, "isp {} ospf {}", isp.overhead, ospf.overhead);
+        assert!(ospf.overhead < vlan.overhead, "ospf {} vlan {}", ospf.overhead, vlan.overhead);
+
+        // Overhead magnitudes in the paper's regime (seconds, 10-50).
+        assert!(isp.overhead > 5.0 && vlan.overhead < 60.0);
+
+        // "The most time is spent performing operations."
+        for r in &rows {
+            assert!(
+                r.heimdall.perform_operations >= r.heimdall.verify_schedule,
+                "{}: ops {} vs verify {}",
+                r.issue,
+                r.heimdall.perform_operations,
+                r.heimdall.verify_schedule
+            );
+        }
+
+        // The measured simulator runs in milliseconds — the modeled human
+        // timescale dominates any real deployment.
+        for r in &rows {
+            assert!(r.heimdall_wall_us < 5_000_000, "{}", r.heimdall_wall_us);
+        }
+    }
+
+    #[test]
+    fn university_results_are_similar_as_the_paper_claims() {
+        // "We omit the university results due to their similarity."
+        let uni = fig7_university();
+        assert_eq!(uni.len(), 3);
+        assert!(uni.iter().all(|r| r.both_resolved));
+        let ent_avg: f64 = fig7().iter().map(|r| r.overhead).sum::<f64>() / 3.0;
+        let uni_avg: f64 = uni.iter().map(|r| r.overhead).sum::<f64>() / 3.0;
+        // Same regime: within a factor of two of each other.
+        let ratio = uni_avg / ent_avg;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "ent {ent_avg:.1}s vs uni {uni_avg:.1}s (ratio {ratio:.2})"
+        );
+        // Operations dominate there too.
+        for r in &uni {
+            assert!(r.heimdall.perform_operations >= r.heimdall.verify_schedule);
+        }
+    }
+
+    #[test]
+    fn overhead_ordering_is_robust_to_calibration() {
+        // Figure 7's shape (isp < ospf < vlan) must come from the issues'
+        // structure (slice size, L2 content, change count), not from the
+        // particular calibration constants. Scale every constant by 0.5x
+        // and 2x and re-derive the breakdowns from the same runs.
+        use crate::workflow::run_heimdall;
+        use heimdall_msp::issues::{inject_issue, IssueKind};
+
+        let runs: Vec<_> = [IssueKind::Isp, IssueKind::Ospf, IssueKind::Vlan]
+            .into_iter()
+            .map(|kind| {
+                let (net, meta, policies) = enterprise();
+                let mut broken = net;
+                let issue = inject_issue(&mut broken, &meta, kind).expect("issue");
+                (run_heimdall(&broken, &issue, &policies), policies.len())
+            })
+            .collect();
+
+        for scale in [0.5, 1.0, 2.0] {
+            let m = TimeModel {
+                connect: 5.0 * scale,
+                per_command: 6.0 * scale,
+                save: 3.0 * scale,
+                privilege_base: 1.0 * scale,
+                privilege_per_predicate: 0.1 * scale,
+                twin_base: 2.0 * scale,
+                twin_per_device: 3.0 * scale,
+                twin_per_l2_device: 8.0 * scale,
+                verify_base: 2.0 * scale,
+                verify_per_policy: 0.05 * scale,
+                verify_per_change: 1.0 * scale,
+            };
+            let overheads: Vec<f64> = runs
+                .iter()
+                .map(|(r, policies)| {
+                    m.heimdall(
+                        r.commands,
+                        r.predicates,
+                        r.twin_devices,
+                        r.twin_l2_devices,
+                        *policies,
+                        r.changes,
+                    )
+                    .overhead()
+                })
+                .collect();
+            assert!(
+                overheads[0] < overheads[1] && overheads[1] < overheads[2],
+                "scale {scale}: {overheads:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn render_includes_all_issues() {
+        let text = render_fig7(&fig7());
+        for label in ["vlan", "ospf", "isp", "average Heimdall overhead"] {
+            assert!(text.contains(label), "{label} missing:\n{text}");
+        }
+    }
+}

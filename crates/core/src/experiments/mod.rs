@@ -1,0 +1,20 @@
+//! Drivers for every table and figure in the paper's §5.
+//!
+//! | Paper artifact | Driver | Bench target |
+//! |---|---|---|
+//! | Table 1 (networks) | [`table1`] | `table1` |
+//! | Figure 7 (time to solve) | [`fig7`] | `fig7` |
+//! | Figure 8 (enterprise trade-off) | [`fig8`] | `fig8` |
+//! | Figure 9 (university trade-off) | [`fig9`] | `fig9` |
+//!
+//! Each driver returns structured rows *and* offers a `render_*` function
+//! producing the table the paper prints; EXPERIMENTS.md snapshots the
+//! rendered output next to the paper's numbers.
+
+mod fig7;
+mod surface;
+mod table1;
+
+pub use fig7::{fig7, fig7_university, render_fig7, Fig7Row};
+pub use surface::{fig8, fig9, render_surface, surface_sweep, ModeSummary, SurfaceSummary};
+pub use table1::{render_table1, table1, Table1Row};

@@ -1,0 +1,336 @@
+//! Figures 8 and 9: the feasibility / attack-surface trade-off.
+//!
+//! Procedure, per the paper: "First, we create an issue by bringing down
+//! each interface. Then, for each technique, we check whether the
+//! technician can access the root cause node (feasibility). Finally, we
+//! search all possible commands on accessible nodes, measure potential
+//! policy violations, and compute the attack surface."
+//!
+//! Paper result: Heimdall reduces the attack surface by up to 39% / 40%
+//! (enterprise / university) versus the baselines while keeping
+//! feasibility close to fully-open privileges.
+
+use crate::baselines::AccessMode;
+use crate::metrics::attack_surface;
+use crate::nets::{enterprise, university};
+use heimdall_netmodel::device::DeviceKind;
+use heimdall_netmodel::topology::Network;
+use heimdall_privilege::derive::{Task, TaskKind};
+use heimdall_routing::converge;
+use heimdall_verify::checker::check_policies;
+use heimdall_verify::policy::{PolicyEndpoint, PolicySet};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate result for one access mode.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModeSummary {
+    pub mode: String,
+    /// Fraction of issues whose root cause the technician could access.
+    pub feasibility_pct: f64,
+    /// Mean attack surface across issues.
+    pub mean_surface_pct: f64,
+    /// Min/max surface across issues.
+    pub min_surface_pct: f64,
+    pub max_surface_pct: f64,
+}
+
+/// The whole figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SurfaceSummary {
+    pub network: String,
+    /// Interface-down issues swept (one per candidate interface).
+    pub issues: usize,
+    /// Of those, issues whose failure broke a mined policy (symptom
+    /// tickets); the rest were absorbed by redundancy and surfaced as
+    /// link-down alert tickets instead.
+    pub symptom_tickets: usize,
+    pub modes: Vec<ModeSummary>,
+}
+
+/// Derives ticket endpoints from the first newly violated policy.
+fn ticket_endpoints(net: &Network, policies: &PolicySet, violated_id: &str) -> Option<(String, String)> {
+    let policy = policies.policies.iter().find(|p| p.id() == violated_id)?;
+    let pick = |e: &PolicyEndpoint| -> Option<String> {
+        match e {
+            PolicyEndpoint::Host(h) => Some(h.clone()),
+            PolicyEndpoint::Subnet { prefix, .. } => net
+                .devices()
+                .find(|(_, d)| {
+                    d.kind == DeviceKind::Host
+                        && d.primary_address().map(|a| prefix.contains(a)).unwrap_or(false)
+                })
+                .map(|(_, d)| d.name.clone()),
+            PolicyEndpoint::Addr(a) => net.owner_of(*a).map(|i| net.device(i).name.clone()),
+        }
+    };
+    Some((pick(policy.src())?, pick(policy.dst())?))
+}
+
+/// Runs the interface-down sweep on one network.
+///
+/// `stride` samples every n-th candidate interface (1 = the paper's full
+/// sweep; larger strides keep the university run fast).
+pub fn surface_sweep(
+    net: &Network,
+    policies: &PolicySet,
+    stride: usize,
+    network_name: &str,
+) -> SurfaceSummary {
+    let stride = stride.max(1);
+    // Baseline verdicts on the healthy network.
+    let healthy_cp = converge(net);
+    let healthy = check_policies(net, &healthy_cp, policies);
+
+    // Candidate issues: the infra-side endpoint of every link.
+    let mut candidates: Vec<(String, String)> = Vec::new();
+    for l in net.links() {
+        for (d, iface) in [(l.a, l.a_iface.clone()), (l.b, l.b_iface.clone())] {
+            let dev = net.device(d);
+            if dev.kind != DeviceKind::Host {
+                candidates.push((dev.name.clone(), iface));
+            }
+        }
+    }
+    candidates.sort();
+    candidates.dedup();
+
+    // Per-mode accumulators.
+    let modes = [AccessMode::All, AccessMode::Neighbor, AccessMode::Heimdall];
+    let mut feasible = [0usize; 3];
+    let mut surfaces: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut issues = 0usize;
+    let mut symptom_tickets = 0usize;
+    let mut surface_cache: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+
+    // All's privilege spec is task-independent (root everywhere), so its
+    // surface is computed once.
+    let all_surface = {
+        let dummy = Task {
+            kind: TaskKind::Connectivity,
+            affected: vec![],
+        };
+        let spec = AccessMode::All.privileges(net, &dummy);
+        attack_surface(net, policies, &spec, AccessMode::All.enforced()).percent
+    };
+
+    for (dev_name, iface) in candidates.into_iter().step_by(stride) {
+        let mut broken = net.clone();
+        broken
+            .device_by_name_mut(&dev_name)
+            .expect("from this net")
+            .config
+            .interface_mut(&iface)
+            .expect("from this net")
+            .enabled = false;
+        let cp = converge(&broken);
+        let rep = check_policies(&broken, &cp, policies);
+        // The ticket comes from the first policy this failure broke
+        // (symptom ticket). If redundancy absorbed the failure, the NMS
+        // still raises a link-down alert naming the two link ends.
+        let newly = rep
+            .results
+            .iter()
+            .zip(&healthy.results)
+            .find(|((_, after), (_, before))| before.holds() && !after.holds())
+            .map(|((id, _), _)| id.clone());
+        let affected = match newly
+            .as_deref()
+            .and_then(|id| ticket_endpoints(&broken, policies, id))
+        {
+            Some((src, dst)) => {
+                symptom_tickets += 1;
+                vec![src, dst]
+            }
+            None => {
+                // Alert ticket: the link ends (peer of the downed iface).
+                let di = broken.idx(&dev_name).expect("exists");
+                let peer = broken
+                    .peers_of(di, &iface)
+                    .first()
+                    .map(|(p, _)| broken.device(*p).name.clone());
+                match peer {
+                    Some(p) => vec![dev_name.clone(), p],
+                    None => vec![dev_name.clone()],
+                }
+            }
+        };
+        issues += 1;
+        let task = Task {
+            kind: TaskKind::Connectivity,
+            affected,
+        };
+        let root = broken.idx(&dev_name).expect("exists");
+        for (i, mode) in modes.iter().enumerate() {
+            if mode.accessible(&broken, &task).contains(&root) {
+                feasible[i] += 1;
+            }
+            // VP is evaluated on the healthy network (the exposure a mode
+            // grants is a property of the access model, not of the current
+            // outage); All's task-independent surface is precomputed, and
+            // identical specs (parallel strands of the same adjacency give
+            // the same ticket) are memoized.
+            let pct = if matches!(mode, AccessMode::All) {
+                all_surface
+            } else {
+                let spec = mode.privileges(&broken, &task);
+                let key = format!("{}:{spec}", mode.label());
+                *surface_cache.entry(key).or_insert_with(|| {
+                    attack_surface(net, policies, &spec, mode.enforced()).percent
+                })
+            };
+            surfaces[i].push(pct);
+        }
+    }
+
+    let mode_rows = modes
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let v = &surfaces[i];
+            let mean = if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+            ModeSummary {
+                mode: m.label().to_string(),
+                feasibility_pct: if issues == 0 {
+                    0.0
+                } else {
+                    100.0 * feasible[i] as f64 / issues as f64
+                },
+                mean_surface_pct: mean,
+                min_surface_pct: v.iter().copied().fold(f64::INFINITY, f64::min),
+                max_surface_pct: v.iter().copied().fold(0.0, f64::max),
+            }
+        })
+        .collect();
+
+    SurfaceSummary {
+        network: network_name.to_string(),
+        issues,
+        symptom_tickets,
+        modes: mode_rows,
+    }
+}
+
+/// Figure 8: the enterprise network, full sweep.
+pub fn fig8() -> SurfaceSummary {
+    let (net, _, policies) = enterprise();
+    surface_sweep(&net, &policies, 1, "enterprise")
+}
+
+/// Figure 9: the university network. `stride` > 1 samples the sweep.
+pub fn fig9(stride: usize) -> SurfaceSummary {
+    let (net, _, policies) = university();
+    surface_sweep(&net, &policies, stride, "university")
+}
+
+/// Renders a summary as the figure's table.
+pub fn render_surface(s: &SurfaceSummary) -> String {
+    let mut out = format!(
+        "{} — {} interface-down issues ({} symptom tickets, {} link-down alerts)\n",
+        s.network,
+        s.issues,
+        s.symptom_tickets,
+        s.issues - s.symptom_tickets
+    );
+    out.push_str("mode       feasibility%   attack surface% (mean [min..max])\n");
+    for m in &s.modes {
+        out.push_str(&format!(
+            "{:<10} {:>11.1}   {:>6.1} [{:.1}..{:.1}]\n",
+            m.mode, m.feasibility_pct, m.mean_surface_pct, m.min_surface_pct, m.max_surface_pct
+        ));
+    }
+    if let (Some(all), Some(hd)) = (
+        s.modes.iter().find(|m| m.mode == "All"),
+        s.modes.iter().find(|m| m.mode == "Heimdall"),
+    ) {
+        out.push_str(&format!(
+            "Heimdall reduces mean attack surface by {:.1} points vs All\n",
+            all.mean_surface_pct - hd.mean_surface_pct
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "full sweep; run with --release (cargo test --release)"
+    )]
+    fn enterprise_sweep_shape() {
+        let s = fig8();
+        assert!(s.issues >= 25, "one issue per infra interface: {s:?}");
+        assert!(s.symptom_tickets >= 8, "access failures are observable: {s:?}");
+        let by = |m: &str| s.modes.iter().find(|x| x.mode == m).unwrap().clone();
+        let all = by("All");
+        let nbr = by("Neighbor");
+        let hd = by("Heimdall");
+
+        // All is always feasible; Heimdall close; Neighbor below.
+        assert_eq!(all.feasibility_pct, 100.0);
+        assert!(hd.feasibility_pct >= 85.0, "{hd:?}");
+        assert!(nbr.feasibility_pct <= hd.feasibility_pct, "{nbr:?} vs {hd:?}");
+
+        // Attack surface: All >> Neighbor > Heimdall.
+        assert!(all.mean_surface_pct > 80.0, "{all:?}");
+        assert!(hd.mean_surface_pct < nbr.mean_surface_pct, "{hd:?} vs {nbr:?}");
+        assert!(
+            all.mean_surface_pct - hd.mean_surface_pct >= 39.0,
+            "paper: reduction up to ~39 points; got all={:.1} hd={:.1}",
+            all.mean_surface_pct,
+            hd.mean_surface_pct
+        );
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "full sweep; run with --release (cargo test --release)"
+    )]
+    fn university_sampled_sweep_shape() {
+        let s = fig9(12);
+        assert!(s.issues >= 10, "{s:?}");
+        let by = |m: &str| s.modes.iter().find(|x| x.mode == m).unwrap().clone();
+        let all = by("All");
+        let hd = by("Heimdall");
+        assert_eq!(all.feasibility_pct, 100.0);
+        assert!(hd.feasibility_pct >= 80.0, "{hd:?}");
+        assert!(all.mean_surface_pct - hd.mean_surface_pct >= 40.0, "{s:?}");
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "full sweep; run with --release (cargo test --release)"
+    )]
+    fn redundancy_absorbs_most_university_failures() {
+        // Parallel port-channel strands: downing one usually breaks no
+        // policy, so most tickets are link-down alerts.
+        let s = fig9(16);
+        assert!(s.symptom_tickets < s.issues / 2, "{s:?}");
+    }
+
+    #[test]
+    fn render_mentions_reduction() {
+        let mk = |mode: &str, surface: f64| ModeSummary {
+            mode: mode.to_string(),
+            feasibility_pct: 100.0,
+            mean_surface_pct: surface,
+            min_surface_pct: surface,
+            max_surface_pct: surface,
+        };
+        let s = SurfaceSummary {
+            network: "enterprise".to_string(),
+            issues: 5,
+            symptom_tickets: 3,
+            modes: vec![mk("All", 95.0), mk("Neighbor", 40.0), mk("Heimdall", 5.0)],
+        };
+        let text = render_surface(&s);
+        assert!(text.contains("Heimdall reduces mean attack surface by 90.0 points"));
+        assert!(text.contains("All"));
+        assert!(text.contains("Neighbor"));
+        assert!(text.contains("3 symptom tickets, 2 link-down alerts"));
+    }
+}

@@ -1,0 +1,67 @@
+//! # heimdall
+//!
+//! Least privilege for managed network services — a full reproduction of
+//! the HotNets '21 paper "Watching the watchmen" (Liu, Li, Canel, Sekar),
+//! built on an in-process network-simulation stack.
+//!
+//! ## The workflow (Figure 4)
+//!
+//! ```text
+//!  (1) admin/Heimdall derive a Privilege_msp for the ticket
+//!  (2) the technician debugs in an isolated, sanitized twin network,
+//!      every command mediated by a reference monitor
+//!  (3) the resulting change-set is verified against mined network
+//!      policies, scheduled for consistent rollout, applied to
+//!      production, and audit-chained — inside a (simulated) enclave
+//! ```
+//!
+//! [`workflow::run_heimdall`] drives all three steps;
+//! [`workflow::run_current_approach`] is the RMM baseline.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use heimdall::nets::enterprise;
+//! use heimdall_msp::issues::{inject_issue, IssueKind};
+//!
+//! // Healthy production + mined policies.
+//! let (mut production, meta, policies) = enterprise();
+//! // Something breaks.
+//! let issue = inject_issue(&mut production, &meta, IssueKind::AclDeny).unwrap();
+//! // The full Heimdall workflow resolves it.
+//! let run = heimdall::workflow::run_heimdall(&production, &issue, &policies);
+//! assert!(run.resolved && run.outcome.applied());
+//! // Nothing off-slice was exposed, everything is audited.
+//! assert!(run.twin_devices < production.device_count());
+//! assert!(run.audit.verify_chain().is_ok());
+//! ```
+//!
+//! ## Experiments
+//!
+//! Every table and figure of the paper's §5 has a driver in
+//! [`experiments`]: [`experiments::table1`], [`experiments::fig7`],
+//! [`experiments::fig8`], [`experiments::fig9`]. The `heimdall-bench`
+//! crate wraps them in Criterion benches; EXPERIMENTS.md records
+//! paper-vs-measured.
+
+pub mod baselines;
+pub mod emergency;
+pub mod experiments;
+pub mod metrics;
+pub mod nets;
+pub mod translate;
+pub mod workflow;
+
+pub use baselines::AccessMode;
+pub use metrics::{attack_surface, AttackSurface};
+pub use workflow::{run_current_approach, run_heimdall, HeimdallRun};
+
+// Re-export the stack so downstream users need only one dependency.
+pub use heimdall_dataplane as dataplane;
+pub use heimdall_enforcer as enforcer;
+pub use heimdall_msp as msp;
+pub use heimdall_netmodel as netmodel;
+pub use heimdall_privilege as privilege;
+pub use heimdall_routing as routing;
+pub use heimdall_twin as twin;
+pub use heimdall_verify as verify;

@@ -1,0 +1,332 @@
+//! The attack-surface metric of §5:
+//!
+//! ```text
+//! Attack_Surface(%) = ( ΣC_n / ΣA_n · 0.5  +  VP / P · 0.5 ) · 100
+//! ```
+//!
+//! where `C_n`/`A_n` are allowed/available commands on node `n`, `VP` the
+//! number of potentially violated policies, and `P` the number of provided
+//! policies.
+//!
+//! *Available commands* per node are the twelve [`Action`]s. *Potential
+//! policy violations* follow the paper's procedure ("we search all possible
+//! commands on accessible nodes, measure potential policy violations"):
+//! for every allowed mutating action on every accessible node we enumerate
+//! its concrete destructive instantiations (shut each interface, strip each
+//! address, poison each ACL both ways, drop each static route, kill each
+//! routing process, move each access port), apply each candidate alone to a
+//! copy of the network, re-converge, and count the policies that flip from
+//! holding to violated. `VP` is the size of the union. Under Heimdall the
+//! enforcer rejects any change-set that newly violates a policy, so no
+//! candidate can reach production and `VP = 0` by construction.
+
+use heimdall_netmodel::acl::AclEntry;
+use heimdall_netmodel::diff::ConfigChange;
+use heimdall_netmodel::topology::{DeviceIdx, Network};
+use heimdall_netmodel::vlan::SwitchPortMode;
+use heimdall_privilege::eval::{allowed_action_count, is_allowed};
+use heimdall_privilege::model::{Action, PrivilegeMsp, Resource};
+use heimdall_routing::converge;
+use heimdall_verify::checker::check_policies;
+use heimdall_verify::policy::PolicySet;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A computed attack surface.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttackSurface {
+    /// ΣC_n over all nodes.
+    pub allowed_commands: usize,
+    /// ΣA_n over all nodes.
+    pub available_commands: usize,
+    /// VP: policies breakable by some allowed command.
+    pub violable_policies: usize,
+    /// P: provided policies.
+    pub total_policies: usize,
+    /// The weighted percentage.
+    pub percent: f64,
+}
+
+impl AttackSurface {
+    fn compute(allowed: usize, available: usize, vp: usize, p: usize) -> AttackSurface {
+        let cmd_ratio = if available == 0 {
+            0.0
+        } else {
+            allowed as f64 / available as f64
+        };
+        let vp_ratio = if p == 0 { 0.0 } else { vp as f64 / p as f64 };
+        AttackSurface {
+            allowed_commands: allowed,
+            available_commands: available,
+            violable_policies: vp,
+            total_policies: p,
+            percent: (cmd_ratio * 0.5 + vp_ratio * 0.5) * 100.0,
+        }
+    }
+}
+
+/// Computes the attack surface of a privilege specification over a network.
+///
+/// `enforced` = changes must pass Heimdall's policy verifier before
+/// reaching production (true only for the Heimdall mode).
+pub fn attack_surface(
+    net: &Network,
+    policies: &PolicySet,
+    spec: &PrivilegeMsp,
+    enforced: bool,
+) -> AttackSurface {
+    let available = net.device_count() * Action::ALL.len();
+    let allowed: usize = net
+        .devices()
+        .map(|(_, d)| allowed_action_count(spec, &d.name))
+        .sum();
+    let vp = if enforced {
+        0
+    } else {
+        violable_policies(net, policies, spec).len()
+    };
+    AttackSurface::compute(allowed, available, vp, policies.len())
+}
+
+/// The set of policy ids that at least one allowed destructive command can
+/// flip from holding to violated.
+pub fn violable_policies(
+    net: &Network,
+    policies: &PolicySet,
+    spec: &PrivilegeMsp,
+) -> BTreeSet<String> {
+    let base_cp = converge(net);
+    let base = check_policies(net, &base_cp, policies);
+    let holding: BTreeSet<String> = base
+        .results
+        .iter()
+        .filter(|(_, v)| v.holds())
+        .map(|(id, _)| id.clone())
+        .collect();
+    let mut violable: BTreeSet<String> = BTreeSet::new();
+
+    for (di, dev) in net.devices() {
+        if violable.len() == holding.len() {
+            break; // everything breakable already
+        }
+        for change in candidate_changes(net, di, spec) {
+            let mut patched = net.clone();
+            let d = patched
+                .device_by_name_mut(&dev.name)
+                .expect("same network");
+            if change.apply(&mut d.config).is_err() {
+                continue;
+            }
+            let cp = converge(&patched);
+            let rep = check_policies(&patched, &cp, policies);
+            for (id, v) in &rep.results {
+                if !v.holds() && holding.contains(id) {
+                    violable.insert(id.clone());
+                }
+            }
+            if violable.len() == holding.len() {
+                break;
+            }
+        }
+    }
+    violable
+}
+
+/// Concrete destructive instantiations of the actions `spec` allows on one
+/// device.
+fn candidate_changes(net: &Network, di: DeviceIdx, spec: &PrivilegeMsp) -> Vec<ConfigChange> {
+    let dev = net.device(di);
+    let name = dev.name.clone();
+    let allowed = |a: Action| is_allowed(spec, a, &Resource::Device(name.clone()));
+    let allowed_acl = |acl: &str| {
+        is_allowed(
+            spec,
+            Action::ModifyAcl,
+            &Resource::Acl {
+                device: name.clone(),
+                name: acl.to_string(),
+            },
+        )
+    };
+    let allowed_iface = |a: Action, iface: &str| {
+        is_allowed(
+            spec,
+            a,
+            &Resource::Interface {
+                device: name.clone(),
+                iface: iface.to_string(),
+            },
+        )
+    };
+
+    let mut out = Vec::new();
+    for iface in &dev.config.interfaces {
+        if iface.is_up() && allowed_iface(Action::ModifyInterfaceState, &iface.name) {
+            out.push(ConfigChange::SetInterfaceEnabled {
+                device: name.clone(),
+                iface: iface.name.clone(),
+                enabled: false,
+            });
+        }
+        if iface.address.is_some() && allowed_iface(Action::ModifyIpAddress, &iface.name) {
+            out.push(ConfigChange::SetInterfaceAddress {
+                device: name.clone(),
+                iface: iface.name.clone(),
+                address: None,
+            });
+        }
+        if let Some(SwitchPortMode::Access { .. }) = iface.switchport {
+            if allowed_iface(Action::ModifyVlan, &iface.name) {
+                out.push(ConfigChange::SetSwitchport {
+                    device: name.clone(),
+                    iface: iface.name.clone(),
+                    mode: Some(SwitchPortMode::Access { vlan: 4094 }),
+                });
+            }
+        }
+    }
+    for (acl_name, acl) in &dev.config.acls {
+        if allowed_acl(acl_name) {
+            // Poison both ways: block everything / open everything.
+            let mut deny_first = acl.entries.clone();
+            deny_first.insert(0, AclEntry::deny_any());
+            out.push(ConfigChange::ReplaceAcl {
+                device: name.clone(),
+                name: acl_name.clone(),
+                entries: deny_first,
+            });
+            let mut permit_first = acl.entries.clone();
+            permit_first.insert(0, AclEntry::permit_any());
+            out.push(ConfigChange::ReplaceAcl {
+                device: name.clone(),
+                name: acl_name.clone(),
+                entries: permit_first,
+            });
+        }
+    }
+    if allowed(Action::ModifyRoute) {
+        for r in &dev.config.static_routes {
+            out.push(ConfigChange::RemoveStaticRoute {
+                device: name.clone(),
+                route: *r,
+            });
+        }
+    }
+    if dev.config.ospf.is_some() && allowed(Action::ModifyOspf) {
+        out.push(ConfigChange::SetOspf {
+            device: name.clone(),
+            ospf: None,
+        });
+    }
+    if dev.config.bgp.is_some() && allowed(Action::ModifyBgp) {
+        out.push(ConfigChange::SetBgp {
+            device: name.clone(),
+            bgp: None,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::AccessMode;
+    use crate::nets::enterprise;
+    use heimdall_privilege::derive::Task;
+
+    #[test]
+    fn full_access_has_full_command_surface() {
+        let (net, _, policies) = enterprise();
+        let spec = PrivilegeMsp::allow_everything();
+        let s = attack_surface(&net, &policies, &spec, false);
+        assert_eq!(s.allowed_commands, s.available_commands);
+        // Root everywhere can break essentially everything that holds.
+        assert!(s.violable_policies > 15, "{s:?}");
+        assert!(s.percent > 80.0, "{s:?}");
+    }
+
+    #[test]
+    fn empty_spec_has_zero_surface() {
+        let (net, _, policies) = enterprise();
+        let s = attack_surface(&net, &policies, &PrivilegeMsp::new(), false);
+        assert_eq!(s.allowed_commands, 0);
+        assert_eq!(s.violable_policies, 0);
+        assert_eq!(s.percent, 0.0);
+    }
+
+    #[test]
+    fn heimdall_surface_far_below_all() {
+        let (net, _, policies) = enterprise();
+        let task = Task::connectivity("h4", "srv1");
+        let all = attack_surface(
+            &net,
+            &policies,
+            &AccessMode::All.privileges(&net, &task),
+            false,
+        );
+        let hd = attack_surface(
+            &net,
+            &policies,
+            &AccessMode::Heimdall.privileges(&net, &task),
+            true,
+        );
+        assert!(hd.percent < all.percent - 30.0, "all={all:?} hd={hd:?}");
+        assert_eq!(hd.violable_policies, 0, "enforcer guards imports");
+    }
+
+    #[test]
+    fn neighbor_surface_between_zero_and_all() {
+        let (net, _, policies) = enterprise();
+        let task = Task::connectivity("h4", "srv1");
+        let nbr = attack_surface(
+            &net,
+            &policies,
+            &AccessMode::Neighbor.privileges(&net, &task),
+            false,
+        );
+        let all = attack_surface(
+            &net,
+            &policies,
+            &AccessMode::All.privileges(&net, &task),
+            false,
+        );
+        assert!(nbr.percent > 0.0);
+        assert!(nbr.percent < all.percent);
+    }
+
+    #[test]
+    fn violable_detects_shutdown_breakage() {
+        // Allow only ifstate on acc1: shutting its uplink must flip the
+        // LAN1->DMZ reachability policy.
+        let (net, _, policies) = enterprise();
+        let spec = PrivilegeMsp::new().with(heimdall_privilege::model::Predicate::allow(
+            Action::ModifyInterfaceState,
+            heimdall_privilege::model::ResourcePattern::Device("acc1".into()),
+        ));
+        let v = violable_policies(&net, &policies, &spec);
+        assert!(
+            v.iter().any(|id| id.contains("LAN1") && id.contains("DMZ")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn candidates_respect_privileges() {
+        let (net, _, _) = enterprise();
+        let di = net.idx_of("fw1");
+        let none = candidate_changes(&net, di, &PrivilegeMsp::new());
+        assert!(none.is_empty());
+        let all = candidate_changes(&net, di, &PrivilegeMsp::allow_everything());
+        assert!(all.len() > 5);
+        // acl-only spec yields only acl candidates.
+        let acl_only = PrivilegeMsp::new().with(heimdall_privilege::model::Predicate::allow(
+            Action::ModifyAcl,
+            heimdall_privilege::model::ResourcePattern::Device("fw1".into()),
+        ));
+        let cands = candidate_changes(&net, di, &acl_only);
+        assert!(!cands.is_empty());
+        assert!(cands
+            .iter()
+            .all(|c| matches!(c, ConfigChange::ReplaceAcl { .. })));
+    }
+}

@@ -1,0 +1,36 @@
+//! The evaluation networks with their mined policies, ready to use.
+
+use heimdall_netmodel::gen::{enterprise_network, university_network, GenMeta};
+use heimdall_netmodel::topology::Network;
+use heimdall_routing::converge;
+use heimdall_verify::mine::{mine_policies, MinerInput};
+use heimdall_verify::policy::PolicySet;
+
+/// The enterprise evaluation network (Table 1 row 1) with its mined
+/// policy set.
+pub fn enterprise() -> (Network, GenMeta, PolicySet) {
+    let g = enterprise_network();
+    let cp = converge(&g.net);
+    let policies = mine_policies(&g.net, &cp, &MinerInput::from_meta(&g.meta));
+    (g.net, g.meta, policies)
+}
+
+/// The university evaluation network (Table 1 row 2) with its mined
+/// policy set.
+pub fn university() -> (Network, GenMeta, PolicySet) {
+    let g = university_network();
+    let cp = converge(&g.net);
+    let policies = mine_policies(&g.net, &cp, &MinerInput::from_meta(&g.meta));
+    (g.net, g.meta, policies)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_counts_match_table1() {
+        assert_eq!(enterprise().2.len(), 21);
+        assert_eq!(university().2.len(), 175);
+    }
+}

@@ -1,0 +1,193 @@
+//! Translating network policies into the privilege DSL.
+//!
+//! §4.1: "We extend Batfish to take privileges for different network
+//! resources as inputs as well as provide a framework for translating
+//! network policies into our DSL. Thus, the admin can specify both
+//! privileges and network policies using the same interface."
+//!
+//! The translation derives *guardrail* predicates from the mined policy
+//! set: per-device denies that no ticket-scoped grant should ever
+//! override. Two families:
+//!
+//! - **standing guardrails**: credential changes, destructive wipes, and
+//!   reboots are denied per device, network-wide (MSP contracts reserve
+//!   those for the customer's own staff);
+//! - **policy-derived guardrails**: every device that appears as the
+//!   *destination* of an isolation policy (sensitive hosts, locked lab
+//!   machines, the database server) gets `deny(*, host)` — so even a
+//!   technician holding a broad admin-written spec cannot touch the
+//!   assets the network's own specification marks as protected.
+//!
+//! Guardrails are *appended* to a specification ([`harden`]); because they
+//! are device-specific they out-rank broad allows at evaluation time, and
+//! because deny wins ties they out-rank equally-specific allows.
+
+use heimdall_netmodel::device::DeviceKind;
+use heimdall_netmodel::topology::Network;
+use heimdall_privilege::model::{Action, Predicate, PrivilegeMsp, ResourcePattern};
+use heimdall_verify::policy::{Policy, PolicyEndpoint, PolicySet};
+use std::collections::BTreeSet;
+
+/// Actions an MSP technician may never perform, per standing contract.
+pub const RESERVED_ACTIONS: [Action; 3] =
+    [Action::ModifyCredentials, Action::Erase, Action::Reboot];
+
+/// Per-device denies of the reserved actions, across the whole network.
+pub fn standing_guardrails(net: &Network) -> Vec<Predicate> {
+    let mut out = Vec::new();
+    for (_, d) in net.devices() {
+        for a in RESERVED_ACTIONS {
+            out.push(Predicate::deny(a, ResourcePattern::Device(d.name.clone())));
+        }
+    }
+    out
+}
+
+/// Devices that isolation policies designate as protected destinations.
+pub fn protected_hosts(net: &Network, policies: &PolicySet) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for p in &policies.policies {
+        let Policy::Isolation { dst, .. } = p else { continue };
+        match dst {
+            PolicyEndpoint::Host(h) => {
+                out.insert(h.clone());
+            }
+            PolicyEndpoint::Subnet { prefix, .. } => {
+                for (_, d) in net.devices() {
+                    if d.kind == DeviceKind::Host
+                        && d.primary_address().map(|a| prefix.contains(a)).unwrap_or(false)
+                    {
+                        out.insert(d.name.clone());
+                    }
+                }
+            }
+            PolicyEndpoint::Addr(a) => {
+                if let Some(i) = net.owner_of(*a) {
+                    out.insert(net.device(i).name.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Per-action denies for every protected host, except those the current
+/// ticket is explicitly about (a ticket *about* a protected asset still
+/// needs view/ping on it; the admin saw the ticket).
+///
+/// One deny per concrete action (not `deny(*, host)`): a concrete-action
+/// predicate out-ranks a wildcard at equal resource specificity, so this
+/// is the only shape that reliably dominates action-specific allows.
+pub fn policy_guardrails(
+    net: &Network,
+    policies: &PolicySet,
+    exempt: &[String],
+) -> Vec<Predicate> {
+    let mut out = Vec::new();
+    for h in protected_hosts(net, policies) {
+        if exempt.contains(&h) {
+            continue;
+        }
+        for a in Action::ALL {
+            out.push(Predicate::deny(a, ResourcePattern::Device(h.clone())));
+        }
+    }
+    out
+}
+
+/// Appends both guardrail families to a specification.
+pub fn harden(
+    mut spec: PrivilegeMsp,
+    net: &Network,
+    policies: &PolicySet,
+    exempt: &[String],
+) -> PrivilegeMsp {
+    spec.predicates.extend(standing_guardrails(net));
+    spec.predicates.extend(policy_guardrails(net, policies, exempt));
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nets::{enterprise, university};
+    use heimdall_privilege::eval::is_allowed;
+    use heimdall_privilege::model::Resource;
+
+    #[test]
+    fn standing_guardrails_beat_broad_allows() {
+        let (net, _, policies) = enterprise();
+        // An admin hands out a sloppy "everything on fw1" spec...
+        let spec = PrivilegeMsp::new().with(Predicate::allow_all(ResourcePattern::Device(
+            "fw1".to_string(),
+        )));
+        assert!(is_allowed(&spec, Action::ModifyCredentials, &Resource::Device("fw1".into())));
+        // ...hardening closes the reserved actions without touching the rest.
+        let hardened = harden(spec, &net, &policies, &[]);
+        let fw1 = Resource::Device("fw1".to_string());
+        assert!(!is_allowed(&hardened, Action::ModifyCredentials, &fw1));
+        assert!(!is_allowed(&hardened, Action::Erase, &fw1));
+        assert!(!is_allowed(&hardened, Action::Reboot, &fw1));
+        assert!(is_allowed(&hardened, Action::ModifyAcl, &fw1));
+        assert!(is_allowed(&hardened, Action::View, &fw1));
+    }
+
+    #[test]
+    fn isolation_destinations_become_protected() {
+        let (net, _, policies) = enterprise();
+        let protected = protected_hosts(&net, &policies);
+        // LAN-lockdown isolation policies cover every client host; the
+        // sensitive host h7 is among them.
+        assert!(protected.contains("h7"), "{protected:?}");
+        // The DMZ server is a *reachability* destination, never isolation.
+        assert!(!protected.contains("srv1"), "{protected:?}");
+    }
+
+    #[test]
+    fn university_protects_the_locked_hosts() {
+        let (net, _, policies) = university();
+        let protected = protected_hosts(&net, &policies);
+        for h in ["db", "cs-h3", "ee-h2", "li-h2"] {
+            assert!(protected.contains(h), "{h} missing from {protected:?}");
+        }
+        assert!(!protected.contains("www"));
+    }
+
+    #[test]
+    fn guardrails_do_not_break_derived_workflows() {
+        // The full workflow with hardened specs must still resolve every
+        // issue (derived specs never granted reserved actions anyway).
+        use heimdall_msp::issues::{inject_issue, IssueKind};
+        let (net, meta, policies) = enterprise();
+        for kind in [IssueKind::Vlan, IssueKind::Ospf, IssueKind::Isp, IssueKind::AclDeny] {
+            let mut broken = net.clone();
+            let issue = inject_issue(&mut broken, &meta, kind).expect("issue");
+            let task = heimdall_privilege::derive::Task {
+                kind: issue.task_kind,
+                affected: issue.affected.clone(),
+            };
+            let spec = heimdall_privilege::derive::derive_privileges(&broken, &task);
+            let hardened = harden(spec, &broken, &policies, &issue.affected);
+            let twin = heimdall_twin::slice::slice_for_task(&broken, &task);
+            let mut s = heimdall_twin::session::TwinSession::open("t", twin, hardened);
+            for (d, c) in &issue.fix {
+                s.exec(d, c).unwrap_or_else(|e| panic!("{kind:?}: {d}: {c}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn exemption_keeps_ticket_subjects_reachable() {
+        let (net, _, policies) = enterprise();
+        let spec = PrivilegeMsp::new().with(Predicate::allow(
+            Action::View,
+            ResourcePattern::Device("h7".to_string()),
+        ));
+        // Without exemption, the guardrail closes h7 entirely.
+        let closed = harden(spec.clone(), &net, &policies, &[]);
+        assert!(!is_allowed(&closed, Action::View, &Resource::Device("h7".into())));
+        // Exempting the ticket subject preserves the grant.
+        let open = harden(spec, &net, &policies, &["h7".to_string()]);
+        assert!(is_allowed(&open, Action::View, &Resource::Device("h7".into())));
+    }
+}

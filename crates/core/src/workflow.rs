@@ -1,0 +1,198 @@
+//! The end-to-end Heimdall workflow (Figure 4) and the current-approach
+//! baseline it is compared against.
+
+use heimdall_enforcer::audit::AuditLog;
+use heimdall_enforcer::pipeline::{EnforcerOutcome, EnforcerPipeline};
+use heimdall_enforcer::enclave::Platform;
+use heimdall_msp::issues::Issue;
+use heimdall_msp::rmm::RmmSession;
+use heimdall_msp::technician::ScriptedTechnician;
+use heimdall_netmodel::l2::svi_vlan;
+use heimdall_netmodel::topology::Network;
+use heimdall_privilege::derive::derive_privileges;
+use heimdall_routing::converge;
+use heimdall_twin::session::TwinSession;
+use heimdall_twin::slice::slice_for_task;
+use heimdall_verify::policy::PolicySet;
+use std::time::Instant;
+
+/// The result of one Heimdall engagement.
+#[derive(Debug)]
+pub struct HeimdallRun {
+    /// Whether the issue's probe works in the updated production network.
+    pub resolved: bool,
+    /// The enforcer's outcome (verdict, schedule, updated production).
+    pub outcome: EnforcerOutcome,
+    /// The tamper-evident audit log of the engagement.
+    pub audit: AuditLog,
+    /// Sizing facts the Figure 7 time model consumes.
+    pub predicates: usize,
+    pub twin_devices: usize,
+    pub twin_l2_devices: usize,
+    pub changes: usize,
+    pub commands: usize,
+    /// Commands the reference monitor denied.
+    pub denials: usize,
+    /// Actual wall-clock of the whole engagement (simulator time).
+    pub wall: std::time::Duration,
+}
+
+/// Runs the full three-step Heimdall workflow for an issue on (broken)
+/// production, replaying the issue's prepared fix commands.
+pub fn run_heimdall(production: &Network, issue: &Issue, policies: &PolicySet) -> HeimdallRun {
+    let start = Instant::now();
+    let task = heimdall_privilege::derive::Task {
+        kind: issue.task_kind,
+        affected: issue.affected.clone(),
+    };
+
+    // Step 1: derive the Privilege_msp.
+    let spec = derive_privileges(production, &task);
+    let predicates = spec.len();
+
+    // Step 2: task-driven twin + mediated session.
+    let twin = slice_for_task(production, &task);
+    let twin_devices = twin.net.device_count();
+    let twin_l2_devices = twin
+        .net
+        .devices()
+        .filter(|(_, d)| {
+            d.config.interfaces.iter().any(|i| {
+                i.switchport.is_some() || svi_vlan(&i.name).is_some()
+            })
+        })
+        .count();
+    let mut session = TwinSession::open("technician", twin, spec.clone());
+    let tech = ScriptedTechnician::new("technician", issue.fix.clone());
+    let results = tech.run_twin(&mut session);
+    let denials = results.iter().filter(|r| r.is_err()).count();
+    let commands = session.commands_run();
+    let (diff, _monitor) = session.finish();
+    let changes = diff.len();
+
+    // Step 3: verify, schedule, apply, audit — inside the enclave.
+    let platform = Platform::new("heimdall-host");
+    let mut pipeline = EnforcerPipeline::launch(&platform);
+    let outcome = pipeline.process("technician", production, &diff, policies, &spec);
+    let audit = pipeline.audit().clone();
+
+    // Did the fix actually land and resolve the symptom?
+    let resolved = match &outcome.updated_production {
+        Some(updated) => probe_ok(updated, issue),
+        None => false,
+    };
+
+    HeimdallRun {
+        resolved,
+        outcome,
+        audit,
+        predicates,
+        twin_devices,
+        twin_l2_devices,
+        changes,
+        commands,
+        denials,
+        wall: start.elapsed(),
+    }
+}
+
+/// The current approach: direct RMM root on production.
+#[derive(Debug)]
+pub struct CurrentRun {
+    pub resolved: bool,
+    pub production: Network,
+    pub commands: usize,
+    pub wall: std::time::Duration,
+}
+
+/// Replays the prepared fix over an RMM session (no mediation, no
+/// verification — changes land live).
+pub fn run_current_approach(production: &Network, issue: &Issue) -> CurrentRun {
+    let start = Instant::now();
+    let mut session = RmmSession::login(production.clone());
+    let tech = ScriptedTechnician::new("technician", issue.fix.clone());
+    let outputs = tech.run_rmm(&mut session);
+    let production = session.logout();
+    let resolved = probe_ok(&production, issue);
+    CurrentRun {
+        resolved,
+        production,
+        commands: outputs.len(),
+        wall: start.elapsed(),
+    }
+}
+
+/// Whether the issue's probe succeeds on a network.
+pub fn probe_ok(net: &Network, issue: &Issue) -> bool {
+    let Ok(src) = net.idx(&issue.probe.0) else {
+        return false;
+    };
+    let Some(src_ip) = net.device_by_name(&issue.probe.0).and_then(|d| d.primary_address()) else {
+        return false;
+    };
+    let cp = converge(net);
+    let dp = heimdall_dataplane::DataPlane::new(net, &cp);
+    dp.reachable(src, &heimdall_dataplane::Flow::icmp(src_ip, issue.probe.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nets::enterprise;
+    use heimdall_msp::issues::{inject_issue, IssueKind};
+
+    fn broken(kind: IssueKind) -> (Network, Issue, PolicySet) {
+        let (net, meta, policies) = enterprise();
+        let mut broken = net;
+        let issue = inject_issue(&mut broken, &meta, kind).expect("issue exists");
+        (broken, issue, policies)
+    }
+
+    #[test]
+    fn heimdall_resolves_every_enterprise_issue() {
+        for kind in [IssueKind::Vlan, IssueKind::Ospf, IssueKind::Isp, IssueKind::AclDeny] {
+            let (net, issue, policies) = broken(kind);
+            assert!(!probe_ok(&net, &issue), "{kind:?} starts broken");
+            let run = run_heimdall(&net, &issue, &policies);
+            assert!(run.resolved, "{kind:?}: {:?}", run.outcome.report);
+            assert!(run.outcome.applied());
+            assert_eq!(run.denials, 0, "{kind:?}: prepared list is in-privilege");
+            assert!(run.audit.verify_chain().is_ok());
+            assert!(run.twin_devices < 18, "{kind:?} sliced");
+            assert!(run.changes >= 1);
+        }
+    }
+
+    #[test]
+    fn current_approach_resolves_too() {
+        for kind in [IssueKind::Vlan, IssueKind::Ospf, IssueKind::Isp, IssueKind::AclDeny] {
+            let (net, issue, _) = broken(kind);
+            let run = run_current_approach(&net, &issue);
+            assert!(run.resolved, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn twin_sizes_vary_by_issue() {
+        let (net_isp, isp, p) = broken(IssueKind::Isp);
+        let (net_vlan, vlan, _) = broken(IssueKind::Vlan);
+        let run_isp = run_heimdall(&net_isp, &isp, &p);
+        let run_vlan = run_heimdall(&net_vlan, &vlan, &p);
+        assert!(
+            run_isp.twin_devices < run_vlan.twin_devices,
+            "isp {} vs vlan {}",
+            run_isp.twin_devices,
+            run_vlan.twin_devices
+        );
+        assert_eq!(run_vlan.twin_l2_devices, 1, "acc3 is the L2 node");
+        assert_eq!(run_isp.twin_l2_devices, 0);
+    }
+
+    #[test]
+    fn heimdall_rollout_schedules_changes() {
+        let (net, issue, policies) = broken(IssueKind::Isp);
+        let run = run_heimdall(&net, &issue, &policies);
+        let plan = run.outcome.schedule.expect("accepted => scheduled");
+        assert_eq!(plan.steps.len(), run.changes);
+    }
+}

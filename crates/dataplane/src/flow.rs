@@ -1,0 +1,110 @@
+//! Flows: the 5-tuple abstraction traced through the network.
+
+use heimdall_netmodel::acl::Proto;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A concrete flow (5-tuple). Policy probes default to TCP/80 — the paper's
+/// canonical ticket is "a web service running on server H cannot receive
+/// packets".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Flow {
+    pub proto: Proto,
+    pub src: Ipv4Addr,
+    pub dst: Ipv4Addr,
+    pub src_port: u16,
+    pub dst_port: u16,
+}
+
+impl Flow {
+    /// The canonical verification probe: TCP from an ephemeral port to :80.
+    pub fn probe(src: Ipv4Addr, dst: Ipv4Addr) -> Flow {
+        Flow {
+            proto: Proto::Tcp,
+            src,
+            dst,
+            src_port: 49152,
+            dst_port: 80,
+        }
+    }
+
+    /// An ICMP echo flow (what `ping` traces).
+    pub fn icmp(src: Ipv4Addr, dst: Ipv4Addr) -> Flow {
+        Flow {
+            proto: Proto::Icmp,
+            src,
+            dst,
+            src_port: 0,
+            dst_port: 0,
+        }
+    }
+
+    /// A TCP flow to a specific destination port.
+    pub fn tcp(src: Ipv4Addr, dst: Ipv4Addr, dst_port: u16) -> Flow {
+        Flow {
+            proto: Proto::Tcp,
+            src,
+            dst,
+            src_port: 49152,
+            dst_port,
+        }
+    }
+
+    /// The reverse flow (swapped endpoints and ports).
+    pub fn reversed(&self) -> Flow {
+        Flow {
+            proto: self.proto,
+            src: self.dst,
+            dst: self.src,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+        }
+    }
+}
+
+impl fmt::Display for Flow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.proto {
+            Proto::Icmp => write!(f, "icmp {} -> {}", self.src, self.dst),
+            p => write!(
+                f,
+                "{} {}:{} -> {}:{}",
+                p.keyword(),
+                self.src,
+                self.src_port,
+                self.dst,
+                self.dst_port
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_is_tcp_80() {
+        let f = Flow::probe("1.1.1.1".parse().unwrap(), "2.2.2.2".parse().unwrap());
+        assert_eq!(f.proto, Proto::Tcp);
+        assert_eq!(f.dst_port, 80);
+    }
+
+    #[test]
+    fn reversed_swaps() {
+        let f = Flow::tcp("1.1.1.1".parse().unwrap(), "2.2.2.2".parse().unwrap(), 443);
+        let r = f.reversed();
+        assert_eq!(r.src, f.dst);
+        assert_eq!(r.dst_port, f.src_port);
+        assert_eq!(r.reversed(), f);
+    }
+
+    #[test]
+    fn display_forms() {
+        let f = Flow::icmp("1.1.1.1".parse().unwrap(), "2.2.2.2".parse().unwrap());
+        assert_eq!(f.to_string(), "icmp 1.1.1.1 -> 2.2.2.2");
+        let f = Flow::probe("1.1.1.1".parse().unwrap(), "2.2.2.2".parse().unwrap());
+        assert_eq!(f.to_string(), "tcp 1.1.1.1:49152 -> 2.2.2.2:80");
+    }
+}

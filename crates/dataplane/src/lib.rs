@@ -1,0 +1,35 @@
+//! # heimdall-dataplane
+//!
+//! Data-plane simulation over a converged control plane: hop-by-hop flow
+//! tracing with Batfish-style dispositions.
+//!
+//! Given a [`heimdall_routing::ControlPlane`], [`DataPlane::trace`] walks a
+//! flow from its source device: FIB longest-prefix match, egress ACL,
+//! L2-domain delivery to the next hop (which is where VLAN mismatches and
+//! down links bite), ingress ACL, repeat — until the flow is `Delivered`,
+//! `ExitsNetwork`, or dies with a diagnosable disposition. Multipath
+//! ([`DataPlane::trace_all`]) explores every ECMP branch; *reachability* is
+//! defined as "every branch delivers", which is the strong form policy
+//! verification wants.
+//!
+//! ```
+//! use heimdall_dataplane::{DataPlane, Flow};
+//!
+//! let g = heimdall_netmodel::gen::enterprise_network();
+//! let cp = heimdall_routing::converge(&g.net);
+//! let dp = DataPlane::new(&g.net, &cp);
+//!
+//! let flow = Flow::probe("10.1.1.10".parse().unwrap(), "10.2.1.10".parse().unwrap());
+//! let trace = dp.trace(g.net.idx_of("h1"), &flow);
+//! assert!(trace.disposition.is_success());
+//! // The path crosses the firewall guarding the DMZ.
+//! assert!(trace.hops.iter().any(|h| h.device == "fw1"));
+//! ```
+
+pub mod flow;
+pub mod reach;
+pub mod trace;
+
+pub use flow::Flow;
+pub use reach::{reach_matrix, ReachMatrix};
+pub use trace::{DataPlane, Disposition, Hop, Trace};

@@ -1,0 +1,138 @@
+//! Reachability matrices: all-pairs host reachability, the raw material the
+//! policy miner (config2spec analog) and the attack-surface metric consume.
+
+use crate::flow::Flow;
+use crate::trace::DataPlane;
+use heimdall_netmodel::topology::DeviceIdx;
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// Directed reachability between named endpoints.
+#[derive(Debug, Clone, Default)]
+pub struct ReachMatrix {
+    /// `(src, dst) -> reachable` for every probed ordered pair.
+    pub pairs: BTreeMap<(String, String), bool>,
+}
+
+impl ReachMatrix {
+    /// Whether `src` can reach `dst` (false if the pair was not probed).
+    pub fn reachable(&self, src: &str, dst: &str) -> bool {
+        self.pairs.get(&(src.to_string(), dst.to_string())).copied().unwrap_or(false)
+    }
+
+    /// Number of reachable ordered pairs.
+    pub fn reachable_count(&self) -> usize {
+        self.pairs.values().filter(|v| **v).count()
+    }
+
+    /// Total probed pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether nothing was probed.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Pairs that differ between two matrices (same probe set assumed):
+    /// `(src, dst, before, after)`.
+    pub fn diff(&self, other: &ReachMatrix) -> Vec<(String, String, bool, bool)> {
+        let mut out = Vec::new();
+        for (k, v) in &self.pairs {
+            let w = other.pairs.get(k).copied().unwrap_or(false);
+            if *v != w {
+                out.push((k.0.clone(), k.1.clone(), *v, w));
+            }
+        }
+        out
+    }
+}
+
+/// Probes every ordered pair of `endpoints` (device index, primary address,
+/// name triples) with the canonical TCP/80 probe. Same-device pairs are
+/// skipped.
+pub fn reach_matrix(dp: &DataPlane<'_>, endpoints: &[(DeviceIdx, Ipv4Addr, String)]) -> ReachMatrix {
+    let mut m = ReachMatrix::default();
+    for (si, sip, sname) in endpoints {
+        for (di, dip, dname) in endpoints {
+            if si == di {
+                continue;
+            }
+            let flow = Flow::probe(*sip, *dip);
+            m.pairs
+                .insert((sname.clone(), dname.clone()), dp.reachable(*si, &flow));
+        }
+    }
+    m
+}
+
+/// Convenience: endpoint triples for every host in the network.
+pub fn host_endpoints(
+    net: &heimdall_netmodel::topology::Network,
+) -> Vec<(DeviceIdx, Ipv4Addr, String)> {
+    net.devices()
+        .filter(|(_, d)| d.kind == heimdall_netmodel::device::DeviceKind::Host)
+        .filter_map(|(i, d)| d.primary_address().map(|a| (i, a, d.name.clone())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_netmodel::gen::enterprise_network;
+    use heimdall_routing::converge;
+
+    #[test]
+    fn enterprise_matrix_shape() {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        let dp = DataPlane::new(&g.net, &cp);
+        let eps = host_endpoints(&g.net);
+        assert_eq!(eps.len(), 9);
+        let m = reach_matrix(&dp, &eps);
+        assert_eq!(m.len(), 72); // 9 * 8 ordered pairs
+        // Intra-LAN always works; cross-LAN tcp is locked down; DMZ open.
+        assert!(m.reachable("h1", "h2"));
+        assert!(m.reachable("h2", "h1"));
+        assert!(!m.reachable("h1", "h4"));
+        assert!(m.reachable("h1", "srv1"));
+        assert!(m.reachable("h4", "srv1"));
+        assert!(m.reachable("h7", "srv1"));
+        assert!(m.reachable("h8", "srv1"));
+        assert!(!m.reachable("srv1", "h1"));
+    }
+
+    #[test]
+    fn expected_reachable_count_for_enterprise() {
+        // Design target (see DESIGN.md): intra-LAN pairs (6+6+2) + all 8
+        // clients -> srv1 = 22 reachable ordered pairs.
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        let dp = DataPlane::new(&g.net, &cp);
+        let m = reach_matrix(&dp, &host_endpoints(&g.net));
+        assert_eq!(m.reachable_count(), 22, "matrix: {:#?}", m.pairs);
+    }
+
+    #[test]
+    fn diff_detects_changes() {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        let dp = DataPlane::new(&g.net, &cp);
+        let eps = host_endpoints(&g.net);
+        let before = reach_matrix(&dp, &eps);
+
+        let mut net2 = g.net.clone();
+        // Break the fw1 DMZ permit for LAN2.
+        let fw1 = net2.device_by_name_mut("fw1").unwrap();
+        let acl = fw1.config.acls.get_mut("100").unwrap();
+        acl.entries.remove(1);
+        let cp2 = converge(&net2);
+        let dp2 = DataPlane::new(&net2, &cp2);
+        let after = reach_matrix(&dp2, &eps);
+
+        let d = before.diff(&after);
+        assert_eq!(d.len(), 3, "h4,h5,h6 -> srv1 flip: {d:?}");
+        assert!(d.iter().all(|(_, dst, was, now)| dst == "srv1" && *was && !*now));
+    }
+}

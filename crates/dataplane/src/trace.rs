@@ -1,0 +1,614 @@
+//! Hop-by-hop flow tracing: the engine behind `ping`/`traceroute` in the
+//! twin consoles and behind every policy verification.
+
+use crate::flow::Flow;
+use heimdall_netmodel::acl::AclAction;
+use heimdall_netmodel::ip::Prefix;
+use heimdall_netmodel::topology::{DeviceIdx, Network};
+use heimdall_routing::fib::NULL_IFACE;
+use heimdall_routing::ControlPlane;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// How a traced flow ended.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Disposition {
+    /// Reached a device owning the destination address.
+    Delivered { device: String },
+    /// Forwarded out an edge toward a destination outside the modeled
+    /// address space (assumed carried onward by the provider).
+    ExitsNetwork { device: String, iface: String },
+    /// Dropped by an inbound ACL.
+    DeniedIn { device: String, acl: String, line: usize },
+    /// Dropped by an outbound ACL.
+    DeniedOut { device: String, acl: String, line: usize },
+    /// No FIB entry matched.
+    NoRoute { device: String },
+    /// Matched a discard (Null0) route.
+    NullRouted { device: String },
+    /// The next hop (or the destination itself) is on a connected subnet
+    /// but no live endpoint answers there — down link, missing host, or
+    /// VLAN mismatch.
+    NeighborUnreachable { device: String, iface: String },
+    /// Forwarding revisited a device (routing loop).
+    Loop { device: String },
+}
+
+impl Disposition {
+    /// Whether the flow got where it was going.
+    pub fn is_success(&self) -> bool {
+        matches!(
+            self,
+            Disposition::Delivered { .. } | Disposition::ExitsNetwork { .. }
+        )
+    }
+
+    /// The device where the flow ended.
+    pub fn device(&self) -> &str {
+        match self {
+            Disposition::Delivered { device }
+            | Disposition::ExitsNetwork { device, .. }
+            | Disposition::DeniedIn { device, .. }
+            | Disposition::DeniedOut { device, .. }
+            | Disposition::NoRoute { device }
+            | Disposition::NullRouted { device }
+            | Disposition::NeighborUnreachable { device, .. }
+            | Disposition::Loop { device } => device,
+        }
+    }
+}
+
+impl fmt::Display for Disposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Disposition::Delivered { device } => write!(f, "delivered at {device}"),
+            Disposition::ExitsNetwork { device, iface } => {
+                write!(f, "exits network at {device} via {iface}")
+            }
+            Disposition::DeniedIn { device, acl, line } => {
+                write!(f, "denied inbound at {device} by acl {acl} line {line}")
+            }
+            Disposition::DeniedOut { device, acl, line } => {
+                write!(f, "denied outbound at {device} by acl {acl} line {line}")
+            }
+            Disposition::NoRoute { device } => write!(f, "no route at {device}"),
+            Disposition::NullRouted { device } => write!(f, "null-routed at {device}"),
+            Disposition::NeighborUnreachable { device, iface } => {
+                write!(f, "neighbor unreachable at {device} via {iface}")
+            }
+            Disposition::Loop { device } => write!(f, "forwarding loop at {device}"),
+        }
+    }
+}
+
+/// One hop in a trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hop {
+    pub device: String,
+    pub in_iface: Option<String>,
+    pub out_iface: Option<String>,
+}
+
+/// A complete path taken by (one ECMP branch of) a flow.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    pub flow: Flow,
+    pub hops: Vec<Hop>,
+    pub disposition: Disposition,
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "flow {}", self.flow)?;
+        for (i, h) in self.hops.iter().enumerate() {
+            let inn = h.in_iface.as_deref().unwrap_or("-");
+            let out = h.out_iface.as_deref().unwrap_or("-");
+            writeln!(f, "  {:>2}. {} (in {inn}, out {out})", i + 1, h.device)?;
+        }
+        write!(f, "  => {}", self.disposition)
+    }
+}
+
+/// The data plane: a network plus its converged control plane.
+pub struct DataPlane<'a> {
+    pub net: &'a Network,
+    pub cp: &'a ControlPlane,
+    /// Union of every interface subnet: the modeled address space, used to
+    /// distinguish `ExitsNetwork` from `NeighborUnreachable`.
+    internal: Vec<Prefix>,
+    /// L3 endpoints per broadcast domain (precomputed: next-hop delivery is
+    /// the hot path of every trace).
+    domain_endpoints: HashMap<usize, Vec<(DeviceIdx, String)>>,
+    /// Addresses owned per device.
+    device_addrs: HashMap<DeviceIdx, HashSet<Ipv4Addr>>,
+}
+
+/// One pending branch during multipath exploration: the device the packet
+/// is at, the interface it arrived on, the hops so far, and the devices
+/// already visited on this branch.
+type Branch = (DeviceIdx, Option<String>, Vec<Hop>, HashSet<DeviceIdx>);
+
+/// Maximum hops before declaring a loop (defense in depth beyond the
+/// visited-set check).
+const MAX_HOPS: usize = 64;
+/// Cap on explored ECMP branches per flow.
+const MAX_BRANCHES: usize = 64;
+
+impl<'a> DataPlane<'a> {
+    /// Wraps a network and its converged control plane.
+    pub fn new(net: &'a Network, cp: &'a ControlPlane) -> Self {
+        let mut internal: Vec<Prefix> = net
+            .devices()
+            .flat_map(|(_, d)| d.config.interfaces.iter().filter_map(|i| i.subnet()))
+            .collect();
+        internal.sort();
+        internal.dedup();
+        let mut domain_endpoints: HashMap<usize, Vec<(DeviceIdx, String)>> = HashMap::new();
+        let mut device_addrs: HashMap<DeviceIdx, HashSet<Ipv4Addr>> = HashMap::new();
+        for (di, dev) in net.devices() {
+            for iface in &dev.config.interfaces {
+                let Some(a) = iface.address else { continue };
+                if !iface.is_up() {
+                    continue;
+                }
+                device_addrs.entry(di).or_default().insert(a.ip);
+                if let Some(dom) = cp.l2.domain(di, &iface.name) {
+                    domain_endpoints
+                        .entry(dom)
+                        .or_default()
+                        .push((di, iface.name.clone()));
+                }
+            }
+        }
+        DataPlane {
+            net,
+            cp,
+            internal,
+            domain_endpoints,
+            device_addrs,
+        }
+    }
+
+    /// The L3 endpoint on `(cur, out_iface)`'s broadcast domain whose device
+    /// owns `target`, if any.
+    fn deliver_to(&self, cur: DeviceIdx, out_iface: &str, target: Ipv4Addr) -> Option<(DeviceIdx, String)> {
+        let dom = self.cp.l2.domain(cur, out_iface)?;
+        self.domain_endpoints
+            .get(&dom)?
+            .iter()
+            .find(|(pd, pif)| {
+                !(*pd == cur && pif == out_iface)
+                    && self
+                        .device_addrs
+                        .get(pd)
+                        .map(|s| s.contains(&target))
+                        .unwrap_or(false)
+            })
+            .cloned()
+    }
+
+    fn is_internal(&self, ip: Ipv4Addr) -> bool {
+        self.internal.iter().any(|p| p.contains(ip))
+    }
+
+    /// Traces the flow from `src`, following the lowest-ranked next hop at
+    /// each ECMP point (the path a `traceroute` would display).
+    pub fn trace(&self, src: DeviceIdx, flow: &Flow) -> Trace {
+        self.trace_branches(src, flow, false)
+            .into_iter()
+            .next()
+            .expect("at least one branch")
+    }
+
+    /// Traces every ECMP branch. A flow is *reachable* iff every branch
+    /// succeeds (see [`DataPlane::reachable`]).
+    pub fn trace_all(&self, src: DeviceIdx, flow: &Flow) -> Vec<Trace> {
+        self.trace_branches(src, flow, true)
+    }
+
+    /// Strong reachability: at least one branch, and all branches succeed.
+    pub fn reachable(&self, src: DeviceIdx, flow: &Flow) -> bool {
+        let ts = self.trace_all(src, flow);
+        !ts.is_empty() && ts.iter().all(|t| t.disposition.is_success())
+    }
+
+    fn trace_branches(&self, src: DeviceIdx, flow: &Flow, multipath: bool) -> Vec<Trace> {
+        let mut done = Vec::new();
+        let mut stack: Vec<Branch> = vec![(src, None, Vec::new(), HashSet::new())];
+        while let Some((cur, in_iface, hops, visited)) = stack.pop() {
+            if done.len() >= MAX_BRANCHES {
+                break;
+            }
+            self.step(cur, in_iface, hops, visited, flow, multipath, &mut stack, &mut done);
+        }
+        done
+    }
+
+    /// Executes one device's worth of forwarding for a branch.
+    #[allow(clippy::too_many_arguments)]
+    fn step(
+        &self,
+        cur: DeviceIdx,
+        in_iface: Option<String>,
+        mut hops: Vec<Hop>,
+        mut visited: HashSet<DeviceIdx>,
+        flow: &Flow,
+        multipath: bool,
+        stack: &mut Vec<Branch>,
+        done: &mut Vec<Trace>,
+    ) {
+        let dev = self.net.device(cur);
+        let name = dev.name.clone();
+        let mut finish = |hops: Vec<Hop>, d: Disposition| {
+            done.push(Trace {
+                flow: *flow,
+                hops,
+                disposition: d,
+            });
+        };
+
+        // Loop detection.
+        if !visited.insert(cur) || hops.len() >= MAX_HOPS {
+            finish(hops, Disposition::Loop { device: name });
+            return;
+        }
+
+        // Ingress ACL (not applied at the originating device).
+        if let Some(inn) = &in_iface {
+            if let Some(acl_name) = dev.config.interface(inn).and_then(|i| i.acl_in.clone()) {
+                if let Some(acl) = dev.config.acls.get(&acl_name) {
+                    let hit = acl.first_match(flow.proto, flow.src, flow.dst, flow.src_port, flow.dst_port);
+                    let denied = match hit {
+                        Some(i) => acl.entries[i].action == AclAction::Deny,
+                        None => true, // implicit deny
+                    };
+                    if denied {
+                        hops.push(Hop {
+                            device: name.clone(),
+                            in_iface: in_iface.clone(),
+                            out_iface: None,
+                        });
+                        finish(
+                            hops,
+                            Disposition::DeniedIn {
+                                device: name,
+                                acl: acl_name,
+                                line: hit.map(|i| i + 1).unwrap_or(acl.entries.len() + 1),
+                            },
+                        );
+                        return;
+                    }
+                }
+            }
+        }
+
+        // Local delivery?
+        if dev.addresses().contains(&flow.dst) {
+            hops.push(Hop {
+                device: name.clone(),
+                in_iface,
+                out_iface: None,
+            });
+            finish(hops, Disposition::Delivered { device: name });
+            return;
+        }
+
+        // FIB lookup.
+        let fib = self.cp.fib(cur);
+        let Some((_, entries)) = fib.lookup(flow.dst) else {
+            hops.push(Hop {
+                device: name.clone(),
+                in_iface,
+                out_iface: None,
+            });
+            finish(hops, Disposition::NoRoute { device: name });
+            return;
+        };
+        let chosen: Vec<_> = if multipath {
+            entries.iter().collect()
+        } else {
+            entries.iter().take(1).collect()
+        };
+
+        for entry in chosen {
+            let mut hops = hops.clone();
+            let visited = visited.clone();
+            let out_iface = entry.iface.clone();
+
+            if out_iface == NULL_IFACE {
+                hops.push(Hop {
+                    device: name.clone(),
+                    in_iface: in_iface.clone(),
+                    out_iface: Some(out_iface),
+                });
+                finish(hops, Disposition::NullRouted { device: name.clone() });
+                continue;
+            }
+
+            // Egress ACL.
+            if let Some(acl_name) = dev
+                .config
+                .interface(&out_iface)
+                .and_then(|i| i.acl_out.clone())
+            {
+                if let Some(acl) = dev.config.acls.get(&acl_name) {
+                    let hit = acl.first_match(flow.proto, flow.src, flow.dst, flow.src_port, flow.dst_port);
+                    let denied = match hit {
+                        Some(i) => acl.entries[i].action == AclAction::Deny,
+                        None => true,
+                    };
+                    if denied {
+                        hops.push(Hop {
+                            device: name.clone(),
+                            in_iface: in_iface.clone(),
+                            out_iface: Some(out_iface.clone()),
+                        });
+                        finish(
+                            hops,
+                            Disposition::DeniedOut {
+                                device: name.clone(),
+                                acl: acl_name,
+                                line: hit.map(|i| i + 1).unwrap_or(acl.entries.len() + 1),
+                            },
+                        );
+                        continue;
+                    }
+                }
+            }
+
+            // Deliver across the broadcast domain to the gateway (or to the
+            // destination itself for connected routes).
+            let target = entry.gateway.unwrap_or(flow.dst);
+            let peer = self.deliver_to(cur, &out_iface, target);
+
+            hops.push(Hop {
+                device: name.clone(),
+                in_iface: in_iface.clone(),
+                out_iface: Some(out_iface.clone()),
+            });
+            match peer {
+                Some((pd, pif)) => {
+                    stack.push((pd, Some(pif), hops, visited));
+                }
+                None => {
+                    if entry.gateway.is_some() && !self.is_internal(flow.dst) {
+                        finish(
+                            hops,
+                            Disposition::ExitsNetwork {
+                                device: name.clone(),
+                                iface: out_iface,
+                            },
+                        );
+                    } else {
+                        finish(
+                            hops,
+                            Disposition::NeighborUnreachable {
+                                device: name.clone(),
+                                iface: out_iface,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_netmodel::gen::enterprise_network;
+    use heimdall_routing::converge;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn client_reaches_dmz_server() {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        let dp = DataPlane::new(&g.net, &cp);
+        let flow = Flow::probe(ip("10.1.1.10"), ip("10.2.1.10"));
+        let t = dp.trace(g.net.idx_of("h1"), &flow);
+        assert!(
+            matches!(&t.disposition, Disposition::Delivered { device } if device == "srv1"),
+            "got {}",
+            t
+        );
+        assert!(dp.reachable(g.net.idx_of("h1"), &flow));
+        // The path crosses the firewall.
+        assert!(t.hops.iter().any(|h| h.device == "fw1"));
+    }
+
+    #[test]
+    fn dmz_cannot_initiate_into_client_lan() {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        let dp = DataPlane::new(&g.net, &cp);
+        let flow = Flow::probe(ip("10.2.1.10"), ip("10.1.1.10"));
+        let ts = dp.trace_all(g.net.idx_of("srv1"), &flow);
+        assert!(ts
+            .iter()
+            .all(|t| matches!(&t.disposition, Disposition::DeniedOut { device, acl, .. }
+                if device == "acc1" && acl == "120")));
+    }
+
+    #[test]
+    fn icmp_pierces_the_lockdown() {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        let dp = DataPlane::new(&g.net, &cp);
+        let flow = Flow::icmp(ip("10.1.2.10"), ip("10.1.1.10"));
+        assert!(dp.reachable(g.net.idx_of("h4"), &flow), "ping is allowed");
+        let tcp = Flow::probe(ip("10.1.2.10"), ip("10.1.1.10"));
+        assert!(!dp.reachable(g.net.idx_of("h4"), &tcp), "tcp is not");
+    }
+
+    #[test]
+    fn external_traffic_exits_at_border() {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        let dp = DataPlane::new(&g.net, &cp);
+        let flow = Flow::probe(ip("10.1.1.10"), ip("93.184.216.34"));
+        let t = dp.trace(g.net.idx_of("h1"), &flow);
+        assert!(
+            matches!(&t.disposition, Disposition::ExitsNetwork { device, iface }
+                if device == "bdr1" && iface == "Gi0/9"),
+            "got {}",
+            t
+        );
+    }
+
+    #[test]
+    fn vlan_mismatch_strands_host() {
+        let g = enterprise_network();
+        let mut net = g.net.clone();
+        // Move h7's access port into the quarantine VLAN (the paper's VLAN
+        // issue).
+        net.device_by_name_mut("acc3")
+            .unwrap()
+            .config
+            .interface_mut("Gi0/2")
+            .unwrap()
+            .switchport = Some(heimdall_netmodel::vlan::SwitchPortMode::Access { vlan: 31 });
+        let cp = converge(&net);
+        let dp = DataPlane::new(&net, &cp);
+        let flow = Flow::probe(ip("10.1.3.10"), ip("10.2.1.10"));
+        let t = dp.trace(net.idx_of("h7"), &flow);
+        assert!(
+            matches!(&t.disposition, Disposition::NeighborUnreachable { device, .. } if device == "h7"),
+            "got {}",
+            t
+        );
+        // h8 keeps working.
+        let flow8 = Flow::probe(ip("10.1.3.11"), ip("10.2.1.10"));
+        assert!(dp.reachable(net.idx_of("h8"), &flow8));
+    }
+
+    #[test]
+    fn missing_route_reports_no_route() {
+        let g = enterprise_network();
+        let mut net = g.net.clone();
+        // Strip h4's default route: the very first lookup fails.
+        net.device_by_name_mut("h4").unwrap().config.static_routes.clear();
+        let cp = converge(&net);
+        let dp = DataPlane::new(&net, &cp);
+        let t = dp.trace(net.idx_of("h4"), &Flow::probe(ip("10.1.2.10"), ip("10.2.1.10")));
+        assert!(matches!(&t.disposition, Disposition::NoRoute { device } if device == "h4"));
+    }
+
+    #[test]
+    fn null_route_discards() {
+        let g = enterprise_network();
+        let mut net = g.net.clone();
+        net.device_by_name_mut("bdr1")
+            .unwrap()
+            .config
+            .static_routes
+            .push(heimdall_netmodel::proto::StaticRoute::discard(
+                "203.0.113.0/24".parse().unwrap(),
+            ));
+        let cp = converge(&net);
+        let dp = DataPlane::new(&net, &cp);
+        let t = dp.trace(net.idx_of("bdr1"), &Flow::probe(ip("10.0.0.1"), ip("203.0.113.5")));
+        assert!(matches!(&t.disposition, Disposition::NullRouted { device } if device == "bdr1"));
+    }
+
+    #[test]
+    fn forwarding_loop_detected() {
+        // Two routers statically pointing a prefix at each other.
+        let mut b = heimdall_netmodel::builder::NetBuilder::new();
+        b.router("r1").router("r2");
+        let (_, r1_ip, _, r2_ip, _) = b.connect("r1", "r2");
+        b.device_mut("r1")
+            .config
+            .static_routes
+            .push(heimdall_netmodel::proto::StaticRoute::new(
+                "9.9.9.0/24".parse().unwrap(),
+                r2_ip,
+            ));
+        b.device_mut("r2")
+            .config
+            .static_routes
+            .push(heimdall_netmodel::proto::StaticRoute::new(
+                "9.9.9.0/24".parse().unwrap(),
+                r1_ip,
+            ));
+        let net = b.build();
+        let cp = converge(&net);
+        let dp = DataPlane::new(&net, &cp);
+        let t = dp.trace(net.idx_of("r1"), &Flow::probe(r1_ip, ip("9.9.9.9")));
+        assert!(matches!(t.disposition, Disposition::Loop { .. }), "got {}", t);
+    }
+
+    #[test]
+    fn denied_in_reports_acl_and_line() {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        let dp = DataPlane::new(&g.net, &cp);
+        // Spoofed RFC1918 source arriving at the border from upstream can't
+        // be traced from outside (no external device), but the same ACL
+        // logic triggers on DeniedOut paths; exercise DeniedIn on a custom
+        // net instead.
+        let mut b = heimdall_netmodel::builder::NetBuilder::new();
+        b.router("r1").router("r2");
+        b.connect("r1", "r2");
+        b.lan("r1", "10.1.0.0/24".parse().unwrap(), &["a"]);
+        b.lan("r2", "10.2.0.0/24".parse().unwrap(), &["z"]);
+        b.enable_ospf_all(0);
+        {
+            let r2 = b.device_mut("r2");
+            r2.config.upsert_acl(
+                heimdall_netmodel::acl::Acl::new("50").entry(heimdall_netmodel::acl::AclEntry::simple(
+                    heimdall_netmodel::acl::AclAction::Deny,
+                    heimdall_netmodel::acl::Proto::Any,
+                    "10.1.0.0/24".parse().unwrap(),
+                    heimdall_netmodel::ip::Prefix::DEFAULT,
+                )),
+            );
+            r2.config.interface_mut("Gi0/0").unwrap().acl_in = Some("50".to_string());
+        }
+        let net = b.build();
+        let cp2 = converge(&net);
+        let dp2 = DataPlane::new(&net, &cp2);
+        let t = dp2.trace(net.idx_of("a"), &Flow::probe(ip("10.1.0.10"), ip("10.2.0.10")));
+        match &t.disposition {
+            Disposition::DeniedIn { device, acl, line } => {
+                assert_eq!(device, "r2");
+                assert_eq!(acl, "50");
+                assert_eq!(*line, 1);
+            }
+            other => panic!("expected DeniedIn, got {other}"),
+        }
+        drop(dp);
+    }
+
+    #[test]
+    fn multipath_explores_parallel_fabric() {
+        let g = heimdall_netmodel::gen::university_network();
+        let cp = converge(&g.net);
+        let dp = DataPlane::new(&g.net, &cp);
+        let flow = Flow::probe(ip("172.16.1.10"), ip("172.16.10.10"));
+        let ts = dp.trace_all(g.net.idx_of("cs-h1"), &flow);
+        assert!(ts.len() > 1, "ECMP fabric must branch, got {}", ts.len());
+        assert!(ts.iter().all(|t| t.disposition.is_success()));
+        assert!(dp.reachable(g.net.idx_of("cs-h1"), &flow));
+    }
+
+    #[test]
+    fn trace_display_is_readable() {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        let dp = DataPlane::new(&g.net, &cp);
+        let t = dp.trace(
+            g.net.idx_of("h1"),
+            &Flow::probe(ip("10.1.1.10"), ip("10.2.1.10")),
+        );
+        let s = t.to_string();
+        assert!(s.contains("flow tcp 10.1.1.10:49152 -> 10.2.1.10:80"));
+        assert!(s.contains("delivered at srv1"));
+    }
+}

@@ -1,0 +1,275 @@
+//! Tamper-evident audit trails: a SHA-256 hash chain over every mediated
+//! command, escalation decision, verification verdict, and scheduled
+//! change.
+//!
+//! "The system must audit users' actions and provide tamper-resistant
+//! audit trails ... that can be reviewed later to analyze a technician's
+//! network modifications." Each entry commits to its predecessor's hash;
+//! [`AuditLog::verify_chain`] detects any mutation, insertion, deletion,
+//! or reordering. The chain head can additionally be sealed inside the
+//! enclave (see [`crate::enclave`]) so the log cannot be silently
+//! truncated+regrown by an attacker who controls storage.
+
+use crate::crypto::{hex, sha256, Digest};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What kind of event an entry records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AuditKind {
+    /// A technician command mediated by the reference monitor.
+    Command,
+    /// A privilege escalation request and its decision.
+    Escalation,
+    /// A verification verdict from the enforcer.
+    Verification,
+    /// A change pushed (or refused) toward production.
+    ChangeApplied,
+    /// Session lifecycle (open/close).
+    Session,
+}
+
+/// One chained entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditEntry {
+    pub seq: u64,
+    pub kind: AuditKind,
+    /// Who caused the event.
+    pub actor: String,
+    /// Free-form description (command text, verdict, change summary).
+    pub detail: String,
+    /// Hex hash of the previous entry (all-zero for the genesis entry).
+    pub prev: String,
+    /// Hex hash of this entry.
+    pub hash: String,
+}
+
+impl AuditEntry {
+    /// Recomputes what this entry's hash should be.
+    fn expected_hash(&self) -> String {
+        hex(&entry_digest(self.seq, self.kind, &self.actor, &self.detail, &self.prev))
+    }
+}
+
+fn entry_digest(seq: u64, kind: AuditKind, actor: &str, detail: &str, prev: &str) -> Digest {
+    // Length-prefixed concatenation prevents field-boundary ambiguity.
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&seq.to_be_bytes());
+    let kind_tag = match kind {
+        AuditKind::Command => 1u8,
+        AuditKind::Escalation => 2,
+        AuditKind::Verification => 3,
+        AuditKind::ChangeApplied => 4,
+        AuditKind::Session => 5,
+    };
+    buf.push(kind_tag);
+    for field in [actor, detail, prev] {
+        buf.extend_from_slice(&(field.len() as u64).to_be_bytes());
+        buf.extend_from_slice(field.as_bytes());
+    }
+    sha256(&buf)
+}
+
+/// A chain-verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// Entry `seq`'s stored hash does not match its contents.
+    BadHash { seq: u64 },
+    /// Entry `seq` does not link to its predecessor.
+    BrokenLink { seq: u64 },
+    /// Sequence numbers are not 0..n contiguous.
+    BadSequence { seq: u64 },
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::BadHash { seq } => write!(f, "audit entry {seq} content tampered"),
+            ChainError::BrokenLink { seq } => write!(f, "audit entry {seq} chain link broken"),
+            ChainError::BadSequence { seq } => write!(f, "audit entry {seq} out of sequence"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// The append-only audit log.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AuditLog {
+    pub entries: Vec<AuditEntry>,
+}
+
+const GENESIS: &str = "0000000000000000000000000000000000000000000000000000000000000000";
+
+impl AuditLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        AuditLog::default()
+    }
+
+    /// Appends an event, chaining it to the current head.
+    pub fn append(&mut self, kind: AuditKind, actor: &str, detail: &str) -> &AuditEntry {
+        let seq = self.entries.len() as u64;
+        let prev = self
+            .entries
+            .last()
+            .map(|e| e.hash.clone())
+            .unwrap_or_else(|| GENESIS.to_string());
+        let hash = hex(&entry_digest(seq, kind, actor, detail, &prev));
+        self.entries.push(AuditEntry {
+            seq,
+            kind,
+            actor: actor.to_string(),
+            detail: detail.to_string(),
+            prev,
+            hash,
+        });
+        self.entries.last().expect("just pushed")
+    }
+
+    /// The chain head hash (commitment over the whole log).
+    pub fn head(&self) -> String {
+        self.entries
+            .last()
+            .map(|e| e.hash.clone())
+            .unwrap_or_else(|| GENESIS.to_string())
+    }
+
+    /// Verifies the full chain.
+    pub fn verify_chain(&self) -> Result<(), ChainError> {
+        let mut prev = GENESIS.to_string();
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.seq != i as u64 {
+                return Err(ChainError::BadSequence { seq: e.seq });
+            }
+            if e.prev != prev {
+                return Err(ChainError::BrokenLink { seq: e.seq });
+            }
+            if e.hash != e.expected_hash() {
+                return Err(ChainError::BadHash { seq: e.seq });
+            }
+            prev = e.hash.clone();
+        }
+        Ok(())
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries of one kind (e.g. all denials during review).
+    pub fn of_kind(&self, kind: AuditKind) -> Vec<&AuditEntry> {
+        self.entries.iter().filter(|e| e.kind == kind).collect()
+    }
+
+    /// Serializes the log (for off-box archival). The chain hashes travel
+    /// with the entries, so tampering with the archive is detectable on
+    /// reload.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("audit logs serialize")
+    }
+
+    /// Reloads an archived log and verifies its chain in one step.
+    pub fn from_json(text: &str) -> Result<AuditLog, String> {
+        let log: AuditLog = serde_json::from_str(text).map_err(|e| e.to_string())?;
+        log.verify_chain().map_err(|e| e.to_string())?;
+        Ok(log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AuditLog {
+        let mut log = AuditLog::new();
+        log.append(AuditKind::Session, "alice", "session open ticket=TCK-1");
+        log.append(AuditKind::Command, "alice", "fw1: show access-lists [allowed]");
+        log.append(AuditKind::Command, "alice", "fw1: write erase [DENIED]");
+        log.append(AuditKind::Verification, "enforcer", "21 policies, 0 violated");
+        log.append(AuditKind::ChangeApplied, "enforcer", "fw1: replace acl 100");
+        log
+    }
+
+    #[test]
+    fn clean_chain_verifies() {
+        let log = sample();
+        assert_eq!(log.len(), 5);
+        assert!(log.verify_chain().is_ok());
+        assert_ne!(log.head(), GENESIS);
+    }
+
+    #[test]
+    fn content_tamper_detected() {
+        let mut log = sample();
+        log.entries[2].detail = "fw1: write erase [allowed]".to_string();
+        assert_eq!(log.verify_chain(), Err(ChainError::BadHash { seq: 2 }));
+    }
+
+    #[test]
+    fn deletion_detected() {
+        let mut log = sample();
+        log.entries.remove(1);
+        assert!(log.verify_chain().is_err());
+    }
+
+    #[test]
+    fn reorder_detected() {
+        let mut log = sample();
+        log.entries.swap(1, 2);
+        assert!(log.verify_chain().is_err());
+    }
+
+    #[test]
+    fn truncation_changes_head() {
+        let mut log = sample();
+        let head = log.head();
+        log.entries.pop();
+        assert!(log.verify_chain().is_ok(), "truncation alone verifies...");
+        assert_ne!(log.head(), head, "...but the sealed head betrays it");
+    }
+
+    #[test]
+    fn recompute_after_tamper_breaks_downstream_links() {
+        // An attacker who rewrites an entry AND recomputes its hash still
+        // breaks the next entry's prev pointer.
+        let mut log = sample();
+        log.entries[1].detail = "innocent".to_string();
+        log.entries[1].hash = log.entries[1].expected_hash();
+        assert_eq!(log.verify_chain(), Err(ChainError::BrokenLink { seq: 2 }));
+    }
+
+    #[test]
+    fn kind_filter() {
+        let log = sample();
+        assert_eq!(log.of_kind(AuditKind::Command).len(), 2);
+        assert_eq!(log.of_kind(AuditKind::Escalation).len(), 0);
+    }
+
+    #[test]
+    fn json_archive_round_trips_and_rejects_tampering() {
+        let log = sample();
+        let archived = log.to_json();
+        let restored = AuditLog::from_json(&archived).expect("clean archive loads");
+        assert_eq!(restored.entries, log.entries);
+        // An attacker editing the archive text is caught on load.
+        let tampered = archived.replace("write erase", "routine check");
+        assert!(AuditLog::from_json(&tampered).is_err());
+        // Malformed JSON is a plain error, not a panic.
+        assert!(AuditLog::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn empty_log_is_valid() {
+        let log = AuditLog::new();
+        assert!(log.verify_chain().is_ok());
+        assert_eq!(log.head(), GENESIS);
+        assert!(log.is_empty());
+    }
+}

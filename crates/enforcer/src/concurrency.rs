@@ -1,0 +1,120 @@
+//! Optimistic concurrency for change-set imports.
+//!
+//! MSPs run many technicians; two twins opened from the same production
+//! state can race. The enforcer serializes imports and rejects any
+//! change-set whose *base* no longer matches production on the devices it
+//! touches — the technician must re-open a twin from current state (real
+//! change-management calls this a stale work order).
+//!
+//! The base is identified by a fingerprint: SHA-256 over the printed
+//! configurations of the devices the diff touches. Fingerprinting only the
+//! touched devices lets unrelated tickets land concurrently.
+
+use crate::crypto::{hex, Sha256};
+use heimdall_netmodel::diff::ConfigDiff;
+use heimdall_netmodel::printer::print_config;
+use heimdall_netmodel::topology::Network;
+
+/// Fingerprint of the named devices' configurations (sorted, so the same
+/// set yields the same digest regardless of order).
+pub fn devices_fingerprint(net: &Network, devices: &[&str]) -> String {
+    let mut names: Vec<&str> = devices.to_vec();
+    names.sort_unstable();
+    names.dedup();
+    let mut h = Sha256::new();
+    for name in names {
+        h.update(name.as_bytes());
+        h.update(&[0]);
+        if let Some(d) = net.device_by_name(name) {
+            h.update(print_config(&d.config).as_bytes());
+        } else {
+            h.update(b"<absent>");
+        }
+        h.update(&[0xff]);
+    }
+    hex(&h.finalize())
+}
+
+/// Fingerprint of exactly the devices a diff touches.
+pub fn base_fingerprint(net: &Network, diff: &ConfigDiff) -> String {
+    devices_fingerprint(net, &diff.devices())
+}
+
+/// Whether a change-set's recorded base still matches production.
+pub fn base_matches(net: &Network, diff: &ConfigDiff, recorded: &str) -> bool {
+    base_fingerprint(net, diff) == recorded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_netmodel::diff::{diff_networks, ConfigChange};
+    use heimdall_netmodel::gen::enterprise_network;
+
+    #[test]
+    fn fingerprint_stable_and_order_independent() {
+        let g = enterprise_network();
+        let a = devices_fingerprint(&g.net, &["fw1", "acc1"]);
+        let b = devices_fingerprint(&g.net, &["acc1", "fw1", "acc1"]);
+        assert_eq!(a, b);
+        assert_ne!(a, devices_fingerprint(&g.net, &["fw1"]));
+    }
+
+    #[test]
+    fn touched_device_change_invalidates_base() {
+        let g = enterprise_network();
+        let mut after = g.net.clone();
+        after
+            .device_by_name_mut("fw1")
+            .unwrap()
+            .config
+            .interface_mut("Gi0/3")
+            .unwrap()
+            .description = Some("changed".into());
+        let diff = diff_networks(&g.net, &after);
+        let base = base_fingerprint(&g.net, &diff);
+        assert!(base_matches(&g.net, &diff, &base));
+        // Someone else edits fw1 first.
+        let mut raced = g.net.clone();
+        raced
+            .device_by_name_mut("fw1")
+            .unwrap()
+            .config
+            .static_routes
+            .push(heimdall_netmodel::proto::StaticRoute::default_via(
+                "10.255.0.1".parse().unwrap(),
+            ));
+        assert!(!base_matches(&raced, &diff, &base));
+    }
+
+    #[test]
+    fn untouched_device_changes_do_not_invalidate() {
+        let g = enterprise_network();
+        let diff = ConfigDiff {
+            changes: vec![ConfigChange::SetDescription {
+                device: "fw1".into(),
+                iface: "Gi0/3".into(),
+                description: Some("x".into()),
+            }],
+        };
+        let base = base_fingerprint(&g.net, &diff);
+        // A concurrent ticket edits acc3 — unrelated; fw1's base holds.
+        let mut other = g.net.clone();
+        other
+            .device_by_name_mut("acc3")
+            .unwrap()
+            .config
+            .interface_mut("Gi0/3")
+            .unwrap()
+            .enabled = false;
+        assert!(base_matches(&other, &diff, &base));
+    }
+
+    #[test]
+    fn absent_device_fingerprints_distinctly() {
+        let g = enterprise_network();
+        let a = devices_fingerprint(&g.net, &["ghost"]);
+        let b = devices_fingerprint(&g.net, &["fw1"]);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,223 @@
+//! A simulated trusted execution environment.
+//!
+//! The paper runs the policy enforcer inside an Intel SGX enclave "which
+//! provides strong security guarantees (e.g., data integrity) with a small
+//! trusted computing base". No SGX hardware is available here, so this
+//! module simulates the enclave *interface* the enforcer programs against —
+//! measurement-based identity, remote attestation reports, and sealed
+//! storage — with HMAC-SHA-256 standing in for the CPU's key-derivation
+//! hardware. The substitution preserves exactly the properties the
+//! enforcer's code path relies on:
+//!
+//! - state sealed by one enclave identity cannot be unsealed (or forged)
+//!   under another measurement;
+//! - an attestation report binds a nonce to the enclave's measurement and
+//!   is unforgeable without the (simulated) platform key;
+//! - tampered sealed blobs are rejected.
+
+use crate::crypto::{hex, hmac_sha256, sha256};
+use serde::{Deserialize, Serialize};
+
+/// The enclave's code identity (MRENCLAVE analog): a digest of the code
+/// the enclave was launched with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Measurement(pub [u8; 32]);
+
+impl Measurement {
+    /// Measures "code" (here: an identity string naming enforcer+version).
+    pub fn of(code: &str) -> Self {
+        Measurement(sha256(code.as_bytes()))
+    }
+}
+
+/// A sealed blob: ciphertext-free integrity sealing (data + MAC under a
+/// measurement-derived key). Confidential sealing would add an XOR-pad
+/// here; the enforcer's guarantees only need integrity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SealedBlob {
+    pub data: Vec<u8>,
+    mac: [u8; 32],
+}
+
+/// An attestation report: binds a caller nonce to the enclave measurement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttestationReport {
+    pub measurement: Measurement,
+    pub nonce: [u8; 16],
+    mac: [u8; 32],
+}
+
+/// Errors from enclave operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnclaveError {
+    /// The sealed blob failed integrity verification.
+    SealBroken,
+    /// The attestation report failed verification.
+    BadReport,
+}
+
+impl std::fmt::Display for EnclaveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnclaveError::SealBroken => write!(f, "sealed state failed integrity check"),
+            EnclaveError::BadReport => write!(f, "attestation report invalid"),
+        }
+    }
+}
+
+impl std::error::Error for EnclaveError {}
+
+/// The simulated platform: holds the "fused" platform key the real CPU
+/// would keep in hardware.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    platform_key: [u8; 32],
+}
+
+impl Platform {
+    /// A platform with a fixed simulated fuse key derived from a seed.
+    pub fn new(seed: &str) -> Self {
+        Platform {
+            platform_key: sha256(format!("platform-fuse:{seed}").as_bytes()),
+        }
+    }
+
+    /// Launches an enclave with the given code identity.
+    pub fn launch(&self, code: &str) -> Enclave {
+        let measurement = Measurement::of(code);
+        // Seal key = KDF(platform key, measurement): different code ->
+        // different keys, like SGX's MRENCLAVE-bound sealing.
+        let seal_key = hmac_sha256(&self.platform_key, &measurement.0);
+        let report_key = hmac_sha256(&self.platform_key, b"report-key");
+        Enclave {
+            measurement,
+            seal_key,
+            report_key,
+        }
+    }
+
+    /// Verifies an attestation report (the role of the attestation
+    /// service): checks the MAC and returns the attested measurement.
+    pub fn verify_report(&self, report: &AttestationReport) -> Result<Measurement, EnclaveError> {
+        let report_key = hmac_sha256(&self.platform_key, b"report-key");
+        let mut msg = Vec::new();
+        msg.extend_from_slice(&report.measurement.0);
+        msg.extend_from_slice(&report.nonce);
+        if hmac_sha256(&report_key, &msg) != report.mac {
+            return Err(EnclaveError::BadReport);
+        }
+        Ok(report.measurement)
+    }
+}
+
+/// A launched enclave instance.
+#[derive(Debug, Clone)]
+pub struct Enclave {
+    measurement: Measurement,
+    seal_key: [u8; 32],
+    report_key: [u8; 32],
+}
+
+impl Enclave {
+    /// The enclave's measurement.
+    pub fn measurement(&self) -> Measurement {
+        self.measurement
+    }
+
+    /// Seals data to this enclave identity.
+    pub fn seal(&self, data: &[u8]) -> SealedBlob {
+        SealedBlob {
+            data: data.to_vec(),
+            mac: hmac_sha256(&self.seal_key, data),
+        }
+    }
+
+    /// Unseals, verifying integrity and identity.
+    pub fn unseal(&self, blob: &SealedBlob) -> Result<Vec<u8>, EnclaveError> {
+        if hmac_sha256(&self.seal_key, &blob.data) != blob.mac {
+            return Err(EnclaveError::SealBroken);
+        }
+        Ok(blob.data.clone())
+    }
+
+    /// Produces an attestation report over a caller-supplied nonce.
+    pub fn attest(&self, nonce: [u8; 16]) -> AttestationReport {
+        let mut msg = Vec::new();
+        msg.extend_from_slice(&self.measurement.0);
+        msg.extend_from_slice(&nonce);
+        AttestationReport {
+            measurement: self.measurement,
+            nonce,
+            mac: hmac_sha256(&self.report_key, &msg),
+        }
+    }
+
+    /// Hex form of the measurement (for audit entries).
+    pub fn measurement_hex(&self) -> String {
+        hex(&self.measurement.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_unseal_round_trip() {
+        let platform = Platform::new("test");
+        let enclave = platform.launch("heimdall-enforcer-v1");
+        let blob = enclave.seal(b"audit-head:abcd");
+        assert_eq!(enclave.unseal(&blob).unwrap(), b"audit-head:abcd");
+    }
+
+    #[test]
+    fn tampered_blob_rejected() {
+        let platform = Platform::new("test");
+        let enclave = platform.launch("heimdall-enforcer-v1");
+        let mut blob = enclave.seal(b"audit-head:abcd");
+        blob.data[0] ^= 0xff;
+        assert_eq!(enclave.unseal(&blob), Err(EnclaveError::SealBroken));
+    }
+
+    #[test]
+    fn different_code_cannot_unseal() {
+        let platform = Platform::new("test");
+        let good = platform.launch("heimdall-enforcer-v1");
+        let evil = platform.launch("heimdall-enforcer-v1-backdoored");
+        let blob = good.seal(b"secret state");
+        assert_eq!(evil.unseal(&blob), Err(EnclaveError::SealBroken));
+        assert_ne!(good.measurement(), evil.measurement());
+    }
+
+    #[test]
+    fn attestation_verifies_and_binds_nonce() {
+        let platform = Platform::new("test");
+        let enclave = platform.launch("heimdall-enforcer-v1");
+        let report = enclave.attest([7u8; 16]);
+        let m = platform.verify_report(&report).unwrap();
+        assert_eq!(m, enclave.measurement());
+        // Replay under a different nonce fails.
+        let mut forged = report.clone();
+        forged.nonce = [8u8; 16];
+        assert_eq!(platform.verify_report(&forged), Err(EnclaveError::BadReport));
+    }
+
+    #[test]
+    fn forged_measurement_rejected() {
+        let platform = Platform::new("test");
+        let enclave = platform.launch("heimdall-enforcer-v1");
+        let mut report = enclave.attest([1u8; 16]);
+        report.measurement = Measurement::of("innocent-looking-code");
+        assert_eq!(platform.verify_report(&report), Err(EnclaveError::BadReport));
+    }
+
+    #[test]
+    fn cross_platform_reports_rejected() {
+        let p1 = Platform::new("machine-1");
+        let p2 = Platform::new("machine-2");
+        let enclave = p1.launch("heimdall-enforcer-v1");
+        let report = enclave.attest([2u8; 16]);
+        assert!(p1.verify_report(&report).is_ok());
+        assert_eq!(p2.verify_report(&report), Err(EnclaveError::BadReport));
+    }
+}

@@ -1,0 +1,270 @@
+//! Forensic audit review: "in the event that some violations escape the
+//! Privilege_msp, we need forensic audit trails to help identify issues
+//! retroactively."
+//!
+//! This module turns an audit log into a reviewed summary: per-actor
+//! activity, every refusal, and a set of *anomaly* flags a customer's
+//! security team would page on. The rules are deliberately simple and
+//! explainable — forensics that cannot be explained cannot be acted on.
+
+use crate::audit::{AuditEntry, AuditKind, AuditLog};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An anomaly the reviewer should look at.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Anomaly {
+    /// Stable rule code, e.g. `repeated-denials`.
+    pub rule: &'static str,
+    pub actor: String,
+    pub detail: String,
+    /// Sequence numbers of the supporting entries.
+    pub evidence: Vec<u64>,
+}
+
+/// Per-actor activity counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActorActivity {
+    pub commands: usize,
+    pub denials: usize,
+    pub vetoes: usize,
+    pub changes_applied: usize,
+    pub escalations: usize,
+}
+
+/// The reviewed summary of one audit log.
+#[derive(Debug, Clone, Serialize)]
+pub struct ForensicsSummary {
+    /// Whether the chain itself verified.
+    pub chain_intact: bool,
+    pub per_actor: BTreeMap<String, ActorActivity>,
+    pub anomalies: Vec<Anomaly>,
+}
+
+impl ForensicsSummary {
+    /// Whether the review found nothing to escalate.
+    pub fn clean(&self) -> bool {
+        self.chain_intact && self.anomalies.is_empty()
+    }
+}
+
+/// Denials by one actor at or above this count flag an anomaly: a
+/// legitimate technician hits the privilege wall once or twice; a probe
+/// hits it constantly.
+const DENIAL_THRESHOLD: usize = 3;
+
+fn is_denial(e: &AuditEntry) -> bool {
+    e.detail.contains("[DENIED") || e.detail.contains("DENIED]")
+}
+
+fn is_veto(e: &AuditEntry) -> bool {
+    e.detail.contains("[VETOED") || e.detail.contains("RejectedPolicy") || e.detail.contains("RejectedLint")
+}
+
+/// Reviews a log.
+pub fn review(log: &AuditLog) -> ForensicsSummary {
+    let chain_intact = log.verify_chain().is_ok();
+    let mut per_actor: BTreeMap<String, ActorActivity> = BTreeMap::new();
+    for e in &log.entries {
+        let a = per_actor.entry(e.actor.clone()).or_default();
+        match e.kind {
+            AuditKind::Command => {
+                a.commands += 1;
+                if is_denial(e) {
+                    a.denials += 1;
+                }
+                if is_veto(e) {
+                    a.vetoes += 1;
+                }
+            }
+            AuditKind::ChangeApplied => a.changes_applied += 1,
+            AuditKind::Escalation => a.escalations += 1,
+            AuditKind::Verification => {
+                if is_veto(e) {
+                    a.vetoes += 1;
+                }
+            }
+            AuditKind::Session => {}
+        }
+    }
+
+    let mut anomalies = Vec::new();
+    if !chain_intact {
+        anomalies.push(Anomaly {
+            rule: "chain-broken",
+            actor: "<storage>".to_string(),
+            detail: "audit chain failed verification; treat the log as hostile".to_string(),
+            evidence: vec![],
+        });
+    }
+    // Rule: repeated denials by one actor (privilege probing).
+    for (actor, act) in &per_actor {
+        if act.denials >= DENIAL_THRESHOLD {
+            let evidence = log
+                .entries
+                .iter()
+                .filter(|e| &e.actor == actor && is_denial(e))
+                .map(|e| e.seq)
+                .collect();
+            anomalies.push(Anomaly {
+                rule: "repeated-denials",
+                actor: actor.clone(),
+                detail: format!("{} denied commands in one engagement", act.denials),
+                evidence,
+            });
+        }
+    }
+    // Rule: emergency activations always get eyes.
+    for e in &log.entries {
+        if e.kind == AuditKind::Session && e.detail.contains("EMERGENCY MODE ACTIVATED") {
+            anomalies.push(Anomaly {
+                rule: "emergency-used",
+                actor: e.actor.clone(),
+                detail: e.detail.clone(),
+                evidence: vec![e.seq],
+            });
+        }
+    }
+    // Rule: a veto followed by further applied changes from the same actor
+    // (the actor kept pushing after being told no).
+    for (actor, act) in &per_actor {
+        if act.vetoes > 0 {
+            let veto_seq = log
+                .entries
+                .iter()
+                .filter(|e| &e.actor == actor || e.actor == "enforcer")
+                .filter(|e| is_veto(e))
+                .map(|e| e.seq)
+                .min();
+            if let Some(v) = veto_seq {
+                let after: Vec<u64> = log
+                    .entries
+                    .iter()
+                    .filter(|e| e.seq > v && &e.actor == actor && e.kind == AuditKind::ChangeApplied)
+                    .map(|e| e.seq)
+                    .collect();
+                if !after.is_empty() {
+                    anomalies.push(Anomaly {
+                        rule: "push-after-veto",
+                        actor: actor.clone(),
+                        detail: format!("{} change(s) applied after a veto", after.len()),
+                        evidence: after,
+                    });
+                }
+            }
+        }
+    }
+
+    ForensicsSummary {
+        chain_intact,
+        per_actor,
+        anomalies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_log() -> AuditLog {
+        let mut log = AuditLog::new();
+        log.append(AuditKind::Session, "alice", "session open");
+        log.append(AuditKind::Command, "alice", "fw1: show access-lists [allowed]");
+        log.append(AuditKind::ChangeApplied, "alice", "fw1: replace acl 100");
+        log
+    }
+
+    #[test]
+    fn clean_engagement_reviews_clean() {
+        let s = review(&clean_log());
+        assert!(s.clean());
+        assert_eq!(s.per_actor["alice"].commands, 1);
+        assert_eq!(s.per_actor["alice"].changes_applied, 1);
+    }
+
+    #[test]
+    fn repeated_denials_flagged_with_evidence() {
+        let mut log = clean_log();
+        for d in ["bdr1", "core1", "acc3"] {
+            log.append(
+                AuditKind::Command,
+                "mallory",
+                &format!("{d}: show running-config [DENIED: privilege]"),
+            );
+        }
+        let s = review(&log);
+        assert!(!s.clean());
+        let a = s
+            .anomalies
+            .iter()
+            .find(|a| a.rule == "repeated-denials")
+            .expect("flagged");
+        assert_eq!(a.actor, "mallory");
+        assert_eq!(a.evidence.len(), 3);
+    }
+
+    #[test]
+    fn broken_chain_dominates() {
+        let mut log = clean_log();
+        log.entries[1].detail = "rewritten".to_string();
+        let s = review(&log);
+        assert!(!s.chain_intact);
+        assert!(s.anomalies.iter().any(|a| a.rule == "chain-broken"));
+    }
+
+    #[test]
+    fn emergency_use_always_flagged() {
+        let mut log = clean_log();
+        log.append(AuditKind::Session, "bob", "EMERGENCY MODE ACTIVATED: optics fault");
+        let s = review(&log);
+        assert!(s.anomalies.iter().any(|a| a.rule == "emergency-used" && a.actor == "bob"));
+    }
+
+    #[test]
+    fn push_after_veto_flagged() {
+        let mut log = clean_log();
+        log.append(
+            AuditKind::Command,
+            "mallory",
+            "acc3: access-list 120 ... [VETOED: would violate ...]",
+        );
+        log.append(AuditKind::ChangeApplied, "mallory", "acc3: replace acl 120");
+        let s = review(&log);
+        assert!(s.anomalies.iter().any(|a| a.rule == "push-after-veto"));
+    }
+
+    #[test]
+    fn real_engagement_reviews_clean_end_to_end() {
+        // The audit from a legitimate full-pipeline run must review clean.
+        use crate::pipeline::enforce;
+        use heimdall_netmodel::diff::diff_networks;
+        let g = heimdall_netmodel::gen::enterprise_network();
+        let cp = heimdall_routing::converge(&g.net);
+        let policies = heimdall_verify::mine::mine_policies(
+            &g.net,
+            &cp,
+            &heimdall_verify::mine::MinerInput::from_meta(&g.meta),
+        );
+        let mut broken = g.net.clone();
+        broken
+            .device_by_name_mut("fw1")
+            .unwrap()
+            .config
+            .acls
+            .get_mut("100")
+            .unwrap()
+            .entries[1]
+            .action = heimdall_netmodel::acl::AclAction::Deny;
+        let spec = heimdall_privilege::derive::derive_privileges(
+            &broken,
+            &heimdall_privilege::derive::Task {
+                kind: heimdall_privilege::derive::TaskKind::AccessControl,
+                affected: vec!["h4".into(), "srv1".into()],
+            },
+        );
+        let diff = diff_networks(&broken, &g.net);
+        let (_, audit) = enforce("alice", &broken, &diff, &policies, &spec);
+        let s = review(&audit);
+        assert!(s.clean(), "{s:?}");
+    }
+}

@@ -1,0 +1,53 @@
+//! # heimdall-enforcer
+//!
+//! The policy enforcer — the paper's third component, sitting "between the
+//! twin network and the production network to mediate accesses and
+//! eliminate policy violations":
+//!
+//! - [`verifier`] — checks a technician's change-set against the ticket's
+//!   `Privilege_msp` *and* the mined network policies (differentially)
+//!   before anything touches production;
+//! - [`scheduler`] — orders accepted changes for consistent rollout and
+//!   simulates the rollout step-by-step, reporting transient violations;
+//! - [`audit`] — a SHA-256 hash-chained, tamper-evident audit trail over
+//!   every mediated command, verdict, and applied change;
+//! - [`enclave`] — a simulated SGX-style TEE (measurement, attestation,
+//!   sealing) that the enforcer's state and audit head live inside;
+//! - [`crypto`] — the SHA-256 / HMAC-SHA-256 substrate (test-vector
+//!   validated), since no crypto crate is in the approved dependency set;
+//! - [`pipeline`] — the one-call composition: verify → schedule → apply →
+//!   audit, returning the updated production network;
+//! - [`concurrency`] — optimistic base-fingerprint checks serializing
+//!   racing technicians;
+//! - [`report`] — customer-facing Markdown incident reports.
+//!
+//! ```
+//! use heimdall_enforcer::audit::{AuditKind, AuditLog};
+//!
+//! let mut log = AuditLog::new();
+//! log.append(AuditKind::Session, "alice", "session open");
+//! log.append(AuditKind::Command, "alice", "fw1: show access-lists [allowed]");
+//! assert!(log.verify_chain().is_ok());
+//!
+//! // Any rewrite breaks the chain.
+//! log.entries[1].detail = "nothing happened".to_string();
+//! assert!(log.verify_chain().is_err());
+//! ```
+
+pub mod audit;
+pub mod concurrency;
+pub mod crypto;
+pub mod enclave;
+pub mod forensics;
+pub mod pipeline;
+pub mod report;
+pub mod scheduler;
+pub mod verifier;
+
+pub use audit::{AuditKind, AuditLog};
+pub use enclave::{Enclave, Platform};
+pub use pipeline::{enforce, EnforcerOutcome, EnforcerPipeline};
+pub use forensics::{review, ForensicsSummary};
+pub use report::IncidentReport;
+pub use scheduler::{naive_schedule, schedule, Schedule};
+pub use verifier::{verify_changes, EnforcementReport, Verdict};

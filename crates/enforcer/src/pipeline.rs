@@ -1,0 +1,293 @@
+//! The enforcer pipeline: verify → schedule → apply → audit, inside the
+//! (simulated) enclave.
+//!
+//! This is the single entry point the Heimdall workflow calls at step 3.
+//! Everything observable leaves a chained audit entry; the audit head is
+//! kept sealed to the enclave identity after every append, so an attacker
+//! with storage access cannot rewrite history without breaking either the
+//! chain or the seal.
+
+use crate::audit::{AuditKind, AuditLog};
+use crate::enclave::{Enclave, Platform, SealedBlob};
+use crate::scheduler::{schedule, Schedule};
+use crate::verifier::{verify_changes, EnforcementReport};
+use heimdall_netmodel::diff::ConfigDiff;
+use heimdall_netmodel::topology::Network;
+use heimdall_privilege::model::PrivilegeMsp;
+use heimdall_verify::policy::PolicySet;
+
+/// The outcome of pushing one change-set through the enforcer.
+#[derive(Debug, Clone)]
+pub struct EnforcerOutcome {
+    pub report: EnforcementReport,
+    /// Present when accepted: the rollout plan actually applied.
+    pub schedule: Option<Schedule>,
+    /// Present when accepted: production after the changes.
+    pub updated_production: Option<Network>,
+}
+
+impl EnforcerOutcome {
+    /// Whether production was updated.
+    pub fn applied(&self) -> bool {
+        self.updated_production.is_some()
+    }
+}
+
+/// A long-lived enforcer instance: enclave identity + audit log.
+pub struct EnforcerPipeline {
+    enclave: Enclave,
+    audit: AuditLog,
+    sealed_head: SealedBlob,
+}
+
+impl EnforcerPipeline {
+    /// Launches the enforcer inside a (simulated) enclave on `platform`.
+    pub fn launch(platform: &Platform) -> Self {
+        let enclave = platform.launch("heimdall-enforcer-v1");
+        let audit = AuditLog::new();
+        let sealed_head = enclave.seal(audit.head().as_bytes());
+        EnforcerPipeline {
+            enclave,
+            audit,
+            sealed_head,
+        }
+    }
+
+    /// Like [`EnforcerPipeline::process`], but first checks that the
+    /// change-set's base fingerprint (recorded when the twin was opened)
+    /// still matches production on the touched devices — the optimistic
+    /// concurrency gate for racing technicians.
+    pub fn process_checked(
+        &mut self,
+        technician: &str,
+        production: &Network,
+        diff: &ConfigDiff,
+        base_fingerprint: &str,
+        policies: &PolicySet,
+        privilege: &PrivilegeMsp,
+    ) -> EnforcerOutcome {
+        if !crate::concurrency::base_matches(production, diff, base_fingerprint) {
+            self.log(
+                AuditKind::Verification,
+                "enforcer",
+                &format!(
+                    "verdict=RejectedStale: base changed on {:?} since the twin was opened",
+                    diff.devices()
+                ),
+            );
+            return EnforcerOutcome {
+                report: EnforcementReport {
+                    verdict: crate::verifier::Verdict::RejectedStale,
+                    privilege_violations: Vec::new(),
+                    differential: Default::default(),
+                    new_lint_errors: Vec::new(),
+                },
+                schedule: None,
+                updated_production: None,
+            };
+        }
+        self.process(technician, production, diff, policies, privilege)
+    }
+
+    /// Verifies, schedules, applies, and audits one change-set.
+    pub fn process(
+        &mut self,
+        technician: &str,
+        production: &Network,
+        diff: &ConfigDiff,
+        policies: &PolicySet,
+        privilege: &PrivilegeMsp,
+    ) -> EnforcerOutcome {
+        self.log(
+            AuditKind::Session,
+            technician,
+            &format!("change-set submitted: {} changes on {:?}", diff.len(), diff.devices()),
+        );
+
+        let (report, patched) = verify_changes(production, diff, policies, privilege);
+        self.log(
+            AuditKind::Verification,
+            "enforcer",
+            &format!(
+                "verdict={:?} privilege_violations={} newly_violated={:?}",
+                report.verdict,
+                report.privilege_violations.len(),
+                report.differential.newly_violated
+            ),
+        );
+
+        if patched.is_none() {
+            return EnforcerOutcome {
+                report,
+                schedule: None,
+                updated_production: None,
+            };
+        }
+
+        let plan = schedule(production, diff, policies);
+        for step in &plan.steps {
+            self.log(AuditKind::ChangeApplied, technician, &step.summary());
+        }
+        if !plan.is_hitless() {
+            self.log(
+                AuditKind::Verification,
+                "enforcer",
+                &format!("rollout transients: {}", plan.transient_count()),
+            );
+        }
+        EnforcerOutcome {
+            report,
+            schedule: Some(plan),
+            updated_production: patched,
+        }
+    }
+
+    /// Appends an audit entry and re-seals the head.
+    pub fn log(&mut self, kind: AuditKind, actor: &str, detail: &str) {
+        self.audit.append(kind, actor, detail);
+        self.sealed_head = self.enclave.seal(self.audit.head().as_bytes());
+    }
+
+    /// The audit log (read-only).
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// Verifies both the chain and the sealed head against the log.
+    pub fn verify_audit_integrity(&self) -> bool {
+        if self.audit.verify_chain().is_err() {
+            return false;
+        }
+        match self.enclave.unseal(&self.sealed_head) {
+            Ok(head) => head == self.audit.head().as_bytes(),
+            Err(_) => false,
+        }
+    }
+
+    /// The enclave (for attestation by the customer).
+    pub fn enclave(&self) -> &Enclave {
+        &self.enclave
+    }
+
+    /// Test/attack hook: replace the audit log wholesale (simulating an
+    /// attacker with storage access).
+    #[doc(hidden)]
+    pub fn tamper_replace_audit(&mut self, log: AuditLog) {
+        self.audit = log;
+    }
+}
+
+/// One-shot convenience: launch, process a single change-set, return the
+/// outcome and the audit log.
+pub fn enforce(
+    technician: &str,
+    production: &Network,
+    diff: &ConfigDiff,
+    policies: &PolicySet,
+    privilege: &PrivilegeMsp,
+) -> (EnforcerOutcome, AuditLog) {
+    let platform = Platform::new("heimdall-host");
+    let mut pipeline = EnforcerPipeline::launch(&platform);
+    let outcome = pipeline.process(technician, production, diff, policies, privilege);
+    (outcome, pipeline.audit.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_netmodel::acl::AclAction;
+    use heimdall_netmodel::diff::diff_networks;
+    use heimdall_netmodel::gen::enterprise_network;
+    use heimdall_privilege::derive::{derive_privileges, Task, TaskKind};
+    use heimdall_routing::converge;
+    use heimdall_verify::mine::{mine_policies, MinerInput};
+
+    fn setup() -> (Network, Network, PolicySet, PrivilegeMsp) {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        let policies = mine_policies(&g.net, &cp, &MinerInput::from_meta(&g.meta));
+        let mut broken = g.net.clone();
+        broken
+            .device_by_name_mut("fw1")
+            .unwrap()
+            .config
+            .acls
+            .get_mut("100")
+            .unwrap()
+            .entries[1]
+            .action = AclAction::Deny;
+        let privilege = derive_privileges(
+            &broken,
+            &Task {
+                kind: TaskKind::AccessControl,
+                affected: vec!["h4".into(), "srv1".into()],
+            },
+        );
+        (g.net, broken, policies, privilege)
+    }
+
+    #[test]
+    fn accepted_changes_update_production_and_audit() {
+        let (healthy, broken, policies, privilege) = setup();
+        let diff = diff_networks(&broken, &healthy);
+        let platform = Platform::new("host");
+        let mut p = EnforcerPipeline::launch(&platform);
+        let outcome = p.process("alice", &broken, &diff, &policies, &privilege);
+        assert!(outcome.applied());
+        let updated = outcome.updated_production.unwrap();
+        // Production is now policy-clean.
+        let cp = converge(&updated);
+        let rep = heimdall_verify::checker::check_policies(&updated, &cp, &policies);
+        assert!(rep.all_hold());
+        // Audit recorded submission, verdict, and the applied change.
+        assert!(p.audit().len() >= 3);
+        assert!(p.verify_audit_integrity());
+        assert_eq!(p.audit().of_kind(AuditKind::ChangeApplied).len(), 1);
+    }
+
+    #[test]
+    fn rejected_changes_leave_production_untouched_but_audited() {
+        let (_healthy, broken, policies, privilege) = setup();
+        // Out-of-scope change.
+        let mut evil = broken.clone();
+        evil.device_by_name_mut("bdr1")
+            .unwrap()
+            .config
+            .static_routes
+            .clear();
+        let diff = diff_networks(&broken, &evil);
+        let (outcome, audit) = enforce("mallory", &broken, &diff, &policies, &privilege);
+        assert!(!outcome.applied());
+        assert!(audit
+            .entries
+            .iter()
+            .any(|e| e.detail.contains("RejectedPrivilege")));
+    }
+
+    #[test]
+    fn audit_tampering_is_detected_through_the_seal() {
+        let (healthy, broken, policies, privilege) = setup();
+        let diff = diff_networks(&broken, &healthy);
+        let platform = Platform::new("host");
+        let mut p = EnforcerPipeline::launch(&platform);
+        p.process("alice", &broken, &diff, &policies, &privilege);
+        assert!(p.verify_audit_integrity());
+
+        // Attacker rewrites the whole log consistently (valid chain!)...
+        let mut forged = AuditLog::new();
+        forged.append(AuditKind::Session, "alice", "nothing happened here");
+        assert!(forged.verify_chain().is_ok());
+        p.tamper_replace_audit(forged);
+        // ...but the sealed head no longer matches.
+        assert!(!p.verify_audit_integrity());
+    }
+
+    #[test]
+    fn customer_can_attest_the_enforcer() {
+        let platform = Platform::new("host");
+        let p = EnforcerPipeline::launch(&platform);
+        let report = p.enclave().attest([42u8; 16]);
+        let m = platform.verify_report(&report).unwrap();
+        assert_eq!(m, p.enclave().measurement());
+    }
+}

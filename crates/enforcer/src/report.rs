@@ -1,0 +1,189 @@
+//! Incident reports: the customer-facing record of an engagement.
+//!
+//! The paper's trustworthiness story ends with review: "tamper-resistant
+//! audit trails ... can be reviewed later to analyze a technician's
+//! network modifications." This module renders an engagement — verdict,
+//! changes, rollout plan, audit excerpt, integrity status — as a Markdown
+//! document a customer's security team would file with the ticket.
+
+use crate::audit::AuditLog;
+use crate::scheduler::Schedule;
+use crate::verifier::EnforcementReport;
+use heimdall_netmodel::diff::ConfigDiff;
+use std::fmt::Write as _;
+
+/// Everything that goes into an incident report.
+pub struct IncidentReport<'a> {
+    pub ticket_id: &'a str,
+    pub technician: &'a str,
+    pub summary: &'a str,
+    pub changes: &'a ConfigDiff,
+    pub enforcement: &'a EnforcementReport,
+    pub schedule: Option<&'a Schedule>,
+    pub audit: &'a AuditLog,
+}
+
+impl IncidentReport<'_> {
+    /// Renders the report as Markdown.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let w = &mut out;
+        let _ = writeln!(w, "# Incident report — {}", self.ticket_id);
+        let _ = writeln!(w);
+        let _ = writeln!(w, "- technician: `{}`", self.technician);
+        let _ = writeln!(w, "- summary: {}", self.summary);
+        let _ = writeln!(w, "- enforcement verdict: **{:?}**", self.enforcement.verdict);
+        let _ = writeln!(
+            w,
+            "- audit chain: {} entries, integrity {}",
+            self.audit.len(),
+            if self.audit.verify_chain().is_ok() { "VERIFIED" } else { "**BROKEN**" }
+        );
+        let _ = writeln!(w);
+
+        let _ = writeln!(w, "## Changes ({})", self.changes.len());
+        for c in &self.changes.changes {
+            let _ = writeln!(w, "- {}", c.summary());
+        }
+        let _ = writeln!(w);
+
+        if !self.enforcement.privilege_violations.is_empty() {
+            let _ = writeln!(w, "## Privilege violations");
+            for (s, d) in &self.enforcement.privilege_violations {
+                let _ = writeln!(w, "- {s} ({d:?})");
+            }
+            let _ = writeln!(w);
+        }
+        if !self.enforcement.differential.newly_violated.is_empty() {
+            let _ = writeln!(w, "## Policies the change-set would have violated");
+            for id in &self.enforcement.differential.newly_violated {
+                let _ = writeln!(w, "- `{id}`");
+            }
+            let _ = writeln!(w);
+        }
+        if !self.enforcement.differential.newly_fixed.is_empty() {
+            let _ = writeln!(w, "## Policies restored");
+            for id in &self.enforcement.differential.newly_fixed {
+                let _ = writeln!(w, "- `{id}`");
+            }
+            let _ = writeln!(w);
+        }
+        if !self.enforcement.new_lint_errors.is_empty() {
+            let _ = writeln!(w, "## Structural errors introduced");
+            for e in &self.enforcement.new_lint_errors {
+                let _ = writeln!(w, "- {e}");
+            }
+            let _ = writeln!(w);
+        }
+
+        if let Some(plan) = self.schedule {
+            let _ = writeln!(w, "## Rollout plan ({} steps)", plan.steps.len());
+            for (i, step) in plan.steps.iter().enumerate() {
+                let _ = writeln!(w, "{}. {}", i + 1, step.summary());
+            }
+            if plan.is_hitless() {
+                let _ = writeln!(w, "\nRollout simulated hitless.");
+            } else {
+                let _ = writeln!(
+                    w,
+                    "\n**{} transient violation(s) during rollout**:",
+                    plan.transient_count()
+                );
+                for (step, ids) in &plan.transient_violations {
+                    let _ = writeln!(w, "- after step {}: {ids:?}", step + 1);
+                }
+            }
+            let _ = writeln!(w);
+        }
+
+        let _ = writeln!(w, "## Audit trail");
+        for e in &self.audit.entries {
+            let _ = writeln!(w, "| {} | {:?} | {} | {} |", e.seq, e.kind, e.actor, e.detail);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::AuditKind;
+    use crate::pipeline::enforce;
+    use heimdall_netmodel::acl::AclAction;
+    use heimdall_netmodel::diff::diff_networks;
+    use heimdall_netmodel::gen::enterprise_network;
+    use heimdall_privilege::derive::{derive_privileges, Task, TaskKind};
+    use heimdall_routing::converge;
+    use heimdall_verify::mine::{mine_policies, MinerInput};
+
+    #[test]
+    fn renders_accepted_engagement() {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        let policies = mine_policies(&g.net, &cp, &MinerInput::from_meta(&g.meta));
+        let mut broken = g.net.clone();
+        broken
+            .device_by_name_mut("fw1")
+            .unwrap()
+            .config
+            .acls
+            .get_mut("100")
+            .unwrap()
+            .entries[1]
+            .action = AclAction::Deny;
+        let privilege = derive_privileges(
+            &broken,
+            &Task {
+                kind: TaskKind::AccessControl,
+                affected: vec!["h4".into(), "srv1".into()],
+            },
+        );
+        let diff = diff_networks(&broken, &g.net);
+        let (outcome, audit) = enforce("alice", &broken, &diff, &policies, &privilege);
+        let report = IncidentReport {
+            ticket_id: "TCK-ACL",
+            technician: "alice",
+            summary: "h4 cannot reach srv1; fw1 acl 100 line 2 restored",
+            changes: &diff,
+            enforcement: &outcome.report,
+            schedule: outcome.schedule.as_ref(),
+            audit: &audit,
+        };
+        let md = report.render();
+        assert!(md.contains("# Incident report — TCK-ACL"));
+        assert!(md.contains("verdict: **Accepted**"));
+        assert!(md.contains("integrity VERIFIED"));
+        assert!(md.contains("## Changes (1)"));
+        assert!(md.contains("replace acl 100"));
+        assert!(md.contains("## Rollout plan (1 steps)"));
+        assert!(md.contains("Rollout simulated hitless."));
+        assert!(md.contains("## Policies restored"));
+        assert!(md.contains("## Audit trail"));
+    }
+
+    #[test]
+    fn renders_rejection_with_reasons() {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        let policies = mine_policies(&g.net, &cp, &MinerInput::from_meta(&g.meta));
+        let privilege = heimdall_privilege::model::PrivilegeMsp::new();
+        let mut evil = g.net.clone();
+        evil.device_by_name_mut("bdr1").unwrap().config.static_routes.clear();
+        let diff = diff_networks(&g.net, &evil);
+        let (outcome, audit) = enforce("mallory", &g.net, &diff, &policies, &privilege);
+        let report = IncidentReport {
+            ticket_id: "TCK-X",
+            technician: "mallory",
+            summary: "rejected",
+            changes: &diff,
+            enforcement: &outcome.report,
+            schedule: outcome.schedule.as_ref(),
+            audit: &audit,
+        };
+        let md = report.render();
+        assert!(md.contains("RejectedPrivilege"));
+        assert!(md.contains("## Privilege violations"));
+        assert!(!md.contains("## Rollout plan"));
+        let _ = AuditKind::Command;
+    }
+}

@@ -1,0 +1,388 @@
+//! Change-set verification: the gate between the twin and production.
+//!
+//! Two independent checks, both of which must pass:
+//!
+//! 1. **Privilege compliance** — every [`ConfigChange`] is classified to a
+//!    `(Action, Resource)` request and evaluated against the ticket's
+//!    `Privilege_msp`. The twin's reference monitor already mediated the
+//!    *commands*, but the enforcer re-derives compliance from the *effects*
+//!    (defense in depth: a compromised twin cannot smuggle changes).
+//! 2. **Policy safety** — the changes are applied to a copy of production,
+//!    the copy is re-converged, and the mined network policies are checked
+//!    differentially. Changes that newly violate any policy are rejected
+//!    (this is what catches Figure 6's malicious extra ACL entry).
+
+use heimdall_netmodel::diff::{ConfigChange, ConfigDiff};
+use heimdall_netmodel::lint::{lint_at_least, Severity};
+use heimdall_netmodel::topology::Network;
+use heimdall_privilege::eval::{evaluate, Decision};
+use heimdall_privilege::model::{Action, PrivilegeMsp, Resource};
+use heimdall_verify::differential::{differential_check, DifferentialReport};
+use heimdall_verify::policy::PolicySet;
+use serde::{Deserialize, Serialize};
+
+/// Classifies a configuration change as a privilege request.
+pub fn classify_change(change: &ConfigChange) -> (Action, Resource) {
+    use ConfigChange::*;
+    let dev = |d: &str| Resource::Device(d.to_string());
+    let ifr = |d: &str, i: &str| Resource::Interface {
+        device: d.to_string(),
+        iface: i.to_string(),
+    };
+    let aclr = |d: &str, n: &str| Resource::Acl {
+        device: d.to_string(),
+        name: n.to_string(),
+    };
+    match change {
+        SetInterfaceEnabled { device, iface, .. }
+        | AddInterface {
+            device,
+            iface: heimdall_netmodel::iface::Interface { name: iface, .. },
+        }
+        | RemoveInterface { device, iface }
+        | SetBandwidth { device, iface, .. }
+        | SetDescription { device, iface, .. } => {
+            (Action::ModifyInterfaceState, ifr(device, iface))
+        }
+        SetInterfaceAddress { device, iface, .. } => (Action::ModifyIpAddress, ifr(device, iface)),
+        SetInterfaceAcl { device, acl, .. } => (
+            Action::ModifyAcl,
+            aclr(device, acl.as_deref().unwrap_or("*")),
+        ),
+        SetSwitchport { device, iface, .. } => (Action::ModifyVlan, ifr(device, iface)),
+        SetOspfCost { device, .. } | SetOspf { device, .. } => (Action::ModifyOspf, dev(device)),
+        ReplaceAcl { device, name, .. } | RemoveAcl { device, name } => {
+            (Action::ModifyAcl, aclr(device, name))
+        }
+        AddStaticRoute { device, .. } | RemoveStaticRoute { device, .. } => {
+            (Action::ModifyRoute, dev(device))
+        }
+        SetBgp { device, .. } => (Action::ModifyBgp, dev(device)),
+        UpsertVlan { device, .. } | RemoveVlan { device, .. } => (Action::ModifyVlan, dev(device)),
+        // Global lines and credentials are the most privileged surface.
+        SetRawGlobals { device, .. } | ReplaceSecrets { device, .. } => {
+            (Action::ModifyCredentials, dev(device))
+        }
+    }
+}
+
+/// The enforcer's verdict on a change-set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Safe to schedule into production.
+    Accepted,
+    /// At least one change exceeded the technician's privileges.
+    RejectedPrivilege,
+    /// At least one network policy would be newly violated.
+    RejectedPolicy,
+    /// The change-set introduces a structural error (dangling ACL
+    /// reference, duplicate address, ...) that behavioral checks cannot
+    /// see but that cannot match anyone's intent.
+    RejectedLint,
+    /// The change-set was prepared against a production state that has
+    /// since changed on the touched devices (stale work order; re-open
+    /// the twin).
+    RejectedStale,
+}
+
+/// The full verification result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnforcementReport {
+    pub verdict: Verdict,
+    /// Changes that exceeded privileges: `(summary, decision)`.
+    pub privilege_violations: Vec<(String, Decision)>,
+    /// Differential policy outcome of applying the change-set.
+    pub differential: DifferentialReport,
+    /// Structural errors the change-set would introduce.
+    pub new_lint_errors: Vec<String>,
+}
+
+impl EnforcementReport {
+    /// Whether the change-set may proceed to the scheduler.
+    pub fn accepted(&self) -> bool {
+        self.verdict == Verdict::Accepted
+    }
+}
+
+/// Verifies a change-set against privileges and policies.
+///
+/// Returns the report plus the patched network (so an accepted change-set
+/// can be scheduled without re-applying).
+pub fn verify_changes(
+    production: &Network,
+    diff: &ConfigDiff,
+    policies: &PolicySet,
+    privilege: &PrivilegeMsp,
+) -> (EnforcementReport, Option<Network>) {
+    // 1. Privilege compliance per change.
+    let mut privilege_violations = Vec::new();
+    for change in &diff.changes {
+        let (action, resource) = classify_change(change);
+        let decision = evaluate(privilege, action, &resource);
+        if !decision.is_allowed() {
+            privilege_violations.push((change.summary(), decision));
+        }
+    }
+    if !privilege_violations.is_empty() {
+        return (
+            EnforcementReport {
+                verdict: Verdict::RejectedPrivilege,
+                privilege_violations,
+                differential: DifferentialReport::default(),
+                new_lint_errors: Vec::new(),
+            },
+            None,
+        );
+    }
+
+    // 2. Structural sanity: the patched network must not introduce
+    //    error-level lint findings (a dangling ACL reference *behaves*
+    //    like "no ACL", so the policy check alone would wave it through).
+    let mut patched = production.clone();
+    if let Err(e) = diff.apply_to_network(&mut patched) {
+        return (
+            EnforcementReport {
+                verdict: Verdict::RejectedPolicy,
+                privilege_violations: vec![(format!("change-set does not apply: {e}"), Decision::DeniedDefault)],
+                differential: DifferentialReport::default(),
+                new_lint_errors: Vec::new(),
+            },
+            None,
+        );
+    }
+    let baseline_errors: std::collections::BTreeSet<String> =
+        lint_at_least(production, Severity::Error)
+            .into_iter()
+            .map(|f| f.to_string())
+            .collect();
+    let new_lint_errors: Vec<String> = lint_at_least(&patched, Severity::Error)
+        .into_iter()
+        .map(|f| f.to_string())
+        .filter(|f| !baseline_errors.contains(f))
+        .collect();
+    if !new_lint_errors.is_empty() {
+        return (
+            EnforcementReport {
+                verdict: Verdict::RejectedLint,
+                privilege_violations,
+                differential: DifferentialReport::default(),
+                new_lint_errors,
+            },
+            None,
+        );
+    }
+
+    // 3. Policy safety, differentially.
+    let (differential, _, _) = differential_check(production, &patched, policies);
+    let verdict = if differential.is_safe() {
+        Verdict::Accepted
+    } else {
+        Verdict::RejectedPolicy
+    };
+    let accepted = verdict == Verdict::Accepted;
+    (
+        EnforcementReport {
+            verdict,
+            privilege_violations,
+            differential,
+            new_lint_errors,
+        },
+        accepted.then_some(patched),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_netmodel::diff::AclDirection;
+    use heimdall_netmodel::acl::AclAction;
+    use heimdall_netmodel::diff::diff_networks;
+    use heimdall_netmodel::gen::enterprise_network;
+    use heimdall_privilege::derive::{derive_privileges, Task, TaskKind};
+    use heimdall_routing::converge;
+    use heimdall_verify::mine::{mine_policies, MinerInput};
+
+    /// The standing fixture: production broken by the Figure 6 misconfig,
+    /// policies mined from the healthy network.
+    struct Fixture {
+        healthy: Network,
+        broken: Network,
+        policies: PolicySet,
+        privilege: PrivilegeMsp,
+    }
+
+    fn fixture() -> Fixture {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        let policies = mine_policies(&g.net, &cp, &MinerInput::from_meta(&g.meta));
+        let mut broken = g.net.clone();
+        broken
+            .device_by_name_mut("fw1")
+            .unwrap()
+            .config
+            .acls
+            .get_mut("100")
+            .unwrap()
+            .entries[1]
+            .action = AclAction::Deny;
+        let task = Task {
+            kind: TaskKind::AccessControl,
+            affected: vec!["h4".into(), "srv1".into()],
+        };
+        let privilege = derive_privileges(&broken, &task);
+        Fixture {
+            healthy: g.net,
+            broken,
+            policies,
+            privilege,
+        }
+    }
+
+    #[test]
+    fn legitimate_fix_is_accepted() {
+        let f = fixture();
+        // The fix restores the healthy fw1 config.
+        let diff = diff_networks(&f.broken, &f.healthy);
+        assert_eq!(diff.len(), 1);
+        let (report, patched) = verify_changes(&f.broken, &diff, &f.policies, &f.privilege);
+        assert!(report.accepted(), "{report:?}");
+        assert!(report.differential.fully_fixed());
+        assert!(patched.is_some());
+    }
+
+    #[test]
+    fn malicious_extra_permit_is_rejected_by_policy() {
+        let f = fixture();
+        // Fix the rule AND add a permit h2-subnet -> LAN3 (sensitive h7).
+        let mut evil = f.healthy.clone();
+        {
+            let acc3 = evil.device_by_name_mut("acc3").unwrap();
+            let acl = acc3.config.acls.get_mut("120").unwrap();
+            acl.entries.insert(
+                0,
+                heimdall_netmodel::acl::AclEntry::simple(
+                    AclAction::Permit,
+                    heimdall_netmodel::acl::Proto::Any,
+                    "10.1.1.0/24".parse().unwrap(),
+                    "10.1.3.0/24".parse().unwrap(),
+                ),
+            );
+        }
+        let diff = diff_networks(&f.broken, &evil);
+        // Mallory needs acl rights on acc3 for this test: grant them so the
+        // *policy* layer is what catches it.
+        let mut privilege = f.privilege.clone();
+        privilege.predicates.push(heimdall_privilege::model::Predicate::allow(
+            Action::ModifyAcl,
+            heimdall_privilege::model::ResourcePattern::Device("acc3".into()),
+        ));
+        let (report, patched) = verify_changes(&f.broken, &diff, &f.policies, &privilege);
+        assert_eq!(report.verdict, Verdict::RejectedPolicy);
+        assert!(report
+            .differential
+            .newly_violated
+            .iter()
+            .any(|id| id.contains("LAN1") && id.contains("LAN3")));
+        assert!(patched.is_none());
+    }
+
+    #[test]
+    fn out_of_privilege_change_is_rejected_first() {
+        let f = fixture();
+        // A change on bdr1 (not in the task's relevant set).
+        let mut evil = f.broken.clone();
+        evil.device_by_name_mut("bdr1")
+            .unwrap()
+            .config
+            .static_routes
+            .clear();
+        let diff = diff_networks(&f.broken, &evil);
+        let (report, patched) = verify_changes(&f.broken, &diff, &f.policies, &f.privilege);
+        assert_eq!(report.verdict, Verdict::RejectedPrivilege);
+        assert_eq!(report.privilege_violations.len(), 1);
+        assert!(report.privilege_violations[0].0.contains("bdr1"));
+        assert!(patched.is_none());
+    }
+
+    #[test]
+    fn dangling_acl_binding_rejected_by_lint_gate() {
+        // Binding a nonexistent ACL behaves like "no ACL" (fails open!),
+        // so the policy check alone would accept it. The lint gate must
+        // not.
+        let f = fixture();
+        let diff = ConfigDiff {
+            changes: vec![ConfigChange::SetInterfaceAcl {
+                device: "fw1".into(),
+                iface: "Gi0/3".into(),
+                direction: AclDirection::Out,
+                acl: Some("no-such-acl".into()),
+            }],
+        };
+        let mut privilege = f.privilege.clone();
+        privilege.predicates.push(heimdall_privilege::model::Predicate::allow(
+            Action::ModifyAcl,
+            heimdall_privilege::model::ResourcePattern::Acl {
+                device: "fw1".into(),
+                name: "*".into(),
+            },
+        ));
+        let (report, patched) = verify_changes(&f.broken, &diff, &f.policies, &privilege);
+        assert_eq!(report.verdict, Verdict::RejectedLint, "{report:?}");
+        assert!(report.new_lint_errors.iter().any(|e| e.contains("no-such-acl")));
+        assert!(patched.is_none());
+    }
+
+    #[test]
+    fn credential_changes_classified_most_privileged() {
+        let c = ConfigChange::ReplaceSecrets {
+            device: "fw1".into(),
+            secrets: Default::default(),
+        };
+        let (a, r) = classify_change(&c);
+        assert_eq!(a, Action::ModifyCredentials);
+        assert_eq!(r, Resource::Device("fw1".into()));
+    }
+
+    #[test]
+    fn empty_diff_is_trivially_accepted() {
+        let f = fixture();
+        let diff = ConfigDiff::default();
+        let (report, patched) = verify_changes(&f.broken, &diff, &f.policies, &f.privilege);
+        assert!(report.accepted());
+        // Note: an empty diff still "applies"; the broken policies remain
+        // violated but nothing is *newly* violated.
+        assert!(report.differential.is_safe());
+        assert!(!report.differential.fully_fixed());
+        assert!(patched.is_some());
+    }
+
+    #[test]
+    fn classification_covers_every_change_kind() {
+        use heimdall_netmodel::iface::Interface;
+        let cases: Vec<ConfigChange> = vec![
+            ConfigChange::AddInterface { device: "d".into(), iface: Interface::new("e0") },
+            ConfigChange::RemoveInterface { device: "d".into(), iface: "e0".into() },
+            ConfigChange::SetInterfaceAddress { device: "d".into(), iface: "e0".into(), address: None },
+            ConfigChange::SetInterfaceEnabled { device: "d".into(), iface: "e0".into(), enabled: true },
+            ConfigChange::SetInterfaceAcl { device: "d".into(), iface: "e0".into(), direction: AclDirection::In, acl: None },
+            ConfigChange::SetSwitchport { device: "d".into(), iface: "e0".into(), mode: None },
+            ConfigChange::SetOspfCost { device: "d".into(), iface: "e0".into(), cost: None },
+            ConfigChange::SetBandwidth { device: "d".into(), iface: "e0".into(), kbps: 1 },
+            ConfigChange::SetDescription { device: "d".into(), iface: "e0".into(), description: None },
+            ConfigChange::ReplaceAcl { device: "d".into(), name: "1".into(), entries: vec![] },
+            ConfigChange::RemoveAcl { device: "d".into(), name: "1".into() },
+            ConfigChange::AddStaticRoute { device: "d".into(), route: heimdall_netmodel::proto::StaticRoute::default_via("1.1.1.1".parse().unwrap()) },
+            ConfigChange::RemoveStaticRoute { device: "d".into(), route: heimdall_netmodel::proto::StaticRoute::default_via("1.1.1.1".parse().unwrap()) },
+            ConfigChange::SetOspf { device: "d".into(), ospf: None },
+            ConfigChange::SetBgp { device: "d".into(), bgp: None },
+            ConfigChange::UpsertVlan { device: "d".into(), vlan: heimdall_netmodel::vlan::Vlan::new(1) },
+            ConfigChange::RemoveVlan { device: "d".into(), vlan: 1 },
+            ConfigChange::SetRawGlobals { device: "d".into(), lines: vec![] },
+            ConfigChange::ReplaceSecrets { device: "d".into(), secrets: Default::default() },
+        ];
+        for c in cases {
+            let (_, r) = classify_change(&c);
+            assert_eq!(r.device(), "d", "{c:?}");
+        }
+    }
+}

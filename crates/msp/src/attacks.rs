@@ -1,0 +1,417 @@
+//! The motivating incidents (§2.2), as executable scenarios run under both
+//! the current RMM approach and Heimdall.
+//!
+//! Each scenario returns a structured outcome so tests and examples can
+//! assert the paper's security claims:
+//!
+//! - [`credential_exfiltration`] — Figure 2 / APT10: an attacker with a
+//!   technician's session harvests credentials from device configs;
+//! - [`malicious_acl_change`] — Figure 6: a technician fixes the ticket
+//!   *and* slips in a rule opening a path to a sensitive host, using the
+//!   same legitimate command class;
+//! - [`careless_destruction`] — Figure 3: `write erase` on the gateway.
+
+use crate::issues::{inject_issue, IssueKind};
+use crate::rmm::RmmSession;
+use heimdall_enforcer::pipeline::enforce;
+use heimdall_netmodel::gen::GenMeta;
+use heimdall_netmodel::topology::Network;
+use heimdall_privilege::derive::derive_privileges;
+use heimdall_routing::converge;
+use heimdall_twin::session::TwinSession;
+use heimdall_twin::slice::slice_for_task;
+use heimdall_verify::checker::check_policies;
+use heimdall_verify::mine::{mine_policies, MinerInput};
+use heimdall_verify::policy::PolicySet;
+use serde::{Deserialize, Serialize};
+
+/// Shared setup: policies mined from healthy production.
+fn mined(production: &Network, meta: &GenMeta) -> PolicySet {
+    let cp = converge(production);
+    mine_policies(production, &cp, &MinerInput::from_meta(meta))
+}
+
+/// Outcome of the APT10-style credential harvest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExfiltrationOutcome {
+    /// Distinct secret strings present in production configs.
+    pub secrets_total: usize,
+    /// Secrets readable through the RMM session.
+    pub secrets_rmm: usize,
+    /// Secrets readable through the Heimdall twin.
+    pub secrets_heimdall: usize,
+    /// Heimdall console requests the monitor denied.
+    pub heimdall_denials: usize,
+}
+
+/// Runs the exfiltration scenario: the attacker issues
+/// `show running-config` on every device they can name, and greps the
+/// output for credential material.
+pub fn credential_exfiltration(production: &Network, meta: &GenMeta) -> ExfiltrationOutcome {
+    // What there is to steal.
+    let mut all_secrets: Vec<String> = Vec::new();
+    for (_, d) in production.devices() {
+        all_secrets.extend(d.config.secrets.all_values().iter().map(|s| s.to_string()));
+    }
+    all_secrets.sort();
+    all_secrets.dedup();
+
+    let device_names: Vec<String> = production.devices().map(|(_, d)| d.name.clone()).collect();
+    let harvested = |outputs: &[String]| -> usize {
+        all_secrets
+            .iter()
+            .filter(|s| outputs.iter().any(|o| o.contains(s.as_str())))
+            .count()
+    };
+
+    // Current approach: root on production.
+    let mut rmm = RmmSession::login(production.clone());
+    let mut rmm_out = Vec::new();
+    for d in &device_names {
+        if let Ok(o) = rmm.exec(d, "show running-config") {
+            rmm_out.push(o);
+        }
+    }
+
+    // Heimdall: the attacker holds a legitimate connectivity ticket.
+    let mut broken = production.clone();
+    let issue = inject_issue(&mut broken, meta, IssueKind::AclDeny).expect("acl issue exists");
+    let task = heimdall_privilege::derive::Task {
+        kind: issue.task_kind,
+        affected: issue.affected.clone(),
+    };
+    let twin = slice_for_task(&broken, &task);
+    let spec = derive_privileges(&broken, &task);
+    let mut session = TwinSession::open("apt10", twin, spec);
+    let mut twin_out = Vec::new();
+    for d in &device_names {
+        if let Ok(o) = session.exec(d, "show running-config") {
+            twin_out.push(o);
+        }
+    }
+    let denials = session.monitor().denials().len();
+
+    ExfiltrationOutcome {
+        secrets_total: all_secrets.len(),
+        secrets_rmm: harvested(&rmm_out),
+        secrets_heimdall: harvested(&twin_out),
+        heimdall_denials: denials,
+    }
+}
+
+/// Outcome of the Figure 6 malicious-change scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MaliciousChangeOutcome {
+    /// Policies newly violated in production under the RMM approach.
+    pub rmm_new_violations: usize,
+    /// Whether Heimdall's twin consoles allowed the malicious command
+    /// (they should — it looks legitimate; that is the paper's point).
+    pub heimdall_command_allowed: bool,
+    /// Whether the enforcer imported the change-set into production.
+    pub heimdall_applied: bool,
+    /// Policy ids the enforcer cited when rejecting.
+    pub heimdall_rejected_for: Vec<String>,
+}
+
+/// Ticket: LAN3 cannot reach the DMZ (fw1 ACL broken). The technician
+/// fixes it and also slips `permit LAN1 -> LAN3` into acc3's lockdown ACL,
+/// opening the path to sensitive h7.
+pub fn malicious_acl_change(production: &Network, meta: &GenMeta) -> MaliciousChangeOutcome {
+    assert_eq!(meta.name, "enterprise", "scenario is enterprise-specific");
+    let policies = mined(production, meta);
+
+    // Break fw1's LAN3->DMZ permit.
+    let mut broken = production.clone();
+    broken
+        .device_by_name_mut("fw1")
+        .expect("fw1")
+        .config
+        .acls
+        .get_mut("100")
+        .expect("acl 100")
+        .entries[2]
+        .action = heimdall_netmodel::acl::AclAction::Deny;
+
+    let fix = ("fw1", "no access-list 100 line 3");
+    let fix2 = (
+        "fw1",
+        "access-list 100 line 3 permit ip 10.1.3.0 0.0.0.255 10.2.1.0 0.0.0.255",
+    );
+    let malicious = (
+        "acc3",
+        "access-list 120 line 1 permit ip 10.1.1.0 0.0.0.255 10.1.3.0 0.0.0.255",
+    );
+
+    // --- RMM: everything lands on production. -----------------------------
+    let before = {
+        let cp = converge(&broken);
+        check_policies(&broken, &cp, &policies)
+    };
+    let mut rmm = RmmSession::login(broken.clone());
+    for (d, c) in [fix, fix2, malicious] {
+        rmm.exec(d, c).expect("RMM refuses nothing");
+    }
+    let rmm_net = rmm.logout();
+    let after = {
+        let cp = converge(&rmm_net);
+        check_policies(&rmm_net, &cp, &policies)
+    };
+    let diff = heimdall_verify::differential::diff_reports(&before, &after);
+    let rmm_new_violations = diff.newly_violated.len();
+
+    // --- Heimdall: twin + enforcer. -----------------------------------------
+    let task = heimdall_privilege::derive::Task {
+        kind: heimdall_privilege::derive::TaskKind::AccessControl,
+        affected: vec!["h8".to_string(), "srv1".to_string()],
+    };
+    let twin = slice_for_task(&broken, &task);
+    let spec = derive_privileges(&broken, &task);
+    let mut session = TwinSession::open("mallory", twin, spec.clone());
+    let mut allowed = true;
+    for (d, c) in [fix, fix2, malicious] {
+        if session.exec(d, c).is_err() {
+            allowed = false;
+        }
+    }
+    let (changes, _) = session.finish();
+    let (outcome, _audit) = enforce("mallory", &broken, &changes, &policies, &spec);
+
+    MaliciousChangeOutcome {
+        rmm_new_violations,
+        heimdall_command_allowed: allowed,
+        heimdall_applied: outcome.applied(),
+        heimdall_rejected_for: outcome.report.differential.newly_violated.clone(),
+    }
+}
+
+/// Outcome of the mass-push (ransomware staging) scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MassPushOutcome {
+    /// Devices in the network.
+    pub devices_total: usize,
+    /// Devices whose credentials the attacker replaced over RMM.
+    pub rmm_devices_owned: usize,
+    /// Devices the attacker touched through Heimdall.
+    pub heimdall_devices_owned: usize,
+    /// Heimdall console denials during the push.
+    pub heimdall_denials: usize,
+}
+
+/// The Kaseya-style incident the paper cites ("Kaseya weaponized to
+/// deliver sodinokibi ransomware"): an attacker with an MSP session
+/// pushes a credential-replacing payload to every device at once. Over
+/// RMM this is one loop; through Heimdall the twin's reference monitor
+/// denies credential changes everywhere and off-slice devices do not even
+/// resolve.
+pub fn mass_push(production: &Network, meta: &GenMeta) -> MassPushOutcome {
+    let devices_total = production.device_count();
+    let names: Vec<String> = production.devices().map(|(_, d)| d.name.clone()).collect();
+    let payload = |d: &str| (d.to_string(), "enable secret pwned-by-rEvil".to_string());
+
+    // RMM: the loop just works.
+    let mut rmm = RmmSession::login(production.clone());
+    let mut owned = 0usize;
+    for d in &names {
+        if rmm.exec(d, &payload(d).1).is_ok() {
+            owned += 1;
+        }
+    }
+    let rmm_net = rmm.logout();
+    let rmm_devices_owned = rmm_net
+        .devices()
+        .filter(|(_, d)| d.config.secrets.enable_secret.as_deref() == Some("pwned-by-rEvil"))
+        .count();
+    debug_assert_eq!(owned, rmm_devices_owned);
+
+    // Heimdall: same payload through a legitimate ticket's twin.
+    let mut broken = production.clone();
+    let issue = inject_issue(&mut broken, meta, IssueKind::AclDeny).expect("acl issue");
+    let task = heimdall_privilege::derive::Task {
+        kind: issue.task_kind,
+        affected: issue.affected.clone(),
+    };
+    let twin = slice_for_task(&broken, &task);
+    let spec = derive_privileges(&broken, &task);
+    let mut session = TwinSession::open("rEvil", twin, spec);
+    let mut heimdall_owned = 0usize;
+    for d in &names {
+        if session.exec(d, &payload(d).1).is_ok() {
+            heimdall_owned += 1;
+        }
+    }
+    let denials = session.monitor().denials().len();
+    // Even a hypothetical success would still face the enforcer; but the
+    // monitor already stopped everything.
+    MassPushOutcome {
+        devices_total,
+        rmm_devices_owned,
+        heimdall_devices_owned: heimdall_owned,
+        heimdall_denials: denials,
+    }
+}
+
+/// Outcome of the stolen-credentials scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StolenCredentialsOutcome {
+    /// Devices an attacker with phished credentials can act on over RMM.
+    pub rmm_devices: usize,
+    /// Distinct (device, action) capabilities over RMM.
+    pub rmm_capabilities: usize,
+    /// Devices reachable through the Heimdall twin of the active ticket.
+    pub heimdall_devices: usize,
+    /// Distinct (device, action) capabilities under the derived
+    /// Privilege_msp.
+    pub heimdall_capabilities: usize,
+}
+
+/// §3: "A rogue technician or an attacker that passes the authentication
+/// (e.g., by phishing credentials) can still cause the above example
+/// incidents." With RMM, valid credentials are total power; with
+/// Heimdall, stolen credentials are worth exactly the active ticket's
+/// least-privilege grant.
+pub fn stolen_credentials(production: &Network, meta: &GenMeta) -> StolenCredentialsOutcome {
+    use heimdall_privilege::eval::allowed_action_count;
+    use heimdall_privilege::model::Action;
+
+    // RMM: authentication is the only gate; root on everything follows.
+    let mut server = crate::rmm::RmmServer::new(production.clone(), &[("tech", "phished!")]);
+    let session = server.login("tech", "phished!").expect("stolen creds pass");
+    let rmm_devices = session.production().device_count();
+    let rmm_capabilities = rmm_devices * Action::ALL.len();
+    drop(session);
+
+    // Heimdall: the same stolen identity only unlocks the open ticket.
+    let mut broken = production.clone();
+    let issue = inject_issue(&mut broken, meta, IssueKind::AclDeny).expect("acl issue");
+    let task = heimdall_privilege::derive::Task {
+        kind: issue.task_kind,
+        affected: issue.affected.clone(),
+    };
+    let twin = slice_for_task(&broken, &task);
+    let spec = derive_privileges(&broken, &task);
+    let heimdall_capabilities = production
+        .devices()
+        .map(|(_, d)| allowed_action_count(&spec, &d.name))
+        .sum();
+
+    StolenCredentialsOutcome {
+        rmm_devices,
+        rmm_capabilities,
+        heimdall_devices: twin.net.device_count(),
+        heimdall_capabilities,
+    }
+}
+
+/// Outcome of the Figure 3 careless-destruction scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DestructionOutcome {
+    /// Policies violated in production after the RMM accident.
+    pub rmm_violations: usize,
+    /// Whether the twin's reference monitor blocked the command.
+    pub heimdall_blocked: bool,
+    /// Production policy violations under Heimdall (must be zero).
+    pub heimdall_violations: usize,
+}
+
+/// A technician sent to reconfigure the border router fat-fingers a
+/// destructive wipe.
+pub fn careless_destruction(production: &Network, meta: &GenMeta) -> DestructionOutcome {
+    let policies = mined(production, meta);
+    let gateway = &meta.border_router;
+
+    // RMM: the wipe lands on production.
+    let mut rmm = RmmSession::login(production.clone());
+    rmm.exec(gateway, "write erase").expect("RMM refuses nothing");
+    let rmm_net = rmm.logout();
+    let rmm_violations = {
+        let cp = converge(&rmm_net);
+        check_policies(&rmm_net, &cp, &policies).violation_count()
+    };
+
+    // Heimdall: an ISP-change ticket scoped to the gateway.
+    let task = heimdall_privilege::derive::Task {
+        kind: heimdall_privilege::derive::TaskKind::IspChange,
+        affected: vec![gateway.clone()],
+    };
+    let twin = slice_for_task(production, &task);
+    let spec = derive_privileges(production, &task);
+    let mut session = TwinSession::open("careless", twin, spec);
+    let blocked = session.exec(gateway, "write erase").is_err();
+    let (changes, _) = session.finish();
+    // Even if something had changed, nothing was: production is untouched.
+    assert!(changes.is_empty());
+    let heimdall_violations = {
+        let cp = converge(production);
+        check_policies(production, &cp, &policies).violation_count()
+    };
+
+    DestructionOutcome {
+        rmm_violations,
+        heimdall_blocked: blocked,
+        heimdall_violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_netmodel::gen::enterprise_network;
+
+    #[test]
+    fn exfiltration_blocked_by_sanitized_twin() {
+        let g = enterprise_network();
+        let o = credential_exfiltration(&g.net, &g.meta);
+        assert!(o.secrets_total >= 30, "enough to steal: {}", o.secrets_total);
+        assert_eq!(o.secrets_rmm, o.secrets_total, "RMM leaks everything");
+        assert_eq!(o.secrets_heimdall, 0, "twin leaks nothing");
+        assert!(o.heimdall_denials > 0, "off-slice reads are denied");
+    }
+
+    #[test]
+    fn malicious_change_caught_by_enforcer_not_console() {
+        let g = enterprise_network();
+        let o = malicious_acl_change(&g.net, &g.meta);
+        // RMM: production ends up violating the LAN1->LAN3 isolation.
+        assert!(o.rmm_new_violations >= 1, "{o:?}");
+        // Heimdall: the command *looked* legitimate and was allowed...
+        assert!(o.heimdall_command_allowed, "{o:?}");
+        // ...but the enforcer refused to import it.
+        assert!(!o.heimdall_applied, "{o:?}");
+        assert!(o
+            .heimdall_rejected_for
+            .iter()
+            .any(|id| id.contains("LAN1") && id.contains("LAN3")), "{o:?}");
+    }
+
+    #[test]
+    fn mass_push_owns_everything_over_rmm_nothing_via_heimdall() {
+        let g = enterprise_network();
+        let o = mass_push(&g.net, &g.meta);
+        assert_eq!(o.devices_total, 18);
+        assert_eq!(o.rmm_devices_owned, 18, "{o:?}");
+        assert_eq!(o.heimdall_devices_owned, 0, "{o:?}");
+        assert_eq!(o.heimdall_denials, 18, "every push attempt denied");
+    }
+
+    #[test]
+    fn stolen_credentials_bounded_by_ticket() {
+        let g = enterprise_network();
+        let o = stolen_credentials(&g.net, &g.meta);
+        assert_eq!(o.rmm_devices, 18);
+        assert_eq!(o.rmm_capabilities, 18 * 12);
+        assert!(o.heimdall_devices < o.rmm_devices / 2, "{o:?}");
+        assert!(
+            o.heimdall_capabilities < o.rmm_capabilities / 4,
+            "{o:?}"
+        );
+    }
+
+    #[test]
+    fn destruction_blocked_at_the_monitor() {
+        let g = enterprise_network();
+        let o = careless_destruction(&g.net, &g.meta);
+        assert!(o.rmm_violations > 0, "RMM outage is real: {o:?}");
+        assert!(o.heimdall_blocked);
+        assert_eq!(o.heimdall_violations, 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Automated fault localization: from a failing probe to a root-cause
+//! hypothesis.
+//!
+//! The paper's technician "may start the debugging process at the effected
+//! host ... if they suspect that the issue is not associated with the
+//! host, but is actually caused by intermediate switches or middleboxes,
+//! then they can examine and modify configurations on these network
+//! devices as well." This module mechanizes that first sweep: trace the
+//! failing flow, read the disposition, and name the device and problem
+//! class — which is also exactly the input the escalation workflow needs
+//! ("the trace shows acl 100 denying...").
+
+use heimdall_dataplane::{Disposition, Flow};
+use heimdall_privilege::derive::TaskKind;
+use heimdall_twin::emu::EmulatedNetwork;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// What kind of fault the trace evidence points at.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultClass {
+    /// An ACL dropped the flow: `(acl name, 1-based line)`.
+    AclDeny { acl: String, line: usize },
+    /// No route at the named device.
+    MissingRoute,
+    /// The flow was null-routed.
+    NullRoute,
+    /// Next hop unreachable at L2: down link, absent host, or VLAN
+    /// mismatch at/behind the named device.
+    L2OrLink { iface: String },
+    /// A forwarding loop.
+    Loop,
+    /// The flow actually succeeds (no fault to localize).
+    NoFault,
+}
+
+/// A localization result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnosis {
+    /// The device the evidence points at.
+    pub device: String,
+    pub class: FaultClass,
+    /// The hop-by-hop evidence, rendered.
+    pub evidence: String,
+    /// The ticket class this fault maps onto (drives escalation).
+    pub suggested_task: TaskKind,
+}
+
+/// Traces `src -> dst` in the emulation and localizes the failure.
+/// Returns `None` when the source device cannot originate the probe.
+pub fn localize(emu: &mut EmulatedNetwork, src_device: &str, dst: Ipv4Addr) -> Option<Diagnosis> {
+    let src_ip = emu.network().device_by_name(src_device)?.primary_address()?;
+    let trace = emu.trace_from(src_device, &Flow::icmp(src_ip, dst))?;
+    let evidence = trace.to_string();
+    let (device, class) = match &trace.disposition {
+        Disposition::Delivered { device } | Disposition::ExitsNetwork { device, .. } => {
+            (device.clone(), FaultClass::NoFault)
+        }
+        Disposition::DeniedIn { device, acl, line }
+        | Disposition::DeniedOut { device, acl, line } => (
+            device.clone(),
+            FaultClass::AclDeny {
+                acl: acl.clone(),
+                line: *line,
+            },
+        ),
+        Disposition::NoRoute { device } => (device.clone(), FaultClass::MissingRoute),
+        Disposition::NullRouted { device } => (device.clone(), FaultClass::NullRoute),
+        Disposition::NeighborUnreachable { device, iface } => (
+            device.clone(),
+            FaultClass::L2OrLink {
+                iface: iface.clone(),
+            },
+        ),
+        Disposition::Loop { device } => (device.clone(), FaultClass::Loop),
+    };
+    let suggested_task = match &class {
+        FaultClass::AclDeny { .. } => TaskKind::AccessControl,
+        FaultClass::MissingRoute | FaultClass::NullRoute | FaultClass::Loop => TaskKind::Routing,
+        FaultClass::L2OrLink { .. } => TaskKind::Vlan,
+        FaultClass::NoFault => TaskKind::Monitoring,
+    };
+    Some(Diagnosis {
+        device,
+        class,
+        evidence,
+        suggested_task,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::issues::{inject_issue, IssueKind};
+    use heimdall_netmodel::gen::enterprise_network;
+
+    fn diagnose(kind: IssueKind) -> (crate::issues::Issue, Diagnosis) {
+        let g = enterprise_network();
+        let mut net = g.net.clone();
+        let issue = inject_issue(&mut net, &g.meta, kind).expect("enterprise issue");
+        let mut emu = EmulatedNetwork::new(net);
+        let d = localize(&mut emu, &issue.probe.0, issue.probe.1).expect("probe source valid");
+        (issue, d)
+    }
+
+    #[test]
+    fn localizes_the_acl_issue() {
+        let (issue, d) = diagnose(IssueKind::AclDeny);
+        assert_eq!(d.device, issue.root_cause);
+        assert!(
+            matches!(&d.class, FaultClass::AclDeny { acl, line } if acl == "100" && *line == 2),
+            "{d:?}"
+        );
+        assert_eq!(d.suggested_task, TaskKind::AccessControl);
+        assert!(d.evidence.contains("fw1"));
+    }
+
+    #[test]
+    fn localizes_the_vlan_issue_to_the_stranded_side() {
+        let (_, d) = diagnose(IssueKind::Vlan);
+        // The frame dies leaving h7 (its gateway became unreachable); the
+        // L2/link classification points the technician at exactly the
+        // right layer, and the suggested task is VLAN work.
+        assert!(matches!(d.class, FaultClass::L2OrLink { .. }), "{d:?}");
+        assert_eq!(d.suggested_task, TaskKind::Vlan);
+    }
+
+    #[test]
+    fn localizes_the_ospf_issue_as_routing() {
+        let (_, d) = diagnose(IssueKind::Ospf);
+        // The probe dies where the default route gives out (no specific
+        // route anywhere): class must be routing-flavored.
+        assert!(
+            matches!(d.class, FaultClass::MissingRoute | FaultClass::L2OrLink { .. }),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn healthy_probe_reports_no_fault() {
+        let g = enterprise_network();
+        let mut emu = EmulatedNetwork::new(g.net);
+        let d = localize(&mut emu, "h1", "10.2.1.10".parse().unwrap()).unwrap();
+        assert_eq!(d.class, FaultClass::NoFault);
+        assert_eq!(d.device, "srv1");
+        assert_eq!(d.suggested_task, TaskKind::Monitoring);
+    }
+
+    #[test]
+    fn unknown_source_returns_none() {
+        let g = enterprise_network();
+        let mut emu = EmulatedNetwork::new(g.net);
+        assert!(localize(&mut emu, "ghost", "10.2.1.10".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn loop_classified_as_routing() {
+        use heimdall_netmodel::builder::NetBuilder;
+        use heimdall_netmodel::proto::StaticRoute;
+        let mut b = NetBuilder::new();
+        b.router("r1").router("r2");
+        let (_, r1_ip, _, r2_ip, _) = b.connect("r1", "r2");
+        b.lan("r1", "10.1.0.0/24".parse().unwrap(), &["a"]);
+        b.device_mut("r1")
+            .config
+            .static_routes
+            .push(StaticRoute::new("9.9.9.0/24".parse().unwrap(), r2_ip));
+        b.device_mut("r2")
+            .config
+            .static_routes
+            .push(StaticRoute::new("9.9.9.0/24".parse().unwrap(), r1_ip));
+        let mut emu = EmulatedNetwork::new(b.build());
+        let d = localize(&mut emu, "a", "9.9.9.9".parse().unwrap()).unwrap();
+        assert_eq!(d.class, FaultClass::Loop);
+        assert_eq!(d.suggested_task, TaskKind::Routing);
+    }
+}

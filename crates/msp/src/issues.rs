@@ -1,0 +1,379 @@
+//! Issue injectors: reproductions of the real-world problem classes the
+//! paper evaluates ("an OSPF issue, an ISP reconfiguration, and a VLAN
+//! issue", plus Figure 6's ACL misconfiguration and the Figure 8/9
+//! interface-down sweep).
+//!
+//! Each injector mutates a production network into its broken state and
+//! returns an [`Issue`]: the ticket fields, the root-cause device, a probe
+//! that observably fails while broken, and the "prepared list of commands"
+//! an experienced technician replays to fix it (the paper's level playing
+//! field for the Figure 7 timing study).
+
+use heimdall_netmodel::acl::AclAction;
+use heimdall_netmodel::gen::GenMeta;
+use heimdall_netmodel::topology::Network;
+use heimdall_netmodel::vlan::SwitchPortMode;
+use heimdall_privilege::derive::TaskKind;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// The evaluated issue classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IssueKind {
+    /// Access port in the wrong VLAN (enterprise only).
+    Vlan,
+    /// Router no longer advertising a prefix (missing `network` statement).
+    Ospf,
+    /// Upstream renumbering: interface re-addressing + default route swap.
+    Isp,
+    /// Firewall ACL entry flipped to deny (Figure 6).
+    AclDeny,
+}
+
+impl IssueKind {
+    /// Short label used in Figure 7's x-axis.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IssueKind::Vlan => "vlan",
+            IssueKind::Ospf => "ospf",
+            IssueKind::Isp => "isp",
+            IssueKind::AclDeny => "acl",
+        }
+    }
+}
+
+/// A fully described injected issue.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Issue {
+    pub kind: IssueKind,
+    pub id: String,
+    pub title: String,
+    /// Ticket endpoints (drives privilege derivation and twin slicing).
+    pub affected: Vec<String>,
+    pub task_kind: TaskKind,
+    /// The device whose configuration is actually wrong.
+    pub root_cause: String,
+    /// `(source device, destination address)`: pingable while healthy,
+    /// failing while broken.
+    pub probe: (String, Ipv4Addr),
+    /// The prepared command list `(device, console line)`.
+    pub fix: Vec<(String, String)>,
+}
+
+fn cmds(list: &[(&str, &str)]) -> Vec<(String, String)> {
+    list.iter()
+        .map(|(d, c)| (d.to_string(), c.to_string()))
+        .collect()
+}
+
+/// Injects `kind` into `net`. Returns `None` for combinations that do not
+/// exist on a network (VLAN issues need the enterprise's L3 switch).
+pub fn inject_issue(net: &mut Network, meta: &GenMeta, kind: IssueKind) -> Option<Issue> {
+    match (meta.name.as_str(), kind) {
+        ("enterprise", IssueKind::Vlan) => Some(inject_enterprise_vlan(net)),
+        ("enterprise", IssueKind::Ospf) => Some(inject_ospf_loopback(
+            net,
+            "dist2",
+            "10.0.0.6",
+            "h1",
+            "TCK-OSPF",
+        )),
+        ("enterprise", IssueKind::Isp) => Some(inject_isp(net, meta, "198.51.100.1")),
+        ("enterprise", IssueKind::AclDeny) => Some(inject_enterprise_acl(net)),
+        ("university", IssueKind::Vlan) => None,
+        ("university", IssueKind::Ospf) => Some(inject_ospf_loopback(
+            net,
+            "lib1",
+            "10.100.0.11",
+            "cs-h1",
+            "TCK-OSPF-U",
+        )),
+        ("university", IssueKind::Isp) => Some(inject_isp(net, meta, "192.0.2.1")),
+        ("university", IssueKind::AclDeny) => Some(inject_university_acl(net)),
+        _ => None,
+    }
+}
+
+/// Enterprise VLAN issue: h7's access port moved into the quarantine VLAN.
+fn inject_enterprise_vlan(net: &mut Network) -> Issue {
+    net.device_by_name_mut("acc3")
+        .expect("enterprise has acc3")
+        .config
+        .interface_mut("Gi0/2")
+        .expect("acc3 has Gi0/2")
+        .switchport = Some(SwitchPortMode::Access { vlan: 31 });
+    Issue {
+        kind: IssueKind::Vlan,
+        id: "TCK-VLAN".to_string(),
+        title: "h7 cannot reach the web service on srv1".to_string(),
+        affected: vec!["h7".to_string(), "srv1".to_string()],
+        task_kind: TaskKind::Vlan,
+        root_cause: "acc3".to_string(),
+        probe: ("h7".to_string(), "10.2.1.10".parse().expect("literal")),
+        fix: cmds(&[
+            ("h7", "ping 10.2.1.10"),
+            ("acc3", "show vlan"),
+            ("acc3", "show interfaces"),
+            ("acc3", "interface Gi0/2 switchport access vlan 30"),
+            ("h7", "ping 10.2.1.10"),
+        ]),
+    }
+}
+
+/// OSPF issue: a router stops advertising its loopback (missing `network`
+/// statement) and the monitoring/management plane loses it.
+fn inject_ospf_loopback(
+    net: &mut Network,
+    router: &str,
+    loopback: &str,
+    mgmt: &str,
+    id: &str,
+) -> Issue {
+    let lo: Ipv4Addr = loopback.parse().expect("literal");
+    {
+        let dev = net.device_by_name_mut(router).expect("router exists");
+        let ospf = dev.config.ospf.as_mut().expect("router runs ospf");
+        let before = ospf.networks.len();
+        ospf.networks.retain(|n| !n.prefix.contains(lo));
+        assert!(ospf.networks.len() < before, "loopback statement present");
+    }
+    Issue {
+        kind: IssueKind::Ospf,
+        id: id.to_string(),
+        title: format!("monitoring lost contact with {router} loopback {loopback}"),
+        affected: vec![mgmt.to_string(), router.to_string()],
+        task_kind: TaskKind::Routing,
+        root_cause: router.to_string(),
+        probe: (mgmt.to_string(), lo),
+        fix: vec![
+            (mgmt.to_string(), format!("ping {loopback}")),
+            (router.to_string(), "show ip route".to_string()),
+            (router.to_string(), "show running-config".to_string()),
+            (
+                router.to_string(),
+                format!("router ospf network {loopback} 0.0.0.0 area 0"),
+            ),
+            (mgmt.to_string(), format!("ping {loopback}")),
+        ],
+    }
+}
+
+/// ISP reconfiguration: the provider renumbered the peering /30; the old
+/// carrier is gone (interface down) and the border must be re-addressed.
+fn inject_isp(net: &mut Network, meta: &GenMeta, old_gw: &str) -> Issue {
+    let border = &meta.border_router;
+    let iface = &meta.upstream_iface;
+    net.device_by_name_mut(border)
+        .expect("border exists")
+        .config
+        .interface_mut(iface)
+        .expect("upstream iface exists")
+        .enabled = false;
+    Issue {
+        kind: IssueKind::Isp,
+        id: "TCK-ISP".to_string(),
+        title: format!("ISP renumbered peering; {border} upstream down"),
+        affected: vec![border.clone()],
+        task_kind: TaskKind::IspChange,
+        root_cause: border.clone(),
+        probe: (border.clone(), "8.8.8.8".parse().expect("literal")),
+        fix: vec![
+            (border.clone(), "show interfaces".to_string()),
+            (
+                border.clone(),
+                format!("interface {iface} ip address 203.0.113.2 255.255.255.252"),
+            ),
+            (
+                border.clone(),
+                format!("no ip route 0.0.0.0 0.0.0.0 {old_gw}"),
+            ),
+            (
+                border.clone(),
+                "ip route 0.0.0.0 0.0.0.0 203.0.113.1".to_string(),
+            ),
+            (border.clone(), format!("interface {iface} no shutdown")),
+            (border.clone(), "ping 8.8.8.8".to_string()),
+        ],
+    }
+}
+
+/// Enterprise Figure 6 issue: the LAN2->DMZ permit on fw1 flipped to deny.
+fn inject_enterprise_acl(net: &mut Network) -> Issue {
+    net.device_by_name_mut("fw1")
+        .expect("fw1 exists")
+        .config
+        .acls
+        .get_mut("100")
+        .expect("acl 100 exists")
+        .entries[1]
+        .action = AclAction::Deny;
+    Issue {
+        kind: IssueKind::AclDeny,
+        id: "TCK-ACL".to_string(),
+        title: "h4 cannot reach the web service on srv1".to_string(),
+        affected: vec!["h4".to_string(), "srv1".to_string()],
+        task_kind: TaskKind::AccessControl,
+        root_cause: "fw1".to_string(),
+        probe: ("h4".to_string(), "10.2.1.10".parse().expect("literal")),
+        fix: cmds(&[
+            ("h4", "ping 10.2.1.10"),
+            ("fw1", "show access-lists"),
+            ("fw1", "no access-list 100 line 2"),
+            (
+                "fw1",
+                "access-list 100 line 2 permit ip 10.1.2.0 0.0.0.255 10.2.1.0 0.0.0.255",
+            ),
+            ("h4", "ping 10.2.1.10"),
+        ]),
+    }
+}
+
+/// University ACL issue: dc1's CS->www permit flipped to deny.
+fn inject_university_acl(net: &mut Network) -> Issue {
+    net.device_by_name_mut("dc1")
+        .expect("dc1 exists")
+        .config
+        .acls
+        .get_mut("130")
+        .expect("acl 130 exists")
+        .entries[0]
+        .action = AclAction::Deny;
+    Issue {
+        kind: IssueKind::AclDeny,
+        id: "TCK-ACL-U".to_string(),
+        title: "CS department cannot reach www".to_string(),
+        affected: vec!["cs-h1".to_string(), "www".to_string()],
+        task_kind: TaskKind::AccessControl,
+        root_cause: "dc1".to_string(),
+        probe: ("cs-h1".to_string(), "172.16.10.10".parse().expect("literal")),
+        fix: cmds(&[
+            ("cs-h1", "ping 172.16.10.10"),
+            ("dc1", "show access-lists"),
+            ("dc1", "no access-list 130 line 1"),
+            (
+                "dc1",
+                "access-list 130 line 1 permit ip 172.16.1.0 0.0.0.255 host 172.16.10.10",
+            ),
+            ("cs-h1", "ping 172.16.10.10"),
+        ]),
+    }
+}
+
+/// Brings one interface down (the Figure 8/9 issue generator).
+/// Returns false if the interface does not exist.
+pub fn shut_interface(net: &mut Network, device: &str, iface: &str) -> bool {
+    match net
+        .device_by_name_mut(device)
+        .and_then(|d| d.config.interface_mut(iface))
+    {
+        Some(i) => {
+            i.enabled = false;
+            true
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_dataplane::{DataPlane, Flow};
+    use heimdall_netmodel::gen::{enterprise_network, university_network};
+    use heimdall_routing::converge;
+
+    fn probe_fails(net: &Network, probe: &(String, Ipv4Addr)) -> bool {
+        let cp = converge(net);
+        let dp = DataPlane::new(net, &cp);
+        let src_idx = net.idx_of(&probe.0);
+        let src_ip = net
+            .device_by_name(&probe.0)
+            .unwrap()
+            .primary_address()
+            .unwrap();
+        // Use ICMP: the prepared command lists verify with ping.
+        !dp.reachable(src_idx, &Flow::icmp(src_ip, probe.1))
+    }
+
+    #[test]
+    fn every_enterprise_issue_breaks_its_probe() {
+        let base = enterprise_network();
+        for kind in [IssueKind::Vlan, IssueKind::Ospf, IssueKind::Isp, IssueKind::AclDeny] {
+            let mut net = base.net.clone();
+            // Healthy first.
+            let issue_preview = {
+                let mut probe_net = net.clone();
+                inject_issue(&mut probe_net, &base.meta, kind).unwrap()
+            };
+            assert!(
+                !probe_fails(&net, &issue_preview.probe),
+                "{kind:?} probe must work while healthy"
+            );
+            let issue = inject_issue(&mut net, &base.meta, kind).unwrap();
+            assert!(probe_fails(&net, &issue.probe), "{kind:?} probe must fail");
+            assert!(net.device_by_name(&issue.root_cause).is_some());
+            assert!(!issue.fix.is_empty());
+        }
+    }
+
+    #[test]
+    fn every_university_issue_breaks_its_probe() {
+        let base = university_network();
+        for kind in [IssueKind::Ospf, IssueKind::Isp, IssueKind::AclDeny] {
+            let mut net = base.net.clone();
+            let issue = inject_issue(&mut net, &base.meta, kind).unwrap();
+            assert!(probe_fails(&net, &issue.probe), "{kind:?} probe must fail");
+        }
+        let mut net = base.net.clone();
+        assert!(inject_issue(&mut net, &base.meta, IssueKind::Vlan).is_none());
+    }
+
+    #[test]
+    fn fix_commands_all_parse() {
+        let base = enterprise_network();
+        for kind in [IssueKind::Vlan, IssueKind::Ospf, IssueKind::Isp, IssueKind::AclDeny] {
+            let mut net = base.net.clone();
+            let issue = inject_issue(&mut net, &base.meta, kind).unwrap();
+            for (_, line) in &issue.fix {
+                heimdall_twin::console::Command::parse(line)
+                    .unwrap_or_else(|e| panic!("{kind:?}: {line}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn applying_the_fix_restores_the_probe() {
+        // Run the prepared command list through an unmediated emulation and
+        // confirm the probe recovers — for every enterprise issue.
+        let base = enterprise_network();
+        for kind in [IssueKind::Vlan, IssueKind::Ospf, IssueKind::Isp, IssueKind::AclDeny] {
+            let mut net = base.net.clone();
+            let issue = inject_issue(&mut net, &base.meta, kind).unwrap();
+            let mut emu = heimdall_twin::emu::EmulatedNetwork::new(net);
+            for (device, line) in &issue.fix {
+                let cmd = heimdall_twin::console::Command::parse(line).unwrap();
+                heimdall_twin::console::execute(&mut emu, device, &cmd)
+                    .unwrap_or_else(|e| panic!("{kind:?}: {device}: {line}: {e}"));
+            }
+            assert!(
+                !probe_fails(emu.network(), &issue.probe),
+                "{kind:?} fix must restore the probe"
+            );
+        }
+    }
+
+    #[test]
+    fn shut_interface_helper() {
+        let base = enterprise_network();
+        let mut net = base.net.clone();
+        assert!(shut_interface(&mut net, "core1", "Gi0/0"));
+        assert!(!net
+            .device_by_name("core1")
+            .unwrap()
+            .config
+            .interface("Gi0/0")
+            .unwrap()
+            .is_up());
+        assert!(!shut_interface(&mut net, "core1", "nope"));
+        assert!(!shut_interface(&mut net, "nope", "Gi0/0"));
+    }
+}

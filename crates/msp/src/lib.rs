@@ -1,0 +1,31 @@
+//! # heimdall-msp
+//!
+//! The managed-service-provider workflow substrate: everything around the
+//! Heimdall core that §2 of the paper describes.
+//!
+//! - [`ticket`] — the ticketing system technicians pull work from;
+//! - [`rmm`] — the *current approach* baseline: an RMM-style session with
+//!   root on the production network, no mediation (Figure 1);
+//! - [`issues`] — injectors for the paper's evaluated problem classes
+//!   (VLAN misconfig, OSPF misconfig, ISP renumbering, the Figure 6 ACL
+//!   deny, and the Figure 8/9 interface-down sweep);
+//! - [`technician`] — scripted technicians replaying "a prepared list of
+//!   commands" per issue, with the calibrated think-time model behind the
+//!   Figure 7 timing comparison;
+//! - [`attacks`] — the motivating incidents as executable scenarios:
+//!   APT10-style credential exfiltration (Figure 2), the malicious ACL
+//!   edit (Figure 6), and the careless `write erase` (Figure 3), each run
+//!   under both the RMM baseline and Heimdall.
+
+pub mod attacks;
+pub mod diagnose;
+pub mod issues;
+pub mod rmm;
+pub mod technician;
+pub mod ticket;
+
+pub use diagnose::{localize, Diagnosis, FaultClass};
+pub use issues::{inject_issue, Issue, IssueKind};
+pub use rmm::{RmmServer, RmmSession};
+pub use technician::{ScriptedTechnician, TimeModel};
+pub use ticket::{Ticket, TicketStatus, TicketSystem};

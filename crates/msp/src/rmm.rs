@@ -1,0 +1,205 @@
+//! The *current approach* baseline: an RMM-style session (Figure 1).
+//!
+//! "Once authenticated, the technician has full control over network
+//! devices... Since the RMM agents have root access, the technician can
+//! issue both normal and privileged commands." — no mediation, no
+//! sanitization, commands land directly on production state.
+
+use heimdall_netmodel::diff::{diff_networks, ConfigDiff};
+use heimdall_netmodel::topology::Network;
+use heimdall_twin::console::{execute, Command, CommandError};
+use heimdall_twin::emu::EmulatedNetwork;
+use std::collections::HashMap;
+
+/// Authentication failure at the RMM server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuthError {
+    pub user: String,
+}
+
+impl std::fmt::Display for AuthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "authentication failed for {:?}", self.user)
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+/// The central RMM server (Figure 1): "responsible for authenticating
+/// users and authorizing access to the agents". The crucial property —
+/// and the paper's critique — is that authentication is the *only* gate:
+/// any session it opens has root on every agent.
+pub struct RmmServer {
+    production: Network,
+    users: HashMap<String, String>,
+    /// `(user, success)` per attempt — the flat log a real RMM keeps.
+    pub login_log: Vec<(String, bool)>,
+}
+
+impl RmmServer {
+    /// A server fronting `production` with the given credential database.
+    pub fn new(production: Network, users: &[(&str, &str)]) -> Self {
+        RmmServer {
+            production,
+            users: users
+                .iter()
+                .map(|(u, p)| (u.to_string(), p.to_string()))
+                .collect(),
+            login_log: Vec::new(),
+        }
+    }
+
+    /// Authenticates and opens a session. Whoever holds valid credentials
+    /// — the technician or whoever phished them — gets identical, full
+    /// access: the server cannot tell the difference.
+    pub fn login(&mut self, user: &str, password: &str) -> Result<RmmSession, AuthError> {
+        let ok = self.users.get(user).map(|p| p == password).unwrap_or(false);
+        self.login_log.push((user.to_string(), ok));
+        if ok {
+            Ok(RmmSession::login(self.production.clone()))
+        } else {
+            Err(AuthError {
+                user: user.to_string(),
+            })
+        }
+    }
+
+    /// Commits a session's live state back as production (RMM semantics:
+    /// the agents already executed everything; this mirrors that).
+    pub fn commit(&mut self, session: RmmSession) {
+        self.production = session.logout();
+    }
+
+    /// The current production network.
+    pub fn production(&self) -> &Network {
+        &self.production
+    }
+}
+
+/// An authenticated RMM session with root on production.
+pub struct RmmSession {
+    baseline: Network,
+    emu: EmulatedNetwork,
+    /// Raw command transcript `(device, line)` — RMM tools keep flat logs,
+    /// not tamper-evident chains.
+    pub transcript: Vec<(String, String)>,
+}
+
+impl RmmSession {
+    /// Logs in (the paper's step 2: authentication is the *only* gate).
+    pub fn login(production: Network) -> Self {
+        RmmSession {
+            baseline: production.clone(),
+            emu: EmulatedNetwork::new(production),
+            transcript: Vec::new(),
+        }
+    }
+
+    /// Runs a command with root — no privilege check of any kind.
+    pub fn exec(&mut self, device: &str, line: &str) -> Result<String, CommandError> {
+        let cmd = Command::parse(line)?;
+        self.transcript.push((device.to_string(), line.to_string()));
+        execute(&mut self.emu, device, &cmd)
+    }
+
+    /// The live production network (changes applied immediately).
+    pub fn production(&self) -> &Network {
+        self.emu.network()
+    }
+
+    /// What changed since login.
+    pub fn changes(&self) -> ConfigDiff {
+        diff_networks(&self.baseline, self.emu.network())
+    }
+
+    /// Ends the session, returning the (already live) production network.
+    pub fn logout(self) -> Network {
+        let emu = self.emu;
+        // Consume the emulation; configs are production now.
+        let mut net = self.baseline;
+        net.clone_from(emu.network());
+        net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_netmodel::gen::enterprise_network;
+
+    #[test]
+    fn server_authenticates_and_logs_attempts() {
+        let g = enterprise_network();
+        let mut srv = RmmServer::new(g.net, &[("alice", "hunter2")]);
+        assert!(srv.login("alice", "wrong").is_err());
+        assert!(srv.login("mallory", "hunter2").is_err());
+        let session = srv.login("alice", "hunter2").expect("valid creds");
+        drop(session);
+        assert_eq!(srv.login_log.len(), 3);
+        assert_eq!(srv.login_log.iter().filter(|(_, ok)| *ok).count(), 1);
+    }
+
+    #[test]
+    fn stolen_credentials_grant_identical_root() {
+        // The paper's point: authentication alone cannot distinguish the
+        // technician from the attacker who phished them.
+        let g = enterprise_network();
+        let mut srv = RmmServer::new(g.net, &[("alice", "hunter2")]);
+        let mut session = srv.login("alice", "hunter2").expect("phished creds work");
+        let out = session.exec("fw1", "show running-config").unwrap();
+        assert!(out.contains("enable secret"));
+        session.exec("core1", "write erase").unwrap();
+        srv.commit(session);
+        assert!(srv
+            .production()
+            .device_by_name("core1")
+            .unwrap()
+            .config
+            .interfaces
+            .is_empty());
+    }
+
+    #[test]
+    fn rmm_gives_unrestricted_root() {
+        let g = enterprise_network();
+        let mut s = RmmSession::login(g.net);
+        // Reading credentials: allowed.
+        let run = s.exec("fw1", "show running-config").unwrap();
+        assert!(run.contains("enable secret"), "secrets visible over RMM");
+        // Destroying a core router: allowed.
+        s.exec("core1", "write erase").unwrap();
+        assert!(s
+            .production()
+            .device_by_name("core1")
+            .unwrap()
+            .config
+            .interfaces
+            .is_empty());
+        assert_eq!(s.transcript.len(), 2);
+    }
+
+    #[test]
+    fn changes_land_on_production_immediately() {
+        let g = enterprise_network();
+        let mut s = RmmSession::login(g.net);
+        s.exec("acc1", "interface Gi0/0 shutdown").unwrap();
+        assert!(!s
+            .production()
+            .device_by_name("acc1")
+            .unwrap()
+            .config
+            .interface("Gi0/0")
+            .unwrap()
+            .is_up());
+        let diff = s.changes();
+        assert_eq!(diff.len(), 1);
+        let net = s.logout();
+        assert!(!net
+            .device_by_name("acc1")
+            .unwrap()
+            .config
+            .interface("Gi0/0")
+            .unwrap()
+            .is_up());
+    }
+}

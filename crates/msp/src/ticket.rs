@@ -1,0 +1,179 @@
+//! The ticketing system: where every MSP engagement starts (Figure 1,
+//! step 1) and ends (step 4).
+
+use heimdall_privilege::derive::TaskKind;
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle of a ticket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TicketStatus {
+    Open,
+    Assigned,
+    Resolved,
+    Closed,
+}
+
+/// A trouble ticket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ticket {
+    pub id: String,
+    pub title: String,
+    pub description: String,
+    /// Devices the reported symptom involves.
+    pub affected: Vec<String>,
+    /// The problem class, as triaged.
+    pub kind: TaskKind,
+    pub status: TicketStatus,
+    pub assignee: Option<String>,
+    /// Resolution notes appended on close.
+    pub resolution: Option<String>,
+}
+
+impl Ticket {
+    /// Opens a new ticket.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        affected: Vec<String>,
+        kind: TaskKind,
+    ) -> Self {
+        let title = title.into();
+        Ticket {
+            id: id.into(),
+            description: title.clone(),
+            title,
+            affected,
+            kind,
+            status: TicketStatus::Open,
+            assignee: None,
+            resolution: None,
+        }
+    }
+
+    /// The privilege-derivation task for this ticket.
+    pub fn task(&self) -> heimdall_privilege::derive::Task {
+        heimdall_privilege::derive::Task {
+            kind: self.kind,
+            affected: self.affected.clone(),
+        }
+    }
+}
+
+/// A minimal ticket queue.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TicketSystem {
+    tickets: Vec<Ticket>,
+}
+
+impl TicketSystem {
+    /// An empty queue.
+    pub fn new() -> Self {
+        TicketSystem::default()
+    }
+
+    /// Files a ticket; returns its id.
+    pub fn file(&mut self, ticket: Ticket) -> String {
+        let id = ticket.id.clone();
+        self.tickets.push(ticket);
+        id
+    }
+
+    /// Assigns the oldest open ticket to `technician`.
+    pub fn assign_next(&mut self, technician: &str) -> Option<&Ticket> {
+        let t = self
+            .tickets
+            .iter_mut()
+            .find(|t| t.status == TicketStatus::Open)?;
+        t.status = TicketStatus::Assigned;
+        t.assignee = Some(technician.to_string());
+        Some(t)
+    }
+
+    /// Marks a ticket resolved with notes.
+    pub fn resolve(&mut self, id: &str, notes: &str) -> bool {
+        if let Some(t) = self.tickets.iter_mut().find(|t| t.id == id) {
+            t.status = TicketStatus::Resolved;
+            t.resolution = Some(notes.to_string());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Closes a resolved ticket.
+    pub fn close(&mut self, id: &str) -> bool {
+        if let Some(t) = self
+            .tickets
+            .iter_mut()
+            .find(|t| t.id == id && t.status == TicketStatus::Resolved)
+        {
+            t.status = TicketStatus::Closed;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Looks a ticket up.
+    pub fn get(&self, id: &str) -> Option<&Ticket> {
+        self.tickets.iter().find(|t| t.id == id)
+    }
+
+    /// All tickets with a given status.
+    pub fn with_status(&self, status: TicketStatus) -> Vec<&Ticket> {
+        self.tickets.iter().filter(|t| t.status == status).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut ts = TicketSystem::new();
+        ts.file(Ticket::new(
+            "TCK-1",
+            "h4 cannot reach srv1",
+            vec!["h4".into(), "srv1".into()],
+            TaskKind::Connectivity,
+        ));
+        let t = ts.assign_next("alice").unwrap();
+        assert_eq!(t.assignee.as_deref(), Some("alice"));
+        assert!(ts.resolve("TCK-1", "fixed acl 100 line 2"));
+        assert!(ts.close("TCK-1"));
+        assert_eq!(ts.get("TCK-1").unwrap().status, TicketStatus::Closed);
+    }
+
+    #[test]
+    fn cannot_close_unresolved() {
+        let mut ts = TicketSystem::new();
+        ts.file(Ticket::new("TCK-2", "x", vec![], TaskKind::Monitoring));
+        assert!(!ts.close("TCK-2"));
+        assert!(!ts.resolve("nope", ""));
+    }
+
+    #[test]
+    fn assignment_order_is_fifo() {
+        let mut ts = TicketSystem::new();
+        ts.file(Ticket::new("A", "a", vec![], TaskKind::Monitoring));
+        ts.file(Ticket::new("B", "b", vec![], TaskKind::Monitoring));
+        assert_eq!(ts.assign_next("t").unwrap().id, "A");
+        assert_eq!(ts.assign_next("t").unwrap().id, "B");
+        assert!(ts.assign_next("t").is_none());
+        assert_eq!(ts.with_status(TicketStatus::Assigned).len(), 2);
+    }
+
+    #[test]
+    fn ticket_maps_to_task() {
+        let t = Ticket::new(
+            "T",
+            "t",
+            vec!["h1".into(), "srv1".into()],
+            TaskKind::AccessControl,
+        );
+        let task = t.task();
+        assert_eq!(task.kind, TaskKind::AccessControl);
+        assert_eq!(task.affected, vec!["h1".to_string(), "srv1".to_string()]);
+    }
+}

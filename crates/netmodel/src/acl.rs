@@ -1,0 +1,339 @@
+//! Access-control lists: the matching primitive for firewalls and router
+//! interfaces, and the object most of the paper's scenarios edit.
+//!
+//! ACLs here follow the IOS extended-ACL model: an ordered list of entries,
+//! first match wins, implicit `deny ip any any` at the end. The data-plane
+//! crate evaluates them per interface (`in`/`out`); the twin's reference
+//! monitor treats "modify ACL `x` on device `d`" as a distinct privilege.
+
+use crate::ip::Prefix;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// The verdict of an ACL entry (or of a whole ACL evaluation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AclAction {
+    /// Traffic is allowed to proceed.
+    Permit,
+    /// Traffic is dropped.
+    Deny,
+}
+
+impl fmt::Display for AclAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AclAction::Permit => write!(f, "permit"),
+            AclAction::Deny => write!(f, "deny"),
+        }
+    }
+}
+
+/// IP protocol selector in an ACL entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Proto {
+    /// Matches any IP protocol.
+    Any,
+    Tcp,
+    Udp,
+    Icmp,
+}
+
+impl Proto {
+    /// Whether a concrete flow protocol satisfies this selector.
+    pub fn matches(&self, concrete: Proto) -> bool {
+        matches!(self, Proto::Any) || *self == concrete
+    }
+
+    /// The IOS keyword for this protocol.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            Proto::Any => "ip",
+            Proto::Tcp => "tcp",
+            Proto::Udp => "udp",
+            Proto::Icmp => "icmp",
+        }
+    }
+
+    /// Parses an IOS protocol keyword.
+    pub fn from_keyword(s: &str) -> Option<Proto> {
+        match s {
+            "ip" => Some(Proto::Any),
+            "tcp" => Some(Proto::Tcp),
+            "udp" => Some(Proto::Udp),
+            "icmp" => Some(Proto::Icmp),
+            _ => None,
+        }
+    }
+}
+
+/// A TCP/UDP port matcher (`eq`, range, or any).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortMatch {
+    /// Matches every port.
+    Any,
+    /// `eq N`
+    Eq(u16),
+    /// `range lo hi`, inclusive.
+    Range(u16, u16),
+}
+
+impl PortMatch {
+    /// Whether `port` satisfies this matcher.
+    pub fn matches(&self, port: u16) -> bool {
+        match self {
+            PortMatch::Any => true,
+            PortMatch::Eq(p) => *p == port,
+            PortMatch::Range(lo, hi) => (*lo..=*hi).contains(&port),
+        }
+    }
+}
+
+impl fmt::Display for PortMatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortMatch::Any => Ok(()),
+            PortMatch::Eq(p) => write!(f, " eq {p}"),
+            PortMatch::Range(lo, hi) => write!(f, " range {lo} {hi}"),
+        }
+    }
+}
+
+/// One line of an extended ACL.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AclEntry {
+    pub action: AclAction,
+    pub proto: Proto,
+    /// Source prefix (use `Prefix::DEFAULT` for `any`).
+    pub src: Prefix,
+    /// Destination prefix (use `Prefix::DEFAULT` for `any`).
+    pub dst: Prefix,
+    pub src_port: PortMatch,
+    pub dst_port: PortMatch,
+}
+
+impl AclEntry {
+    /// A `permit ip any any` entry.
+    pub fn permit_any() -> Self {
+        AclEntry {
+            action: AclAction::Permit,
+            proto: Proto::Any,
+            src: Prefix::DEFAULT,
+            dst: Prefix::DEFAULT,
+            src_port: PortMatch::Any,
+            dst_port: PortMatch::Any,
+        }
+    }
+
+    /// A `deny ip any any` entry (the implicit ACL tail, made explicit).
+    pub fn deny_any() -> Self {
+        AclEntry {
+            action: AclAction::Deny,
+            ..AclEntry::permit_any()
+        }
+    }
+
+    /// A simple permit/deny of `proto` from `src` to `dst` on any ports.
+    pub fn simple(action: AclAction, proto: Proto, src: Prefix, dst: Prefix) -> Self {
+        AclEntry {
+            action,
+            proto,
+            src,
+            dst,
+            src_port: PortMatch::Any,
+            dst_port: PortMatch::Any,
+        }
+    }
+
+    /// Whether a concrete flow matches this entry.
+    pub fn matches(&self, proto: Proto, src: Ipv4Addr, dst: Ipv4Addr, sport: u16, dport: u16) -> bool {
+        self.proto.matches(proto)
+            && self.src.contains(src)
+            && self.dst.contains(dst)
+            // Ports are only meaningful for TCP/UDP; ICMP flows carry 0.
+            && (matches!(self.proto, Proto::Any | Proto::Icmp)
+                || (self.src_port.matches(sport) && self.dst_port.matches(dport)))
+    }
+}
+
+/// Renders a prefix the way IOS ACLs spell it: `any`, `host A`, or
+/// `A wildcard`.
+fn fmt_acl_prefix(p: &Prefix, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if p.is_default() {
+        write!(f, "any")
+    } else if p.len() == 32 {
+        write!(f, "host {}", p.addr())
+    } else {
+        write!(f, "{} {}", p.addr(), p.wildcard())
+    }
+}
+
+impl fmt::Display for AclEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} ", self.action, self.proto.keyword())?;
+        fmt_acl_prefix(&self.src, f)?;
+        write!(f, "{}", self.src_port)?;
+        write!(f, " ")?;
+        fmt_acl_prefix(&self.dst, f)?;
+        write!(f, "{}", self.dst_port)
+    }
+}
+
+/// A named (or numbered) ordered access list.
+///
+/// Evaluation is first-match; if nothing matches, the implicit action is
+/// `Deny` (matching IOS behaviour).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Acl {
+    /// The ACL's name; numbered ACLs use their number as the name ("101").
+    pub name: String,
+    /// Ordered match entries.
+    pub entries: Vec<AclEntry>,
+}
+
+impl Acl {
+    /// Creates an empty ACL with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Acl {
+            name: name.into(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends an entry, builder-style.
+    pub fn entry(mut self, e: AclEntry) -> Self {
+        self.entries.push(e);
+        self
+    }
+
+    /// Evaluates the ACL against a concrete flow. Returns the action of the
+    /// first matching entry, or `Deny` (the implicit tail) if none match.
+    pub fn evaluate(&self, proto: Proto, src: Ipv4Addr, dst: Ipv4Addr, sport: u16, dport: u16) -> AclAction {
+        for e in &self.entries {
+            if e.matches(proto, src, dst, sport, dport) {
+                return e.action;
+            }
+        }
+        AclAction::Deny
+    }
+
+    /// Index of the first entry matching the flow, if any. Useful for
+    /// counterexample explanations ("denied by line 3 of acl 101").
+    pub fn first_match(&self, proto: Proto, src: Ipv4Addr, dst: Ipv4Addr, sport: u16, dport: u16) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| e.matches(proto, src, dst, sport, dport))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let acl = Acl::new("101")
+            .entry(AclEntry::simple(
+                AclAction::Deny,
+                Proto::Tcp,
+                p("10.0.1.0/24"),
+                p("10.0.2.0/24"),
+            ))
+            .entry(AclEntry::permit_any());
+        assert_eq!(
+            acl.evaluate(Proto::Tcp, ip("10.0.1.5"), ip("10.0.2.9"), 1234, 80),
+            AclAction::Deny
+        );
+        assert_eq!(
+            acl.evaluate(Proto::Udp, ip("10.0.1.5"), ip("10.0.2.9"), 1234, 80),
+            AclAction::Permit
+        );
+    }
+
+    #[test]
+    fn implicit_deny_tail() {
+        let acl = Acl::new("sparse").entry(AclEntry::simple(
+            AclAction::Permit,
+            Proto::Any,
+            p("10.0.0.0/8"),
+            Prefix::DEFAULT,
+        ));
+        assert_eq!(
+            acl.evaluate(Proto::Tcp, ip("192.168.1.1"), ip("10.0.0.1"), 1, 2),
+            AclAction::Deny
+        );
+    }
+
+    #[test]
+    fn empty_acl_denies_everything() {
+        let acl = Acl::new("empty");
+        assert_eq!(
+            acl.evaluate(Proto::Any, ip("1.1.1.1"), ip("2.2.2.2"), 0, 0),
+            AclAction::Deny
+        );
+    }
+
+    #[test]
+    fn port_matchers() {
+        assert!(PortMatch::Any.matches(0));
+        assert!(PortMatch::Eq(80).matches(80));
+        assert!(!PortMatch::Eq(80).matches(81));
+        assert!(PortMatch::Range(1000, 2000).matches(1500));
+        assert!(!PortMatch::Range(1000, 2000).matches(2001));
+    }
+
+    #[test]
+    fn dst_port_filtering_on_tcp() {
+        let mut e = AclEntry::simple(AclAction::Permit, Proto::Tcp, Prefix::DEFAULT, Prefix::DEFAULT);
+        e.dst_port = PortMatch::Eq(443);
+        assert!(e.matches(Proto::Tcp, ip("1.1.1.1"), ip("2.2.2.2"), 5555, 443));
+        assert!(!e.matches(Proto::Tcp, ip("1.1.1.1"), ip("2.2.2.2"), 5555, 80));
+    }
+
+    #[test]
+    fn ip_proto_entry_ignores_ports() {
+        let mut e = AclEntry::simple(AclAction::Permit, Proto::Any, Prefix::DEFAULT, Prefix::DEFAULT);
+        e.dst_port = PortMatch::Eq(443); // meaningless on `ip`, must be ignored
+        assert!(e.matches(Proto::Tcp, ip("1.1.1.1"), ip("2.2.2.2"), 5555, 80));
+    }
+
+    #[test]
+    fn icmp_never_port_filtered() {
+        let e = AclEntry::simple(AclAction::Permit, Proto::Icmp, Prefix::DEFAULT, Prefix::DEFAULT);
+        assert!(e.matches(Proto::Icmp, ip("1.1.1.1"), ip("2.2.2.2"), 0, 0));
+        assert!(!e.matches(Proto::Tcp, ip("1.1.1.1"), ip("2.2.2.2"), 0, 0));
+    }
+
+    #[test]
+    fn display_forms() {
+        let mut e = AclEntry::simple(
+            AclAction::Permit,
+            Proto::Tcp,
+            p("10.0.1.0/24"),
+            p("10.9.9.9/32"),
+        );
+        e.dst_port = PortMatch::Eq(80);
+        assert_eq!(
+            e.to_string(),
+            "permit tcp 10.0.1.0 0.0.0.255 host 10.9.9.9 eq 80"
+        );
+        assert_eq!(AclEntry::deny_any().to_string(), "deny ip any any");
+    }
+
+    #[test]
+    fn first_match_index() {
+        let acl = Acl::new("x")
+            .entry(AclEntry::simple(AclAction::Deny, Proto::Udp, Prefix::DEFAULT, Prefix::DEFAULT))
+            .entry(AclEntry::permit_any());
+        assert_eq!(acl.first_match(Proto::Udp, ip("1.1.1.1"), ip("2.2.2.2"), 1, 1), Some(0));
+        assert_eq!(acl.first_match(Proto::Tcp, ip("1.1.1.1"), ip("2.2.2.2"), 1, 1), Some(1));
+    }
+}

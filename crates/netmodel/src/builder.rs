@@ -1,0 +1,257 @@
+//! A fluent network builder: allocates point-to-point subnets, names
+//! interfaces, wires hosts to gateway routers, and enables OSPF across the
+//! fabric. The Table 1 generators and all test fixtures are written against
+//! this API.
+
+use crate::device::{Device, DeviceKind};
+use crate::iface::Interface;
+use crate::ip::Prefix;
+use crate::proto::{OspfConfig, StaticRoute};
+use crate::topology::{Network, TopologyError};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Incrementally constructs a [`Network`].
+///
+/// Point-to-point links are auto-addressed from a `/30` pool (default
+/// `10.255.0.0/16`); LAN subnets are provided by the caller. Interface names
+/// are `Gi0/0`, `Gi0/1`, ... per device (hosts get `eth0`).
+pub struct NetBuilder {
+    net: Network,
+    p2p_pool: Prefix,
+    next_p2p: u32,
+    iface_counter: HashMap<String, u32>,
+}
+
+impl Default for NetBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NetBuilder {
+    /// A builder with the default p2p pool `10.255.0.0/16`.
+    pub fn new() -> Self {
+        NetBuilder {
+            net: Network::new(),
+            p2p_pool: "10.255.0.0/16".parse().expect("valid literal"),
+            next_p2p: 0,
+            iface_counter: HashMap::new(),
+        }
+    }
+
+    /// Overrides the p2p address pool.
+    pub fn with_p2p_pool(mut self, pool: Prefix) -> Self {
+        self.p2p_pool = pool;
+        self
+    }
+
+    /// Adds a router.
+    pub fn router(&mut self, name: &str) -> &mut Self {
+        self.add(Device::new(name, DeviceKind::Router))
+    }
+
+    /// Adds a firewall (a router whose ACLs are security-critical).
+    pub fn firewall(&mut self, name: &str) -> &mut Self {
+        self.add(Device::new(name, DeviceKind::Firewall))
+    }
+
+    /// Adds a switch.
+    pub fn switch(&mut self, name: &str) -> &mut Self {
+        self.add(Device::new(name, DeviceKind::Switch))
+    }
+
+    fn add(&mut self, d: Device) -> &mut Self {
+        self.net.add_device(d).expect("builder device names are unique");
+        self
+    }
+
+    fn next_iface(&mut self, device: &str, host: bool) -> String {
+        let n = self.iface_counter.entry(device.to_string()).or_insert(0);
+        let name = if host {
+            format!("eth{n}")
+        } else {
+            format!("Gi0/{n}")
+        };
+        *n += 1;
+        name
+    }
+
+    /// Connects two routers with an auto-addressed /30. Returns
+    /// `(a_iface, a_ip, b_iface, b_ip, subnet)`.
+    pub fn connect(&mut self, a: &str, b: &str) -> (String, Ipv4Addr, String, Ipv4Addr, Prefix) {
+        let subnet = self
+            .p2p_pool
+            .subnets(30, (self.next_p2p + 1) as usize)
+            .pop()
+            .expect("p2p pool exhausted");
+        self.next_p2p += 1;
+        let a_ip = subnet.nth_host(1).expect("/30 has two hosts");
+        let b_ip = subnet.nth_host(2).expect("/30 has two hosts");
+        let a_iface = self.next_iface(a, false);
+        let b_iface = self.next_iface(b, false);
+        self.add_l3_iface(a, &a_iface, a_ip, 30);
+        self.add_l3_iface(b, &b_iface, b_ip, 30);
+        self.net
+            .add_link(a, &a_iface, b, &b_iface)
+            .expect("builder links are fresh");
+        (a_iface, a_ip, b_iface, b_ip, subnet)
+    }
+
+    fn add_l3_iface(&mut self, device: &str, iface: &str, ip: Ipv4Addr, len: u8) {
+        let d = self
+            .net
+            .device_by_name_mut(device)
+            .unwrap_or_else(|| panic!("unknown device {device}"));
+        d.config
+            .upsert_interface(Interface::new(iface).with_address(ip, len));
+    }
+
+    /// Creates a LAN: the router gets `subnet.1` on a new interface; each
+    /// host is created (if needed), addressed `.10, .11, ...`, linked in,
+    /// and given a default route via the router. Returns the gateway
+    /// interface name.
+    pub fn lan(&mut self, router: &str, subnet: Prefix, hosts: &[&str]) -> String {
+        let gw_ip = subnet.nth_host(1).expect("subnet too small");
+        let gw_iface = self.next_iface(router, false);
+        self.add_l3_iface(router, &gw_iface, gw_ip, subnet.len());
+        for (i, h) in hosts.iter().enumerate() {
+            if self.net.device_by_name(h).is_none() {
+                self.add(Device::new(*h, DeviceKind::Host));
+            }
+            let ip = subnet
+                .nth_host(10 + i as u32)
+                .unwrap_or_else(|| panic!("subnet {subnet} too small for host {h}"));
+            let h_iface = self.next_iface(h, true);
+            self.add_l3_iface(h, &h_iface, ip, subnet.len());
+            let hd = self.net.device_by_name_mut(h).expect("just added");
+            hd.config.static_routes.push(StaticRoute::default_via(gw_ip));
+            self.net
+                .add_link(router, &gw_iface, h, &h_iface)
+                .expect("fresh host link");
+        }
+        gw_iface
+    }
+
+    /// Enables single-area OSPF on every router/firewall: one `network`
+    /// statement per connected subnet, process id 1, area `area`.
+    pub fn enable_ospf_all(&mut self, area: u32) -> &mut Self {
+        let names: Vec<String> = self
+            .net
+            .devices()
+            .filter(|(_, d)| d.kind.routes())
+            .map(|(_, d)| d.name.clone())
+            .collect();
+        for name in names {
+            let d = self.net.device_by_name_mut(&name).expect("listed above");
+            let mut ospf = d
+                .config
+                .ospf
+                .take()
+                .unwrap_or_else(|| OspfConfig::new(1));
+            for iface in &d.config.interfaces {
+                if let Some(subnet) = iface.subnet() {
+                    if ospf.area_for(subnet.addr()) != Some(area) {
+                        ospf.networks.push(crate::proto::OspfNetwork {
+                            prefix: subnet,
+                            area,
+                        });
+                    }
+                }
+            }
+            d.config.ospf = Some(ospf);
+        }
+        self
+    }
+
+    /// Adopts a fully-formed host device (used when hosts need custom
+    /// wiring, e.g. behind switchports, that [`NetBuilder::lan`] can't do).
+    pub fn adopt_host(&mut self, device: Device) -> &mut Self {
+        self.add(device)
+    }
+
+    /// Mutable access to the network under construction, for wiring the
+    /// helpers don't cover.
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// Direct mutable access for customization the helpers don't cover.
+    pub fn device_mut(&mut self, name: &str) -> &mut Device {
+        self.net
+            .device_by_name_mut(name)
+            .unwrap_or_else(|| panic!("unknown device {name}"))
+    }
+
+    /// Adds an explicit extra link between existing interfaces.
+    pub fn link(&mut self, a: &str, ai: &str, b: &str, bi: &str) -> Result<(), TopologyError> {
+        self.net.add_link(a, ai, b, bi)
+    }
+
+    /// Finishes construction.
+    pub fn build(self) -> Network {
+        self.net
+    }
+
+    /// Peeks at the network under construction.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_allocates_distinct_p2p_subnets() {
+        let mut b = NetBuilder::new();
+        b.router("r1").router("r2").router("r3");
+        let (_, a1, _, b1, s1) = b.connect("r1", "r2");
+        let (_, a2, _, _, s2) = b.connect("r2", "r3");
+        assert_ne!(s1, s2);
+        assert!(s1.contains(a1) && s1.contains(b1));
+        assert!(s2.contains(a2));
+        let n = b.build();
+        assert_eq!(n.link_count(), 2);
+        assert_eq!(n.device_count(), 3);
+    }
+
+    #[test]
+    fn lan_wires_hosts_with_default_routes() {
+        let mut b = NetBuilder::new();
+        b.router("r1");
+        b.lan("r1", "10.1.0.0/24".parse().unwrap(), &["h1", "h2"]);
+        let n = b.build();
+        assert_eq!(n.device_count(), 3);
+        assert_eq!(n.link_count(), 2);
+        let h1 = n.device_by_name("h1").unwrap();
+        assert_eq!(h1.primary_address().unwrap(), "10.1.0.10".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(h1.config.static_routes.len(), 1);
+        assert!(h1.config.static_routes[0].prefix.is_default());
+    }
+
+    #[test]
+    fn ospf_covers_every_connected_subnet() {
+        let mut b = NetBuilder::new();
+        b.router("r1").router("r2");
+        b.connect("r1", "r2");
+        b.lan("r1", "10.1.0.0/24".parse().unwrap(), &["h1"]);
+        b.enable_ospf_all(0);
+        let n = b.build();
+        let r1 = n.device_by_name("r1").unwrap();
+        let ospf = r1.config.ospf.as_ref().unwrap();
+        assert_eq!(ospf.networks.len(), 2);
+        // Hosts never run OSPF.
+        assert!(n.device_by_name("h1").unwrap().config.ospf.is_none());
+    }
+
+    #[test]
+    fn parallel_links_allowed_on_fresh_interfaces() {
+        let mut b = NetBuilder::new();
+        b.router("r1").router("r2");
+        b.connect("r1", "r2");
+        b.connect("r1", "r2");
+        assert_eq!(b.network().link_count(), 2);
+    }
+}

@@ -1,0 +1,205 @@
+//! A device's full configuration: the object that is parsed, printed,
+//! diffed, sanitized for the twin, and ultimately pushed to production.
+
+use crate::acl::Acl;
+use crate::iface::Interface;
+use crate::proto::{BgpConfig, OspfConfig, StaticRoute};
+use crate::vlan::Vlan;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Secrets embedded in a device configuration.
+///
+/// These are exactly the items the paper worries about leaking through a
+/// cloned emulation ("can expose sensitive data (e.g., an IPSec key)") and
+/// that APT10-style attackers harvest. The twin's sanitizer strips them; the
+/// attack-scenario tests verify none survive into the emulation layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Secrets {
+    /// `enable secret ...` — privileged-exec password hash.
+    pub enable_secret: Option<String>,
+    /// `snmp-server community ...` strings.
+    pub snmp_communities: Vec<String>,
+    /// OSPF area authentication keys, keyed by interface name.
+    pub ospf_auth_keys: BTreeMap<String, String>,
+    /// BGP session passwords, keyed by neighbor address text.
+    pub bgp_passwords: BTreeMap<String, String>,
+    /// IPsec pre-shared keys, keyed by tunnel/peer name.
+    pub ipsec_psks: BTreeMap<String, String>,
+    /// Local user accounts (`username NAME secret HASH`).
+    pub users: BTreeMap<String, String>,
+}
+
+impl Secrets {
+    /// Whether any secret material is present at all.
+    pub fn is_empty(&self) -> bool {
+        self.enable_secret.is_none()
+            && self.snmp_communities.is_empty()
+            && self.ospf_auth_keys.is_empty()
+            && self.bgp_passwords.is_empty()
+            && self.ipsec_psks.is_empty()
+            && self.users.is_empty()
+    }
+
+    /// Every secret string in one flat list (for leak-detection tests that
+    /// grep emulated output for any of them).
+    pub fn all_values(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = Vec::new();
+        if let Some(s) = &self.enable_secret {
+            v.push(s);
+        }
+        v.extend(self.snmp_communities.iter().map(String::as_str));
+        v.extend(self.ospf_auth_keys.values().map(String::as_str));
+        v.extend(self.bgp_passwords.values().map(String::as_str));
+        v.extend(self.ipsec_psks.values().map(String::as_str));
+        v.extend(self.users.values().map(String::as_str));
+        v
+    }
+}
+
+/// The complete configuration of one device.
+///
+/// Interfaces keep configuration order (a `Vec`), ACLs and VLANs are sorted
+/// maps so that printing is deterministic — determinism matters because
+/// config *lines* are counted in Table 1 and diffed by the enforcer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    pub hostname: String,
+    pub interfaces: Vec<Interface>,
+    /// ACLs by name.
+    pub acls: BTreeMap<String, Acl>,
+    /// Declared VLANs by id.
+    pub vlans: BTreeMap<u16, Vlan>,
+    pub static_routes: Vec<StaticRoute>,
+    pub ospf: Option<OspfConfig>,
+    pub bgp: Option<BgpConfig>,
+    pub secrets: Secrets,
+    /// Miscellaneous global lines we preserve verbatim (logging, ntp,
+    /// banner...) — real configs are mostly this, and Table 1 counts lines.
+    pub raw_globals: Vec<String>,
+}
+
+impl DeviceConfig {
+    /// An empty configuration for `hostname`.
+    pub fn new(hostname: impl Into<String>) -> Self {
+        DeviceConfig {
+            hostname: hostname.into(),
+            interfaces: Vec::new(),
+            acls: BTreeMap::new(),
+            vlans: BTreeMap::new(),
+            static_routes: Vec::new(),
+            ospf: None,
+            bgp: None,
+            secrets: Secrets::default(),
+            raw_globals: Vec::new(),
+        }
+    }
+
+    /// Finds an interface by name.
+    pub fn interface(&self, name: &str) -> Option<&Interface> {
+        self.interfaces.iter().find(|i| i.name == name)
+    }
+
+    /// Finds an interface by name, mutably.
+    pub fn interface_mut(&mut self, name: &str) -> Option<&mut Interface> {
+        self.interfaces.iter_mut().find(|i| i.name == name)
+    }
+
+    /// Adds (or replaces, by name) an interface.
+    pub fn upsert_interface(&mut self, iface: Interface) {
+        if let Some(slot) = self.interfaces.iter_mut().find(|i| i.name == iface.name) {
+            *slot = iface;
+        } else {
+            self.interfaces.push(iface);
+        }
+    }
+
+    /// Adds or replaces an ACL by name.
+    pub fn upsert_acl(&mut self, acl: Acl) {
+        self.acls.insert(acl.name.clone(), acl);
+    }
+
+    /// A copy of this config with every secret removed — what the twin's
+    /// emulation layer is allowed to see.
+    pub fn sanitized(&self) -> DeviceConfig {
+        let mut c = self.clone();
+        c.secrets = Secrets::default();
+        // Raw globals may embed secret-bearing lines; drop any we know about.
+        c.raw_globals.retain(|l| {
+            !(l.starts_with("enable secret")
+                || l.starts_with("snmp-server community")
+                || l.starts_with("username")
+                || l.contains("authentication-key")
+                || l.contains("pre-shared-key"))
+        });
+        c
+    }
+
+    /// A copy with interfaces sorted by name. Interface order carries no
+    /// semantics (it only affects printed layout); diffs reproduce a target
+    /// config up to this canonical form, so comparisons after `diff`+`apply`
+    /// should canonicalize both sides first.
+    pub fn canonicalized(&self) -> DeviceConfig {
+        let mut c = self.clone();
+        c.interfaces.sort_by(|a, b| a.name.cmp(&b.name));
+        c
+    }
+
+    /// All interface names, in configuration order.
+    pub fn interface_names(&self) -> Vec<&str> {
+        self.interfaces.iter().map(|i| i.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acl::{Acl, AclEntry};
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn upsert_interface_replaces_by_name() {
+        let mut c = DeviceConfig::new("r1");
+        c.upsert_interface(Interface::new("Gi0/0"));
+        c.upsert_interface(Interface::new("Gi0/0").with_address(Ipv4Addr::new(10, 0, 0, 1), 24));
+        assert_eq!(c.interfaces.len(), 1);
+        assert!(c.interface("Gi0/0").unwrap().address.is_some());
+    }
+
+    #[test]
+    fn upsert_acl() {
+        let mut c = DeviceConfig::new("r1");
+        c.upsert_acl(Acl::new("101").entry(AclEntry::permit_any()));
+        c.upsert_acl(Acl::new("101").entry(AclEntry::deny_any()).entry(AclEntry::permit_any()));
+        assert_eq!(c.acls["101"].entries.len(), 2);
+    }
+
+    #[test]
+    fn sanitized_strips_all_secrets() {
+        let mut c = DeviceConfig::new("r1");
+        c.secrets.enable_secret = Some("$1$deadbeef".into());
+        c.secrets.snmp_communities.push("S3CR3T".into());
+        c.secrets.ipsec_psks.insert("tun0".into(), "hunter2".into());
+        c.raw_globals.push("snmp-server community S3CR3T ro".into());
+        c.raw_globals.push("ntp server 10.0.0.5".into());
+        let s = c.sanitized();
+        assert!(s.secrets.is_empty());
+        assert_eq!(s.raw_globals, vec!["ntp server 10.0.0.5".to_string()]);
+    }
+
+    #[test]
+    fn all_values_collects_everything() {
+        let mut s = Secrets::default();
+        assert!(s.is_empty());
+        s.enable_secret = Some("a".into());
+        s.snmp_communities.push("b".into());
+        s.ospf_auth_keys.insert("Gi0/0".into(), "c".into());
+        s.bgp_passwords.insert("10.0.0.2".into(), "d".into());
+        s.ipsec_psks.insert("t".into(), "e".into());
+        s.users.insert("admin".into(), "f".into());
+        let mut v = s.all_values();
+        v.sort();
+        assert_eq!(v, vec!["a", "b", "c", "d", "e", "f"]);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! Devices: routers, switches, firewalls, and endhosts.
+
+use crate::config::DeviceConfig;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// The role a device plays in the network.
+///
+/// The kind matters to three consumers: the routing engine (only routers and
+/// firewalls run routing protocols), the L2 data plane (switches forward by
+/// VLAN), and the privilege model (the set of *available* commands per node —
+/// the `A_n` term of the paper's attack-surface formula — depends on kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    Router,
+    Switch,
+    /// A router that additionally filters with ACLs by policy; modelled as a
+    /// router whose ACLs are considered security-critical.
+    Firewall,
+    Host,
+}
+
+impl DeviceKind {
+    /// Whether this device participates in L3 routing protocols.
+    pub fn routes(&self) -> bool {
+        matches!(self, DeviceKind::Router | DeviceKind::Firewall)
+    }
+
+    /// Whether this device forwards at L2 by VLAN.
+    pub fn switches(&self) -> bool {
+        matches!(self, DeviceKind::Switch)
+    }
+
+    /// Display keyword used in topology listings.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            DeviceKind::Router => "router",
+            DeviceKind::Switch => "switch",
+            DeviceKind::Firewall => "firewall",
+            DeviceKind::Host => "host",
+        }
+    }
+}
+
+/// A network device: a kind plus its configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Device {
+    pub name: String,
+    pub kind: DeviceKind,
+    pub config: DeviceConfig,
+}
+
+impl Device {
+    /// Creates a device with an empty configuration.
+    pub fn new(name: impl Into<String>, kind: DeviceKind) -> Self {
+        let name = name.into();
+        Device {
+            config: DeviceConfig::new(name.clone()),
+            name,
+            kind,
+        }
+    }
+
+    /// All L3 addresses configured on this device.
+    pub fn addresses(&self) -> Vec<Ipv4Addr> {
+        self.config
+            .interfaces
+            .iter()
+            .filter_map(|i| i.address.map(|a| a.ip))
+            .collect()
+    }
+
+    /// The device's "primary" address: the first configured interface
+    /// address. Hosts use this as their identity in reachability queries.
+    pub fn primary_address(&self) -> Option<Ipv4Addr> {
+        self.config
+            .interfaces
+            .iter()
+            .find_map(|i| i.address.map(|a| a.ip))
+    }
+
+    /// The router id used by routing protocols: explicit OSPF router-id if
+    /// set, else the numerically highest interface address.
+    pub fn router_id(&self) -> Option<Ipv4Addr> {
+        if let Some(o) = &self.config.ospf {
+            if let Some(rid) = o.router_id {
+                return Some(rid);
+            }
+        }
+        self.addresses().into_iter().max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iface::Interface;
+    use crate::proto::OspfConfig;
+
+    #[test]
+    fn kinds() {
+        assert!(DeviceKind::Router.routes());
+        assert!(DeviceKind::Firewall.routes());
+        assert!(!DeviceKind::Host.routes());
+        assert!(DeviceKind::Switch.switches());
+        assert_eq!(DeviceKind::Firewall.keyword(), "firewall");
+    }
+
+    #[test]
+    fn addresses_and_primary() {
+        let mut d = Device::new("r1", DeviceKind::Router);
+        d.config
+            .upsert_interface(Interface::new("Gi0/0").with_address(Ipv4Addr::new(10, 0, 0, 1), 24));
+        d.config
+            .upsert_interface(Interface::new("Gi0/1").with_address(Ipv4Addr::new(10, 0, 1, 1), 24));
+        assert_eq!(d.addresses().len(), 2);
+        assert_eq!(d.primary_address(), Some(Ipv4Addr::new(10, 0, 0, 1)));
+    }
+
+    #[test]
+    fn router_id_prefers_explicit() {
+        let mut d = Device::new("r1", DeviceKind::Router);
+        d.config
+            .upsert_interface(Interface::new("Gi0/0").with_address(Ipv4Addr::new(10, 0, 0, 1), 24));
+        assert_eq!(d.router_id(), Some(Ipv4Addr::new(10, 0, 0, 1)));
+        d.config.ospf = Some(OspfConfig::new(1).with_router_id(Ipv4Addr::new(9, 9, 9, 9)));
+        assert_eq!(d.router_id(), Some(Ipv4Addr::new(9, 9, 9, 9)));
+    }
+
+    #[test]
+    fn empty_device_has_no_identity() {
+        let d = Device::new("h1", DeviceKind::Host);
+        assert!(d.primary_address().is_none());
+        assert!(d.router_id().is_none());
+    }
+}

@@ -1,0 +1,624 @@
+//! Structured configuration diffs: the unit of change flowing from the twin
+//! network to the policy enforcer.
+//!
+//! A technician session in the twin produces a [`ConfigDiff`] — the set of
+//! [`ConfigChange`]s that transform the production configs into the twin's
+//! final configs. The enforcer verifies this set against network policies,
+//! the scheduler orders it, and the reference monitor classifies each change
+//! for privilege checking.
+//!
+//! Invariant (property-tested): for any two configs `a`, `b` of the same
+//! device, applying `diff_configs(a, b)` to `a` yields exactly `b`.
+
+use crate::acl::{Acl, AclEntry};
+use crate::config::{DeviceConfig, Secrets};
+use crate::iface::{Interface, InterfaceAddress};
+use crate::proto::{BgpConfig, OspfConfig, StaticRoute};
+use crate::topology::Network;
+use crate::vlan::{SwitchPortMode, Vlan};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which direction an ACL binding applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AclDirection {
+    In,
+    Out,
+}
+
+impl fmt::Display for AclDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AclDirection::In => write!(f, "in"),
+            AclDirection::Out => write!(f, "out"),
+        }
+    }
+}
+
+/// One atomic configuration change on one device.
+///
+/// Granularity choices mirror what the paper's scenarios need: interface
+/// attributes change field-by-field (a technician toggles `shutdown` or
+/// moves an access VLAN), ACLs change as whole lists (rule edits are
+/// order-sensitive), routing processes change wholesale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ConfigChange {
+    AddInterface { device: String, iface: Interface },
+    RemoveInterface { device: String, iface: String },
+    SetInterfaceAddress {
+        device: String,
+        iface: String,
+        address: Option<InterfaceAddress>,
+    },
+    SetInterfaceEnabled {
+        device: String,
+        iface: String,
+        enabled: bool,
+    },
+    SetInterfaceAcl {
+        device: String,
+        iface: String,
+        direction: AclDirection,
+        acl: Option<String>,
+    },
+    SetSwitchport {
+        device: String,
+        iface: String,
+        mode: Option<SwitchPortMode>,
+    },
+    SetOspfCost {
+        device: String,
+        iface: String,
+        cost: Option<u32>,
+    },
+    SetBandwidth {
+        device: String,
+        iface: String,
+        kbps: u64,
+    },
+    SetDescription {
+        device: String,
+        iface: String,
+        description: Option<String>,
+    },
+    ReplaceAcl {
+        device: String,
+        name: String,
+        entries: Vec<AclEntry>,
+    },
+    RemoveAcl { device: String, name: String },
+    AddStaticRoute { device: String, route: StaticRoute },
+    RemoveStaticRoute { device: String, route: StaticRoute },
+    SetOspf {
+        device: String,
+        ospf: Option<OspfConfig>,
+    },
+    SetBgp { device: String, bgp: Option<BgpConfig> },
+    UpsertVlan { device: String, vlan: Vlan },
+    RemoveVlan { device: String, vlan: u16 },
+    SetRawGlobals { device: String, lines: Vec<String> },
+    ReplaceSecrets { device: String, secrets: Secrets },
+}
+
+impl ConfigChange {
+    /// The device this change targets.
+    pub fn device(&self) -> &str {
+        use ConfigChange::*;
+        match self {
+            AddInterface { device, .. }
+            | RemoveInterface { device, .. }
+            | SetInterfaceAddress { device, .. }
+            | SetInterfaceEnabled { device, .. }
+            | SetInterfaceAcl { device, .. }
+            | SetSwitchport { device, .. }
+            | SetOspfCost { device, .. }
+            | SetBandwidth { device, .. }
+            | SetDescription { device, .. }
+            | ReplaceAcl { device, .. }
+            | RemoveAcl { device, .. }
+            | AddStaticRoute { device, .. }
+            | RemoveStaticRoute { device, .. }
+            | SetOspf { device, .. }
+            | SetBgp { device, .. }
+            | UpsertVlan { device, .. }
+            | RemoveVlan { device, .. }
+            | SetRawGlobals { device, .. }
+            | ReplaceSecrets { device, .. } => device,
+        }
+    }
+
+    /// The interface this change targets, if it is interface-scoped.
+    pub fn interface(&self) -> Option<&str> {
+        use ConfigChange::*;
+        match self {
+            AddInterface { iface, .. } => Some(&iface.name),
+            RemoveInterface { iface, .. }
+            | SetInterfaceAddress { iface, .. }
+            | SetInterfaceEnabled { iface, .. }
+            | SetInterfaceAcl { iface, .. }
+            | SetSwitchport { iface, .. }
+            | SetOspfCost { iface, .. }
+            | SetBandwidth { iface, .. }
+            | SetDescription { iface, .. } => Some(iface),
+            _ => None,
+        }
+    }
+
+    /// A one-line human-readable summary, used by audit trails.
+    pub fn summary(&self) -> String {
+        use ConfigChange::*;
+        match self {
+            AddInterface { device, iface } => format!("{device}: add interface {}", iface.name),
+            RemoveInterface { device, iface } => format!("{device}: remove interface {iface}"),
+            SetInterfaceAddress { device, iface, address } => match address {
+                Some(a) => format!("{device}: {iface} ip address {}/{}", a.ip, a.prefix_len),
+                None => format!("{device}: {iface} no ip address"),
+            },
+            SetInterfaceEnabled { device, iface, enabled } => {
+                let verb = if *enabled { "no shutdown" } else { "shutdown" };
+                format!("{device}: {iface} {verb}")
+            }
+            SetInterfaceAcl { device, iface, direction, acl } => match acl {
+                Some(a) => format!("{device}: {iface} ip access-group {a} {direction}"),
+                None => format!("{device}: {iface} no ip access-group {direction}"),
+            },
+            SetSwitchport { device, iface, .. } => format!("{device}: {iface} switchport change"),
+            SetOspfCost { device, iface, cost } => {
+                format!("{device}: {iface} ip ospf cost {cost:?}")
+            }
+            SetBandwidth { device, iface, kbps } => {
+                format!("{device}: {iface} bandwidth {kbps}")
+            }
+            SetDescription { device, iface, .. } => format!("{device}: {iface} description"),
+            ReplaceAcl { device, name, entries } => {
+                format!("{device}: replace acl {name} ({} entries)", entries.len())
+            }
+            RemoveAcl { device, name } => format!("{device}: remove acl {name}"),
+            AddStaticRoute { device, route } => {
+                format!("{device}: add ip route {}", route.prefix)
+            }
+            RemoveStaticRoute { device, route } => {
+                format!("{device}: remove ip route {}", route.prefix)
+            }
+            SetOspf { device, ospf } => match ospf {
+                Some(o) => format!("{device}: configure router ospf {}", o.process_id),
+                None => format!("{device}: no router ospf"),
+            },
+            SetBgp { device, bgp } => match bgp {
+                Some(b) => format!("{device}: configure router bgp {}", b.asn),
+                None => format!("{device}: no router bgp"),
+            },
+            UpsertVlan { device, vlan } => format!("{device}: vlan {}", vlan.id),
+            RemoveVlan { device, vlan } => format!("{device}: no vlan {vlan}"),
+            SetRawGlobals { device, lines } => {
+                format!("{device}: replace {} global lines", lines.len())
+            }
+            ReplaceSecrets { device, .. } => format!("{device}: replace credentials"),
+        }
+    }
+
+    /// Applies this change to `cfg` (which must belong to [`Self::device`]).
+    /// Returns an error string if the target object does not exist.
+    pub fn apply(&self, cfg: &mut DeviceConfig) -> Result<(), String> {
+        use ConfigChange::*;
+        let want_iface = |cfg: &mut DeviceConfig, name: &str| -> Result<usize, String> {
+            cfg.interfaces
+                .iter()
+                .position(|i| i.name == name)
+                .ok_or_else(|| format!("no interface {name}"))
+        };
+        match self {
+            AddInterface { iface, .. } => cfg.upsert_interface(iface.clone()),
+            RemoveInterface { iface, .. } => {
+                let i = want_iface(cfg, iface)?;
+                cfg.interfaces.remove(i);
+            }
+            SetInterfaceAddress { iface, address, .. } => {
+                let i = want_iface(cfg, iface)?;
+                cfg.interfaces[i].address = *address;
+            }
+            SetInterfaceEnabled { iface, enabled, .. } => {
+                let i = want_iface(cfg, iface)?;
+                cfg.interfaces[i].enabled = *enabled;
+            }
+            SetInterfaceAcl { iface, direction, acl, .. } => {
+                let i = want_iface(cfg, iface)?;
+                match direction {
+                    AclDirection::In => cfg.interfaces[i].acl_in = acl.clone(),
+                    AclDirection::Out => cfg.interfaces[i].acl_out = acl.clone(),
+                }
+            }
+            SetSwitchport { iface, mode, .. } => {
+                let i = want_iface(cfg, iface)?;
+                cfg.interfaces[i].switchport = mode.clone();
+            }
+            SetOspfCost { iface, cost, .. } => {
+                let i = want_iface(cfg, iface)?;
+                cfg.interfaces[i].ospf_cost = *cost;
+            }
+            SetBandwidth { iface, kbps, .. } => {
+                let i = want_iface(cfg, iface)?;
+                cfg.interfaces[i].bandwidth_kbps = *kbps;
+            }
+            SetDescription { iface, description, .. } => {
+                let i = want_iface(cfg, iface)?;
+                cfg.interfaces[i].description = description.clone();
+            }
+            ReplaceAcl { name, entries, .. } => {
+                cfg.acls.insert(
+                    name.clone(),
+                    Acl {
+                        name: name.clone(),
+                        entries: entries.clone(),
+                    },
+                );
+            }
+            RemoveAcl { name, .. } => {
+                cfg.acls
+                    .remove(name)
+                    .ok_or_else(|| format!("no acl {name}"))?;
+            }
+            AddStaticRoute { route, .. } => cfg.static_routes.push(*route),
+            RemoveStaticRoute { route, .. } => {
+                let i = cfg
+                    .static_routes
+                    .iter()
+                    .position(|r| r == route)
+                    .ok_or_else(|| format!("no static route {}", route.prefix))?;
+                cfg.static_routes.remove(i);
+            }
+            SetOspf { ospf, .. } => cfg.ospf = ospf.clone(),
+            SetBgp { bgp, .. } => cfg.bgp = bgp.clone(),
+            UpsertVlan { vlan, .. } => {
+                cfg.vlans.insert(vlan.id, vlan.clone());
+            }
+            RemoveVlan { vlan, .. } => {
+                cfg.vlans
+                    .remove(vlan)
+                    .ok_or_else(|| format!("no vlan {vlan}"))?;
+            }
+            SetRawGlobals { lines, .. } => cfg.raw_globals = lines.clone(),
+            ReplaceSecrets { secrets, .. } => cfg.secrets = secrets.clone(),
+        }
+        Ok(())
+    }
+}
+
+/// An ordered set of changes across one or more devices.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ConfigDiff {
+    pub changes: Vec<ConfigChange>,
+}
+
+impl ConfigDiff {
+    /// Whether no changes were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Number of changes.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Devices touched, deduplicated, in first-touch order.
+    pub fn devices(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for c in &self.changes {
+            if !out.contains(&c.device()) {
+                out.push(c.device());
+            }
+        }
+        out
+    }
+
+    /// Applies all changes to the matching devices of `net`, stopping at the
+    /// first error.
+    pub fn apply_to_network(&self, net: &mut Network) -> Result<(), String> {
+        for c in &self.changes {
+            let dev = net
+                .device_by_name_mut(c.device())
+                .ok_or_else(|| format!("no device {}", c.device()))?;
+            c.apply(&mut dev.config)
+                .map_err(|e| format!("{}: {e}", c.device()))?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes the change set transforming `old` into `new` for one device.
+pub fn diff_configs(old: &DeviceConfig, new: &DeviceConfig) -> ConfigDiff {
+    let dev = new.hostname.clone();
+    let mut ch = Vec::new();
+
+    // Interfaces: removals, additions, then field-level edits.
+    for i in &old.interfaces {
+        if new.interface(&i.name).is_none() {
+            ch.push(ConfigChange::RemoveInterface {
+                device: dev.clone(),
+                iface: i.name.clone(),
+            });
+        }
+    }
+    for ni in &new.interfaces {
+        match old.interface(&ni.name) {
+            None => ch.push(ConfigChange::AddInterface {
+                device: dev.clone(),
+                iface: ni.clone(),
+            }),
+            Some(oi) => {
+                if oi.address != ni.address {
+                    ch.push(ConfigChange::SetInterfaceAddress {
+                        device: dev.clone(),
+                        iface: ni.name.clone(),
+                        address: ni.address,
+                    });
+                }
+                if oi.enabled != ni.enabled {
+                    ch.push(ConfigChange::SetInterfaceEnabled {
+                        device: dev.clone(),
+                        iface: ni.name.clone(),
+                        enabled: ni.enabled,
+                    });
+                }
+                if oi.acl_in != ni.acl_in {
+                    ch.push(ConfigChange::SetInterfaceAcl {
+                        device: dev.clone(),
+                        iface: ni.name.clone(),
+                        direction: AclDirection::In,
+                        acl: ni.acl_in.clone(),
+                    });
+                }
+                if oi.acl_out != ni.acl_out {
+                    ch.push(ConfigChange::SetInterfaceAcl {
+                        device: dev.clone(),
+                        iface: ni.name.clone(),
+                        direction: AclDirection::Out,
+                        acl: ni.acl_out.clone(),
+                    });
+                }
+                if oi.switchport != ni.switchport {
+                    ch.push(ConfigChange::SetSwitchport {
+                        device: dev.clone(),
+                        iface: ni.name.clone(),
+                        mode: ni.switchport.clone(),
+                    });
+                }
+                if oi.ospf_cost != ni.ospf_cost {
+                    ch.push(ConfigChange::SetOspfCost {
+                        device: dev.clone(),
+                        iface: ni.name.clone(),
+                        cost: ni.ospf_cost,
+                    });
+                }
+                if oi.bandwidth_kbps != ni.bandwidth_kbps {
+                    ch.push(ConfigChange::SetBandwidth {
+                        device: dev.clone(),
+                        iface: ni.name.clone(),
+                        kbps: ni.bandwidth_kbps,
+                    });
+                }
+                if oi.description != ni.description {
+                    ch.push(ConfigChange::SetDescription {
+                        device: dev.clone(),
+                        iface: ni.name.clone(),
+                        description: ni.description.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    // ACLs.
+    for name in old.acls.keys() {
+        if !new.acls.contains_key(name) {
+            ch.push(ConfigChange::RemoveAcl {
+                device: dev.clone(),
+                name: name.clone(),
+            });
+        }
+    }
+    for (name, acl) in &new.acls {
+        if old.acls.get(name) != Some(acl) {
+            ch.push(ConfigChange::ReplaceAcl {
+                device: dev.clone(),
+                name: name.clone(),
+                entries: acl.entries.clone(),
+            });
+        }
+    }
+
+    // Static routes (set semantics).
+    for r in &old.static_routes {
+        if !new.static_routes.contains(r) {
+            ch.push(ConfigChange::RemoveStaticRoute {
+                device: dev.clone(),
+                route: *r,
+            });
+        }
+    }
+    for r in &new.static_routes {
+        if !old.static_routes.contains(r) {
+            ch.push(ConfigChange::AddStaticRoute {
+                device: dev.clone(),
+                route: *r,
+            });
+        }
+    }
+
+    // Routing processes, VLANs, globals, secrets: whole-object.
+    if old.ospf != new.ospf {
+        ch.push(ConfigChange::SetOspf {
+            device: dev.clone(),
+            ospf: new.ospf.clone(),
+        });
+    }
+    if old.bgp != new.bgp {
+        ch.push(ConfigChange::SetBgp {
+            device: dev.clone(),
+            bgp: new.bgp.clone(),
+        });
+    }
+    for id in old.vlans.keys() {
+        if !new.vlans.contains_key(id) {
+            ch.push(ConfigChange::RemoveVlan {
+                device: dev.clone(),
+                vlan: *id,
+            });
+        }
+    }
+    for (id, v) in &new.vlans {
+        if old.vlans.get(id) != Some(v) {
+            ch.push(ConfigChange::UpsertVlan {
+                device: dev.clone(),
+                vlan: v.clone(),
+            });
+        }
+    }
+    if old.raw_globals != new.raw_globals {
+        ch.push(ConfigChange::SetRawGlobals {
+            device: dev.clone(),
+            lines: new.raw_globals.clone(),
+        });
+    }
+    if old.secrets != new.secrets {
+        ch.push(ConfigChange::ReplaceSecrets {
+            device: dev.clone(),
+            secrets: new.secrets.clone(),
+        });
+    }
+
+    ConfigDiff { changes: ch }
+}
+
+/// Diffs every same-named device between two networks.
+pub fn diff_networks(old: &Network, new: &Network) -> ConfigDiff {
+    let mut all = Vec::new();
+    for (_, nd) in new.devices() {
+        if let Some(od) = old.device_by_name(&nd.name) {
+            all.extend(diff_configs(&od.config, &nd.config).changes);
+        }
+    }
+    ConfigDiff { changes: all }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acl::{AclAction, AclEntry, Proto};
+    use crate::ip::Prefix;
+    use std::net::Ipv4Addr;
+
+    fn base() -> DeviceConfig {
+        let mut c = DeviceConfig::new("r1");
+        c.upsert_interface(
+            Interface::new("Gi0/0").with_address(Ipv4Addr::new(10, 0, 0, 1), 24),
+        );
+        c.upsert_interface(Interface::new("Gi0/1"));
+        c.upsert_acl(Acl::new("101").entry(AclEntry::deny_any()));
+        c.static_routes
+            .push(StaticRoute::default_via(Ipv4Addr::new(10, 0, 0, 2)));
+        c
+    }
+
+    #[test]
+    fn identical_configs_diff_empty() {
+        let c = base();
+        assert!(diff_configs(&c, &c).is_empty());
+    }
+
+    #[test]
+    fn diff_then_apply_reproduces_target() {
+        let old = base();
+        let mut new = base();
+        new.interface_mut("Gi0/0").unwrap().enabled = false;
+        new.interface_mut("Gi0/1").unwrap().address =
+            Some(InterfaceAddress::new(Ipv4Addr::new(10, 0, 1, 1), 24));
+        new.upsert_acl(Acl::new("101").entry(AclEntry::simple(
+            AclAction::Permit,
+            Proto::Tcp,
+            Prefix::DEFAULT,
+            Prefix::DEFAULT,
+        )));
+        new.static_routes.clear();
+        new.static_routes
+            .push(StaticRoute::default_via(Ipv4Addr::new(10, 0, 0, 3)));
+        new.upsert_interface(Interface::new("Lo0"));
+
+        let diff = diff_configs(&old, &new);
+        assert!(!diff.is_empty());
+        let mut patched = old.clone();
+        for c in &diff.changes {
+            c.apply(&mut patched).unwrap();
+        }
+        assert_eq!(patched, new);
+    }
+
+    #[test]
+    fn remove_interface_diffed() {
+        let old = base();
+        let mut new = base();
+        new.interfaces.retain(|i| i.name != "Gi0/1");
+        let diff = diff_configs(&old, &new);
+        assert_eq!(diff.len(), 1);
+        assert!(matches!(
+            diff.changes[0],
+            ConfigChange::RemoveInterface { .. }
+        ));
+        let mut patched = old.clone();
+        diff.changes[0].apply(&mut patched).unwrap();
+        assert_eq!(patched, new);
+    }
+
+    #[test]
+    fn apply_missing_target_errors() {
+        let mut c = base();
+        let bad = ConfigChange::SetInterfaceEnabled {
+            device: "r1".into(),
+            iface: "nope".into(),
+            enabled: false,
+        };
+        assert!(bad.apply(&mut c).is_err());
+        let bad = ConfigChange::RemoveAcl {
+            device: "r1".into(),
+            name: "absent".into(),
+        };
+        assert!(bad.apply(&mut c).is_err());
+    }
+
+    #[test]
+    fn devices_deduplicated_in_order() {
+        let d = ConfigDiff {
+            changes: vec![
+                ConfigChange::SetInterfaceEnabled {
+                    device: "r2".into(),
+                    iface: "e0".into(),
+                    enabled: false,
+                },
+                ConfigChange::SetInterfaceEnabled {
+                    device: "r1".into(),
+                    iface: "e0".into(),
+                    enabled: false,
+                },
+                ConfigChange::SetInterfaceEnabled {
+                    device: "r2".into(),
+                    iface: "e1".into(),
+                    enabled: true,
+                },
+            ],
+        };
+        assert_eq!(d.devices(), vec!["r2", "r1"]);
+    }
+
+    #[test]
+    fn summaries_mention_device_and_object() {
+        let c = ConfigChange::SetInterfaceEnabled {
+            device: "r3".into(),
+            iface: "Gi0/2".into(),
+            enabled: false,
+        };
+        assert_eq!(c.summary(), "r3: Gi0/2 shutdown");
+        assert_eq!(c.device(), "r3");
+        assert_eq!(c.interface(), Some("Gi0/2"));
+    }
+}

@@ -1,0 +1,346 @@
+//! The *enterprise* evaluation network (Table 1, row 1): 9 routers, 9
+//! hosts, 22 links.
+//!
+//! Topology (router-router links: 13; host links: 9; total 22):
+//!
+//! ```text
+//!            198.51.100.0/30 (ISP)
+//!                  |
+//!                bdr1 ---- fw1 ==== {core1, core2}   fw1 also owns the DMZ
+//!                           |          |    X    |        (10.2.1.0/24, srv1)
+//!                          DMZ      {dist1 -- dist2}
+//!                                    /   \   /   \
+//!                                 acc1   acc2    acc3 (VLAN 30)
+//!                                 LAN1   LAN2    LAN3
+//!                                h1-h3  h4-h6   h7,h8
+//! ```
+//!
+//! Security posture (drives the mined policy set of ~21):
+//! - client LANs may initiate to the DMZ, nothing may initiate into a
+//!   client LAN (ICMP excepted, for troubleshooting);
+//! - only the management workstation `h1` is *specified* to reach router
+//!   loopbacks;
+//! - `h7` (finance) is a sensitive host: the LAN3 inbound lockdown is the
+//!   constraint the paper's malicious-technician example violates.
+
+use super::{standard_globals, GenMeta, GeneratedNet};
+use crate::acl::{Acl, AclAction, AclEntry, PortMatch, Proto};
+use crate::builder::NetBuilder;
+use crate::device::{Device, DeviceKind};
+use crate::iface::Interface;
+use crate::ip::Prefix;
+use crate::proto::{BgpConfig, StaticRoute};
+use crate::topology::Network;
+use crate::vlan::{SwitchPortMode, Vlan};
+use std::net::Ipv4Addr;
+
+const ROUTERS: [&str; 9] = [
+    "bdr1", "fw1", "core1", "core2", "dist1", "dist2", "acc1", "acc2", "acc3",
+];
+
+fn p(s: &str) -> Prefix {
+    s.parse().expect("valid prefix literal")
+}
+
+fn ip(s: &str) -> Ipv4Addr {
+    s.parse().expect("valid ip literal")
+}
+
+/// Builds the enterprise network and its experiment metadata.
+pub fn enterprise_network() -> GeneratedNet {
+    let mut b = NetBuilder::new();
+
+    // Devices.
+    b.router("bdr1");
+    b.firewall("fw1");
+    for r in &ROUTERS[2..] {
+        b.router(r);
+    }
+
+    // Router-router fabric (13 links).
+    for (x, y) in [
+        ("bdr1", "fw1"),
+        ("fw1", "core1"),
+        ("fw1", "core2"),
+        ("core1", "core2"),
+        ("core1", "dist1"),
+        ("core1", "dist2"),
+        ("core2", "dist1"),
+        ("core2", "dist2"),
+        ("dist1", "dist2"),
+        ("dist1", "acc1"),
+        ("dist1", "acc2"),
+        ("dist2", "acc2"),
+        ("dist2", "acc3"),
+    ] {
+        b.connect(x, y);
+    }
+
+    // Client LANs on acc1/acc2 (6 host links).
+    let acc1_lan = b.lan("acc1", p("10.1.1.0/24"), &["h1", "h2", "h3"]);
+    let acc2_lan = b.lan("acc2", p("10.1.2.0/24"), &["h4", "h5", "h6"]);
+
+    // DMZ on fw1 (1 host link).
+    let dmz_iface = b.lan("fw1", p("10.2.1.0/24"), &["srv1"]);
+
+    // LAN3 on acc3 is VLAN-switched: SVI Vlan30 is the gateway; h7/h8 hang
+    // off access ports (2 host links). This is where the paper's "VLAN
+    // issue" lives.
+    {
+        let acc3 = b.device_mut("acc3");
+        acc3.config.vlans.insert(30, Vlan::named(30, "eng"));
+        acc3.config.vlans.insert(31, Vlan::named(31, "quarantine"));
+        acc3.config.upsert_interface(
+            Interface::new("Vlan30").with_address(ip("10.1.3.1"), 24),
+        );
+        for port in ["Gi0/2", "Gi0/3"] {
+            acc3.config.upsert_interface(
+                Interface::new(port).with_switchport(SwitchPortMode::Access { vlan: 30 }),
+            );
+        }
+    }
+    for (host, addr, port) in [("h7", "10.1.3.10", "Gi0/2"), ("h8", "10.1.3.11", "Gi0/3")] {
+        let mut h = Device::new(host, DeviceKind::Host);
+        h.config
+            .upsert_interface(Interface::new("eth0").with_address(ip(addr), 24));
+        h.config
+            .static_routes
+            .push(StaticRoute::default_via(ip("10.1.3.1")));
+        let net: &mut Network = {
+            // NetBuilder has no raw add_device; go through device_mut trick.
+            b.adopt_host(h);
+            b.network_mut()
+        };
+        net.add_link("acc3", port, host, "eth0").expect("fresh link");
+    }
+
+    // Upstream / ISP attachment on bdr1.
+    {
+        let bdr1 = b.device_mut("bdr1");
+        bdr1.config.upsert_interface(
+            Interface::new("Gi0/9")
+                .with_address(ip("198.51.100.2"), 30)
+                .with_description("uplink to ISP AS174")
+                .with_acl_in("110"),
+        );
+        bdr1.config
+            .static_routes
+            .push(StaticRoute::default_via(ip("198.51.100.1")));
+        bdr1.config.bgp = Some(
+            BgpConfig::new(65001)
+                .with_router_id(ip("10.0.0.1"))
+                .neighbor(ip("198.51.100.1"), 174)
+                .network(p("10.0.0.0/8")),
+        );
+        bdr1.config
+            .secrets
+            .bgp_passwords
+            .insert("198.51.100.1".to_string(), "BgP-s3cr3t-174".to_string());
+        // Anti-spoofing on the upstream edge.
+        bdr1.config.upsert_acl(
+            Acl::new("110")
+                .entry(AclEntry::simple(AclAction::Deny, Proto::Any, p("10.0.0.0/8"), Prefix::DEFAULT))
+                .entry(AclEntry::simple(AclAction::Deny, Proto::Any, p("192.168.0.0/16"), Prefix::DEFAULT))
+                .entry(AclEntry::permit_any()),
+        );
+    }
+
+    // Loopbacks: 10.0.0.N/32 in ROUTERS order.
+    let mut loopbacks = Vec::new();
+    for (i, r) in ROUTERS.iter().enumerate() {
+        let lo = Ipv4Addr::new(10, 0, 0, (i + 1) as u8);
+        b.device_mut(r)
+            .config
+            .upsert_interface(Interface::new("Lo0").with_address(lo, 32));
+        loopbacks.push((r.to_string(), lo));
+    }
+
+    // DMZ gate on fw1: all client LANs may initiate to the DMZ; everything
+    // else into the DMZ is dropped. Figure 6's misconfiguration flips one
+    // of these permits to a deny.
+    {
+        let fw1 = b.device_mut("fw1");
+        let mut acl = Acl::new("100");
+        for lan in ["10.1.1.0/24", "10.1.2.0/24", "10.1.3.0/24"] {
+            acl.entries
+                .push(AclEntry::simple(AclAction::Permit, Proto::Any, p(lan), p("10.2.1.0/24")));
+        }
+        // Operational niceties: monitoring pings and NTP from the mgmt LAN.
+        acl.entries
+            .push(AclEntry::simple(AclAction::Permit, Proto::Icmp, Prefix::DEFAULT, p("10.2.1.0/24")));
+        let mut ntp = AclEntry::simple(AclAction::Permit, Proto::Udp, p("10.1.1.0/24"), p("10.2.1.0/24"));
+        ntp.dst_port = PortMatch::Eq(123);
+        acl.entries.push(ntp);
+        acl.entries.push(AclEntry::deny_any());
+        fw1.config.upsert_acl(acl);
+        fw1.config.interface_mut(&dmz_iface).expect("dmz iface").acl_out = Some("100".to_string());
+        fw1.config
+            .secrets
+            .ipsec_psks
+            .insert("203.0.113.77".to_string(), "PSK-branch-vpn-Hq7x".to_string());
+    }
+
+    // Client-LAN lockdown: nothing initiates *into* a client LAN except
+    // ICMP (troubleshooting). Applied outbound on each LAN gateway port.
+    let lockdown = |acl_name: &str| {
+        Acl::new(acl_name)
+            .entry(AclEntry::simple(AclAction::Permit, Proto::Icmp, Prefix::DEFAULT, Prefix::DEFAULT))
+            .entry(AclEntry::deny_any())
+    };
+    for (dev, iface) in [
+        ("acc1", acc1_lan.as_str()),
+        ("acc2", acc2_lan.as_str()),
+        ("acc3", "Vlan30"),
+    ] {
+        let d = b.device_mut(dev);
+        d.config.upsert_acl(lockdown("120"));
+        d.config.interface_mut(iface).expect("lan iface").acl_out = Some("120".to_string());
+    }
+
+    // OSPF across the fabric, then mark edge ports passive and enable
+    // static redistribution at the border (so the default route floods).
+    b.enable_ospf_all(0);
+    for (dev, passives) in [
+        ("bdr1", vec!["Gi0/9", "Lo0"]),
+        ("fw1", vec![dmz_iface.as_str(), "Lo0"]),
+        ("core1", vec!["Lo0"]),
+        ("core2", vec!["Lo0"]),
+        ("dist1", vec!["Lo0"]),
+        ("dist2", vec!["Lo0"]),
+        ("acc1", vec![acc1_lan.as_str(), "Lo0"]),
+        ("acc2", vec![acc2_lan.as_str(), "Lo0"]),
+        ("acc3", vec!["Vlan30", "Lo0"]),
+    ] {
+        let d = b.device_mut(dev);
+        let o = d.config.ospf.as_mut().expect("ospf enabled above");
+        for pi in passives {
+            o.passive_interfaces.push(pi.to_string());
+        }
+    }
+    {
+        let o = b.device_mut("bdr1").config.ospf.as_mut().expect("ospf");
+        o.redistribute_static = true;
+    }
+    for (i, r) in ROUTERS.iter().enumerate() {
+        let rid = Ipv4Addr::new(10, 0, 0, (i + 1) as u8);
+        b.device_mut(r).config.ospf.as_mut().expect("ospf").router_id = Some(rid);
+    }
+
+    // Credentials and operational boilerplate on every router.
+    for (i, r) in ROUTERS.iter().enumerate() {
+        let d = b.device_mut(r);
+        d.config.secrets.enable_secret = Some(format!("$1$ent{:02}$kJh2nQv9", i + 1));
+        d.config
+            .secrets
+            .users
+            .insert("netops".to_string(), format!("$1$usr{:02}$mW3pLx7c", i + 1));
+        d.config
+            .secrets
+            .snmp_communities
+            .push(format!("entRO-{:02}-priv", i + 1));
+        d.config.raw_globals = standard_globals(r, "10.1.1.250", "10.1.1.251");
+        d.config
+            .raw_globals
+            .extend(super::enterprise_extra_globals("10.1.1.252"));
+        // OSPF adjacency authentication on fabric ports.
+        let fabric_ifaces: Vec<String> = d
+            .config
+            .interfaces
+            .iter()
+            .filter(|x| x.name.starts_with("Gi0/") && x.switchport.is_none() && x.subnet().map(|s| s.len() == 30).unwrap_or(false))
+            .map(|x| x.name.clone())
+            .collect();
+        for fi in fabric_ifaces {
+            if d.config.interface(&fi).and_then(|x| x.subnet()).map(|s| s.addr().octets()[0]) == Some(10) {
+                d.config
+                    .secrets
+                    .ospf_auth_keys
+                    .insert(fi, "ospfK3y-fabric-2041".to_string());
+            }
+        }
+    }
+
+    // Hosts get light boilerplate too.
+    for h in ["h1", "h2", "h3", "h4", "h5", "h6", "h7", "h8", "srv1"] {
+        let d = b.device_mut(h);
+        d.config.raw_globals = super::host_globals(h, "10.1.1.250", "10.1.1.251");
+    }
+
+    let meta = GenMeta {
+        name: "enterprise".to_string(),
+        host_subnets: vec![
+            ("LAN1".to_string(), p("10.1.1.0/24")),
+            ("LAN2".to_string(), p("10.1.2.0/24")),
+            ("LAN3".to_string(), p("10.1.3.0/24")),
+            ("DMZ".to_string(), p("10.2.1.0/24")),
+        ],
+        mgmt_host: "h1".to_string(),
+        sensitive_hosts: vec!["h7".to_string()],
+        service_host: "srv1".to_string(),
+        loopbacks,
+        border_router: "bdr1".to_string(),
+        upstream_iface: "Gi0/9".to_string(),
+        upstream_subnet: p("198.51.100.0/30"),
+    };
+
+    GeneratedNet { net: b.build(), meta }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vlan30_plumbing() {
+        let g = enterprise_network();
+        let acc3 = g.net.device_by_name("acc3").unwrap();
+        assert!(acc3.config.vlans.contains_key(&30));
+        assert!(acc3.config.vlans.contains_key(&31));
+        let svi = acc3.config.interface("Vlan30").unwrap();
+        assert_eq!(svi.subnet().unwrap(), p("10.1.3.0/24"));
+        assert_eq!(
+            acc3.config.interface("Gi0/2").unwrap().switchport,
+            Some(SwitchPortMode::Access { vlan: 30 })
+        );
+    }
+
+    #[test]
+    fn dmz_acl_guards_the_server_lan() {
+        let g = enterprise_network();
+        let fw1 = g.net.device_by_name("fw1").unwrap();
+        let acl = &fw1.config.acls["100"];
+        assert_eq!(
+            acl.evaluate(Proto::Tcp, ip("10.1.1.10"), ip("10.2.1.10"), 40000, 80),
+            AclAction::Permit
+        );
+        // DMZ cannot be reached from the p2p fabric or outside.
+        assert_eq!(
+            acl.evaluate(Proto::Tcp, ip("198.51.100.1"), ip("10.2.1.10"), 40000, 80),
+            AclAction::Deny
+        );
+    }
+
+    #[test]
+    fn client_lan_lockdown_allows_only_icmp() {
+        let g = enterprise_network();
+        let acc1 = g.net.device_by_name("acc1").unwrap();
+        let acl = &acc1.config.acls["120"];
+        assert_eq!(
+            acl.evaluate(Proto::Icmp, ip("10.1.2.10"), ip("10.1.1.10"), 0, 0),
+            AclAction::Permit
+        );
+        assert_eq!(
+            acl.evaluate(Proto::Tcp, ip("10.1.2.10"), ip("10.1.1.10"), 40000, 80),
+            AclAction::Deny
+        );
+    }
+
+    #[test]
+    fn border_has_default_and_bgp() {
+        let g = enterprise_network();
+        let bdr1 = g.net.device_by_name("bdr1").unwrap();
+        assert!(bdr1.config.static_routes.iter().any(|r| r.prefix.is_default()));
+        assert_eq!(bdr1.config.bgp.as_ref().unwrap().asn, 65001);
+        assert!(bdr1.config.ospf.as_ref().unwrap().redistribute_static);
+    }
+}

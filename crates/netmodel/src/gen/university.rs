@@ -1,0 +1,321 @@
+//! The *university* evaluation network (Table 1, row 2): 13 routers, 17
+//! hosts, 92 links.
+//!
+//! A campus fabric: two cores, four distribution routers in a ring, and
+//! seven edge routers (six departments plus a datacenter). Redundancy is
+//! heavy — parallel port-channel-style links between fabric neighbors —
+//! which is how a 13-router campus reaches 75 router-router links (plus 17
+//! host links = 92).
+//!
+//! Security posture (drives the mined policy set of ~175):
+//! - academic departments (cs, ee, math, bio) form an open mesh;
+//! - everyone may use the library subnet, the library initiates nowhere;
+//! - the dorm subnet is isolated from departments;
+//! - `www` is open to all, `file` to academic departments only, and `db`
+//!   (the sensitive host) accepts nothing from outside the server LAN;
+//! - the `www`/`file` servers may initiate into department LANs
+//!   (monitoring/backup).
+
+use super::{standard_globals, GenMeta, GeneratedNet};
+use crate::acl::{Acl, AclAction, AclEntry, Proto};
+use crate::builder::NetBuilder;
+use crate::ip::Prefix;
+use crate::proto::{BgpConfig, StaticRoute};
+use crate::iface::Interface;
+use std::net::Ipv4Addr;
+
+const CORES: [&str; 2] = ["core1", "core2"];
+const DISTS: [&str; 4] = ["dist1", "dist2", "dist3", "dist4"];
+const EDGES: [&str; 7] = ["cs1", "ee1", "math1", "bio1", "lib1", "dorm1", "dc1"];
+
+fn p(s: &str) -> Prefix {
+    s.parse().expect("valid prefix literal")
+}
+
+fn ip(s: &str) -> Ipv4Addr {
+    s.parse().expect("valid ip literal")
+}
+
+/// Builds the university network and its experiment metadata.
+pub fn university_network() -> GeneratedNet {
+    let mut b = NetBuilder::new().with_p2p_pool(p("172.31.0.0/16"));
+
+    for r in CORES.iter().chain(&DISTS).chain(&EDGES) {
+        b.router(r);
+    }
+
+    // Base fabric adjacencies (27): core pair, dists dual-homed to cores,
+    // dist ring, edges dual-homed to two dists.
+    let mut adjacencies: Vec<(&str, &str)> = vec![("core1", "core2")];
+    for d in &DISTS {
+        adjacencies.push((d, "core1"));
+        adjacencies.push((d, "core2"));
+    }
+    adjacencies.extend([
+        ("dist1", "dist2"),
+        ("dist2", "dist3"),
+        ("dist3", "dist4"),
+        ("dist4", "dist1"),
+    ]);
+    let edge_homes = [
+        ("cs1", "dist1", "dist2"),
+        ("ee1", "dist1", "dist2"),
+        ("math1", "dist2", "dist3"),
+        ("bio1", "dist2", "dist3"),
+        ("lib1", "dist3", "dist4"),
+        ("dorm1", "dist3", "dist4"),
+        ("dc1", "dist4", "dist1"),
+    ];
+    for (e, d1, d2) in edge_homes {
+        adjacencies.push((e, d1));
+        adjacencies.push((e, d2));
+    }
+    debug_assert_eq!(adjacencies.len(), 27);
+
+    // Physical links: every adjacency doubled (port-channel redundancy),
+    // plus a third strand on the first 21 — 27*2 + 21 = 75 router links.
+    for (x, y) in &adjacencies {
+        b.connect(x, y);
+        b.connect(x, y);
+    }
+    for (x, y) in adjacencies.iter().take(21) {
+        b.connect(x, y);
+    }
+
+    // Department and server LANs (17 host links).
+    let lans: [(&str, &str, Vec<&str>); 7] = [
+        ("cs1", "172.16.1.0/24", vec!["cs-h1", "cs-h2", "cs-h3"]),
+        ("ee1", "172.16.2.0/24", vec!["ee-h1", "ee-h2"]),
+        ("math1", "172.16.3.0/24", vec!["ma-h1", "ma-h2"]),
+        ("bio1", "172.16.4.0/24", vec!["bi-h1", "bi-h2"]),
+        ("lib1", "172.16.5.0/24", vec!["li-h1", "li-h2"]),
+        ("dorm1", "172.16.6.0/24", vec!["do-h1", "do-h2", "do-h3"]),
+        ("dc1", "172.16.10.0/24", vec!["www", "file", "db"]),
+    ];
+    let mut lan_iface = std::collections::HashMap::new();
+    for (r, subnet, hosts) in &lans {
+        let gi = b.lan(r, p(subnet), hosts);
+        lan_iface.insert(*r, gi);
+    }
+
+    const ACADEMIC: [&str; 4] = ["172.16.1.0/24", "172.16.2.0/24", "172.16.3.0/24", "172.16.4.0/24"];
+    const DORM: &str = "172.16.6.0/24";
+    const LIB: &str = "172.16.5.0/24";
+    let www = "172.16.10.10/32";
+    let file = "172.16.10.11/32";
+
+    // Server-LAN gate on dc1 (ACL 130).
+    {
+        let mut acl = Acl::new("130");
+        for src in ACADEMIC {
+            acl.entries.push(AclEntry::simple(AclAction::Permit, Proto::Any, p(src), p(www)));
+            acl.entries.push(AclEntry::simple(AclAction::Permit, Proto::Any, p(src), p(file)));
+        }
+        acl.entries.push(AclEntry::simple(AclAction::Permit, Proto::Any, p(DORM), p(www)));
+        acl.entries.push(AclEntry::simple(AclAction::Permit, Proto::Any, p(LIB), p(www)));
+        acl.entries.push(AclEntry::deny_any());
+        let dc1 = b.device_mut("dc1");
+        dc1.config.upsert_acl(acl);
+        dc1.config.interface_mut(&lan_iface["dc1"]).expect("dc lan").acl_out =
+            Some("130".to_string());
+    }
+
+    // Department LAN gates (ACL 140 on each edge LAN port). Each academic
+    // department and the library keep one *locked* host (a lab controller /
+    // staff terminal) that nothing outside the LAN may initiate to — these
+    // are the network's sensitive hosts alongside `db`.
+    let dept_acl = |own: &str, locked: Option<&str>, peers: &[&str]| {
+        let mut acl = Acl::new("140");
+        if let Some(l) = locked {
+            acl.entries.push(AclEntry::simple(AclAction::Deny, Proto::Any, Prefix::DEFAULT, p(l)));
+        }
+        for peer in peers {
+            acl.entries.push(AclEntry::simple(AclAction::Permit, Proto::Any, p(peer), p(own)));
+        }
+        // The monitoring/backup servers may initiate inward.
+        acl.entries.push(AclEntry::simple(AclAction::Permit, Proto::Any, p(www), p(own)));
+        acl.entries.push(AclEntry::simple(AclAction::Permit, Proto::Any, p(file), p(own)));
+        acl.entries.push(AclEntry::deny_any());
+        acl
+    };
+    let academic_peers = |own: &str| -> Vec<&str> {
+        ACADEMIC.iter().copied().filter(|s| *s != own).collect()
+    };
+    for (r, own, locked) in [
+        ("cs1", "172.16.1.0/24", "172.16.1.12/32"),
+        ("ee1", "172.16.2.0/24", "172.16.2.11/32"),
+        ("math1", "172.16.3.0/24", "172.16.3.11/32"),
+        ("bio1", "172.16.4.0/24", "172.16.4.11/32"),
+    ] {
+        let acl = dept_acl(own, Some(locked), &academic_peers(own));
+        let d = b.device_mut(r);
+        d.config.upsert_acl(acl);
+        d.config.interface_mut(&lan_iface[r]).expect("lan").acl_out = Some("140".to_string());
+    }
+    {
+        // Library: open to every campus user subnet, staff terminal locked.
+        let acl = dept_acl(
+            LIB,
+            Some("172.16.5.11/32"),
+            &[ACADEMIC[0], ACADEMIC[1], ACADEMIC[2], ACADEMIC[3], DORM],
+        );
+        let d = b.device_mut("lib1");
+        d.config.upsert_acl(acl);
+        d.config.interface_mut(&lan_iface["lib1"]).expect("lan").acl_out = Some("140".to_string());
+    }
+    {
+        // Dorm: nothing initiates inward except the servers.
+        let acl = dept_acl(DORM, None, &[]);
+        let d = b.device_mut("dorm1");
+        d.config.upsert_acl(acl);
+        d.config.interface_mut(&lan_iface["dorm1"]).expect("lan").acl_out = Some("140".to_string());
+    }
+
+    // Upstream (Internet2) on core1.
+    {
+        let core1 = b.device_mut("core1");
+        core1.config.upsert_interface(
+            Interface::new("Gi0/19")
+                .with_address(ip("192.0.2.2"), 30)
+                .with_description("uplink to regional exchange"),
+        );
+        core1
+            .config
+            .static_routes
+            .push(StaticRoute::default_via(ip("192.0.2.1")));
+        core1.config.bgp = Some(
+            BgpConfig::new(64520)
+                .with_router_id(ip("10.100.0.1"))
+                .neighbor(ip("192.0.2.1"), 11537)
+                .network(p("172.16.0.0/12")),
+        );
+        core1
+            .config
+            .secrets
+            .bgp_passwords
+            .insert("192.0.2.1".to_string(), "uni-BgP-k3y".to_string());
+    }
+
+    // Loopbacks 10.100.0.N/32 and OSPF everywhere.
+    let all: Vec<&str> = CORES.iter().chain(&DISTS).chain(&EDGES).copied().collect();
+    let mut loopbacks = Vec::new();
+    for (i, r) in all.iter().enumerate() {
+        let lo = Ipv4Addr::new(10, 100, 0, (i + 1) as u8);
+        b.device_mut(r)
+            .config
+            .upsert_interface(Interface::new("Lo0").with_address(lo, 32));
+        loopbacks.push((r.to_string(), lo));
+    }
+    b.enable_ospf_all(0);
+    for (i, r) in all.iter().enumerate() {
+        let d = b.device_mut(r);
+        let o = d.config.ospf.as_mut().expect("enabled above");
+        o.router_id = Some(Ipv4Addr::new(10, 100, 0, (i + 1) as u8));
+        o.passive_interfaces.push("Lo0".to_string());
+        if let Some(gi) = lan_iface.get(r) {
+            o.passive_interfaces.push(gi.clone());
+        }
+        if *r == "core1" {
+            o.passive_interfaces.push("Gi0/19".to_string());
+            o.redistribute_static = true;
+        }
+    }
+
+    // Credentials and boilerplate.
+    for (i, r) in all.iter().enumerate() {
+        let d = b.device_mut(r);
+        d.config.secrets.enable_secret = Some(format!("$1$uni{:02}$Qz8vTr4e", i + 1));
+        d.config
+            .secrets
+            .users
+            .insert("noc".to_string(), format!("$1$noc{:02}$Ba5cXw2d", i + 1));
+        d.config
+            .secrets
+            .snmp_communities
+            .push(format!("uniRO-{:02}", i + 1));
+        d.config.raw_globals = standard_globals(r, "172.16.10.10", "172.16.1.251");
+    }
+    for (_, _, hosts) in &lans {
+        for h in hosts {
+            let d = b.device_mut(h);
+            d.config.raw_globals = super::host_globals(h, "172.16.10.10", "172.16.1.251");
+        }
+    }
+
+    let meta = GenMeta {
+        name: "university".to_string(),
+        host_subnets: vec![
+            ("CS".to_string(), p("172.16.1.0/24")),
+            ("EE".to_string(), p("172.16.2.0/24")),
+            ("MATH".to_string(), p("172.16.3.0/24")),
+            ("BIO".to_string(), p("172.16.4.0/24")),
+            ("LIB".to_string(), p("172.16.5.0/24")),
+            ("DORM".to_string(), p("172.16.6.0/24")),
+            ("DC".to_string(), p("172.16.10.0/24")),
+        ],
+        mgmt_host: "cs-h1".to_string(),
+        sensitive_hosts: vec![
+            "cs-h3".to_string(),
+            "ee-h2".to_string(),
+            "ma-h2".to_string(),
+            "bi-h2".to_string(),
+            "li-h2".to_string(),
+            "db".to_string(),
+        ],
+        service_host: "www".to_string(),
+        loopbacks,
+        border_router: "core1".to_string(),
+        upstream_iface: "Gi0/19".to_string(),
+        upstream_subnet: p("192.0.2.0/30"),
+    };
+
+    GeneratedNet { net: b.build(), meta }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_budget_is_exactly_92() {
+        let g = university_network();
+        assert_eq!(g.net.link_count(), 92);
+    }
+
+    #[test]
+    fn server_gate_policy_matrix() {
+        let g = university_network();
+        let acl = &g.net.device_by_name("dc1").unwrap().config.acls["130"];
+        let t = |src: &str, dst: &str| acl.evaluate(Proto::Tcp, ip(src), ip(dst), 44000, 80);
+        assert_eq!(t("172.16.1.10", "172.16.10.10"), AclAction::Permit); // cs -> www
+        assert_eq!(t("172.16.1.10", "172.16.10.11"), AclAction::Permit); // cs -> file
+        assert_eq!(t("172.16.1.10", "172.16.10.12"), AclAction::Deny); // cs -> db
+        assert_eq!(t("172.16.6.10", "172.16.10.10"), AclAction::Permit); // dorm -> www
+        assert_eq!(t("172.16.6.10", "172.16.10.11"), AclAction::Deny); // dorm -> file
+        assert_eq!(t("172.16.5.10", "172.16.10.11"), AclAction::Deny); // lib -> file
+    }
+
+    #[test]
+    fn dorm_is_locked_down_but_servers_reach_in() {
+        let g = university_network();
+        let acl = &g.net.device_by_name("dorm1").unwrap().config.acls["140"];
+        let t = |src: &str| acl.evaluate(Proto::Tcp, ip(src), ip("172.16.6.10"), 44000, 22);
+        assert_eq!(t("172.16.1.10"), AclAction::Deny); // cs -> dorm
+        assert_eq!(t("172.16.10.10"), AclAction::Permit); // www -> dorm
+        assert_eq!(t("172.16.10.12"), AclAction::Deny); // db -> dorm
+    }
+
+    #[test]
+    fn academic_mesh_open() {
+        let g = university_network();
+        let acl = &g.net.device_by_name("ee1").unwrap().config.acls["140"];
+        assert_eq!(
+            acl.evaluate(Proto::Tcp, ip("172.16.1.10"), ip("172.16.2.10"), 44000, 22),
+            AclAction::Permit
+        );
+        assert_eq!(
+            acl.evaluate(Proto::Tcp, ip("172.16.6.10"), ip("172.16.2.10"), 44000, 22),
+            AclAction::Deny
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Network interfaces: the resource the paper's running examples act on
+//! ("bringing a network interface up/down", `{allow(ip, r1)}`).
+
+use crate::ip::Prefix;
+use crate::vlan::SwitchPortMode;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Re-exported alias so callers can say `SwitchMode::Access { .. }`.
+pub type SwitchMode = SwitchPortMode;
+
+/// A single interface on a device.
+///
+/// Interfaces carry L3 addressing (router/host ports), L2 switchport
+/// configuration (switch ports), the in/out ACL bindings, and an
+/// administrative state — the `shutdown` knob used both by the Figure 8/9
+/// issue sweep ("we create an issue by bringing down each interface") and by
+/// technicians debugging.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Interface {
+    /// Interface name, e.g. `GigabitEthernet0/1` or `eth0`.
+    pub name: String,
+    /// L3 address + mask, if routed.
+    pub address: Option<InterfaceAddress>,
+    /// `false` once a `shutdown` has been issued.
+    pub enabled: bool,
+    /// L2 switchport mode (switch ports only).
+    pub switchport: Option<SwitchPortMode>,
+    /// Inbound ACL name (`ip access-group X in`).
+    pub acl_in: Option<String>,
+    /// Outbound ACL name (`ip access-group X out`).
+    pub acl_out: Option<String>,
+    /// Explicit OSPF cost (`ip ospf cost N`); default cost applies if unset.
+    pub ospf_cost: Option<u32>,
+    /// Nominal bandwidth in kbit/s, used for default OSPF costs.
+    pub bandwidth_kbps: u64,
+    /// Free-text description.
+    pub description: Option<String>,
+}
+
+/// An interface's L3 address (`ip address A M`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterfaceAddress {
+    pub ip: Ipv4Addr,
+    pub prefix_len: u8,
+}
+
+impl InterfaceAddress {
+    /// Builds an interface address; `prefix_len` must be ≤ 32.
+    pub fn new(ip: Ipv4Addr, prefix_len: u8) -> Self {
+        assert!(prefix_len <= 32, "prefix length {prefix_len} exceeds 32");
+        InterfaceAddress { ip, prefix_len }
+    }
+
+    /// The connected subnet this address lives in.
+    pub fn subnet(&self) -> Prefix {
+        Prefix::new(self.ip, self.prefix_len).expect("validated at construction")
+    }
+}
+
+impl Interface {
+    /// A new, enabled interface with no addressing (10 Mb/s default
+    /// bandwidth, matching classic IOS defaults).
+    pub fn new(name: impl Into<String>) -> Self {
+        Interface {
+            name: name.into(),
+            address: None,
+            enabled: true,
+            switchport: None,
+            acl_in: None,
+            acl_out: None,
+            ospf_cost: None,
+            bandwidth_kbps: 10_000,
+            description: None,
+        }
+    }
+
+    /// Builder: assign an L3 address.
+    pub fn with_address(mut self, ip: Ipv4Addr, prefix_len: u8) -> Self {
+        self.address = Some(InterfaceAddress::new(ip, prefix_len));
+        self
+    }
+
+    /// Builder: make this a switchport.
+    pub fn with_switchport(mut self, mode: SwitchPortMode) -> Self {
+        self.switchport = Some(mode);
+        self
+    }
+
+    /// Builder: bind an inbound ACL.
+    pub fn with_acl_in(mut self, acl: impl Into<String>) -> Self {
+        self.acl_in = Some(acl.into());
+        self
+    }
+
+    /// Builder: bind an outbound ACL.
+    pub fn with_acl_out(mut self, acl: impl Into<String>) -> Self {
+        self.acl_out = Some(acl.into());
+        self
+    }
+
+    /// Builder: set a description.
+    pub fn with_description(mut self, d: impl Into<String>) -> Self {
+        self.description = Some(d.into());
+        self
+    }
+
+    /// Builder: set an explicit OSPF cost.
+    pub fn with_ospf_cost(mut self, c: u32) -> Self {
+        self.ospf_cost = Some(c);
+        self
+    }
+
+    /// Builder: administratively disable (`shutdown`).
+    pub fn shutdown(mut self) -> Self {
+        self.enabled = false;
+        self
+    }
+
+    /// The connected subnet, if the interface is routed.
+    pub fn subnet(&self) -> Option<Prefix> {
+        self.address.map(|a| a.subnet())
+    }
+
+    /// Whether this interface can carry traffic (admin up).
+    pub fn is_up(&self) -> bool {
+        self.enabled
+    }
+
+    /// Effective OSPF cost: explicit cost if set, else
+    /// `reference_bandwidth / bandwidth` (min 1) — the IOS formula.
+    pub fn effective_ospf_cost(&self, reference_kbps: u64) -> u32 {
+        if let Some(c) = self.ospf_cost {
+            return c.max(1);
+        }
+        let bw = self.bandwidth_kbps.max(1);
+        ((reference_kbps / bw).max(1)).min(u32::MAX as u64) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn builder_chain() {
+        let i = Interface::new("Gi0/0")
+            .with_address(Ipv4Addr::new(10, 0, 0, 1), 24)
+            .with_acl_in("101")
+            .with_description("to r2");
+        assert_eq!(i.name, "Gi0/0");
+        assert_eq!(i.subnet().unwrap().to_string(), "10.0.0.0/24");
+        assert_eq!(i.acl_in.as_deref(), Some("101"));
+        assert!(i.is_up());
+    }
+
+    #[test]
+    fn shutdown_marks_down() {
+        let i = Interface::new("Gi0/1").shutdown();
+        assert!(!i.is_up());
+    }
+
+    #[test]
+    fn default_ospf_cost_from_bandwidth() {
+        let mut i = Interface::new("Gi0/0");
+        i.bandwidth_kbps = 100_000; // 100 Mb/s
+        assert_eq!(i.effective_ospf_cost(100_000), 1);
+        i.bandwidth_kbps = 10_000; // 10 Mb/s
+        assert_eq!(i.effective_ospf_cost(100_000), 10);
+    }
+
+    #[test]
+    fn explicit_ospf_cost_wins() {
+        let i = Interface::new("Gi0/0").with_ospf_cost(55);
+        assert_eq!(i.effective_ospf_cost(100_000), 55);
+    }
+
+    #[test]
+    fn cost_never_zero() {
+        let mut i = Interface::new("Gi0/0");
+        i.bandwidth_kbps = 1_000_000_000; // faster than reference
+        assert_eq!(i.effective_ospf_cost(100_000), 1);
+        let j = Interface::new("Gi0/1").with_ospf_cost(0);
+        assert_eq!(j.effective_ospf_cost(100_000), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 32")]
+    fn bad_prefix_len_panics() {
+        InterfaceAddress::new(Ipv4Addr::new(1, 2, 3, 4), 40);
+    }
+}

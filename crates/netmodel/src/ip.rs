@@ -1,0 +1,355 @@
+//! IPv4 addressing primitives: prefixes (CIDR), netmasks, and Cisco-style
+//! wildcard masks.
+//!
+//! We build on [`std::net::Ipv4Addr`] and add the arithmetic the rest of the
+//! system needs: canonicalized prefixes, containment tests, subnet
+//! enumeration, and conversions between prefix lengths, dotted netmasks, and
+//! inverted wildcard masks (as used by `network` and `access-list`
+//! statements in IOS-like configurations).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// An IPv4 prefix in CIDR form, canonicalized so that all host bits are zero.
+///
+/// `Prefix` is the unit of routing and matching throughout the system: FIB
+/// entries, `network` statements, ACL source/destination matchers, and mined
+/// policy endpoints are all prefixes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Prefix {
+    addr: Ipv4Addr,
+    len: u8,
+}
+
+/// Errors produced when parsing or constructing addressing types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IpError {
+    /// The prefix length was greater than 32.
+    BadLength(u8),
+    /// The string was not a valid prefix, address, or mask.
+    Parse(String),
+    /// A dotted-quad mask had non-contiguous bits.
+    NonContiguousMask(Ipv4Addr),
+}
+
+impl fmt::Display for IpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpError::BadLength(l) => write!(f, "prefix length {l} exceeds 32"),
+            IpError::Parse(s) => write!(f, "cannot parse {s:?}"),
+            IpError::NonContiguousMask(m) => write!(f, "mask {m} has non-contiguous bits"),
+        }
+    }
+}
+
+impl std::error::Error for IpError {}
+
+impl Prefix {
+    /// The default route, `0.0.0.0/0`.
+    pub const DEFAULT: Prefix = Prefix {
+        addr: Ipv4Addr::new(0, 0, 0, 0),
+        len: 0,
+    };
+
+    /// Builds a prefix, zeroing any host bits in `addr`.
+    ///
+    /// Returns an error if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Result<Self, IpError> {
+        if len > 32 {
+            return Err(IpError::BadLength(len));
+        }
+        let masked = u32::from(addr) & mask_bits(len);
+        Ok(Prefix {
+            addr: Ipv4Addr::from(masked),
+            len,
+        })
+    }
+
+    /// Builds a /32 host prefix for `addr`.
+    pub fn host(addr: Ipv4Addr) -> Self {
+        Prefix { addr, len: 32 }
+    }
+
+    /// Builds a prefix from an address and a dotted netmask
+    /// (e.g. `255.255.255.0` → `/24`).
+    pub fn with_netmask(addr: Ipv4Addr, mask: Ipv4Addr) -> Result<Self, IpError> {
+        let len = netmask_to_len(mask)?;
+        Prefix::new(addr, len)
+    }
+
+    /// The network address (host bits zero).
+    pub fn addr(&self) -> Ipv4Addr {
+        self.addr
+    }
+
+    /// The prefix length in bits.
+    ///
+    /// (Not a container length — there is deliberately no `is_empty`;
+    /// see [`Prefix::is_default`] for the zero-length check.)
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True for the zero-length default prefix.
+    pub fn is_default(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The dotted netmask, e.g. `255.255.255.0` for a /24.
+    pub fn netmask(&self) -> Ipv4Addr {
+        Ipv4Addr::from(mask_bits(self.len))
+    }
+
+    /// The Cisco wildcard (inverted) mask, e.g. `0.0.0.255` for a /24.
+    pub fn wildcard(&self) -> Ipv4Addr {
+        Ipv4Addr::from(!mask_bits(self.len))
+    }
+
+    /// Whether `ip` falls inside this prefix.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        u32::from(ip) & mask_bits(self.len) == u32::from(self.addr)
+    }
+
+    /// Whether `other` is fully contained in (or equal to) this prefix.
+    pub fn covers(&self, other: &Prefix) -> bool {
+        other.len >= self.len && self.contains(other.addr)
+    }
+
+    /// The number of addresses in the prefix (2^(32-len)), saturating.
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.len as u32)
+    }
+
+    /// The last address in the prefix (the broadcast address for a subnet).
+    pub fn broadcast(&self) -> Ipv4Addr {
+        Ipv4Addr::from(u32::from(self.addr) | !mask_bits(self.len))
+    }
+
+    /// The `n`-th usable host address (1-based), if it exists inside the
+    /// prefix. For a /31 or /32 the network address itself is considered
+    /// usable (point-to-point semantics).
+    pub fn nth_host(&self, n: u32) -> Option<Ipv4Addr> {
+        if self.len >= 31 {
+            let off = n.checked_sub(1)?;
+            let a = u32::from(self.addr).checked_add(off)?;
+            return if self.contains(Ipv4Addr::from(a)) {
+                Some(Ipv4Addr::from(a))
+            } else {
+                None
+            };
+        }
+        let a = u32::from(self.addr).checked_add(n)?;
+        let ip = Ipv4Addr::from(a);
+        if self.contains(ip) && ip != self.broadcast() {
+            Some(ip)
+        } else {
+            None
+        }
+    }
+
+    /// Splits this prefix into its two halves, one bit longer each.
+    pub fn split(&self) -> Option<(Prefix, Prefix)> {
+        if self.len >= 32 {
+            return None;
+        }
+        let len = self.len + 1;
+        let lo = Prefix {
+            addr: self.addr,
+            len,
+        };
+        let hi_bits = u32::from(self.addr) | (1u32 << (32 - len as u32));
+        let hi = Prefix {
+            addr: Ipv4Addr::from(hi_bits),
+            len,
+        };
+        Some((lo, hi))
+    }
+
+    /// Enumerates the `count` first subnets of length `sublen` inside this
+    /// prefix. Used by generators to carve address plans.
+    pub fn subnets(&self, sublen: u8, count: usize) -> Vec<Prefix> {
+        let mut out = Vec::new();
+        if sublen < self.len || sublen > 32 {
+            return out;
+        }
+        let step = 1u64 << (32 - sublen as u32);
+        let base = u32::from(self.addr) as u64;
+        for i in 0..count as u64 {
+            let a = base + i * step;
+            if a > u32::from(self.broadcast()) as u64 {
+                break;
+            }
+            out.push(Prefix {
+                addr: Ipv4Addr::from(a as u32),
+                len: sublen,
+            });
+        }
+        out
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+impl fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = IpError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (a, l) = s
+            .split_once('/')
+            .ok_or_else(|| IpError::Parse(s.to_string()))?;
+        let addr: Ipv4Addr = a.parse().map_err(|_| IpError::Parse(s.to_string()))?;
+        let len: u8 = l.parse().map_err(|_| IpError::Parse(s.to_string()))?;
+        Prefix::new(addr, len)
+    }
+}
+
+/// Returns the `len`-bit contiguous mask as a `u32` (0 for `len == 0`).
+fn mask_bits(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - len as u32)
+    }
+}
+
+/// Converts a dotted netmask such as `255.255.252.0` to a prefix length.
+pub fn netmask_to_len(mask: Ipv4Addr) -> Result<u8, IpError> {
+    let m = u32::from(mask);
+    let len = m.leading_ones() as u8;
+    if m != mask_bits(len) {
+        return Err(IpError::NonContiguousMask(mask));
+    }
+    Ok(len)
+}
+
+/// Converts a Cisco wildcard mask such as `0.0.3.255` to a prefix length.
+pub fn wildcard_to_len(wild: Ipv4Addr) -> Result<u8, IpError> {
+    netmask_to_len(Ipv4Addr::from(!u32::from(wild)))
+}
+
+/// Parses `a.b.c.d` into an [`Ipv4Addr`], with our error type.
+pub fn parse_ip(s: &str) -> Result<Ipv4Addr, IpError> {
+    s.parse().map_err(|_| IpError::Parse(s.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn canonicalizes_host_bits() {
+        let pre = Prefix::new(Ipv4Addr::new(10, 1, 2, 3), 24).unwrap();
+        assert_eq!(pre.addr(), Ipv4Addr::new(10, 1, 2, 0));
+        assert_eq!(pre.to_string(), "10.1.2.0/24");
+    }
+
+    #[test]
+    fn rejects_long_prefix() {
+        assert!(matches!(
+            Prefix::new(Ipv4Addr::new(1, 2, 3, 4), 33),
+            Err(IpError::BadLength(33))
+        ));
+    }
+
+    #[test]
+    fn netmask_and_wildcard_round_trip() {
+        let pre = p("192.168.4.0/22");
+        assert_eq!(pre.netmask(), Ipv4Addr::new(255, 255, 252, 0));
+        assert_eq!(pre.wildcard(), Ipv4Addr::new(0, 0, 3, 255));
+        assert_eq!(netmask_to_len(pre.netmask()).unwrap(), 22);
+        assert_eq!(wildcard_to_len(pre.wildcard()).unwrap(), 22);
+    }
+
+    #[test]
+    fn non_contiguous_mask_rejected() {
+        assert!(netmask_to_len(Ipv4Addr::new(255, 0, 255, 0)).is_err());
+    }
+
+    #[test]
+    fn containment() {
+        let pre = p("10.0.0.0/8");
+        assert!(pre.contains(Ipv4Addr::new(10, 255, 1, 2)));
+        assert!(!pre.contains(Ipv4Addr::new(11, 0, 0, 1)));
+        assert!(pre.covers(&p("10.3.0.0/16")));
+        assert!(!pre.covers(&p("0.0.0.0/0")));
+        assert!(Prefix::DEFAULT.covers(&pre));
+    }
+
+    #[test]
+    fn default_route_parses() {
+        let d = p("0.0.0.0/0");
+        assert!(d.is_default());
+        assert!(d.contains(Ipv4Addr::new(200, 1, 1, 1)));
+        assert_eq!(d.netmask(), Ipv4Addr::new(0, 0, 0, 0));
+    }
+
+    #[test]
+    fn nth_host_skips_network_and_broadcast() {
+        let pre = p("10.0.0.0/30");
+        assert_eq!(pre.nth_host(1), Some(Ipv4Addr::new(10, 0, 0, 1)));
+        assert_eq!(pre.nth_host(2), Some(Ipv4Addr::new(10, 0, 0, 2)));
+        assert_eq!(pre.nth_host(3), None); // broadcast
+    }
+
+    #[test]
+    fn nth_host_p2p() {
+        let pre = p("10.0.0.0/31");
+        assert_eq!(pre.nth_host(1), Some(Ipv4Addr::new(10, 0, 0, 0)));
+        assert_eq!(pre.nth_host(2), Some(Ipv4Addr::new(10, 0, 0, 1)));
+        assert_eq!(pre.nth_host(3), None);
+    }
+
+    #[test]
+    fn split_halves() {
+        let (lo, hi) = p("10.0.0.0/24").split().unwrap();
+        assert_eq!(lo, p("10.0.0.0/25"));
+        assert_eq!(hi, p("10.0.0.128/25"));
+        assert!(p("1.2.3.4/32").split().is_none());
+    }
+
+    #[test]
+    fn subnets_enumeration() {
+        let subs = p("10.0.0.0/16").subnets(24, 3);
+        assert_eq!(subs, vec![p("10.0.0.0/24"), p("10.0.1.0/24"), p("10.0.2.0/24")]);
+        // Ask for more than fit.
+        let subs = p("10.0.0.0/30").subnets(31, 5);
+        assert_eq!(subs.len(), 2);
+    }
+
+    #[test]
+    fn broadcast_addr() {
+        assert_eq!(p("10.1.0.0/16").broadcast(), Ipv4Addr::new(10, 1, 255, 255));
+        assert_eq!(p("1.2.3.4/32").broadcast(), Ipv4Addr::new(1, 2, 3, 4));
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let mut v = vec![p("10.0.1.0/24"), p("10.0.0.0/8"), p("10.0.0.0/24")];
+        v.sort();
+        assert_eq!(v, vec![p("10.0.0.0/8"), p("10.0.0.0/24"), p("10.0.1.0/24")]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("10.0.0.0".parse::<Prefix>().is_err());
+        assert!("10.0.0.0/33".parse::<Prefix>().is_err());
+        assert!("banana/8".parse::<Prefix>().is_err());
+    }
+}

@@ -1,0 +1,332 @@
+//! L2 broadcast-domain computation.
+//!
+//! Everything above L2 — OSPF adjacency formation, ARP-style next-hop
+//! resolution, host-to-gateway delivery — reduces to one question: *are two
+//! L3 endpoints on the same broadcast domain?* This module answers it by
+//! union-find over L2 port endpoints, handling routed ports, multi-access
+//! (hub) segments, access/trunk switchports, and SVIs (`interface VlanN`).
+//!
+//! The paper's "VLAN issue" scenario exists precisely because of this
+//! model: a host behind an access port moved into the wrong VLAN lands in a
+//! different broadcast domain from its gateway SVI, so its traffic dies at
+//! L2 even though every L3 object looks healthy.
+
+use crate::topology::{DeviceIdx, Network};
+use crate::vlan::{SwitchPortMode, VlanId};
+use std::collections::HashMap;
+
+/// One L2 port endpoint: a (device, interface) possibly specialized to a
+/// VLAN (trunk ports have one endpoint per carried VLAN; SVIs have their
+/// VLAN id; routed ports have `None`).
+pub type L2Key = (DeviceIdx, String, Option<VlanId>);
+
+/// Opaque identifier of a broadcast domain.
+pub type DomainId = usize;
+
+/// The broadcast domains of a network snapshot.
+///
+/// Recompute after any topology or interface change (cheap: linear in
+/// ports + links).
+#[derive(Debug, Clone)]
+pub struct L2Domains {
+    domain_of: HashMap<L2Key, DomainId>,
+}
+
+/// Parses `VlanN` interface names to their VLAN id.
+pub fn svi_vlan(iface_name: &str) -> Option<VlanId> {
+    iface_name.strip_prefix("Vlan")?.parse().ok()
+}
+
+/// Minimal union-find.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+impl L2Domains {
+    /// Computes broadcast domains for the current interface/link state.
+    pub fn compute(net: &Network) -> Self {
+        // 1. Enumerate endpoint keys. Administratively-down ports do not
+        //    bridge, so they get no keys at all.
+        let mut keys: Vec<L2Key> = Vec::new();
+        for (di, dev) in net.devices() {
+            for iface in &dev.config.interfaces {
+                if !iface.is_up() {
+                    continue;
+                }
+                match (&iface.switchport, svi_vlan(&iface.name)) {
+                    (Some(SwitchPortMode::Access { vlan }), _) => {
+                        keys.push((di, iface.name.clone(), Some(*vlan)));
+                    }
+                    (Some(SwitchPortMode::Trunk { allowed }), _) => {
+                        let carried: Vec<VlanId> = if allowed.is_empty() {
+                            dev.config.vlans.keys().copied().collect()
+                        } else {
+                            allowed.clone()
+                        };
+                        for v in carried {
+                            keys.push((di, iface.name.clone(), Some(v)));
+                        }
+                    }
+                    (None, Some(v)) => keys.push((di, iface.name.clone(), Some(v))),
+                    (None, None) => keys.push((di, iface.name.clone(), None)),
+                }
+            }
+        }
+        let mut dsu = Dsu::new(keys.len());
+
+        // 2. Per-device VLAN fabric: all endpoints of a device in the same
+        //    VLAN bridge together (switchports and the SVI).
+        let mut fabric: HashMap<(DeviceIdx, VlanId), usize> = HashMap::new();
+        for (i, (d, _, v)) in keys.iter().enumerate() {
+            if let Some(v) = v {
+                match fabric.get(&(*d, *v)) {
+                    Some(&j) => dsu.union(i, j),
+                    None => {
+                        fabric.insert((*d, *v), i);
+                    }
+                }
+            }
+        }
+
+        // 3. Physical links: unite compatible endpoint pairs across each up
+        //    link.
+        for link in net.links() {
+            if !net.link_is_up(link) {
+                continue;
+            }
+            let a_keys: Vec<usize> = keys
+                .iter()
+                .enumerate()
+                .filter(|(_, (d, n, _))| *d == link.a && *n == link.a_iface)
+                .map(|(i, _)| i)
+                .collect();
+            let b_keys: Vec<usize> = keys
+                .iter()
+                .enumerate()
+                .filter(|(_, (d, n, _))| *d == link.b && *n == link.b_iface)
+                .map(|(i, _)| i)
+                .collect();
+            for &ia in &a_keys {
+                for &ib in &b_keys {
+                    let va = keys[ia].2;
+                    let vb = keys[ib].2;
+                    // Routed<->routed, routed<->vlan (hosts on access
+                    // ports), and tagged<->tagged with matching VLAN.
+                    let compatible = match (va, vb) {
+                        (None, _) | (_, None) => true,
+                        (Some(x), Some(y)) => x == y,
+                    };
+                    if compatible {
+                        dsu.union(ia, ib);
+                    }
+                }
+            }
+        }
+
+        let mut domain_of = HashMap::with_capacity(keys.len());
+        for (i, k) in keys.iter().enumerate() {
+            let root = dsu.find(i);
+            domain_of.insert(k.clone(), root);
+        }
+        L2Domains { domain_of }
+    }
+
+    /// The domain of an L3 endpoint: a routed port `(d, iface)` or an SVI
+    /// (`VlanN` name). Returns `None` for down or unknown interfaces.
+    pub fn domain(&self, d: DeviceIdx, iface: &str) -> Option<DomainId> {
+        let vlan = svi_vlan(iface);
+        self.domain_of.get(&(d, iface.to_string(), vlan)).copied()
+    }
+
+    /// The domain of a specific switchport endpoint in VLAN `v`.
+    pub fn domain_vlan(&self, d: DeviceIdx, iface: &str, v: VlanId) -> Option<DomainId> {
+        self.domain_of.get(&(d, iface.to_string(), Some(v))).copied()
+    }
+
+    /// Whether two L3 endpoints share a broadcast domain.
+    pub fn adjacent(&self, a: DeviceIdx, a_iface: &str, b: DeviceIdx, b_iface: &str) -> bool {
+        match (self.domain(a, a_iface), self.domain(b, b_iface)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// All L3-capable endpoints (addressed, up interfaces) of `net` in the
+    /// same domain as `(d, iface)`, excluding the endpoint itself.
+    pub fn l3_peers(&self, net: &Network, d: DeviceIdx, iface: &str) -> Vec<(DeviceIdx, String)> {
+        let Some(dom) = self.domain(d, iface) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (pi, peer) in net.devices() {
+            for pif in &peer.config.interfaces {
+                if pif.address.is_none() || !pif.is_up() {
+                    continue;
+                }
+                if pi == d && pif.name == iface {
+                    continue;
+                }
+                if self.domain(pi, &pif.name) == Some(dom) {
+                    out.push((pi, pif.name.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{Device, DeviceKind};
+    use crate::iface::Interface;
+    use crate::vlan::Vlan;
+
+    fn host(name: &str, ip: &str) -> Device {
+        let mut d = Device::new(name, DeviceKind::Host);
+        d.config
+            .upsert_interface(Interface::new("eth0").with_address(ip.parse().unwrap(), 24));
+        d
+    }
+
+    /// acc3-style device: SVI Vlan30 gateway + two access ports.
+    fn l3_switch_net(h7_vlan: u16) -> Network {
+        let mut n = Network::new();
+        let mut sw = Device::new("acc3", DeviceKind::Router);
+        sw.config.vlans.insert(30, Vlan::new(30));
+        sw.config.vlans.insert(31, Vlan::new(31));
+        sw.config
+            .upsert_interface(Interface::new("Vlan30").with_address("10.1.3.1".parse().unwrap(), 24));
+        sw.config.upsert_interface(
+            Interface::new("Gi0/2").with_switchport(SwitchPortMode::Access { vlan: h7_vlan }),
+        );
+        sw.config.upsert_interface(
+            Interface::new("Gi0/3").with_switchport(SwitchPortMode::Access { vlan: 30 }),
+        );
+        n.add_device(sw).unwrap();
+        n.add_device(host("h7", "10.1.3.10")).unwrap();
+        n.add_device(host("h8", "10.1.3.11")).unwrap();
+        n.add_link("acc3", "Gi0/2", "h7", "eth0").unwrap();
+        n.add_link("acc3", "Gi0/3", "h8", "eth0").unwrap();
+        n
+    }
+
+    #[test]
+    fn host_reaches_svi_in_right_vlan() {
+        let n = l3_switch_net(30);
+        let l2 = L2Domains::compute(&n);
+        assert!(l2.adjacent(n.idx_of("h7"), "eth0", n.idx_of("acc3"), "Vlan30"));
+        assert!(l2.adjacent(n.idx_of("h7"), "eth0", n.idx_of("h8"), "eth0"));
+    }
+
+    #[test]
+    fn wrong_vlan_isolates_host_from_gateway() {
+        let n = l3_switch_net(31);
+        let l2 = L2Domains::compute(&n);
+        assert!(!l2.adjacent(n.idx_of("h7"), "eth0", n.idx_of("acc3"), "Vlan30"));
+        assert!(!l2.adjacent(n.idx_of("h7"), "eth0", n.idx_of("h8"), "eth0"));
+        // h8 is unaffected.
+        assert!(l2.adjacent(n.idx_of("h8"), "eth0", n.idx_of("acc3"), "Vlan30"));
+    }
+
+    #[test]
+    fn hub_segment_bridges_all_hosts() {
+        // One router LAN port, three hosts (the lan() builder shape).
+        let mut n = Network::new();
+        let mut r = Device::new("r1", DeviceKind::Router);
+        r.config
+            .upsert_interface(Interface::new("Gi0/0").with_address("10.0.0.1".parse().unwrap(), 24));
+        n.add_device(r).unwrap();
+        for (h, ip) in [("h1", "10.0.0.10"), ("h2", "10.0.0.11"), ("h3", "10.0.0.12")] {
+            n.add_device(host(h, ip)).unwrap();
+            n.add_link("r1", "Gi0/0", h, "eth0").unwrap();
+        }
+        let l2 = L2Domains::compute(&n);
+        assert!(l2.adjacent(n.idx_of("h1"), "eth0", n.idx_of("h2"), "eth0"));
+        assert!(l2.adjacent(n.idx_of("h3"), "eth0", n.idx_of("r1"), "Gi0/0"));
+    }
+
+    #[test]
+    fn trunk_carries_vlan_between_switches() {
+        let mut n = Network::new();
+        for sw in ["sw1", "sw2"] {
+            let mut d = Device::new(sw, DeviceKind::Switch);
+            d.config.vlans.insert(10, Vlan::new(10));
+            d.config.vlans.insert(20, Vlan::new(20));
+            d.config.upsert_interface(
+                Interface::new("Gi0/1").with_switchport(SwitchPortMode::Trunk { allowed: vec![10] }),
+            );
+            d.config.upsert_interface(
+                Interface::new("Gi0/2").with_switchport(SwitchPortMode::Access { vlan: 10 }),
+            );
+            d.config.upsert_interface(
+                Interface::new("Gi0/3").with_switchport(SwitchPortMode::Access { vlan: 20 }),
+            );
+            n.add_device(d).unwrap();
+        }
+        n.add_link("sw1", "Gi0/1", "sw2", "Gi0/1").unwrap();
+        n.add_device(host("a", "10.0.10.1")).unwrap();
+        n.add_device(host("b", "10.0.10.2")).unwrap();
+        n.add_device(host("c", "10.0.20.1")).unwrap();
+        n.add_link("sw1", "Gi0/2", "a", "eth0").unwrap();
+        n.add_link("sw2", "Gi0/2", "b", "eth0").unwrap();
+        n.add_link("sw2", "Gi0/3", "c", "eth0").unwrap();
+        let l2 = L2Domains::compute(&n);
+        // VLAN 10 spans the trunk.
+        assert!(l2.adjacent(n.idx_of("a"), "eth0", n.idx_of("b"), "eth0"));
+        // VLAN 20 does not (trunk only allows 10).
+        assert!(!l2.adjacent(n.idx_of("b"), "eth0", n.idx_of("c"), "eth0"));
+    }
+
+    #[test]
+    fn down_port_leaves_domain() {
+        let mut n = l3_switch_net(30);
+        n.device_by_name_mut("acc3")
+            .unwrap()
+            .config
+            .interface_mut("Gi0/2")
+            .unwrap()
+            .enabled = false;
+        let l2 = L2Domains::compute(&n);
+        assert!(!l2.adjacent(n.idx_of("h7"), "eth0", n.idx_of("acc3"), "Vlan30"));
+    }
+
+    #[test]
+    fn l3_peers_enumerates_domain() {
+        let n = l3_switch_net(30);
+        let l2 = L2Domains::compute(&n);
+        let peers = l2.l3_peers(&n, n.idx_of("acc3"), "Vlan30");
+        assert_eq!(peers.len(), 2); // h7 and h8
+    }
+
+    #[test]
+    fn svi_name_parsing() {
+        assert_eq!(svi_vlan("Vlan30"), Some(30));
+        assert_eq!(svi_vlan("Vlan1"), Some(1));
+        assert_eq!(svi_vlan("Gi0/0"), None);
+        assert_eq!(svi_vlan("Vlanx"), None);
+    }
+}

@@ -1,0 +1,438 @@
+//! Configuration linting: static sanity checks over a whole network, in
+//! the spirit of Batfish's config-level analyses.
+//!
+//! The enforcer runs behavioral verification (converge + check policies);
+//! the linter catches the *structural* mistakes that behavioral checks can
+//! silently absorb — a dangling ACL reference behaves like "no ACL", an
+//! undeclared VLAN behaves like a black hole, a duplicate address wins or
+//! loses arbitrarily. Real MSP tickets are full of these.
+
+use crate::device::DeviceKind;
+use crate::l2::L2Domains;
+use crate::proto::NextHop;
+use crate::topology::Network;
+use crate::vlan::SwitchPortMode;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Unusual but sometimes intentional (e.g. an edge interface with no
+    /// modeled link — an upstream hand-off).
+    Info,
+    /// Almost certainly a misconfiguration.
+    Warning,
+    /// Will misbehave.
+    Error,
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LintFinding {
+    pub severity: Severity,
+    /// Stable machine-readable code, e.g. `acl-ref-missing`.
+    pub code: &'static str,
+    pub device: String,
+    pub message: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:?}] {} {}: {}",
+            self.severity, self.code, self.device, self.message
+        )
+    }
+}
+
+/// Runs every check over the network.
+pub fn lint(net: &Network) -> Vec<LintFinding> {
+    let mut out = Vec::new();
+    acl_references(net, &mut out);
+    undeclared_vlans(net, &mut out);
+    duplicate_addresses(net, &mut out);
+    dangling_interfaces(net, &mut out);
+    unresolvable_statics(net, &mut out);
+    hosts_without_gateway(net, &mut out);
+    ospf_networks_matching_nothing(net, &mut out);
+    subnet_split_across_domains(net, &mut out);
+    out.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.device.cmp(&b.device)));
+    out
+}
+
+/// Findings at or above a severity.
+pub fn lint_at_least(net: &Network, min: Severity) -> Vec<LintFinding> {
+    lint(net).into_iter().filter(|f| f.severity >= min).collect()
+}
+
+fn acl_references(net: &Network, out: &mut Vec<LintFinding>) {
+    for (_, d) in net.devices() {
+        for i in &d.config.interfaces {
+            for (dir, name) in [("in", &i.acl_in), ("out", &i.acl_out)] {
+                if let Some(name) = name {
+                    if !d.config.acls.contains_key(name) {
+                        out.push(LintFinding {
+                            severity: Severity::Error,
+                            code: "acl-ref-missing",
+                            device: d.name.clone(),
+                            message: format!(
+                                "{} binds acl {name:?} ({dir}) which is not defined",
+                                i.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        // Unused ACLs are a hygiene warning.
+        for name in d.config.acls.keys() {
+            let used = d
+                .config
+                .interfaces
+                .iter()
+                .any(|i| i.acl_in.as_deref() == Some(name) || i.acl_out.as_deref() == Some(name));
+            if !used {
+                out.push(LintFinding {
+                    severity: Severity::Info,
+                    code: "acl-unused",
+                    device: d.name.clone(),
+                    message: format!("acl {name:?} is defined but bound to no interface"),
+                });
+            }
+        }
+    }
+}
+
+fn undeclared_vlans(net: &Network, out: &mut Vec<LintFinding>) {
+    for (_, d) in net.devices() {
+        for i in &d.config.interfaces {
+            let vlans: Vec<u16> = match &i.switchport {
+                Some(SwitchPortMode::Access { vlan }) => vec![*vlan],
+                Some(SwitchPortMode::Trunk { allowed }) => allowed.clone(),
+                None => continue,
+            };
+            for v in vlans {
+                if !d.config.vlans.contains_key(&v) {
+                    out.push(LintFinding {
+                        severity: Severity::Warning,
+                        code: "vlan-undeclared",
+                        device: d.name.clone(),
+                        message: format!("{} uses vlan {v} which is not declared", i.name),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn duplicate_addresses(net: &Network, out: &mut Vec<LintFinding>) {
+    let mut owners: HashMap<Ipv4Addr, Vec<String>> = HashMap::new();
+    for (_, d) in net.devices() {
+        for i in &d.config.interfaces {
+            if let Some(a) = i.address {
+                owners.entry(a.ip).or_default().push(format!("{}.{}", d.name, i.name));
+            }
+        }
+    }
+    for (ip, who) in owners {
+        if who.len() > 1 {
+            out.push(LintFinding {
+                severity: Severity::Error,
+                code: "addr-duplicate",
+                device: who[0].split('.').next().unwrap_or("").to_string(),
+                message: format!("address {ip} configured on {who:?}"),
+            });
+        }
+    }
+}
+
+fn dangling_interfaces(net: &Network, out: &mut Vec<LintFinding>) {
+    for (di, d) in net.devices() {
+        for i in &d.config.interfaces {
+            let is_virtual = i.name.starts_with("Lo") || crate::l2::svi_vlan(&i.name).is_some();
+            if i.address.is_some()
+                && !is_virtual
+                && i.is_up()
+                && net.links_at(di, &i.name).is_empty()
+            {
+                out.push(LintFinding {
+                    severity: Severity::Info,
+                    code: "iface-unlinked",
+                    device: d.name.clone(),
+                    message: format!(
+                        "{} is addressed and up but has no modeled link (external hand-off?)",
+                        i.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn unresolvable_statics(net: &Network, out: &mut Vec<LintFinding>) {
+    for (_, d) in net.devices() {
+        for r in &d.config.static_routes {
+            let NextHop::Ip(gw) = r.next_hop else { continue };
+            let direct = d
+                .config
+                .interfaces
+                .iter()
+                .any(|i| i.is_up() && i.subnet().map(|s| s.contains(gw)).unwrap_or(false));
+            if !direct {
+                out.push(LintFinding {
+                    severity: Severity::Warning,
+                    code: "static-nh-indirect",
+                    device: d.name.clone(),
+                    message: format!(
+                        "static route {} via {gw}: next hop is not on a connected subnet",
+                        r.prefix
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn hosts_without_gateway(net: &Network, out: &mut Vec<LintFinding>) {
+    for (_, d) in net.devices() {
+        if d.kind != DeviceKind::Host {
+            continue;
+        }
+        if !d.config.static_routes.iter().any(|r| r.prefix.is_default()) {
+            out.push(LintFinding {
+                severity: Severity::Warning,
+                code: "host-no-gateway",
+                device: d.name.clone(),
+                message: "host has no default route".to_string(),
+            });
+        }
+    }
+}
+
+fn ospf_networks_matching_nothing(net: &Network, out: &mut Vec<LintFinding>) {
+    for (_, d) in net.devices() {
+        let Some(o) = &d.config.ospf else { continue };
+        for n in &o.networks {
+            let hits = d
+                .config
+                .interfaces
+                .iter()
+                .any(|i| i.address.map(|a| n.prefix.contains(a.ip)).unwrap_or(false));
+            if !hits {
+                out.push(LintFinding {
+                    severity: Severity::Warning,
+                    code: "ospf-network-unmatched",
+                    device: d.name.clone(),
+                    message: format!(
+                        "ospf network {} area {} matches no interface",
+                        n.prefix, n.area
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn subnet_split_across_domains(net: &Network, out: &mut Vec<LintFinding>) {
+    // Two up L3 endpoints sharing a subnet should share a broadcast
+    // domain; otherwise one side can never ARP the other.
+    let l2 = L2Domains::compute(net);
+    let mut by_subnet: HashMap<crate::ip::Prefix, Vec<(String, String, Option<usize>)>> =
+        HashMap::new();
+    for (di, d) in net.devices() {
+        for i in &d.config.interfaces {
+            if !i.is_up() || i.name.starts_with("Lo") {
+                continue;
+            }
+            if let Some(s) = i.subnet() {
+                if s.len() == 32 {
+                    continue;
+                }
+                by_subnet
+                    .entry(s)
+                    .or_default()
+                    .push((d.name.clone(), i.name.clone(), l2.domain(di, &i.name)));
+            }
+        }
+    }
+    for (subnet, members) in by_subnet {
+        if members.len() < 2 {
+            continue;
+        }
+        let domains: Vec<Option<usize>> = members.iter().map(|(_, _, d)| *d).collect();
+        if domains.windows(2).any(|w| w[0] != w[1]) {
+            out.push(LintFinding {
+                severity: Severity::Warning,
+                code: "subnet-split",
+                device: members[0].0.clone(),
+                message: format!(
+                    "subnet {subnet} spans disjoint broadcast domains: {:?}",
+                    members
+                        .iter()
+                        .map(|(d, i, _)| format!("{d}.{i}"))
+                        .collect::<Vec<_>>()
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acl::Acl;
+    use crate::gen::{enterprise_network, university_network};
+    use crate::iface::Interface;
+
+    #[test]
+    fn evaluation_networks_lint_almost_clean() {
+        for (g, expected_unlinked) in [(enterprise_network(), 1), (university_network(), 1)] {
+            let findings = lint(&g.net);
+            let errors: Vec<&LintFinding> = findings
+                .iter()
+                .filter(|f| f.severity == Severity::Error)
+                .collect();
+            assert!(errors.is_empty(), "{}: {errors:?}", g.meta.name);
+            // Exactly the upstream hand-off is unlinked.
+            let unlinked = findings
+                .iter()
+                .filter(|f| f.code == "iface-unlinked")
+                .count();
+            assert_eq!(unlinked, expected_unlinked, "{}", g.meta.name);
+            let warnings: Vec<&LintFinding> = findings
+                .iter()
+                .filter(|f| f.severity == Severity::Warning)
+                .collect();
+            assert!(warnings.is_empty(), "{}: {warnings:?}", g.meta.name);
+        }
+    }
+
+    #[test]
+    fn missing_acl_reference_is_an_error() {
+        let g = enterprise_network();
+        let mut net = g.net;
+        net.device_by_name_mut("acc1")
+            .unwrap()
+            .config
+            .interface_mut("Gi0/0")
+            .unwrap()
+            .acl_in = Some("404".to_string());
+        let findings = lint_at_least(&net, Severity::Error);
+        assert!(findings.iter().any(|f| f.code == "acl-ref-missing" && f.device == "acc1"));
+    }
+
+    #[test]
+    fn duplicate_address_detected() {
+        let g = enterprise_network();
+        let mut net = g.net;
+        // Give h2 the same address as h1.
+        net.device_by_name_mut("h2")
+            .unwrap()
+            .config
+            .interface_mut("eth0")
+            .unwrap()
+            .address = Some(crate::iface::InterfaceAddress::new("10.1.1.10".parse().unwrap(), 24));
+        let findings = lint_at_least(&net, Severity::Error);
+        assert!(findings.iter().any(|f| f.code == "addr-duplicate"), "{findings:?}");
+    }
+
+    #[test]
+    fn undeclared_vlan_warns() {
+        let g = enterprise_network();
+        let mut net = g.net;
+        net.device_by_name_mut("acc3")
+            .unwrap()
+            .config
+            .interface_mut("Gi0/2")
+            .unwrap()
+            .switchport = Some(SwitchPortMode::Access { vlan: 99 });
+        let findings = lint(&net);
+        assert!(findings.iter().any(|f| f.code == "vlan-undeclared" && f.device == "acc3"));
+    }
+
+    #[test]
+    fn ospf_issue_is_visible_to_the_linter_inverse() {
+        // Adding a network statement that matches nothing warns; the OSPF
+        // *issue* (removing one) is the behavioral twin of this.
+        let g = enterprise_network();
+        let mut net = g.net;
+        net.device_by_name_mut("dist2")
+            .unwrap()
+            .config
+            .ospf
+            .as_mut()
+            .unwrap()
+            .networks
+            .push(crate::proto::OspfNetwork {
+                prefix: "203.0.113.0/24".parse().unwrap(),
+                area: 0,
+            });
+        let findings = lint(&net);
+        assert!(findings
+            .iter()
+            .any(|f| f.code == "ospf-network-unmatched" && f.device == "dist2"));
+    }
+
+    #[test]
+    fn host_without_gateway_warns() {
+        let g = enterprise_network();
+        let mut net = g.net;
+        net.device_by_name_mut("h5").unwrap().config.static_routes.clear();
+        let findings = lint(&net);
+        assert!(findings.iter().any(|f| f.code == "host-no-gateway" && f.device == "h5"));
+    }
+
+    #[test]
+    fn unused_acl_is_info() {
+        let g = enterprise_network();
+        let mut net = g.net;
+        net.device_by_name_mut("core1")
+            .unwrap()
+            .config
+            .upsert_acl(Acl::new("150"));
+        let findings = lint(&net);
+        let f = findings
+            .iter()
+            .find(|f| f.code == "acl-unused" && f.device == "core1")
+            .expect("unused acl found");
+        assert_eq!(f.severity, Severity::Info);
+    }
+
+    #[test]
+    fn split_subnet_detected() {
+        // Two routers share 10.42.0.0/24 but are not connected at L2.
+        let g = enterprise_network();
+        let mut net = g.net;
+        for (dev, last) in [("core1", 1u8), ("acc3", 2u8)] {
+            net.device_by_name_mut(dev)
+                .unwrap()
+                .config
+                .upsert_interface(
+                    Interface::new("Gi0/7")
+                        .with_address(Ipv4Addr::new(10, 42, 0, last), 24),
+                );
+        }
+        let findings = lint(&net);
+        assert!(findings.iter().any(|f| f.code == "subnet-split"), "{findings:?}");
+    }
+
+    #[test]
+    fn findings_sort_errors_first() {
+        let g = enterprise_network();
+        let mut net = g.net;
+        net.device_by_name_mut("acc1")
+            .unwrap()
+            .config
+            .interface_mut("Gi0/0")
+            .unwrap()
+            .acl_in = Some("404".to_string());
+        let findings = lint(&net);
+        assert_eq!(findings[0].severity, Severity::Error);
+        let text = findings[0].to_string();
+        assert!(text.contains("acl-ref-missing"));
+    }
+}

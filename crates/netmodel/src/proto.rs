@@ -1,0 +1,229 @@
+//! Routing-protocol *configuration* (not computation): static routes, OSPF
+//! process settings, and BGP process settings as they appear in device
+//! configs. The `heimdall-routing` crate consumes these to converge RIBs.
+
+use crate::ip::Prefix;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Where a static route sends traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NextHop {
+    /// Forward to this IP (resolved recursively against connected subnets).
+    Ip(Ipv4Addr),
+    /// Discard silently (`Null0`) — used for sinkholes and aggregates.
+    Discard,
+}
+
+/// An `ip route PREFIX MASK NEXTHOP [distance]` statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaticRoute {
+    pub prefix: Prefix,
+    pub next_hop: NextHop,
+    /// Administrative distance (IOS default for statics is 1).
+    pub distance: u8,
+}
+
+impl StaticRoute {
+    /// A static route with the default administrative distance (1).
+    pub fn new(prefix: Prefix, next_hop: Ipv4Addr) -> Self {
+        StaticRoute {
+            prefix,
+            next_hop: NextHop::Ip(next_hop),
+            distance: 1,
+        }
+    }
+
+    /// A default route (`0.0.0.0/0`) via `next_hop`.
+    pub fn default_via(next_hop: Ipv4Addr) -> Self {
+        StaticRoute::new(Prefix::DEFAULT, next_hop)
+    }
+
+    /// A discard (Null0) route.
+    pub fn discard(prefix: Prefix) -> Self {
+        StaticRoute {
+            prefix,
+            next_hop: NextHop::Discard,
+            distance: 1,
+        }
+    }
+}
+
+/// An OSPF area id. Area 0 is the backbone.
+pub type AreaId = u32;
+
+/// An OSPF `network A WILDCARD area N` statement: interfaces whose address
+/// falls inside `prefix` participate in `area`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OspfNetwork {
+    pub prefix: Prefix,
+    pub area: AreaId,
+}
+
+/// A `router ospf N` process.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OspfConfig {
+    pub process_id: u32,
+    /// Explicit router id; if unset, the highest interface IP is used.
+    pub router_id: Option<Ipv4Addr>,
+    /// `network ... area ...` statements, in configuration order.
+    pub networks: Vec<OspfNetwork>,
+    /// Interfaces that participate but never form adjacencies.
+    pub passive_interfaces: Vec<String>,
+    /// Whether static routes are redistributed into OSPF (as external,
+    /// metric 20).
+    pub redistribute_static: bool,
+    /// Reference bandwidth for cost auto-derivation, in kbit/s
+    /// (IOS default: 100 Mb/s).
+    pub reference_bandwidth_kbps: u64,
+}
+
+impl OspfConfig {
+    /// A fresh OSPF process with IOS-like defaults.
+    pub fn new(process_id: u32) -> Self {
+        OspfConfig {
+            process_id,
+            router_id: None,
+            networks: Vec::new(),
+            passive_interfaces: Vec::new(),
+            redistribute_static: false,
+            reference_bandwidth_kbps: 100_000,
+        }
+    }
+
+    /// Builder: add a `network` statement.
+    pub fn network(mut self, prefix: Prefix, area: AreaId) -> Self {
+        self.networks.push(OspfNetwork { prefix, area });
+        self
+    }
+
+    /// Builder: set the router id.
+    pub fn with_router_id(mut self, id: Ipv4Addr) -> Self {
+        self.router_id = Some(id);
+        self
+    }
+
+    /// Builder: mark an interface passive.
+    pub fn passive(mut self, iface: impl Into<String>) -> Self {
+        self.passive_interfaces.push(iface.into());
+        self
+    }
+
+    /// The area an interface with address `ip` participates in, if any.
+    /// The *first* matching network statement wins (IOS order semantics).
+    pub fn area_for(&self, ip: Ipv4Addr) -> Option<AreaId> {
+        self.networks
+            .iter()
+            .find(|n| n.prefix.contains(ip))
+            .map(|n| n.area)
+    }
+
+    /// Whether `iface` is configured passive.
+    pub fn is_passive(&self, iface: &str) -> bool {
+        self.passive_interfaces.iter().any(|p| p == iface)
+    }
+}
+
+/// A BGP neighbor statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BgpNeighbor {
+    pub addr: Ipv4Addr,
+    pub remote_as: u32,
+}
+
+/// A `router bgp N` process (simplified: eBGP/iBGP best-path over
+/// AS-path length and local preference).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BgpConfig {
+    pub asn: u32,
+    pub router_id: Option<Ipv4Addr>,
+    pub neighbors: Vec<BgpNeighbor>,
+    /// Prefixes this router originates (`network` statements).
+    pub networks: Vec<Prefix>,
+    /// Whether a default route is advertised to all neighbors.
+    pub default_originate: bool,
+}
+
+impl BgpConfig {
+    /// A fresh BGP process in `asn`.
+    pub fn new(asn: u32) -> Self {
+        BgpConfig {
+            asn,
+            router_id: None,
+            neighbors: Vec::new(),
+            networks: Vec::new(),
+            default_originate: false,
+        }
+    }
+
+    /// Builder: set the router id.
+    pub fn with_router_id(mut self, id: Ipv4Addr) -> Self {
+        self.router_id = Some(id);
+        self
+    }
+
+    /// Builder: add a neighbor.
+    pub fn neighbor(mut self, addr: Ipv4Addr, remote_as: u32) -> Self {
+        self.neighbors.push(BgpNeighbor { addr, remote_as });
+        self
+    }
+
+    /// Builder: originate `prefix`.
+    pub fn network(mut self, prefix: Prefix) -> Self {
+        self.networks.push(prefix);
+        self
+    }
+
+    /// The configured session to `addr`, if any.
+    pub fn neighbor_for(&self, addr: Ipv4Addr) -> Option<&BgpNeighbor> {
+        self.neighbors.iter().find(|n| n.addr == addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn static_route_defaults() {
+        let r = StaticRoute::new(p("10.0.0.0/8"), ip("192.168.0.1"));
+        assert_eq!(r.distance, 1);
+        assert_eq!(r.next_hop, NextHop::Ip(ip("192.168.0.1")));
+        assert!(StaticRoute::default_via(ip("1.1.1.1")).prefix.is_default());
+        assert_eq!(StaticRoute::discard(p("10.0.0.0/8")).next_hop, NextHop::Discard);
+    }
+
+    #[test]
+    fn ospf_area_first_match_wins() {
+        let o = OspfConfig::new(1)
+            .network(p("10.0.1.0/24"), 1)
+            .network(p("10.0.0.0/8"), 0);
+        assert_eq!(o.area_for(ip("10.0.1.5")), Some(1));
+        assert_eq!(o.area_for(ip("10.9.9.9")), Some(0));
+        assert_eq!(o.area_for(ip("192.168.1.1")), None);
+    }
+
+    #[test]
+    fn ospf_passive() {
+        let o = OspfConfig::new(1).passive("Gi0/3");
+        assert!(o.is_passive("Gi0/3"));
+        assert!(!o.is_passive("Gi0/1"));
+    }
+
+    #[test]
+    fn bgp_neighbor_lookup() {
+        let b = BgpConfig::new(65001)
+            .neighbor(ip("10.0.0.2"), 65002)
+            .network(p("192.168.0.0/16"));
+        assert_eq!(b.neighbor_for(ip("10.0.0.2")).unwrap().remote_as, 65002);
+        assert!(b.neighbor_for(ip("10.0.0.3")).is_none());
+    }
+}

@@ -1,0 +1,217 @@
+//! Snapshot persistence: a network as a directory of per-device
+//! configuration files plus a topology file — the layout Batfish calls a
+//! snapshot, and the form in which real enterprises would hand Heimdall
+//! their network.
+//!
+//! ```text
+//! snapshot/
+//!   topology.txt          # one "devA ifaceA devB ifaceB" line per link
+//!   devices.txt           # one "name kind" line per device
+//!   configs/
+//!     r1.cfg              # IOS-like text, print_config format
+//!     h1.cfg
+//! ```
+//!
+//! `load_snapshot(save_snapshot(net)) == net` up to interface ordering
+//! (property-tested in this module).
+
+use crate::device::{Device, DeviceKind};
+use crate::parser::parse_config;
+use crate::printer::print_config;
+use crate::topology::Network;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A snapshot load/save failure.
+#[derive(Debug)]
+pub enum SnapshotError {
+    Io(io::Error),
+    Parse(String),
+    Layout(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::Parse(m) => write!(f, "snapshot parse error: {m}"),
+            SnapshotError::Layout(m) => write!(f, "snapshot layout error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Writes a network as a snapshot directory (created if missing).
+pub fn save_snapshot(net: &Network, dir: &Path) -> Result<(), SnapshotError> {
+    let configs = dir.join("configs");
+    fs::create_dir_all(&configs)?;
+
+    let mut devices = String::new();
+    for (_, d) in net.devices() {
+        devices.push_str(&format!("{} {}\n", d.name, d.kind.keyword()));
+        fs::write(configs.join(format!("{}.cfg", d.name)), print_config(&d.config))?;
+    }
+    fs::write(dir.join("devices.txt"), devices)?;
+
+    let mut topo = String::new();
+    for l in net.links() {
+        topo.push_str(&format!(
+            "{} {} {} {}\n",
+            net.device(l.a).name,
+            l.a_iface,
+            net.device(l.b).name,
+            l.b_iface
+        ));
+    }
+    fs::write(dir.join("topology.txt"), topo)?;
+    Ok(())
+}
+
+fn kind_from_keyword(s: &str) -> Option<DeviceKind> {
+    match s {
+        "router" => Some(DeviceKind::Router),
+        "switch" => Some(DeviceKind::Switch),
+        "firewall" => Some(DeviceKind::Firewall),
+        "host" => Some(DeviceKind::Host),
+        _ => None,
+    }
+}
+
+/// Loads a snapshot directory back into a network.
+pub fn load_snapshot(dir: &Path) -> Result<Network, SnapshotError> {
+    let mut net = Network::new();
+    let devices = fs::read_to_string(dir.join("devices.txt"))?;
+    for (n, line) in devices.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (name, kind) = line
+            .split_once(' ')
+            .ok_or_else(|| SnapshotError::Layout(format!("devices.txt line {}", n + 1)))?;
+        let kind = kind_from_keyword(kind)
+            .ok_or_else(|| SnapshotError::Layout(format!("unknown kind {kind:?}")))?;
+        let text = fs::read_to_string(dir.join("configs").join(format!("{name}.cfg")))?;
+        let config = parse_config(&text).map_err(|e| SnapshotError::Parse(format!("{name}: {e}")))?;
+        if config.hostname != name {
+            return Err(SnapshotError::Layout(format!(
+                "config hostname {:?} does not match file {name}.cfg",
+                config.hostname
+            )));
+        }
+        let mut dev = Device::new(name, kind);
+        dev.config = config;
+        net.add_device(dev)
+            .map_err(|e| SnapshotError::Layout(e.to_string()))?;
+    }
+    let topo = fs::read_to_string(dir.join("topology.txt"))?;
+    for (n, line) in topo.lines().enumerate() {
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.is_empty() {
+            continue;
+        }
+        let [a, ai, b, bi] = parts.as_slice() else {
+            return Err(SnapshotError::Layout(format!("topology.txt line {}", n + 1)));
+        };
+        net.add_link(a, ai, b, bi)
+            .map_err(|e| SnapshotError::Layout(format!("topology.txt line {}: {e}", n + 1)))?;
+    }
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{enterprise_network, university_network};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("heimdall-snap-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&p);
+        p
+    }
+
+    #[test]
+    fn round_trips_both_evaluation_networks() {
+        for (g, label) in [(enterprise_network(), "ent"), (university_network(), "uni")] {
+            let dir = tmp(label);
+            save_snapshot(&g.net, &dir).expect("save");
+            let back = load_snapshot(&dir).expect("load");
+            assert_eq!(back.device_count(), g.net.device_count());
+            assert_eq!(back.link_count(), g.net.link_count());
+            for (_, d) in g.net.devices() {
+                let b = back.device_by_name(&d.name).expect("device survives");
+                assert_eq!(b.kind, d.kind);
+                assert_eq!(
+                    b.config.canonicalized(),
+                    d.config.canonicalized(),
+                    "{label}/{}",
+                    d.name
+                );
+            }
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn links_survive_with_endpoints() {
+        // Behavioral equivalence (identical converged RIBs) is asserted in
+        // the cross-crate integration tests, where heimdall-routing is
+        // available; here we check every link endpoint survives the trip.
+        let g = enterprise_network();
+        let dir = tmp("links");
+        save_snapshot(&g.net, &dir).expect("save");
+        let back = load_snapshot(&dir).expect("load");
+        for l in g.net.links() {
+            let a = g.net.device(l.a).name.clone();
+            let b = g.net.device(l.b).name.clone();
+            let ai = back.idx_of(&a);
+            assert!(back
+                .peers_of(ai, &l.a_iface)
+                .iter()
+                .any(|(p, pi)| back.device(*p).name == b && *pi == l.b_iface));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hostname_mismatch_rejected() {
+        let g = enterprise_network();
+        let dir = tmp("mismatch");
+        save_snapshot(&g.net, &dir).expect("save");
+        // Corrupt: rename a config's hostname.
+        let p = dir.join("configs").join("fw1.cfg");
+        let text = fs::read_to_string(&p).unwrap().replace("hostname fw1", "hostname fw9");
+        fs::write(&p, text).unwrap();
+        assert!(matches!(load_snapshot(&dir), Err(SnapshotError::Layout(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_config_file_is_io_error() {
+        let g = enterprise_network();
+        let dir = tmp("missing");
+        save_snapshot(&g.net, &dir).expect("save");
+        fs::remove_file(dir.join("configs").join("h1.cfg")).unwrap();
+        assert!(matches!(load_snapshot(&dir), Err(SnapshotError::Io(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_topology_line_rejected() {
+        let g = enterprise_network();
+        let dir = tmp("topo");
+        save_snapshot(&g.net, &dir).expect("save");
+        fs::write(dir.join("topology.txt"), "only three fields\n").unwrap();
+        assert!(matches!(load_snapshot(&dir), Err(SnapshotError::Layout(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,530 @@
+//! The network: a set of devices plus the physical links between their
+//! interfaces, with the graph algorithms the rest of the system needs
+//! (neighbor queries for the *Neighbor* baseline, path enumeration for
+//! task-driven twin slicing, connectivity checks for the routing engine).
+
+use crate::device::{Device, DeviceKind};
+use crate::ip::Prefix;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A stable index identifying a device inside one [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DeviceIdx(pub usize);
+
+impl fmt::Display for DeviceIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A physical link joining two device interfaces.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Link {
+    pub a: DeviceIdx,
+    pub a_iface: String,
+    pub b: DeviceIdx,
+    pub b_iface: String,
+}
+
+impl Link {
+    /// The far end of the link from `from`, if `from` is an endpoint.
+    pub fn peer_of(&self, from: DeviceIdx) -> Option<(DeviceIdx, &str)> {
+        if self.a == from {
+            Some((self.b, &self.b_iface))
+        } else if self.b == from {
+            Some((self.a, &self.a_iface))
+        } else {
+            None
+        }
+    }
+
+    /// The interface name `from` uses on this link, if `from` is an endpoint.
+    pub fn iface_of(&self, from: DeviceIdx) -> Option<&str> {
+        if self.a == from {
+            Some(&self.a_iface)
+        } else if self.b == from {
+            Some(&self.b_iface)
+        } else {
+            None
+        }
+    }
+}
+
+/// Errors raised while assembling a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    DuplicateDevice(String),
+    UnknownDevice(String),
+    UnknownInterface(String, String),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::DuplicateDevice(d) => write!(f, "duplicate device {d:?}"),
+            TopologyError::UnknownDevice(d) => write!(f, "unknown device {d:?}"),
+            TopologyError::UnknownInterface(d, i) => write!(f, "unknown interface {d:?}.{i:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A complete network: devices, links, and a name index.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Network {
+    devices: Vec<Device>,
+    links: Vec<Link>,
+    by_name: HashMap<String, DeviceIdx>,
+}
+
+impl Network {
+    /// An empty network.
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    /// Adds a device; names must be unique.
+    pub fn add_device(&mut self, device: Device) -> Result<DeviceIdx, TopologyError> {
+        if self.by_name.contains_key(&device.name) {
+            return Err(TopologyError::DuplicateDevice(device.name.clone()));
+        }
+        let idx = DeviceIdx(self.devices.len());
+        self.by_name.insert(device.name.clone(), idx);
+        self.devices.push(device);
+        Ok(idx)
+    }
+
+    /// Connects `a.a_iface` to `b.b_iface`. Both interfaces must exist.
+    ///
+    /// An interface may appear in several links: a router LAN port with
+    /// multiple hosts behind it is a multi-access segment (hub semantics),
+    /// and parallel links between the same router pair model port-channel
+    /// redundancy (the university network uses these heavily).
+    pub fn add_link(
+        &mut self,
+        a: &str,
+        a_iface: &str,
+        b: &str,
+        b_iface: &str,
+    ) -> Result<(), TopologyError> {
+        let ai = self.idx(a)?;
+        let bi = self.idx(b)?;
+        for (d, i) in [(ai, a_iface), (bi, b_iface)] {
+            if self.devices[d.0].config.interface(i).is_none() {
+                return Err(TopologyError::UnknownInterface(
+                    self.devices[d.0].name.clone(),
+                    i.to_string(),
+                ));
+            }
+        }
+        self.links.push(Link {
+            a: ai,
+            a_iface: a_iface.to_string(),
+            b: bi,
+            b_iface: b_iface.to_string(),
+        });
+        Ok(())
+    }
+
+    /// Resolves a device name to its index.
+    pub fn idx(&self, name: &str) -> Result<DeviceIdx, TopologyError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| TopologyError::UnknownDevice(name.to_string()))
+    }
+
+    /// Resolves a device name, panicking with a clear message if missing.
+    /// Convenience for tests and generators where absence is a bug.
+    pub fn idx_of(&self, name: &str) -> DeviceIdx {
+        self.idx(name)
+            .unwrap_or_else(|e| panic!("{e} in network with {} devices", self.devices.len()))
+    }
+
+    /// The device at `idx`.
+    pub fn device(&self, idx: DeviceIdx) -> &Device {
+        &self.devices[idx.0]
+    }
+
+    /// The device at `idx`, mutably.
+    pub fn device_mut(&mut self, idx: DeviceIdx) -> &mut Device {
+        &mut self.devices[idx.0]
+    }
+
+    /// The device named `name`, if present.
+    pub fn device_by_name(&self, name: &str) -> Option<&Device> {
+        self.by_name.get(name).map(|i| &self.devices[i.0])
+    }
+
+    /// The device named `name`, mutably, if present.
+    pub fn device_by_name_mut(&mut self, name: &str) -> Option<&mut Device> {
+        let idx = *self.by_name.get(name)?;
+        Some(&mut self.devices[idx.0])
+    }
+
+    /// Iterator over `(index, device)` pairs.
+    pub fn devices(&self) -> impl Iterator<Item = (DeviceIdx, &Device)> {
+        self.devices.iter().enumerate().map(|(i, d)| (DeviceIdx(i), d))
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Devices of a given kind.
+    pub fn devices_of_kind(&self, kind: DeviceKind) -> Vec<DeviceIdx> {
+        self.devices()
+            .filter(|(_, d)| d.kind == kind)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The first link attached to `(device, iface)`, if any.
+    pub fn link_at(&self, device: DeviceIdx, iface: &str) -> Option<&Link> {
+        self.links
+            .iter()
+            .find(|l| l.iface_of(device) == Some(iface))
+    }
+
+    /// All links attached to `(device, iface)` — more than one on
+    /// multi-access segments.
+    pub fn links_at(&self, device: DeviceIdx, iface: &str) -> Vec<&Link> {
+        self.links
+            .iter()
+            .filter(|l| l.iface_of(device) == Some(iface))
+            .collect()
+    }
+
+    /// The devices+interfaces on the far side of `(device, iface)`.
+    pub fn peers_of(&self, device: DeviceIdx, iface: &str) -> Vec<(DeviceIdx, String)> {
+        self.links_at(device, iface)
+            .into_iter()
+            .filter_map(|l| l.peer_of(device))
+            .map(|(d, i)| (d, i.to_string()))
+            .collect()
+    }
+
+    /// Whether both endpoint interfaces of `link` are administratively up.
+    pub fn link_is_up(&self, link: &Link) -> bool {
+        let up = |d: DeviceIdx, i: &str| {
+            self.devices[d.0]
+                .config
+                .interface(i)
+                .map(|x| x.is_up())
+                .unwrap_or(false)
+        };
+        up(link.a, &link.a_iface) && up(link.b, &link.b_iface)
+    }
+
+    /// Whether any link at `(device, iface)` is usable end-to-end.
+    pub fn link_up(&self, device: DeviceIdx, iface: &str) -> bool {
+        self.links_at(device, iface)
+            .into_iter()
+            .any(|l| self.link_is_up(l))
+    }
+
+    /// Direct neighbors of `device` over *up* links: `(peer, local iface,
+    /// peer iface)`.
+    pub fn neighbors(&self, device: DeviceIdx) -> Vec<(DeviceIdx, String, String)> {
+        let mut out = Vec::new();
+        for l in &self.links {
+            if let Some((peer, peer_iface)) = l.peer_of(device) {
+                let local = l.iface_of(device).expect("endpoint checked").to_string();
+                if self.link_is_up(l) {
+                    out.push((peer, local, peer_iface.to_string()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Direct neighbors regardless of link state (topology-only view, used
+    /// by the *Neighbor* access baseline).
+    pub fn neighbors_any_state(&self, device: DeviceIdx) -> Vec<DeviceIdx> {
+        let mut out: Vec<DeviceIdx> = self
+            .links
+            .iter()
+            .filter_map(|l| l.peer_of(device).map(|(d, _)| d))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Shortest path (in hops, over up links) from `src` to `dst`,
+    /// inclusive of both endpoints. `None` if disconnected.
+    pub fn shortest_path(&self, src: DeviceIdx, dst: DeviceIdx) -> Option<Vec<DeviceIdx>> {
+        if src == dst {
+            return Some(vec![src]);
+        }
+        let mut prev: HashMap<DeviceIdx, DeviceIdx> = HashMap::new();
+        let mut seen: HashSet<DeviceIdx> = HashSet::from([src]);
+        let mut q = VecDeque::from([src]);
+        while let Some(u) = q.pop_front() {
+            for (v, _, _) in self.neighbors(u) {
+                if seen.insert(v) {
+                    prev.insert(v, u);
+                    if v == dst {
+                        let mut path = vec![dst];
+                        let mut cur = dst;
+                        while let Some(&p) = prev.get(&cur) {
+                            path.push(p);
+                            cur = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    q.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Every device lying on *some* shortest path between `src` and `dst`
+    /// (the union over equal-cost paths). This is the seed set for
+    /// task-driven twin slicing.
+    pub fn shortest_path_union(&self, src: DeviceIdx, dst: DeviceIdx) -> HashSet<DeviceIdx> {
+        let df = self.bfs_distances(src);
+        let db = self.bfs_distances(dst);
+        let Some(&total) = df.get(&dst) else {
+            return HashSet::new();
+        };
+        self.devices()
+            .filter_map(|(i, _)| {
+                match (df.get(&i), db.get(&i)) {
+                    (Some(a), Some(b)) if a + b == total => Some(i),
+                    _ => None,
+                }
+            })
+            .collect()
+    }
+
+    /// Every device on *some* designed shortest path between `src` and
+    /// `dst`, ignoring interface state — the network as cabled, not as
+    /// currently (mis)behaving. Twin slicing and privilege derivation use
+    /// this so the root cause of a broken path is still inside the set.
+    pub fn shortest_path_union_any_state(
+        &self,
+        src: DeviceIdx,
+        dst: DeviceIdx,
+    ) -> HashSet<DeviceIdx> {
+        let df = self.bfs_distances_any_state(src);
+        let db = self.bfs_distances_any_state(dst);
+        let Some(&total) = df.get(&dst) else {
+            return HashSet::new();
+        };
+        self.devices()
+            .filter_map(|(i, _)| match (df.get(&i), db.get(&i)) {
+                (Some(a), Some(b)) if a + b == total => Some(i),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// BFS hop distances from `src` over all links, regardless of state.
+    pub fn bfs_distances_any_state(&self, src: DeviceIdx) -> HashMap<DeviceIdx, usize> {
+        let mut dist = HashMap::from([(src, 0usize)]);
+        let mut q = VecDeque::from([src]);
+        while let Some(u) = q.pop_front() {
+            let du = dist[&u];
+            for v in self.neighbors_any_state(u) {
+                dist.entry(v).or_insert_with(|| {
+                    q.push_back(v);
+                    du + 1
+                });
+            }
+        }
+        dist
+    }
+
+    /// BFS hop distances from `src` over up links.
+    pub fn bfs_distances(&self, src: DeviceIdx) -> HashMap<DeviceIdx, usize> {
+        let mut dist = HashMap::from([(src, 0usize)]);
+        let mut q = VecDeque::from([src]);
+        while let Some(u) = q.pop_front() {
+            let du = dist[&u];
+            for (v, _, _) in self.neighbors(u) {
+                dist.entry(v).or_insert_with(|| {
+                    q.push_back(v);
+                    du + 1
+                });
+            }
+        }
+        dist
+    }
+
+    /// Connected components over up links; each component is sorted.
+    pub fn components(&self) -> Vec<Vec<DeviceIdx>> {
+        let mut seen: HashSet<DeviceIdx> = HashSet::new();
+        let mut comps = Vec::new();
+        for (i, _) in self.devices() {
+            if seen.contains(&i) {
+                continue;
+            }
+            let dist = self.bfs_distances(i);
+            let mut comp: Vec<DeviceIdx> = dist.keys().copied().collect();
+            comp.sort();
+            seen.extend(comp.iter().copied());
+            comps.push(comp);
+        }
+        comps
+    }
+
+    /// The device owning address `ip` (exact interface-address match).
+    pub fn owner_of(&self, ip: Ipv4Addr) -> Option<DeviceIdx> {
+        self.devices().find_map(|(i, d)| {
+            if d.addresses().contains(&ip) {
+                Some(i)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Devices with an interface inside `prefix`.
+    pub fn devices_in_subnet(&self, prefix: Prefix) -> Vec<DeviceIdx> {
+        self.devices()
+            .filter(|(_, d)| d.addresses().iter().any(|a| prefix.contains(*a)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Total configuration size in printed lines, the Table 1 "lines of
+    /// configs" metric.
+    pub fn total_config_lines(&self) -> usize {
+        self.devices
+            .iter()
+            .map(|d| crate::printer::print_config(&d.config).lines().count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iface::Interface;
+
+    /// r1 -- r2 -- r3 with a spur host h1 on r1.
+    fn line_net() -> Network {
+        let mut n = Network::new();
+        for name in ["r1", "r2", "r3"] {
+            let mut d = Device::new(name, DeviceKind::Router);
+            d.config.upsert_interface(Interface::new("e0"));
+            d.config.upsert_interface(Interface::new("e1"));
+            d.config.upsert_interface(Interface::new("e2"));
+            n.add_device(d).unwrap();
+        }
+        let mut h = Device::new("h1", DeviceKind::Host);
+        h.config.upsert_interface(Interface::new("eth0"));
+        n.add_device(h).unwrap();
+        n.add_link("r1", "e0", "r2", "e0").unwrap();
+        n.add_link("r2", "e1", "r3", "e0").unwrap();
+        n.add_link("r1", "e1", "h1", "eth0").unwrap();
+        n
+    }
+
+    #[test]
+    fn duplicate_device_rejected() {
+        let mut n = Network::new();
+        n.add_device(Device::new("r1", DeviceKind::Router)).unwrap();
+        assert!(matches!(
+            n.add_device(Device::new("r1", DeviceKind::Router)),
+            Err(TopologyError::DuplicateDevice(_))
+        ));
+    }
+
+    #[test]
+    fn link_validation() {
+        let mut n = line_net();
+        assert!(matches!(
+            n.add_link("r1", "nope", "r2", "e2"),
+            Err(TopologyError::UnknownInterface(_, _))
+        ));
+        assert!(matches!(
+            n.add_link("zz", "e0", "r3", "e2"),
+            Err(TopologyError::UnknownDevice(_))
+        ));
+        // Multi-access reuse of an interface is allowed (hub semantics).
+        assert!(n.add_link("r1", "e2", "r3", "e2").is_ok());
+        assert!(n.add_link("r1", "e2", "r2", "e2").is_ok());
+        assert_eq!(n.peers_of(n.idx_of("r1"), "e2").len(), 2);
+    }
+
+    #[test]
+    fn neighbors_and_paths() {
+        let n = line_net();
+        let (r1, r2, r3) = (n.idx_of("r1"), n.idx_of("r2"), n.idx_of("r3"));
+        assert_eq!(n.neighbors_any_state(r2), vec![r1, r3]);
+        let p = n.shortest_path(r1, r3).unwrap();
+        assert_eq!(p, vec![r1, r2, r3]);
+        assert_eq!(n.shortest_path(r1, r1).unwrap(), vec![r1]);
+    }
+
+    #[test]
+    fn down_interface_cuts_path() {
+        let mut n = line_net();
+        n.device_by_name_mut("r2").unwrap().config.interface_mut("e1").unwrap().enabled = false;
+        let (r1, r3) = (n.idx_of("r1"), n.idx_of("r3"));
+        assert!(n.shortest_path(r1, r3).is_none());
+        // Topology-only neighbor view is unaffected.
+        assert_eq!(n.neighbors_any_state(n.idx_of("r2")).len(), 2);
+    }
+
+    #[test]
+    fn shortest_path_union_on_diamond() {
+        // r1 -- {r2, r3} -- r4 diamond: both middles are on some shortest path.
+        let mut n = Network::new();
+        for name in ["r1", "r2", "r3", "r4"] {
+            let mut d = Device::new(name, DeviceKind::Router);
+            d.config.upsert_interface(Interface::new("e0"));
+            d.config.upsert_interface(Interface::new("e1"));
+            n.add_device(d).unwrap();
+        }
+        n.add_link("r1", "e0", "r2", "e0").unwrap();
+        n.add_link("r1", "e1", "r3", "e0").unwrap();
+        n.add_link("r2", "e1", "r4", "e0").unwrap();
+        n.add_link("r3", "e1", "r4", "e1").unwrap();
+        let union = n.shortest_path_union(n.idx_of("r1"), n.idx_of("r4"));
+        assert_eq!(union.len(), 4);
+    }
+
+    #[test]
+    fn components_split() {
+        let mut n = line_net();
+        assert_eq!(n.components().len(), 1);
+        // Cut r1-r2.
+        n.device_by_name_mut("r1").unwrap().config.interface_mut("e0").unwrap().enabled = false;
+        assert_eq!(n.components().len(), 2);
+    }
+
+    #[test]
+    fn owner_of_address() {
+        let mut n = line_net();
+        n.device_by_name_mut("r3")
+            .unwrap()
+            .config
+            .interface_mut("e1")
+            .unwrap()
+            .address = Some(crate::iface::InterfaceAddress::new("10.0.9.1".parse().unwrap(), 24));
+        assert_eq!(n.owner_of("10.0.9.1".parse().unwrap()), Some(n.idx_of("r3")));
+        assert_eq!(n.owner_of("10.0.9.2".parse().unwrap()), None);
+        let subnet: Prefix = "10.0.9.0/24".parse().unwrap();
+        assert_eq!(n.devices_in_subnet(subnet), vec![n.idx_of("r3")]);
+    }
+}

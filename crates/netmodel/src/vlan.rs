@@ -1,0 +1,112 @@
+//! VLAN definitions and switchport semantics.
+//!
+//! The paper's third reproduced issue class is "a VLAN issue" (an access
+//! port configured into the wrong VLAN). This module models just enough of
+//! 802.1Q semantics for that class of bug to exist and be fixable: VLAN
+//! declarations on switches, access/trunk port modes, and the tag-compat
+//! check the L2 data plane performs per hop.
+
+use serde::{Deserialize, Serialize};
+
+/// A VLAN id (1-4094; 1 is the conventional default VLAN).
+pub type VlanId = u16;
+
+/// The default VLAN every access port starts in.
+pub const DEFAULT_VLAN: VlanId = 1;
+
+/// A VLAN declared on a switch (`vlan 10` / `name staff`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vlan {
+    pub id: VlanId,
+    pub name: Option<String>,
+}
+
+impl Vlan {
+    /// Declares VLAN `id` with no name.
+    pub fn new(id: VlanId) -> Self {
+        Vlan { id, name: None }
+    }
+
+    /// Declares VLAN `id` with a symbolic name.
+    pub fn named(id: VlanId, name: impl Into<String>) -> Self {
+        Vlan {
+            id,
+            name: Some(name.into()),
+        }
+    }
+}
+
+/// How a switchport treats VLAN tags.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SwitchPortMode {
+    /// Untagged port in a single VLAN.
+    Access { vlan: VlanId },
+    /// Tagged port carrying the listed VLANs (empty list = all).
+    Trunk { allowed: Vec<VlanId> },
+}
+
+impl SwitchPortMode {
+    /// An access port in the default VLAN.
+    pub fn access_default() -> Self {
+        SwitchPortMode::Access { vlan: DEFAULT_VLAN }
+    }
+
+    /// Whether frames belonging to `vlan` may traverse this port.
+    pub fn carries(&self, vlan: VlanId) -> bool {
+        match self {
+            SwitchPortMode::Access { vlan: v } => *v == vlan,
+            SwitchPortMode::Trunk { allowed } => allowed.is_empty() || allowed.contains(&vlan),
+        }
+    }
+
+    /// The VLAN an untagged ingress frame is assigned on this port, if the
+    /// port accepts untagged frames (access ports only).
+    pub fn ingress_vlan(&self) -> Option<VlanId> {
+        match self {
+            SwitchPortMode::Access { vlan } => Some(*vlan),
+            SwitchPortMode::Trunk { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_port_carries_only_its_vlan() {
+        let m = SwitchPortMode::Access { vlan: 10 };
+        assert!(m.carries(10));
+        assert!(!m.carries(20));
+        assert_eq!(m.ingress_vlan(), Some(10));
+    }
+
+    #[test]
+    fn trunk_with_allowed_list() {
+        let m = SwitchPortMode::Trunk { allowed: vec![10, 20] };
+        assert!(m.carries(10));
+        assert!(m.carries(20));
+        assert!(!m.carries(30));
+        assert_eq!(m.ingress_vlan(), None);
+    }
+
+    #[test]
+    fn open_trunk_carries_everything() {
+        let m = SwitchPortMode::Trunk { allowed: vec![] };
+        assert!(m.carries(1));
+        assert!(m.carries(4094));
+    }
+
+    #[test]
+    fn default_access_mode() {
+        assert!(SwitchPortMode::access_default().carries(DEFAULT_VLAN));
+    }
+
+    #[test]
+    fn vlan_decl() {
+        let v = Vlan::named(10, "staff");
+        assert_eq!(v.id, 10);
+        assert_eq!(v.name.as_deref(), Some("staff"));
+        assert!(Vlan::new(20).name.is_none());
+    }
+}

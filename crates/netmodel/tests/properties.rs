@@ -1,0 +1,206 @@
+//! Property-based tests for the netmodel substrate.
+//!
+//! Three invariants underpin everything above this crate:
+//! 1. `parse(print(config)) == config` — the twin and enforcer exchange
+//!    configs as text;
+//! 2. `apply(diff(a, b), a) == b` — the enforcer replays exactly what the
+//!    technician did;
+//! 3. prefix arithmetic is self-consistent — routing and ACLs match on it.
+
+use heimdall_netmodel::acl::{Acl, AclAction, AclEntry, PortMatch, Proto};
+use heimdall_netmodel::config::DeviceConfig;
+use heimdall_netmodel::diff::diff_configs;
+use heimdall_netmodel::iface::Interface;
+use heimdall_netmodel::ip::Prefix;
+use heimdall_netmodel::parser::parse_config;
+use heimdall_netmodel::printer::print_config;
+use heimdall_netmodel::proto::{NextHop, OspfConfig, StaticRoute};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(a, l)| Prefix::new(Ipv4Addr::from(a), l).unwrap())
+}
+
+fn arb_port_match() -> impl Strategy<Value = PortMatch> {
+    prop_oneof![
+        Just(PortMatch::Any),
+        any::<u16>().prop_map(PortMatch::Eq),
+        (any::<u16>(), any::<u16>()).prop_map(|(a, b)| PortMatch::Range(a.min(b), a.max(b))),
+    ]
+}
+
+fn arb_proto() -> impl Strategy<Value = Proto> {
+    prop_oneof![
+        Just(Proto::Any),
+        Just(Proto::Tcp),
+        Just(Proto::Udp),
+        Just(Proto::Icmp)
+    ]
+}
+
+fn arb_acl_entry() -> impl Strategy<Value = AclEntry> {
+    (
+        prop_oneof![Just(AclAction::Permit), Just(AclAction::Deny)],
+        arb_proto(),
+        arb_prefix(),
+        arb_prefix(),
+        arb_port_match(),
+        arb_port_match(),
+    )
+        .prop_map(|(action, proto, src, dst, src_port, dst_port)| AclEntry {
+            action,
+            proto,
+            src,
+            dst,
+            src_port,
+            dst_port,
+        })
+}
+
+fn arb_config() -> impl Strategy<Value = DeviceConfig> {
+    (
+        ("[a-z][a-z0-9]{1,8}", prop_oneof![Just("101"), Just("EDGE-IN"), Just("dmz")]),
+        proptest::collection::vec(arb_acl_entry(), 0..6),
+        proptest::collection::vec((arb_prefix(), arb_ip(), 1u8..=254), 0..4),
+        proptest::option::of((1u32..100, proptest::collection::vec((arb_prefix(), 0u32..3), 0..4))),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|((host, acl_name), acl_entries, statics, ospf, if0, if1, if2)| {
+            let mut c = DeviceConfig::new(host);
+            for (n, on) in [(0, if0), (1, if1), (2, if2)] {
+                if on {
+                    let mut i = Interface::new(format!("Gi0/{n}"));
+                    i.enabled = n != 1;
+                    c.upsert_interface(i);
+                }
+            }
+            if !acl_entries.is_empty() {
+                c.upsert_acl(Acl {
+                    name: acl_name.to_string(),
+                    entries: acl_entries,
+                });
+            }
+            for (prefix, nh, dist) in statics {
+                c.static_routes.push(StaticRoute {
+                    prefix,
+                    next_hop: NextHop::Ip(nh),
+                    distance: dist,
+                });
+            }
+            if let Some((pid, nets)) = ospf {
+                let mut o = OspfConfig::new(pid);
+                for (p, a) in nets {
+                    o.networks.push(heimdall_netmodel::proto::OspfNetwork {
+                        prefix: p,
+                        area: a,
+                    });
+                }
+                c.ospf = Some(o);
+            }
+            c
+        })
+}
+
+proptest! {
+    #[test]
+    fn print_parse_round_trip(cfg in arb_config()) {
+        let text = print_config(&cfg);
+        let parsed = parse_config(&text).expect("printer output must parse");
+        prop_assert_eq!(parsed, cfg);
+    }
+
+    #[test]
+    fn diff_apply_reproduces_target(a in arb_config(), b in arb_config()) {
+        // Diff requires same hostname (diffs are per-device).
+        let mut b = b;
+        b.hostname = a.hostname.clone();
+        let diff = diff_configs(&a, &b);
+        let mut patched = a.clone();
+        for ch in &diff.changes {
+            ch.apply(&mut patched).expect("diff changes must apply cleanly");
+        }
+        // Interface order carries no semantics; compare canonical forms.
+        prop_assert_eq!(patched.canonicalized(), b.canonicalized());
+    }
+
+    #[test]
+    fn diff_of_identical_is_empty(a in arb_config()) {
+        prop_assert!(diff_configs(&a, &a).is_empty());
+    }
+
+    #[test]
+    fn prefix_contains_own_addr(p in arb_prefix()) {
+        prop_assert!(p.contains(p.addr()));
+        prop_assert!(p.contains(p.broadcast()));
+    }
+
+    #[test]
+    fn prefix_string_round_trip(p in arb_prefix()) {
+        let s = p.to_string();
+        let back: Prefix = s.parse().unwrap();
+        prop_assert_eq!(p, back);
+    }
+
+    #[test]
+    fn prefix_split_partitions(p in arb_prefix()) {
+        if let Some((lo, hi)) = p.split() {
+            prop_assert!(p.covers(&lo) && p.covers(&hi));
+            prop_assert!(!lo.contains(hi.addr()));
+            prop_assert_eq!(lo.size() + hi.size(), p.size());
+        }
+    }
+
+    #[test]
+    fn netmask_wildcard_inverse(len in 0u8..=32) {
+        let p = Prefix::new(Ipv4Addr::new(10, 0, 0, 0), len).unwrap();
+        let m = u32::from(p.netmask());
+        let w = u32::from(p.wildcard());
+        prop_assert_eq!(m ^ w, u32::MAX);
+        prop_assert_eq!(heimdall_netmodel::ip::netmask_to_len(p.netmask()).unwrap(), len);
+    }
+
+    #[test]
+    fn acl_entry_display_reparses(e in arb_acl_entry()) {
+        let line = e.to_string();
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let back = heimdall_netmodel::parser::parse_acl_entry(&tokens).unwrap();
+        prop_assert_eq!(back, e);
+    }
+
+    #[test]
+    fn acl_first_match_consistent_with_evaluate(
+        entries in proptest::collection::vec(arb_acl_entry(), 1..8),
+        src in arb_ip(), dst in arb_ip(), sport in any::<u16>(), dport in any::<u16>(),
+    ) {
+        let acl = Acl { name: "t".to_string(), entries };
+        let verdict = acl.evaluate(Proto::Tcp, src, dst, sport, dport);
+        match acl.first_match(Proto::Tcp, src, dst, sport, dport) {
+            Some(i) => prop_assert_eq!(acl.entries[i].action, verdict),
+            None => prop_assert_eq!(verdict, AclAction::Deny),
+        }
+    }
+}
+
+#[test]
+fn generated_networks_survive_full_text_cycle() {
+    // Not random, but the heaviest round-trip: every device of both Table 1
+    // networks through print → parse → print, byte-identical the second time.
+    for g in [
+        heimdall_netmodel::gen::enterprise_network(),
+        heimdall_netmodel::gen::university_network(),
+    ] {
+        for (_, d) in g.net.devices() {
+            let t1 = print_config(&d.config);
+            let c2 = parse_config(&t1).unwrap();
+            let t2 = print_config(&c2);
+            assert_eq!(t1, t2, "unstable print for {}", d.name);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Task-driven privilege derivation: from a ticket to a *minimal*
+//! `Privilege_msp`.
+//!
+//! This implements the paper's answer to Challenge 1 ("crafting a
+//! fine-grained Privilege_msp is ... tedious and error-prone"): the admin
+//! does not enumerate predicates by hand; Heimdall derives them from the
+//! ticket. The derivation is scoped two ways:
+//!
+//! - **Topologically**: only devices on some shortest path between the
+//!   affected endpoints (plus the endpoints themselves) are granted
+//!   anything — the same relevance set the twin slicer uses.
+//! - **Functionally**: the ticket's kind determines which mutating actions
+//!   are granted. An OSPF ticket gets `ospf` and `ifstate`, not `acl`; the
+//!   paper's §7 escalation workflow widens this at runtime if the
+//!   hypothesis was wrong.
+
+use crate::model::{Action, Predicate, PrivilegeMsp, ResourcePattern};
+use heimdall_netmodel::topology::{DeviceIdx, Network};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// What kind of problem the ticket describes (drives the action grant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Point-to-point connectivity failure, cause unknown.
+    Connectivity,
+    /// Suspected routing-protocol problem.
+    Routing,
+    /// Suspected ACL/firewall problem.
+    AccessControl,
+    /// Suspected VLAN/switchport problem.
+    Vlan,
+    /// Planned upstream/ISP change on the border.
+    IspChange,
+    /// Read-only investigation (performance monitoring etc.).
+    Monitoring,
+}
+
+impl TaskKind {
+    /// The mutating actions this kind of task may need.
+    pub fn mutating_actions(&self) -> &'static [Action] {
+        match self {
+            TaskKind::Connectivity => &[Action::ModifyInterfaceState],
+            TaskKind::Routing => &[Action::ModifyOspf, Action::ModifyRoute, Action::ModifyInterfaceState],
+            TaskKind::AccessControl => &[Action::ModifyAcl],
+            TaskKind::Vlan => &[Action::ModifyVlan, Action::ModifyInterfaceState],
+            TaskKind::IspChange => &[
+                Action::ModifyIpAddress,
+                Action::ModifyRoute,
+                Action::ModifyBgp,
+                Action::ModifyInterfaceState,
+            ],
+            TaskKind::Monitoring => &[],
+        }
+    }
+}
+
+/// A task distilled from a ticket: the endpoints it concerns and its kind.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Task {
+    pub kind: TaskKind,
+    /// Affected device names (usually the two endpoints of a "cannot
+    /// reach" ticket, or the one device of a change request).
+    pub affected: Vec<String>,
+}
+
+impl Task {
+    /// A connectivity task between two endpoints.
+    pub fn connectivity(a: &str, b: &str) -> Task {
+        Task {
+            kind: TaskKind::Connectivity,
+            affected: vec![a.to_string(), b.to_string()],
+        }
+    }
+}
+
+/// The devices relevant to a task: every device on some designed shortest
+/// path between each pair of affected endpoints, plus the endpoints
+/// themselves.
+///
+/// Paths are computed over the topology *ignoring interface state* — the
+/// network as cabled — so the device whose downed interface or bad config
+/// broke the path is still inside the set (otherwise no twin built from
+/// this set could ever reproduce the failure).
+pub fn relevant_devices(net: &Network, task: &Task) -> BTreeSet<DeviceIdx> {
+    let mut out: BTreeSet<DeviceIdx> = BTreeSet::new();
+    let ids: Vec<DeviceIdx> = task
+        .affected
+        .iter()
+        .filter_map(|n| net.idx(n).ok())
+        .collect();
+    out.extend(ids.iter().copied());
+    for (i, &a) in ids.iter().enumerate() {
+        for &b in ids.iter().skip(i + 1) {
+            out.extend(net.shortest_path_union_any_state(a, b));
+        }
+    }
+    out
+}
+
+/// Derives the minimal `Privilege_msp` for a task.
+///
+/// Grants: `view`+`ping` on every relevant device; the task kind's mutating
+/// actions on relevant *infrastructure* (non-host) devices; and explicit
+/// `deny(*, d)` is implied for everything else by deny-by-default.
+pub fn derive_privileges(net: &Network, task: &Task) -> PrivilegeMsp {
+    let relevant = relevant_devices(net, task);
+    let mut spec = PrivilegeMsp::new();
+    for &d in &relevant {
+        let dev = net.device(d);
+        spec.predicates.push(Predicate::allow(
+            Action::View,
+            ResourcePattern::Device(dev.name.clone()),
+        ));
+        spec.predicates.push(Predicate::allow(
+            Action::Ping,
+            ResourcePattern::Device(dev.name.clone()),
+        ));
+        if dev.kind != heimdall_netmodel::device::DeviceKind::Host {
+            for &a in task.kind.mutating_actions() {
+                spec.predicates
+                    .push(Predicate::allow(a, ResourcePattern::Device(dev.name.clone())));
+            }
+        }
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::is_allowed;
+    use crate::model::Resource;
+    use heimdall_netmodel::gen::enterprise_network;
+
+    fn names(net: &Network, set: &BTreeSet<DeviceIdx>) -> Vec<String> {
+        set.iter().map(|&i| net.device(i).name.clone()).collect()
+    }
+
+    #[test]
+    fn relevance_is_the_path_union() {
+        let g = enterprise_network();
+        let task = Task::connectivity("h1", "srv1");
+        let rel = relevant_devices(&g.net, &task);
+        let ns = names(&g.net, &rel);
+        // The h1 <-> srv1 path runs acc1 -> dist1 -> core{1,2} -> fw1.
+        for must in ["h1", "srv1", "acc1", "dist1", "fw1"] {
+            assert!(ns.contains(&must.to_string()), "{must} missing from {ns:?}");
+        }
+        // acc3 and bdr1 are off-path.
+        assert!(!ns.contains(&"acc3".to_string()));
+        assert!(!ns.contains(&"bdr1".to_string()));
+        assert!(!ns.contains(&"h7".to_string()));
+    }
+
+    #[test]
+    fn derived_spec_denies_off_path_devices() {
+        let g = enterprise_network();
+        let spec = derive_privileges(&g.net, &Task::connectivity("h1", "srv1"));
+        assert!(is_allowed(&spec, Action::View, &Resource::Device("fw1".into())));
+        assert!(!is_allowed(&spec, Action::View, &Resource::Device("acc3".into())));
+        assert!(!is_allowed(&spec, Action::View, &Resource::Device("h7".into())));
+    }
+
+    #[test]
+    fn connectivity_tasks_get_ifstate_only() {
+        let g = enterprise_network();
+        let spec = derive_privileges(&g.net, &Task::connectivity("h1", "srv1"));
+        let fw1 = Resource::Device("fw1".into());
+        assert!(is_allowed(&spec, Action::ModifyInterfaceState, &fw1));
+        assert!(!is_allowed(&spec, Action::ModifyAcl, &fw1));
+        assert!(!is_allowed(&spec, Action::Erase, &fw1));
+        assert!(!is_allowed(&spec, Action::ModifyCredentials, &fw1));
+    }
+
+    #[test]
+    fn acl_tasks_get_acl_rights() {
+        let g = enterprise_network();
+        let task = Task {
+            kind: TaskKind::AccessControl,
+            affected: vec!["h4".into(), "srv1".into()],
+        };
+        let spec = derive_privileges(&g.net, &task);
+        assert!(is_allowed(&spec, Action::ModifyAcl, &Resource::Device("fw1".into())));
+        assert!(!is_allowed(
+            &spec,
+            Action::ModifyOspf,
+            &Resource::Device("fw1".into())
+        ));
+    }
+
+    #[test]
+    fn hosts_never_get_mutating_actions() {
+        let g = enterprise_network();
+        let spec = derive_privileges(&g.net, &Task::connectivity("h1", "srv1"));
+        let h1 = Resource::Device("h1".into());
+        assert!(is_allowed(&spec, Action::View, &h1));
+        assert!(is_allowed(&spec, Action::Ping, &h1));
+        assert!(!is_allowed(&spec, Action::ModifyInterfaceState, &h1));
+    }
+
+    #[test]
+    fn monitoring_is_read_only() {
+        let g = enterprise_network();
+        let task = Task {
+            kind: TaskKind::Monitoring,
+            affected: vec!["core1".into(), "core2".into()],
+        };
+        let spec = derive_privileges(&g.net, &task);
+        assert!(is_allowed(&spec, Action::View, &Resource::Device("core1".into())));
+        assert!(spec
+            .predicates
+            .iter()
+            .all(|p| !p.action.map(|a| a.is_mutating()).unwrap_or(true)));
+    }
+
+    #[test]
+    fn single_endpoint_task_scopes_to_it() {
+        let g = enterprise_network();
+        let task = Task {
+            kind: TaskKind::IspChange,
+            affected: vec!["bdr1".into()],
+        };
+        let spec = derive_privileges(&g.net, &task);
+        assert!(is_allowed(&spec, Action::ModifyRoute, &Resource::Device("bdr1".into())));
+        assert!(!is_allowed(&spec, Action::View, &Resource::Device("core1".into())));
+    }
+
+    #[test]
+    fn unknown_affected_devices_are_ignored() {
+        let g = enterprise_network();
+        let task = Task::connectivity("ghost", "srv1");
+        let rel = relevant_devices(&g.net, &task);
+        assert_eq!(names(&g.net, &rel), vec!["srv1".to_string()]);
+    }
+}

@@ -1,0 +1,189 @@
+//! The compact text form of `Privilege_msp`.
+//!
+//! Grammar (one predicate per line; `#` comments):
+//!
+//! ```text
+//! spec      := line*
+//! line      := effect "(" action "," resource ")"
+//! effect    := "allow" | "deny"
+//! action    := "*" | keyword | "acl[" name "]"
+//! resource  := "*" | device | device "." iface
+//! ```
+//!
+//! `acl[NAME]` is sugar: `allow(acl[101], r3)` means action `ModifyAcl`
+//! restricted to ACL `101` on device `r3`.
+
+use crate::model::{Action, Effect, Predicate, PrivilegeMsp, ResourcePattern};
+use std::fmt;
+
+/// A DSL parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DslError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "privilege DSL error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DslError {}
+
+/// Parses the DSL text into a specification.
+pub fn parse(text: &str) -> Result<PrivilegeMsp, DslError> {
+    let mut spec = PrivilegeMsp::new();
+    for (n, raw) in text.lines().enumerate() {
+        let lineno = n + 1;
+        let err = |m: String| DslError {
+            line: lineno,
+            message: m,
+        };
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        spec.predicates.push(parse_line(line).map_err(err)?);
+    }
+    Ok(spec)
+}
+
+fn parse_line(line: &str) -> Result<Predicate, String> {
+    let (effect, rest) = if let Some(r) = line.strip_prefix("allow") {
+        (Effect::Allow, r)
+    } else if let Some(r) = line.strip_prefix("deny") {
+        (Effect::Deny, r)
+    } else {
+        return Err(format!("expected allow/deny, got {line:?}"));
+    };
+    let rest = rest.trim();
+    let inner = rest
+        .strip_prefix('(')
+        .and_then(|r| r.strip_suffix(')'))
+        .ok_or_else(|| format!("expected (action, resource), got {rest:?}"))?;
+    let (action_s, resource_s) = inner
+        .split_once(',')
+        .ok_or_else(|| format!("expected two comma-separated fields in {inner:?}"))?;
+    let action_s = action_s.trim();
+    let resource_s = resource_s.trim();
+
+    // acl[NAME] sugar binds the resource to a specific ACL.
+    if let Some(name) = action_s.strip_prefix("acl[").and_then(|s| s.strip_suffix(']')) {
+        if resource_s == "*" || resource_s.contains('.') {
+            return Err("acl[..] requires a concrete device resource".to_string());
+        }
+        return Ok(Predicate {
+            effect,
+            action: Some(Action::ModifyAcl),
+            resource: ResourcePattern::Acl {
+                device: resource_s.to_string(),
+                name: name.to_string(),
+            },
+        });
+    }
+
+    let action = match action_s {
+        "*" => None,
+        kw => Some(Action::from_keyword(kw).ok_or_else(|| format!("unknown action {kw:?}"))?),
+    };
+    let resource = match resource_s {
+        "*" => ResourcePattern::Any,
+        r => match r.split_once('.') {
+            Some((dev, iface)) => ResourcePattern::Interface {
+                device: dev.to_string(),
+                iface: iface.to_string(),
+            },
+            None => ResourcePattern::Device(r.to_string()),
+        },
+    };
+    Ok(Predicate {
+        effect,
+        action,
+        resource,
+    })
+}
+
+/// Renders a specification in DSL form (the inverse of [`parse`]).
+pub fn render(spec: &PrivilegeMsp) -> String {
+    spec.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_examples() {
+        let spec = parse("allow(ip, r1)\n").unwrap();
+        assert_eq!(spec.len(), 1);
+        assert_eq!(spec.predicates[0].action, Some(Action::ModifyIpAddress));
+        assert_eq!(
+            spec.predicates[0].resource,
+            ResourcePattern::Device("r1".into())
+        );
+    }
+
+    #[test]
+    fn parses_full_grammar() {
+        let text = "\
+# read everywhere, fix acl 101 on r3, touch one port, nothing on h7
+allow(view, *)
+allow(ping, *)
+allow(acl[101], r3)
+allow(ifstate, r3.Gi0/2)
+deny(*, h7)
+";
+        let spec = parse(text).unwrap();
+        assert_eq!(spec.len(), 5);
+        assert_eq!(
+            spec.predicates[2].resource,
+            ResourcePattern::Acl {
+                device: "r3".into(),
+                name: "101".into()
+            }
+        );
+        assert_eq!(
+            spec.predicates[3].resource,
+            ResourcePattern::Interface {
+                device: "r3".into(),
+                iface: "Gi0/2".into()
+            }
+        );
+        assert_eq!(spec.predicates[4].action, None);
+    }
+
+    #[test]
+    fn round_trips_through_render() {
+        let text = "allow(view, *)\nallow(acl[101], r3)\nallow(ifstate, r3.Gi0/2)\ndeny(*, h7)\n";
+        let spec = parse(text).unwrap();
+        let rendered = render(&spec);
+        let reparsed = parse(&rendered).unwrap();
+        assert_eq!(spec, reparsed);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("allow(view, *)\nfrobnicate(x, y)\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn rejects_unknown_action() {
+        assert!(parse("allow(sudo, r1)").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_syntax() {
+        assert!(parse("allow view *").is_err());
+        assert!(parse("allow(view)").is_err());
+        assert!(parse("allow(acl[101], *)").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let spec = parse("\n# nothing\n   \nallow(view, *) # trailing\n").unwrap();
+        assert_eq!(spec.len(), 1);
+    }
+}

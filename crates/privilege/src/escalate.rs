@@ -1,0 +1,193 @@
+//! Privilege escalation: the §7 workflow ("privileges may need to evolve
+//! over time, likely escalating from more to less restrictive, as they
+//! address an issue").
+//!
+//! A technician mid-ticket may request additional actions on additional
+//! resources. The escalation policy decides automatically where it safely
+//! can, and defers to the admin otherwise:
+//!
+//! - the requested resource must already be *relevant* to the task (inside
+//!   the derived device set) — widening scope to new devices always needs
+//!   an admin;
+//! - the requested action must be plausibly related to the task kind (the
+//!   `related_kinds` table) — e.g. a connectivity ticket may escalate into
+//!   routing or ACL work, but never into credential changes;
+//! - destructive actions (`erase`, `creds`) are never auto-granted.
+//!
+//! Every decision is recorded so the enforcer's audit trail can reconstruct
+//! why a privilege existed.
+
+use crate::derive::{relevant_devices, Task, TaskKind};
+use crate::model::{Action, Predicate, PrivilegeMsp, ResourcePattern};
+use heimdall_netmodel::topology::Network;
+use serde::{Deserialize, Serialize};
+
+/// A technician's request for more privilege.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EscalationRequest {
+    pub technician: String,
+    pub action: Action,
+    /// Device the action is needed on.
+    pub device: String,
+    /// Free-text justification (recorded verbatim in the audit trail).
+    pub justification: String,
+}
+
+/// The outcome of an escalation request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EscalationDecision {
+    /// Granted automatically; the predicate was appended.
+    AutoGranted,
+    /// Requires explicit admin approval (reason given).
+    NeedsAdmin { reason: String },
+    /// Flatly denied (reason given).
+    Denied { reason: String },
+}
+
+/// Task kinds a given kind may escalate into.
+fn related_kinds(kind: TaskKind) -> &'static [TaskKind] {
+    match kind {
+        TaskKind::Connectivity => &[TaskKind::Routing, TaskKind::AccessControl, TaskKind::Vlan],
+        TaskKind::Routing => &[TaskKind::Connectivity, TaskKind::AccessControl],
+        TaskKind::AccessControl => &[TaskKind::Connectivity],
+        TaskKind::Vlan => &[TaskKind::Connectivity],
+        TaskKind::IspChange => &[TaskKind::Routing],
+        TaskKind::Monitoring => &[],
+    }
+}
+
+/// Whether `action` belongs to the mutating repertoire of `kind` or a
+/// related kind.
+fn action_plausible(kind: TaskKind, action: Action) -> bool {
+    if kind.mutating_actions().contains(&action) {
+        return true;
+    }
+    related_kinds(kind)
+        .iter()
+        .any(|k| k.mutating_actions().contains(&action))
+}
+
+/// Decides an escalation request against the task and, when auto-granted,
+/// appends the predicate to `spec`.
+pub fn decide_escalation(
+    net: &Network,
+    task: &Task,
+    spec: &mut PrivilegeMsp,
+    req: &EscalationRequest,
+) -> EscalationDecision {
+    // Destructive actions are never self-service.
+    if matches!(req.action, Action::Erase | Action::ModifyCredentials | Action::Reboot) {
+        return EscalationDecision::Denied {
+            reason: format!("action {} is never auto-escalated", req.action),
+        };
+    }
+    // Scope check: the device must already be relevant to the task.
+    let relevant = relevant_devices(net, task);
+    let in_scope = net
+        .idx(&req.device)
+        .map(|i| relevant.contains(&i))
+        .unwrap_or(false);
+    if !in_scope {
+        return EscalationDecision::NeedsAdmin {
+            reason: format!("device {} is outside the task's relevant set", req.device),
+        };
+    }
+    // Kind check: the action must be plausible for this class of problem.
+    if !action_plausible(task.kind, req.action) {
+        return EscalationDecision::NeedsAdmin {
+            reason: format!(
+                "action {} is unrelated to a {:?} task",
+                req.action, task.kind
+            ),
+        };
+    }
+    spec.predicates.push(Predicate::allow(
+        req.action,
+        ResourcePattern::Device(req.device.clone()),
+    ));
+    EscalationDecision::AutoGranted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive::derive_privileges;
+    use crate::eval::is_allowed;
+    use crate::model::Resource;
+    use heimdall_netmodel::gen::enterprise_network;
+
+    fn req(action: Action, device: &str) -> EscalationRequest {
+        EscalationRequest {
+            technician: "t1".into(),
+            action,
+            device: device.into(),
+            justification: "testing".into(),
+        }
+    }
+
+    #[test]
+    fn connectivity_escalates_into_acl_on_path() {
+        let g = enterprise_network();
+        let task = Task::connectivity("h4", "srv1");
+        let mut spec = derive_privileges(&g.net, &task);
+        assert!(!is_allowed(&spec, Action::ModifyAcl, &Resource::Device("fw1".into())));
+        let d = decide_escalation(&g.net, &task, &mut spec, &req(Action::ModifyAcl, "fw1"));
+        assert_eq!(d, EscalationDecision::AutoGranted);
+        assert!(is_allowed(&spec, Action::ModifyAcl, &Resource::Device("fw1".into())));
+    }
+
+    #[test]
+    fn off_path_device_needs_admin() {
+        let g = enterprise_network();
+        let task = Task::connectivity("h4", "srv1");
+        let mut spec = derive_privileges(&g.net, &task);
+        let d = decide_escalation(&g.net, &task, &mut spec, &req(Action::ModifyAcl, "acc3"));
+        assert!(matches!(d, EscalationDecision::NeedsAdmin { .. }));
+        assert!(!is_allowed(&spec, Action::ModifyAcl, &Resource::Device("acc3".into())));
+    }
+
+    #[test]
+    fn destructive_actions_always_denied() {
+        let g = enterprise_network();
+        let task = Task::connectivity("h4", "srv1");
+        let mut spec = derive_privileges(&g.net, &task);
+        for a in [Action::Erase, Action::ModifyCredentials, Action::Reboot] {
+            let d = decide_escalation(&g.net, &task, &mut spec, &req(a, "fw1"));
+            assert!(matches!(d, EscalationDecision::Denied { .. }), "{a} must be denied");
+        }
+    }
+
+    #[test]
+    fn unrelated_action_needs_admin() {
+        let g = enterprise_network();
+        // ACL task asking for BGP rights: not plausible.
+        let task = Task {
+            kind: TaskKind::AccessControl,
+            affected: vec!["h4".into(), "srv1".into()],
+        };
+        let mut spec = derive_privileges(&g.net, &task);
+        let d = decide_escalation(&g.net, &task, &mut spec, &req(Action::ModifyBgp, "fw1"));
+        assert!(matches!(d, EscalationDecision::NeedsAdmin { .. }));
+    }
+
+    #[test]
+    fn monitoring_never_escalates() {
+        let g = enterprise_network();
+        let task = Task {
+            kind: TaskKind::Monitoring,
+            affected: vec!["core1".into()],
+        };
+        let mut spec = derive_privileges(&g.net, &task);
+        let d = decide_escalation(&g.net, &task, &mut spec, &req(Action::ModifyOspf, "core1"));
+        assert!(matches!(d, EscalationDecision::NeedsAdmin { .. }));
+    }
+
+    #[test]
+    fn unknown_device_needs_admin() {
+        let g = enterprise_network();
+        let task = Task::connectivity("h4", "srv1");
+        let mut spec = derive_privileges(&g.net, &task);
+        let d = decide_escalation(&g.net, &task, &mut spec, &req(Action::ModifyAcl, "ghost"));
+        assert!(matches!(d, EscalationDecision::NeedsAdmin { .. }));
+    }
+}

@@ -1,0 +1,202 @@
+//! Privilege evaluation: deny-by-default, most-specific-wins,
+//! deny-overrides-on-tie.
+//!
+//! This is the decision procedure both enforcement points share: the twin's
+//! reference monitor calls it per command, the policy enforcer calls it per
+//! imported change.
+
+use crate::model::{Action, Effect, PrivilegeMsp, Resource};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of a privilege check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decision {
+    /// Permitted by the cited predicate (index into the specification).
+    Allowed { by: usize },
+    /// Denied by the cited predicate.
+    DeniedBy { by: usize },
+    /// Denied because nothing matched (the default).
+    DeniedDefault,
+}
+
+impl Decision {
+    /// Whether the request may proceed.
+    pub fn is_allowed(&self) -> bool {
+        matches!(self, Decision::Allowed { .. })
+    }
+}
+
+/// Evaluates a request against a specification.
+///
+/// Among matching predicates the most specific wins (resource specificity,
+/// then action concreteness); on an exact tie a deny beats an allow; with
+/// no match the request is denied.
+pub fn evaluate(spec: &PrivilegeMsp, action: Action, resource: &Resource) -> Decision {
+    let mut best: Option<(usize, (u8, u8), Effect)> = None;
+    for (i, p) in spec.predicates.iter().enumerate() {
+        if !p.matches(action, resource) {
+            continue;
+        }
+        let s = p.specificity();
+        match &best {
+            None => best = Some((i, s, p.effect)),
+            Some((_, bs, beffect)) => {
+                if s > *bs || (s == *bs && p.effect == Effect::Deny && *beffect == Effect::Allow) {
+                    best = Some((i, s, p.effect));
+                }
+            }
+        }
+    }
+    match best {
+        Some((i, _, Effect::Allow)) => Decision::Allowed { by: i },
+        Some((i, _, Effect::Deny)) => Decision::DeniedBy { by: i },
+        None => Decision::DeniedDefault,
+    }
+}
+
+/// Convenience: just the boolean.
+pub fn is_allowed(spec: &PrivilegeMsp, action: Action, resource: &Resource) -> bool {
+    evaluate(spec, action, resource).is_allowed()
+}
+
+/// Counts how many of the twelve actions are allowed on a device-level
+/// resource — the `C_n` term of the paper's attack-surface formula.
+pub fn allowed_action_count(spec: &PrivilegeMsp, device: &str) -> usize {
+    Action::ALL
+        .iter()
+        .filter(|a| is_allowed(spec, **a, &Resource::Device(device.to_string())))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Predicate, ResourcePattern};
+
+    fn dev(d: &str) -> Resource {
+        Resource::Device(d.to_string())
+    }
+
+    #[test]
+    fn default_is_deny() {
+        let spec = PrivilegeMsp::new();
+        assert_eq!(
+            evaluate(&spec, Action::View, &dev("r1")),
+            Decision::DeniedDefault
+        );
+    }
+
+    #[test]
+    fn simple_allow() {
+        let spec = PrivilegeMsp::new().with(Predicate::allow(
+            Action::ModifyIpAddress,
+            ResourcePattern::Device("r1".into()),
+        ));
+        assert!(is_allowed(&spec, Action::ModifyIpAddress, &dev("r1")));
+        assert!(!is_allowed(&spec, Action::ModifyAcl, &dev("r1")));
+        assert!(!is_allowed(&spec, Action::ModifyIpAddress, &dev("r2")));
+    }
+
+    #[test]
+    fn specific_deny_beats_broad_allow() {
+        // allow(*, *) but deny(*, h7): h7 stays closed.
+        let spec = PrivilegeMsp::new()
+            .with(Predicate::allow_all(ResourcePattern::Any))
+            .with(Predicate::deny_all(ResourcePattern::Device("h7".into())));
+        assert!(is_allowed(&spec, Action::View, &dev("r1")));
+        assert!(!is_allowed(&spec, Action::View, &dev("h7")));
+    }
+
+    #[test]
+    fn specific_allow_pierces_broad_deny() {
+        // deny everything on r3 except acl 101.
+        let spec = PrivilegeMsp::new()
+            .with(Predicate::deny_all(ResourcePattern::Device("r3".into())))
+            .with(Predicate::allow(
+                Action::ModifyAcl,
+                ResourcePattern::Acl {
+                    device: "r3".into(),
+                    name: "101".into(),
+                },
+            ));
+        let acl101 = Resource::Acl {
+            device: "r3".into(),
+            name: "101".into(),
+        };
+        let acl102 = Resource::Acl {
+            device: "r3".into(),
+            name: "102".into(),
+        };
+        assert!(is_allowed(&spec, Action::ModifyAcl, &acl101));
+        assert!(!is_allowed(&spec, Action::ModifyAcl, &acl102));
+        assert!(!is_allowed(&spec, Action::Reboot, &dev("r3")));
+    }
+
+    #[test]
+    fn tie_denies() {
+        // Same specificity, conflicting effects -> deny.
+        let spec = PrivilegeMsp::new()
+            .with(Predicate::allow(Action::Reboot, ResourcePattern::Device("r1".into())))
+            .with(Predicate::deny(Action::Reboot, ResourcePattern::Device("r1".into())));
+        assert!(!is_allowed(&spec, Action::Reboot, &dev("r1")));
+        // Order independence.
+        let spec2 = PrivilegeMsp::new()
+            .with(Predicate::deny(Action::Reboot, ResourcePattern::Device("r1".into())))
+            .with(Predicate::allow(Action::Reboot, ResourcePattern::Device("r1".into())));
+        assert!(!is_allowed(&spec2, Action::Reboot, &dev("r1")));
+    }
+
+    #[test]
+    fn concrete_action_more_specific_than_wildcard() {
+        let spec = PrivilegeMsp::new()
+            .with(Predicate::deny_all(ResourcePattern::Device("r1".into())))
+            .with(Predicate::allow(Action::View, ResourcePattern::Device("r1".into())));
+        assert!(is_allowed(&spec, Action::View, &dev("r1")));
+        assert!(!is_allowed(&spec, Action::Erase, &dev("r1")));
+    }
+
+    #[test]
+    fn decision_cites_predicate() {
+        let spec = PrivilegeMsp::new()
+            .with(Predicate::allow_all(ResourcePattern::Any))
+            .with(Predicate::deny(Action::Erase, ResourcePattern::Device("r1".into())));
+        assert_eq!(evaluate(&spec, Action::View, &dev("r1")), Decision::Allowed { by: 0 });
+        assert_eq!(
+            evaluate(&spec, Action::Erase, &dev("r1")),
+            Decision::DeniedBy { by: 1 }
+        );
+    }
+
+    #[test]
+    fn allowed_action_count_counts() {
+        let spec = PrivilegeMsp::new()
+            .with(Predicate::allow(Action::View, ResourcePattern::Device("r1".into())))
+            .with(Predicate::allow(Action::Ping, ResourcePattern::Device("r1".into())));
+        assert_eq!(allowed_action_count(&spec, "r1"), 2);
+        assert_eq!(allowed_action_count(&spec, "r2"), 0);
+        assert_eq!(
+            allowed_action_count(&PrivilegeMsp::allow_everything(), "x"),
+            Action::ALL.len()
+        );
+    }
+
+    #[test]
+    fn interface_grant_does_not_cover_device() {
+        let spec = PrivilegeMsp::new().with(Predicate::allow(
+            Action::ModifyInterfaceState,
+            ResourcePattern::Interface {
+                device: "r1".into(),
+                iface: "Gi0/0".into(),
+            },
+        ));
+        assert!(!is_allowed(&spec, Action::ModifyInterfaceState, &dev("r1")));
+        assert!(is_allowed(
+            &spec,
+            Action::ModifyInterfaceState,
+            &Resource::Interface {
+                device: "r1".into(),
+                iface: "Gi0/0".into()
+            }
+        ));
+    }
+}

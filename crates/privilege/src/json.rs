@@ -1,0 +1,171 @@
+//! The JSON front-end: the admin-facing interchange format ("Heimdall
+//! includes a convenient front-end interface, based on JSON, that builds on
+//! the specification DSL").
+//!
+//! The JSON schema is deliberately flatter than the Rust model so an admin
+//! (or their tooling) writes strings, not tagged enums:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "ticket": "TCK-1042",
+//!   "rules": [
+//!     {"effect": "allow", "action": "view",     "resource": "*"},
+//!     {"effect": "allow", "action": "acl[101]", "resource": "r3"},
+//!     {"effect": "deny",  "action": "*",        "resource": "h7"}
+//!   ]
+//! }
+//! ```
+//!
+//! `action`/`resource` strings reuse the DSL grammar, so the two front-ends
+//! cannot drift apart.
+
+use crate::dsl;
+use crate::model::PrivilegeMsp;
+use serde::{Deserialize, Serialize};
+
+/// The JSON document shape.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct PrivilegeDoc {
+    pub version: u32,
+    /// Optional ticket this specification was issued for.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub ticket: Option<String>,
+    pub rules: Vec<JsonRule>,
+}
+
+/// One rule in the JSON form.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct JsonRule {
+    pub effect: String,
+    pub action: String,
+    pub resource: String,
+}
+
+/// A JSON front-end failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonError {
+    Syntax(String),
+    Semantic { rule: usize, message: String },
+    UnsupportedVersion(u32),
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonError::Syntax(m) => write!(f, "privilege JSON syntax error: {m}"),
+            JsonError::Semantic { rule, message } => {
+                write!(f, "privilege JSON rule {rule}: {message}")
+            }
+            JsonError::UnsupportedVersion(v) => write!(f, "unsupported privilege doc version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses the JSON document into a specification.
+pub fn from_json(text: &str) -> Result<(PrivilegeMsp, Option<String>), JsonError> {
+    let doc: PrivilegeDoc =
+        serde_json::from_str(text).map_err(|e| JsonError::Syntax(e.to_string()))?;
+    if doc.version != 1 {
+        return Err(JsonError::UnsupportedVersion(doc.version));
+    }
+    let mut spec = PrivilegeMsp::new();
+    for (i, rule) in doc.rules.iter().enumerate() {
+        let line = format!("{}({}, {})", rule.effect, rule.action, rule.resource);
+        let parsed = dsl::parse(&line).map_err(|e| JsonError::Semantic {
+            rule: i,
+            message: e.message,
+        })?;
+        spec.predicates.extend(parsed.predicates);
+    }
+    Ok((spec, doc.ticket))
+}
+
+/// Serializes a specification to the JSON document form.
+pub fn to_json(spec: &PrivilegeMsp, ticket: Option<&str>) -> String {
+    let rules = spec
+        .predicates
+        .iter()
+        .map(|p| {
+            // Reuse the Display form `effect(action, resource)` and split it.
+            let s = p.to_string();
+            let (effect, rest) = s.split_once('(').expect("display format");
+            let inner = rest.strip_suffix(')').expect("display format");
+            let (action, resource) = inner.split_once(", ").expect("display format");
+            JsonRule {
+                effect: effect.to_string(),
+                action: action.to_string(),
+                resource: resource.to_string(),
+            }
+        })
+        .collect();
+    let doc = PrivilegeDoc {
+        version: 1,
+        ticket: ticket.map(str::to_string),
+        rules,
+    };
+    serde_json::to_string_pretty(&doc).expect("doc serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Action, ResourcePattern};
+
+    const DOC: &str = r#"{
+  "version": 1,
+  "ticket": "TCK-1042",
+  "rules": [
+    {"effect": "allow", "action": "view", "resource": "*"},
+    {"effect": "allow", "action": "acl[101]", "resource": "r3"},
+    {"effect": "allow", "action": "ifstate", "resource": "r3.Gi0/2"},
+    {"effect": "deny", "action": "*", "resource": "h7"}
+  ]
+}"#;
+
+    #[test]
+    fn parses_document() {
+        let (spec, ticket) = from_json(DOC).unwrap();
+        assert_eq!(ticket.as_deref(), Some("TCK-1042"));
+        assert_eq!(spec.len(), 4);
+        assert_eq!(spec.predicates[1].action, Some(Action::ModifyAcl));
+        assert_eq!(
+            spec.predicates[1].resource,
+            ResourcePattern::Acl {
+                device: "r3".into(),
+                name: "101".into()
+            }
+        );
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let (spec, _) = from_json(DOC).unwrap();
+        let rendered = to_json(&spec, Some("TCK-1042"));
+        let (again, ticket) = from_json(&rendered).unwrap();
+        assert_eq!(spec, again);
+        assert_eq!(ticket.as_deref(), Some("TCK-1042"));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let bad = DOC.replace("\"version\": 1", "\"version\": 7");
+        assert_eq!(from_json(&bad), Err(JsonError::UnsupportedVersion(7)));
+    }
+
+    #[test]
+    fn rejects_bad_action_with_rule_index() {
+        let bad = DOC.replace("\"view\"", "\"sudo\"");
+        match from_json(&bad) {
+            Err(JsonError::Semantic { rule, .. }) => assert_eq!(rule, 0),
+            other => panic!("expected semantic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(matches!(from_json("{nope"), Err(JsonError::Syntax(_))));
+    }
+}

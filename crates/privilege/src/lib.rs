@@ -1,0 +1,50 @@
+//! # heimdall-privilege
+//!
+//! The `Privilege_msp` specification language — the paper's first component:
+//! "a simple yet expressive language for MSP customers to specify their
+//! policies on privilege levels for various network resources".
+//!
+//! A `Privilege_msp` is a set of predicates, each an `allow` or `deny` of an
+//! *action pattern* on a *resource pattern*:
+//!
+//! ```text
+//! allow(view, *)          # read-only everywhere
+//! allow(ip, r3)           # modify IP addresses on router r3
+//! allow(acl[101], r3)     # edit exactly ACL 101 on r3
+//! allow(ifstate, r3.Gi0/2)# shut/no-shut one interface
+//! deny(*, h7)             # nothing on the finance host, ever
+//! ```
+//!
+//! Evaluation ([`eval`]) is deny-by-default with specificity ordering and
+//! deny-overrides on ties. The JSON front-end ([`json`]) is the
+//! admin-facing format the paper describes ("a convenient front-end
+//! interface, based on JSON"); the text DSL ([`dsl`]) is its compact form.
+//! [`derive`](mod@derive) implements the *task-driven* generation of minimal privilege
+//! sets from a ticket, and [`escalate`] the controlled widening the paper's
+//! §7 discusses.
+//!
+//! ```
+//! use heimdall_privilege::{dsl, eval, model::{Action, Resource}};
+//!
+//! let spec = dsl::parse(
+//!     "allow(view, *)\nallow(acl[101], r3)\ndeny(*, h7)\n",
+//! ).unwrap();
+//!
+//! let r3_acl = Resource::Acl { device: "r3".into(), name: "101".into() };
+//! assert!(eval::is_allowed(&spec, Action::ModifyAcl, &r3_acl));
+//! // Deny-by-default: nothing else on r3 is granted.
+//! assert!(!eval::is_allowed(&spec, Action::Reboot, &Resource::Device("r3".into())));
+//! // The explicit deny wins over the broad view grant.
+//! assert!(!eval::is_allowed(&spec, Action::View, &Resource::Device("h7".into())));
+//! ```
+
+pub mod derive;
+pub mod dsl;
+pub mod escalate;
+pub mod eval;
+pub mod json;
+pub mod model;
+
+pub use derive::{derive_privileges, Task, TaskKind};
+pub use eval::Decision;
+pub use model::{Action, Effect, Predicate, PrivilegeMsp, Resource, ResourcePattern};

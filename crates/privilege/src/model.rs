@@ -1,0 +1,391 @@
+//! The `Privilege_msp` object model: actions, resources, predicates.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Everything a technician can do to a network object.
+///
+/// This enumeration *is* the per-node command inventory: the paper's
+/// attack-surface formula counts "allowed and available commands on node n",
+/// and those counts are taken over these actions (see
+/// `heimdall::metrics`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Action {
+    /// Read-only inspection (`show running-config`, `show ip route`, ...).
+    View,
+    /// Active probing (`ping`, `traceroute`).
+    Ping,
+    /// `shutdown` / `no shutdown`.
+    ModifyInterfaceState,
+    /// `ip address ...`.
+    ModifyIpAddress,
+    /// Editing access lists.
+    ModifyAcl,
+    /// Adding/removing static routes.
+    ModifyRoute,
+    /// OSPF process configuration.
+    ModifyOspf,
+    /// BGP process configuration.
+    ModifyBgp,
+    /// VLANs and switchport assignment.
+    ModifyVlan,
+    /// Passwords, user accounts, SNMP communities.
+    ModifyCredentials,
+    /// Reloading the device.
+    Reboot,
+    /// Destructive wipes (`write erase`, the Figure 3 accident).
+    Erase,
+}
+
+impl Action {
+    /// Every action, in stable order.
+    pub const ALL: [Action; 12] = [
+        Action::View,
+        Action::Ping,
+        Action::ModifyInterfaceState,
+        Action::ModifyIpAddress,
+        Action::ModifyAcl,
+        Action::ModifyRoute,
+        Action::ModifyOspf,
+        Action::ModifyBgp,
+        Action::ModifyVlan,
+        Action::ModifyCredentials,
+        Action::Reboot,
+        Action::Erase,
+    ];
+
+    /// The DSL keyword for this action.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            Action::View => "view",
+            Action::Ping => "ping",
+            Action::ModifyInterfaceState => "ifstate",
+            Action::ModifyIpAddress => "ip",
+            Action::ModifyAcl => "acl",
+            Action::ModifyRoute => "route",
+            Action::ModifyOspf => "ospf",
+            Action::ModifyBgp => "bgp",
+            Action::ModifyVlan => "vlan",
+            Action::ModifyCredentials => "creds",
+            Action::Reboot => "reboot",
+            Action::Erase => "erase",
+        }
+    }
+
+    /// Parses a DSL keyword.
+    pub fn from_keyword(s: &str) -> Option<Action> {
+        Action::ALL.iter().copied().find(|a| a.keyword() == s)
+    }
+
+    /// Whether this action changes state (vs. read-only/diagnostic).
+    pub fn is_mutating(&self) -> bool {
+        !matches!(self, Action::View | Action::Ping)
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.keyword())
+    }
+}
+
+/// A concrete resource a command acts on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Resource {
+    Device(String),
+    Interface { device: String, iface: String },
+    Acl { device: String, name: String },
+}
+
+impl Resource {
+    /// The device this resource lives on.
+    pub fn device(&self) -> &str {
+        match self {
+            Resource::Device(d) => d,
+            Resource::Interface { device, .. } | Resource::Acl { device, .. } => device,
+        }
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::Device(d) => write!(f, "{d}"),
+            Resource::Interface { device, iface } => write!(f, "{device}.{iface}"),
+            Resource::Acl { device, name } => write!(f, "{device}:acl[{name}]"),
+        }
+    }
+}
+
+/// A resource pattern: matches concrete resources, possibly with wildcards.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourcePattern {
+    /// Matches anything.
+    Any,
+    /// Matches a device and everything on it.
+    Device(String),
+    /// Matches one interface (device must be concrete).
+    Interface { device: String, iface: String },
+    /// Matches one ACL by name; `name == "*"` matches every ACL on the
+    /// device.
+    Acl { device: String, name: String },
+}
+
+impl ResourcePattern {
+    /// Whether this pattern covers the concrete resource.
+    pub fn matches(&self, r: &Resource) -> bool {
+        match self {
+            ResourcePattern::Any => true,
+            ResourcePattern::Device(d) => r.device() == d,
+            ResourcePattern::Interface { device, iface } => {
+                matches!(r, Resource::Interface { device: rd, iface: ri }
+                    if rd == device && ri == iface)
+            }
+            ResourcePattern::Acl { device, name } => {
+                matches!(r, Resource::Acl { device: rd, name: rn }
+                    if rd == device && (name == "*" || rn == name))
+            }
+        }
+    }
+
+    /// Specificity: higher = more specific. Any=0, Device=1, sub-object=2.
+    pub fn specificity(&self) -> u8 {
+        match self {
+            ResourcePattern::Any => 0,
+            ResourcePattern::Device(_) => 1,
+            ResourcePattern::Acl { name, .. } if name == "*" => 1,
+            ResourcePattern::Interface { .. } | ResourcePattern::Acl { .. } => 2,
+        }
+    }
+}
+
+impl fmt::Display for ResourcePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourcePattern::Any => write!(f, "*"),
+            ResourcePattern::Device(d) => write!(f, "{d}"),
+            ResourcePattern::Interface { device, iface } => write!(f, "{device}.{iface}"),
+            ResourcePattern::Acl { device, name } => write!(f, "{device}:acl[{name}]"),
+        }
+    }
+}
+
+/// Allow or deny.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Effect {
+    Allow,
+    Deny,
+}
+
+/// One predicate of a `Privilege_msp`: `effect(action-pattern, resource-pattern)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Predicate {
+    pub effect: Effect,
+    /// `None` = any action (`*`).
+    pub action: Option<Action>,
+    pub resource: ResourcePattern,
+}
+
+impl Predicate {
+    /// `allow(action, resource)`.
+    pub fn allow(action: Action, resource: ResourcePattern) -> Self {
+        Predicate {
+            effect: Effect::Allow,
+            action: Some(action),
+            resource,
+        }
+    }
+
+    /// `deny(action, resource)`.
+    pub fn deny(action: Action, resource: ResourcePattern) -> Self {
+        Predicate {
+            effect: Effect::Deny,
+            action: Some(action),
+            resource,
+        }
+    }
+
+    /// `allow(*, resource)`.
+    pub fn allow_all(resource: ResourcePattern) -> Self {
+        Predicate {
+            effect: Effect::Allow,
+            action: None,
+            resource,
+        }
+    }
+
+    /// `deny(*, resource)`.
+    pub fn deny_all(resource: ResourcePattern) -> Self {
+        Predicate {
+            effect: Effect::Deny,
+            action: None,
+            resource,
+        }
+    }
+
+    /// Whether this predicate applies to the request.
+    pub fn matches(&self, action: Action, resource: &Resource) -> bool {
+        (self.action.is_none() || self.action == Some(action)) && self.resource.matches(resource)
+    }
+
+    /// Specificity: (resource specificity, action concreteness).
+    pub fn specificity(&self) -> (u8, u8) {
+        (
+            self.resource.specificity(),
+            if self.action.is_some() { 1 } else { 0 },
+        )
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let effect = match self.effect {
+            Effect::Allow => "allow",
+            Effect::Deny => "deny",
+        };
+        match (&self.action, &self.resource) {
+            // acl actions with a concrete ACL render as acl[NAME].
+            (Some(Action::ModifyAcl), ResourcePattern::Acl { device, name }) => {
+                write!(f, "{effect}(acl[{name}], {device})")
+            }
+            (Some(a), r) => write!(f, "{effect}({a}, {r})"),
+            (None, r) => write!(f, "{effect}(*, {r})"),
+        }
+    }
+}
+
+/// A complete privilege specification: the ordered predicate set an admin
+/// hands to Heimdall for one ticket/technician.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PrivilegeMsp {
+    pub predicates: Vec<Predicate>,
+}
+
+impl PrivilegeMsp {
+    /// An empty (deny-everything) specification.
+    pub fn new() -> Self {
+        PrivilegeMsp::default()
+    }
+
+    /// Builder: append a predicate.
+    pub fn with(mut self, p: Predicate) -> Self {
+        self.predicates.push(p);
+        self
+    }
+
+    /// Number of predicates.
+    pub fn len(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Whether there are no predicates (deny everything).
+    pub fn is_empty(&self) -> bool {
+        self.predicates.is_empty()
+    }
+
+    /// The full-access specification (the "current approach" baseline).
+    pub fn allow_everything() -> Self {
+        PrivilegeMsp::new().with(Predicate::allow_all(ResourcePattern::Any))
+    }
+}
+
+impl fmt::Display for PrivilegeMsp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.predicates {
+            writeln!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_round_trip() {
+        for a in Action::ALL {
+            assert_eq!(Action::from_keyword(a.keyword()), Some(a));
+        }
+        assert_eq!(Action::from_keyword("bogus"), None);
+    }
+
+    #[test]
+    fn mutating_classification() {
+        assert!(!Action::View.is_mutating());
+        assert!(!Action::Ping.is_mutating());
+        assert!(Action::ModifyAcl.is_mutating());
+        assert!(Action::Erase.is_mutating());
+    }
+
+    #[test]
+    fn pattern_matching_hierarchy() {
+        let iface = Resource::Interface {
+            device: "r1".into(),
+            iface: "Gi0/0".into(),
+        };
+        assert!(ResourcePattern::Any.matches(&iface));
+        assert!(ResourcePattern::Device("r1".into()).matches(&iface));
+        assert!(!ResourcePattern::Device("r2".into()).matches(&iface));
+        assert!(ResourcePattern::Interface {
+            device: "r1".into(),
+            iface: "Gi0/0".into()
+        }
+        .matches(&iface));
+        assert!(!ResourcePattern::Interface {
+            device: "r1".into(),
+            iface: "Gi0/1".into()
+        }
+        .matches(&iface));
+    }
+
+    #[test]
+    fn acl_wildcard_name() {
+        let acl = Resource::Acl {
+            device: "r3".into(),
+            name: "101".into(),
+        };
+        assert!(ResourcePattern::Acl {
+            device: "r3".into(),
+            name: "*".into()
+        }
+        .matches(&acl));
+        assert!(!ResourcePattern::Acl {
+            device: "r3".into(),
+            name: "102".into()
+        }
+        .matches(&acl));
+        // Device pattern also covers ACLs on it.
+        assert!(ResourcePattern::Device("r3".into()).matches(&acl));
+    }
+
+    #[test]
+    fn specificity_ordering() {
+        assert!(ResourcePattern::Any.specificity() < ResourcePattern::Device("d".into()).specificity());
+        assert!(
+            ResourcePattern::Device("d".into()).specificity()
+                < ResourcePattern::Interface {
+                    device: "d".into(),
+                    iface: "i".into()
+                }
+                .specificity()
+        );
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        // The paper's running example: {allow(ip, r1)}.
+        let p = Predicate::allow(Action::ModifyIpAddress, ResourcePattern::Device("r1".into()));
+        assert_eq!(p.to_string(), "allow(ip, r1)");
+        let p = Predicate::allow(
+            Action::ModifyAcl,
+            ResourcePattern::Acl {
+                device: "r3".into(),
+                name: "101".into(),
+            },
+        );
+        assert_eq!(p.to_string(), "allow(acl[101], r3)");
+        let p = Predicate::deny_all(ResourcePattern::Device("h7".into()));
+        assert_eq!(p.to_string(), "deny(*, h7)");
+    }
+}

@@ -1,0 +1,283 @@
+//! Simplified BGP: session establishment between mutually-configured,
+//! directly-reachable neighbors; best-path selection by AS-path length then
+//! lowest neighbor address; propagation to fixpoint with AS-path loop
+//! prevention.
+//!
+//! This is deliberately the "textbook core" of BGP — no local-pref, MED,
+//! communities, or route reflection. The evaluation networks use BGP only
+//! at their single upstream edge, so the core semantics (does a route
+//! propagate, does it win over OSPF by distance) are what matters.
+
+use crate::rib::{NextHop, RibEntry, RouteSource};
+use heimdall_netmodel::ip::Prefix;
+use heimdall_netmodel::topology::{DeviceIdx, Network};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::net::Ipv4Addr;
+
+/// An established BGP session between two configured speakers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BgpSession {
+    pub a: DeviceIdx,
+    /// Address on `a` that `b`'s neighbor statement points at.
+    pub a_addr: Ipv4Addr,
+    pub a_asn: u32,
+    pub b: DeviceIdx,
+    pub b_addr: Ipv4Addr,
+    pub b_asn: u32,
+}
+
+impl BgpSession {
+    /// Whether the session crosses AS boundaries.
+    pub fn is_ebgp(&self) -> bool {
+        self.a_asn != self.b_asn
+    }
+}
+
+/// Finds sessions: both sides must configure each other's address with the
+/// correct remote AS, and each address must belong to the other device.
+pub fn bgp_sessions(net: &Network) -> Vec<BgpSession> {
+    let mut speakers: Vec<(DeviceIdx, &heimdall_netmodel::proto::BgpConfig)> = Vec::new();
+    for (di, dev) in net.devices() {
+        if let Some(b) = &dev.config.bgp {
+            speakers.push((di, b));
+        }
+    }
+    let mut sessions = Vec::new();
+    for (ai, acfg) in &speakers {
+        for nb in &acfg.neighbors {
+            // Find the device owning the neighbor address.
+            let Some(bi) = net.owner_of(nb.addr) else { continue };
+            if bi <= *ai {
+                continue; // dedupe: record each pair once, from the lower idx
+            }
+            let Some(bcfg) = net.device(bi).config.bgp.as_ref() else {
+                continue;
+            };
+            if bcfg.asn != nb.remote_as {
+                continue;
+            }
+            // b must point back at one of a's addresses with a's ASN.
+            let a_addrs = net.device(*ai).addresses();
+            let Some(back) = bcfg
+                .neighbors
+                .iter()
+                .find(|n| a_addrs.contains(&n.addr) && n.remote_as == acfg.asn)
+            else {
+                continue;
+            };
+            sessions.push(BgpSession {
+                a: *ai,
+                a_addr: back.addr,
+                a_asn: acfg.asn,
+                b: bi,
+                b_addr: nb.addr,
+                b_asn: bcfg.asn,
+            });
+        }
+    }
+    sessions
+}
+
+/// A BGP path in a speaker's table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Path {
+    as_path: Vec<u32>,
+    /// Session peer address used as next hop; `None` for locally originated.
+    from: Option<Ipv4Addr>,
+    ebgp: bool,
+}
+
+impl Path {
+    /// Best-path order: shorter AS path, then eBGP over iBGP, then lowest
+    /// neighbor address.
+    fn rank(&self) -> (usize, u8, u32) {
+        (
+            self.as_path.len(),
+            if self.ebgp { 0 } else { 1 },
+            self.from.map(u32::from).unwrap_or(0),
+        )
+    }
+}
+
+/// Computes each speaker's BGP routes by synchronous exchange to fixpoint.
+pub fn bgp_routes(net: &Network) -> HashMap<DeviceIdx, Vec<RibEntry>> {
+    let sessions = bgp_sessions(net);
+    let mut asn: HashMap<DeviceIdx, u32> = HashMap::new();
+    let mut tables: HashMap<DeviceIdx, BTreeMap<Prefix, Path>> = HashMap::new();
+
+    for (di, dev) in net.devices() {
+        let Some(b) = &dev.config.bgp else { continue };
+        asn.insert(di, b.asn);
+        let mut t = BTreeMap::new();
+        for p in &b.networks {
+            t.insert(*p, Path { as_path: vec![], from: None, ebgp: false });
+        }
+        if b.default_originate {
+            t.insert(Prefix::DEFAULT, Path { as_path: vec![], from: None, ebgp: false });
+        }
+        tables.insert(di, t);
+    }
+
+    // Synchronous rounds until stable (bounded by network size as a guard).
+    let max_rounds = net.device_count() + 4;
+    for _ in 0..max_rounds {
+        let mut changed = false;
+        let snapshot = tables.clone();
+        for s in &sessions {
+            for (tx, tx_addr, rx, _rx_addr) in
+                [(s.a, s.a_addr, s.b, s.b_addr), (s.b, s.b_addr, s.a, s.a_addr)]
+            {
+                let tx_asn = asn[&tx];
+                let rx_asn = asn[&rx];
+                let Some(tx_table) = snapshot.get(&tx) else { continue };
+                for (prefix, path) in tx_table {
+                    // iBGP learned routes are not re-advertised to iBGP
+                    // peers (classic full-mesh rule).
+                    if tx_asn == rx_asn && !path.ebgp && path.from.is_some() {
+                        continue;
+                    }
+                    let mut as_path = path.as_path.clone();
+                    if tx_asn != rx_asn {
+                        as_path.insert(0, tx_asn);
+                    }
+                    if as_path.contains(&rx_asn) {
+                        continue; // loop prevention
+                    }
+                    let cand = Path {
+                        as_path,
+                        from: Some(tx_addr),
+                        ebgp: tx_asn != rx_asn,
+                    };
+                    let table = tables.get_mut(&rx).expect("speaker");
+                    match table.get(prefix) {
+                        Some(cur) if cur.rank() <= cand.rank() => {}
+                        _ => {
+                            table.insert(*prefix, cand);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Convert learned paths to RIB entries, resolving the egress interface
+    // through connected subnets.
+    let mut out: HashMap<DeviceIdx, Vec<RibEntry>> = HashMap::new();
+    for (di, table) in tables {
+        let dev = net.device(di);
+        let mut routes = Vec::new();
+        for (prefix, path) in table {
+            let Some(gw) = path.from else { continue }; // skip locally originated
+            let Some(iface) = dev
+                .config
+                .interfaces
+                .iter()
+                .find(|i| i.is_up() && i.subnet().map(|s| s.contains(gw)).unwrap_or(false))
+            else {
+                continue;
+            };
+            let source = if path.ebgp { RouteSource::Bgp } else { RouteSource::BgpInternal };
+            routes.push(RibEntry {
+                prefix,
+                source,
+                distance: source.admin_distance(),
+                metric: path.as_path.len() as u32,
+                next_hops: BTreeSet::from([NextHop {
+                    iface: iface.name.clone(),
+                    gateway: Some(gw),
+                }]),
+            });
+        }
+        out.insert(di, routes);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_netmodel::builder::NetBuilder;
+    use heimdall_netmodel::proto::BgpConfig;
+
+    /// Three ASes in a chain: AS100(r1) - AS200(r2) - AS300(r3).
+    fn tri_as() -> Network {
+        let mut b = NetBuilder::new();
+        b.router("r1").router("r2").router("r3");
+        let (_, r1_ip, _, r2a_ip, _) = b.connect("r1", "r2");
+        let (_, r2b_ip, _, r3_ip, _) = b.connect("r2", "r3");
+        b.lan("r1", "10.10.0.0/24".parse().unwrap(), &[]);
+        b.device_mut("r1").config.bgp = Some(
+            BgpConfig::new(100)
+                .neighbor(r2a_ip, 200)
+                .network("10.10.0.0/24".parse().unwrap()),
+        );
+        b.device_mut("r2").config.bgp = Some(
+            BgpConfig::new(200).neighbor(r1_ip, 100).neighbor(r3_ip, 300),
+        );
+        b.device_mut("r3").config.bgp = Some(BgpConfig::new(300).neighbor(r2b_ip, 200));
+        b.build()
+    }
+
+    #[test]
+    fn sessions_require_mutual_config() {
+        let net = tri_as();
+        assert_eq!(bgp_sessions(&net).len(), 2);
+    }
+
+    #[test]
+    fn one_sided_config_is_down() {
+        let mut net = tri_as();
+        net.device_by_name_mut("r3").unwrap().config.bgp = Some(BgpConfig::new(300));
+        assert_eq!(bgp_sessions(&net).len(), 1);
+    }
+
+    #[test]
+    fn wrong_remote_as_is_down() {
+        let mut net = tri_as();
+        let b = net.device_by_name_mut("r3").unwrap().config.bgp.as_mut().unwrap();
+        b.neighbors[0].remote_as = 999;
+        assert_eq!(bgp_sessions(&net).len(), 1);
+    }
+
+    #[test]
+    fn routes_propagate_across_two_hops() {
+        let net = tri_as();
+        let routes = bgp_routes(&net);
+        let r3 = net.idx_of("r3");
+        let p: Prefix = "10.10.0.0/24".parse().unwrap();
+        let route = routes[&r3].iter().find(|r| r.prefix == p).expect("propagated");
+        assert_eq!(route.source, RouteSource::Bgp);
+        assert_eq!(route.metric, 2, "AS path 200 100");
+        assert_eq!(route.distance, 20);
+    }
+
+    #[test]
+    fn neighbor_session_to_unmodeled_peer_is_harmless() {
+        // The enterprise border's ISP neighbor has no device behind it;
+        // the session must simply not form and produce no routes.
+        let g = heimdall_netmodel::gen::enterprise_network();
+        assert!(bgp_sessions(&g.net).is_empty());
+        let routes = bgp_routes(&g.net);
+        let bdr1 = g.net.idx_of("bdr1");
+        assert!(routes.get(&bdr1).map(|v| v.is_empty()).unwrap_or(true));
+    }
+
+    #[test]
+    fn default_originate_floods_default() {
+        let mut net = tri_as();
+        net.device_by_name_mut("r1")
+            .unwrap()
+            .config
+            .bgp
+            .as_mut()
+            .unwrap()
+            .default_originate = true;
+        let routes = bgp_routes(&net);
+        let r3 = net.idx_of("r3");
+        assert!(routes[&r3].iter().any(|r| r.prefix.is_default()));
+    }
+}

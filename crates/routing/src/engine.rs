@@ -1,0 +1,240 @@
+//! Full control-plane convergence: connected + static + OSPF + BGP, per
+//! device, arbitrated by administrative distance, flattened to FIBs.
+
+use crate::bgp::bgp_routes;
+use crate::fib::{Fib, NULL_IFACE};
+use crate::ospf::ospf_routes;
+use crate::rib::{NextHop, Rib, RibEntry, RouteSource};
+use heimdall_netmodel::l2::L2Domains;
+use heimdall_netmodel::proto::NextHop as CfgNextHop;
+use heimdall_netmodel::topology::{DeviceIdx, Network};
+use std::collections::{BTreeSet, HashMap};
+
+/// The converged control plane of a network snapshot: everything the data
+/// plane needs to forward, and everything `show ip route` displays.
+#[derive(Debug, Clone)]
+pub struct ControlPlane {
+    pub ribs: HashMap<DeviceIdx, Rib>,
+    pub fibs: HashMap<DeviceIdx, Fib>,
+    pub l2: L2Domains,
+}
+
+impl ControlPlane {
+    /// The RIB of `device` (empty RIB if the device computed none).
+    pub fn rib(&self, device: DeviceIdx) -> &Rib {
+        static EMPTY: std::sync::OnceLock<Rib> = std::sync::OnceLock::new();
+        self.ribs
+            .get(&device)
+            .unwrap_or_else(|| EMPTY.get_or_init(Rib::new))
+    }
+
+    /// The FIB of `device` (empty FIB if the device computed none).
+    pub fn fib(&self, device: DeviceIdx) -> &Fib {
+        static EMPTY: std::sync::OnceLock<Fib> = std::sync::OnceLock::new();
+        self.fibs
+            .get(&device)
+            .unwrap_or_else(|| EMPTY.get_or_init(Fib::default))
+    }
+}
+
+/// Converges the network: computes every device's RIB and FIB.
+///
+/// Deterministic and side-effect free: this is the Batfish-style "compute
+/// the fixpoint directly" model — no timers, no transient states. (The
+/// enforcer's scheduler simulates *sequences* of converged states to find
+/// transient policy violations between change steps.)
+pub fn converge(net: &Network) -> ControlPlane {
+    let l2 = L2Domains::compute(net);
+    let ospf = ospf_routes(net, &l2);
+    let bgp = bgp_routes(net);
+
+    let mut ribs: HashMap<DeviceIdx, Rib> = HashMap::new();
+    for (di, dev) in net.devices() {
+        let mut rib = Rib::new();
+
+        // Connected routes.
+        for iface in &dev.config.interfaces {
+            if !iface.is_up() {
+                continue;
+            }
+            if let Some(subnet) = iface.subnet() {
+                rib.offer(RibEntry {
+                    prefix: subnet,
+                    source: RouteSource::Connected,
+                    distance: 0,
+                    metric: 0,
+                    next_hops: BTreeSet::from([NextHop {
+                        iface: iface.name.clone(),
+                        gateway: None,
+                    }]),
+                });
+            }
+        }
+
+        // Static routes. The egress interface is resolved against connected
+        // subnets here when possible; otherwise left for recursive FIB
+        // resolution.
+        for sr in &dev.config.static_routes {
+            let next_hops = match sr.next_hop {
+                CfgNextHop::Discard => BTreeSet::from([NextHop {
+                    iface: NULL_IFACE.to_string(),
+                    gateway: None,
+                }]),
+                CfgNextHop::Ip(gw) => {
+                    let iface = dev
+                        .config
+                        .interfaces
+                        .iter()
+                        .find(|i| {
+                            i.is_up() && i.subnet().map(|s| s.contains(gw)).unwrap_or(false)
+                        })
+                        .map(|i| i.name.clone())
+                        .unwrap_or_default();
+                    BTreeSet::from([NextHop {
+                        iface,
+                        gateway: Some(gw),
+                    }])
+                }
+            };
+            rib.offer(RibEntry {
+                prefix: sr.prefix,
+                source: RouteSource::Static,
+                distance: sr.distance,
+                metric: 0,
+                next_hops,
+            });
+        }
+
+        // Protocol routes.
+        if let Some(routes) = ospf.get(&di) {
+            for r in routes {
+                rib.offer(r.clone());
+            }
+        }
+        if let Some(routes) = bgp.get(&di) {
+            for r in routes {
+                rib.offer(r.clone());
+            }
+        }
+
+        ribs.insert(di, rib);
+    }
+
+    let fibs = ribs
+        .iter()
+        .map(|(di, rib)| (*di, Fib::from_rib(rib)))
+        .collect();
+
+    ControlPlane { ribs, fibs, l2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_netmodel::gen::{enterprise_network, university_network};
+    use heimdall_netmodel::ip::Prefix;
+
+    #[test]
+    fn enterprise_fully_converges() {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        // Every router learns every LAN.
+        let lans: [Prefix; 4] = [
+            "10.1.1.0/24".parse().unwrap(),
+            "10.1.2.0/24".parse().unwrap(),
+            "10.1.3.0/24".parse().unwrap(),
+            "10.2.1.0/24".parse().unwrap(),
+        ];
+        for r in ["bdr1", "fw1", "core1", "core2", "dist1", "dist2", "acc1", "acc2", "acc3"] {
+            let rib = cp.rib(g.net.idx_of(r));
+            for lan in &lans {
+                assert!(
+                    rib.lookup(lan.nth_host(5).unwrap()).is_some(),
+                    "{r} missing route toward {lan}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_route_floods_from_border() {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        // acc1 is far from bdr1; it must still know a default (E2).
+        let rib = cp.rib(g.net.idx_of("acc1"));
+        let hit = rib.lookup("93.184.216.34".parse().unwrap()).expect("default");
+        assert!(hit.prefix.is_default());
+        assert_eq!(hit.source, RouteSource::OspfExternal);
+        // On bdr1 itself it is the static.
+        let rib = cp.rib(g.net.idx_of("bdr1"));
+        let hit = rib.lookup("93.184.216.34".parse().unwrap()).unwrap();
+        assert_eq!(hit.source, RouteSource::Static);
+    }
+
+    #[test]
+    fn hosts_have_connected_plus_default() {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        let rib = cp.rib(g.net.idx_of("h4"));
+        assert_eq!(rib.len(), 2);
+        let def = rib.lookup("10.2.1.10".parse().unwrap()).unwrap();
+        assert_eq!(def.source, RouteSource::Static);
+        let gw = def.next_hops.iter().next().unwrap();
+        assert_eq!(gw.gateway, Some("10.1.2.1".parse().unwrap()));
+    }
+
+    #[test]
+    fn loopbacks_are_network_wide() {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        let rib = cp.rib(g.net.idx_of("acc3"));
+        for (_, lo) in &g.meta.loopbacks {
+            assert!(rib.lookup(*lo).is_some(), "acc3 missing loopback {lo}");
+        }
+    }
+
+    #[test]
+    fn university_fully_converges() {
+        let g = university_network();
+        let cp = converge(&g.net);
+        let rib = cp.rib(g.net.idx_of("cs1"));
+        // cs1 must know the dc LAN with multiple ECMP paths (parallel fabric).
+        let hit = rib.lookup("172.16.10.10".parse().unwrap()).expect("dc LAN");
+        assert_eq!(hit.source, RouteSource::Ospf);
+        assert!(
+            hit.next_hops.len() >= 2,
+            "parallel fabric should yield ECMP, got {:?}",
+            hit.next_hops
+        );
+    }
+
+    #[test]
+    fn interface_down_removes_routes() {
+        let g = enterprise_network();
+        let mut net = g.net.clone();
+        // acc1 single-homes to dist1; cutting that link strands LAN1.
+        net.device_by_name_mut("acc1")
+            .unwrap()
+            .config
+            .interface_mut("Gi0/0")
+            .unwrap()
+            .enabled = false;
+        let cp = converge(&net);
+        let rib = cp.rib(net.idx_of("core1"));
+        // The specific LAN1 route must vanish; only the default now matches.
+        assert!(rib.get(&"10.1.1.0/24".parse().unwrap()).is_none());
+        let hit = rib.lookup("10.1.1.10".parse().unwrap()).unwrap();
+        assert!(hit.prefix.is_default(), "only the default may remain");
+    }
+
+    #[test]
+    fn convergence_is_deterministic() {
+        let g = university_network();
+        let a = converge(&g.net);
+        let b = converge(&g.net);
+        for (di, _) in g.net.devices() {
+            assert_eq!(a.rib(di), b.rib(di));
+            assert_eq!(a.fib(di), b.fib(di));
+        }
+    }
+}

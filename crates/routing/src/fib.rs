@@ -1,0 +1,179 @@
+//! Forwarding information base: the RIB flattened for per-packet lookup,
+//! with recursive next-hop resolution (a static route may point at a
+//! gateway that is itself reached through OSPF).
+
+use crate::rib::{NextHop, Rib, RouteSource};
+use heimdall_netmodel::ip::Prefix;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// The sentinel interface name for discard (Null0) routes.
+pub const NULL_IFACE: &str = "Null0";
+
+/// One resolved forwarding action.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FibEntry {
+    /// Egress interface (or [`NULL_IFACE`] to discard).
+    pub iface: String,
+    /// IP to forward to; `None` means "deliver to the destination directly"
+    /// (the destination is on the egress interface's subnet).
+    pub gateway: Option<Ipv4Addr>,
+}
+
+/// A device's FIB.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Fib {
+    entries: BTreeMap<Prefix, Vec<FibEntry>>,
+}
+
+impl Fib {
+    /// Flattens a RIB into a FIB. Next hops whose interface is unknown are
+    /// resolved recursively via the RIB (bounded depth); unresolvable hops
+    /// are dropped, and prefixes with no resolvable hop are omitted.
+    pub fn from_rib(rib: &Rib) -> Fib {
+        let mut entries: BTreeMap<Prefix, Vec<FibEntry>> = BTreeMap::new();
+        for e in rib.entries() {
+            let mut resolved = Vec::new();
+            for nh in &e.next_hops {
+                resolved.extend(resolve(rib, nh, 4));
+            }
+            resolved.sort();
+            resolved.dedup();
+            if !resolved.is_empty() {
+                entries.insert(e.prefix, resolved);
+            }
+        }
+        Fib { entries }
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, dst: Ipv4Addr) -> Option<(&Prefix, &[FibEntry])> {
+        self.entries
+            .iter()
+            .filter(|(p, _)| p.contains(dst))
+            .max_by_key(|(p, _)| p.len())
+            .map(|(p, v)| (p, v.as_slice()))
+    }
+
+    /// All entries, in prefix order.
+    pub fn entries(&self) -> impl Iterator<Item = (&Prefix, &Vec<FibEntry>)> {
+        self.entries.iter()
+    }
+
+    /// Number of prefixes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the FIB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Resolves a RIB next hop to concrete FIB entries.
+fn resolve(rib: &Rib, nh: &NextHop, depth: u8) -> Vec<FibEntry> {
+    if !nh.iface.is_empty() {
+        return vec![FibEntry {
+            iface: nh.iface.clone(),
+            gateway: nh.gateway,
+        }];
+    }
+    let Some(gw) = nh.gateway else { return Vec::new() };
+    if depth == 0 {
+        return Vec::new();
+    }
+    // Interface unknown: recurse through the RIB on the gateway address.
+    let Some(via) = rib.lookup(gw) else { return Vec::new() };
+    let mut out = Vec::new();
+    for hop in &via.next_hops {
+        for mut r in resolve(rib, hop, depth - 1) {
+            // Keep the ORIGINAL gateway if the recursive hop is connected
+            // (deliver-to-gw through that interface).
+            if r.gateway.is_none() && via.source == RouteSource::Connected {
+                r.gateway = Some(gw);
+            }
+            out.push(r);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rib::RibEntry;
+    use std::collections::BTreeSet;
+
+    fn rib_with(entries: Vec<RibEntry>) -> Rib {
+        let mut rib = Rib::new();
+        for e in entries {
+            rib.offer(e);
+        }
+        rib
+    }
+
+    fn e(p: &str, src: RouteSource, iface: &str, gw: Option<&str>) -> RibEntry {
+        RibEntry {
+            prefix: p.parse().unwrap(),
+            source: src,
+            distance: src.admin_distance(),
+            metric: 0,
+            next_hops: BTreeSet::from([NextHop {
+                iface: iface.to_string(),
+                gateway: gw.map(|g| g.parse().unwrap()),
+            }]),
+        }
+    }
+
+    #[test]
+    fn direct_entries_flatten() {
+        let rib = rib_with(vec![e("10.0.0.0/24", RouteSource::Connected, "Gi0/0", None)]);
+        let fib = Fib::from_rib(&rib);
+        let (p, hops) = fib.lookup("10.0.0.5".parse().unwrap()).unwrap();
+        assert_eq!(p.to_string(), "10.0.0.0/24");
+        assert_eq!(hops[0].iface, "Gi0/0");
+        assert_eq!(hops[0].gateway, None);
+    }
+
+    #[test]
+    fn recursive_static_resolves_through_connected() {
+        let rib = rib_with(vec![
+            e("10.0.0.0/24", RouteSource::Connected, "Gi0/0", None),
+            // Static with no iface, gw on the connected subnet.
+            e("0.0.0.0/0", RouteSource::Static, "", Some("10.0.0.9")),
+        ]);
+        let fib = Fib::from_rib(&rib);
+        let (_, hops) = fib.lookup("8.8.8.8".parse().unwrap()).unwrap();
+        assert_eq!(hops[0].iface, "Gi0/0");
+        assert_eq!(hops[0].gateway, Some("10.0.0.9".parse().unwrap()));
+    }
+
+    #[test]
+    fn unresolvable_hop_omitted() {
+        let rib = rib_with(vec![e("0.0.0.0/0", RouteSource::Static, "", Some("99.9.9.9"))]);
+        let fib = Fib::from_rib(&rib);
+        assert!(fib.lookup("8.8.8.8".parse().unwrap()).is_none());
+        assert!(fib.is_empty());
+    }
+
+    #[test]
+    fn lpm_prefers_longer() {
+        let rib = rib_with(vec![
+            e("10.0.0.0/8", RouteSource::Ospf, "Gi0/1", Some("10.255.0.1")),
+            e("10.0.1.0/24", RouteSource::Connected, "Gi0/0", None),
+        ]);
+        let fib = Fib::from_rib(&rib);
+        assert_eq!(fib.lookup("10.0.1.1".parse().unwrap()).unwrap().1[0].iface, "Gi0/0");
+        assert_eq!(fib.lookup("10.3.0.1".parse().unwrap()).unwrap().1[0].iface, "Gi0/1");
+    }
+
+    #[test]
+    fn resolution_depth_bounded() {
+        // 0/0 -> 1.1.1.1 -> itself (loop); must not hang or resolve.
+        let rib = rib_with(vec![e("1.1.1.1/32", RouteSource::Static, "", Some("1.1.1.1"))]);
+        let fib = Fib::from_rib(&rib);
+        assert!(fib.is_empty());
+    }
+}

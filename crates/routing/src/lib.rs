@@ -1,0 +1,52 @@
+//! # heimdall-routing
+//!
+//! Control-plane simulation over [`heimdall_netmodel`] networks: the
+//! Batfish-like substrate the paper's verification and twin layers stand on.
+//!
+//! Given a network snapshot, [`engine::converge`] computes each device's RIB
+//! from four sources, arbitrated by administrative distance exactly like
+//! IOS:
+//!
+//! | source            | distance |
+//! |-------------------|----------|
+//! | connected         | 0        |
+//! | static            | 1 (configurable per route) |
+//! | eBGP              | 20       |
+//! | OSPF (intra/ext)  | 110      |
+//! | iBGP              | 200      |
+//!
+//! OSPF runs SPF (Dijkstra with ECMP first-hop tracking) over adjacencies
+//! derived from L2 broadcast domains and `network`-statement/area matching;
+//! redistributed statics appear as OSPF-external (E2, fixed metric 20). BGP
+//! is a simplified best-path propagation (AS-path length, then lowest
+//! neighbor address) run to fixpoint with AS-path loop prevention.
+//!
+//! The result ([`ControlPlane`]) carries per-device RIBs and FIBs plus the
+//! L2 domains, and is what `heimdall-dataplane` forwards over.
+//!
+//! ```
+//! use heimdall_netmodel::builder::NetBuilder;
+//!
+//! let mut b = NetBuilder::new();
+//! b.router("r1").router("r2");
+//! b.connect("r1", "r2");
+//! b.lan("r2", "10.9.0.0/24".parse().unwrap(), &["h1"]);
+//! b.enable_ospf_all(0);
+//! let net = b.build();
+//!
+//! let cp = heimdall_routing::converge(&net);
+//! let rib = cp.rib(net.idx_of("r1"));
+//! // r1 learned r2's LAN via OSPF.
+//! let hit = rib.lookup("10.9.0.10".parse().unwrap()).unwrap();
+//! assert_eq!(hit.source, heimdall_routing::RouteSource::Ospf);
+//! ```
+
+pub mod bgp;
+pub mod engine;
+pub mod fib;
+pub mod ospf;
+pub mod rib;
+
+pub use engine::{converge, ControlPlane};
+pub use fib::{Fib, FibEntry};
+pub use rib::{Rib, RibEntry, RouteSource};

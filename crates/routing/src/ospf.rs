@@ -1,0 +1,815 @@
+//! OSPF control-plane simulation: adjacency derivation (with
+//! authentication), per-area SPF (Dijkstra with ECMP first-hop tracking),
+//! intra-area routes, inter-area summaries through ABRs, and E2 externals
+//! for redistributed statics.
+//!
+//! The hierarchy follows classic OSPF: each area converges independently;
+//! Area Border Routers (participants of area 0 plus at least one other
+//! area) summarize their non-backbone areas' prefixes into the backbone
+//! and the backbone's knowledge back into their non-backbone areas. There
+//! is no transit through non-zero areas (no virtual links), no NSSA/stub
+//! types, and no timers — the converged fixpoint is computed directly, as
+//! Batfish does.
+//!
+//! Adjacencies additionally require matching per-interface authentication
+//! keys (`ip ospf authentication-key`), mirroring real deployments; note
+//! that the twin's sanitizer strips keys from *both* ends of every sliced
+//! link, so sanitized twins still converge — a property the twin crate's
+//! tests rely on.
+
+use crate::rib::{NextHop, RibEntry, RouteSource};
+use heimdall_netmodel::ip::Prefix;
+use heimdall_netmodel::l2::L2Domains;
+use heimdall_netmodel::proto::AreaId;
+use heimdall_netmodel::topology::{DeviceIdx, Network};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
+use std::hash::Hash;
+use std::net::Ipv4Addr;
+
+/// An interface participating in OSPF.
+#[derive(Debug, Clone)]
+pub struct OspfIface {
+    pub device: DeviceIdx,
+    pub iface: String,
+    pub addr: Ipv4Addr,
+    pub subnet: Prefix,
+    pub area: AreaId,
+    pub cost: u32,
+    pub passive: bool,
+    /// Per-interface authentication key, if configured.
+    pub auth_key: Option<String>,
+}
+
+/// Collects every up, addressed interface matched by its router's OSPF
+/// `network` statements.
+pub fn ospf_interfaces(net: &Network) -> Vec<OspfIface> {
+    let mut out = Vec::new();
+    for (di, dev) in net.devices() {
+        if !dev.kind.routes() {
+            continue;
+        }
+        let Some(ospf) = &dev.config.ospf else {
+            continue;
+        };
+        for iface in &dev.config.interfaces {
+            let Some(a) = iface.address else { continue };
+            if !iface.is_up() {
+                continue;
+            }
+            let Some(area) = ospf.area_for(a.ip) else {
+                continue;
+            };
+            out.push(OspfIface {
+                device: di,
+                iface: iface.name.clone(),
+                addr: a.ip,
+                subnet: a.subnet(),
+                area,
+                cost: iface.effective_ospf_cost(ospf.reference_bandwidth_kbps),
+                passive: ospf.is_passive(&iface.name),
+                auth_key: dev.config.secrets.ospf_auth_keys.get(&iface.name).cloned(),
+            });
+        }
+    }
+    out
+}
+
+/// A directed OSPF adjacency edge inside one area.
+#[derive(Debug, Clone)]
+pub struct OspfEdge {
+    pub from: DeviceIdx,
+    pub to: DeviceIdx,
+    pub area: AreaId,
+    pub iface: String,
+    pub cost: u32,
+    pub nh_addr: Ipv4Addr,
+}
+
+/// Derives adjacency edges: two non-passive OSPF interfaces on different
+/// routers form an adjacency when they share a broadcast domain, a subnet,
+/// an area, and an authentication key (both-absent counts as matching).
+pub fn ospf_adjacencies(ifaces: &[OspfIface], l2: &L2Domains) -> Vec<OspfEdge> {
+    let mut edges = Vec::new();
+    for a in ifaces {
+        if a.passive {
+            continue;
+        }
+        for b in ifaces {
+            if b.passive || a.device == b.device {
+                continue;
+            }
+            if a.area == b.area
+                && a.subnet == b.subnet
+                && a.auth_key == b.auth_key
+                && l2.adjacent(a.device, &a.iface, b.device, &b.iface)
+            {
+                edges.push(OspfEdge {
+                    from: a.device,
+                    to: b.device,
+                    area: a.area,
+                    iface: a.iface.clone(),
+                    cost: a.cost,
+                    nh_addr: b.addr,
+                });
+            }
+        }
+    }
+    edges
+}
+
+/// SPF result for one source router inside one area.
+pub struct SpfResult {
+    pub dist: HashMap<DeviceIdx, u32>,
+    pub first_hops: HashMap<DeviceIdx, BTreeSet<NextHop>>,
+}
+
+/// Dijkstra from `src` over the given edges, tracking every first hop
+/// lying on some shortest path (ECMP).
+pub fn spf(src: DeviceIdx, edges: &[OspfEdge]) -> SpfResult {
+    let mut by_from: HashMap<DeviceIdx, Vec<&OspfEdge>> = HashMap::new();
+    for e in edges {
+        by_from.entry(e.from).or_default().push(e);
+    }
+    let mut dist: HashMap<DeviceIdx, u32> = HashMap::from([(src, 0)]);
+    let mut first_hops: HashMap<DeviceIdx, BTreeSet<NextHop>> = HashMap::new();
+    let mut heap = BinaryHeap::from([(Reverse(0u32), src)]);
+    while let Some((Reverse(du), u)) = heap.pop() {
+        if dist.get(&u).copied().unwrap_or(u32::MAX) < du {
+            continue;
+        }
+        for e in by_from.get(&u).map(|v| v.as_slice()).unwrap_or(&[]) {
+            let nd = du.saturating_add(e.cost);
+            let cur = dist.get(&e.to).copied().unwrap_or(u32::MAX);
+            let hop_set: BTreeSet<NextHop> = if u == src {
+                BTreeSet::from([NextHop {
+                    iface: e.iface.clone(),
+                    gateway: Some(e.nh_addr),
+                }])
+            } else {
+                first_hops.get(&u).cloned().unwrap_or_default()
+            };
+            if nd < cur {
+                dist.insert(e.to, nd);
+                first_hops.insert(e.to, hop_set);
+                heap.push((Reverse(nd), e.to));
+            } else if nd == cur {
+                first_hops.entry(e.to).or_default().extend(hop_set);
+            }
+        }
+    }
+    SpfResult { dist, first_hops }
+}
+
+/// A route candidate: cost, ECMP first hops, and whether it crossed an
+/// area boundary.
+#[derive(Debug, Clone)]
+struct Cand {
+    cost: u32,
+    hops: BTreeSet<NextHop>,
+    inter_area: bool,
+}
+
+impl Cand {
+    fn merge(&mut self, other: Cand) {
+        if other.cost < self.cost {
+            *self = other;
+        } else if other.cost == self.cost {
+            self.hops.extend(other.hops);
+            // A tie between intra and inter keeps the intra marking (IOS
+            // prefers intra-area at equal cost; here costs tie so the
+            // route is effectively intra-reachable).
+            self.inter_area &= other.inter_area;
+        }
+    }
+}
+
+/// The precomputed per-area machinery shared by prefix and ASBR cost
+/// computation.
+struct AreaTables {
+    /// Areas in the topology.
+    areas: Vec<AreaId>,
+    /// Routers participating per area.
+    participants: HashMap<AreaId, BTreeSet<DeviceIdx>>,
+    /// SPF per (area, source router).
+    spf: HashMap<(AreaId, DeviceIdx), SpfResult>,
+    /// ABRs: participants of area 0 and at least one other area.
+    abrs: BTreeSet<DeviceIdx>,
+}
+
+impl AreaTables {
+    fn build(ifaces: &[OspfIface], edges: &[OspfEdge]) -> AreaTables {
+        let mut participants: HashMap<AreaId, BTreeSet<DeviceIdx>> = HashMap::new();
+        for i in ifaces {
+            participants.entry(i.area).or_default().insert(i.device);
+        }
+        let mut edges_by_area: HashMap<AreaId, Vec<OspfEdge>> = HashMap::new();
+        for e in edges {
+            edges_by_area.entry(e.area).or_default().push(e.clone());
+        }
+        let mut spf_map = HashMap::new();
+        for (&area, routers) in &participants {
+            let area_edges = edges_by_area.get(&area).cloned().unwrap_or_default();
+            for &r in routers {
+                spf_map.insert((area, r), spf(r, &area_edges));
+            }
+        }
+        let abrs: BTreeSet<DeviceIdx> = participants
+            .get(&0)
+            .map(|backbone| {
+                backbone
+                    .iter()
+                    .copied()
+                    .filter(|r| {
+                        participants
+                            .iter()
+                            .any(|(&a, members)| a != 0 && members.contains(r))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut areas: Vec<AreaId> = participants.keys().copied().collect();
+        areas.sort_unstable();
+        AreaTables {
+            areas,
+            participants,
+            spf: spf_map,
+            abrs,
+        }
+    }
+
+    fn areas_of(&self, r: DeviceIdx) -> Vec<AreaId> {
+        self.areas
+            .iter()
+            .copied()
+            .filter(|a| self.participants[a].contains(&r))
+            .collect()
+    }
+
+    /// Hierarchical cost computation from every router to every advertised
+    /// key (prefixes, or ASBR identities for externals).
+    fn costs<K: Eq + Hash + Copy + Ord>(
+        &self,
+        advertised: &HashMap<AreaId, Vec<(DeviceIdx, K, u32)>>,
+    ) -> HashMap<DeviceIdx, BTreeMap<K, Cand>> {
+        // Pass 1: intra-area tables per router.
+        let mut intra: HashMap<DeviceIdx, BTreeMap<K, Cand>> = HashMap::new();
+        for (&area, advs) in advertised {
+            let Some(routers) = self.participants.get(&area) else {
+                continue;
+            };
+            for &r in routers {
+                let res = &self.spf[&(area, r)];
+                let table = intra.entry(r).or_default();
+                for &(adv, key, cost) in advs {
+                    let (d, hops) = if adv == r {
+                        (0, BTreeSet::new())
+                    } else {
+                        match res.dist.get(&adv) {
+                            Some(&d) => (d, res.first_hops.get(&adv).cloned().unwrap_or_default()),
+                            None => continue,
+                        }
+                    };
+                    let cand = Cand {
+                        cost: d.saturating_add(cost),
+                        hops,
+                        inter_area: false,
+                    };
+                    match table.get_mut(&key) {
+                        Some(cur) => cur.merge(cand),
+                        None => {
+                            table.insert(key, cand);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Pass 2: backbone view — each area-0 participant combines its own
+        // intra knowledge with ABR summaries of non-zero areas.
+        let empty: BTreeSet<DeviceIdx> = BTreeSet::new();
+        let backbone = self.participants.get(&0).unwrap_or(&empty);
+        let mut backbone_view: HashMap<DeviceIdx, BTreeMap<K, Cand>> = HashMap::new();
+        for &r0 in backbone {
+            let res0 = &self.spf[&(0, r0)];
+            let mut table: BTreeMap<K, Cand> = intra.get(&r0).cloned().unwrap_or_default();
+            for &abr in &self.abrs {
+                if abr == r0 {
+                    continue;
+                }
+                let Some(&d_abr) = res0.dist.get(&abr) else { continue };
+                let hops = res0.first_hops.get(&abr).cloned().unwrap_or_default();
+                if let Some(abr_intra) = intra.get(&abr) {
+                    for (key, cand) in abr_intra {
+                        // The ABR only summarizes what it reaches
+                        // intra-area; crossing it is an inter-area route.
+                        let c = Cand {
+                            cost: d_abr.saturating_add(cand.cost),
+                            hops: if hops.is_empty() { cand.hops.clone() } else { hops.clone() },
+                            inter_area: true,
+                        };
+                        match table.get_mut(key) {
+                            Some(cur) => cur.merge(c),
+                            None => {
+                                table.insert(*key, c);
+                            }
+                        }
+                    }
+                }
+            }
+            backbone_view.insert(r0, table);
+        }
+
+        // Pass 3: non-backbone routers reach the rest of the network
+        // through their areas' ABRs.
+        let mut out: HashMap<DeviceIdx, BTreeMap<K, Cand>> = HashMap::new();
+        let all_routers: BTreeSet<DeviceIdx> = self
+            .participants
+            .values()
+            .flat_map(|s| s.iter().copied())
+            .collect();
+        for r in all_routers {
+            let mut table = if backbone.contains(&r) {
+                backbone_view.get(&r).cloned().unwrap_or_default()
+            } else {
+                intra.get(&r).cloned().unwrap_or_default()
+            };
+            if !backbone.contains(&r) {
+                for area in self.areas_of(r) {
+                    let res = &self.spf[&(area, r)];
+                    for &abr in &self.abrs {
+                        if !self.participants[&area].contains(&abr) || abr == r {
+                            continue;
+                        }
+                        let Some(&d_abr) = res.dist.get(&abr) else { continue };
+                        let hops = res.first_hops.get(&abr).cloned().unwrap_or_default();
+                        if let Some(abr_table) = backbone_view.get(&abr) {
+                            for (key, cand) in abr_table {
+                                let c = Cand {
+                                    cost: d_abr.saturating_add(cand.cost),
+                                    hops: if hops.is_empty() { cand.hops.clone() } else { hops.clone() },
+                                    inter_area: true,
+                                };
+                                match table.get_mut(key) {
+                                    Some(cur) => cur.merge(c),
+                                    None => {
+                                        table.insert(*key, c);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            out.insert(r, table);
+        }
+        out
+    }
+}
+
+/// Computes every router's OSPF routes: intra-area, inter-area (via ABR
+/// summaries), and E2 externals.
+pub fn ospf_routes(net: &Network, l2: &L2Domains) -> HashMap<DeviceIdx, Vec<RibEntry>> {
+    let ifaces = ospf_interfaces(net);
+    let edges = ospf_adjacencies(&ifaces, l2);
+    let tables = AreaTables::build(&ifaces, &edges);
+
+    // Prefix advertisements per area.
+    let mut advertised: HashMap<AreaId, Vec<(DeviceIdx, Prefix, u32)>> = HashMap::new();
+    for i in &ifaces {
+        advertised
+            .entry(i.area)
+            .or_default()
+            .push((i.device, i.subnet, i.cost));
+    }
+    let prefix_costs = tables.costs(&advertised);
+
+    // Own prefixes (connected beats OSPF anyway; skip to keep RIBs tidy).
+    let mut own: HashMap<DeviceIdx, BTreeSet<Prefix>> = HashMap::new();
+    for i in &ifaces {
+        own.entry(i.device).or_default().insert(i.subnet);
+    }
+
+    // ASBRs and their external prefixes.
+    let mut externals: HashMap<DeviceIdx, Vec<Prefix>> = HashMap::new();
+    for (di, dev) in net.devices() {
+        if let Some(o) = &dev.config.ospf {
+            if o.redistribute_static {
+                let ps: Vec<Prefix> = dev.config.static_routes.iter().map(|r| r.prefix).collect();
+                if !ps.is_empty() {
+                    externals.insert(di, ps);
+                }
+            }
+        }
+    }
+    // Cost-to-ASBR via the same hierarchy (each ASBR advertises itself at
+    // cost 0 into every area it participates in).
+    let mut asbr_adv: HashMap<AreaId, Vec<(DeviceIdx, DeviceIdx, u32)>> = HashMap::new();
+    for &asbr in externals.keys() {
+        for area in tables.areas_of(asbr) {
+            asbr_adv.entry(area).or_default().push((asbr, asbr, 0));
+        }
+    }
+    let asbr_costs = tables.costs(&asbr_adv);
+
+    let mut out: HashMap<DeviceIdx, Vec<RibEntry>> = HashMap::new();
+    for (&r, table) in &prefix_costs {
+        let own_set = own.get(&r).cloned().unwrap_or_default();
+        let mut routes: Vec<RibEntry> = Vec::new();
+        for (prefix, cand) in table {
+            if own_set.contains(prefix) || cand.hops.is_empty() {
+                continue;
+            }
+            let source = if cand.inter_area {
+                RouteSource::OspfInterArea
+            } else {
+                RouteSource::Ospf
+            };
+            routes.push(RibEntry {
+                prefix: *prefix,
+                source,
+                distance: source.admin_distance(),
+                metric: cand.cost,
+                next_hops: cand.hops.clone(),
+            });
+        }
+        // E2 externals: constant metric 20, forwarding toward the nearest
+        // reachable ASBR.
+        let mut ext_best: HashMap<Prefix, (u32, BTreeSet<NextHop>)> = HashMap::new();
+        if let Some(reach) = asbr_costs.get(&r) {
+            for (&asbr, cand) in reach {
+                if asbr == r || cand.hops.is_empty() {
+                    continue;
+                }
+                for p in externals.get(&asbr).map(|v| v.as_slice()).unwrap_or(&[]) {
+                    if own_set.contains(p) {
+                        continue;
+                    }
+                    match ext_best.get_mut(p) {
+                        None => {
+                            ext_best.insert(*p, (cand.cost, cand.hops.clone()));
+                        }
+                        Some((bd, bh)) => {
+                            if cand.cost < *bd {
+                                *bd = cand.cost;
+                                *bh = cand.hops.clone();
+                            } else if cand.cost == *bd {
+                                bh.extend(cand.hops.iter().cloned());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (p, (_, next_hops)) in ext_best {
+            routes.push(RibEntry {
+                prefix: p,
+                source: RouteSource::OspfExternal,
+                distance: RouteSource::OspfExternal.admin_distance(),
+                metric: 20,
+                next_hops,
+            });
+        }
+        out.insert(r, routes);
+    }
+    out
+}
+
+/// A lightweight summary of the OSPF view for diagnostics (`show ip ospf`
+/// analog): areas, adjacency count, ABRs.
+pub fn ospf_overview(net: &Network, l2: &L2Domains) -> String {
+    let ifaces = ospf_interfaces(net);
+    let edges = ospf_adjacencies(&ifaces, l2);
+    let tables = AreaTables::build(&ifaces, &edges);
+    let mut s = String::new();
+    for area in &tables.areas {
+        s.push_str(&format!(
+            "area {}: {} routers, {} adjacencies\n",
+            area,
+            tables.participants[area].len(),
+            edges.iter().filter(|e| e.area == *area).count() / 2
+        ));
+    }
+    let abr_names: Vec<String> = tables
+        .abrs
+        .iter()
+        .map(|&i| net.device(i).name.clone())
+        .collect();
+    s.push_str(&format!("ABRs: {abr_names:?}\n"));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_netmodel::builder::NetBuilder;
+    use heimdall_netmodel::proto::OspfNetwork;
+
+    /// r1 - r2 - r3 chain plus a LAN on r3, all OSPF area 0.
+    fn chain() -> Network {
+        let mut b = NetBuilder::new();
+        b.router("r1").router("r2").router("r3");
+        b.connect("r1", "r2");
+        b.connect("r2", "r3");
+        b.lan("r3", "10.3.0.0/24".parse().unwrap(), &["h1"]);
+        b.enable_ospf_all(0);
+        b.build()
+    }
+
+    /// Multi-area: area 1 (r1, abr1) -- area 0 (abr1, core, abr2) -- area 2
+    /// (abr2, r2), with LANs at both leaves.
+    fn multi_area() -> Network {
+        let mut b = NetBuilder::new();
+        for r in ["r1", "abr1", "core", "abr2", "r2"] {
+            b.router(r);
+        }
+        let (_, _, _, _, s_r1_abr1) = b.connect("r1", "abr1");
+        b.connect("abr1", "core");
+        b.connect("core", "abr2");
+        let (_, _, _, _, s_abr2_r2) = b.connect("abr2", "r2");
+        b.lan("r1", "10.1.0.0/24".parse().unwrap(), &["h1"]);
+        b.lan("r2", "10.2.0.0/24".parse().unwrap(), &["h2"]);
+        b.enable_ospf_all(0);
+        // Re-area the leaf links and LANs.
+        for (dev, area) in [("r1", 1u32), ("abr1", 1), ("abr2", 2), ("r2", 2)] {
+            let d = b.device_mut(dev);
+            let ospf = d.config.ospf.as_mut().unwrap();
+            for n in &mut ospf.networks {
+                let in_leaf1 = n.prefix == s_r1_abr1 || n.prefix == "10.1.0.0/24".parse().unwrap();
+                let in_leaf2 = n.prefix == s_abr2_r2 || n.prefix == "10.2.0.0/24".parse().unwrap();
+                if (area == 1 && in_leaf1) || (area == 2 && in_leaf2) {
+                    n.area = area;
+                }
+            }
+            // Cover loopbacks/LANs not yet matched (builder order).
+            let _ = ospf;
+        }
+        b.build()
+    }
+
+    fn route_for(
+        routes: &HashMap<DeviceIdx, Vec<RibEntry>>,
+        r: DeviceIdx,
+        prefix: &str,
+    ) -> Option<RibEntry> {
+        let p: Prefix = prefix.parse().unwrap();
+        routes.get(&r)?.iter().find(|e| e.prefix == p).cloned()
+    }
+
+    #[test]
+    fn single_area_learning_still_works() {
+        let net = chain();
+        let l2 = L2Domains::compute(&net);
+        let routes = ospf_routes(&net, &l2);
+        let r1 = net.idx_of("r1");
+        let route = route_for(&routes, r1, "10.3.0.0/24").expect("learned");
+        assert_eq!(route.source, RouteSource::Ospf);
+    }
+
+    #[test]
+    fn inter_area_routes_cross_the_backbone() {
+        let net = multi_area();
+        let l2 = L2Domains::compute(&net);
+        let routes = ospf_routes(&net, &l2);
+        // r1 (area 1) learns r2's LAN (area 2) as inter-area.
+        let r1 = net.idx_of("r1");
+        let route = route_for(&routes, r1, "10.2.0.0/24")
+            .unwrap_or_else(|| panic!("r1 missing area-2 LAN: {:?}", routes.get(&r1)));
+        assert_eq!(route.source, RouteSource::OspfInterArea);
+        // core (pure backbone) also sees both leaf LANs, inter-area.
+        let core = net.idx_of("core");
+        let route = route_for(&routes, core, "10.1.0.0/24").expect("core learns leaf LAN");
+        assert_eq!(route.source, RouteSource::OspfInterArea);
+        // abr1 sees its own area intra.
+        let abr1 = net.idx_of("abr1");
+        let route = route_for(&routes, abr1, "10.1.0.0/24").expect("abr1 intra");
+        assert_eq!(route.source, RouteSource::Ospf);
+    }
+
+    #[test]
+    fn no_transit_through_nonzero_areas() {
+        // Disconnect the backbone between the two halves; area 1 and 2
+        // must stop learning each other even though a physical path would
+        // exist through... nothing else here, so just check loss.
+        let mut net = multi_area();
+        net.device_by_name_mut("core")
+            .unwrap()
+            .config
+            .interface_mut("Gi0/0")
+            .unwrap()
+            .enabled = false; // abr1-core link dies
+        let l2 = L2Domains::compute(&net);
+        let routes = ospf_routes(&net, &l2);
+        let r1 = net.idx_of("r1");
+        assert!(route_for(&routes, r1, "10.2.0.0/24").is_none());
+        // Intra-area still fine.
+        assert!(route_for(&routes, r1, "10.1.0.0/24").is_none(), "own LAN is connected, not OSPF");
+    }
+
+    #[test]
+    fn auth_mismatch_blocks_adjacency() {
+        let mut net = chain();
+        net.device_by_name_mut("r1")
+            .unwrap()
+            .config
+            .secrets
+            .ospf_auth_keys
+            .insert("Gi0/0".to_string(), "key-A".to_string());
+        // r2 has no key on its side -> mismatch -> no adjacency.
+        let l2 = L2Domains::compute(&net);
+        let routes = ospf_routes(&net, &l2);
+        let r1 = net.idx_of("r1");
+        assert!(route_for(&routes, r1, "10.3.0.0/24").is_none());
+        // Matching keys restore it.
+        net.device_by_name_mut("r2")
+            .unwrap()
+            .config
+            .secrets
+            .ospf_auth_keys
+            .insert("Gi0/0".to_string(), "key-A".to_string());
+        let l2 = L2Domains::compute(&net);
+        let routes = ospf_routes(&net, &l2);
+        assert!(route_for(&routes, r1, "10.3.0.0/24").is_some());
+    }
+
+    #[test]
+    fn sanitized_network_still_converges() {
+        // Stripping auth keys from *all* devices (what the twin sanitizer
+        // does) keeps adjacencies: None == None.
+        let g = heimdall_netmodel::gen::enterprise_network();
+        let mut sanitized = g.net.clone();
+        for (_, name) in g.net.devices().map(|(i, d)| (i, d.name.clone())).collect::<Vec<_>>() {
+            let d = sanitized.device_by_name_mut(&name).unwrap();
+            d.config = d.config.sanitized();
+        }
+        let l2 = L2Domains::compute(&sanitized);
+        let routes = ospf_routes(&sanitized, &l2);
+        let acc1 = sanitized.idx_of("acc1");
+        let p: Prefix = "10.2.1.0/24".parse().unwrap();
+        assert!(
+            routes[&acc1].iter().any(|r| r.prefix == p),
+            "sanitized twin must still route"
+        );
+    }
+
+    #[test]
+    fn passive_interface_blocks_adjacency() {
+        let mut net = chain();
+        let r2 = net.device_by_name_mut("r2").unwrap();
+        r2.config
+            .ospf
+            .as_mut()
+            .unwrap()
+            .passive_interfaces
+            .push("Gi0/1".to_string());
+        let l2 = L2Domains::compute(&net);
+        let routes = ospf_routes(&net, &l2);
+        let r1 = net.idx_of("r1");
+        assert!(route_for(&routes, r1, "10.3.0.0/24").is_none());
+    }
+
+    #[test]
+    fn area_mismatch_blocks_adjacency() {
+        let mut net = chain();
+        let r3 = net.device_by_name_mut("r3").unwrap();
+        let o = r3.config.ospf.as_mut().unwrap();
+        for n in &mut o.networks {
+            n.area = 1;
+        }
+        // r3 is area-1-only with no ABR: unreachable.
+        let l2 = L2Domains::compute(&net);
+        let routes = ospf_routes(&net, &l2);
+        let r1 = net.idx_of("r1");
+        assert!(route_for(&routes, r1, "10.3.0.0/24").is_none());
+    }
+
+    #[test]
+    fn ecmp_over_parallel_links() {
+        let mut b = NetBuilder::new();
+        b.router("r1").router("r2");
+        b.connect("r1", "r2");
+        b.connect("r1", "r2");
+        b.lan("r2", "10.9.0.0/24".parse().unwrap(), &["h1"]);
+        b.enable_ospf_all(0);
+        let net = b.build();
+        let l2 = L2Domains::compute(&net);
+        let routes = ospf_routes(&net, &l2);
+        let r1 = net.idx_of("r1");
+        let route = route_for(&routes, r1, "10.9.0.0/24").unwrap();
+        assert_eq!(route.next_hops.len(), 2);
+    }
+
+    #[test]
+    fn externals_flood_as_e2_across_areas() {
+        let mut net = multi_area();
+        {
+            let r1 = net.device_by_name_mut("r1").unwrap();
+            r1.config.static_routes.push(
+                heimdall_netmodel::proto::StaticRoute::default_via("10.255.9.1".parse().unwrap()),
+            );
+            r1.config.ospf.as_mut().unwrap().redistribute_static = true;
+        }
+        let l2 = L2Domains::compute(&net);
+        let routes = ospf_routes(&net, &l2);
+        // r2 sits two areas away from the ASBR; the default must arrive E2.
+        let r2 = net.idx_of("r2");
+        let def = routes[&r2]
+            .iter()
+            .find(|r| r.prefix.is_default())
+            .expect("default flooded across areas");
+        assert_eq!(def.source, RouteSource::OspfExternal);
+        assert_eq!(def.metric, 20);
+    }
+
+    #[test]
+    fn down_link_drops_routes() {
+        let mut net = chain();
+        net.device_by_name_mut("r2")
+            .unwrap()
+            .config
+            .interface_mut("Gi0/1")
+            .unwrap()
+            .enabled = false;
+        let l2 = L2Domains::compute(&net);
+        let routes = ospf_routes(&net, &l2);
+        let r1 = net.idx_of("r1");
+        assert!(route_for(&routes, r1, "10.3.0.0/24").is_none());
+    }
+
+    #[test]
+    fn abr_failover_uses_second_abr() {
+        // Two ABRs between area 1 and area 0: kill one, routes survive.
+        let mut b = NetBuilder::new();
+        for r in ["leaf", "abrA", "abrB", "core"] {
+            b.router(r);
+        }
+        let (_, _, _, _, s1) = b.connect("leaf", "abrA");
+        let (_, _, _, _, s2) = b.connect("leaf", "abrB");
+        b.connect("abrA", "core");
+        b.connect("abrB", "core");
+        b.lan("core", "10.8.0.0/24".parse().unwrap(), &["h1"]);
+        b.lan("leaf", "10.7.0.0/24".parse().unwrap(), &["h2"]);
+        b.enable_ospf_all(0);
+        for dev in ["leaf", "abrA", "abrB"] {
+            let d = b.device_mut(dev);
+            for n in &mut d.config.ospf.as_mut().unwrap().networks {
+                if n.prefix == s1 || n.prefix == s2 || n.prefix == "10.7.0.0/24".parse().unwrap() {
+                    n.area = 1;
+                }
+            }
+        }
+        let mut net = b.build();
+        let l2 = L2Domains::compute(&net);
+        let routes = ospf_routes(&net, &l2);
+        let leaf = net.idx_of("leaf");
+        let route = route_for(&routes, leaf, "10.8.0.0/24").expect("via ABRs");
+        assert_eq!(route.source, RouteSource::OspfInterArea);
+        assert_eq!(route.next_hops.len(), 2, "both ABRs are equal-cost");
+        // Kill abrA.
+        net.device_by_name_mut("abrA")
+            .unwrap()
+            .config
+            .interface_mut("Gi0/0")
+            .unwrap()
+            .enabled = false;
+        let l2 = L2Domains::compute(&net);
+        let routes = ospf_routes(&net, &l2);
+        let route = route_for(&routes, leaf, "10.8.0.0/24").expect("failover via abrB");
+        assert_eq!(route.next_hops.len(), 1);
+    }
+
+    #[test]
+    fn overview_lists_areas_and_abrs() {
+        let net = multi_area();
+        let l2 = L2Domains::compute(&net);
+        let text = ospf_overview(&net, &l2);
+        assert!(text.contains("area 0:"));
+        assert!(text.contains("area 1:"));
+        assert!(text.contains("area 2:"));
+        assert!(text.contains("abr1"));
+        assert!(text.contains("abr2"));
+    }
+
+    #[test]
+    fn interfaces_collected_with_costs() {
+        let net = chain();
+        let ifs = ospf_interfaces(&net);
+        assert_eq!(ifs.len(), 5);
+        assert!(ifs.iter().all(|i| i.area == 0 && i.auth_key.is_none()));
+    }
+
+    #[test]
+    fn remote_lan_metric_accumulates() {
+        let net = chain();
+        let l2 = L2Domains::compute(&net);
+        let routes = ospf_routes(&net, &l2);
+        let r1 = net.idx_of("r1");
+        let route = route_for(&routes, r1, "10.3.0.0/24").unwrap();
+        // Two 10-cost hops + LAN interface cost 10 (10 Mb/s defaults).
+        assert_eq!(route.metric, 30);
+        let _ = OspfNetwork {
+            prefix: "10.0.0.0/8".parse().unwrap(),
+            area: 0,
+        };
+    }
+}

@@ -1,0 +1,239 @@
+//! Routing information base: per-device best routes, arbitrated by
+//! administrative distance then metric, with ECMP next-hop sets.
+
+use heimdall_netmodel::ip::Prefix;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+/// Where a route came from, in IOS terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RouteSource {
+    Connected,
+    Static,
+    /// eBGP-learned.
+    Bgp,
+    /// OSPF intra-area.
+    Ospf,
+    /// OSPF inter-area (learned through an ABR summary).
+    OspfInterArea,
+    /// OSPF external (redistributed statics, E2).
+    OspfExternal,
+    /// iBGP-learned.
+    BgpInternal,
+}
+
+impl RouteSource {
+    /// The default administrative distance for this source.
+    pub fn admin_distance(&self) -> u8 {
+        match self {
+            RouteSource::Connected => 0,
+            RouteSource::Static => 1,
+            RouteSource::Bgp => 20,
+            RouteSource::Ospf | RouteSource::OspfInterArea | RouteSource::OspfExternal => 110,
+            RouteSource::BgpInternal => 200,
+        }
+    }
+
+    /// The `show ip route` code letter.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RouteSource::Connected => "C",
+            RouteSource::Static => "S",
+            RouteSource::Bgp | RouteSource::BgpInternal => "B",
+            RouteSource::Ospf => "O",
+            RouteSource::OspfInterArea => "O IA",
+            RouteSource::OspfExternal => "O E2",
+        }
+    }
+}
+
+/// One way to reach a prefix: out `iface`, optionally via a gateway (no
+/// gateway = directly connected, forward to the destination itself).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NextHop {
+    pub iface: String,
+    pub gateway: Option<Ipv4Addr>,
+}
+
+/// A RIB entry: the winning route for a prefix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RibEntry {
+    pub prefix: Prefix,
+    pub source: RouteSource,
+    pub distance: u8,
+    pub metric: u32,
+    /// ECMP set; deterministic order.
+    pub next_hops: BTreeSet<NextHop>,
+}
+
+/// A device's RIB. Insertion keeps, per prefix, the route with the lowest
+/// (distance, metric); equal-cost candidates from the same source merge
+/// their next hops (ECMP).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Rib {
+    entries: BTreeMap<Prefix, RibEntry>,
+}
+
+impl Rib {
+    /// An empty RIB.
+    pub fn new() -> Self {
+        Rib::default()
+    }
+
+    /// Offers a candidate route; keeps it if it beats (or ties) the
+    /// incumbent for its prefix.
+    pub fn offer(&mut self, candidate: RibEntry) {
+        match self.entries.get_mut(&candidate.prefix) {
+            None => {
+                self.entries.insert(candidate.prefix, candidate);
+            }
+            Some(cur) => {
+                let cand_key = (candidate.distance, candidate.metric);
+                let cur_key = (cur.distance, cur.metric);
+                if cand_key < cur_key {
+                    *cur = candidate;
+                } else if cand_key == cur_key && cur.source == candidate.source {
+                    cur.next_hops.extend(candidate.next_hops);
+                }
+            }
+        }
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, dst: Ipv4Addr) -> Option<&RibEntry> {
+        self.entries
+            .values()
+            .filter(|e| e.prefix.contains(dst))
+            .max_by_key(|e| e.prefix.len())
+    }
+
+    /// Exact-prefix lookup.
+    pub fn get(&self, prefix: &Prefix) -> Option<&RibEntry> {
+        self.entries.get(prefix)
+    }
+
+    /// All entries in prefix order.
+    pub fn entries(&self) -> impl Iterator<Item = &RibEntry> {
+        self.entries.values()
+    }
+
+    /// Number of routes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the RIB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders the RIB as `show ip route`-style text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in self.entries.values() {
+            for nh in &e.next_hops {
+                let via = match (nh.gateway, nh.iface.is_empty()) {
+                    (Some(g), true) => format!("via {g} (recursive)"),
+                    (Some(g), false) => format!("via {g}, {}", nh.iface),
+                    (None, _) => format!("directly connected, {}", nh.iface),
+                };
+                out.push_str(&format!(
+                    "{:<6} {:<20} [{}/{}] {via}\n",
+                    e.source.code(),
+                    e.prefix.to_string(),
+                    e.distance,
+                    e.metric
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(p: &str, src: RouteSource, metric: u32, gw: Option<&str>) -> RibEntry {
+        RibEntry {
+            prefix: p.parse().unwrap(),
+            source: src,
+            distance: src.admin_distance(),
+            metric,
+            next_hops: BTreeSet::from([NextHop {
+                iface: "Gi0/0".to_string(),
+                gateway: gw.map(|g| g.parse().unwrap()),
+            }]),
+        }
+    }
+
+    #[test]
+    fn lower_distance_wins() {
+        let mut rib = Rib::new();
+        rib.offer(entry("10.0.0.0/24", RouteSource::Ospf, 20, Some("1.1.1.1")));
+        rib.offer(entry("10.0.0.0/24", RouteSource::Static, 0, Some("2.2.2.2")));
+        let e = rib.get(&"10.0.0.0/24".parse().unwrap()).unwrap();
+        assert_eq!(e.source, RouteSource::Static);
+    }
+
+    #[test]
+    fn lower_metric_wins_within_source() {
+        let mut rib = Rib::new();
+        rib.offer(entry("10.0.0.0/24", RouteSource::Ospf, 30, Some("1.1.1.1")));
+        rib.offer(entry("10.0.0.0/24", RouteSource::Ospf, 10, Some("2.2.2.2")));
+        let e = rib.get(&"10.0.0.0/24".parse().unwrap()).unwrap();
+        assert_eq!(e.metric, 10);
+        assert_eq!(e.next_hops.len(), 1);
+    }
+
+    #[test]
+    fn equal_cost_merges_ecmp() {
+        let mut rib = Rib::new();
+        rib.offer(entry("10.0.0.0/24", RouteSource::Ospf, 10, Some("1.1.1.1")));
+        rib.offer(entry("10.0.0.0/24", RouteSource::Ospf, 10, Some("2.2.2.2")));
+        let e = rib.get(&"10.0.0.0/24".parse().unwrap()).unwrap();
+        assert_eq!(e.next_hops.len(), 2);
+    }
+
+    #[test]
+    fn longest_prefix_match() {
+        let mut rib = Rib::new();
+        rib.offer(entry("0.0.0.0/0", RouteSource::Static, 0, Some("9.9.9.9")));
+        rib.offer(entry("10.0.0.0/8", RouteSource::Ospf, 5, Some("1.1.1.1")));
+        rib.offer(entry("10.0.1.0/24", RouteSource::Connected, 0, None));
+        let hit = rib.lookup("10.0.1.77".parse().unwrap()).unwrap();
+        assert_eq!(hit.prefix.to_string(), "10.0.1.0/24");
+        let hit = rib.lookup("10.9.9.9".parse().unwrap()).unwrap();
+        assert_eq!(hit.prefix.to_string(), "10.0.0.0/8");
+        let hit = rib.lookup("8.8.8.8".parse().unwrap()).unwrap();
+        assert!(hit.prefix.is_default());
+    }
+
+    #[test]
+    fn lookup_empty_rib_is_none() {
+        assert!(Rib::new().lookup("1.2.3.4".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn render_shows_codes() {
+        let mut rib = Rib::new();
+        rib.offer(entry("10.0.1.0/24", RouteSource::Connected, 0, None));
+        rib.offer(entry("0.0.0.0/0", RouteSource::Static, 0, Some("9.9.9.9")));
+        let text = rib.render();
+        assert!(text.contains("C      10.0.1.0/24"));
+        assert!(text.contains("S      0.0.0.0/0"));
+        assert!(text.contains("via 9.9.9.9"));
+        assert!(text.contains("directly connected"));
+    }
+
+    #[test]
+    fn distances_match_ios() {
+        assert_eq!(RouteSource::Connected.admin_distance(), 0);
+        assert_eq!(RouteSource::Static.admin_distance(), 1);
+        assert_eq!(RouteSource::Bgp.admin_distance(), 20);
+        assert_eq!(RouteSource::Ospf.admin_distance(), 110);
+        assert_eq!(RouteSource::OspfExternal.admin_distance(), 110);
+        assert_eq!(RouteSource::BgpInternal.admin_distance(), 200);
+    }
+}

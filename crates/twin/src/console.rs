@@ -1,0 +1,692 @@
+//! The per-node console: the command language technicians speak to the
+//! presentation layer.
+//!
+//! Commands are single-line, IOS-flavored (config-mode nesting is flattened
+//! into `interface <IF> <subcommand>` one-liners so that every line is an
+//! independently mediable action — exactly what the reference monitor
+//! needs). Each command classifies itself as a privilege request
+//! `(Action, Resource)` via [`Command::classify`].
+
+use heimdall_netmodel::acl::AclEntry;
+use heimdall_netmodel::diff::AclDirection;
+use heimdall_netmodel::ip::{netmask_to_len, parse_ip, Prefix};
+use heimdall_netmodel::parser::parse_acl_entry;
+use heimdall_netmodel::proto::{NextHop, StaticRoute};
+use heimdall_netmodel::vlan::SwitchPortMode;
+use heimdall_privilege::model::{Action, Resource};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A parsed console command.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Command {
+    // --- read-only -----------------------------------------------------
+    ShowRunning,
+    ShowIpRoute,
+    ShowIpOspf,
+    ShowInterfaces,
+    ShowAccessLists,
+    ShowVlan,
+    Ping { dst: Ipv4Addr },
+    Traceroute { dst: Ipv4Addr },
+    // --- interface edits -------------------------------------------------
+    IfState { iface: String, up: bool },
+    IfAddress {
+        iface: String,
+        address: Option<(Ipv4Addr, u8)>,
+    },
+    IfSwitchportAccess { iface: String, vlan: u16 },
+    IfAclBind {
+        iface: String,
+        direction: AclDirection,
+        acl: Option<String>,
+    },
+    IfOspfCost { iface: String, cost: Option<u32> },
+    // --- ACL edits ---------------------------------------------------------
+    AclAppend { name: String, entry: AclEntry },
+    AclInsertLine {
+        name: String,
+        line: usize,
+        entry: AclEntry,
+    },
+    AclRemoveLine { name: String, line: usize },
+    AclDelete { name: String },
+    // --- routing edits -------------------------------------------------------
+    RouteAdd(StaticRoute),
+    RouteDel { prefix: Prefix, gateway: Ipv4Addr },
+    OspfNetwork {
+        prefix: Prefix,
+        area: u32,
+        remove: bool,
+    },
+    // --- destructive / credential (exist to be denied) ---------------------
+    Reload,
+    WriteErase,
+    SetEnableSecret { secret: String },
+}
+
+/// A console parse or execution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommandError {
+    Parse(String),
+    /// The command referenced an object the device does not have.
+    NoSuchObject(String),
+}
+
+impl fmt::Display for CommandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommandError::Parse(m) => write!(f, "% Invalid input: {m}"),
+            CommandError::NoSuchObject(m) => write!(f, "% No such object: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CommandError {}
+
+impl Command {
+    /// Parses one console line.
+    pub fn parse(line: &str) -> Result<Command, CommandError> {
+        let err = |m: &str| CommandError::Parse(format!("{m}: {line:?}"));
+        let t: Vec<&str> = line.split_whitespace().collect();
+        match t.as_slice() {
+            ["show", "running-config"] | ["show", "run"] => Ok(Command::ShowRunning),
+            ["show", "ip", "route"] => Ok(Command::ShowIpRoute),
+            ["show", "ip", "ospf"] => Ok(Command::ShowIpOspf),
+            ["show", "interfaces"] | ["show", "ip", "interface", "brief"] => {
+                Ok(Command::ShowInterfaces)
+            }
+            ["show", "access-lists"] => Ok(Command::ShowAccessLists),
+            ["show", "vlan"] => Ok(Command::ShowVlan),
+            ["ping", dst] => Ok(Command::Ping {
+                dst: parse_ip(dst).map_err(|e| err(&e.to_string()))?,
+            }),
+            ["traceroute", dst] => Ok(Command::Traceroute {
+                dst: parse_ip(dst).map_err(|e| err(&e.to_string()))?,
+            }),
+            ["interface", iface, "shutdown"] => Ok(Command::IfState {
+                iface: iface.to_string(),
+                up: false,
+            }),
+            ["interface", iface, "no", "shutdown"] => Ok(Command::IfState {
+                iface: iface.to_string(),
+                up: true,
+            }),
+            ["interface", iface, "ip", "address", a, m] => {
+                let ip = parse_ip(a).map_err(|e| err(&e.to_string()))?;
+                let mask = parse_ip(m).map_err(|e| err(&e.to_string()))?;
+                let len = netmask_to_len(mask).map_err(|e| err(&e.to_string()))?;
+                Ok(Command::IfAddress {
+                    iface: iface.to_string(),
+                    address: Some((ip, len)),
+                })
+            }
+            ["interface", iface, "no", "ip", "address"] => Ok(Command::IfAddress {
+                iface: iface.to_string(),
+                address: None,
+            }),
+            ["interface", iface, "switchport", "access", "vlan", v] => {
+                Ok(Command::IfSwitchportAccess {
+                    iface: iface.to_string(),
+                    vlan: v.parse().map_err(|_| err("bad vlan"))?,
+                })
+            }
+            ["interface", iface, "ip", "access-group", acl, dir] => Ok(Command::IfAclBind {
+                iface: iface.to_string(),
+                direction: parse_dir(dir).ok_or_else(|| err("bad direction"))?,
+                acl: Some(acl.to_string()),
+            }),
+            ["interface", iface, "no", "ip", "access-group", dir] => Ok(Command::IfAclBind {
+                iface: iface.to_string(),
+                direction: parse_dir(dir).ok_or_else(|| err("bad direction"))?,
+                acl: None,
+            }),
+            ["interface", iface, "ip", "ospf", "cost", c] => Ok(Command::IfOspfCost {
+                iface: iface.to_string(),
+                cost: Some(c.parse().map_err(|_| err("bad cost"))?),
+            }),
+            ["interface", iface, "no", "ip", "ospf", "cost"] => Ok(Command::IfOspfCost {
+                iface: iface.to_string(),
+                cost: None,
+            }),
+            ["access-list", name, "line", n, rest @ ..] => Ok(Command::AclInsertLine {
+                name: name.to_string(),
+                line: n.parse().map_err(|_| err("bad line number"))?,
+                entry: parse_acl_entry(rest).map_err(|e| err(&e))?,
+            }),
+            ["no", "access-list", name, "line", n] => Ok(Command::AclRemoveLine {
+                name: name.to_string(),
+                line: n.parse().map_err(|_| err("bad line number"))?,
+            }),
+            ["no", "access-list", name] => Ok(Command::AclDelete {
+                name: name.to_string(),
+            }),
+            ["access-list", name, rest @ ..] if !rest.is_empty() => Ok(Command::AclAppend {
+                name: name.to_string(),
+                entry: parse_acl_entry(rest).map_err(|e| err(&e))?,
+            }),
+            ["ip", "route", a, m, nh] => {
+                let prefix = prefix_of(a, m).map_err(|e| err(&e))?;
+                let gw = parse_ip(nh).map_err(|e| err(&e.to_string()))?;
+                Ok(Command::RouteAdd(StaticRoute::new(prefix, gw)))
+            }
+            ["no", "ip", "route", a, m, nh] => {
+                let prefix = prefix_of(a, m).map_err(|e| err(&e))?;
+                let gw = parse_ip(nh).map_err(|e| err(&e.to_string()))?;
+                Ok(Command::RouteDel {
+                    prefix,
+                    gateway: gw,
+                })
+            }
+            ["router", "ospf", "network", a, wild, "area", area] => {
+                let addr = parse_ip(a).map_err(|e| err(&e.to_string()))?;
+                let len = heimdall_netmodel::ip::wildcard_to_len(
+                    parse_ip(wild).map_err(|e| err(&e.to_string()))?,
+                )
+                .map_err(|e| err(&e.to_string()))?;
+                Ok(Command::OspfNetwork {
+                    prefix: Prefix::new(addr, len).map_err(|e| err(&e.to_string()))?,
+                    area: area.parse().map_err(|_| err("bad area"))?,
+                    remove: false,
+                })
+            }
+            ["router", "ospf", "no", "network", a, wild, "area", area] => {
+                let addr = parse_ip(a).map_err(|e| err(&e.to_string()))?;
+                let len = heimdall_netmodel::ip::wildcard_to_len(
+                    parse_ip(wild).map_err(|e| err(&e.to_string()))?,
+                )
+                .map_err(|e| err(&e.to_string()))?;
+                Ok(Command::OspfNetwork {
+                    prefix: Prefix::new(addr, len).map_err(|e| err(&e.to_string()))?,
+                    area: area.parse().map_err(|_| err("bad area"))?,
+                    remove: true,
+                })
+            }
+            ["reload"] => Ok(Command::Reload),
+            ["write", "erase"] => Ok(Command::WriteErase),
+            ["enable", "secret", s] => Ok(Command::SetEnableSecret {
+                secret: s.to_string(),
+            }),
+            _ => Err(err("unrecognized command")),
+        }
+    }
+
+    /// The privilege request this command makes on `device`.
+    pub fn classify(&self, device: &str) -> (Action, Resource) {
+        let dev = || Resource::Device(device.to_string());
+        let ifr = |i: &str| Resource::Interface {
+            device: device.to_string(),
+            iface: i.to_string(),
+        };
+        let aclr = |n: &str| Resource::Acl {
+            device: device.to_string(),
+            name: n.to_string(),
+        };
+        match self {
+            Command::ShowRunning
+            | Command::ShowIpRoute
+            | Command::ShowIpOspf
+            | Command::ShowInterfaces
+            | Command::ShowAccessLists
+            | Command::ShowVlan => (Action::View, dev()),
+            Command::Ping { .. } | Command::Traceroute { .. } => (Action::Ping, dev()),
+            Command::IfState { iface, .. } => (Action::ModifyInterfaceState, ifr(iface)),
+            Command::IfAddress { iface, .. } => (Action::ModifyIpAddress, ifr(iface)),
+            Command::IfSwitchportAccess { iface, .. } => (Action::ModifyVlan, ifr(iface)),
+            Command::IfAclBind { acl, .. } => (
+                Action::ModifyAcl,
+                aclr(acl.as_deref().unwrap_or("*")),
+            ),
+            Command::IfOspfCost { .. } => (Action::ModifyOspf, dev()),
+            Command::AclAppend { name, .. }
+            | Command::AclInsertLine { name, .. }
+            | Command::AclRemoveLine { name, .. }
+            | Command::AclDelete { name } => (Action::ModifyAcl, aclr(name)),
+            Command::RouteAdd(_) | Command::RouteDel { .. } => (Action::ModifyRoute, dev()),
+            Command::OspfNetwork { .. } => (Action::ModifyOspf, dev()),
+            Command::Reload => (Action::Reboot, dev()),
+            Command::WriteErase => (Action::Erase, dev()),
+            Command::SetEnableSecret { .. } => (Action::ModifyCredentials, dev()),
+        }
+    }
+
+    /// Whether this command mutates configuration.
+    pub fn is_mutating(&self) -> bool {
+        self.classify("_").0.is_mutating()
+    }
+}
+
+fn parse_dir(s: &str) -> Option<AclDirection> {
+    match s {
+        "in" => Some(AclDirection::In),
+        "out" => Some(AclDirection::Out),
+        _ => None,
+    }
+}
+
+fn prefix_of(a: &str, m: &str) -> Result<Prefix, String> {
+    let addr = parse_ip(a).map_err(|e| e.to_string())?;
+    let mask = parse_ip(m).map_err(|e| e.to_string())?;
+    Prefix::with_netmask(addr, mask).map_err(|e| e.to_string())
+}
+
+/// Executes a command against `device` inside the emulation and renders its
+/// output. Mutating commands go through `emu.network_mut()` (invalidating
+/// convergence); read-only ones converge first.
+pub fn execute(
+    emu: &mut crate::emu::EmulatedNetwork,
+    device: &str,
+    cmd: &Command,
+) -> Result<String, CommandError> {
+    let no_dev = || CommandError::NoSuchObject(format!("device {device}"));
+    match cmd {
+        Command::ShowRunning => {
+            let d = emu.network().device_by_name(device).ok_or_else(no_dev)?;
+            Ok(heimdall_netmodel::printer::print_config(&d.config))
+        }
+        Command::ShowIpRoute => {
+            let idx = emu.network().idx(device).map_err(|_| no_dev())?;
+            let cp = emu.control_plane();
+            Ok(cp.rib(idx).render())
+        }
+        Command::ShowIpOspf => {
+            emu.network().idx(device).map_err(|_| no_dev())?;
+            let cp = emu.control_plane();
+            let l2 = cp.l2.clone();
+            Ok(heimdall_routing::ospf::ospf_overview(emu.network(), &l2))
+        }
+        Command::ShowInterfaces => {
+            let d = emu.network().device_by_name(device).ok_or_else(no_dev)?;
+            let mut out = String::new();
+            for i in &d.config.interfaces {
+                let addr = i
+                    .address
+                    .map(|a| format!("{}/{}", a.ip, a.prefix_len))
+                    .unwrap_or_else(|| "unassigned".to_string());
+                let state = if i.is_up() { "up" } else { "administratively down" };
+                out.push_str(&format!("{:<12} {:<20} {state}\n", i.name, addr));
+            }
+            Ok(out)
+        }
+        Command::ShowAccessLists => {
+            let d = emu.network().device_by_name(device).ok_or_else(no_dev)?;
+            let mut out = String::new();
+            for acl in d.config.acls.values() {
+                out.push_str(&heimdall_netmodel::printer::acl_to_string(acl));
+            }
+            Ok(out)
+        }
+        Command::ShowVlan => {
+            let d = emu.network().device_by_name(device).ok_or_else(no_dev)?;
+            let mut out = String::new();
+            for v in d.config.vlans.values() {
+                out.push_str(&format!(
+                    "{:<6} {}\n",
+                    v.id,
+                    v.name.as_deref().unwrap_or("-")
+                ));
+            }
+            for i in &d.config.interfaces {
+                if let Some(SwitchPortMode::Access { vlan }) = &i.switchport {
+                    out.push_str(&format!("{:<12} access vlan {vlan}\n", i.name));
+                }
+            }
+            Ok(out)
+        }
+        Command::Ping { dst } => {
+            let src = emu
+                .network()
+                .device_by_name(device)
+                .ok_or_else(no_dev)?
+                .primary_address()
+                .ok_or_else(|| CommandError::NoSuchObject("no source address".to_string()))?;
+            let flow = heimdall_dataplane::Flow::icmp(src, *dst);
+            let trace = emu.trace_from(device, &flow).ok_or_else(no_dev)?;
+            if trace.disposition.is_success() {
+                Ok(format!("!!!!! success: {}", trace.disposition))
+            } else {
+                Ok(format!("..... failed: {}", trace.disposition))
+            }
+        }
+        Command::Traceroute { dst } => {
+            let src = emu
+                .network()
+                .device_by_name(device)
+                .ok_or_else(no_dev)?
+                .primary_address()
+                .ok_or_else(|| CommandError::NoSuchObject("no source address".to_string()))?;
+            let flow = heimdall_dataplane::Flow::icmp(src, *dst);
+            let trace = emu.trace_from(device, &flow).ok_or_else(no_dev)?;
+            Ok(trace.to_string())
+        }
+        Command::IfState { iface, up } => {
+            let d = emu
+                .network_mut()
+                .device_by_name_mut(device)
+                .ok_or_else(no_dev)?;
+            let i = d
+                .config
+                .interface_mut(iface)
+                .ok_or_else(|| CommandError::NoSuchObject(format!("interface {iface}")))?;
+            i.enabled = *up;
+            Ok(String::new())
+        }
+        Command::IfAddress { iface, address } => {
+            let d = emu
+                .network_mut()
+                .device_by_name_mut(device)
+                .ok_or_else(no_dev)?;
+            let i = d
+                .config
+                .interface_mut(iface)
+                .ok_or_else(|| CommandError::NoSuchObject(format!("interface {iface}")))?;
+            i.address =
+                address.map(|(ip, len)| heimdall_netmodel::iface::InterfaceAddress::new(ip, len));
+            Ok(String::new())
+        }
+        Command::IfSwitchportAccess { iface, vlan } => {
+            let d = emu
+                .network_mut()
+                .device_by_name_mut(device)
+                .ok_or_else(no_dev)?;
+            let i = d
+                .config
+                .interface_mut(iface)
+                .ok_or_else(|| CommandError::NoSuchObject(format!("interface {iface}")))?;
+            i.switchport = Some(SwitchPortMode::Access { vlan: *vlan });
+            Ok(String::new())
+        }
+        Command::IfAclBind {
+            iface,
+            direction,
+            acl,
+        } => {
+            let d = emu
+                .network_mut()
+                .device_by_name_mut(device)
+                .ok_or_else(no_dev)?;
+            let i = d
+                .config
+                .interface_mut(iface)
+                .ok_or_else(|| CommandError::NoSuchObject(format!("interface {iface}")))?;
+            match direction {
+                AclDirection::In => i.acl_in = acl.clone(),
+                AclDirection::Out => i.acl_out = acl.clone(),
+            }
+            Ok(String::new())
+        }
+        Command::IfOspfCost { iface, cost } => {
+            let d = emu
+                .network_mut()
+                .device_by_name_mut(device)
+                .ok_or_else(no_dev)?;
+            let i = d
+                .config
+                .interface_mut(iface)
+                .ok_or_else(|| CommandError::NoSuchObject(format!("interface {iface}")))?;
+            i.ospf_cost = *cost;
+            Ok(String::new())
+        }
+        Command::AclAppend { name, entry } => {
+            let d = emu
+                .network_mut()
+                .device_by_name_mut(device)
+                .ok_or_else(no_dev)?;
+            d.config
+                .acls
+                .entry(name.clone())
+                .or_insert_with(|| heimdall_netmodel::acl::Acl::new(name.clone()))
+                .entries
+                .push(entry.clone());
+            Ok(String::new())
+        }
+        Command::AclInsertLine { name, line, entry } => {
+            let d = emu
+                .network_mut()
+                .device_by_name_mut(device)
+                .ok_or_else(no_dev)?;
+            let acl = d
+                .config
+                .acls
+                .get_mut(name)
+                .ok_or_else(|| CommandError::NoSuchObject(format!("acl {name}")))?;
+            let pos = (line.saturating_sub(1)).min(acl.entries.len());
+            acl.entries.insert(pos, entry.clone());
+            Ok(String::new())
+        }
+        Command::AclRemoveLine { name, line } => {
+            let d = emu
+                .network_mut()
+                .device_by_name_mut(device)
+                .ok_or_else(no_dev)?;
+            let acl = d
+                .config
+                .acls
+                .get_mut(name)
+                .ok_or_else(|| CommandError::NoSuchObject(format!("acl {name}")))?;
+            if *line == 0 || *line > acl.entries.len() {
+                return Err(CommandError::NoSuchObject(format!("acl {name} line {line}")));
+            }
+            acl.entries.remove(line - 1);
+            Ok(String::new())
+        }
+        Command::AclDelete { name } => {
+            let d = emu
+                .network_mut()
+                .device_by_name_mut(device)
+                .ok_or_else(no_dev)?;
+            d.config
+                .acls
+                .remove(name)
+                .ok_or_else(|| CommandError::NoSuchObject(format!("acl {name}")))?;
+            Ok(String::new())
+        }
+        Command::RouteAdd(route) => {
+            let d = emu
+                .network_mut()
+                .device_by_name_mut(device)
+                .ok_or_else(no_dev)?;
+            d.config.static_routes.push(*route);
+            Ok(String::new())
+        }
+        Command::RouteDel { prefix, gateway } => {
+            let d = emu
+                .network_mut()
+                .device_by_name_mut(device)
+                .ok_or_else(no_dev)?;
+            let before = d.config.static_routes.len();
+            d.config
+                .static_routes
+                .retain(|r| !(r.prefix == *prefix && r.next_hop == NextHop::Ip(*gateway)));
+            if d.config.static_routes.len() == before {
+                return Err(CommandError::NoSuchObject(format!("route {prefix}")));
+            }
+            Ok(String::new())
+        }
+        Command::OspfNetwork {
+            prefix,
+            area,
+            remove,
+        } => {
+            let d = emu
+                .network_mut()
+                .device_by_name_mut(device)
+                .ok_or_else(no_dev)?;
+            let ospf = d
+                .config
+                .ospf
+                .as_mut()
+                .ok_or_else(|| CommandError::NoSuchObject("router ospf".to_string()))?;
+            if *remove {
+                let before = ospf.networks.len();
+                ospf.networks
+                    .retain(|n| !(n.prefix == *prefix && n.area == *area));
+                if ospf.networks.len() == before {
+                    return Err(CommandError::NoSuchObject(format!("network {prefix}")));
+                }
+            } else {
+                ospf.networks.push(heimdall_netmodel::proto::OspfNetwork {
+                    prefix: *prefix,
+                    area: *area,
+                });
+            }
+            Ok(String::new())
+        }
+        Command::Reload => {
+            // Emulated reload: drop converged state (configs persist).
+            emu.network_mut();
+            Ok("Reload requested. System restarted.".to_string())
+        }
+        Command::WriteErase => {
+            let d = emu
+                .network_mut()
+                .device_by_name_mut(device)
+                .ok_or_else(no_dev)?;
+            // The Figure 3 catastrophe: the startup configuration is gone.
+            d.config = heimdall_netmodel::config::DeviceConfig::new(d.name.clone());
+            Ok("Erasing the nvram filesystem... [OK]".to_string())
+        }
+        Command::SetEnableSecret { secret } => {
+            let d = emu
+                .network_mut()
+                .device_by_name_mut(device)
+                .ok_or_else(no_dev)?;
+            d.config.secrets.enable_secret = Some(secret.clone());
+            Ok(String::new())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emu::EmulatedNetwork;
+    use heimdall_netmodel::gen::enterprise_network;
+
+    #[test]
+    fn parses_representative_commands() {
+        for (line, mutating) in [
+            ("show running-config", false),
+            ("show ip route", false),
+            ("ping 10.2.1.10", false),
+            ("traceroute 10.2.1.10", false),
+            ("interface Gi0/2 shutdown", true),
+            ("interface Gi0/2 no shutdown", true),
+            ("interface Gi0/9 ip address 203.0.113.2 255.255.255.252", true),
+            ("interface Gi0/2 switchport access vlan 30", true),
+            ("access-list 100 permit ip 10.1.2.0 0.0.0.255 10.2.1.0 0.0.0.255", true),
+            ("no access-list 100 line 2", true),
+            ("ip route 0.0.0.0 0.0.0.0 203.0.113.1", true),
+            ("router ospf network 10.255.0.12 0.0.0.3 area 0", true),
+            ("write erase", true),
+            ("reload", true),
+        ] {
+            let cmd = Command::parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(cmd.is_mutating(), mutating, "{line}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Command::parse("sudo rm -rf /").is_err());
+        assert!(Command::parse("ping not-an-ip").is_err());
+        assert!(Command::parse("").is_err());
+    }
+
+    #[test]
+    fn classification_targets_the_right_resource() {
+        let (a, r) = Command::parse("interface Gi0/2 shutdown")
+            .unwrap()
+            .classify("acc3");
+        assert_eq!(a, Action::ModifyInterfaceState);
+        assert_eq!(
+            r,
+            Resource::Interface {
+                device: "acc3".into(),
+                iface: "Gi0/2".into()
+            }
+        );
+        let (a, r) = Command::parse("no access-list 100 line 1")
+            .unwrap()
+            .classify("fw1");
+        assert_eq!(a, Action::ModifyAcl);
+        assert_eq!(
+            r,
+            Resource::Acl {
+                device: "fw1".into(),
+                name: "100".into()
+            }
+        );
+    }
+
+    #[test]
+    fn ping_and_fix_workflow_executes() {
+        let g = enterprise_network();
+        let mut emu = EmulatedNetwork::new(g.net);
+        // Break LAN2 -> DMZ by removing fw1's permit, then verify via ping,
+        // then fix by reinserting.
+        let out = execute(&mut emu, "h4", &Command::parse("ping 10.2.1.10").unwrap()).unwrap();
+        assert!(out.starts_with("!!!!!"), "{out}");
+        // Insert a blanket deny ahead of everything (breaks even ICMP).
+        execute(
+            &mut emu,
+            "fw1",
+            &Command::parse("access-list 100 line 1 deny ip 10.1.2.0 0.0.0.255 10.2.1.0 0.0.0.255")
+                .unwrap(),
+        )
+        .unwrap();
+        let out = execute(&mut emu, "h4", &Command::parse("ping 10.2.1.10").unwrap()).unwrap();
+        assert!(out.starts_with("....."), "{out}");
+        execute(&mut emu, "fw1", &Command::parse("no access-list 100 line 1").unwrap()).unwrap();
+        let out = execute(&mut emu, "h4", &Command::parse("ping 10.2.1.10").unwrap()).unwrap();
+        assert!(out.starts_with("!!!!!"), "{out}");
+    }
+
+    #[test]
+    fn show_ip_ospf_overview() {
+        let g = enterprise_network();
+        let mut emu = EmulatedNetwork::new(g.net);
+        let out = execute(&mut emu, "core1", &Command::parse("show ip ospf").unwrap()).unwrap();
+        assert!(out.contains("area 0:"), "{out}");
+        assert!(out.contains("adjacencies"), "{out}");
+    }
+
+    #[test]
+    fn show_outputs_render() {
+        let g = enterprise_network();
+        let mut emu = EmulatedNetwork::new(g.net);
+        let run = execute(&mut emu, "fw1", &Command::ShowRunning).unwrap();
+        assert!(run.contains("hostname fw1"));
+        let routes = execute(&mut emu, "acc1", &Command::ShowIpRoute).unwrap();
+        assert!(routes.contains("O "), "{routes}");
+        let ifaces = execute(&mut emu, "acc3", &Command::ShowInterfaces).unwrap();
+        assert!(ifaces.contains("Vlan30"));
+        let vlans = execute(&mut emu, "acc3", &Command::ShowVlan).unwrap();
+        assert!(vlans.contains("access vlan 30"));
+        let acls = execute(&mut emu, "fw1", &Command::ShowAccessLists).unwrap();
+        assert!(acls.contains("permit ip 10.1.1.0 0.0.0.255"));
+    }
+
+    #[test]
+    fn errors_name_missing_objects() {
+        let g = enterprise_network();
+        let mut emu = EmulatedNetwork::new(g.net);
+        let e = execute(&mut emu, "fw1", &Command::parse("interface Nope0 shutdown").unwrap());
+        assert!(matches!(e, Err(CommandError::NoSuchObject(_))));
+        let e = execute(&mut emu, "nodev", &Command::ShowRunning);
+        assert!(matches!(e, Err(CommandError::NoSuchObject(_))));
+        let e = execute(&mut emu, "fw1", &Command::parse("no access-list 100 line 99").unwrap());
+        assert!(matches!(e, Err(CommandError::NoSuchObject(_))));
+    }
+
+    #[test]
+    fn write_erase_wipes_config() {
+        let g = enterprise_network();
+        let mut emu = EmulatedNetwork::new(g.net);
+        execute(&mut emu, "core1", &Command::WriteErase).unwrap();
+        let d = emu.network().device_by_name("core1").unwrap();
+        assert!(d.config.interfaces.is_empty());
+        assert!(d.config.ospf.is_none());
+    }
+}

@@ -1,0 +1,56 @@
+//! # heimdall-twin
+//!
+//! The twin network — the paper's second component: "an emulated network
+//! environment that mimics the production network but is isolated to
+//! restrict malicious behavior, for the technician to resolve problems."
+//!
+//! Figure 5(d)'s decomposition maps directly onto this crate's modules:
+//!
+//! - [`slice`](mod@slice) — *task-driven minimization*: only the devices relevant to
+//!   the ticket are cloned, and their configs are scrubbed of secrets
+//!   before entering the emulation layer;
+//! - [`emu`] — the *emulation layer*: an in-process network simulator
+//!   (configs + control plane + data plane) the technician's commands act
+//!   on;
+//! - [`console`] — the *presentation layer*'s per-node consoles: an
+//!   IOS-flavored command language (`show`, `ping`, single-line config
+//!   edits) rendered as text;
+//! - [`presentation`] — the topology view the technician is shown;
+//! - [`monitor`] — the *reference monitor* "mediating each request sent
+//!   from the presentation layer to the emulation layer and ensuring that
+//!   the Privilege_msp is not violated";
+//! - [`session`] — a technician session tying it together and emitting the
+//!   final [`heimdall_netmodel::diff::ConfigDiff`] for the policy enforcer.
+//!
+//! ```
+//! use heimdall_privilege::derive::{derive_privileges, Task};
+//! use heimdall_twin::session::TwinSession;
+//! use heimdall_twin::slice::slice_for_task;
+//!
+//! let g = heimdall_netmodel::gen::enterprise_network();
+//! let task = Task::connectivity("h4", "srv1");
+//!
+//! let twin = slice_for_task(&g.net, &task);       // minimal, sanitized
+//! let spec = derive_privileges(&g.net, &task);    // least privilege
+//! let mut session = TwinSession::open("alice", twin, spec);
+//!
+//! // In-scope commands run; out-of-scope ones are denied and audited.
+//! assert!(session.exec("h4", "ping 10.2.1.10").unwrap().contains("success"));
+//! assert!(session.exec("fw1", "write erase").is_err());
+//! let (changes, monitor) = session.finish();
+//! assert!(changes.is_empty());
+//! assert_eq!(monitor.denials().len(), 1);
+//! ```
+
+pub mod console;
+pub mod emu;
+pub mod monitor;
+pub mod presentation;
+pub mod session;
+pub mod slice;
+
+pub use console::{Command, CommandError};
+pub use emu::EmulatedNetwork;
+pub use monitor::{MediationEvent, ReferenceMonitor};
+pub use session::{SessionError, TwinSession};
+pub use slice::{slice_for_task, TwinSpec};

@@ -1,0 +1,148 @@
+//! The reference monitor: every presentation-layer request is classified,
+//! checked against the `Privilege_msp`, recorded, and only then forwarded
+//! to the emulation layer.
+
+use crate::console::Command;
+use heimdall_privilege::eval::{evaluate, Decision};
+use heimdall_privilege::model::{Action, PrivilegeMsp, Resource};
+use serde::{Deserialize, Serialize};
+
+/// One mediated request, as recorded for the audit trail.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MediationEvent {
+    /// Monotonic sequence number within the session.
+    pub seq: u64,
+    pub technician: String,
+    pub device: String,
+    /// The raw command line as typed.
+    pub command: String,
+    pub action: Action,
+    pub resource: Resource,
+    pub decision: Decision,
+}
+
+/// Mediates commands against a privilege specification.
+#[derive(Debug, Clone)]
+pub struct ReferenceMonitor {
+    spec: PrivilegeMsp,
+    technician: String,
+    events: Vec<MediationEvent>,
+}
+
+impl ReferenceMonitor {
+    /// A monitor enforcing `spec` for `technician`.
+    pub fn new(technician: impl Into<String>, spec: PrivilegeMsp) -> Self {
+        ReferenceMonitor {
+            spec,
+            technician: technician.into(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Classifies and checks one command; records the event either way.
+    pub fn mediate(&mut self, device: &str, raw: &str, cmd: &Command) -> Decision {
+        let (action, resource) = cmd.classify(device);
+        let decision = evaluate(&self.spec, action, &resource);
+        self.events.push(MediationEvent {
+            seq: self.events.len() as u64,
+            technician: self.technician.clone(),
+            device: device.to_string(),
+            command: raw.to_string(),
+            action,
+            resource,
+            decision: decision.clone(),
+        });
+        decision
+    }
+
+    /// The enforced specification.
+    pub fn spec(&self) -> &PrivilegeMsp {
+        &self.spec
+    }
+
+    /// Replaces the specification (after an approved escalation).
+    pub fn set_spec(&mut self, spec: PrivilegeMsp) {
+        self.spec = spec;
+    }
+
+    /// Mutable access for in-place escalation.
+    pub fn spec_mut(&mut self) -> &mut PrivilegeMsp {
+        &mut self.spec
+    }
+
+    /// Everything mediated so far.
+    pub fn events(&self) -> &[MediationEvent] {
+        &self.events
+    }
+
+    /// Denied requests (the interesting part of the audit trail).
+    pub fn denials(&self) -> Vec<&MediationEvent> {
+        self.events
+            .iter()
+            .filter(|e| !e.decision.is_allowed())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_privilege::model::{Predicate, ResourcePattern};
+
+    fn spec_view_fw1() -> PrivilegeMsp {
+        PrivilegeMsp::new()
+            .with(Predicate::allow(Action::View, ResourcePattern::Device("fw1".into())))
+            .with(Predicate::allow(
+                Action::ModifyAcl,
+                ResourcePattern::Acl {
+                    device: "fw1".into(),
+                    name: "100".into(),
+                },
+            ))
+    }
+
+    #[test]
+    fn allows_in_scope_denies_out_of_scope() {
+        let mut m = ReferenceMonitor::new("t1", spec_view_fw1());
+        let show = Command::parse("show running-config").unwrap();
+        assert!(m.mediate("fw1", "show running-config", &show).is_allowed());
+        assert!(!m.mediate("core1", "show running-config", &show).is_allowed());
+        let edit = Command::parse("no access-list 100 line 1").unwrap();
+        assert!(m.mediate("fw1", "no access-list 100 line 1", &edit).is_allowed());
+        let edit101 = Command::parse("no access-list 101 line 1").unwrap();
+        assert!(!m.mediate("fw1", "no access-list 101 line 1", &edit101).is_allowed());
+    }
+
+    #[test]
+    fn every_request_is_recorded_with_sequence() {
+        let mut m = ReferenceMonitor::new("t1", spec_view_fw1());
+        let show = Command::parse("show ip route").unwrap();
+        m.mediate("fw1", "show ip route", &show);
+        m.mediate("core1", "show ip route", &show);
+        assert_eq!(m.events().len(), 2);
+        assert_eq!(m.events()[0].seq, 0);
+        assert_eq!(m.events()[1].seq, 1);
+        assert_eq!(m.denials().len(), 1);
+        assert_eq!(m.denials()[0].device, "core1");
+    }
+
+    #[test]
+    fn destructive_commands_denied_by_default() {
+        let mut m = ReferenceMonitor::new("t1", spec_view_fw1());
+        let erase = Command::parse("write erase").unwrap();
+        let d = m.mediate("fw1", "write erase", &erase);
+        assert_eq!(d, Decision::DeniedDefault);
+    }
+
+    #[test]
+    fn escalation_widens_live_spec() {
+        let mut m = ReferenceMonitor::new("t1", spec_view_fw1());
+        let route = Command::parse("ip route 0.0.0.0 0.0.0.0 10.255.0.1").unwrap();
+        assert!(!m.mediate("fw1", "...", &route).is_allowed());
+        m.spec_mut().predicates.push(Predicate::allow(
+            Action::ModifyRoute,
+            ResourcePattern::Device("fw1".into()),
+        ));
+        assert!(m.mediate("fw1", "...", &route).is_allowed());
+    }
+}

@@ -1,0 +1,117 @@
+//! The presentation layer: what the technician is allowed to *see*.
+//!
+//! The twin already contains only relevant devices; on top of that the
+//! topology view filters by `view` privilege, so a spec that denies a
+//! device hides it even inside the twin.
+
+use heimdall_netmodel::topology::Network;
+use heimdall_privilege::eval::is_allowed;
+use heimdall_privilege::model::{Action, PrivilegeMsp, Resource};
+
+/// The visible topology for a technician under `spec`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyView {
+    /// Visible device names with their kinds.
+    pub devices: Vec<(String, String)>,
+    /// Visible links (both endpoints visible): `(a, a_iface, b, b_iface)`.
+    pub links: Vec<(String, String, String, String)>,
+}
+
+impl TopologyView {
+    /// Whether a device is visible.
+    pub fn shows(&self, device: &str) -> bool {
+        self.devices.iter().any(|(d, _)| d == device)
+    }
+
+    /// Renders the view as a text diagram (device list + adjacency list).
+    pub fn render(&self) -> String {
+        let mut out = String::from("== topology ==\n");
+        for (d, k) in &self.devices {
+            out.push_str(&format!("  {d} [{k}]\n"));
+        }
+        out.push_str("== links ==\n");
+        for (a, ai, b, bi) in &self.links {
+            out.push_str(&format!("  {a}.{ai} -- {b}.{bi}\n"));
+        }
+        out
+    }
+}
+
+/// Computes the topology view: devices the spec grants `view` on, and
+/// links whose both endpoints are visible.
+pub fn topology_view(net: &Network, spec: &PrivilegeMsp) -> TopologyView {
+    let mut devices = Vec::new();
+    for (_, d) in net.devices() {
+        if is_allowed(spec, Action::View, &Resource::Device(d.name.clone())) {
+            devices.push((d.name.clone(), d.kind.keyword().to_string()));
+        }
+    }
+    devices.sort();
+    let visible = |name: &str| devices.iter().any(|(d, _)| d == name);
+    let mut links = Vec::new();
+    for l in net.links() {
+        let a = &net.device(l.a).name;
+        let b = &net.device(l.b).name;
+        if visible(a) && visible(b) {
+            links.push((a.clone(), l.a_iface.clone(), b.clone(), l.b_iface.clone()));
+        }
+    }
+    TopologyView { devices, links }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_netmodel::gen::enterprise_network;
+    use heimdall_privilege::derive::{derive_privileges, Task};
+    use heimdall_privilege::model::{Predicate, PrivilegeMsp, ResourcePattern};
+
+    #[test]
+    fn view_follows_privileges() {
+        let g = enterprise_network();
+        let task = Task::connectivity("h1", "srv1");
+        let spec = derive_privileges(&g.net, &task);
+        let view = topology_view(&g.net, &spec);
+        assert!(view.shows("fw1"));
+        assert!(view.shows("h1"));
+        assert!(!view.shows("acc3"));
+        assert!(!view.shows("h7"));
+    }
+
+    #[test]
+    fn links_need_both_ends_visible() {
+        let g = enterprise_network();
+        let spec = PrivilegeMsp::new()
+            .with(Predicate::allow(
+                heimdall_privilege::model::Action::View,
+                ResourcePattern::Device("core1".into()),
+            ))
+            .with(Predicate::allow(
+                heimdall_privilege::model::Action::View,
+                ResourcePattern::Device("core2".into()),
+            ));
+        let view = topology_view(&g.net, &spec);
+        assert_eq!(view.devices.len(), 2);
+        // Exactly the core1-core2 link is visible.
+        assert_eq!(view.links.len(), 1);
+    }
+
+    #[test]
+    fn full_spec_shows_everything() {
+        let g = enterprise_network();
+        let view = topology_view(&g.net, &PrivilegeMsp::allow_everything());
+        assert_eq!(view.devices.len(), g.net.device_count());
+        assert_eq!(view.links.len(), g.net.link_count());
+        let text = view.render();
+        assert!(text.contains("fw1 [firewall]"));
+        assert!(text.contains("--"));
+    }
+
+    #[test]
+    fn empty_spec_shows_nothing() {
+        let g = enterprise_network();
+        let view = topology_view(&g.net, &PrivilegeMsp::new());
+        assert!(view.devices.is_empty());
+        assert!(view.links.is_empty());
+    }
+}

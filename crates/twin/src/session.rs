@@ -1,0 +1,245 @@
+//! A technician session: ticket in, mediated commands through, change-set
+//! out.
+//!
+//! The session snapshots the twin at start; [`TwinSession::finish`] diffs
+//! the edited twin against that snapshot to produce the
+//! [`ConfigDiff`] handed to the policy enforcer (step 3 of the Heimdall
+//! workflow).
+
+use crate::console::{execute, Command, CommandError};
+use crate::emu::EmulatedNetwork;
+use crate::monitor::ReferenceMonitor;
+use crate::presentation::{topology_view, TopologyView};
+use crate::slice::TwinSpec;
+use heimdall_netmodel::diff::{diff_networks, ConfigDiff};
+use heimdall_netmodel::topology::Network;
+use heimdall_privilege::model::PrivilegeMsp;
+
+/// Why a session command failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// The reference monitor refused the command.
+    PermissionDenied { command: String },
+    /// The command did not parse or execute.
+    Command(CommandError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::PermissionDenied { command } => {
+                write!(f, "% Permission denied by Privilege_msp: {command}")
+            }
+            SessionError::Command(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// An active technician session on a twin.
+pub struct TwinSession {
+    baseline: Network,
+    emu: EmulatedNetwork,
+    monitor: ReferenceMonitor,
+    commands_run: usize,
+}
+
+impl TwinSession {
+    /// Opens a session on a twin for `technician` under `spec`.
+    pub fn open(technician: &str, twin: TwinSpec, spec: PrivilegeMsp) -> Self {
+        TwinSession {
+            baseline: twin.net.clone(),
+            emu: EmulatedNetwork::new(twin.net),
+            monitor: ReferenceMonitor::new(technician, spec),
+            commands_run: 0,
+        }
+    }
+
+    /// Executes one mediated console line on `device`.
+    pub fn exec(&mut self, device: &str, line: &str) -> Result<String, SessionError> {
+        let cmd = Command::parse(line).map_err(SessionError::Command)?;
+        let decision = self.monitor.mediate(device, line, &cmd);
+        if !decision.is_allowed() {
+            return Err(SessionError::PermissionDenied {
+                command: line.to_string(),
+            });
+        }
+        self.commands_run += 1;
+        execute(&mut self.emu, device, &cmd).map_err(SessionError::Command)
+    }
+
+    /// The topology view the technician sees.
+    pub fn view(&self) -> TopologyView {
+        topology_view(self.emu.network(), self.monitor.spec())
+    }
+
+    /// The reference monitor (audit feed, live spec for escalations).
+    pub fn monitor(&self) -> &ReferenceMonitor {
+        &self.monitor
+    }
+
+    /// Mutable monitor access (escalation grants).
+    pub fn monitor_mut(&mut self) -> &mut ReferenceMonitor {
+        &mut self.monitor
+    }
+
+    /// The emulation (for assertions/tests and the workflow driver).
+    pub fn emu_mut(&mut self) -> &mut EmulatedNetwork {
+        &mut self.emu
+    }
+
+    /// Number of successfully executed commands.
+    pub fn commands_run(&self) -> usize {
+        self.commands_run
+    }
+
+    /// Closes the session: the change-set to hand to the enforcer.
+    pub fn finish(self) -> (ConfigDiff, ReferenceMonitor) {
+        let diff = diff_networks(&self.baseline, self.emu.network());
+        (diff, self.monitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice::slice_for_task;
+    use heimdall_netmodel::acl::AclAction;
+    use heimdall_netmodel::gen::enterprise_network;
+    use heimdall_privilege::derive::{derive_privileges, Task, TaskKind};
+
+    /// Production with the Figure 6 misconfig: fw1's LAN2->DMZ permit
+    /// flipped to deny.
+    fn broken_production() -> heimdall_netmodel::topology::Network {
+        let g = enterprise_network();
+        let mut net = g.net;
+        net.device_by_name_mut("fw1")
+            .unwrap()
+            .config
+            .acls
+            .get_mut("100")
+            .unwrap()
+            .entries[1]
+            .action = AclAction::Deny;
+        net
+    }
+
+    fn acl_task() -> Task {
+        Task {
+            kind: TaskKind::AccessControl,
+            affected: vec!["h4".to_string(), "srv1".to_string()],
+        }
+    }
+
+    #[test]
+    fn full_debug_and_fix_session() {
+        let net = broken_production();
+        let task = acl_task();
+        let twin = slice_for_task(&net, &task);
+        let spec = derive_privileges(&net, &task);
+        let mut s = TwinSession::open("alice", twin, spec);
+
+        // Reproduce: ping fails in the twin exactly like production.
+        let out = s.exec("h4", "ping 10.2.1.10").unwrap();
+        assert!(out.contains("failed"), "{out}");
+        assert!(out.contains("acl 100"), "{out}");
+
+        // Inspect and fix the ACL.
+        let acls = s.exec("fw1", "show access-lists").unwrap();
+        assert!(acls.contains("deny ip 10.1.2.0 0.0.0.255"));
+        s.exec("fw1", "no access-list 100 line 2").unwrap();
+        s.exec(
+            "fw1",
+            "access-list 100 line 2 permit ip 10.1.2.0 0.0.0.255 10.2.1.0 0.0.0.255",
+        )
+        .unwrap();
+
+        // Verify the fix inside the twin.
+        let out = s.exec("h4", "ping 10.2.1.10").unwrap();
+        assert!(out.contains("success"), "{out}");
+
+        let (diff, monitor) = s.finish();
+        assert_eq!(diff.len(), 1, "one ACL replacement: {diff:?}");
+        assert_eq!(diff.changes[0].device(), "fw1");
+        assert!(monitor.denials().is_empty());
+    }
+
+    #[test]
+    fn off_privilege_command_is_blocked_and_audited() {
+        let net = broken_production();
+        let task = acl_task();
+        let twin = slice_for_task(&net, &task);
+        let spec = derive_privileges(&net, &task);
+        let mut s = TwinSession::open("mallory", twin, spec);
+
+        // The ACL task does not include route changes.
+        let e = s.exec("fw1", "ip route 0.0.0.0 0.0.0.0 10.255.0.1").unwrap_err();
+        assert!(matches!(e, SessionError::PermissionDenied { .. }));
+        // And certainly not credential theft or destruction.
+        let e = s.exec("fw1", "write erase").unwrap_err();
+        assert!(matches!(e, SessionError::PermissionDenied { .. }));
+        assert_eq!(s.monitor().denials().len(), 2);
+        // Nothing changed.
+        let (diff, _) = s.finish();
+        assert!(diff.is_empty());
+    }
+
+    #[test]
+    fn malicious_extra_edit_is_visible_in_the_diff() {
+        // Figure 6's malicious technician: fixes the rule AND quietly
+        // permits LAN2 -> LAN3 by editing another ACL they have rights to.
+        let net = broken_production();
+        let task = acl_task();
+        let twin = slice_for_task(&net, &task);
+        let spec = derive_privileges(&net, &task);
+        let mut s = TwinSession::open("mallory", twin, spec);
+        s.exec("fw1", "no access-list 100 line 2").unwrap();
+        s.exec(
+            "fw1",
+            "access-list 100 line 2 permit ip 10.1.2.0 0.0.0.255 10.2.1.0 0.0.0.255",
+        )
+        .unwrap();
+        // The sneaky extra change (same legitimate-looking command shape).
+        s.exec(
+            "fw1",
+            "access-list 100 line 1 permit ip 10.1.2.0 0.0.0.255 10.1.3.0 0.0.0.255",
+        )
+        .unwrap();
+        let (diff, _) = s.finish();
+        // The enforcer will see the whole ACL replacement including the
+        // malicious entry; nothing is hidden.
+        assert_eq!(diff.len(), 1);
+        match &diff.changes[0] {
+            heimdall_netmodel::diff::ConfigChange::ReplaceAcl { entries, .. } => {
+                assert_eq!(entries.len(), 7, "5 original + 1 malicious + ... got {}", entries.len());
+            }
+            other => panic!("unexpected change {other:?}"),
+        }
+    }
+
+    #[test]
+    fn view_is_scoped_to_the_twin() {
+        let net = broken_production();
+        let task = acl_task();
+        let twin = slice_for_task(&net, &task);
+        let spec = derive_privileges(&net, &task);
+        let s = TwinSession::open("alice", twin, spec);
+        let view = s.view();
+        assert!(view.shows("fw1"));
+        assert!(!view.shows("acc3"));
+        assert!(!view.shows("bdr1"));
+    }
+
+    #[test]
+    fn session_counts_successful_commands_only() {
+        let net = broken_production();
+        let task = acl_task();
+        let twin = slice_for_task(&net, &task);
+        let spec = derive_privileges(&net, &task);
+        let mut s = TwinSession::open("alice", twin, spec);
+        s.exec("h4", "ping 10.2.1.10").unwrap();
+        let _ = s.exec("fw1", "write erase");
+        assert_eq!(s.commands_run(), 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! Task-driven twin slicing: build the minimal, sanitized sub-network a
+//! ticket needs.
+//!
+//! This is the answer to the paper's Challenge 2. Cloning everything
+//! (Figure 5(b)) leaks the whole network; cloning only the affected nodes'
+//! neighbors (Figure 5(c)) cannot reproduce the failure. The slice here is
+//! the union of designed shortest paths between the ticket's endpoints —
+//! large enough to contain the root cause of any on-path failure, small
+//! enough to hide everything else.
+
+use heimdall_netmodel::topology::{DeviceIdx, Network};
+use heimdall_privilege::derive::{relevant_devices, Task};
+use std::collections::BTreeSet;
+
+/// The specification of a twin: which production devices it contains and
+/// the isolated, sanitized network built from them.
+#[derive(Debug, Clone)]
+pub struct TwinSpec {
+    /// Production device names included, sorted.
+    pub included: Vec<String>,
+    /// The isolated emulation substrate: sanitized configs, only
+    /// internal links.
+    pub net: Network,
+}
+
+impl TwinSpec {
+    /// Whether a production device made it into the twin.
+    pub fn includes(&self, device: &str) -> bool {
+        self.included.iter().any(|d| d == device)
+    }
+
+    /// Exposure ratio: fraction of production devices visible in the twin
+    /// (one ingredient of the attack-surface story).
+    pub fn exposure(&self, production: &Network) -> f64 {
+        self.included.len() as f64 / production.device_count() as f64
+    }
+}
+
+/// Builds the twin slice for a task: the relevant device set, induced
+/// links, sanitized configs.
+pub fn slice_for_task(production: &Network, task: &Task) -> TwinSpec {
+    let relevant = relevant_devices(production, task);
+    slice_devices(production, &relevant)
+}
+
+/// Builds a twin from an explicit device set (the All/Neighbor baselines
+/// use this too).
+pub fn slice_devices(production: &Network, devices: &BTreeSet<DeviceIdx>) -> TwinSpec {
+    let mut net = Network::new();
+    let mut included: Vec<String> = Vec::new();
+    for &d in devices {
+        let dev = production.device(d);
+        let mut clone = dev.clone();
+        clone.config = dev.config.sanitized();
+        net.add_device(clone).expect("unique names from production");
+        included.push(dev.name.clone());
+    }
+    for link in production.links() {
+        if devices.contains(&link.a) && devices.contains(&link.b) {
+            let a = &production.device(link.a).name;
+            let b = &production.device(link.b).name;
+            net.add_link(a, &link.a_iface, b, &link.b_iface)
+                .expect("interfaces cloned with devices");
+        }
+    }
+    included.sort();
+    TwinSpec { included, net }
+}
+
+/// The *All* baseline: clone every device (Figure 5(b)).
+pub fn slice_all(production: &Network) -> TwinSpec {
+    let all: BTreeSet<DeviceIdx> = production.devices().map(|(i, _)| i).collect();
+    slice_devices(production, &all)
+}
+
+/// The *Neighbor* baseline: affected devices plus their direct neighbors
+/// (Figure 5(c)).
+pub fn slice_neighbors(production: &Network, task: &Task) -> TwinSpec {
+    let mut set: BTreeSet<DeviceIdx> = BTreeSet::new();
+    for name in &task.affected {
+        if let Ok(i) = production.idx(name) {
+            set.insert(i);
+            set.extend(production.neighbors_any_state(i));
+        }
+    }
+    slice_devices(production, &set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_netmodel::gen::enterprise_network;
+    use heimdall_privilege::derive::Task;
+
+    #[test]
+    fn slice_contains_path_and_hides_rest() {
+        let g = enterprise_network();
+        let task = Task::connectivity("h1", "srv1");
+        let twin = slice_for_task(&g.net, &task);
+        for must in ["h1", "acc1", "dist1", "fw1", "srv1"] {
+            assert!(twin.includes(must), "{must} missing");
+        }
+        assert!(!twin.includes("acc3"));
+        assert!(!twin.includes("h7"));
+        assert!(!twin.includes("bdr1"));
+        assert!(twin.exposure(&g.net) < 1.0);
+    }
+
+    #[test]
+    fn slice_configs_are_sanitized() {
+        let g = enterprise_network();
+        let task = Task::connectivity("h1", "srv1");
+        let twin = slice_for_task(&g.net, &task);
+        for (_, d) in twin.net.devices() {
+            assert!(d.config.secrets.is_empty(), "{} leaked secrets", d.name);
+        }
+        // And the printed configs contain none of the production secret
+        // strings (the APT10 exfiltration target).
+        for name in &twin.included {
+            let prod = g.net.device_by_name(name).unwrap();
+            let twin_dev = twin.net.device_by_name(name).unwrap();
+            let text = heimdall_netmodel::printer::print_config(&twin_dev.config);
+            for secret in prod.config.secrets.all_values() {
+                assert!(!text.contains(secret), "{name} leaked {secret}");
+            }
+        }
+    }
+
+    #[test]
+    fn slice_keeps_only_internal_links() {
+        let g = enterprise_network();
+        let task = Task::connectivity("h1", "srv1");
+        let twin = slice_for_task(&g.net, &task);
+        // Each twin link must join two included devices.
+        for l in twin.net.links() {
+            let a = &twin.net.device(l.a).name;
+            let b = &twin.net.device(l.b).name;
+            assert!(twin.includes(a) && twin.includes(b));
+        }
+        assert!(twin.net.link_count() < g.net.link_count());
+    }
+
+    #[test]
+    fn all_baseline_clones_everything() {
+        let g = enterprise_network();
+        let twin = slice_all(&g.net);
+        assert_eq!(twin.net.device_count(), g.net.device_count());
+        assert_eq!(twin.net.link_count(), g.net.link_count());
+        assert!((twin.exposure(&g.net) - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn neighbor_baseline_misses_midpath_root_cause() {
+        // The paper's Figure 5(c) critique, as a test: for a ticket between
+        // h1 and srv1, the Neighbor baseline cannot see dist1/core1.
+        let g = enterprise_network();
+        let task = Task::connectivity("h1", "srv1");
+        let twin = slice_neighbors(&g.net, &task);
+        assert!(twin.includes("h1"));
+        assert!(twin.includes("acc1")); // h1's neighbor
+        assert!(twin.includes("fw1")); // srv1's neighbor
+        assert!(!twin.includes("dist1"), "mid-path device must be absent");
+        assert!(!twin.includes("core1"));
+    }
+
+    #[test]
+    fn broken_path_still_sliced_by_design() {
+        // Even with acc1's uplink down (the issue), the slice includes the
+        // designed path through acc1 — so the root cause is visible.
+        let g = enterprise_network();
+        let mut net = g.net.clone();
+        net.device_by_name_mut("acc1")
+            .unwrap()
+            .config
+            .interface_mut("Gi0/0")
+            .unwrap()
+            .enabled = false;
+        let task = Task::connectivity("h1", "srv1");
+        let twin = slice_for_task(&net, &task);
+        assert!(twin.includes("acc1"));
+        // The downed state is preserved inside the twin (issue reproduces).
+        let acc1 = twin.net.device_by_name("acc1").unwrap();
+        assert!(!acc1.config.interface("Gi0/0").unwrap().is_up());
+    }
+}

@@ -1,0 +1,249 @@
+//! Policy checking against a converged snapshot, with counterexamples.
+//!
+//! This is the verification step the paper's policy enforcer runs before
+//! importing a technician's changes ("a verifier that checks the output of
+//! the twin network against network policies"). The paper reports 25 s to
+//! check 175 constraints on their stack; our in-process simulator is orders
+//! of magnitude faster, which EXPERIMENTS.md calls out when comparing
+//! Figure 7's absolute numbers.
+
+use crate::policy::{Policy, PolicySet};
+use heimdall_dataplane::{DataPlane, Flow};
+use heimdall_netmodel::topology::Network;
+use heimdall_routing::ControlPlane;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The outcome of checking one policy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyVerdict {
+    Holds,
+    /// Violated, with a human-readable counterexample.
+    Violated { counterexample: String },
+    /// The policy references endpoints that do not exist in this snapshot.
+    Unresolvable,
+}
+
+impl PolicyVerdict {
+    /// Whether the policy held.
+    pub fn holds(&self) -> bool {
+        matches!(self, PolicyVerdict::Holds)
+    }
+}
+
+/// The outcome of checking a whole policy set.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct VerificationReport {
+    /// `(policy id, verdict)` for every policy, in order.
+    pub results: Vec<(String, PolicyVerdict)>,
+}
+
+impl VerificationReport {
+    /// Ids of violated policies.
+    pub fn violations(&self) -> Vec<&str> {
+        self.results
+            .iter()
+            .filter(|(_, v)| matches!(v, PolicyVerdict::Violated { .. }))
+            .map(|(id, _)| id.as_str())
+            .collect()
+    }
+
+    /// Number of violated policies (the `VP` term in the paper's
+    /// attack-surface formula).
+    pub fn violation_count(&self) -> usize {
+        self.violations().len()
+    }
+
+    /// Whether every policy held.
+    pub fn all_hold(&self) -> bool {
+        self.results.iter().all(|(_, v)| v.holds())
+    }
+}
+
+impl fmt::Display for VerificationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} policies checked, {} violated",
+            self.results.len(),
+            self.violation_count()
+        )?;
+        for (id, v) in &self.results {
+            if let PolicyVerdict::Violated { counterexample } = v {
+                writeln!(f, "  VIOLATED {id}: {counterexample}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Checks every policy in `set` against the snapshot.
+pub fn check_policies(net: &Network, cp: &ControlPlane, set: &PolicySet) -> VerificationReport {
+    let dp = DataPlane::new(net, cp);
+    let results = set
+        .policies
+        .iter()
+        .map(|p| (p.id(), check_one(net, &dp, p)))
+        .collect();
+    VerificationReport { results }
+}
+
+/// Checks a single policy.
+pub fn check_one(net: &Network, dp: &DataPlane<'_>, policy: &Policy) -> PolicyVerdict {
+    let srcs = policy.src().resolve(net);
+    let dsts = policy.dst().resolve(net);
+    if srcs.is_empty() || dsts.is_empty() {
+        return PolicyVerdict::Unresolvable;
+    }
+    for (sdev, sip) in &srcs {
+        // Sources must be devices we can originate traffic from.
+        let Some(sdev) = sdev else {
+            return PolicyVerdict::Unresolvable;
+        };
+        let Ok(sidx) = net.idx(sdev) else {
+            return PolicyVerdict::Unresolvable;
+        };
+        for (_, dip) in &dsts {
+            let flow = Flow::probe(*sip, *dip);
+            match policy {
+                Policy::Reachability { .. } => {
+                    if !dp.reachable(sidx, &flow) {
+                        let trace = dp.trace(sidx, &flow);
+                        return PolicyVerdict::Violated {
+                            counterexample: format!("{} -> {}: {}", sdev, dip, trace.disposition),
+                        };
+                    }
+                }
+                Policy::Isolation { .. } => {
+                    let traces = dp.trace_all(sidx, &flow);
+                    if traces.iter().any(|t| t.disposition.is_success()) {
+                        return PolicyVerdict::Violated {
+                            counterexample: format!("{} -> {}: flow is deliverable", sdev, dip),
+                        };
+                    }
+                }
+                Policy::Waypoint { via, .. } => {
+                    let traces = dp.trace_all(sidx, &flow);
+                    if traces.is_empty() || traces.iter().any(|t| !t.disposition.is_success()) {
+                        return PolicyVerdict::Violated {
+                            counterexample: format!("{} -> {}: not reachable", sdev, dip),
+                        };
+                    }
+                    if let Some(t) = traces.iter().find(|t| !t.hops.iter().any(|h| &h.device == via)) {
+                        return PolicyVerdict::Violated {
+                            counterexample: format!(
+                                "{} -> {}: a path skips waypoint {via} ({} hops)",
+                                sdev,
+                                dip,
+                                t.hops.len()
+                            ),
+                        };
+                    }
+                }
+            }
+        }
+    }
+    PolicyVerdict::Holds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyEndpoint;
+    use heimdall_netmodel::gen::enterprise_network;
+    use heimdall_routing::converge;
+
+    fn host(n: &str) -> PolicyEndpoint {
+        PolicyEndpoint::Host(n.to_string())
+    }
+
+    #[test]
+    fn reachability_holds_and_violates() {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        let set = PolicySet {
+            policies: vec![
+                Policy::Reachability { src: host("h1"), dst: host("srv1") },
+                Policy::Reachability { src: host("h1"), dst: host("h4") }, // locked down
+            ],
+        };
+        let rep = check_policies(&g.net, &cp, &set);
+        assert!(rep.results[0].1.holds());
+        assert!(matches!(rep.results[1].1, PolicyVerdict::Violated { .. }));
+        assert_eq!(rep.violation_count(), 1);
+        assert!(!rep.all_hold());
+    }
+
+    #[test]
+    fn isolation_works_both_ways() {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        let set = PolicySet {
+            policies: vec![
+                Policy::Isolation { src: host("h2"), dst: host("h7") }, // holds
+                Policy::Isolation { src: host("h1"), dst: host("srv1") }, // violated (reachable)
+            ],
+        };
+        let rep = check_policies(&g.net, &cp, &set);
+        assert!(rep.results[0].1.holds());
+        assert!(!rep.results[1].1.holds());
+    }
+
+    #[test]
+    fn waypoint_through_firewall() {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        let set = PolicySet {
+            policies: vec![
+                Policy::Waypoint { src: host("h1"), dst: host("srv1"), via: "fw1".into() },
+                Policy::Waypoint { src: host("h1"), dst: host("srv1"), via: "acc3".into() },
+            ],
+        };
+        let rep = check_policies(&g.net, &cp, &set);
+        assert!(rep.results[0].1.holds(), "{:?}", rep.results[0]);
+        assert!(!rep.results[1].1.holds(), "path never crosses acc3");
+    }
+
+    #[test]
+    fn unresolvable_endpoints_flagged() {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        let set = PolicySet {
+            policies: vec![Policy::Reachability { src: host("ghost"), dst: host("srv1") }],
+        };
+        let rep = check_policies(&g.net, &cp, &set);
+        assert_eq!(rep.results[0].1, PolicyVerdict::Unresolvable);
+        // Unresolvable is not a violation.
+        assert_eq!(rep.violation_count(), 0);
+    }
+
+    #[test]
+    fn counterexample_names_the_blocker() {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        let set = PolicySet {
+            policies: vec![Policy::Reachability { src: host("h4"), dst: host("h1") }],
+        };
+        let rep = check_policies(&g.net, &cp, &set);
+        match &rep.results[0].1 {
+            PolicyVerdict::Violated { counterexample } => {
+                assert!(counterexample.contains("denied"), "got: {counterexample}");
+                assert!(counterexample.contains("120"), "got: {counterexample}");
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn report_display_lists_violations() {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        let set = PolicySet {
+            policies: vec![Policy::Reachability { src: host("h1"), dst: host("h4") }],
+        };
+        let rep = check_policies(&g.net, &cp, &set);
+        let text = rep.to_string();
+        assert!(text.contains("1 policies checked, 1 violated"));
+        assert!(text.contains("VIOLATED reach:h1->h4"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Differential verification: what did a change-set alter?
+//!
+//! Used two ways: the enforcer's verifier diffs "production" against
+//! "production + technician changes" to decide whether the changes are
+//! importable, and the experiments use it to confirm an injected issue
+//! actually breaks what the ticket says it breaks.
+
+use crate::checker::{check_policies, VerificationReport};
+use crate::policy::PolicySet;
+use heimdall_netmodel::topology::Network;
+use heimdall_routing::{converge, ControlPlane};
+use serde::{Deserialize, Serialize};
+
+/// Verdicts before vs. after, for every policy that changed state.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DifferentialReport {
+    /// Policies that held before and are violated after.
+    pub newly_violated: Vec<String>,
+    /// Policies that were violated before and hold after.
+    pub newly_fixed: Vec<String>,
+    /// Violations present in both snapshots.
+    pub still_violated: Vec<String>,
+}
+
+impl DifferentialReport {
+    /// Whether the change-set introduced no regressions.
+    pub fn is_safe(&self) -> bool {
+        self.newly_violated.is_empty()
+    }
+
+    /// Whether the change-set fully repaired the snapshot.
+    pub fn fully_fixed(&self) -> bool {
+        self.newly_violated.is_empty() && self.still_violated.is_empty()
+    }
+}
+
+/// Compares two verification reports policy-by-policy.
+pub fn diff_reports(before: &VerificationReport, after: &VerificationReport) -> DifferentialReport {
+    let mut out = DifferentialReport::default();
+    for ((id_b, v_b), (id_a, v_a)) in before.results.iter().zip(&after.results) {
+        debug_assert_eq!(id_b, id_a, "reports must cover the same policy set");
+        match (v_b.holds(), v_a.holds()) {
+            (true, false) => out.newly_violated.push(id_a.clone()),
+            (false, true) => out.newly_fixed.push(id_a.clone()),
+            (false, false) => out.still_violated.push(id_a.clone()),
+            (true, true) => {}
+        }
+    }
+    out
+}
+
+/// Converges and checks both snapshots, then diffs the reports.
+pub fn differential_check(
+    before: &Network,
+    after: &Network,
+    set: &PolicySet,
+) -> (DifferentialReport, ControlPlane, ControlPlane) {
+    let cp_before = converge(before);
+    let cp_after = converge(after);
+    let rep_before = check_policies(before, &cp_before, set);
+    let rep_after = check_policies(after, &cp_after, set);
+    (diff_reports(&rep_before, &rep_after), cp_before, cp_after)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mine::{mine_policies, MinerInput};
+    use heimdall_netmodel::acl::AclAction;
+    use heimdall_netmodel::gen::enterprise_network;
+
+    #[test]
+    fn breaking_change_is_flagged() {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        let set = mine_policies(&g.net, &cp, &MinerInput::from_meta(&g.meta));
+
+        let mut after = g.net.clone();
+        // Flip fw1's LAN1->DMZ permit to deny (the Figure 6 misconfig).
+        let fw1 = after.device_by_name_mut("fw1").unwrap();
+        fw1.config.acls.get_mut("100").unwrap().entries[0].action = AclAction::Deny;
+
+        let (d, _, _) = differential_check(&g.net, &after, &set);
+        assert!(!d.is_safe());
+        assert!(d.newly_violated.iter().any(|id| id.contains("LAN1") && id.contains("DMZ")));
+        assert!(d.newly_fixed.is_empty());
+    }
+
+    #[test]
+    fn fixing_change_is_recognized() {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        let set = mine_policies(&g.net, &cp, &MinerInput::from_meta(&g.meta));
+
+        let mut broken = g.net.clone();
+        broken
+            .device_by_name_mut("fw1")
+            .unwrap()
+            .config
+            .acls
+            .get_mut("100")
+            .unwrap()
+            .entries[0]
+            .action = AclAction::Deny;
+
+        // Fix = back to the original.
+        let (d, _, _) = differential_check(&broken, &g.net, &set);
+        assert!(d.is_safe());
+        assert!(d.fully_fixed());
+        assert!(!d.newly_fixed.is_empty());
+    }
+
+    #[test]
+    fn noop_change_is_clean() {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        let set = mine_policies(&g.net, &cp, &MinerInput::from_meta(&g.meta));
+        let (d, _, _) = differential_check(&g.net, &g.net.clone(), &set);
+        assert!(d.is_safe() && d.fully_fixed());
+        assert!(d.newly_fixed.is_empty());
+    }
+
+    #[test]
+    fn partial_fix_leaves_still_violated() {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        let set = mine_policies(&g.net, &cp, &MinerInput::from_meta(&g.meta));
+
+        let mut broken = g.net.clone();
+        {
+            let fw1 = broken.device_by_name_mut("fw1").unwrap();
+            let acl = fw1.config.acls.get_mut("100").unwrap();
+            acl.entries[0].action = AclAction::Deny; // LAN1 -> DMZ
+            acl.entries[1].action = AclAction::Deny; // LAN2 -> DMZ
+        }
+        let mut half_fixed = broken.clone();
+        {
+            let fw1 = half_fixed.device_by_name_mut("fw1").unwrap();
+            fw1.config.acls.get_mut("100").unwrap().entries[0].action = AclAction::Permit;
+        }
+        let (d, _, _) = differential_check(&broken, &half_fixed, &set);
+        assert!(d.is_safe());
+        assert!(!d.fully_fixed());
+        assert_eq!(d.newly_fixed.len(), 1);
+        assert_eq!(d.still_violated.len(), 1);
+    }
+}

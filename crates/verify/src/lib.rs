@@ -1,0 +1,46 @@
+//! # heimdall-verify
+//!
+//! Network policy verification (the Batfish-analog layer) and policy mining
+//! (the config2spec-analog layer).
+//!
+//! The paper extends Batfish in two directions: privilege specifications as
+//! input (that part lives in `heimdall-privilege`), and verification of a
+//! technician's changes against network policies before they reach
+//! production. This crate supplies the policy machinery:
+//!
+//! - [`policy`]: policy types — reachability, isolation, waypoint — over
+//!   host, subnet, or raw-address endpoints;
+//! - [`checker`]: evaluates a policy set against a converged snapshot,
+//!   producing counterexample traces for violations;
+//! - [`mine`]: derives the policy set from a *healthy* snapshot the way
+//!   config2spec mines specifications from configurations (the paper: "We
+//!   use config2spec to generate network policies from configuration
+//!   files") — 21 policies for the enterprise network, 175 for the
+//!   university network, matching Table 1;
+//! - [`differential`]: compares two snapshots (what did this change-set
+//!   break / newly allow?).
+//!
+//! ```
+//! use heimdall_verify::mine::{mine_policies, MinerInput};
+//! use heimdall_verify::checker::check_policies;
+//!
+//! let g = heimdall_netmodel::gen::enterprise_network();
+//! let cp = heimdall_routing::converge(&g.net);
+//!
+//! // Mine the specification from the healthy network (Table 1: 21).
+//! let policies = mine_policies(&g.net, &cp, &MinerInput::from_meta(&g.meta));
+//! assert_eq!(policies.len(), 21);
+//!
+//! // The healthy network satisfies its own specification.
+//! let report = check_policies(&g.net, &cp, &policies);
+//! assert!(report.all_hold());
+//! ```
+
+pub mod checker;
+pub mod differential;
+pub mod mine;
+pub mod policy;
+
+pub use checker::{check_policies, PolicyVerdict, VerificationReport};
+pub use mine::{mine_policies, MinerInput};
+pub use policy::{Policy, PolicyEndpoint, PolicySet};

@@ -1,0 +1,239 @@
+//! Policy mining: derive the network's specification from its *healthy*
+//! behavior, the way config2spec does from configurations.
+//!
+//! The mining rules (the precise shape matters — Table 1's policy counts,
+//! 21 and 175, fall out of them):
+//!
+//! 1. For every ordered pair of distinct host subnets `(A, B)`:
+//!    - if **every** host pair is reachable → one subnet-level
+//!      `Reachability(A, B)` policy;
+//!    - if **no** host pair is reachable → one subnet-level
+//!      `Isolation(A, B)` policy;
+//!    - otherwise (mixed) → one host-level `Reachability` per reachable
+//!      pair, plus one host-level `Isolation` per unreachable pair whose
+//!      destination is a designated *sensitive* host.
+//! 2. For each management target (router loopback) the management host can
+//!    reach → one `Reachability(mgmt, addr)` policy.
+//!
+//! Intra-subnet traffic never crosses an enforcement point, so it is not
+//! mined (standard config2spec behavior for L2-adjacent pairs).
+
+use crate::policy::{Policy, PolicyEndpoint, PolicySet};
+use heimdall_dataplane::{DataPlane, Flow};
+use heimdall_netmodel::ip::Prefix;
+use heimdall_netmodel::topology::{DeviceIdx, Network};
+use heimdall_routing::ControlPlane;
+use std::net::Ipv4Addr;
+
+/// What the miner needs to know about a network.
+#[derive(Debug, Clone)]
+pub struct MinerInput {
+    /// Labeled host subnets.
+    pub subnets: Vec<(String, Prefix)>,
+    /// The management workstation.
+    pub mgmt_host: Option<String>,
+    /// Management targets (router loopbacks).
+    pub mgmt_targets: Vec<Ipv4Addr>,
+    /// Hosts whose isolation is worth spelling out per-source.
+    pub sensitive_hosts: Vec<String>,
+}
+
+impl MinerInput {
+    /// Builds miner input from generator metadata.
+    pub fn from_meta(meta: &heimdall_netmodel::gen::GenMeta) -> Self {
+        MinerInput {
+            subnets: meta.host_subnets.clone(),
+            mgmt_host: Some(meta.mgmt_host.clone()),
+            mgmt_targets: meta.loopbacks.iter().map(|(_, a)| *a).collect(),
+            sensitive_hosts: meta.sensitive_hosts.clone(),
+        }
+    }
+}
+
+/// Mines the policy set from the given (healthy) snapshot.
+pub fn mine_policies(net: &Network, cp: &ControlPlane, input: &MinerInput) -> PolicySet {
+    let dp = DataPlane::new(net, cp);
+    let mut policies = Vec::new();
+
+    // Hosts per subnet: (device idx, name, addr).
+    let members: Vec<Vec<(DeviceIdx, String, Ipv4Addr)>> = input
+        .subnets
+        .iter()
+        .map(|(_, prefix)| {
+            net.devices()
+                .filter(|(_, d)| d.kind == heimdall_netmodel::device::DeviceKind::Host)
+                .filter_map(|(i, d)| {
+                    d.primary_address()
+                        .filter(|a| prefix.contains(*a))
+                        .map(|a| (i, d.name.clone(), a))
+                })
+                .collect()
+        })
+        .collect();
+
+    for (ai, (alabel, aprefix)) in input.subnets.iter().enumerate() {
+        for (bi, (blabel, bprefix)) in input.subnets.iter().enumerate() {
+            if ai == bi {
+                continue;
+            }
+            let srcs = &members[ai];
+            let dsts = &members[bi];
+            if srcs.is_empty() || dsts.is_empty() {
+                continue;
+            }
+            let mut results = Vec::new();
+            for (sidx, sname, sip) in srcs {
+                for (_, dname, dip) in dsts {
+                    let ok = dp.reachable(*sidx, &Flow::probe(*sip, *dip));
+                    results.push((sname.clone(), dname.clone(), ok));
+                }
+            }
+            let reach_count = results.iter().filter(|(_, _, ok)| *ok).count();
+            if reach_count == results.len() {
+                policies.push(Policy::Reachability {
+                    src: PolicyEndpoint::Subnet {
+                        label: alabel.clone(),
+                        prefix: *aprefix,
+                    },
+                    dst: PolicyEndpoint::Subnet {
+                        label: blabel.clone(),
+                        prefix: *bprefix,
+                    },
+                });
+            } else if reach_count == 0 {
+                policies.push(Policy::Isolation {
+                    src: PolicyEndpoint::Subnet {
+                        label: alabel.clone(),
+                        prefix: *aprefix,
+                    },
+                    dst: PolicyEndpoint::Subnet {
+                        label: blabel.clone(),
+                        prefix: *bprefix,
+                    },
+                });
+            } else {
+                // Sources that initiate *something* into this subnet pair;
+                // hosts that reach nothing (e.g. a locked-down database
+                // server) generate no per-host policies at all.
+                let initiators: std::collections::HashSet<&str> = results
+                    .iter()
+                    .filter(|(_, _, ok)| *ok)
+                    .map(|(s, _, _)| s.as_str())
+                    .collect();
+                for (sname, dname, ok) in &results {
+                    if *ok {
+                        policies.push(Policy::Reachability {
+                            src: PolicyEndpoint::Host(sname.clone()),
+                            dst: PolicyEndpoint::Host(dname.clone()),
+                        });
+                    } else if input.sensitive_hosts.contains(dname)
+                        && initiators.contains(sname.as_str())
+                    {
+                        policies.push(Policy::Isolation {
+                            src: PolicyEndpoint::Host(sname.clone()),
+                            dst: PolicyEndpoint::Host(dname.clone()),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Management plane.
+    if let Some(mgmt) = &input.mgmt_host {
+        if let Some(mdev) = net.device_by_name(mgmt) {
+            if let (Ok(midx), Some(mip)) = (net.idx(mgmt), mdev.primary_address()) {
+                for target in &input.mgmt_targets {
+                    if dp.reachable(midx, &Flow::probe(mip, *target)) {
+                        policies.push(Policy::Reachability {
+                            src: PolicyEndpoint::Host(mgmt.clone()),
+                            dst: PolicyEndpoint::Addr(*target),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    PolicySet { policies }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::check_policies;
+    use heimdall_netmodel::gen::{enterprise_network, university_network};
+    use heimdall_routing::converge;
+
+    #[test]
+    fn enterprise_mines_21_policies() {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        let set = mine_policies(&g.net, &cp, &MinerInput::from_meta(&g.meta));
+        assert_eq!(set.len(), 21, "Table 1: 21 policies; got\n{}", set.to_json());
+    }
+
+    #[test]
+    fn university_mines_175_policies() {
+        let g = university_network();
+        let cp = converge(&g.net);
+        let set = mine_policies(&g.net, &cp, &MinerInput::from_meta(&g.meta));
+        assert_eq!(set.len(), 175, "Table 1: 175 policies");
+    }
+
+    #[test]
+    fn mined_policies_hold_on_the_healthy_snapshot() {
+        for g in [enterprise_network(), university_network()] {
+            let cp = converge(&g.net);
+            let set = mine_policies(&g.net, &cp, &MinerInput::from_meta(&g.meta));
+            let rep = check_policies(&g.net, &cp, &set);
+            assert!(rep.all_hold(), "{}: {rep}", g.meta.name);
+        }
+    }
+
+    #[test]
+    fn enterprise_policy_shape() {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        let set = mine_policies(&g.net, &cp, &MinerInput::from_meta(&g.meta));
+        let reach = set
+            .policies
+            .iter()
+            .filter(|p| matches!(p, Policy::Reachability { .. }))
+            .count();
+        let iso = set
+            .policies
+            .iter()
+            .filter(|p| matches!(p, Policy::Isolation { .. }))
+            .count();
+        // 3 subnet reach + 9 mgmt reach, 9 subnet isolation.
+        assert_eq!(reach, 12);
+        assert_eq!(iso, 9);
+    }
+
+    #[test]
+    fn mining_is_deterministic() {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        let input = MinerInput::from_meta(&g.meta);
+        let a = mine_policies(&g.net, &cp, &input);
+        let b = mine_policies(&g.net, &cp, &input);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn broken_snapshot_mines_differently() {
+        let g = enterprise_network();
+        let mut net = g.net.clone();
+        // Shut acc1's uplink: LAN1 becomes an island.
+        net.device_by_name_mut("acc1")
+            .unwrap()
+            .config
+            .interface_mut("Gi0/0")
+            .unwrap()
+            .enabled = false;
+        let cp = converge(&net);
+        let set = mine_policies(&net, &cp, &MinerInput::from_meta(&g.meta));
+        assert!(set.len() < 21, "broken network must mine fewer positives");
+    }
+}

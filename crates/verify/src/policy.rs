@@ -1,0 +1,237 @@
+//! Policy types: the network's intended-behavior specification.
+
+use heimdall_netmodel::ip::Prefix;
+use heimdall_netmodel::topology::Network;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// One side of a policy: a named host, a labeled subnet (meaning *every
+/// host inside it*), or a raw address (e.g. a router loopback).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyEndpoint {
+    Host(String),
+    Subnet { label: String, prefix: Prefix },
+    Addr(Ipv4Addr),
+}
+
+impl PolicyEndpoint {
+    /// Resolves the endpoint to concrete `(source device, address)` pairs.
+    /// For destinations only the addresses matter; for sources the device
+    /// is where tracing starts.
+    pub fn resolve(&self, net: &Network) -> Vec<(Option<String>, Ipv4Addr)> {
+        match self {
+            PolicyEndpoint::Host(name) => net
+                .device_by_name(name)
+                .and_then(|d| d.primary_address())
+                .map(|a| vec![(Some(name.clone()), a)])
+                .unwrap_or_default(),
+            PolicyEndpoint::Subnet { prefix, .. } => {
+                let mut out = Vec::new();
+                for (_, d) in net.devices() {
+                    if d.kind != heimdall_netmodel::device::DeviceKind::Host {
+                        continue;
+                    }
+                    if let Some(a) = d.primary_address() {
+                        if prefix.contains(a) {
+                            out.push((Some(d.name.clone()), a));
+                        }
+                    }
+                }
+                out
+            }
+            PolicyEndpoint::Addr(a) => vec![(None, *a)],
+        }
+    }
+}
+
+impl fmt::Display for PolicyEndpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyEndpoint::Host(h) => write!(f, "{h}"),
+            PolicyEndpoint::Subnet { label, prefix } => write!(f, "{label}({prefix})"),
+            PolicyEndpoint::Addr(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+/// A single network policy.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Policy {
+    /// Every source endpoint must reach every destination endpoint
+    /// (canonical TCP/80 probe).
+    Reachability { src: PolicyEndpoint, dst: PolicyEndpoint },
+    /// No source endpoint may reach any destination endpoint.
+    Isolation { src: PolicyEndpoint, dst: PolicyEndpoint },
+    /// Reachable, and every path crosses `via`.
+    Waypoint {
+        src: PolicyEndpoint,
+        dst: PolicyEndpoint,
+        via: String,
+    },
+}
+
+impl Policy {
+    /// A short stable identifier used in reports and audit entries.
+    pub fn id(&self) -> String {
+        match self {
+            Policy::Reachability { src, dst } => format!("reach:{src}->{dst}"),
+            Policy::Isolation { src, dst } => format!("isolate:{src}-x->{dst}"),
+            Policy::Waypoint { src, dst, via } => format!("waypoint:{src}->{dst}:via:{via}"),
+        }
+    }
+
+    /// The source endpoint.
+    pub fn src(&self) -> &PolicyEndpoint {
+        match self {
+            Policy::Reachability { src, .. }
+            | Policy::Isolation { src, .. }
+            | Policy::Waypoint { src, .. } => src,
+        }
+    }
+
+    /// The destination endpoint.
+    pub fn dst(&self) -> &PolicyEndpoint {
+        match self {
+            Policy::Reachability { dst, .. }
+            | Policy::Isolation { dst, .. }
+            | Policy::Waypoint { dst, .. } => dst,
+        }
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Policy::Reachability { src, dst } => write!(f, "{src} can reach {dst}"),
+            Policy::Isolation { src, dst } => write!(f, "{src} cannot reach {dst}"),
+            Policy::Waypoint { src, dst, via } => {
+                write!(f, "{src} reaches {dst} via {via}")
+            }
+        }
+    }
+}
+
+/// An ordered set of policies (the network's specification).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PolicySet {
+    pub policies: Vec<Policy>,
+}
+
+impl PolicySet {
+    /// Number of policies.
+    pub fn len(&self) -> usize {
+        self.policies.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.policies.is_empty()
+    }
+
+    /// Policies mentioning `host` on either side.
+    pub fn involving_host(&self, host: &str) -> Vec<&Policy> {
+        self.policies
+            .iter()
+            .filter(|p| {
+                matches!(p.src(), PolicyEndpoint::Host(h) if h == host)
+                    || matches!(p.dst(), PolicyEndpoint::Host(h) if h == host)
+            })
+            .collect()
+    }
+
+    /// Serializes to pretty JSON (the admin-facing interchange format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("policy sets are serializable")
+    }
+
+    /// Parses the JSON form.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_netmodel::gen::enterprise_network;
+
+    #[test]
+    fn endpoint_resolution() {
+        let g = enterprise_network();
+        let h = PolicyEndpoint::Host("h1".to_string());
+        let r = h.resolve(&g.net);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].1, "10.1.1.10".parse::<Ipv4Addr>().unwrap());
+
+        let s = PolicyEndpoint::Subnet {
+            label: "LAN1".to_string(),
+            prefix: "10.1.1.0/24".parse().unwrap(),
+        };
+        assert_eq!(s.resolve(&g.net).len(), 3);
+
+        let a = PolicyEndpoint::Addr("10.0.0.1".parse().unwrap());
+        assert_eq!(a.resolve(&g.net), vec![(None, "10.0.0.1".parse().unwrap())]);
+    }
+
+    #[test]
+    fn unknown_host_resolves_empty() {
+        let g = enterprise_network();
+        assert!(PolicyEndpoint::Host("nope".to_string()).resolve(&g.net).is_empty());
+    }
+
+    #[test]
+    fn ids_are_stable_and_distinct() {
+        let a = Policy::Reachability {
+            src: PolicyEndpoint::Host("h1".into()),
+            dst: PolicyEndpoint::Host("srv1".into()),
+        };
+        let b = Policy::Isolation {
+            src: PolicyEndpoint::Host("h1".into()),
+            dst: PolicyEndpoint::Host("srv1".into()),
+        };
+        assert_ne!(a.id(), b.id());
+        assert_eq!(a.id(), "reach:h1->srv1");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let set = PolicySet {
+            policies: vec![
+                Policy::Reachability {
+                    src: PolicyEndpoint::Subnet {
+                        label: "LAN1".into(),
+                        prefix: "10.1.1.0/24".parse().unwrap(),
+                    },
+                    dst: PolicyEndpoint::Host("srv1".into()),
+                },
+                Policy::Waypoint {
+                    src: PolicyEndpoint::Host("h1".into()),
+                    dst: PolicyEndpoint::Host("srv1".into()),
+                    via: "fw1".into(),
+                },
+            ],
+        };
+        let back = PolicySet::from_json(&set.to_json()).unwrap();
+        assert_eq!(set, back);
+    }
+
+    #[test]
+    fn involving_host_filters() {
+        let set = PolicySet {
+            policies: vec![
+                Policy::Reachability {
+                    src: PolicyEndpoint::Host("h1".into()),
+                    dst: PolicyEndpoint::Host("srv1".into()),
+                },
+                Policy::Isolation {
+                    src: PolicyEndpoint::Host("h2".into()),
+                    dst: PolicyEndpoint::Host("h7".into()),
+                },
+            ],
+        };
+        assert_eq!(set.involving_host("h7").len(), 1);
+        assert_eq!(set.involving_host("h1").len(), 1);
+        assert_eq!(set.involving_host("zz").len(), 0);
+    }
+}

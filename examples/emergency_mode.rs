@@ -1,0 +1,77 @@
+//! Emergency mode (§7): when the twin cannot reproduce the problem.
+//!
+//! ```text
+//! cargo run --release --example emergency_mode
+//! ```
+//!
+//! The ISP has renumbered the peering and the border's upstream optics are
+//! dark — carrier loss is exactly the kind of physical condition an
+//! emulated twin cannot reproduce. The technician activates emergency
+//! mode: commands go straight to production, but the reference monitor
+//! still checks every command against the `Privilege_msp`, every mutating
+//! command is policy-vetted on a shadow copy before it commits, and the
+//! whole session lands in the enclave-sealed audit trail.
+
+use heimdall::emergency::EmergencySession;
+use heimdall::msp::issues::{inject_issue, IssueKind};
+use heimdall::nets::enterprise;
+use heimdall::privilege::derive::derive_privileges;
+use heimdall::translate::harden;
+use heimdall::workflow::probe_ok;
+
+fn main() {
+    let (net, meta, policies) = enterprise();
+    let mut production = net;
+    let issue = inject_issue(&mut production, &meta, IssueKind::Isp).expect("isp issue");
+    println!("ticket {}: {}", issue.id, issue.title);
+    assert!(!probe_ok(&production, &issue));
+
+    let task = heimdall::privilege::derive::Task {
+        kind: issue.task_kind,
+        affected: issue.affected.clone(),
+    };
+    let spec = harden(
+        derive_privileges(&production, &task),
+        &production,
+        &policies,
+        &issue.affected,
+    );
+
+    let mut session = EmergencySession::activate(
+        "alice",
+        production,
+        spec,
+        policies.clone(),
+        "upstream carrier loss: not reproducible in emulation",
+    );
+
+    for (device, cmd) in &issue.fix {
+        match session.exec(device, cmd) {
+            Ok(out) if out.is_empty() => println!("{device}# {cmd}\n   ok"),
+            Ok(out) => println!("{device}# {cmd}\n   {}", out.lines().next().unwrap_or("")),
+            Err(e) => println!("{device}# {cmd}\n   {e}"),
+        }
+    }
+
+    // Even in an emergency, the guardrails hold:
+    println!("\n-- attempting what emergencies do NOT excuse --");
+    for (device, cmd) in [("bdr1", "write erase"), ("core1", "show running-config")] {
+        match session.exec(device, cmd) {
+            Ok(_) => println!("{device}# {cmd}\n   (allowed?!)"),
+            Err(e) => println!("{device}# {cmd}\n   {e}"),
+        }
+    }
+    // And the policy layer vetoes harmful-but-privileged commands:
+    match session.exec("bdr1", "interface Gi0/0 shutdown") {
+        Err(e) => println!("bdr1# interface Gi0/0 shutdown\n   {e}"),
+        Ok(_) => println!("bdr1# interface Gi0/0 shutdown\n   (allowed?!)"),
+    }
+
+    assert!(session.verify_audit_integrity());
+    let (healed, audit) = session.deactivate();
+    println!("\nissue resolved: {}", probe_ok(&healed, &issue));
+    println!("audit entries ({} total):", audit.len());
+    for e in &audit.entries {
+        println!("  [{}] {}", e.seq, e.detail);
+    }
+}

@@ -1,0 +1,100 @@
+//! The motivating incidents (§2.2), executed under both access models.
+//!
+//! ```text
+//! cargo run --release --example malicious_technician
+//! ```
+//!
+//! Three scenarios, each run twice — once over an RMM session with root on
+//! production (the current approach), once through Heimdall:
+//!
+//! 1. APT10-style credential exfiltration (Figure 2);
+//! 2. the Figure 6 malicious ACL edit, hidden inside a legitimate fix;
+//! 3. the Figure 3 careless `write erase` on the gateway router.
+
+use heimdall::msp::attacks::{
+    careless_destruction, credential_exfiltration, malicious_acl_change, stolen_credentials,
+};
+use heimdall::nets::enterprise;
+
+fn main() {
+    let (net, meta, _) = enterprise();
+
+    println!("=== scenario 0: phished technician credentials (§3) ===");
+    let o = stolen_credentials(&net, &meta);
+    println!(
+        "RMM:      attacker controls {} devices, {} (device, action) capabilities",
+        o.rmm_devices, o.rmm_capabilities
+    );
+    println!(
+        "Heimdall: attacker sees {} twin devices, {} capabilities (the open ticket's grant)",
+        o.heimdall_devices, o.heimdall_capabilities
+    );
+    assert!(o.heimdall_capabilities < o.rmm_capabilities / 4);
+    println!();
+
+    println!("=== scenario 1: credential exfiltration (APT10 / Figure 2) ===");
+    let o = credential_exfiltration(&net, &meta);
+    println!("secrets in production configs:   {}", o.secrets_total);
+    println!("harvested over RMM:              {}", o.secrets_rmm);
+    println!("harvested through Heimdall twin: {}", o.secrets_heimdall);
+    println!("twin requests denied:            {}", o.heimdall_denials);
+    assert_eq!(o.secrets_heimdall, 0);
+
+    println!("\n=== scenario 2: malicious ACL edit (Figure 6) ===");
+    let o = malicious_acl_change(&net, &meta);
+    println!("RMM: policies newly violated in production: {}", o.rmm_new_violations);
+    println!(
+        "Heimdall: command allowed at console: {} (it looks legitimate)",
+        o.heimdall_command_allowed
+    );
+    println!("Heimdall: change-set imported:        {}", o.heimdall_applied);
+    println!("Heimdall: rejected for policies:      {:?}", o.heimdall_rejected_for);
+    assert!(!o.heimdall_applied && o.rmm_new_violations > 0);
+
+    println!("\n=== scenario 3: careless destruction (Figure 3) ===");
+    let o = careless_destruction(&net, &meta);
+    println!("RMM: policies violated after `write erase`: {}", o.rmm_violations);
+    println!("Heimdall: command blocked at monitor:        {}", o.heimdall_blocked);
+    println!("Heimdall: production policy violations:      {}", o.heimdall_violations);
+    assert!(o.heimdall_blocked && o.heimdall_violations == 0);
+
+    println!("\nall incidents contained by Heimdall; all succeed over RMM.");
+
+    // Finally: what the customer's security team sees afterwards. Re-run
+    // the exfiltration through a twin and review its audit feed
+    // forensically — the probing pattern is flagged automatically.
+    println!("\n=== forensic review of the exfiltration attempt ===");
+    let mut log = heimdall::enforcer::audit::AuditLog::new();
+    {
+        use heimdall::msp::issues::{inject_issue, IssueKind};
+        use heimdall::privilege::derive::derive_privileges;
+        use heimdall::twin::session::TwinSession;
+        use heimdall::twin::slice::slice_for_task;
+        let mut broken = net.clone();
+        let issue = inject_issue(&mut broken, &meta, IssueKind::AclDeny).expect("issue");
+        let task = heimdall::privilege::derive::Task {
+            kind: issue.task_kind,
+            affected: issue.affected.clone(),
+        };
+        let twin = slice_for_task(&broken, &task);
+        let spec = derive_privileges(&broken, &task);
+        let mut session = TwinSession::open("apt10", twin, spec);
+        for d in ["bdr1", "core1", "core2", "acc3", "h7"] {
+            let _ = session.exec(d, "show running-config");
+        }
+        for e in session.monitor().events() {
+            let verdict = if e.decision.is_allowed() { "[allowed]" } else { "[DENIED: privilege]" };
+            log.append(
+                heimdall::enforcer::audit::AuditKind::Command,
+                &e.technician,
+                &format!("{}: {} {verdict}", e.device, e.command),
+            );
+        }
+    }
+    let summary = heimdall::enforcer::forensics::review(&log);
+    println!("chain intact: {}", summary.chain_intact);
+    for a in &summary.anomalies {
+        println!("ANOMALY [{}] {}: {} (evidence: {:?})", a.rule, a.actor, a.detail, a.evidence);
+    }
+    assert!(!summary.clean(), "the probing pattern must be flagged");
+}

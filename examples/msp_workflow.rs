@@ -1,0 +1,152 @@
+//! The complete MSP engagement, narrated: ticket filed → privilege
+//! derivation → twin debugging at the console → escalation → enforcement →
+//! rollout → audit review → ticket closed.
+//!
+//! ```text
+//! cargo run --release --example msp_workflow
+//! ```
+//!
+//! The scenario is the paper's running example: a host cannot reach the
+//! web service, the root cause is an ACL on the firewall, and the
+//! technician starts with connectivity privileges and must escalate into
+//! ACL rights mid-ticket (§7's privilege-escalation workflow).
+
+use heimdall::enforcer::enclave::Platform;
+use heimdall::enforcer::pipeline::EnforcerPipeline;
+use heimdall::msp::issues::{inject_issue, IssueKind};
+use heimdall::msp::ticket::{Ticket, TicketSystem};
+use heimdall::nets::enterprise;
+use heimdall::privilege::derive::{derive_privileges, TaskKind};
+use heimdall::privilege::escalate::{decide_escalation, EscalationRequest};
+use heimdall::privilege::model::Action;
+use heimdall::twin::session::TwinSession;
+use heimdall::twin::slice::slice_for_task;
+use heimdall::workflow::probe_ok;
+
+fn main() {
+    let (net, meta, policies) = enterprise();
+    let mut production = net;
+    let issue = inject_issue(&mut production, &meta, IssueKind::AclDeny).expect("acl issue");
+
+    // 1. The monitoring system files a ticket. Triage calls it a plain
+    //    connectivity problem — nobody knows it is an ACL yet.
+    let mut tickets = TicketSystem::new();
+    tickets.file(Ticket::new(
+        &issue.id,
+        &issue.title,
+        issue.affected.clone(),
+        TaskKind::Connectivity,
+    ));
+    let ticket = tickets.assign_next("alice").expect("one open ticket").clone();
+    println!("== ticket {} assigned to alice: {}", ticket.id, ticket.title);
+
+    // 2. Heimdall derives least privileges for a *connectivity* task and
+    //    builds the twin.
+    let task = ticket.task();
+    let mut spec = derive_privileges(&production, &task);
+    let twin = slice_for_task(&production, &task);
+    println!(
+        "== twin: {} of {} devices exposed: {:?}",
+        twin.included.len(),
+        production.device_count(),
+        twin.included
+    );
+    let mut session = TwinSession::open("alice", twin, spec.clone());
+    println!("{}", session.view().render());
+
+    // 3. Debugging at the console.
+    let run = |s: &mut TwinSession, d: &str, c: &str| {
+        let out = match s.exec(d, c) {
+            Ok(o) => o,
+            Err(e) => format!("{e}"),
+        };
+        println!("{d}# {c}");
+        for line in out.lines().take(6) {
+            println!("   {line}");
+        }
+        out
+    };
+    run(&mut session, "h4", "ping 10.2.1.10");
+    run(&mut session, "h4", "traceroute 10.2.1.10");
+    // Automated localization reads the same trace evidence:
+    if let Some(d) = heimdall::msp::diagnose::localize(
+        session.emu_mut(),
+        "h4",
+        "10.2.1.10".parse().expect("literal"),
+    ) {
+        println!(
+            "== diagnosis: {:?} at {} (suggested task: {:?})",
+            d.class, d.device, d.suggested_task
+        );
+    }
+    // The trace names fw1's ACL; alice tries to inspect and edit it — but
+    // a connectivity ticket carries no ACL rights.
+    let denied = session.exec("fw1", "no access-list 100 line 2");
+    println!("fw1# no access-list 100 line 2\n   {:?}", denied.err().map(|e| e.to_string()));
+
+    // 4. Escalation: connectivity -> access-control, on an on-path device.
+    let req = EscalationRequest {
+        technician: "alice".into(),
+        action: Action::ModifyAcl,
+        device: "fw1".into(),
+        justification: "trace shows acl 100 denying LAN2 toward the DMZ".into(),
+    };
+    let decision = decide_escalation(&production, &task, &mut spec, &req);
+    println!("== escalation request ({} on fw1): {decision:?}", req.action);
+    session.monitor_mut().set_spec(spec.clone());
+
+    // 5. Fix, verify inside the twin.
+    run(&mut session, "fw1", "show access-lists");
+    run(&mut session, "fw1", "no access-list 100 line 2");
+    run(
+        &mut session,
+        "fw1",
+        "access-list 100 line 2 permit ip 10.1.2.0 0.0.0.255 10.2.1.0 0.0.0.255",
+    );
+    run(&mut session, "h4", "ping 10.2.1.10");
+
+    // 6. Close the session; the enforcer takes over.
+    let (changes, monitor) = session.finish();
+    println!(
+        "== change-set: {} changes; {} commands mediated, {} denied",
+        changes.len(),
+        monitor.events().len(),
+        monitor.denials().len()
+    );
+    let platform = Platform::new("customer-host");
+    let mut enforcer = EnforcerPipeline::launch(&platform);
+    // The customer attests the enforcer before trusting it.
+    let report = enforcer.enclave().attest([7u8; 16]);
+    println!(
+        "== enclave attested: measurement {}...",
+        &enforcer.enclave().measurement_hex()[..16]
+    );
+    platform.verify_report(&report).expect("attestation verifies");
+
+    let outcome = enforcer.process("alice", &production, &changes, &policies, &spec);
+    println!("== enforcer verdict: {:?}", outcome.report.verdict);
+    let updated = outcome.updated_production.expect("accepted");
+    assert!(probe_ok(&updated, &issue));
+
+    // 7. Audit review + ticket close.
+    println!("== audit trail ({} entries):", enforcer.audit().len());
+    for e in &enforcer.audit().entries {
+        println!("   [{}] {:?} {}: {}", e.seq, e.kind, e.actor, e.detail);
+    }
+    assert!(enforcer.verify_audit_integrity());
+    tickets.resolve(&ticket.id, "acl 100 line 2 restored to permit");
+    tickets.close(&ticket.id);
+    println!("== ticket {} closed.", ticket.id);
+
+    // The customer's security team gets the incident report.
+    let report = heimdall::enforcer::IncidentReport {
+        ticket_id: &ticket.id,
+        technician: "alice",
+        summary: &ticket.title,
+        changes: &changes,
+        enforcement: &outcome.report,
+        schedule: outcome.schedule.as_ref(),
+        audit: enforcer.audit(),
+    };
+    println!("\n{}", report.render());
+}

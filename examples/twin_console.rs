@@ -1,0 +1,117 @@
+//! An interactive twin console: what an MSP technician actually sees.
+//!
+//! ```text
+//! cargo run --release --example twin_console            # interactive
+//! echo "h4 ping 10.2.1.10" | cargo run --example twin_console
+//! ```
+//!
+//! Opens the enterprise network with the Figure 6 ACL issue injected,
+//! derives least privileges for the ticket, and drops you into a mediated
+//! console on the twin. Input lines are `<device> <command...>`; special
+//! commands: `topology`, `audit`, `finish`, `quit`.
+//!
+//! Try:
+//! ```text
+//! h4 ping 10.2.1.10
+//! fw1 show access-lists
+//! fw1 no access-list 100 line 2
+//! fw1 access-list 100 line 2 permit ip 10.1.2.0 0.0.0.255 10.2.1.0 0.0.0.255
+//! h4 ping 10.2.1.10
+//! finish
+//! ```
+//! ...and also try what you are *not* allowed to do:
+//! `bdr1 show running-config`, `fw1 write erase`.
+
+use heimdall::enforcer::pipeline::enforce;
+use heimdall::msp::issues::{inject_issue, IssueKind};
+use heimdall::nets::enterprise;
+use heimdall::privilege::derive::derive_privileges;
+use heimdall::twin::session::TwinSession;
+use heimdall::twin::slice::slice_for_task;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let (net, meta, policies) = enterprise();
+    let mut production = net;
+    let issue = inject_issue(&mut production, &meta, IssueKind::AclDeny).expect("acl issue");
+    let task = heimdall::privilege::derive::Task {
+        kind: issue.task_kind,
+        affected: issue.affected.clone(),
+    };
+    let spec = derive_privileges(&production, &task);
+    let twin = slice_for_task(&production, &task);
+
+    println!("ticket {}: {}", issue.id, issue.title);
+    println!(
+        "twin contains {} of {} production devices: {:?}",
+        twin.included.len(),
+        production.device_count(),
+        twin.included
+    );
+    println!("type `<device> <command>`, or: topology | audit | finish | quit\n");
+
+    let mut session = TwinSession::open("you", twin, spec.clone());
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    loop {
+        print!("twin> ");
+        std::io::stdout().flush().ok();
+        let Some(Ok(line)) = lines.next() else { break };
+        let line = line.trim();
+        match line {
+            "" => continue,
+            "quit" => {
+                println!("(abandoning session; nothing reaches production)");
+                return;
+            }
+            "topology" => {
+                println!("{}", session.view().render());
+                continue;
+            }
+            "audit" => {
+                for e in session.monitor().events() {
+                    println!(
+                        "  [{}] {} {} -> {:?}",
+                        e.seq, e.device, e.command, e.decision
+                    );
+                }
+                continue;
+            }
+            "finish" => break,
+            _ => {}
+        }
+        let Some((device, cmd)) = line.split_once(' ') else {
+            println!("% usage: <device> <command>");
+            continue;
+        };
+        match session.exec(device, cmd) {
+            Ok(out) if out.is_empty() => println!("ok"),
+            Ok(out) => println!("{out}"),
+            Err(e) => println!("{e}"),
+        }
+    }
+
+    // Hand the change-set to the enforcer.
+    let (changes, monitor) = session.finish();
+    println!(
+        "\nsession closed: {} changes, {} commands mediated ({} denied)",
+        changes.len(),
+        monitor.events().len(),
+        monitor.denials().len()
+    );
+    let (outcome, audit) = enforce("you", &production, &changes, &policies, &spec);
+    println!("enforcer verdict: {:?}", outcome.report.verdict);
+    if let Some(updated) = &outcome.updated_production {
+        let resolved = heimdall::workflow::probe_ok(updated, &issue);
+        println!("ticket symptom resolved in production: {resolved}");
+    } else {
+        println!("changes rejected; production untouched");
+        for (summary, decision) in &outcome.report.privilege_violations {
+            println!("  privilege violation: {summary} ({decision:?})");
+        }
+        for id in &outcome.report.differential.newly_violated {
+            println!("  would violate policy: {id}");
+        }
+    }
+    println!("audit entries: {}", audit.len());
+}

@@ -1,0 +1,207 @@
+//! Adversarial fuzzing of the technician-facing surfaces: random command
+//! streams against twin sessions, and random change-sets against the
+//! enforcer. Nothing may panic, leak a secret, or touch production
+//! without enforcement.
+
+use heimdall::enforcer::verifier::verify_changes;
+use heimdall::msp::issues::{inject_issue, IssueKind};
+use heimdall::nets::enterprise;
+use heimdall::netmodel::diff::{AclDirection, ConfigChange, ConfigDiff};
+use heimdall::privilege::derive::derive_privileges;
+use heimdall::privilege::model::PrivilegeMsp;
+use heimdall::twin::session::TwinSession;
+use heimdall::twin::slice::slice_for_task;
+use proptest::prelude::*;
+
+/// Random console line: valid-shaped commands with random parameters,
+/// plus raw garbage.
+fn arb_command() -> impl Strategy<Value = String> {
+    let ip = (0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255)
+        .prop_map(|(a, b, c, d)| format!("{a}.{b}.{c}.{d}"));
+    let iface = prop_oneof![
+        Just("Gi0/0".to_string()),
+        Just("Gi0/1".to_string()),
+        Just("Gi0/9".to_string()),
+        Just("Vlan30".to_string()),
+        Just("eth0".to_string()),
+        Just("Nope9".to_string()),
+    ];
+    let aclname = prop_oneof![Just("100"), Just("110"), Just("120"), Just("999")];
+    prop_oneof![
+        Just("show running-config".to_string()),
+        Just("show ip route".to_string()),
+        Just("show interfaces".to_string()),
+        Just("show access-lists".to_string()),
+        Just("show vlan".to_string()),
+        ip.clone().prop_map(|i| format!("ping {i}")),
+        ip.clone().prop_map(|i| format!("traceroute {i}")),
+        iface.clone().prop_map(|f| format!("interface {f} shutdown")),
+        iface.clone().prop_map(|f| format!("interface {f} no shutdown")),
+        (iface.clone(), ip.clone())
+            .prop_map(|(f, i)| format!("interface {f} ip address {i} 255.255.255.0")),
+        (iface.clone(), 1u16..4095)
+            .prop_map(|(f, v)| format!("interface {f} switchport access vlan {v}")),
+        (aclname, 0usize..9).prop_map(|(a, l)| format!("no access-list {a} line {l}")),
+        ip.clone().prop_map(|i| format!("ip route 0.0.0.0 0.0.0.0 {i}")),
+        Just("write erase".to_string()),
+        Just("reload".to_string()),
+        Just("enable secret hacked".to_string()),
+        Just("sudo rm -rf /".to_string()),
+        Just("()(((".to_string()),
+        "[ -~]{0,40}".prop_map(|s| s),
+    ]
+}
+
+fn arb_device() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("h4".to_string()),
+        Just("fw1".to_string()),
+        Just("core1".to_string()),
+        Just("acc2".to_string()),
+        Just("bdr1".to_string()),
+        Just("h7".to_string()),
+        Just("ghost".to_string()),
+        "[a-z0-9]{1,8}".prop_map(|s| s),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_command_streams_never_break_the_twin(
+        script in proptest::collection::vec((arb_device(), arb_command()), 1..40)
+    ) {
+        let (net, meta, _) = enterprise();
+        let mut production = net;
+        let issue = inject_issue(&mut production, &meta, IssueKind::AclDeny).expect("issue");
+        let before = production.clone();
+
+        // Every production secret, to grep the outputs for.
+        let mut secrets: Vec<String> = Vec::new();
+        for (_, d) in production.devices() {
+            secrets.extend(d.config.secrets.all_values().iter().map(|s| s.to_string()));
+        }
+
+        let task = heimdall::privilege::derive::Task {
+            kind: issue.task_kind,
+            affected: issue.affected.clone(),
+        };
+        let twin = slice_for_task(&production, &task);
+        let spec = derive_privileges(&production, &task);
+        let mut session = TwinSession::open("fuzzer", twin, spec);
+
+        let mut mediated = 0usize;
+        for (device, cmd) in &script {
+            if let Ok(out) = session.exec(device, cmd) {
+                mediated += 1;
+                for s in &secrets {
+                    prop_assert!(!out.contains(s.as_str()), "leak via {device} {cmd}");
+                }
+            }
+        }
+        // The monitor saw at least every successfully parsed command.
+        prop_assert!(session.monitor().events().len() >= mediated);
+
+        // Production untouched regardless of what happened inside.
+        let (_diff, _) = session.finish();
+        for (_, d) in production.devices() {
+            let b = before.device_by_name(&d.name).expect("same");
+            prop_assert_eq!(&d.config, &b.config);
+        }
+    }
+
+    #[test]
+    fn random_command_streams_never_break_emergency_mode(
+        script in proptest::collection::vec((arb_device(), arb_command()), 1..12)
+    ) {
+        use heimdall::emergency::EmergencySession;
+        use heimdall::routing::converge;
+        use heimdall::verify::checker::check_policies;
+
+        let (net, meta, policies) = enterprise();
+        let mut production = net;
+        let issue = inject_issue(&mut production, &meta, IssueKind::Isp).expect("issue");
+        let task = heimdall::privilege::derive::Task {
+            kind: issue.task_kind,
+            affected: issue.affected.clone(),
+        };
+        let spec = derive_privileges(&production, &task);
+        let base_report = {
+            let cp = converge(&production);
+            check_policies(&production, &cp, &policies)
+        };
+
+        let mut s = EmergencySession::activate("fuzzer", production.clone(), spec, policies.clone(), "fuzz");
+        for (device, cmd) in &script {
+            let _ = s.exec(device, cmd);
+        }
+        prop_assert!(s.verify_audit_integrity());
+        let (after, audit) = s.deactivate();
+        prop_assert!(audit.verify_chain().is_ok());
+
+        // Whatever the fuzzer did, the per-command veto guarantees that no
+        // policy that held before is violated now.
+        let cp = converge(&after);
+        let rep = check_policies(&after, &cp, &policies);
+        for ((id_b, before), (_, now)) in base_report.results.iter().zip(&rep.results) {
+            if before.holds() {
+                prop_assert!(now.holds(), "{id_b} newly violated by emergency fuzz");
+            }
+        }
+    }
+
+    #[test]
+    fn random_change_sets_never_break_the_enforcer(
+        shutdowns in proptest::collection::vec((arb_device(), 0usize..6, any::<bool>()), 0..8),
+        drop_acl in any::<bool>(),
+        bind_bogus in any::<bool>(),
+    ) {
+        let (net, _, policies) = enterprise();
+        // Build a synthetic change-set, some of it valid, some nonsense.
+        let mut changes = Vec::new();
+        for (dev, ifn, enabled) in shutdowns {
+            changes.push(ConfigChange::SetInterfaceEnabled {
+                device: dev,
+                iface: format!("Gi0/{ifn}"),
+                enabled,
+            });
+        }
+        if drop_acl {
+            changes.push(ConfigChange::RemoveAcl {
+                device: "fw1".to_string(),
+                name: "100".to_string(),
+            });
+        }
+        if bind_bogus {
+            changes.push(ConfigChange::SetInterfaceAcl {
+                device: "acc1".to_string(),
+                iface: "Gi0/1".to_string(),
+                direction: AclDirection::In,
+                acl: Some("does-not-exist".to_string()),
+            });
+        }
+        let diff = ConfigDiff { changes };
+
+        // Under least privilege nothing random should slip through; under
+        // allow-everything the enforcer must still never panic and must
+        // reject anything that newly violates policy.
+        let (rep_lp, patched_lp) = verify_changes(&net, &diff, &policies, &PrivilegeMsp::new());
+        if !diff.is_empty() {
+            prop_assert!(!rep_lp.accepted());
+            prop_assert!(patched_lp.is_none());
+        }
+        let (rep_root, patched_root) =
+            verify_changes(&net, &diff, &policies, &PrivilegeMsp::allow_everything());
+        if let Some(p) = patched_root {
+            // Accepted => applies cleanly and no newly violated policies.
+            prop_assert!(rep_root.accepted());
+            let cp = heimdall::routing::converge(&p);
+            let after = heimdall::verify::checker::check_policies(&p, &cp, &policies);
+            let cp0 = heimdall::routing::converge(&net);
+            let before = heimdall::verify::checker::check_policies(&net, &cp0, &policies);
+            let d = heimdall::verify::differential::diff_reports(&before, &after);
+            prop_assert!(d.is_safe(), "accepted set violated: {:?}", d.newly_violated);
+        }
+    }
+}

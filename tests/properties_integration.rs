@@ -1,0 +1,201 @@
+//! Cross-crate property-based tests: invariants that must hold for *any*
+//! network the generators can produce, not just the two evaluation nets.
+
+use heimdall::dataplane::{DataPlane, Flow};
+use heimdall::netmodel::gen::{random_network, RandomNetConfig};
+use heimdall::privilege::derive::{derive_privileges, relevant_devices, Task};
+use heimdall::privilege::eval::is_allowed;
+use heimdall::privilege::model::{Action, Resource};
+use heimdall::routing::converge;
+use heimdall::twin::slice::slice_for_task;
+use heimdall::verify::checker::check_policies;
+use heimdall::verify::mine::{mine_policies, MinerInput};
+use proptest::prelude::*;
+
+fn arb_cfg() -> impl Strategy<Value = (u64, RandomNetConfig)> {
+    (
+        any::<u64>(),
+        2usize..10,
+        0usize..6,
+        1usize..4,
+        1usize..4,
+    )
+        .prop_map(|(seed, routers, extra, lans, hosts)| {
+            (
+                seed,
+                RandomNetConfig {
+                    routers,
+                    extra_links: extra,
+                    lans,
+                    hosts_per_lan: hosts,
+                },
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn convergence_is_deterministic_on_random_nets((seed, cfg) in arb_cfg()) {
+        let g = random_network(seed, cfg);
+        let a = converge(&g.net);
+        let b = converge(&g.net);
+        for (di, _) in g.net.devices() {
+            prop_assert_eq!(a.rib(di), b.rib(di));
+        }
+    }
+
+    #[test]
+    fn traces_always_terminate((seed, cfg) in arb_cfg()) {
+        let g = random_network(seed, cfg);
+        let cp = converge(&g.net);
+        let dp = DataPlane::new(&g.net, &cp);
+        let hosts: Vec<_> = g
+            .net
+            .devices()
+            .filter_map(|(i, d)| d.primary_address().map(|a| (i, a)))
+            .collect();
+        for (si, sip) in &hosts {
+            for (_, dip) in &hosts {
+                let traces = dp.trace_all(*si, &Flow::probe(*sip, *dip));
+                // Termination with a defined disposition on every branch.
+                for t in traces {
+                    prop_assert!(t.hops.len() <= 64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mined_policies_hold_on_their_own_snapshot((seed, cfg) in arb_cfg()) {
+        let g = random_network(seed, cfg);
+        let cp = converge(&g.net);
+        let input = MinerInput::from_meta(&g.meta);
+        let set = mine_policies(&g.net, &cp, &input);
+        let rep = check_policies(&g.net, &cp, &set);
+        prop_assert!(rep.all_hold(), "seed {seed}: {rep}");
+    }
+
+    #[test]
+    fn derived_privileges_cover_exactly_the_relevant_set((seed, cfg) in arb_cfg()) {
+        let g = random_network(seed, cfg);
+        // Pick two devices deterministically from the seed.
+        let names: Vec<String> = g.net.devices().map(|(_, d)| d.name.clone()).collect();
+        let a = &names[(seed as usize) % names.len()];
+        let b = &names[(seed as usize / 7) % names.len()];
+        let task = Task::connectivity(a, b);
+        let spec = derive_privileges(&g.net, &task);
+        let relevant = relevant_devices(&g.net, &task);
+        for (di, d) in g.net.devices() {
+            let can_view = is_allowed(&spec, Action::View, &Resource::Device(d.name.clone()));
+            prop_assert_eq!(
+                can_view,
+                relevant.contains(&di),
+                "{}: view grant must equal relevance", d.name
+            );
+            // Destructive actions are never granted by derivation.
+            prop_assert!(!is_allowed(&spec, Action::Erase, &Resource::Device(d.name.clone())));
+        }
+    }
+
+    #[test]
+    fn twin_slices_are_connected_when_endpoints_are((seed, cfg) in arb_cfg()) {
+        let g = random_network(seed, cfg);
+        let names: Vec<String> = g.net.devices().map(|(_, d)| d.name.clone()).collect();
+        let a = &names[(seed as usize) % names.len()];
+        let b = &names[(seed as usize / 3) % names.len()];
+        if a == b {
+            return Ok(());
+        }
+        let task = Task::connectivity(a, b);
+        let twin = slice_for_task(&g.net, &task);
+        // Both endpoints present, and the twin graph connects them.
+        prop_assert!(twin.includes(a) && twin.includes(b));
+        let ai = twin.net.idx(a).expect("included");
+        let bi = twin.net.idx(b).expect("included");
+        prop_assert!(
+            twin.net.shortest_path(ai, bi).is_some(),
+            "slice must contain a path between the ticket endpoints"
+        );
+    }
+
+    #[test]
+    fn scheduler_reordering_preserves_final_state((seed, cfg) in arb_cfg()) {
+        // For any change-set produced by diffing two network states, the
+        // dependency-aware schedule must reach exactly the same final
+        // configuration as naive in-order application.
+        use heimdall::netmodel::diff::diff_networks;
+        let g = random_network(seed, cfg);
+        let before = g.net.clone();
+        // Derive an "after" by perturbing several devices.
+        let mut after = g.net.clone();
+        let names: Vec<String> = after.devices().map(|(_, d)| d.name.clone()).collect();
+        for (i, name) in names.iter().enumerate() {
+            let d = after.device_by_name_mut(name).expect("same");
+            if i % 3 == 0 {
+                if let Some(iface) = d.config.interfaces.first().map(|x| x.name.clone()) {
+                    let f = d.config.interface_mut(&iface).expect("first");
+                    f.enabled = !f.enabled;
+                }
+            }
+            if i % 4 == 1 {
+                d.config.static_routes.push(
+                    heimdall::netmodel::proto::StaticRoute::new(
+                        "198.18.0.0/24".parse().expect("valid"),
+                        "10.255.0.1".parse().expect("valid"),
+                    ),
+                );
+            }
+            if i % 5 == 2 {
+                d.config.ospf = None;
+            }
+        }
+        let diff = diff_networks(&before, &after);
+        let policies = heimdall::verify::policy::PolicySet::default();
+        let planned = heimdall::enforcer::schedule(&before, &diff, &policies);
+        prop_assert_eq!(planned.steps.len(), diff.len());
+
+        let mut via_plan = before.clone();
+        for step in &planned.steps {
+            let d = via_plan.device_by_name_mut(step.device()).expect("exists");
+            step.apply(&mut d.config).expect("applies");
+        }
+        let mut via_diff = before.clone();
+        diff.apply_to_network(&mut via_diff).expect("applies");
+        for (_, d) in via_diff.devices() {
+            let p = via_plan.device_by_name(&d.name).expect("same");
+            prop_assert_eq!(
+                d.config.canonicalized(),
+                p.config.canonicalized(),
+                "{} diverged under reordering", d.name
+            );
+        }
+    }
+
+    #[test]
+    fn sanitized_slices_never_leak((seed, cfg) in arb_cfg()) {
+        let mut g = random_network(seed, cfg);
+        // Plant a secret on every router.
+        let routers: Vec<String> = g
+            .net
+            .devices()
+            .filter(|(_, d)| d.kind.routes())
+            .map(|(_, d)| d.name.clone())
+            .collect();
+        for r in &routers {
+            g.net
+                .device_by_name_mut(r)
+                .expect("router")
+                .config
+                .secrets
+                .enable_secret = Some(format!("planted-{seed}-{r}"));
+        }
+        let names: Vec<String> = g.net.devices().map(|(_, d)| d.name.clone()).collect();
+        let task = Task::connectivity(&names[0], &names[names.len() - 1]);
+        let twin = slice_for_task(&g.net, &task);
+        for (_, d) in twin.net.devices() {
+            prop_assert!(d.config.secrets.is_empty(), "{} leaked", d.name);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Security integration tests: the least-privilege guarantees, attacked
+//! from every layer.
+
+use heimdall::msp::attacks::{careless_destruction, credential_exfiltration, malicious_acl_change};
+use heimdall::msp::issues::{inject_issue, IssueKind};
+use heimdall::nets::{enterprise, university};
+use heimdall::privilege::derive::derive_privileges;
+use heimdall::twin::session::{SessionError, TwinSession};
+use heimdall::twin::slice::slice_for_task;
+
+#[test]
+fn no_secret_survives_into_any_twin() {
+    // For every issue class on both networks: collect all production
+    // secrets, render every twin console surface, assert zero overlap.
+    for (net, meta, _) in [enterprise(), university()] {
+        let mut secrets: Vec<String> = Vec::new();
+        for (_, d) in net.devices() {
+            secrets.extend(d.config.secrets.all_values().iter().map(|s| s.to_string()));
+        }
+        assert!(!secrets.is_empty());
+        for kind in [IssueKind::Vlan, IssueKind::Ospf, IssueKind::Isp, IssueKind::AclDeny] {
+            let mut broken = net.clone();
+            let Some(issue) = inject_issue(&mut broken, &meta, kind) else {
+                continue;
+            };
+            let task = heimdall::privilege::derive::Task {
+                kind: issue.task_kind,
+                affected: issue.affected.clone(),
+            };
+            let twin = slice_for_task(&broken, &task);
+            let spec = derive_privileges(&broken, &task);
+            let included = twin.included.clone();
+            let mut session = TwinSession::open("auditor", twin, spec);
+            for device in &included {
+                for cmd in ["show running-config", "show access-lists", "show ip route"] {
+                    if let Ok(out) = session.exec(device, cmd) {
+                        for s in &secrets {
+                            assert!(
+                                !out.contains(s.as_str()),
+                                "{}/{kind:?}: secret {s:?} leaked via {device} {cmd}",
+                                meta.name
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn deny_by_default_holds_for_unknown_devices() {
+    let (net, meta, _) = enterprise();
+    let mut broken = net;
+    let issue = inject_issue(&mut broken, &meta, IssueKind::AclDeny).expect("issue");
+    let task = heimdall::privilege::derive::Task {
+        kind: issue.task_kind,
+        affected: issue.affected.clone(),
+    };
+    let twin = slice_for_task(&broken, &task);
+    let spec = derive_privileges(&broken, &task);
+    let mut session = TwinSession::open("mallory", twin, spec);
+    // Every device outside the slice is invisible AND unusable.
+    for off_slice in ["bdr1", "acc3", "h7", "h1"] {
+        let e = session.exec(off_slice, "show running-config").unwrap_err();
+        assert!(
+            matches!(e, SessionError::PermissionDenied { .. }),
+            "{off_slice}: {e}"
+        );
+        assert!(!session.view().shows(off_slice));
+    }
+}
+
+#[test]
+fn destructive_actions_denied_across_all_issue_kinds() {
+    let (net, meta, _) = enterprise();
+    for kind in [IssueKind::Vlan, IssueKind::Ospf, IssueKind::Isp, IssueKind::AclDeny] {
+        let mut broken = net.clone();
+        let issue = inject_issue(&mut broken, &meta, kind).expect("issue");
+        let task = heimdall::privilege::derive::Task {
+            kind: issue.task_kind,
+            affected: issue.affected.clone(),
+        };
+        let twin = slice_for_task(&broken, &task);
+        let spec = derive_privileges(&broken, &task);
+        let mut session = TwinSession::open("careless", twin, spec);
+        // The root-cause device is in scope — but destruction is not.
+        for cmd in ["write erase", "reload", "enable secret stolen123"] {
+            let r = session.exec(&issue.root_cause, cmd);
+            assert!(
+                matches!(r, Err(SessionError::PermissionDenied { .. })),
+                "{kind:?}: {cmd} must be denied, got {r:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn attack_scenarios_hold_on_enterprise() {
+    let (net, meta, _) = enterprise();
+
+    let exfil = credential_exfiltration(&net, &meta);
+    assert_eq!(exfil.secrets_rmm, exfil.secrets_total);
+    assert_eq!(exfil.secrets_heimdall, 0);
+
+    let evil = malicious_acl_change(&net, &meta);
+    assert!(evil.rmm_new_violations > 0);
+    assert!(evil.heimdall_command_allowed && !evil.heimdall_applied);
+
+    let boom = careless_destruction(&net, &meta);
+    assert!(boom.rmm_violations > 0);
+    assert!(boom.heimdall_blocked);
+    assert_eq!(boom.heimdall_violations, 0);
+}
+
+#[test]
+fn exfiltration_also_contained_on_university() {
+    let (net, meta, _) = university();
+    let exfil = credential_exfiltration(&net, &meta);
+    assert!(exfil.secrets_total >= 30);
+    assert_eq!(exfil.secrets_rmm, exfil.secrets_total);
+    assert_eq!(exfil.secrets_heimdall, 0);
+}
+
+#[test]
+fn twin_changes_cannot_touch_production_directly() {
+    // The twin is a value-isolated copy: however much the technician
+    // destroys inside it, production is bitwise unchanged until the
+    // enforcer applies an accepted change-set.
+    let (net, meta, _) = enterprise();
+    let mut broken = net.clone();
+    let issue = inject_issue(&mut broken, &meta, IssueKind::AclDeny).expect("issue");
+    let before = broken.clone();
+    let task = heimdall::privilege::derive::Task {
+        kind: issue.task_kind,
+        affected: issue.affected.clone(),
+    };
+    let twin = slice_for_task(&broken, &task);
+    let spec = derive_privileges(&broken, &task);
+    let mut session = TwinSession::open("mallory", twin, spec);
+    // Shred what the privileges allow inside the twin.
+    let _ = session.exec("fw1", "no access-list 100 line 1");
+    let _ = session.exec("fw1", "no access-list 100 line 1");
+    let _ = session.exec("fw1", "no access-list 100 line 1");
+    for (_, d) in broken.devices() {
+        let b = before.device_by_name(&d.name).expect("same");
+        assert_eq!(d.config, b.config, "{} mutated without enforcement", d.name);
+    }
+}
