@@ -17,8 +17,8 @@ use heimdall::enforcer::audit::{AuditKind, AuditLog};
 use heimdall::enforcer::crypto::sha256;
 use heimdall::enforcer::{naive_schedule, schedule};
 use heimdall::msp::issues::{inject_issue, IssueKind};
-use heimdall::nets::{enterprise, university};
 use heimdall::netmodel::diff::diff_networks;
+use heimdall::nets::{enterprise, university};
 use heimdall::privilege::derive::{derive_privileges, Task};
 use heimdall::routing::converge;
 use heimdall::twin::session::TwinSession;
@@ -64,10 +64,8 @@ fn bench_verification_placement(c: &mut Criterion) {
                 let _ = s.exec(d, cmd);
                 let twin_net = {
                     // Snapshot current twin changes without closing it.
-                    let diff = heimdall::netmodel::diff::diff_networks(
-                        &twin.net,
-                        s.emu_mut().network(),
-                    );
+                    let diff =
+                        heimdall::netmodel::diff::diff_networks(&twin.net, s.emu_mut().network());
                     let mut patched = broken.clone();
                     let _ = diff.apply_to_network(&mut patched);
                     patched
@@ -124,15 +122,28 @@ fn bench_scheduling(c: &mut Criterion) {
 fn bench_slicing(c: &mut Criterion) {
     let (net, _, _) = enterprise();
     let task = Task::connectivity("h7", "srv1");
-    println!("\n=== Ablation: slicing exposure (devices cloned of {}) ===", net.device_count());
+    println!(
+        "\n=== Ablation: slicing exposure (devices cloned of {}) ===",
+        net.device_count()
+    );
     println!("  all:       {}", slice_all(&net).net.device_count());
-    println!("  neighbor:  {}", slice_neighbors(&net, &task).net.device_count());
-    println!("  heimdall:  {}", slice_for_task(&net, &task).net.device_count());
+    println!(
+        "  neighbor:  {}",
+        slice_neighbors(&net, &task).net.device_count()
+    );
+    println!(
+        "  heimdall:  {}",
+        slice_for_task(&net, &task).net.device_count()
+    );
 
     let mut g = c.benchmark_group("ablation/slicing");
     g.bench_function("all", |b| b.iter(|| black_box(slice_all(&net))));
-    g.bench_function("neighbor", |b| b.iter(|| black_box(slice_neighbors(&net, &task))));
-    g.bench_function("task_driven", |b| b.iter(|| black_box(slice_for_task(&net, &task))));
+    g.bench_function("neighbor", |b| {
+        b.iter(|| black_box(slice_neighbors(&net, &task)))
+    });
+    g.bench_function("task_driven", |b| {
+        b.iter(|| black_box(slice_for_task(&net, &task)))
+    });
     g.finish();
 }
 
@@ -142,8 +153,12 @@ fn bench_substrates(c: &mut Criterion) {
 
     let (ent, _, ent_policies) = enterprise();
     let (uni, _, uni_policies) = university();
-    g.bench_function("converge/enterprise", |b| b.iter(|| black_box(converge(&ent))));
-    g.bench_function("converge/university", |b| b.iter(|| black_box(converge(&uni))));
+    g.bench_function("converge/enterprise", |b| {
+        b.iter(|| black_box(converge(&ent)))
+    });
+    g.bench_function("converge/university", |b| {
+        b.iter(|| black_box(converge(&uni)))
+    });
 
     let cp = converge(&ent);
     let dp = DataPlane::new(&ent, &cp);

@@ -1,0 +1,82 @@
+//! Broker throughput under concurrency: the full open → exec → finish →
+//! enforce cycle for 1, 8, 32 and 128 simultaneous technician sessions
+//! against one shared production network.
+//!
+//! Every session edits the same device (fw1), so higher session counts
+//! also measure the optimistic-commit retry path, not just thread fan-out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heimdall::netmodel::gen::enterprise_network;
+use heimdall::netmodel::topology::Network;
+use heimdall::privilege::derive::{Task, TaskKind};
+use heimdall::routing::converge;
+use heimdall::service::{Broker, BrokerConfig};
+use heimdall::verify::mine::{mine_policies, MinerInput};
+use heimdall::verify::policy::PolicySet;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::thread;
+
+fn production_and_policies() -> (Network, PolicySet) {
+    let g = enterprise_network();
+    let cp = converge(&g.net);
+    let policies = mine_policies(&g.net, &cp, &MinerInput::from_meta(&g.meta));
+    (g.net, policies)
+}
+
+/// One full technician cycle; returns whether the commit applied.
+fn run_session(broker: &Broker, i: usize) -> bool {
+    let host = ["h1", "h4", "h7"][i % 3];
+    let ticket = Task {
+        kind: TaskKind::Routing,
+        affected: vec![host.to_string(), "srv1".to_string()],
+    };
+    let (id, _) = broker
+        .open_session(&format!("tech{i:03}"), ticket)
+        .expect("open");
+    broker
+        .exec(
+            id,
+            "fw1",
+            &format!("ip route 10.{}.0.0 255.255.255.0 10.2.1.10", 64 + i),
+        )
+        .expect("exec");
+    broker.finish(id).expect("finish").applied
+}
+
+fn bench_broker_sessions(c: &mut Criterion) {
+    let (production, policies) = production_and_policies();
+    let mut group = c.benchmark_group("broker_sessions");
+    for &sessions in &[1usize, 8, 32, 128] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sessions),
+            &sessions,
+            |b, &sessions| {
+                b.iter(|| {
+                    let config = BrokerConfig {
+                        max_commit_retries: 256,
+                        rate_capacity: 4096,
+                        rate_refill_per_sec: 1e6,
+                        ..BrokerConfig::default()
+                    };
+                    let broker =
+                        Arc::new(Broker::new(production.clone(), policies.clone(), config));
+                    let handles: Vec<_> = (0..sessions)
+                        .map(|i| {
+                            let broker = Arc::clone(&broker);
+                            thread::spawn(move || run_session(&broker, i))
+                        })
+                        .collect();
+                    for h in handles {
+                        assert!(h.join().expect("session thread"), "lost commit");
+                    }
+                    black_box(broker.stats());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_broker_sessions);
+criterion_main!(benches);

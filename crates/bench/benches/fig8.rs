@@ -27,7 +27,10 @@ fn bench_fig8(c: &mut Criterion) {
     g.bench_function("sweep/full", |b| {
         b.iter(|| {
             black_box(heimdall::experiments::surface_sweep(
-                &net, &policies, 1, "enterprise",
+                &net,
+                &policies,
+                1,
+                "enterprise",
             ))
         })
     });

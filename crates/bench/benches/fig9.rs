@@ -29,7 +29,10 @@ fn bench_fig9(c: &mut Criterion) {
     g.bench_function("sweep/stride8", |b| {
         b.iter(|| {
             black_box(heimdall::experiments::surface_sweep(
-                &net, &policies, 8, "university",
+                &net,
+                &policies,
+                8,
+                "university",
             ))
         })
     });

@@ -45,9 +45,11 @@ fn bench_scalability(c: &mut Criterion) {
             .collect();
         if hosts.len() >= 2 {
             let task = Task::connectivity(&hosts[0], &hosts[hosts.len() - 1]);
-            g.bench_with_input(BenchmarkId::new("derive_privileges", routers), &net, |b, net| {
-                b.iter(|| black_box(derive_privileges(&net.net, &task)))
-            });
+            g.bench_with_input(
+                BenchmarkId::new("derive_privileges", routers),
+                &net,
+                |b, net| b.iter(|| black_box(derive_privileges(&net.net, &task))),
+            );
             g.bench_with_input(BenchmarkId::new("slice_twin", routers), &net, |b, net| {
                 b.iter(|| black_box(slice_for_task(&net.net, &task)))
             });

@@ -59,9 +59,10 @@ impl AccessMode {
             _ => {
                 let mut spec = PrivilegeMsp::new();
                 for &d in &self.accessible(net, task) {
-                    spec.predicates.push(Predicate::allow_all(ResourcePattern::Device(
-                        net.device(d).name.clone(),
-                    )));
+                    spec.predicates
+                        .push(Predicate::allow_all(ResourcePattern::Device(
+                            net.device(d).name.clone(),
+                        )));
                 }
                 spec
             }

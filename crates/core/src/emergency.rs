@@ -40,7 +40,10 @@ pub enum EmergencyError {
     /// The reference monitor refused it (privilege).
     PermissionDenied { command: String },
     /// Applying it would newly violate the named policies.
-    PolicyVeto { command: String, policies: Vec<String> },
+    PolicyVeto {
+        command: String,
+        policies: Vec<String>,
+    },
     /// Parse/execution failure.
     Command(CommandError),
 }
@@ -193,7 +196,12 @@ mod tests {
     use heimdall_msp::issues::{inject_issue, IssueKind};
     use heimdall_privilege::derive::derive_privileges;
 
-    fn setup() -> (Network, heimdall_msp::issues::Issue, PolicySet, PrivilegeMsp) {
+    fn setup() -> (
+        Network,
+        heimdall_msp::issues::Issue,
+        PolicySet,
+        PrivilegeMsp,
+    ) {
         let (net, meta, policies) = enterprise();
         let mut broken = net;
         let issue = inject_issue(&mut broken, &meta, IssueKind::Isp).expect("isp issue");

@@ -32,7 +32,10 @@ pub struct Fig7Row {
 
 /// Runs the Figure 7 pilot study: three issues, both approaches.
 pub fn fig7() -> Vec<Fig7Row> {
-    fig7_on(enterprise, &[IssueKind::Vlan, IssueKind::Ospf, IssueKind::Isp])
+    fig7_on(
+        enterprise,
+        &[IssueKind::Vlan, IssueKind::Ospf, IssueKind::Isp],
+    )
 }
 
 /// The university counterpart. The paper: "we omit the university results
@@ -119,7 +122,9 @@ pub fn render_fig7(rows: &[Fig7Row]) -> String {
         ));
     }
     let avg: f64 = rows.iter().map(|r| r.overhead).sum::<f64>() / rows.len().max(1) as f64;
-    out.push_str(&format!("average Heimdall overhead: {avg:.1} s (modeled)\n"));
+    out.push_str(&format!(
+        "average Heimdall overhead: {avg:.1} s (modeled)\n"
+    ));
     out
 }
 
@@ -131,7 +136,10 @@ mod tests {
     fn shape_matches_the_paper() {
         let rows = fig7();
         assert_eq!(rows.len(), 3);
-        assert!(rows.iter().all(|r| r.both_resolved), "all issues fixed both ways");
+        assert!(
+            rows.iter().all(|r| r.both_resolved),
+            "all issues fixed both ways"
+        );
 
         let by = |label: &str| rows.iter().find(|r| r.issue == label).unwrap();
         let vlan = by("vlan");
@@ -139,8 +147,18 @@ mod tests {
         let isp = by("isp");
 
         // Simple (isp) < middle (ospf) < complex (vlan) overhead ordering.
-        assert!(isp.overhead < ospf.overhead, "isp {} ospf {}", isp.overhead, ospf.overhead);
-        assert!(ospf.overhead < vlan.overhead, "ospf {} vlan {}", ospf.overhead, vlan.overhead);
+        assert!(
+            isp.overhead < ospf.overhead,
+            "isp {} ospf {}",
+            isp.overhead,
+            ospf.overhead
+        );
+        assert!(
+            ospf.overhead < vlan.overhead,
+            "ospf {} vlan {}",
+            ospf.overhead,
+            vlan.overhead
+        );
 
         // Overhead magnitudes in the paper's regime (seconds, 10-50).
         assert!(isp.overhead > 5.0 && vlan.overhead < 60.0);

@@ -48,7 +48,11 @@ pub struct SurfaceSummary {
 }
 
 /// Derives ticket endpoints from the first newly violated policy.
-fn ticket_endpoints(net: &Network, policies: &PolicySet, violated_id: &str) -> Option<(String, String)> {
+fn ticket_endpoints(
+    net: &Network,
+    policies: &PolicySet,
+    violated_id: &str,
+) -> Option<(String, String)> {
     let policy = policies.policies.iter().find(|p| p.id() == violated_id)?;
     let pick = |e: &PolicyEndpoint| -> Option<String> {
         match e {
@@ -57,7 +61,9 @@ fn ticket_endpoints(net: &Network, policies: &PolicySet, violated_id: &str) -> O
                 .devices()
                 .find(|(_, d)| {
                     d.kind == DeviceKind::Host
-                        && d.primary_address().map(|a| prefix.contains(a)).unwrap_or(false)
+                        && d.primary_address()
+                            .map(|a| prefix.contains(a))
+                            .unwrap_or(false)
                 })
                 .map(|(_, d)| d.name.clone()),
             PolicyEndpoint::Addr(a) => net.owner_of(*a).map(|i| net.device(i).name.clone()),
@@ -100,7 +106,8 @@ pub fn surface_sweep(
     let mut surfaces: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     let mut issues = 0usize;
     let mut symptom_tickets = 0usize;
-    let mut surface_cache: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    let mut surface_cache: std::collections::HashMap<String, f64> =
+        std::collections::HashMap::new();
 
     // All's privilege spec is task-independent (root everywhere), so its
     // surface is computed once.
@@ -187,7 +194,11 @@ pub fn surface_sweep(
         .enumerate()
         .map(|(i, m)| {
             let v = &surfaces[i];
-            let mean = if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+            let mean = if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            };
             ModeSummary {
                 mode: m.label().to_string(),
                 feasibility_pct: if issues == 0 {
@@ -262,7 +273,10 @@ mod tests {
     fn enterprise_sweep_shape() {
         let s = fig8();
         assert!(s.issues >= 25, "one issue per infra interface: {s:?}");
-        assert!(s.symptom_tickets >= 8, "access failures are observable: {s:?}");
+        assert!(
+            s.symptom_tickets >= 8,
+            "access failures are observable: {s:?}"
+        );
         let by = |m: &str| s.modes.iter().find(|x| x.mode == m).unwrap().clone();
         let all = by("All");
         let nbr = by("Neighbor");
@@ -271,11 +285,17 @@ mod tests {
         // All is always feasible; Heimdall close; Neighbor below.
         assert_eq!(all.feasibility_pct, 100.0);
         assert!(hd.feasibility_pct >= 85.0, "{hd:?}");
-        assert!(nbr.feasibility_pct <= hd.feasibility_pct, "{nbr:?} vs {hd:?}");
+        assert!(
+            nbr.feasibility_pct <= hd.feasibility_pct,
+            "{nbr:?} vs {hd:?}"
+        );
 
         // Attack surface: All >> Neighbor > Heimdall.
         assert!(all.mean_surface_pct > 80.0, "{all:?}");
-        assert!(hd.mean_surface_pct < nbr.mean_surface_pct, "{hd:?} vs {nbr:?}");
+        assert!(
+            hd.mean_surface_pct < nbr.mean_surface_pct,
+            "{hd:?} vs {nbr:?}"
+        );
         assert!(
             all.mean_surface_pct - hd.mean_surface_pct >= 39.0,
             "paper: reduction up to ~39 points; got all={:.1} hd={:.1}",

@@ -38,9 +38,8 @@ pub fn table1() -> Vec<Table1Row> {
 
 /// Renders the rows in the paper's column order.
 pub fn render_table1(rows: &[Table1Row]) -> String {
-    let mut out = String::from(
-        "Network      #routers  #hosts  #links  #policies  lines of configs\n",
-    );
+    let mut out =
+        String::from("Network      #routers  #hosts  #links  #policies  lines of configs\n");
     for r in rows {
         out.push_str(&format!(
             "{:<12} {:>8}  {:>6}  {:>6}  {:>9}  {:>16}\n",

@@ -111,9 +111,7 @@ pub fn violable_policies(
         }
         for change in candidate_changes(net, di, spec) {
             let mut patched = net.clone();
-            let d = patched
-                .device_by_name_mut(&dev.name)
-                .expect("same network");
+            let d = patched.device_by_name_mut(&dev.name).expect("same network");
             if change.apply(&mut d.config).is_err() {
                 continue;
             }

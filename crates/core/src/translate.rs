@@ -47,7 +47,9 @@ pub fn standing_guardrails(net: &Network) -> Vec<Predicate> {
 pub fn protected_hosts(net: &Network, policies: &PolicySet) -> BTreeSet<String> {
     let mut out = BTreeSet::new();
     for p in &policies.policies {
-        let Policy::Isolation { dst, .. } = p else { continue };
+        let Policy::Isolation { dst, .. } = p else {
+            continue;
+        };
         match dst {
             PolicyEndpoint::Host(h) => {
                 out.insert(h.clone());
@@ -55,7 +57,9 @@ pub fn protected_hosts(net: &Network, policies: &PolicySet) -> BTreeSet<String> 
             PolicyEndpoint::Subnet { prefix, .. } => {
                 for (_, d) in net.devices() {
                     if d.kind == DeviceKind::Host
-                        && d.primary_address().map(|a| prefix.contains(a)).unwrap_or(false)
+                        && d.primary_address()
+                            .map(|a| prefix.contains(a))
+                            .unwrap_or(false)
                     {
                         out.insert(d.name.clone());
                     }
@@ -78,11 +82,7 @@ pub fn protected_hosts(net: &Network, policies: &PolicySet) -> BTreeSet<String> 
 /// One deny per concrete action (not `deny(*, host)`): a concrete-action
 /// predicate out-ranks a wildcard at equal resource specificity, so this
 /// is the only shape that reliably dominates action-specific allows.
-pub fn policy_guardrails(
-    net: &Network,
-    policies: &PolicySet,
-    exempt: &[String],
-) -> Vec<Predicate> {
+pub fn policy_guardrails(net: &Network, policies: &PolicySet, exempt: &[String]) -> Vec<Predicate> {
     let mut out = Vec::new();
     for h in protected_hosts(net, policies) {
         if exempt.contains(&h) {
@@ -103,7 +103,8 @@ pub fn harden(
     exempt: &[String],
 ) -> PrivilegeMsp {
     spec.predicates.extend(standing_guardrails(net));
-    spec.predicates.extend(policy_guardrails(net, policies, exempt));
+    spec.predicates
+        .extend(policy_guardrails(net, policies, exempt));
     spec
 }
 
@@ -121,7 +122,11 @@ mod tests {
         let spec = PrivilegeMsp::new().with(Predicate::allow_all(ResourcePattern::Device(
             "fw1".to_string(),
         )));
-        assert!(is_allowed(&spec, Action::ModifyCredentials, &Resource::Device("fw1".into())));
+        assert!(is_allowed(
+            &spec,
+            Action::ModifyCredentials,
+            &Resource::Device("fw1".into())
+        ));
         // ...hardening closes the reserved actions without touching the rest.
         let hardened = harden(spec, &net, &policies, &[]);
         let fw1 = Resource::Device("fw1".to_string());
@@ -159,7 +164,12 @@ mod tests {
         // issue (derived specs never granted reserved actions anyway).
         use heimdall_msp::issues::{inject_issue, IssueKind};
         let (net, meta, policies) = enterprise();
-        for kind in [IssueKind::Vlan, IssueKind::Ospf, IssueKind::Isp, IssueKind::AclDeny] {
+        for kind in [
+            IssueKind::Vlan,
+            IssueKind::Ospf,
+            IssueKind::Isp,
+            IssueKind::AclDeny,
+        ] {
             let mut broken = net.clone();
             let issue = inject_issue(&mut broken, &meta, kind).expect("issue");
             let task = heimdall_privilege::derive::Task {
@@ -171,7 +181,8 @@ mod tests {
             let twin = heimdall_twin::slice::slice_for_task(&broken, &task);
             let mut s = heimdall_twin::session::TwinSession::open("t", twin, hardened);
             for (d, c) in &issue.fix {
-                s.exec(d, c).unwrap_or_else(|e| panic!("{kind:?}: {d}: {c}: {e}"));
+                s.exec(d, c)
+                    .unwrap_or_else(|e| panic!("{kind:?}: {d}: {c}: {e}"));
             }
         }
     }
@@ -185,9 +196,17 @@ mod tests {
         ));
         // Without exemption, the guardrail closes h7 entirely.
         let closed = harden(spec.clone(), &net, &policies, &[]);
-        assert!(!is_allowed(&closed, Action::View, &Resource::Device("h7".into())));
+        assert!(!is_allowed(
+            &closed,
+            Action::View,
+            &Resource::Device("h7".into())
+        ));
         // Exempting the ticket subject preserves the grant.
         let open = harden(spec, &net, &policies, &["h7".to_string()]);
-        assert!(is_allowed(&open, Action::View, &Resource::Device("h7".into())));
+        assert!(is_allowed(
+            &open,
+            Action::View,
+            &Resource::Device("h7".into())
+        ));
     }
 }

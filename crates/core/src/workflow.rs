@@ -2,8 +2,8 @@
 //! baseline it is compared against.
 
 use heimdall_enforcer::audit::AuditLog;
-use heimdall_enforcer::pipeline::{EnforcerOutcome, EnforcerPipeline};
 use heimdall_enforcer::enclave::Platform;
+use heimdall_enforcer::pipeline::{EnforcerOutcome, EnforcerPipeline};
 use heimdall_msp::issues::Issue;
 use heimdall_msp::rmm::RmmSession;
 use heimdall_msp::technician::ScriptedTechnician;
@@ -57,9 +57,10 @@ pub fn run_heimdall(production: &Network, issue: &Issue, policies: &PolicySet) -
         .net
         .devices()
         .filter(|(_, d)| {
-            d.config.interfaces.iter().any(|i| {
-                i.switchport.is_some() || svi_vlan(&i.name).is_some()
-            })
+            d.config
+                .interfaces
+                .iter()
+                .any(|i| i.switchport.is_some() || svi_vlan(&i.name).is_some())
         })
         .count();
     let mut session = TwinSession::open("technician", twin, spec.clone());
@@ -127,7 +128,10 @@ pub fn probe_ok(net: &Network, issue: &Issue) -> bool {
     let Ok(src) = net.idx(&issue.probe.0) else {
         return false;
     };
-    let Some(src_ip) = net.device_by_name(&issue.probe.0).and_then(|d| d.primary_address()) else {
+    let Some(src_ip) = net
+        .device_by_name(&issue.probe.0)
+        .and_then(|d| d.primary_address())
+    else {
         return false;
     };
     let cp = converge(net);
@@ -150,7 +154,12 @@ mod tests {
 
     #[test]
     fn heimdall_resolves_every_enterprise_issue() {
-        for kind in [IssueKind::Vlan, IssueKind::Ospf, IssueKind::Isp, IssueKind::AclDeny] {
+        for kind in [
+            IssueKind::Vlan,
+            IssueKind::Ospf,
+            IssueKind::Isp,
+            IssueKind::AclDeny,
+        ] {
             let (net, issue, policies) = broken(kind);
             assert!(!probe_ok(&net, &issue), "{kind:?} starts broken");
             let run = run_heimdall(&net, &issue, &policies);
@@ -165,7 +174,12 @@ mod tests {
 
     #[test]
     fn current_approach_resolves_too() {
-        for kind in [IssueKind::Vlan, IssueKind::Ospf, IssueKind::Isp, IssueKind::AclDeny] {
+        for kind in [
+            IssueKind::Vlan,
+            IssueKind::Ospf,
+            IssueKind::Isp,
+            IssueKind::AclDeny,
+        ] {
             let (net, issue, _) = broken(kind);
             let run = run_current_approach(&net, &issue);
             assert!(run.resolved, "{kind:?}");

@@ -17,7 +17,10 @@ pub struct ReachMatrix {
 impl ReachMatrix {
     /// Whether `src` can reach `dst` (false if the pair was not probed).
     pub fn reachable(&self, src: &str, dst: &str) -> bool {
-        self.pairs.get(&(src.to_string(), dst.to_string())).copied().unwrap_or(false)
+        self.pairs
+            .get(&(src.to_string(), dst.to_string()))
+            .copied()
+            .unwrap_or(false)
     }
 
     /// Number of reachable ordered pairs.
@@ -52,7 +55,10 @@ impl ReachMatrix {
 /// Probes every ordered pair of `endpoints` (device index, primary address,
 /// name triples) with the canonical TCP/80 probe. Same-device pairs are
 /// skipped.
-pub fn reach_matrix(dp: &DataPlane<'_>, endpoints: &[(DeviceIdx, Ipv4Addr, String)]) -> ReachMatrix {
+pub fn reach_matrix(
+    dp: &DataPlane<'_>,
+    endpoints: &[(DeviceIdx, Ipv4Addr, String)],
+) -> ReachMatrix {
     let mut m = ReachMatrix::default();
     for (si, sip, sname) in endpoints {
         for (di, dip, dname) in endpoints {
@@ -92,7 +98,7 @@ mod tests {
         assert_eq!(eps.len(), 9);
         let m = reach_matrix(&dp, &eps);
         assert_eq!(m.len(), 72); // 9 * 8 ordered pairs
-        // Intra-LAN always works; cross-LAN tcp is locked down; DMZ open.
+                                 // Intra-LAN always works; cross-LAN tcp is locked down; DMZ open.
         assert!(m.reachable("h1", "h2"));
         assert!(m.reachable("h2", "h1"));
         assert!(!m.reachable("h1", "h4"));
@@ -133,6 +139,8 @@ mod tests {
 
         let d = before.diff(&after);
         assert_eq!(d.len(), 3, "h4,h5,h6 -> srv1 flip: {d:?}");
-        assert!(d.iter().all(|(_, dst, was, now)| dst == "srv1" && *was && !*now));
+        assert!(d
+            .iter()
+            .all(|(_, dst, was, now)| dst == "srv1" && *was && !*now));
     }
 }

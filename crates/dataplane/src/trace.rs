@@ -21,9 +21,17 @@ pub enum Disposition {
     /// address space (assumed carried onward by the provider).
     ExitsNetwork { device: String, iface: String },
     /// Dropped by an inbound ACL.
-    DeniedIn { device: String, acl: String, line: usize },
+    DeniedIn {
+        device: String,
+        acl: String,
+        line: usize,
+    },
     /// Dropped by an outbound ACL.
-    DeniedOut { device: String, acl: String, line: usize },
+    DeniedOut {
+        device: String,
+        acl: String,
+        line: usize,
+    },
     /// No FIB entry matched.
     NoRoute { device: String },
     /// Matched a discard (Null0) route.
@@ -173,7 +181,12 @@ impl<'a> DataPlane<'a> {
 
     /// The L3 endpoint on `(cur, out_iface)`'s broadcast domain whose device
     /// owns `target`, if any.
-    fn deliver_to(&self, cur: DeviceIdx, out_iface: &str, target: Ipv4Addr) -> Option<(DeviceIdx, String)> {
+    fn deliver_to(
+        &self,
+        cur: DeviceIdx,
+        out_iface: &str,
+        target: Ipv4Addr,
+    ) -> Option<(DeviceIdx, String)> {
         let dom = self.cp.l2.domain(cur, out_iface)?;
         self.domain_endpoints
             .get(&dom)?
@@ -221,7 +234,9 @@ impl<'a> DataPlane<'a> {
             if done.len() >= MAX_BRANCHES {
                 break;
             }
-            self.step(cur, in_iface, hops, visited, flow, multipath, &mut stack, &mut done);
+            self.step(
+                cur, in_iface, hops, visited, flow, multipath, &mut stack, &mut done,
+            );
         }
         done
     }
@@ -259,7 +274,13 @@ impl<'a> DataPlane<'a> {
         if let Some(inn) = &in_iface {
             if let Some(acl_name) = dev.config.interface(inn).and_then(|i| i.acl_in.clone()) {
                 if let Some(acl) = dev.config.acls.get(&acl_name) {
-                    let hit = acl.first_match(flow.proto, flow.src, flow.dst, flow.src_port, flow.dst_port);
+                    let hit = acl.first_match(
+                        flow.proto,
+                        flow.src,
+                        flow.dst,
+                        flow.src_port,
+                        flow.dst_port,
+                    );
                     let denied = match hit {
                         Some(i) => acl.entries[i].action == AclAction::Deny,
                         None => true, // implicit deny
@@ -323,7 +344,12 @@ impl<'a> DataPlane<'a> {
                     in_iface: in_iface.clone(),
                     out_iface: Some(out_iface),
                 });
-                finish(hops, Disposition::NullRouted { device: name.clone() });
+                finish(
+                    hops,
+                    Disposition::NullRouted {
+                        device: name.clone(),
+                    },
+                );
                 continue;
             }
 
@@ -334,7 +360,13 @@ impl<'a> DataPlane<'a> {
                 .and_then(|i| i.acl_out.clone())
             {
                 if let Some(acl) = dev.config.acls.get(&acl_name) {
-                    let hit = acl.first_match(flow.proto, flow.src, flow.dst, flow.src_port, flow.dst_port);
+                    let hit = acl.first_match(
+                        flow.proto,
+                        flow.src,
+                        flow.dst,
+                        flow.src_port,
+                        flow.dst_port,
+                    );
                     let denied = match hit {
                         Some(i) => acl.entries[i].action == AclAction::Deny,
                         None => true,
@@ -430,10 +462,10 @@ mod tests {
         let dp = DataPlane::new(&g.net, &cp);
         let flow = Flow::probe(ip("10.2.1.10"), ip("10.1.1.10"));
         let ts = dp.trace_all(g.net.idx_of("srv1"), &flow);
-        assert!(ts
-            .iter()
-            .all(|t| matches!(&t.disposition, Disposition::DeniedOut { device, acl, .. }
-                if device == "acc1" && acl == "120")));
+        assert!(ts.iter().all(
+            |t| matches!(&t.disposition, Disposition::DeniedOut { device, acl, .. }
+                if device == "acc1" && acl == "120")
+        ));
     }
 
     #[test]
@@ -493,10 +525,17 @@ mod tests {
         let g = enterprise_network();
         let mut net = g.net.clone();
         // Strip h4's default route: the very first lookup fails.
-        net.device_by_name_mut("h4").unwrap().config.static_routes.clear();
+        net.device_by_name_mut("h4")
+            .unwrap()
+            .config
+            .static_routes
+            .clear();
         let cp = converge(&net);
         let dp = DataPlane::new(&net, &cp);
-        let t = dp.trace(net.idx_of("h4"), &Flow::probe(ip("10.1.2.10"), ip("10.2.1.10")));
+        let t = dp.trace(
+            net.idx_of("h4"),
+            &Flow::probe(ip("10.1.2.10"), ip("10.2.1.10")),
+        );
         assert!(matches!(&t.disposition, Disposition::NoRoute { device } if device == "h4"));
     }
 
@@ -513,7 +552,10 @@ mod tests {
             ));
         let cp = converge(&net);
         let dp = DataPlane::new(&net, &cp);
-        let t = dp.trace(net.idx_of("bdr1"), &Flow::probe(ip("10.0.0.1"), ip("203.0.113.5")));
+        let t = dp.trace(
+            net.idx_of("bdr1"),
+            &Flow::probe(ip("10.0.0.1"), ip("203.0.113.5")),
+        );
         assert!(matches!(&t.disposition, Disposition::NullRouted { device } if device == "bdr1"));
     }
 
@@ -541,7 +583,11 @@ mod tests {
         let cp = converge(&net);
         let dp = DataPlane::new(&net, &cp);
         let t = dp.trace(net.idx_of("r1"), &Flow::probe(r1_ip, ip("9.9.9.9")));
-        assert!(matches!(t.disposition, Disposition::Loop { .. }), "got {}", t);
+        assert!(
+            matches!(t.disposition, Disposition::Loop { .. }),
+            "got {}",
+            t
+        );
     }
 
     #[test]
@@ -561,20 +607,24 @@ mod tests {
         b.enable_ospf_all(0);
         {
             let r2 = b.device_mut("r2");
-            r2.config.upsert_acl(
-                heimdall_netmodel::acl::Acl::new("50").entry(heimdall_netmodel::acl::AclEntry::simple(
-                    heimdall_netmodel::acl::AclAction::Deny,
-                    heimdall_netmodel::acl::Proto::Any,
-                    "10.1.0.0/24".parse().unwrap(),
-                    heimdall_netmodel::ip::Prefix::DEFAULT,
-                )),
-            );
+            r2.config
+                .upsert_acl(heimdall_netmodel::acl::Acl::new("50").entry(
+                    heimdall_netmodel::acl::AclEntry::simple(
+                        heimdall_netmodel::acl::AclAction::Deny,
+                        heimdall_netmodel::acl::Proto::Any,
+                        "10.1.0.0/24".parse().unwrap(),
+                        heimdall_netmodel::ip::Prefix::DEFAULT,
+                    ),
+                ));
             r2.config.interface_mut("Gi0/0").unwrap().acl_in = Some("50".to_string());
         }
         let net = b.build();
         let cp2 = converge(&net);
         let dp2 = DataPlane::new(&net, &cp2);
-        let t = dp2.trace(net.idx_of("a"), &Flow::probe(ip("10.1.0.10"), ip("10.2.0.10")));
+        let t = dp2.trace(
+            net.idx_of("a"),
+            &Flow::probe(ip("10.1.0.10"), ip("10.2.0.10")),
+        );
         match &t.disposition {
             Disposition::DeniedIn { device, acl, line } => {
                 assert_eq!(device, "r2");

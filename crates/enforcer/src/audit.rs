@@ -47,7 +47,13 @@ pub struct AuditEntry {
 impl AuditEntry {
     /// Recomputes what this entry's hash should be.
     fn expected_hash(&self) -> String {
-        hex(&entry_digest(self.seq, self.kind, &self.actor, &self.detail, &self.prev))
+        hex(&entry_digest(
+            self.seq,
+            self.kind,
+            &self.actor,
+            &self.detail,
+            &self.prev,
+        ))
     }
 }
 
@@ -190,9 +196,17 @@ mod tests {
     fn sample() -> AuditLog {
         let mut log = AuditLog::new();
         log.append(AuditKind::Session, "alice", "session open ticket=TCK-1");
-        log.append(AuditKind::Command, "alice", "fw1: show access-lists [allowed]");
+        log.append(
+            AuditKind::Command,
+            "alice",
+            "fw1: show access-lists [allowed]",
+        );
         log.append(AuditKind::Command, "alice", "fw1: write erase [DENIED]");
-        log.append(AuditKind::Verification, "enforcer", "21 policies, 0 violated");
+        log.append(
+            AuditKind::Verification,
+            "enforcer",
+            "21 policies, 0 violated",
+        );
         log.append(AuditKind::ChangeApplied, "enforcer", "fw1: replace acl 100");
         log
     }

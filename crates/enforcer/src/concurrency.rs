@@ -14,6 +14,7 @@ use crate::crypto::{hex, Sha256};
 use heimdall_netmodel::diff::ConfigDiff;
 use heimdall_netmodel::printer::print_config;
 use heimdall_netmodel::topology::Network;
+use parking_lot::Mutex;
 
 /// Fingerprint of the named devices' configurations (sorted, so the same
 /// set yields the same digest regardless of order).
@@ -43,6 +44,111 @@ pub fn base_fingerprint(net: &Network, diff: &ConfigDiff) -> String {
 /// Whether a change-set's recorded base still matches production.
 pub fn base_matches(net: &Network, diff: &ConfigDiff, recorded: &str) -> bool {
     base_fingerprint(net, diff) == recorded
+}
+
+/// Outcome of a [`CommitGuard::commit`] attempt.
+#[derive(Debug)]
+pub enum CommitAttempt<R> {
+    /// The base still matched; the apply closure ran and, if it produced
+    /// an updated network, production was replaced.
+    Committed { result: R, applied: bool },
+    /// The base fingerprint no longer matched production on the touched
+    /// devices; the apply closure never ran.
+    Stale { current_base: String },
+}
+
+impl<R> CommitAttempt<R> {
+    /// The closure's result, if the base check passed.
+    pub fn into_result(self) -> Option<R> {
+        match self {
+            CommitAttempt::Committed { result, .. } => Some(result),
+            CommitAttempt::Stale { .. } => None,
+        }
+    }
+
+    pub fn is_stale(&self) -> bool {
+        matches!(self, CommitAttempt::Stale { .. })
+    }
+}
+
+/// Serializes commits against one shared production network.
+///
+/// `base_matches` followed by a separate apply is a check-then-act race:
+/// two technicians whose diffs touch the same device can both pass the
+/// check against the same base, then clobber each other. `CommitGuard`
+/// closes the window by holding production behind one lock for the whole
+/// *check → verify/apply → install* sequence:
+///
+/// 1. a technician records the base fingerprint when the twin opens
+///    ([`CommitGuard::record_base`] / [`CommitGuard::open_base`]);
+/// 2. at commit time the fingerprint is re-checked **under the lock**;
+/// 3. only if it still matches does the apply closure run, and its
+///    updated network (if any) is installed before the lock drops.
+///
+/// Unrelated tickets still land concurrently in the logical sense —
+/// staleness is judged per touched-device fingerprint — but each
+/// installation is serialized, so no accepted change-set is ever lost.
+pub struct CommitGuard {
+    production: Mutex<Network>,
+}
+
+impl CommitGuard {
+    /// Wraps a production network for guarded commits.
+    pub fn new(production: Network) -> CommitGuard {
+        CommitGuard {
+            production: Mutex::new(production),
+        }
+    }
+
+    /// A point-in-time copy of production (to slice a twin from).
+    pub fn snapshot(&self) -> Network {
+        self.production.lock().clone()
+    }
+
+    /// Records the base fingerprint for a change-set shaped like `diff`.
+    pub fn record_base(&self, diff: &ConfigDiff) -> String {
+        base_fingerprint(&self.production.lock(), diff)
+    }
+
+    /// Snapshot + fingerprint of the named devices in one lock
+    /// acquisition — the base a technician opens a twin against.
+    pub fn open_base(&self, devices: &[&str]) -> (Network, String) {
+        let prod = self.production.lock();
+        (prod.clone(), devices_fingerprint(&prod, devices))
+    }
+
+    /// Reads production under the lock.
+    pub fn with_production<R>(&self, f: impl FnOnce(&Network) -> R) -> R {
+        f(&self.production.lock())
+    }
+
+    /// One atomic commit attempt: re-checks `recorded_base` under the
+    /// lock, and only if it still matches runs `apply` on current
+    /// production. `apply` returns its result plus an optional updated
+    /// network; `Some` replaces production before the lock is released.
+    pub fn commit<R>(
+        &self,
+        diff: &ConfigDiff,
+        recorded_base: &str,
+        apply: impl FnOnce(&Network) -> (R, Option<Network>),
+    ) -> CommitAttempt<R> {
+        let mut prod = self.production.lock();
+        let current_base = base_fingerprint(&prod, diff);
+        if current_base != recorded_base {
+            return CommitAttempt::Stale { current_base };
+        }
+        let (result, updated) = apply(&prod);
+        let applied = updated.is_some();
+        if let Some(next) = updated {
+            *prod = next;
+        }
+        CommitAttempt::Committed { result, applied }
+    }
+
+    /// Consumes the guard, returning final production.
+    pub fn into_production(self) -> Network {
+        self.production.into_inner()
+    }
 }
 
 #[cfg(test)]
@@ -116,5 +222,136 @@ mod tests {
         let a = devices_fingerprint(&g.net, &["ghost"]);
         let b = devices_fingerprint(&g.net, &["fw1"]);
         assert_ne!(a, b);
+    }
+
+    fn description_diff(device: &str, text: &str) -> ConfigDiff {
+        ConfigDiff {
+            changes: vec![ConfigChange::SetDescription {
+                device: device.into(),
+                iface: "Gi0/3".into(),
+                description: Some(text.into()),
+            }],
+        }
+    }
+
+    #[test]
+    fn guard_commits_fresh_base_and_installs_update() {
+        let g = enterprise_network();
+        let guard = CommitGuard::new(g.net.clone());
+        let diff = description_diff("fw1", "fresh");
+        let base = guard.record_base(&diff);
+        let attempt = guard.commit(&diff, &base, |prod| {
+            let mut next = prod.clone();
+            next.device_by_name_mut("fw1")
+                .unwrap()
+                .config
+                .interface_mut("Gi0/3")
+                .unwrap()
+                .description = Some("fresh".into());
+            ((), Some(next))
+        });
+        assert!(matches!(
+            attempt,
+            CommitAttempt::Committed { applied: true, .. }
+        ));
+        let fw1 = guard.snapshot();
+        let desc = fw1
+            .device_by_name("fw1")
+            .unwrap()
+            .config
+            .interface("Gi0/3")
+            .unwrap()
+            .description
+            .clone();
+        assert_eq!(desc.as_deref(), Some("fresh"));
+    }
+
+    #[test]
+    fn guard_rejects_stale_base_without_running_apply() {
+        let g = enterprise_network();
+        let guard = CommitGuard::new(g.net.clone());
+        let diff = description_diff("fw1", "mine");
+        let base = guard.record_base(&diff);
+
+        // A racing ticket lands on fw1 first.
+        let racing = description_diff("fw1", "theirs");
+        let racing_base = guard.record_base(&racing);
+        guard
+            .commit(&racing, &racing_base, |prod| {
+                let mut next = prod.clone();
+                next.device_by_name_mut("fw1")
+                    .unwrap()
+                    .config
+                    .interface_mut("Gi0/3")
+                    .unwrap()
+                    .description = Some("theirs".into());
+                ((), Some(next))
+            })
+            .into_result()
+            .expect("racing commit is fresh");
+
+        let mut ran = false;
+        let attempt = guard.commit(&diff, &base, |_| {
+            ran = true;
+            ((), None)
+        });
+        assert!(attempt.is_stale());
+        assert!(!ran, "apply must not run on a stale base");
+    }
+
+    #[test]
+    fn guard_interleaved_commits_from_threads_never_lose_updates() {
+        use std::sync::Arc;
+
+        let g = enterprise_network();
+        let guard = Arc::new(CommitGuard::new(g.net.clone()));
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let guard = Arc::clone(&guard);
+                std::thread::spawn(move || {
+                    // Each thread retries until its description lands.
+                    loop {
+                        let diff = description_diff("fw1", &format!("t{i}"));
+                        let base = guard.record_base(&diff);
+                        let attempt = guard.commit(&diff, &base, |prod| {
+                            let mut next = prod.clone();
+                            let iface = next
+                                .device_by_name_mut("fw1")
+                                .unwrap()
+                                .config
+                                .interface_mut("Gi0/3")
+                                .unwrap();
+                            let prev = iface.description.take().unwrap_or_default();
+                            iface.description = Some(format!("{prev}+t{i}"));
+                            ((), Some(next))
+                        });
+                        if !attempt.is_stale() {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let final_net = guard.snapshot();
+        let desc = final_net
+            .device_by_name("fw1")
+            .unwrap()
+            .config
+            .interface("Gi0/3")
+            .unwrap()
+            .description
+            .clone()
+            .unwrap();
+        // All eight commits appended exactly once.
+        for i in 0..8 {
+            assert_eq!(
+                desc.matches(&format!("t{i}")).count(),
+                1,
+                "thread {i} landed exactly once in {desc:?}"
+            );
+        }
     }
 }

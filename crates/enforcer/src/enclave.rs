@@ -199,7 +199,10 @@ mod tests {
         // Replay under a different nonce fails.
         let mut forged = report.clone();
         forged.nonce = [8u8; 16];
-        assert_eq!(platform.verify_report(&forged), Err(EnclaveError::BadReport));
+        assert_eq!(
+            platform.verify_report(&forged),
+            Err(EnclaveError::BadReport)
+        );
     }
 
     #[test]
@@ -208,7 +211,10 @@ mod tests {
         let enclave = platform.launch("heimdall-enforcer-v1");
         let mut report = enclave.attest([1u8; 16]);
         report.measurement = Measurement::of("innocent-looking-code");
-        assert_eq!(platform.verify_report(&report), Err(EnclaveError::BadReport));
+        assert_eq!(
+            platform.verify_report(&report),
+            Err(EnclaveError::BadReport)
+        );
     }
 
     #[test]

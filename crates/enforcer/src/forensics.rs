@@ -58,7 +58,9 @@ fn is_denial(e: &AuditEntry) -> bool {
 }
 
 fn is_veto(e: &AuditEntry) -> bool {
-    e.detail.contains("[VETOED") || e.detail.contains("RejectedPolicy") || e.detail.contains("RejectedLint")
+    e.detail.contains("[VETOED")
+        || e.detail.contains("RejectedPolicy")
+        || e.detail.contains("RejectedLint")
 }
 
 /// Reviews a log.
@@ -140,7 +142,9 @@ pub fn review(log: &AuditLog) -> ForensicsSummary {
                 let after: Vec<u64> = log
                     .entries
                     .iter()
-                    .filter(|e| e.seq > v && &e.actor == actor && e.kind == AuditKind::ChangeApplied)
+                    .filter(|e| {
+                        e.seq > v && &e.actor == actor && e.kind == AuditKind::ChangeApplied
+                    })
                     .map(|e| e.seq)
                     .collect();
                 if !after.is_empty() {
@@ -169,7 +173,11 @@ mod tests {
     fn clean_log() -> AuditLog {
         let mut log = AuditLog::new();
         log.append(AuditKind::Session, "alice", "session open");
-        log.append(AuditKind::Command, "alice", "fw1: show access-lists [allowed]");
+        log.append(
+            AuditKind::Command,
+            "alice",
+            "fw1: show access-lists [allowed]",
+        );
         log.append(AuditKind::ChangeApplied, "alice", "fw1: replace acl 100");
         log
     }
@@ -215,9 +223,16 @@ mod tests {
     #[test]
     fn emergency_use_always_flagged() {
         let mut log = clean_log();
-        log.append(AuditKind::Session, "bob", "EMERGENCY MODE ACTIVATED: optics fault");
+        log.append(
+            AuditKind::Session,
+            "bob",
+            "EMERGENCY MODE ACTIVATED: optics fault",
+        );
         let s = review(&log);
-        assert!(s.anomalies.iter().any(|a| a.rule == "emergency-used" && a.actor == "bob"));
+        assert!(s
+            .anomalies
+            .iter()
+            .any(|a| a.rule == "emergency-used" && a.actor == "bob"));
     }
 
     #[test]

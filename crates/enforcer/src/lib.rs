@@ -46,8 +46,8 @@ pub mod verifier;
 
 pub use audit::{AuditKind, AuditLog};
 pub use enclave::{Enclave, Platform};
-pub use pipeline::{enforce, EnforcerOutcome, EnforcerPipeline};
 pub use forensics::{review, ForensicsSummary};
+pub use pipeline::{enforce, EnforcerOutcome, EnforcerPipeline};
 pub use report::IncidentReport;
 pub use scheduler::{naive_schedule, schedule, Schedule};
 pub use verifier::{verify_changes, EnforcementReport, Verdict};

@@ -8,6 +8,7 @@
 //! chain or the seal.
 
 use crate::audit::{AuditKind, AuditLog};
+use crate::concurrency::{CommitAttempt, CommitGuard};
 use crate::enclave::{Enclave, Platform, SealedBlob};
 use crate::scheduler::{schedule, Schedule};
 use crate::verifier::{verify_changes, EnforcementReport};
@@ -67,26 +68,55 @@ impl EnforcerPipeline {
         privilege: &PrivilegeMsp,
     ) -> EnforcerOutcome {
         if !crate::concurrency::base_matches(production, diff, base_fingerprint) {
-            self.log(
-                AuditKind::Verification,
-                "enforcer",
-                &format!(
-                    "verdict=RejectedStale: base changed on {:?} since the twin was opened",
-                    diff.devices()
-                ),
-            );
-            return EnforcerOutcome {
-                report: EnforcementReport {
-                    verdict: crate::verifier::Verdict::RejectedStale,
-                    privilege_violations: Vec::new(),
-                    differential: Default::default(),
-                    new_lint_errors: Vec::new(),
-                },
-                schedule: None,
-                updated_production: None,
-            };
+            return self.stale_outcome(diff);
         }
         self.process(technician, production, diff, policies, privilege)
+    }
+
+    /// Like [`EnforcerPipeline::process_checked`], but the staleness
+    /// check, verification, and installation of the updated network all
+    /// happen while `guard` holds the production lock — the safe entry
+    /// point when many technicians commit against one shared network.
+    pub fn process_guarded(
+        &mut self,
+        technician: &str,
+        guard: &CommitGuard,
+        diff: &ConfigDiff,
+        base_fingerprint: &str,
+        policies: &PolicySet,
+        privilege: &PrivilegeMsp,
+    ) -> EnforcerOutcome {
+        let attempt = guard.commit(diff, base_fingerprint, |production| {
+            let outcome = self.process(technician, production, diff, policies, privilege);
+            let updated = outcome.updated_production.clone();
+            (outcome, updated)
+        });
+        match attempt {
+            CommitAttempt::Committed { result, .. } => result,
+            CommitAttempt::Stale { .. } => self.stale_outcome(diff),
+        }
+    }
+
+    /// Audits and builds the rejection for a stale change-set.
+    fn stale_outcome(&mut self, diff: &ConfigDiff) -> EnforcerOutcome {
+        self.log(
+            AuditKind::Verification,
+            "enforcer",
+            &format!(
+                "verdict=RejectedStale: base changed on {:?} since the twin was opened",
+                diff.devices()
+            ),
+        );
+        EnforcerOutcome {
+            report: EnforcementReport {
+                verdict: crate::verifier::Verdict::RejectedStale,
+                privilege_violations: Vec::new(),
+                differential: Default::default(),
+                new_lint_errors: Vec::new(),
+            },
+            schedule: None,
+            updated_production: None,
+        }
     }
 
     /// Verifies, schedules, applies, and audits one change-set.
@@ -101,7 +131,11 @@ impl EnforcerPipeline {
         self.log(
             AuditKind::Session,
             technician,
-            &format!("change-set submitted: {} changes on {:?}", diff.len(), diff.devices()),
+            &format!(
+                "change-set submitted: {} changes on {:?}",
+                diff.len(),
+                diff.devices()
+            ),
         );
 
         let (report, patched) = verify_changes(production, diff, policies, privilege);
@@ -280,6 +314,29 @@ mod tests {
         p.tamper_replace_audit(forged);
         // ...but the sealed head no longer matches.
         assert!(!p.verify_audit_integrity());
+    }
+
+    #[test]
+    fn guarded_commit_applies_and_rejects_stale_rework() {
+        let (healthy, broken, policies, privilege) = setup();
+        let diff = diff_networks(&broken, &healthy);
+        let platform = Platform::new("host");
+        let mut p = EnforcerPipeline::launch(&platform);
+        let guard = CommitGuard::new(broken.clone());
+        let base = guard.record_base(&diff);
+
+        let outcome = p.process_guarded("alice", &guard, &diff, &base, &policies, &privilege);
+        assert!(outcome.applied());
+
+        // Replaying the same change-set against its old base is stale:
+        // production moved under it.
+        let replay = p.process_guarded("alice", &guard, &diff, &base, &policies, &privilege);
+        assert!(!replay.applied());
+        assert_eq!(
+            replay.report.verdict,
+            crate::verifier::Verdict::RejectedStale
+        );
+        assert!(p.verify_audit_integrity());
     }
 
     #[test]

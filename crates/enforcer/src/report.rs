@@ -32,12 +32,20 @@ impl IncidentReport<'_> {
         let _ = writeln!(w);
         let _ = writeln!(w, "- technician: `{}`", self.technician);
         let _ = writeln!(w, "- summary: {}", self.summary);
-        let _ = writeln!(w, "- enforcement verdict: **{:?}**", self.enforcement.verdict);
+        let _ = writeln!(
+            w,
+            "- enforcement verdict: **{:?}**",
+            self.enforcement.verdict
+        );
         let _ = writeln!(
             w,
             "- audit chain: {} entries, integrity {}",
             self.audit.len(),
-            if self.audit.verify_chain().is_ok() { "VERIFIED" } else { "**BROKEN**" }
+            if self.audit.verify_chain().is_ok() {
+                "VERIFIED"
+            } else {
+                "**BROKEN**"
+            }
         );
         let _ = writeln!(w);
 
@@ -98,7 +106,11 @@ impl IncidentReport<'_> {
 
         let _ = writeln!(w, "## Audit trail");
         for e in &self.audit.entries {
-            let _ = writeln!(w, "| {} | {:?} | {} | {} |", e.seq, e.kind, e.actor, e.detail);
+            let _ = writeln!(
+                w,
+                "| {} | {:?} | {} | {} |",
+                e.seq, e.kind, e.actor, e.detail
+            );
         }
         out
     }
@@ -168,7 +180,11 @@ mod tests {
         let policies = mine_policies(&g.net, &cp, &MinerInput::from_meta(&g.meta));
         let privilege = heimdall_privilege::model::PrivilegeMsp::new();
         let mut evil = g.net.clone();
-        evil.device_by_name_mut("bdr1").unwrap().config.static_routes.clear();
+        evil.device_by_name_mut("bdr1")
+            .unwrap()
+            .config
+            .static_routes
+            .clear();
         let diff = diff_networks(&g.net, &evil);
         let (outcome, audit) = enforce("mallory", &g.net, &diff, &policies, &privilege);
         let report = IncidentReport {

@@ -147,13 +147,9 @@ mod tests {
         let mut after = g.net.clone();
         {
             let bdr1 = after.device_by_name_mut("bdr1").unwrap();
-            bdr1.config
-                .interface_mut("Gi0/9")
-                .unwrap()
-                .address = Some(heimdall_netmodel::iface::InterfaceAddress::new(
-                "203.0.113.2".parse().unwrap(),
-                30,
-            ));
+            bdr1.config.interface_mut("Gi0/9").unwrap().address = Some(
+                heimdall_netmodel::iface::InterfaceAddress::new("203.0.113.2".parse().unwrap(), 30),
+            );
             bdr1.config.static_routes.clear();
             bdr1.config
                 .static_routes

@@ -143,7 +143,10 @@ pub fn verify_changes(
         return (
             EnforcementReport {
                 verdict: Verdict::RejectedPolicy,
-                privilege_violations: vec![(format!("change-set does not apply: {e}"), Decision::DeniedDefault)],
+                privilege_violations: vec![(
+                    format!("change-set does not apply: {e}"),
+                    Decision::DeniedDefault,
+                )],
                 differential: DifferentialReport::default(),
                 new_lint_errors: Vec::new(),
             },
@@ -194,9 +197,9 @@ pub fn verify_changes(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use heimdall_netmodel::diff::AclDirection;
     use heimdall_netmodel::acl::AclAction;
     use heimdall_netmodel::diff::diff_networks;
+    use heimdall_netmodel::diff::AclDirection;
     use heimdall_netmodel::gen::enterprise_network;
     use heimdall_privilege::derive::{derive_privileges, Task, TaskKind};
     use heimdall_routing::converge;
@@ -272,10 +275,12 @@ mod tests {
         // Mallory needs acl rights on acc3 for this test: grant them so the
         // *policy* layer is what catches it.
         let mut privilege = f.privilege.clone();
-        privilege.predicates.push(heimdall_privilege::model::Predicate::allow(
-            Action::ModifyAcl,
-            heimdall_privilege::model::ResourcePattern::Device("acc3".into()),
-        ));
+        privilege
+            .predicates
+            .push(heimdall_privilege::model::Predicate::allow(
+                Action::ModifyAcl,
+                heimdall_privilege::model::ResourcePattern::Device("acc3".into()),
+            ));
         let (report, patched) = verify_changes(&f.broken, &diff, &f.policies, &privilege);
         assert_eq!(report.verdict, Verdict::RejectedPolicy);
         assert!(report
@@ -319,16 +324,21 @@ mod tests {
             }],
         };
         let mut privilege = f.privilege.clone();
-        privilege.predicates.push(heimdall_privilege::model::Predicate::allow(
-            Action::ModifyAcl,
-            heimdall_privilege::model::ResourcePattern::Acl {
-                device: "fw1".into(),
-                name: "*".into(),
-            },
-        ));
+        privilege
+            .predicates
+            .push(heimdall_privilege::model::Predicate::allow(
+                Action::ModifyAcl,
+                heimdall_privilege::model::ResourcePattern::Acl {
+                    device: "fw1".into(),
+                    name: "*".into(),
+                },
+            ));
         let (report, patched) = verify_changes(&f.broken, &diff, &f.policies, &privilege);
         assert_eq!(report.verdict, Verdict::RejectedLint, "{report:?}");
-        assert!(report.new_lint_errors.iter().any(|e| e.contains("no-such-acl")));
+        assert!(report
+            .new_lint_errors
+            .iter()
+            .any(|e| e.contains("no-such-acl")));
         assert!(patched.is_none());
     }
 
@@ -360,25 +370,95 @@ mod tests {
     fn classification_covers_every_change_kind() {
         use heimdall_netmodel::iface::Interface;
         let cases: Vec<ConfigChange> = vec![
-            ConfigChange::AddInterface { device: "d".into(), iface: Interface::new("e0") },
-            ConfigChange::RemoveInterface { device: "d".into(), iface: "e0".into() },
-            ConfigChange::SetInterfaceAddress { device: "d".into(), iface: "e0".into(), address: None },
-            ConfigChange::SetInterfaceEnabled { device: "d".into(), iface: "e0".into(), enabled: true },
-            ConfigChange::SetInterfaceAcl { device: "d".into(), iface: "e0".into(), direction: AclDirection::In, acl: None },
-            ConfigChange::SetSwitchport { device: "d".into(), iface: "e0".into(), mode: None },
-            ConfigChange::SetOspfCost { device: "d".into(), iface: "e0".into(), cost: None },
-            ConfigChange::SetBandwidth { device: "d".into(), iface: "e0".into(), kbps: 1 },
-            ConfigChange::SetDescription { device: "d".into(), iface: "e0".into(), description: None },
-            ConfigChange::ReplaceAcl { device: "d".into(), name: "1".into(), entries: vec![] },
-            ConfigChange::RemoveAcl { device: "d".into(), name: "1".into() },
-            ConfigChange::AddStaticRoute { device: "d".into(), route: heimdall_netmodel::proto::StaticRoute::default_via("1.1.1.1".parse().unwrap()) },
-            ConfigChange::RemoveStaticRoute { device: "d".into(), route: heimdall_netmodel::proto::StaticRoute::default_via("1.1.1.1".parse().unwrap()) },
-            ConfigChange::SetOspf { device: "d".into(), ospf: None },
-            ConfigChange::SetBgp { device: "d".into(), bgp: None },
-            ConfigChange::UpsertVlan { device: "d".into(), vlan: heimdall_netmodel::vlan::Vlan::new(1) },
-            ConfigChange::RemoveVlan { device: "d".into(), vlan: 1 },
-            ConfigChange::SetRawGlobals { device: "d".into(), lines: vec![] },
-            ConfigChange::ReplaceSecrets { device: "d".into(), secrets: Default::default() },
+            ConfigChange::AddInterface {
+                device: "d".into(),
+                iface: Interface::new("e0"),
+            },
+            ConfigChange::RemoveInterface {
+                device: "d".into(),
+                iface: "e0".into(),
+            },
+            ConfigChange::SetInterfaceAddress {
+                device: "d".into(),
+                iface: "e0".into(),
+                address: None,
+            },
+            ConfigChange::SetInterfaceEnabled {
+                device: "d".into(),
+                iface: "e0".into(),
+                enabled: true,
+            },
+            ConfigChange::SetInterfaceAcl {
+                device: "d".into(),
+                iface: "e0".into(),
+                direction: AclDirection::In,
+                acl: None,
+            },
+            ConfigChange::SetSwitchport {
+                device: "d".into(),
+                iface: "e0".into(),
+                mode: None,
+            },
+            ConfigChange::SetOspfCost {
+                device: "d".into(),
+                iface: "e0".into(),
+                cost: None,
+            },
+            ConfigChange::SetBandwidth {
+                device: "d".into(),
+                iface: "e0".into(),
+                kbps: 1,
+            },
+            ConfigChange::SetDescription {
+                device: "d".into(),
+                iface: "e0".into(),
+                description: None,
+            },
+            ConfigChange::ReplaceAcl {
+                device: "d".into(),
+                name: "1".into(),
+                entries: vec![],
+            },
+            ConfigChange::RemoveAcl {
+                device: "d".into(),
+                name: "1".into(),
+            },
+            ConfigChange::AddStaticRoute {
+                device: "d".into(),
+                route: heimdall_netmodel::proto::StaticRoute::default_via(
+                    "1.1.1.1".parse().unwrap(),
+                ),
+            },
+            ConfigChange::RemoveStaticRoute {
+                device: "d".into(),
+                route: heimdall_netmodel::proto::StaticRoute::default_via(
+                    "1.1.1.1".parse().unwrap(),
+                ),
+            },
+            ConfigChange::SetOspf {
+                device: "d".into(),
+                ospf: None,
+            },
+            ConfigChange::SetBgp {
+                device: "d".into(),
+                bgp: None,
+            },
+            ConfigChange::UpsertVlan {
+                device: "d".into(),
+                vlan: heimdall_netmodel::vlan::Vlan::new(1),
+            },
+            ConfigChange::RemoveVlan {
+                device: "d".into(),
+                vlan: 1,
+            },
+            ConfigChange::SetRawGlobals {
+                device: "d".into(),
+                lines: vec![],
+            },
+            ConfigChange::ReplaceSecrets {
+                device: "d".into(),
+                secrets: Default::default(),
+            },
         ];
         for c in cases {
             let (_, r) = classify_change(&c);

@@ -321,7 +321,8 @@ pub fn careless_destruction(production: &Network, meta: &GenMeta) -> Destruction
 
     // RMM: the wipe lands on production.
     let mut rmm = RmmSession::login(production.clone());
-    rmm.exec(gateway, "write erase").expect("RMM refuses nothing");
+    rmm.exec(gateway, "write erase")
+        .expect("RMM refuses nothing");
     let rmm_net = rmm.logout();
     let rmm_violations = {
         let cp = converge(&rmm_net);
@@ -361,7 +362,11 @@ mod tests {
     fn exfiltration_blocked_by_sanitized_twin() {
         let g = enterprise_network();
         let o = credential_exfiltration(&g.net, &g.meta);
-        assert!(o.secrets_total >= 30, "enough to steal: {}", o.secrets_total);
+        assert!(
+            o.secrets_total >= 30,
+            "enough to steal: {}",
+            o.secrets_total
+        );
         assert_eq!(o.secrets_rmm, o.secrets_total, "RMM leaks everything");
         assert_eq!(o.secrets_heimdall, 0, "twin leaks nothing");
         assert!(o.heimdall_denials > 0, "off-slice reads are denied");
@@ -377,10 +382,12 @@ mod tests {
         assert!(o.heimdall_command_allowed, "{o:?}");
         // ...but the enforcer refused to import it.
         assert!(!o.heimdall_applied, "{o:?}");
-        assert!(o
-            .heimdall_rejected_for
-            .iter()
-            .any(|id| id.contains("LAN1") && id.contains("LAN3")), "{o:?}");
+        assert!(
+            o.heimdall_rejected_for
+                .iter()
+                .any(|id| id.contains("LAN1") && id.contains("LAN3")),
+            "{o:?}"
+        );
     }
 
     #[test]
@@ -400,10 +407,7 @@ mod tests {
         assert_eq!(o.rmm_devices, 18);
         assert_eq!(o.rmm_capabilities, 18 * 12);
         assert!(o.heimdall_devices < o.rmm_devices / 2, "{o:?}");
-        assert!(
-            o.heimdall_capabilities < o.rmm_capabilities / 4,
-            "{o:?}"
-        );
+        assert!(o.heimdall_capabilities < o.rmm_capabilities / 4, "{o:?}");
     }
 
     #[test]

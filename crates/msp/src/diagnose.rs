@@ -49,7 +49,10 @@ pub struct Diagnosis {
 /// Traces `src -> dst` in the emulation and localizes the failure.
 /// Returns `None` when the source device cannot originate the probe.
 pub fn localize(emu: &mut EmulatedNetwork, src_device: &str, dst: Ipv4Addr) -> Option<Diagnosis> {
-    let src_ip = emu.network().device_by_name(src_device)?.primary_address()?;
+    let src_ip = emu
+        .network()
+        .device_by_name(src_device)?
+        .primary_address()?;
     let trace = emu.trace_from(src_device, &Flow::icmp(src_ip, dst))?;
     let evidence = trace.to_string();
     let (device, class) = match &trace.disposition {
@@ -131,7 +134,10 @@ mod tests {
         // The probe dies where the default route gives out (no specific
         // route anywhere): class must be routing-flavored.
         assert!(
-            matches!(d.class, FaultClass::MissingRoute | FaultClass::L2OrLink { .. }),
+            matches!(
+                d.class,
+                FaultClass::MissingRoute | FaultClass::L2OrLink { .. }
+            ),
             "{d:?}"
         );
     }

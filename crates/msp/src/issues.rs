@@ -72,11 +72,7 @@ pub fn inject_issue(net: &mut Network, meta: &GenMeta, kind: IssueKind) -> Optio
     match (meta.name.as_str(), kind) {
         ("enterprise", IssueKind::Vlan) => Some(inject_enterprise_vlan(net)),
         ("enterprise", IssueKind::Ospf) => Some(inject_ospf_loopback(
-            net,
-            "dist2",
-            "10.0.0.6",
-            "h1",
-            "TCK-OSPF",
+            net, "dist2", "10.0.0.6", "h1", "TCK-OSPF",
         )),
         ("enterprise", IssueKind::Isp) => Some(inject_isp(net, meta, "198.51.100.1")),
         ("enterprise", IssueKind::AclDeny) => Some(inject_enterprise_acl(net)),
@@ -245,7 +241,10 @@ fn inject_university_acl(net: &mut Network) -> Issue {
         affected: vec!["cs-h1".to_string(), "www".to_string()],
         task_kind: TaskKind::AccessControl,
         root_cause: "dc1".to_string(),
-        probe: ("cs-h1".to_string(), "172.16.10.10".parse().expect("literal")),
+        probe: (
+            "cs-h1".to_string(),
+            "172.16.10.10".parse().expect("literal"),
+        ),
         fix: cmds(&[
             ("cs-h1", "ping 172.16.10.10"),
             ("dc1", "show access-lists"),
@@ -297,7 +296,12 @@ mod tests {
     #[test]
     fn every_enterprise_issue_breaks_its_probe() {
         let base = enterprise_network();
-        for kind in [IssueKind::Vlan, IssueKind::Ospf, IssueKind::Isp, IssueKind::AclDeny] {
+        for kind in [
+            IssueKind::Vlan,
+            IssueKind::Ospf,
+            IssueKind::Isp,
+            IssueKind::AclDeny,
+        ] {
             let mut net = base.net.clone();
             // Healthy first.
             let issue_preview = {
@@ -330,7 +334,12 @@ mod tests {
     #[test]
     fn fix_commands_all_parse() {
         let base = enterprise_network();
-        for kind in [IssueKind::Vlan, IssueKind::Ospf, IssueKind::Isp, IssueKind::AclDeny] {
+        for kind in [
+            IssueKind::Vlan,
+            IssueKind::Ospf,
+            IssueKind::Isp,
+            IssueKind::AclDeny,
+        ] {
             let mut net = base.net.clone();
             let issue = inject_issue(&mut net, &base.meta, kind).unwrap();
             for (_, line) in &issue.fix {
@@ -345,7 +354,12 @@ mod tests {
         // Run the prepared command list through an unmediated emulation and
         // confirm the probe recovers — for every enterprise issue.
         let base = enterprise_network();
-        for kind in [IssueKind::Vlan, IssueKind::Ospf, IssueKind::Isp, IssueKind::AclDeny] {
+        for kind in [
+            IssueKind::Vlan,
+            IssueKind::Ospf,
+            IssueKind::Isp,
+            IssueKind::AclDeny,
+        ] {
             let mut net = base.net.clone();
             let issue = inject_issue(&mut net, &base.meta, kind).unwrap();
             let mut emu = heimdall_twin::emu::EmulatedNetwork::new(net);

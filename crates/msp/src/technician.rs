@@ -155,11 +155,7 @@ impl ScriptedTechnician {
     pub fn run_rmm(&self, session: &mut RmmSession) -> Vec<String> {
         self.commands
             .iter()
-            .map(|(d, c)| {
-                session
-                    .exec(d, c)
-                    .unwrap_or_else(|e| format!("{e}"))
-            })
+            .map(|(d, c)| session.exec(d, c).unwrap_or_else(|e| format!("{e}")))
             .collect()
     }
 

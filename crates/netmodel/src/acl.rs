@@ -146,7 +146,14 @@ impl AclEntry {
     }
 
     /// Whether a concrete flow matches this entry.
-    pub fn matches(&self, proto: Proto, src: Ipv4Addr, dst: Ipv4Addr, sport: u16, dport: u16) -> bool {
+    pub fn matches(
+        &self,
+        proto: Proto,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        sport: u16,
+        dport: u16,
+    ) -> bool {
         self.proto.matches(proto)
             && self.src.contains(src)
             && self.dst.contains(dst)
@@ -208,7 +215,14 @@ impl Acl {
 
     /// Evaluates the ACL against a concrete flow. Returns the action of the
     /// first matching entry, or `Deny` (the implicit tail) if none match.
-    pub fn evaluate(&self, proto: Proto, src: Ipv4Addr, dst: Ipv4Addr, sport: u16, dport: u16) -> AclAction {
+    pub fn evaluate(
+        &self,
+        proto: Proto,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        sport: u16,
+        dport: u16,
+    ) -> AclAction {
         for e in &self.entries {
             if e.matches(proto, src, dst, sport, dport) {
                 return e.action;
@@ -219,7 +233,14 @@ impl Acl {
 
     /// Index of the first entry matching the flow, if any. Useful for
     /// counterexample explanations ("denied by line 3 of acl 101").
-    pub fn first_match(&self, proto: Proto, src: Ipv4Addr, dst: Ipv4Addr, sport: u16, dport: u16) -> Option<usize> {
+    pub fn first_match(
+        &self,
+        proto: Proto,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        sport: u16,
+        dport: u16,
+    ) -> Option<usize> {
         self.entries
             .iter()
             .position(|e| e.matches(proto, src, dst, sport, dport))
@@ -292,7 +313,12 @@ mod tests {
 
     #[test]
     fn dst_port_filtering_on_tcp() {
-        let mut e = AclEntry::simple(AclAction::Permit, Proto::Tcp, Prefix::DEFAULT, Prefix::DEFAULT);
+        let mut e = AclEntry::simple(
+            AclAction::Permit,
+            Proto::Tcp,
+            Prefix::DEFAULT,
+            Prefix::DEFAULT,
+        );
         e.dst_port = PortMatch::Eq(443);
         assert!(e.matches(Proto::Tcp, ip("1.1.1.1"), ip("2.2.2.2"), 5555, 443));
         assert!(!e.matches(Proto::Tcp, ip("1.1.1.1"), ip("2.2.2.2"), 5555, 80));
@@ -300,14 +326,24 @@ mod tests {
 
     #[test]
     fn ip_proto_entry_ignores_ports() {
-        let mut e = AclEntry::simple(AclAction::Permit, Proto::Any, Prefix::DEFAULT, Prefix::DEFAULT);
+        let mut e = AclEntry::simple(
+            AclAction::Permit,
+            Proto::Any,
+            Prefix::DEFAULT,
+            Prefix::DEFAULT,
+        );
         e.dst_port = PortMatch::Eq(443); // meaningless on `ip`, must be ignored
         assert!(e.matches(Proto::Tcp, ip("1.1.1.1"), ip("2.2.2.2"), 5555, 80));
     }
 
     #[test]
     fn icmp_never_port_filtered() {
-        let e = AclEntry::simple(AclAction::Permit, Proto::Icmp, Prefix::DEFAULT, Prefix::DEFAULT);
+        let e = AclEntry::simple(
+            AclAction::Permit,
+            Proto::Icmp,
+            Prefix::DEFAULT,
+            Prefix::DEFAULT,
+        );
         assert!(e.matches(Proto::Icmp, ip("1.1.1.1"), ip("2.2.2.2"), 0, 0));
         assert!(!e.matches(Proto::Tcp, ip("1.1.1.1"), ip("2.2.2.2"), 0, 0));
     }
@@ -331,9 +367,20 @@ mod tests {
     #[test]
     fn first_match_index() {
         let acl = Acl::new("x")
-            .entry(AclEntry::simple(AclAction::Deny, Proto::Udp, Prefix::DEFAULT, Prefix::DEFAULT))
+            .entry(AclEntry::simple(
+                AclAction::Deny,
+                Proto::Udp,
+                Prefix::DEFAULT,
+                Prefix::DEFAULT,
+            ))
             .entry(AclEntry::permit_any());
-        assert_eq!(acl.first_match(Proto::Udp, ip("1.1.1.1"), ip("2.2.2.2"), 1, 1), Some(0));
-        assert_eq!(acl.first_match(Proto::Tcp, ip("1.1.1.1"), ip("2.2.2.2"), 1, 1), Some(1));
+        assert_eq!(
+            acl.first_match(Proto::Udp, ip("1.1.1.1"), ip("2.2.2.2"), 1, 1),
+            Some(0)
+        );
+        assert_eq!(
+            acl.first_match(Proto::Tcp, ip("1.1.1.1"), ip("2.2.2.2"), 1, 1),
+            Some(1)
+        );
     }
 }

@@ -62,7 +62,9 @@ impl NetBuilder {
     }
 
     fn add(&mut self, d: Device) -> &mut Self {
-        self.net.add_device(d).expect("builder device names are unique");
+        self.net
+            .add_device(d)
+            .expect("builder device names are unique");
         self
     }
 
@@ -125,7 +127,9 @@ impl NetBuilder {
             let h_iface = self.next_iface(h, true);
             self.add_l3_iface(h, &h_iface, ip, subnet.len());
             let hd = self.net.device_by_name_mut(h).expect("just added");
-            hd.config.static_routes.push(StaticRoute::default_via(gw_ip));
+            hd.config
+                .static_routes
+                .push(StaticRoute::default_via(gw_ip));
             self.net
                 .add_link(router, &gw_iface, h, &h_iface)
                 .expect("fresh host link");
@@ -144,11 +148,7 @@ impl NetBuilder {
             .collect();
         for name in names {
             let d = self.net.device_by_name_mut(&name).expect("listed above");
-            let mut ospf = d
-                .config
-                .ospf
-                .take()
-                .unwrap_or_else(|| OspfConfig::new(1));
+            let mut ospf = d.config.ospf.take().unwrap_or_else(|| OspfConfig::new(1));
             for iface in &d.config.interfaces {
                 if let Some(subnet) = iface.subnet() {
                     if ospf.area_for(subnet.addr()) != Some(area) {
@@ -226,7 +226,10 @@ mod tests {
         assert_eq!(n.device_count(), 3);
         assert_eq!(n.link_count(), 2);
         let h1 = n.device_by_name("h1").unwrap();
-        assert_eq!(h1.primary_address().unwrap(), "10.1.0.10".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(
+            h1.primary_address().unwrap(),
+            "10.1.0.10".parse::<Ipv4Addr>().unwrap()
+        );
         assert_eq!(h1.config.static_routes.len(), 1);
         assert!(h1.config.static_routes[0].prefix.is_default());
     }

@@ -170,7 +170,11 @@ mod tests {
     fn upsert_acl() {
         let mut c = DeviceConfig::new("r1");
         c.upsert_acl(Acl::new("101").entry(AclEntry::permit_any()));
-        c.upsert_acl(Acl::new("101").entry(AclEntry::deny_any()).entry(AclEntry::permit_any()));
+        c.upsert_acl(
+            Acl::new("101")
+                .entry(AclEntry::deny_any())
+                .entry(AclEntry::permit_any()),
+        );
         assert_eq!(c.acls["101"].entries.len(), 2);
     }
 

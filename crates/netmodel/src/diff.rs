@@ -43,8 +43,14 @@ impl fmt::Display for AclDirection {
 /// order-sensitive), routing processes change wholesale.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ConfigChange {
-    AddInterface { device: String, iface: Interface },
-    RemoveInterface { device: String, iface: String },
+    AddInterface {
+        device: String,
+        iface: Interface,
+    },
+    RemoveInterface {
+        device: String,
+        iface: String,
+    },
     SetInterfaceAddress {
         device: String,
         iface: String,
@@ -86,18 +92,42 @@ pub enum ConfigChange {
         name: String,
         entries: Vec<AclEntry>,
     },
-    RemoveAcl { device: String, name: String },
-    AddStaticRoute { device: String, route: StaticRoute },
-    RemoveStaticRoute { device: String, route: StaticRoute },
+    RemoveAcl {
+        device: String,
+        name: String,
+    },
+    AddStaticRoute {
+        device: String,
+        route: StaticRoute,
+    },
+    RemoveStaticRoute {
+        device: String,
+        route: StaticRoute,
+    },
     SetOspf {
         device: String,
         ospf: Option<OspfConfig>,
     },
-    SetBgp { device: String, bgp: Option<BgpConfig> },
-    UpsertVlan { device: String, vlan: Vlan },
-    RemoveVlan { device: String, vlan: u16 },
-    SetRawGlobals { device: String, lines: Vec<String> },
-    ReplaceSecrets { device: String, secrets: Secrets },
+    SetBgp {
+        device: String,
+        bgp: Option<BgpConfig>,
+    },
+    UpsertVlan {
+        device: String,
+        vlan: Vlan,
+    },
+    RemoveVlan {
+        device: String,
+        vlan: u16,
+    },
+    SetRawGlobals {
+        device: String,
+        lines: Vec<String>,
+    },
+    ReplaceSecrets {
+        device: String,
+        secrets: Secrets,
+    },
 }
 
 impl ConfigChange {
@@ -150,27 +180,52 @@ impl ConfigChange {
         match self {
             AddInterface { device, iface } => format!("{device}: add interface {}", iface.name),
             RemoveInterface { device, iface } => format!("{device}: remove interface {iface}"),
-            SetInterfaceAddress { device, iface, address } => match address {
+            SetInterfaceAddress {
+                device,
+                iface,
+                address,
+            } => match address {
                 Some(a) => format!("{device}: {iface} ip address {}/{}", a.ip, a.prefix_len),
                 None => format!("{device}: {iface} no ip address"),
             },
-            SetInterfaceEnabled { device, iface, enabled } => {
+            SetInterfaceEnabled {
+                device,
+                iface,
+                enabled,
+            } => {
                 let verb = if *enabled { "no shutdown" } else { "shutdown" };
                 format!("{device}: {iface} {verb}")
             }
-            SetInterfaceAcl { device, iface, direction, acl } => match acl {
+            SetInterfaceAcl {
+                device,
+                iface,
+                direction,
+                acl,
+            } => match acl {
                 Some(a) => format!("{device}: {iface} ip access-group {a} {direction}"),
                 None => format!("{device}: {iface} no ip access-group {direction}"),
             },
             SetSwitchport { device, iface, .. } => format!("{device}: {iface} switchport change"),
-            SetOspfCost { device, iface, cost } => {
+            SetOspfCost {
+                device,
+                iface,
+                cost,
+            } => {
                 format!("{device}: {iface} ip ospf cost {cost:?}")
             }
-            SetBandwidth { device, iface, kbps } => {
+            SetBandwidth {
+                device,
+                iface,
+                kbps,
+            } => {
                 format!("{device}: {iface} bandwidth {kbps}")
             }
             SetDescription { device, iface, .. } => format!("{device}: {iface} description"),
-            ReplaceAcl { device, name, entries } => {
+            ReplaceAcl {
+                device,
+                name,
+                entries,
+            } => {
                 format!("{device}: replace acl {name} ({} entries)", entries.len())
             }
             RemoveAcl { device, name } => format!("{device}: remove acl {name}"),
@@ -221,7 +276,12 @@ impl ConfigChange {
                 let i = want_iface(cfg, iface)?;
                 cfg.interfaces[i].enabled = *enabled;
             }
-            SetInterfaceAcl { iface, direction, acl, .. } => {
+            SetInterfaceAcl {
+                iface,
+                direction,
+                acl,
+                ..
+            } => {
                 let i = want_iface(cfg, iface)?;
                 match direction {
                     AclDirection::In => cfg.interfaces[i].acl_in = acl.clone(),
@@ -240,7 +300,9 @@ impl ConfigChange {
                 let i = want_iface(cfg, iface)?;
                 cfg.interfaces[i].bandwidth_kbps = *kbps;
             }
-            SetDescription { iface, description, .. } => {
+            SetDescription {
+                iface, description, ..
+            } => {
                 let i = want_iface(cfg, iface)?;
                 cfg.interfaces[i].description = description.clone();
             }
@@ -511,9 +573,7 @@ mod tests {
 
     fn base() -> DeviceConfig {
         let mut c = DeviceConfig::new("r1");
-        c.upsert_interface(
-            Interface::new("Gi0/0").with_address(Ipv4Addr::new(10, 0, 0, 1), 24),
-        );
+        c.upsert_interface(Interface::new("Gi0/0").with_address(Ipv4Addr::new(10, 0, 0, 1), 24));
         c.upsert_interface(Interface::new("Gi0/1"));
         c.upsert_acl(Acl::new("101").entry(AclEntry::deny_any()));
         c.static_routes

@@ -90,9 +90,8 @@ pub fn enterprise_network() -> GeneratedNet {
         let acc3 = b.device_mut("acc3");
         acc3.config.vlans.insert(30, Vlan::named(30, "eng"));
         acc3.config.vlans.insert(31, Vlan::named(31, "quarantine"));
-        acc3.config.upsert_interface(
-            Interface::new("Vlan30").with_address(ip("10.1.3.1"), 24),
-        );
+        acc3.config
+            .upsert_interface(Interface::new("Vlan30").with_address(ip("10.1.3.1"), 24));
         for port in ["Gi0/2", "Gi0/3"] {
             acc3.config.upsert_interface(
                 Interface::new(port).with_switchport(SwitchPortMode::Access { vlan: 30 }),
@@ -111,7 +110,8 @@ pub fn enterprise_network() -> GeneratedNet {
             b.adopt_host(h);
             b.network_mut()
         };
-        net.add_link("acc3", port, host, "eth0").expect("fresh link");
+        net.add_link("acc3", port, host, "eth0")
+            .expect("fresh link");
     }
 
     // Upstream / ISP attachment on bdr1.
@@ -139,8 +139,18 @@ pub fn enterprise_network() -> GeneratedNet {
         // Anti-spoofing on the upstream edge.
         bdr1.config.upsert_acl(
             Acl::new("110")
-                .entry(AclEntry::simple(AclAction::Deny, Proto::Any, p("10.0.0.0/8"), Prefix::DEFAULT))
-                .entry(AclEntry::simple(AclAction::Deny, Proto::Any, p("192.168.0.0/16"), Prefix::DEFAULT))
+                .entry(AclEntry::simple(
+                    AclAction::Deny,
+                    Proto::Any,
+                    p("10.0.0.0/8"),
+                    Prefix::DEFAULT,
+                ))
+                .entry(AclEntry::simple(
+                    AclAction::Deny,
+                    Proto::Any,
+                    p("192.168.0.0/16"),
+                    Prefix::DEFAULT,
+                ))
                 .entry(AclEntry::permit_any()),
         );
     }
@@ -162,29 +172,50 @@ pub fn enterprise_network() -> GeneratedNet {
         let fw1 = b.device_mut("fw1");
         let mut acl = Acl::new("100");
         for lan in ["10.1.1.0/24", "10.1.2.0/24", "10.1.3.0/24"] {
-            acl.entries
-                .push(AclEntry::simple(AclAction::Permit, Proto::Any, p(lan), p("10.2.1.0/24")));
+            acl.entries.push(AclEntry::simple(
+                AclAction::Permit,
+                Proto::Any,
+                p(lan),
+                p("10.2.1.0/24"),
+            ));
         }
         // Operational niceties: monitoring pings and NTP from the mgmt LAN.
-        acl.entries
-            .push(AclEntry::simple(AclAction::Permit, Proto::Icmp, Prefix::DEFAULT, p("10.2.1.0/24")));
-        let mut ntp = AclEntry::simple(AclAction::Permit, Proto::Udp, p("10.1.1.0/24"), p("10.2.1.0/24"));
+        acl.entries.push(AclEntry::simple(
+            AclAction::Permit,
+            Proto::Icmp,
+            Prefix::DEFAULT,
+            p("10.2.1.0/24"),
+        ));
+        let mut ntp = AclEntry::simple(
+            AclAction::Permit,
+            Proto::Udp,
+            p("10.1.1.0/24"),
+            p("10.2.1.0/24"),
+        );
         ntp.dst_port = PortMatch::Eq(123);
         acl.entries.push(ntp);
         acl.entries.push(AclEntry::deny_any());
         fw1.config.upsert_acl(acl);
-        fw1.config.interface_mut(&dmz_iface).expect("dmz iface").acl_out = Some("100".to_string());
         fw1.config
-            .secrets
-            .ipsec_psks
-            .insert("203.0.113.77".to_string(), "PSK-branch-vpn-Hq7x".to_string());
+            .interface_mut(&dmz_iface)
+            .expect("dmz iface")
+            .acl_out = Some("100".to_string());
+        fw1.config.secrets.ipsec_psks.insert(
+            "203.0.113.77".to_string(),
+            "PSK-branch-vpn-Hq7x".to_string(),
+        );
     }
 
     // Client-LAN lockdown: nothing initiates *into* a client LAN except
     // ICMP (troubleshooting). Applied outbound on each LAN gateway port.
     let lockdown = |acl_name: &str| {
         Acl::new(acl_name)
-            .entry(AclEntry::simple(AclAction::Permit, Proto::Icmp, Prefix::DEFAULT, Prefix::DEFAULT))
+            .entry(AclEntry::simple(
+                AclAction::Permit,
+                Proto::Icmp,
+                Prefix::DEFAULT,
+                Prefix::DEFAULT,
+            ))
             .entry(AclEntry::deny_any())
     };
     for (dev, iface) in [
@@ -223,7 +254,12 @@ pub fn enterprise_network() -> GeneratedNet {
     }
     for (i, r) in ROUTERS.iter().enumerate() {
         let rid = Ipv4Addr::new(10, 0, 0, (i + 1) as u8);
-        b.device_mut(r).config.ospf.as_mut().expect("ospf").router_id = Some(rid);
+        b.device_mut(r)
+            .config
+            .ospf
+            .as_mut()
+            .expect("ospf")
+            .router_id = Some(rid);
     }
 
     // Credentials and operational boilerplate on every router.
@@ -247,11 +283,20 @@ pub fn enterprise_network() -> GeneratedNet {
             .config
             .interfaces
             .iter()
-            .filter(|x| x.name.starts_with("Gi0/") && x.switchport.is_none() && x.subnet().map(|s| s.len() == 30).unwrap_or(false))
+            .filter(|x| {
+                x.name.starts_with("Gi0/")
+                    && x.switchport.is_none()
+                    && x.subnet().map(|s| s.len() == 30).unwrap_or(false)
+            })
             .map(|x| x.name.clone())
             .collect();
         for fi in fabric_ifaces {
-            if d.config.interface(&fi).and_then(|x| x.subnet()).map(|s| s.addr().octets()[0]) == Some(10) {
+            if d.config
+                .interface(&fi)
+                .and_then(|x| x.subnet())
+                .map(|s| s.addr().octets()[0])
+                == Some(10)
+            {
                 d.config
                     .secrets
                     .ospf_auth_keys
@@ -283,7 +328,10 @@ pub fn enterprise_network() -> GeneratedNet {
         upstream_subnet: p("198.51.100.0/30"),
     };
 
-    GeneratedNet { net: b.build(), meta }
+    GeneratedNet {
+        net: b.build(),
+        meta,
+    }
 }
 
 #[cfg(test)]
@@ -339,7 +387,11 @@ mod tests {
     fn border_has_default_and_bgp() {
         let g = enterprise_network();
         let bdr1 = g.net.device_by_name("bdr1").unwrap();
-        assert!(bdr1.config.static_routes.iter().any(|r| r.prefix.is_default()));
+        assert!(bdr1
+            .config
+            .static_routes
+            .iter()
+            .any(|r| r.prefix.is_default()));
         assert_eq!(bdr1.config.bgp.as_ref().unwrap().asn, 65001);
         assert!(bdr1.config.ospf.as_ref().unwrap().redistribute_static);
     }

@@ -80,16 +80,27 @@ pub fn random_network(seed: u64, cfg: RandomNetConfig) -> GeneratedNet {
                 )
             })
             .collect(),
-        mgmt_host: if cfg.lans > 0 { "lan1h1".to_string() } else { names[0].clone() },
+        mgmt_host: if cfg.lans > 0 {
+            "lan1h1".to_string()
+        } else {
+            names[0].clone()
+        },
         sensitive_hosts: vec![],
-        service_host: if cfg.lans > 0 { "lan1h1".to_string() } else { names[0].clone() },
+        service_host: if cfg.lans > 0 {
+            "lan1h1".to_string()
+        } else {
+            names[0].clone()
+        },
         loopbacks: vec![],
         border_router: names[0].clone(),
         upstream_iface: String::new(),
         upstream_subnet: "0.0.0.0/0".parse().expect("valid"),
     };
 
-    GeneratedNet { net: b.build(), meta }
+    GeneratedNet {
+        net: b.build(),
+        meta,
+    }
 }
 
 #[cfg(test)]

@@ -19,9 +19,9 @@
 use super::{standard_globals, GenMeta, GeneratedNet};
 use crate::acl::{Acl, AclAction, AclEntry, Proto};
 use crate::builder::NetBuilder;
+use crate::iface::Interface;
 use crate::ip::Prefix;
 use crate::proto::{BgpConfig, StaticRoute};
-use crate::iface::Interface;
 use std::net::Ipv4Addr;
 
 const CORES: [&str; 2] = ["core1", "core2"];
@@ -98,7 +98,12 @@ pub fn university_network() -> GeneratedNet {
         lan_iface.insert(*r, gi);
     }
 
-    const ACADEMIC: [&str; 4] = ["172.16.1.0/24", "172.16.2.0/24", "172.16.3.0/24", "172.16.4.0/24"];
+    const ACADEMIC: [&str; 4] = [
+        "172.16.1.0/24",
+        "172.16.2.0/24",
+        "172.16.3.0/24",
+        "172.16.4.0/24",
+    ];
     const DORM: &str = "172.16.6.0/24";
     const LIB: &str = "172.16.5.0/24";
     let www = "172.16.10.10/32";
@@ -108,16 +113,38 @@ pub fn university_network() -> GeneratedNet {
     {
         let mut acl = Acl::new("130");
         for src in ACADEMIC {
-            acl.entries.push(AclEntry::simple(AclAction::Permit, Proto::Any, p(src), p(www)));
-            acl.entries.push(AclEntry::simple(AclAction::Permit, Proto::Any, p(src), p(file)));
+            acl.entries.push(AclEntry::simple(
+                AclAction::Permit,
+                Proto::Any,
+                p(src),
+                p(www),
+            ));
+            acl.entries.push(AclEntry::simple(
+                AclAction::Permit,
+                Proto::Any,
+                p(src),
+                p(file),
+            ));
         }
-        acl.entries.push(AclEntry::simple(AclAction::Permit, Proto::Any, p(DORM), p(www)));
-        acl.entries.push(AclEntry::simple(AclAction::Permit, Proto::Any, p(LIB), p(www)));
+        acl.entries.push(AclEntry::simple(
+            AclAction::Permit,
+            Proto::Any,
+            p(DORM),
+            p(www),
+        ));
+        acl.entries.push(AclEntry::simple(
+            AclAction::Permit,
+            Proto::Any,
+            p(LIB),
+            p(www),
+        ));
         acl.entries.push(AclEntry::deny_any());
         let dc1 = b.device_mut("dc1");
         dc1.config.upsert_acl(acl);
-        dc1.config.interface_mut(&lan_iface["dc1"]).expect("dc lan").acl_out =
-            Some("130".to_string());
+        dc1.config
+            .interface_mut(&lan_iface["dc1"])
+            .expect("dc lan")
+            .acl_out = Some("130".to_string());
     }
 
     // Department LAN gates (ACL 140 on each edge LAN port). Each academic
@@ -127,20 +154,39 @@ pub fn university_network() -> GeneratedNet {
     let dept_acl = |own: &str, locked: Option<&str>, peers: &[&str]| {
         let mut acl = Acl::new("140");
         if let Some(l) = locked {
-            acl.entries.push(AclEntry::simple(AclAction::Deny, Proto::Any, Prefix::DEFAULT, p(l)));
+            acl.entries.push(AclEntry::simple(
+                AclAction::Deny,
+                Proto::Any,
+                Prefix::DEFAULT,
+                p(l),
+            ));
         }
         for peer in peers {
-            acl.entries.push(AclEntry::simple(AclAction::Permit, Proto::Any, p(peer), p(own)));
+            acl.entries.push(AclEntry::simple(
+                AclAction::Permit,
+                Proto::Any,
+                p(peer),
+                p(own),
+            ));
         }
         // The monitoring/backup servers may initiate inward.
-        acl.entries.push(AclEntry::simple(AclAction::Permit, Proto::Any, p(www), p(own)));
-        acl.entries.push(AclEntry::simple(AclAction::Permit, Proto::Any, p(file), p(own)));
+        acl.entries.push(AclEntry::simple(
+            AclAction::Permit,
+            Proto::Any,
+            p(www),
+            p(own),
+        ));
+        acl.entries.push(AclEntry::simple(
+            AclAction::Permit,
+            Proto::Any,
+            p(file),
+            p(own),
+        ));
         acl.entries.push(AclEntry::deny_any());
         acl
     };
-    let academic_peers = |own: &str| -> Vec<&str> {
-        ACADEMIC.iter().copied().filter(|s| *s != own).collect()
-    };
+    let academic_peers =
+        |own: &str| -> Vec<&str> { ACADEMIC.iter().copied().filter(|s| *s != own).collect() };
     for (r, own, locked) in [
         ("cs1", "172.16.1.0/24", "172.16.1.12/32"),
         ("ee1", "172.16.2.0/24", "172.16.2.11/32"),
@@ -161,14 +207,20 @@ pub fn university_network() -> GeneratedNet {
         );
         let d = b.device_mut("lib1");
         d.config.upsert_acl(acl);
-        d.config.interface_mut(&lan_iface["lib1"]).expect("lan").acl_out = Some("140".to_string());
+        d.config
+            .interface_mut(&lan_iface["lib1"])
+            .expect("lan")
+            .acl_out = Some("140".to_string());
     }
     {
         // Dorm: nothing initiates inward except the servers.
         let acl = dept_acl(DORM, None, &[]);
         let d = b.device_mut("dorm1");
         d.config.upsert_acl(acl);
-        d.config.interface_mut(&lan_iface["dorm1"]).expect("lan").acl_out = Some("140".to_string());
+        d.config
+            .interface_mut(&lan_iface["dorm1"])
+            .expect("lan")
+            .acl_out = Some("140".to_string());
     }
 
     // Upstream (Internet2) on core1.
@@ -269,7 +321,10 @@ pub fn university_network() -> GeneratedNet {
         upstream_subnet: p("192.0.2.0/30"),
     };
 
-    GeneratedNet { net: b.build(), meta }
+    GeneratedNet {
+        net: b.build(),
+        meta,
+    }
 }
 
 #[cfg(test)]

@@ -327,7 +327,10 @@ mod tests {
     #[test]
     fn subnets_enumeration() {
         let subs = p("10.0.0.0/16").subnets(24, 3);
-        assert_eq!(subs, vec![p("10.0.0.0/24"), p("10.0.1.0/24"), p("10.0.2.0/24")]);
+        assert_eq!(
+            subs,
+            vec![p("10.0.0.0/24"), p("10.0.1.0/24"), p("10.0.2.0/24")]
+        );
         // Ask for more than fit.
         let subs = p("10.0.0.0/30").subnets(31, 5);
         assert_eq!(subs.len(), 2);

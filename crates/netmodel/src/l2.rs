@@ -163,7 +163,9 @@ impl L2Domains {
 
     /// The domain of a specific switchport endpoint in VLAN `v`.
     pub fn domain_vlan(&self, d: DeviceIdx, iface: &str, v: VlanId) -> Option<DomainId> {
-        self.domain_of.get(&(d, iface.to_string(), Some(v))).copied()
+        self.domain_of
+            .get(&(d, iface.to_string(), Some(v)))
+            .copied()
     }
 
     /// Whether two L3 endpoints share a broadcast domain.
@@ -218,8 +220,9 @@ mod tests {
         let mut sw = Device::new("acc3", DeviceKind::Router);
         sw.config.vlans.insert(30, Vlan::new(30));
         sw.config.vlans.insert(31, Vlan::new(31));
-        sw.config
-            .upsert_interface(Interface::new("Vlan30").with_address("10.1.3.1".parse().unwrap(), 24));
+        sw.config.upsert_interface(
+            Interface::new("Vlan30").with_address("10.1.3.1".parse().unwrap(), 24),
+        );
         sw.config.upsert_interface(
             Interface::new("Gi0/2").with_switchport(SwitchPortMode::Access { vlan: h7_vlan }),
         );
@@ -257,10 +260,15 @@ mod tests {
         // One router LAN port, three hosts (the lan() builder shape).
         let mut n = Network::new();
         let mut r = Device::new("r1", DeviceKind::Router);
-        r.config
-            .upsert_interface(Interface::new("Gi0/0").with_address("10.0.0.1".parse().unwrap(), 24));
+        r.config.upsert_interface(
+            Interface::new("Gi0/0").with_address("10.0.0.1".parse().unwrap(), 24),
+        );
         n.add_device(r).unwrap();
-        for (h, ip) in [("h1", "10.0.0.10"), ("h2", "10.0.0.11"), ("h3", "10.0.0.12")] {
+        for (h, ip) in [
+            ("h1", "10.0.0.10"),
+            ("h2", "10.0.0.11"),
+            ("h3", "10.0.0.12"),
+        ] {
             n.add_device(host(h, ip)).unwrap();
             n.add_link("r1", "Gi0/0", h, "eth0").unwrap();
         }
@@ -277,7 +285,8 @@ mod tests {
             d.config.vlans.insert(10, Vlan::new(10));
             d.config.vlans.insert(20, Vlan::new(20));
             d.config.upsert_interface(
-                Interface::new("Gi0/1").with_switchport(SwitchPortMode::Trunk { allowed: vec![10] }),
+                Interface::new("Gi0/1")
+                    .with_switchport(SwitchPortMode::Trunk { allowed: vec![10] }),
             );
             d.config.upsert_interface(
                 Interface::new("Gi0/2").with_switchport(SwitchPortMode::Access { vlan: 10 }),

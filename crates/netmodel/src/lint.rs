@@ -66,7 +66,10 @@ pub fn lint(net: &Network) -> Vec<LintFinding> {
 
 /// Findings at or above a severity.
 pub fn lint_at_least(net: &Network, min: Severity) -> Vec<LintFinding> {
-    lint(net).into_iter().filter(|f| f.severity >= min).collect()
+    lint(net)
+        .into_iter()
+        .filter(|f| f.severity >= min)
+        .collect()
 }
 
 fn acl_references(net: &Network, out: &mut Vec<LintFinding>) {
@@ -90,11 +93,10 @@ fn acl_references(net: &Network, out: &mut Vec<LintFinding>) {
         }
         // Unused ACLs are a hygiene warning.
         for name in d.config.acls.keys() {
-            let used = d
-                .config
-                .interfaces
-                .iter()
-                .any(|i| i.acl_in.as_deref() == Some(name) || i.acl_out.as_deref() == Some(name));
+            let used =
+                d.config.interfaces.iter().any(|i| {
+                    i.acl_in.as_deref() == Some(name) || i.acl_out.as_deref() == Some(name)
+                });
             if !used {
                 out.push(LintFinding {
                     severity: Severity::Info,
@@ -134,7 +136,10 @@ fn duplicate_addresses(net: &Network, out: &mut Vec<LintFinding>) {
     for (_, d) in net.devices() {
         for i in &d.config.interfaces {
             if let Some(a) = i.address {
-                owners.entry(a.ip).or_default().push(format!("{}.{}", d.name, i.name));
+                owners
+                    .entry(a.ip)
+                    .or_default()
+                    .push(format!("{}.{}", d.name, i.name));
             }
         }
     }
@@ -176,7 +181,9 @@ fn dangling_interfaces(net: &Network, out: &mut Vec<LintFinding>) {
 fn unresolvable_statics(net: &Network, out: &mut Vec<LintFinding>) {
     for (_, d) in net.devices() {
         for r in &d.config.static_routes {
-            let NextHop::Ip(gw) = r.next_hop else { continue };
+            let NextHop::Ip(gw) = r.next_hop else {
+                continue;
+            };
             let direct = d
                 .config
                 .interfaces
@@ -252,10 +259,11 @@ fn subnet_split_across_domains(net: &Network, out: &mut Vec<LintFinding>) {
                 if s.len() == 32 {
                     continue;
                 }
-                by_subnet
-                    .entry(s)
-                    .or_default()
-                    .push((d.name.clone(), i.name.clone(), l2.domain(di, &i.name)));
+                by_subnet.entry(s).or_default().push((
+                    d.name.clone(),
+                    i.name.clone(),
+                    l2.domain(di, &i.name),
+                ));
             }
         }
     }
@@ -322,7 +330,9 @@ mod tests {
             .unwrap()
             .acl_in = Some("404".to_string());
         let findings = lint_at_least(&net, Severity::Error);
-        assert!(findings.iter().any(|f| f.code == "acl-ref-missing" && f.device == "acc1"));
+        assert!(findings
+            .iter()
+            .any(|f| f.code == "acl-ref-missing" && f.device == "acc1"));
     }
 
     #[test]
@@ -335,9 +345,15 @@ mod tests {
             .config
             .interface_mut("eth0")
             .unwrap()
-            .address = Some(crate::iface::InterfaceAddress::new("10.1.1.10".parse().unwrap(), 24));
+            .address = Some(crate::iface::InterfaceAddress::new(
+            "10.1.1.10".parse().unwrap(),
+            24,
+        ));
         let findings = lint_at_least(&net, Severity::Error);
-        assert!(findings.iter().any(|f| f.code == "addr-duplicate"), "{findings:?}");
+        assert!(
+            findings.iter().any(|f| f.code == "addr-duplicate"),
+            "{findings:?}"
+        );
     }
 
     #[test]
@@ -351,7 +367,9 @@ mod tests {
             .unwrap()
             .switchport = Some(SwitchPortMode::Access { vlan: 99 });
         let findings = lint(&net);
-        assert!(findings.iter().any(|f| f.code == "vlan-undeclared" && f.device == "acc3"));
+        assert!(findings
+            .iter()
+            .any(|f| f.code == "vlan-undeclared" && f.device == "acc3"));
     }
 
     #[test]
@@ -381,9 +399,15 @@ mod tests {
     fn host_without_gateway_warns() {
         let g = enterprise_network();
         let mut net = g.net;
-        net.device_by_name_mut("h5").unwrap().config.static_routes.clear();
+        net.device_by_name_mut("h5")
+            .unwrap()
+            .config
+            .static_routes
+            .clear();
         let findings = lint(&net);
-        assert!(findings.iter().any(|f| f.code == "host-no-gateway" && f.device == "h5"));
+        assert!(findings
+            .iter()
+            .any(|f| f.code == "host-no-gateway" && f.device == "h5"));
     }
 
     #[test]
@@ -412,12 +436,14 @@ mod tests {
                 .unwrap()
                 .config
                 .upsert_interface(
-                    Interface::new("Gi0/7")
-                        .with_address(Ipv4Addr::new(10, 42, 0, last), 24),
+                    Interface::new("Gi0/7").with_address(Ipv4Addr::new(10, 42, 0, last), 24),
                 );
         }
         let findings = lint(&net);
-        assert!(findings.iter().any(|f| f.code == "subnet-split"), "{findings:?}");
+        assert!(
+            findings.iter().any(|f| f.code == "subnet-split"),
+            "{findings:?}"
+        );
     }
 
     #[test]

@@ -25,7 +25,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "config parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "config parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -105,7 +109,9 @@ pub fn parse_config(text: &str) -> Result<DeviceConfig, ParseError> {
                 cfg.secrets.snmp_communities.push(comm.to_string());
             }
             ["crypto", "isakmp", "key", key, "address", peer] => {
-                cfg.secrets.ipsec_psks.insert(peer.to_string(), key.to_string());
+                cfg.secrets
+                    .ipsec_psks
+                    .insert(peer.to_string(), key.to_string());
             }
             ["vlan", id] => {
                 let id: u16 = id.parse().map_err(|_| err(format!("bad vlan id {id:?}")))?;
@@ -122,12 +128,16 @@ pub fn parse_config(text: &str) -> Result<DeviceConfig, ParseError> {
                 section = Section::Interface(idx);
             }
             ["router", "ospf", pid] => {
-                let pid: u32 = pid.parse().map_err(|_| err(format!("bad ospf pid {pid:?}")))?;
+                let pid: u32 = pid
+                    .parse()
+                    .map_err(|_| err(format!("bad ospf pid {pid:?}")))?;
                 cfg.ospf = Some(OspfConfig::new(pid));
                 section = Section::Ospf;
             }
             ["router", "bgp", asn] => {
-                let asn: u32 = asn.parse().map_err(|_| err(format!("bad bgp asn {asn:?}")))?;
+                let asn: u32 = asn
+                    .parse()
+                    .map_err(|_| err(format!("bad bgp asn {asn:?}")))?;
                 cfg.bgp = Some(BgpConfig::new(asn));
                 section = Section::Bgp;
             }
@@ -182,7 +192,9 @@ fn parse_interface_line(
             iface.ospf_cost = Some(n.parse().map_err(|_| format!("bad cost {n:?}"))?);
         }
         ["ip", "ospf", "authentication-key", key] => {
-            cfg.secrets.ospf_auth_keys.insert(iface_name, key.to_string());
+            cfg.secrets
+                .ospf_auth_keys
+                .insert(iface_name, key.to_string());
         }
         ["switchport", "mode", "access"] => {
             if !matches!(iface.switchport, Some(SwitchPortMode::Access { .. })) {
@@ -257,13 +269,19 @@ fn parse_bgp_line(cfg: &mut DeviceConfig, tokens: &[&str]) -> Result<(), String>
         ["neighbor", a, "remote-as", asn] => {
             let addr = parse_ip(a).map_err(|e| e.to_string())?;
             let asn: u32 = asn.parse().map_err(|_| format!("bad asn {asn:?}"))?;
-            cfg.bgp.as_mut().unwrap().neighbors.push(crate::proto::BgpNeighbor {
-                addr,
-                remote_as: asn,
-            });
+            cfg.bgp
+                .as_mut()
+                .unwrap()
+                .neighbors
+                .push(crate::proto::BgpNeighbor {
+                    addr,
+                    remote_as: asn,
+                });
         }
         ["neighbor", a, "password", pw] => {
-            cfg.secrets.bgp_passwords.insert(a.to_string(), pw.to_string());
+            cfg.secrets
+                .bgp_passwords
+                .insert(a.to_string(), pw.to_string());
         }
         ["neighbor", _, "default-originate"] => {
             cfg.bgp.as_mut().unwrap().default_originate = true;
@@ -448,8 +466,10 @@ end
 
     #[test]
     fn acl_host_and_range() {
-        let e = parse_acl_entry(&["permit", "udp", "host", "1.2.3.4", "range", "100", "200", "any"])
-            .unwrap();
+        let e = parse_acl_entry(&[
+            "permit", "udp", "host", "1.2.3.4", "range", "100", "200", "any",
+        ])
+        .unwrap();
         assert_eq!(e.src.to_string(), "1.2.3.4/32");
         assert_eq!(e.src_port, PortMatch::Range(100, 200));
         assert_eq!(e.dst, Prefix::DEFAULT);
@@ -471,7 +491,10 @@ end
     #[test]
     fn unknown_globals_preserved_in_order() {
         let c = parse_config("hostname h\nfoo bar\nbaz qux\nend\n").unwrap();
-        assert_eq!(c.raw_globals, vec!["foo bar".to_string(), "baz qux".to_string()]);
+        assert_eq!(
+            c.raw_globals,
+            vec!["foo bar".to_string(), "baz qux".to_string()]
+        );
     }
 
     #[test]
@@ -499,7 +522,10 @@ end
         let acl = &c.acls["DMZ-IN"];
         assert_eq!(acl.entries.len(), 3);
         assert_eq!(acl.entries[0].dst.to_string(), "10.2.1.10/32");
-        assert_eq!(c.interface("Gi0/0").unwrap().acl_in.as_deref(), Some("DMZ-IN"));
+        assert_eq!(
+            c.interface("Gi0/0").unwrap().acl_in.as_deref(),
+            Some("DMZ-IN")
+        );
         // Round trip through the printer (which uses stanza style for
         // named ACLs).
         let printed = print_config(&c);

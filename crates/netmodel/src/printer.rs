@@ -72,7 +72,10 @@ pub fn print_config(c: &DeviceConfig) -> String {
         if o.reference_bandwidth_kbps != 100_000 {
             wl(
                 w,
-                &format!(" auto-cost reference-bandwidth {}", o.reference_bandwidth_kbps / 1000),
+                &format!(
+                    " auto-cost reference-bandwidth {}",
+                    o.reference_bandwidth_kbps / 1000
+                ),
             );
         }
         for p in &o.passive_interfaces {
@@ -84,7 +87,12 @@ pub fn print_config(c: &DeviceConfig) -> String {
         for n in &o.networks {
             wl(
                 w,
-                &format!(" network {} {} area {}", n.prefix.addr(), n.prefix.wildcard(), n.area),
+                &format!(
+                    " network {} {} area {}",
+                    n.prefix.addr(),
+                    n.prefix.wildcard(),
+                    n.area
+                ),
             );
         }
         sep(w);
@@ -97,7 +105,10 @@ pub fn print_config(c: &DeviceConfig) -> String {
             wl(w, &format!(" bgp router-id {rid}"));
         }
         for n in &b.neighbors {
-            wl(w, &format!(" neighbor {} remote-as {}", n.addr, n.remote_as));
+            wl(
+                w,
+                &format!(" neighbor {} remote-as {}", n.addr, n.remote_as),
+            );
             if let Some(pw) = c.secrets.bgp_passwords.get(&n.addr.to_string()) {
                 wl(w, &format!(" neighbor {} password {pw}", n.addr));
             }
@@ -168,16 +179,16 @@ fn print_interface(w: &mut String, c: &DeviceConfig, iface: &Interface) {
             wl(w, " switchport mode trunk");
             if !allowed.is_empty() {
                 let list: Vec<String> = allowed.iter().map(|v| v.to_string()).collect();
-                wl(w, &format!(" switchport trunk allowed vlan {}", list.join(",")));
+                wl(
+                    w,
+                    &format!(" switchport trunk allowed vlan {}", list.join(",")),
+                );
             }
         }
         None => {}
     }
     if let Some(a) = iface.address {
-        wl(
-            w,
-            &format!(" ip address {} {}", a.ip, a.subnet().netmask()),
-        );
+        wl(w, &format!(" ip address {} {}", a.ip, a.subnet().netmask()));
     }
     if let Some(acl) = &iface.acl_in {
         wl(w, &format!(" ip access-group {acl} in"));
@@ -254,7 +265,8 @@ mod tests {
                 .with_router_id(Ipv4Addr::new(1, 1, 1, 1))
                 .network("10.0.0.0/24".parse().unwrap(), 0),
         );
-        c.static_routes.push(StaticRoute::default_via(Ipv4Addr::new(10, 0, 0, 2)));
+        c.static_routes
+            .push(StaticRoute::default_via(Ipv4Addr::new(10, 0, 0, 2)));
         let mut e = AclEntry::simple(
             AclAction::Permit,
             Proto::Tcp,
@@ -311,7 +323,9 @@ mod tests {
     fn trunk_port_lines() {
         let mut c = DeviceConfig::new("sw1");
         c.upsert_interface(
-            Interface::new("Gi0/1").with_switchport(SwitchPortMode::Trunk { allowed: vec![10, 20] }),
+            Interface::new("Gi0/1").with_switchport(SwitchPortMode::Trunk {
+                allowed: vec![10, 20],
+            }),
         );
         let text = print_config(&c);
         assert!(text.contains(" switchport mode trunk"));

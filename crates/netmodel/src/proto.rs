@@ -198,7 +198,10 @@ mod tests {
         assert_eq!(r.distance, 1);
         assert_eq!(r.next_hop, NextHop::Ip(ip("192.168.0.1")));
         assert!(StaticRoute::default_via(ip("1.1.1.1")).prefix.is_default());
-        assert_eq!(StaticRoute::discard(p("10.0.0.0/8")).next_hop, NextHop::Discard);
+        assert_eq!(
+            StaticRoute::discard(p("10.0.0.0/8")).next_hop,
+            NextHop::Discard
+        );
     }
 
     #[test]

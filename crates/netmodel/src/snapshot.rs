@@ -58,7 +58,10 @@ pub fn save_snapshot(net: &Network, dir: &Path) -> Result<(), SnapshotError> {
     let mut devices = String::new();
     for (_, d) in net.devices() {
         devices.push_str(&format!("{} {}\n", d.name, d.kind.keyword()));
-        fs::write(configs.join(format!("{}.cfg", d.name)), print_config(&d.config))?;
+        fs::write(
+            configs.join(format!("{}.cfg", d.name)),
+            print_config(&d.config),
+        )?;
     }
     fs::write(dir.join("devices.txt"), devices)?;
 
@@ -101,7 +104,8 @@ pub fn load_snapshot(dir: &Path) -> Result<Network, SnapshotError> {
         let kind = kind_from_keyword(kind)
             .ok_or_else(|| SnapshotError::Layout(format!("unknown kind {kind:?}")))?;
         let text = fs::read_to_string(dir.join("configs").join(format!("{name}.cfg")))?;
-        let config = parse_config(&text).map_err(|e| SnapshotError::Parse(format!("{name}: {e}")))?;
+        let config =
+            parse_config(&text).map_err(|e| SnapshotError::Parse(format!("{name}: {e}")))?;
         if config.hostname != name {
             return Err(SnapshotError::Layout(format!(
                 "config hostname {:?} does not match file {name}.cfg",
@@ -120,7 +124,10 @@ pub fn load_snapshot(dir: &Path) -> Result<Network, SnapshotError> {
             continue;
         }
         let [a, ai, b, bi] = parts.as_slice() else {
-            return Err(SnapshotError::Layout(format!("topology.txt line {}", n + 1)));
+            return Err(SnapshotError::Layout(format!(
+                "topology.txt line {}",
+                n + 1
+            )));
         };
         net.add_link(a, ai, b, bi)
             .map_err(|e| SnapshotError::Layout(format!("topology.txt line {}: {e}", n + 1)))?;
@@ -189,7 +196,9 @@ mod tests {
         save_snapshot(&g.net, &dir).expect("save");
         // Corrupt: rename a config's hostname.
         let p = dir.join("configs").join("fw1.cfg");
-        let text = fs::read_to_string(&p).unwrap().replace("hostname fw1", "hostname fw9");
+        let text = fs::read_to_string(&p)
+            .unwrap()
+            .replace("hostname fw1", "hostname fw9");
         fs::write(&p, text).unwrap();
         assert!(matches!(load_snapshot(&dir), Err(SnapshotError::Layout(_))));
         let _ = fs::remove_dir_all(&dir);

@@ -168,7 +168,10 @@ impl Network {
 
     /// Iterator over `(index, device)` pairs.
     pub fn devices(&self) -> impl Iterator<Item = (DeviceIdx, &Device)> {
-        self.devices.iter().enumerate().map(|(i, d)| (DeviceIdx(i), d))
+        self.devices
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DeviceIdx(i), d))
     }
 
     /// All links.
@@ -306,11 +309,9 @@ impl Network {
             return HashSet::new();
         };
         self.devices()
-            .filter_map(|(i, _)| {
-                match (df.get(&i), db.get(&i)) {
-                    (Some(a), Some(b)) if a + b == total => Some(i),
-                    _ => None,
-                }
+            .filter_map(|(i, _)| match (df.get(&i), db.get(&i)) {
+                (Some(a), Some(b)) if a + b == total => Some(i),
+                _ => None,
             })
             .collect()
     }
@@ -479,7 +480,12 @@ mod tests {
     #[test]
     fn down_interface_cuts_path() {
         let mut n = line_net();
-        n.device_by_name_mut("r2").unwrap().config.interface_mut("e1").unwrap().enabled = false;
+        n.device_by_name_mut("r2")
+            .unwrap()
+            .config
+            .interface_mut("e1")
+            .unwrap()
+            .enabled = false;
         let (r1, r3) = (n.idx_of("r1"), n.idx_of("r3"));
         assert!(n.shortest_path(r1, r3).is_none());
         // Topology-only neighbor view is unaffected.
@@ -509,7 +515,12 @@ mod tests {
         let mut n = line_net();
         assert_eq!(n.components().len(), 1);
         // Cut r1-r2.
-        n.device_by_name_mut("r1").unwrap().config.interface_mut("e0").unwrap().enabled = false;
+        n.device_by_name_mut("r1")
+            .unwrap()
+            .config
+            .interface_mut("e0")
+            .unwrap()
+            .enabled = false;
         assert_eq!(n.components().len(), 2);
     }
 
@@ -521,8 +532,14 @@ mod tests {
             .config
             .interface_mut("e1")
             .unwrap()
-            .address = Some(crate::iface::InterfaceAddress::new("10.0.9.1".parse().unwrap(), 24));
-        assert_eq!(n.owner_of("10.0.9.1".parse().unwrap()), Some(n.idx_of("r3")));
+            .address = Some(crate::iface::InterfaceAddress::new(
+            "10.0.9.1".parse().unwrap(),
+            24,
+        ));
+        assert_eq!(
+            n.owner_of("10.0.9.1".parse().unwrap()),
+            Some(n.idx_of("r3"))
+        );
         assert_eq!(n.owner_of("10.0.9.2".parse().unwrap()), None);
         let subnet: Prefix = "10.0.9.0/24".parse().unwrap();
         assert_eq!(n.devices_in_subnet(subnet), vec![n.idx_of("r3")]);

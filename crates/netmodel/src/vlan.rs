@@ -83,7 +83,9 @@ mod tests {
 
     #[test]
     fn trunk_with_allowed_list() {
-        let m = SwitchPortMode::Trunk { allowed: vec![10, 20] };
+        let m = SwitchPortMode::Trunk {
+            allowed: vec![10, 20],
+        };
         assert!(m.carries(10));
         assert!(m.carries(20));
         assert!(!m.carries(30));

@@ -64,48 +64,54 @@ fn arb_acl_entry() -> impl Strategy<Value = AclEntry> {
 
 fn arb_config() -> impl Strategy<Value = DeviceConfig> {
     (
-        ("[a-z][a-z0-9]{1,8}", prop_oneof![Just("101"), Just("EDGE-IN"), Just("dmz")]),
+        (
+            "[a-z][a-z0-9]{1,8}",
+            prop_oneof![Just("101"), Just("EDGE-IN"), Just("dmz")],
+        ),
         proptest::collection::vec(arb_acl_entry(), 0..6),
         proptest::collection::vec((arb_prefix(), arb_ip(), 1u8..=254), 0..4),
-        proptest::option::of((1u32..100, proptest::collection::vec((arb_prefix(), 0u32..3), 0..4))),
+        proptest::option::of((
+            1u32..100,
+            proptest::collection::vec((arb_prefix(), 0u32..3), 0..4),
+        )),
         any::<bool>(),
         any::<bool>(),
         any::<bool>(),
     )
-        .prop_map(|((host, acl_name), acl_entries, statics, ospf, if0, if1, if2)| {
-            let mut c = DeviceConfig::new(host);
-            for (n, on) in [(0, if0), (1, if1), (2, if2)] {
-                if on {
-                    let mut i = Interface::new(format!("Gi0/{n}"));
-                    i.enabled = n != 1;
-                    c.upsert_interface(i);
+        .prop_map(
+            |((host, acl_name), acl_entries, statics, ospf, if0, if1, if2)| {
+                let mut c = DeviceConfig::new(host);
+                for (n, on) in [(0, if0), (1, if1), (2, if2)] {
+                    if on {
+                        let mut i = Interface::new(format!("Gi0/{n}"));
+                        i.enabled = n != 1;
+                        c.upsert_interface(i);
+                    }
                 }
-            }
-            if !acl_entries.is_empty() {
-                c.upsert_acl(Acl {
-                    name: acl_name.to_string(),
-                    entries: acl_entries,
-                });
-            }
-            for (prefix, nh, dist) in statics {
-                c.static_routes.push(StaticRoute {
-                    prefix,
-                    next_hop: NextHop::Ip(nh),
-                    distance: dist,
-                });
-            }
-            if let Some((pid, nets)) = ospf {
-                let mut o = OspfConfig::new(pid);
-                for (p, a) in nets {
-                    o.networks.push(heimdall_netmodel::proto::OspfNetwork {
-                        prefix: p,
-                        area: a,
+                if !acl_entries.is_empty() {
+                    c.upsert_acl(Acl {
+                        name: acl_name.to_string(),
+                        entries: acl_entries,
                     });
                 }
-                c.ospf = Some(o);
-            }
-            c
-        })
+                for (prefix, nh, dist) in statics {
+                    c.static_routes.push(StaticRoute {
+                        prefix,
+                        next_hop: NextHop::Ip(nh),
+                        distance: dist,
+                    });
+                }
+                if let Some((pid, nets)) = ospf {
+                    let mut o = OspfConfig::new(pid);
+                    for (p, a) in nets {
+                        o.networks
+                            .push(heimdall_netmodel::proto::OspfNetwork { prefix: p, area: a });
+                    }
+                    c.ospf = Some(o);
+                }
+                c
+            },
+        )
 }
 
 proptest! {

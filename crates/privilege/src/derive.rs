@@ -41,7 +41,11 @@ impl TaskKind {
     pub fn mutating_actions(&self) -> &'static [Action] {
         match self {
             TaskKind::Connectivity => &[Action::ModifyInterfaceState],
-            TaskKind::Routing => &[Action::ModifyOspf, Action::ModifyRoute, Action::ModifyInterfaceState],
+            TaskKind::Routing => &[
+                Action::ModifyOspf,
+                Action::ModifyRoute,
+                Action::ModifyInterfaceState,
+            ],
             TaskKind::AccessControl => &[Action::ModifyAcl],
             TaskKind::Vlan => &[Action::ModifyVlan, Action::ModifyInterfaceState],
             TaskKind::IspChange => &[
@@ -118,8 +122,10 @@ pub fn derive_privileges(net: &Network, task: &Task) -> PrivilegeMsp {
         ));
         if dev.kind != heimdall_netmodel::device::DeviceKind::Host {
             for &a in task.kind.mutating_actions() {
-                spec.predicates
-                    .push(Predicate::allow(a, ResourcePattern::Device(dev.name.clone())));
+                spec.predicates.push(Predicate::allow(
+                    a,
+                    ResourcePattern::Device(dev.name.clone()),
+                ));
             }
         }
     }
@@ -157,9 +163,21 @@ mod tests {
     fn derived_spec_denies_off_path_devices() {
         let g = enterprise_network();
         let spec = derive_privileges(&g.net, &Task::connectivity("h1", "srv1"));
-        assert!(is_allowed(&spec, Action::View, &Resource::Device("fw1".into())));
-        assert!(!is_allowed(&spec, Action::View, &Resource::Device("acc3".into())));
-        assert!(!is_allowed(&spec, Action::View, &Resource::Device("h7".into())));
+        assert!(is_allowed(
+            &spec,
+            Action::View,
+            &Resource::Device("fw1".into())
+        ));
+        assert!(!is_allowed(
+            &spec,
+            Action::View,
+            &Resource::Device("acc3".into())
+        ));
+        assert!(!is_allowed(
+            &spec,
+            Action::View,
+            &Resource::Device("h7".into())
+        ));
     }
 
     #[test]
@@ -181,7 +199,11 @@ mod tests {
             affected: vec!["h4".into(), "srv1".into()],
         };
         let spec = derive_privileges(&g.net, &task);
-        assert!(is_allowed(&spec, Action::ModifyAcl, &Resource::Device("fw1".into())));
+        assert!(is_allowed(
+            &spec,
+            Action::ModifyAcl,
+            &Resource::Device("fw1".into())
+        ));
         assert!(!is_allowed(
             &spec,
             Action::ModifyOspf,
@@ -207,7 +229,11 @@ mod tests {
             affected: vec!["core1".into(), "core2".into()],
         };
         let spec = derive_privileges(&g.net, &task);
-        assert!(is_allowed(&spec, Action::View, &Resource::Device("core1".into())));
+        assert!(is_allowed(
+            &spec,
+            Action::View,
+            &Resource::Device("core1".into())
+        ));
         assert!(spec
             .predicates
             .iter()
@@ -222,8 +248,16 @@ mod tests {
             affected: vec!["bdr1".into()],
         };
         let spec = derive_privileges(&g.net, &task);
-        assert!(is_allowed(&spec, Action::ModifyRoute, &Resource::Device("bdr1".into())));
-        assert!(!is_allowed(&spec, Action::View, &Resource::Device("core1".into())));
+        assert!(is_allowed(
+            &spec,
+            Action::ModifyRoute,
+            &Resource::Device("bdr1".into())
+        ));
+        assert!(!is_allowed(
+            &spec,
+            Action::View,
+            &Resource::Device("core1".into())
+        ));
     }
 
     #[test]

@@ -25,7 +25,11 @@ pub struct DslError {
 
 impl fmt::Display for DslError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "privilege DSL error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "privilege DSL error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -69,7 +73,10 @@ fn parse_line(line: &str) -> Result<Predicate, String> {
     let resource_s = resource_s.trim();
 
     // acl[NAME] sugar binds the resource to a specific ACL.
-    if let Some(name) = action_s.strip_prefix("acl[").and_then(|s| s.strip_suffix(']')) {
+    if let Some(name) = action_s
+        .strip_prefix("acl[")
+        .and_then(|s| s.strip_suffix(']'))
+    {
         if resource_s == "*" || resource_s.contains('.') {
             return Err("acl[..] requires a concrete device resource".to_string());
         }

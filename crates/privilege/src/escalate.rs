@@ -76,7 +76,10 @@ pub fn decide_escalation(
     req: &EscalationRequest,
 ) -> EscalationDecision {
     // Destructive actions are never self-service.
-    if matches!(req.action, Action::Erase | Action::ModifyCredentials | Action::Reboot) {
+    if matches!(
+        req.action,
+        Action::Erase | Action::ModifyCredentials | Action::Reboot
+    ) {
         return EscalationDecision::Denied {
             reason: format!("action {} is never auto-escalated", req.action),
         };
@@ -130,10 +133,18 @@ mod tests {
         let g = enterprise_network();
         let task = Task::connectivity("h4", "srv1");
         let mut spec = derive_privileges(&g.net, &task);
-        assert!(!is_allowed(&spec, Action::ModifyAcl, &Resource::Device("fw1".into())));
+        assert!(!is_allowed(
+            &spec,
+            Action::ModifyAcl,
+            &Resource::Device("fw1".into())
+        ));
         let d = decide_escalation(&g.net, &task, &mut spec, &req(Action::ModifyAcl, "fw1"));
         assert_eq!(d, EscalationDecision::AutoGranted);
-        assert!(is_allowed(&spec, Action::ModifyAcl, &Resource::Device("fw1".into())));
+        assert!(is_allowed(
+            &spec,
+            Action::ModifyAcl,
+            &Resource::Device("fw1".into())
+        ));
     }
 
     #[test]
@@ -143,7 +154,11 @@ mod tests {
         let mut spec = derive_privileges(&g.net, &task);
         let d = decide_escalation(&g.net, &task, &mut spec, &req(Action::ModifyAcl, "acc3"));
         assert!(matches!(d, EscalationDecision::NeedsAdmin { .. }));
-        assert!(!is_allowed(&spec, Action::ModifyAcl, &Resource::Device("acc3".into())));
+        assert!(!is_allowed(
+            &spec,
+            Action::ModifyAcl,
+            &Resource::Device("acc3".into())
+        ));
     }
 
     #[test]
@@ -153,7 +168,10 @@ mod tests {
         let mut spec = derive_privileges(&g.net, &task);
         for a in [Action::Erase, Action::ModifyCredentials, Action::Reboot] {
             let d = decide_escalation(&g.net, &task, &mut spec, &req(a, "fw1"));
-            assert!(matches!(d, EscalationDecision::Denied { .. }), "{a} must be denied");
+            assert!(
+                matches!(d, EscalationDecision::Denied { .. }),
+                "{a} must be denied"
+            );
         }
     }
 

@@ -136,13 +136,25 @@ mod tests {
     fn tie_denies() {
         // Same specificity, conflicting effects -> deny.
         let spec = PrivilegeMsp::new()
-            .with(Predicate::allow(Action::Reboot, ResourcePattern::Device("r1".into())))
-            .with(Predicate::deny(Action::Reboot, ResourcePattern::Device("r1".into())));
+            .with(Predicate::allow(
+                Action::Reboot,
+                ResourcePattern::Device("r1".into()),
+            ))
+            .with(Predicate::deny(
+                Action::Reboot,
+                ResourcePattern::Device("r1".into()),
+            ));
         assert!(!is_allowed(&spec, Action::Reboot, &dev("r1")));
         // Order independence.
         let spec2 = PrivilegeMsp::new()
-            .with(Predicate::deny(Action::Reboot, ResourcePattern::Device("r1".into())))
-            .with(Predicate::allow(Action::Reboot, ResourcePattern::Device("r1".into())));
+            .with(Predicate::deny(
+                Action::Reboot,
+                ResourcePattern::Device("r1".into()),
+            ))
+            .with(Predicate::allow(
+                Action::Reboot,
+                ResourcePattern::Device("r1".into()),
+            ));
         assert!(!is_allowed(&spec2, Action::Reboot, &dev("r1")));
     }
 
@@ -150,7 +162,10 @@ mod tests {
     fn concrete_action_more_specific_than_wildcard() {
         let spec = PrivilegeMsp::new()
             .with(Predicate::deny_all(ResourcePattern::Device("r1".into())))
-            .with(Predicate::allow(Action::View, ResourcePattern::Device("r1".into())));
+            .with(Predicate::allow(
+                Action::View,
+                ResourcePattern::Device("r1".into()),
+            ));
         assert!(is_allowed(&spec, Action::View, &dev("r1")));
         assert!(!is_allowed(&spec, Action::Erase, &dev("r1")));
     }
@@ -159,8 +174,14 @@ mod tests {
     fn decision_cites_predicate() {
         let spec = PrivilegeMsp::new()
             .with(Predicate::allow_all(ResourcePattern::Any))
-            .with(Predicate::deny(Action::Erase, ResourcePattern::Device("r1".into())));
-        assert_eq!(evaluate(&spec, Action::View, &dev("r1")), Decision::Allowed { by: 0 });
+            .with(Predicate::deny(
+                Action::Erase,
+                ResourcePattern::Device("r1".into()),
+            ));
+        assert_eq!(
+            evaluate(&spec, Action::View, &dev("r1")),
+            Decision::Allowed { by: 0 }
+        );
         assert_eq!(
             evaluate(&spec, Action::Erase, &dev("r1")),
             Decision::DeniedBy { by: 1 }
@@ -170,8 +191,14 @@ mod tests {
     #[test]
     fn allowed_action_count_counts() {
         let spec = PrivilegeMsp::new()
-            .with(Predicate::allow(Action::View, ResourcePattern::Device("r1".into())))
-            .with(Predicate::allow(Action::Ping, ResourcePattern::Device("r1".into())));
+            .with(Predicate::allow(
+                Action::View,
+                ResourcePattern::Device("r1".into()),
+            ))
+            .with(Predicate::allow(
+                Action::Ping,
+                ResourcePattern::Device("r1".into()),
+            ));
         assert_eq!(allowed_action_count(&spec, "r1"), 2);
         assert_eq!(allowed_action_count(&spec, "r2"), 0);
         assert_eq!(

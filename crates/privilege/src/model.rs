@@ -361,7 +361,9 @@ mod tests {
 
     #[test]
     fn specificity_ordering() {
-        assert!(ResourcePattern::Any.specificity() < ResourcePattern::Device("d".into()).specificity());
+        assert!(
+            ResourcePattern::Any.specificity() < ResourcePattern::Device("d".into()).specificity()
+        );
         assert!(
             ResourcePattern::Device("d".into()).specificity()
                 < ResourcePattern::Interface {
@@ -375,7 +377,10 @@ mod tests {
     #[test]
     fn display_matches_paper_notation() {
         // The paper's running example: {allow(ip, r1)}.
-        let p = Predicate::allow(Action::ModifyIpAddress, ResourcePattern::Device("r1".into()));
+        let p = Predicate::allow(
+            Action::ModifyIpAddress,
+            ResourcePattern::Device("r1".into()),
+        );
         assert_eq!(p.to_string(), "allow(ip, r1)");
         let p = Predicate::allow(
             Action::ModifyAcl,

@@ -46,7 +46,9 @@ pub fn bgp_sessions(net: &Network) -> Vec<BgpSession> {
     for (ai, acfg) in &speakers {
         for nb in &acfg.neighbors {
             // Find the device owning the neighbor address.
-            let Some(bi) = net.owner_of(nb.addr) else { continue };
+            let Some(bi) = net.owner_of(nb.addr) else {
+                continue;
+            };
             if bi <= *ai {
                 continue; // dedupe: record each pair once, from the lower idx
             }
@@ -110,10 +112,24 @@ pub fn bgp_routes(net: &Network) -> HashMap<DeviceIdx, Vec<RibEntry>> {
         asn.insert(di, b.asn);
         let mut t = BTreeMap::new();
         for p in &b.networks {
-            t.insert(*p, Path { as_path: vec![], from: None, ebgp: false });
+            t.insert(
+                *p,
+                Path {
+                    as_path: vec![],
+                    from: None,
+                    ebgp: false,
+                },
+            );
         }
         if b.default_originate {
-            t.insert(Prefix::DEFAULT, Path { as_path: vec![], from: None, ebgp: false });
+            t.insert(
+                Prefix::DEFAULT,
+                Path {
+                    as_path: vec![],
+                    from: None,
+                    ebgp: false,
+                },
+            );
         }
         tables.insert(di, t);
     }
@@ -124,12 +140,15 @@ pub fn bgp_routes(net: &Network) -> HashMap<DeviceIdx, Vec<RibEntry>> {
         let mut changed = false;
         let snapshot = tables.clone();
         for s in &sessions {
-            for (tx, tx_addr, rx, _rx_addr) in
-                [(s.a, s.a_addr, s.b, s.b_addr), (s.b, s.b_addr, s.a, s.a_addr)]
-            {
+            for (tx, tx_addr, rx, _rx_addr) in [
+                (s.a, s.a_addr, s.b, s.b_addr),
+                (s.b, s.b_addr, s.a, s.a_addr),
+            ] {
                 let tx_asn = asn[&tx];
                 let rx_asn = asn[&rx];
-                let Some(tx_table) = snapshot.get(&tx) else { continue };
+                let Some(tx_table) = snapshot.get(&tx) else {
+                    continue;
+                };
                 for (prefix, path) in tx_table {
                     // iBGP learned routes are not re-advertised to iBGP
                     // peers (classic full-mesh rule).
@@ -180,7 +199,11 @@ pub fn bgp_routes(net: &Network) -> HashMap<DeviceIdx, Vec<RibEntry>> {
             else {
                 continue;
             };
-            let source = if path.ebgp { RouteSource::Bgp } else { RouteSource::BgpInternal };
+            let source = if path.ebgp {
+                RouteSource::Bgp
+            } else {
+                RouteSource::BgpInternal
+            };
             routes.push(RibEntry {
                 prefix,
                 source,
@@ -216,7 +239,9 @@ mod tests {
                 .network("10.10.0.0/24".parse().unwrap()),
         );
         b.device_mut("r2").config.bgp = Some(
-            BgpConfig::new(200).neighbor(r1_ip, 100).neighbor(r3_ip, 300),
+            BgpConfig::new(200)
+                .neighbor(r1_ip, 100)
+                .neighbor(r3_ip, 300),
         );
         b.device_mut("r3").config.bgp = Some(BgpConfig::new(300).neighbor(r2b_ip, 200));
         b.build()
@@ -238,7 +263,13 @@ mod tests {
     #[test]
     fn wrong_remote_as_is_down() {
         let mut net = tri_as();
-        let b = net.device_by_name_mut("r3").unwrap().config.bgp.as_mut().unwrap();
+        let b = net
+            .device_by_name_mut("r3")
+            .unwrap()
+            .config
+            .bgp
+            .as_mut()
+            .unwrap();
         b.neighbors[0].remote_as = 999;
         assert_eq!(bgp_sessions(&net).len(), 1);
     }
@@ -249,7 +280,10 @@ mod tests {
         let routes = bgp_routes(&net);
         let r3 = net.idx_of("r3");
         let p: Prefix = "10.10.0.0/24".parse().unwrap();
-        let route = routes[&r3].iter().find(|r| r.prefix == p).expect("propagated");
+        let route = routes[&r3]
+            .iter()
+            .find(|r| r.prefix == p)
+            .expect("propagated");
         assert_eq!(route.source, RouteSource::Bgp);
         assert_eq!(route.metric, 2, "AS path 200 100");
         assert_eq!(route.distance, 20);

@@ -85,9 +85,7 @@ pub fn converge(net: &Network) -> ControlPlane {
                         .config
                         .interfaces
                         .iter()
-                        .find(|i| {
-                            i.is_up() && i.subnet().map(|s| s.contains(gw)).unwrap_or(false)
-                        })
+                        .find(|i| i.is_up() && i.subnet().map(|s| s.contains(gw)).unwrap_or(false))
                         .map(|i| i.name.clone())
                         .unwrap_or_default();
                     BTreeSet::from([NextHop {
@@ -145,7 +143,9 @@ mod tests {
             "10.1.3.0/24".parse().unwrap(),
             "10.2.1.0/24".parse().unwrap(),
         ];
-        for r in ["bdr1", "fw1", "core1", "core2", "dist1", "dist2", "acc1", "acc2", "acc3"] {
+        for r in [
+            "bdr1", "fw1", "core1", "core2", "dist1", "dist2", "acc1", "acc2", "acc3",
+        ] {
             let rib = cp.rib(g.net.idx_of(r));
             for lan in &lans {
                 assert!(
@@ -162,7 +162,9 @@ mod tests {
         let cp = converge(&g.net);
         // acc1 is far from bdr1; it must still know a default (E2).
         let rib = cp.rib(g.net.idx_of("acc1"));
-        let hit = rib.lookup("93.184.216.34".parse().unwrap()).expect("default");
+        let hit = rib
+            .lookup("93.184.216.34".parse().unwrap())
+            .expect("default");
         assert!(hit.prefix.is_default());
         assert_eq!(hit.source, RouteSource::OspfExternal);
         // On bdr1 itself it is the static.

@@ -80,12 +80,16 @@ fn resolve(rib: &Rib, nh: &NextHop, depth: u8) -> Vec<FibEntry> {
             gateway: nh.gateway,
         }];
     }
-    let Some(gw) = nh.gateway else { return Vec::new() };
+    let Some(gw) = nh.gateway else {
+        return Vec::new();
+    };
     if depth == 0 {
         return Vec::new();
     }
     // Interface unknown: recurse through the RIB on the gateway address.
-    let Some(via) = rib.lookup(gw) else { return Vec::new() };
+    let Some(via) = rib.lookup(gw) else {
+        return Vec::new();
+    };
     let mut out = Vec::new();
     for hop in &via.next_hops {
         for mut r in resolve(rib, hop, depth - 1) {
@@ -129,7 +133,12 @@ mod tests {
 
     #[test]
     fn direct_entries_flatten() {
-        let rib = rib_with(vec![e("10.0.0.0/24", RouteSource::Connected, "Gi0/0", None)]);
+        let rib = rib_with(vec![e(
+            "10.0.0.0/24",
+            RouteSource::Connected,
+            "Gi0/0",
+            None,
+        )]);
         let fib = Fib::from_rib(&rib);
         let (p, hops) = fib.lookup("10.0.0.5".parse().unwrap()).unwrap();
         assert_eq!(p.to_string(), "10.0.0.0/24");
@@ -152,7 +161,12 @@ mod tests {
 
     #[test]
     fn unresolvable_hop_omitted() {
-        let rib = rib_with(vec![e("0.0.0.0/0", RouteSource::Static, "", Some("99.9.9.9"))]);
+        let rib = rib_with(vec![e(
+            "0.0.0.0/0",
+            RouteSource::Static,
+            "",
+            Some("99.9.9.9"),
+        )]);
         let fib = Fib::from_rib(&rib);
         assert!(fib.lookup("8.8.8.8".parse().unwrap()).is_none());
         assert!(fib.is_empty());
@@ -165,14 +179,25 @@ mod tests {
             e("10.0.1.0/24", RouteSource::Connected, "Gi0/0", None),
         ]);
         let fib = Fib::from_rib(&rib);
-        assert_eq!(fib.lookup("10.0.1.1".parse().unwrap()).unwrap().1[0].iface, "Gi0/0");
-        assert_eq!(fib.lookup("10.3.0.1".parse().unwrap()).unwrap().1[0].iface, "Gi0/1");
+        assert_eq!(
+            fib.lookup("10.0.1.1".parse().unwrap()).unwrap().1[0].iface,
+            "Gi0/0"
+        );
+        assert_eq!(
+            fib.lookup("10.3.0.1".parse().unwrap()).unwrap().1[0].iface,
+            "Gi0/1"
+        );
     }
 
     #[test]
     fn resolution_depth_bounded() {
         // 0/0 -> 1.1.1.1 -> itself (loop); must not hang or resolve.
-        let rib = rib_with(vec![e("1.1.1.1/32", RouteSource::Static, "", Some("1.1.1.1"))]);
+        let rib = rib_with(vec![e(
+            "1.1.1.1/32",
+            RouteSource::Static,
+            "",
+            Some("1.1.1.1"),
+        )]);
         let fib = Fib::from_rib(&rib);
         assert!(fib.is_empty());
     }

@@ -297,7 +297,9 @@ impl AreaTables {
                 if abr == r0 {
                     continue;
                 }
-                let Some(&d_abr) = res0.dist.get(&abr) else { continue };
+                let Some(&d_abr) = res0.dist.get(&abr) else {
+                    continue;
+                };
                 let hops = res0.first_hops.get(&abr).cloned().unwrap_or_default();
                 if let Some(abr_intra) = intra.get(&abr) {
                     for (key, cand) in abr_intra {
@@ -305,7 +307,11 @@ impl AreaTables {
                         // intra-area; crossing it is an inter-area route.
                         let c = Cand {
                             cost: d_abr.saturating_add(cand.cost),
-                            hops: if hops.is_empty() { cand.hops.clone() } else { hops.clone() },
+                            hops: if hops.is_empty() {
+                                cand.hops.clone()
+                            } else {
+                                hops.clone()
+                            },
                             inter_area: true,
                         };
                         match table.get_mut(key) {
@@ -341,13 +347,19 @@ impl AreaTables {
                         if !self.participants[&area].contains(&abr) || abr == r {
                             continue;
                         }
-                        let Some(&d_abr) = res.dist.get(&abr) else { continue };
+                        let Some(&d_abr) = res.dist.get(&abr) else {
+                            continue;
+                        };
                         let hops = res.first_hops.get(&abr).cloned().unwrap_or_default();
                         if let Some(abr_table) = backbone_view.get(&abr) {
                             for (key, cand) in abr_table {
                                 let c = Cand {
                                     cost: d_abr.saturating_add(cand.cost),
-                                    hops: if hops.is_empty() { cand.hops.clone() } else { hops.clone() },
+                                    hops: if hops.is_empty() {
+                                        cand.hops.clone()
+                                    } else {
+                                        hops.clone()
+                                    },
                                     inter_area: true,
                                 };
                                 match table.get_mut(key) {
@@ -603,7 +615,10 @@ mod tests {
         let r1 = net.idx_of("r1");
         assert!(route_for(&routes, r1, "10.2.0.0/24").is_none());
         // Intra-area still fine.
-        assert!(route_for(&routes, r1, "10.1.0.0/24").is_none(), "own LAN is connected, not OSPF");
+        assert!(
+            route_for(&routes, r1, "10.1.0.0/24").is_none(),
+            "own LAN is connected, not OSPF"
+        );
     }
 
     #[test]
@@ -638,7 +653,12 @@ mod tests {
         // does) keeps adjacencies: None == None.
         let g = heimdall_netmodel::gen::enterprise_network();
         let mut sanitized = g.net.clone();
-        for (_, name) in g.net.devices().map(|(i, d)| (i, d.name.clone())).collect::<Vec<_>>() {
+        for (_, name) in g
+            .net
+            .devices()
+            .map(|(i, d)| (i, d.name.clone()))
+            .collect::<Vec<_>>()
+        {
             let d = sanitized.device_by_name_mut(&name).unwrap();
             d.config = d.config.sanitized();
         }
@@ -704,9 +724,11 @@ mod tests {
         let mut net = multi_area();
         {
             let r1 = net.device_by_name_mut("r1").unwrap();
-            r1.config.static_routes.push(
-                heimdall_netmodel::proto::StaticRoute::default_via("10.255.9.1".parse().unwrap()),
-            );
+            r1.config
+                .static_routes
+                .push(heimdall_netmodel::proto::StaticRoute::default_via(
+                    "10.255.9.1".parse().unwrap(),
+                ));
             r1.config.ospf.as_mut().unwrap().redistribute_static = true;
         }
         let l2 = L2Domains::compute(&net);

@@ -172,7 +172,12 @@ mod tests {
     fn lower_distance_wins() {
         let mut rib = Rib::new();
         rib.offer(entry("10.0.0.0/24", RouteSource::Ospf, 20, Some("1.1.1.1")));
-        rib.offer(entry("10.0.0.0/24", RouteSource::Static, 0, Some("2.2.2.2")));
+        rib.offer(entry(
+            "10.0.0.0/24",
+            RouteSource::Static,
+            0,
+            Some("2.2.2.2"),
+        ));
         let e = rib.get(&"10.0.0.0/24".parse().unwrap()).unwrap();
         assert_eq!(e.source, RouteSource::Static);
     }

@@ -1,0 +1,765 @@
+//! The session broker: ticket intake → twin slicing → hosted session →
+//! guarded commit into shared production.
+//!
+//! One [`Broker`] owns the production network (behind the enforcer's
+//! [`CommitGuard`]), one enforcer pipeline (shared audit chain), and the
+//! session registry. Many technicians work concurrently; each gets a
+//! privilege-scoped twin sliced from a production snapshot, and their
+//! change-sets race back in under optimistic base-fingerprint checks —
+//! stale commits are rejected and retried against fresh state, so no
+//! accepted change is ever lost or double-applied.
+//!
+//! Privilege derivation is memoized per task *shape* (kind + affected
+//! endpoints): tickets arrive in bursts of near-identical shapes, and
+//! `derive_privileges` walks shortest paths, which is the expensive part
+//! of intake. The cache is invalidated whenever a commit changes
+//! production, since path sets may shift.
+
+use crate::pool::{RateLimiter, SubmitError, WorkerPool};
+use crate::proto::{
+    read_frame, write_frame, AuditEntryView, ErrorKind, FrameError, Request, Response, SessionId,
+};
+use crate::registry::{SessionEntry, SessionRegistry};
+use crate::stats::{ServiceStats, StatsSnapshot};
+use heimdall_enforcer::audit::AuditKind;
+use heimdall_enforcer::concurrency::CommitGuard;
+use heimdall_enforcer::enclave::Platform;
+use heimdall_enforcer::pipeline::{EnforcerOutcome, EnforcerPipeline};
+use heimdall_enforcer::verifier::Verdict;
+use heimdall_netmodel::topology::Network;
+use heimdall_privilege::derive::{derive_privileges, Task, TaskKind};
+use heimdall_privilege::model::PrivilegeMsp;
+use heimdall_twin::session::{SessionError, TwinSession};
+use heimdall_twin::slice::slice_for_task;
+use heimdall_verify::policy::PolicySet;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tunables for one broker instance.
+#[derive(Debug, Clone)]
+pub struct BrokerConfig {
+    /// Session-registry shards.
+    pub shards: usize,
+    /// Token-bucket burst per technician.
+    pub rate_capacity: u32,
+    /// Sustained tokens/second per technician.
+    pub rate_refill_per_sec: f64,
+    /// How many times a stale commit is retried against fresh state.
+    pub max_commit_retries: u32,
+    /// Sessions idle longer than this are evictable.
+    pub idle_ttl: Duration,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> BrokerConfig {
+        BrokerConfig {
+            shards: 16,
+            rate_capacity: 256,
+            rate_refill_per_sec: 512.0,
+            max_commit_retries: 3,
+            idle_ttl: Duration::from_secs(15 * 60),
+        }
+    }
+}
+
+/// Errors the broker maps onto protocol error replies.
+#[derive(Debug)]
+pub enum BrokerError {
+    SessionNotFound(SessionId),
+    PermissionDenied(String),
+    BadCommand(String),
+    RateLimited(String),
+}
+
+impl BrokerError {
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            BrokerError::SessionNotFound(_) => ErrorKind::SessionNotFound,
+            BrokerError::PermissionDenied(_) => ErrorKind::PermissionDenied,
+            BrokerError::BadCommand(_) => ErrorKind::BadCommand,
+            BrokerError::RateLimited(_) => ErrorKind::RateLimited,
+        }
+    }
+
+    pub fn message(&self) -> String {
+        match self {
+            BrokerError::SessionNotFound(id) => format!("no such session: {id}"),
+            BrokerError::PermissionDenied(m) | BrokerError::BadCommand(m) => m.clone(),
+            BrokerError::RateLimited(t) => format!("technician {t} is over their rate limit"),
+        }
+    }
+}
+
+/// What [`Broker::finish`] reports back.
+#[derive(Debug, Clone)]
+pub struct FinishReport {
+    pub verdict: Verdict,
+    pub applied: bool,
+    /// 1 = landed first try; each stale conflict adds one.
+    pub attempts: u32,
+    pub changes: usize,
+}
+
+type PrivKey = (TaskKind, Vec<String>);
+
+/// A concurrent multi-tenant session broker over one production network.
+pub struct Broker {
+    guard: CommitGuard,
+    pipeline: Mutex<EnforcerPipeline>,
+    registry: SessionRegistry,
+    policies: PolicySet,
+    limiter: RateLimiter,
+    priv_cache: Mutex<HashMap<PrivKey, PrivilegeMsp>>,
+    stats: ServiceStats,
+    config: BrokerConfig,
+}
+
+impl Broker {
+    pub fn new(production: Network, policies: PolicySet, config: BrokerConfig) -> Broker {
+        let platform = Platform::new("heimdall-broker-host");
+        Broker {
+            guard: CommitGuard::new(production),
+            pipeline: Mutex::new(EnforcerPipeline::launch(&platform)),
+            registry: SessionRegistry::new(config.shards),
+            policies,
+            limiter: RateLimiter::new(config.rate_capacity, config.rate_refill_per_sec),
+            priv_cache: Mutex::new(HashMap::new()),
+            stats: ServiceStats::new(),
+            config,
+        }
+    }
+
+    /// Privileges for a task shape, derived once per shape per
+    /// production epoch.
+    fn privileges_for(&self, production: &Network, task: &Task) -> PrivilegeMsp {
+        let mut key_devices = task.affected.clone();
+        key_devices.sort();
+        let key = (task.kind, key_devices);
+        if let Some(hit) = self.priv_cache.lock().get(&key) {
+            return hit.clone();
+        }
+        let derived = derive_privileges(production, task);
+        self.priv_cache.lock().insert(key, derived.clone());
+        derived
+    }
+
+    /// Ticket intake: slice a twin, derive privileges, host the session.
+    pub fn open_session(
+        &self,
+        technician: &str,
+        ticket: Task,
+    ) -> Result<(SessionId, Vec<String>), BrokerError> {
+        if !self.limiter.try_acquire(technician) {
+            ServiceStats::bump(&self.stats.rate_limited);
+            return Err(BrokerError::RateLimited(technician.to_string()));
+        }
+        let production = self.guard.snapshot();
+        let privilege = self.privileges_for(&production, &ticket);
+        let twin = slice_for_task(&production, &ticket);
+        let devices = twin.included.clone();
+        let session = TwinSession::open(technician, twin, privilege.clone());
+        let baseline = production;
+        let now = Instant::now();
+        let id = self.registry.insert(SessionEntry {
+            technician: technician.to_string(),
+            task: ticket,
+            session,
+            baseline,
+            privilege,
+            opened_at: now,
+            last_used: now,
+        });
+        ServiceStats::bump(&self.stats.sessions_opened);
+        self.pipeline.lock().log(
+            AuditKind::Session,
+            technician,
+            &format!("session {id} opened on twin of {devices:?}"),
+        );
+        Ok((id, devices))
+    }
+
+    /// One mediated console line inside a hosted session.
+    pub fn exec(&self, id: SessionId, device: &str, line: &str) -> Result<String, BrokerError> {
+        let started = Instant::now();
+        let result = self
+            .registry
+            .with_session_mut(id, |entry| {
+                if !self.limiter.try_acquire(&entry.technician) {
+                    ServiceStats::bump(&self.stats.rate_limited);
+                    return Err(BrokerError::RateLimited(entry.technician.clone()));
+                }
+                entry.session.exec(device, line).map_err(|e| match e {
+                    SessionError::PermissionDenied { .. } => {
+                        ServiceStats::bump(&self.stats.denials);
+                        BrokerError::PermissionDenied(e.to_string())
+                    }
+                    SessionError::Command(_) => BrokerError::BadCommand(e.to_string()),
+                })
+            })
+            .ok_or(BrokerError::SessionNotFound(id))?;
+        self.stats.exec_latency.record(started.elapsed());
+        if result.is_ok() {
+            ServiceStats::bump(&self.stats.commands_mediated);
+        }
+        result
+    }
+
+    /// The privilege-scoped topology for a session, as protocol tuples.
+    #[allow(clippy::type_complexity)]
+    pub fn topology(
+        &self,
+        id: SessionId,
+    ) -> Result<(Vec<(String, String)>, Vec<(String, String, String, String)>), BrokerError> {
+        self.registry
+            .with_session_mut(id, |entry| {
+                let view = entry.session.view();
+                (view.devices, view.links)
+            })
+            .ok_or(BrokerError::SessionNotFound(id))
+    }
+
+    /// Closes the session and pushes its change-set through the guarded
+    /// enforcer, retrying stale rejections against refreshed state.
+    pub fn finish(&self, id: SessionId) -> Result<FinishReport, BrokerError> {
+        let started = Instant::now();
+        let entry = self
+            .registry
+            .remove(id)
+            .ok_or(BrokerError::SessionNotFound(id))?;
+        let SessionEntry {
+            technician,
+            session,
+            baseline,
+            privilege,
+            ..
+        } = entry;
+        let (diff, _monitor) = session.finish();
+        let changes = diff.len();
+        // The base the twin was opened against: the baseline slice holds
+        // exactly the production configs of the touched devices as of
+        // open time.
+        let mut base = heimdall_enforcer::concurrency::base_fingerprint(&baseline, &diff);
+
+        let mut attempts = 0u32;
+        let outcome: EnforcerOutcome = loop {
+            attempts += 1;
+            let outcome = self.pipeline.lock().process_guarded(
+                &technician,
+                &self.guard,
+                &diff,
+                &base,
+                &self.policies,
+                &privilege,
+            );
+            if outcome.report.verdict == Verdict::RejectedStale
+                && attempts <= self.config.max_commit_retries
+            {
+                ServiceStats::bump(&self.stats.commit_conflicts);
+                // Retry against current production: re-record the base so
+                // the enforcer re-verifies the diff on fresh state.
+                base = self.guard.record_base(&diff);
+                continue;
+            }
+            break outcome;
+        };
+
+        if outcome.applied() {
+            ServiceStats::bump(&self.stats.commits_applied);
+            // Production moved: cached privilege derivations may be stale.
+            self.priv_cache.lock().clear();
+        } else {
+            ServiceStats::bump(&self.stats.commits_rejected);
+        }
+        ServiceStats::bump(&self.stats.sessions_finished);
+        self.stats.finish_latency.record(started.elapsed());
+        let applied = outcome.applied();
+        Ok(FinishReport {
+            verdict: outcome.report.verdict,
+            applied,
+            attempts,
+            changes,
+        })
+    }
+
+    /// Drops sessions idle past the configured TTL, leaving an audit
+    /// trail for each.
+    pub fn evict_idle(&self) -> usize {
+        let victims = self.registry.evict_idle(self.config.idle_ttl);
+        let count = victims.len();
+        if count > 0 {
+            let mut pipeline = self.pipeline.lock();
+            for (id, entry) in victims {
+                ServiceStats::bump(&self.stats.sessions_evicted);
+                pipeline.log(
+                    AuditKind::Session,
+                    &entry.technician,
+                    &format!("session {id} evicted after idle TTL"),
+                );
+            }
+        }
+        count
+    }
+
+    /// Audit entries, optionally filtered.
+    pub fn audit_query(&self, kind: Option<AuditKind>, actor: Option<&str>) -> Vec<AuditEntryView> {
+        let pipeline = self.pipeline.lock();
+        pipeline
+            .audit()
+            .entries
+            .iter()
+            .filter(|e| kind.is_none_or(|k| e.kind == k))
+            .filter(|e| actor.is_none_or(|a| e.actor == a))
+            .map(|e| AuditEntryView {
+                seq: e.seq,
+                kind: e.kind,
+                actor: e.actor.clone(),
+                detail: e.detail.clone(),
+            })
+            .collect()
+    }
+
+    /// Chain + seal verification of the shared audit log.
+    pub fn verify_audit(&self) -> bool {
+        self.pipeline.lock().verify_audit_integrity()
+    }
+
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Point-in-time copy of production.
+    pub fn production(&self) -> Network {
+        self.guard.snapshot()
+    }
+
+    /// The policies every commit is verified against.
+    pub fn policies(&self) -> &PolicySet {
+        &self.policies
+    }
+
+    pub fn live_sessions(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Maps one protocol request to one reply.
+    pub fn handle(&self, request: Request) -> Response {
+        match request {
+            Request::OpenSession { technician, ticket } => {
+                match self.open_session(&technician, ticket) {
+                    Ok((session, devices)) => Response::SessionOpened { session, devices },
+                    Err(e) => error_response(e),
+                }
+            }
+            Request::Exec {
+                session,
+                device,
+                line,
+            } => match self.exec(session, &device, &line) {
+                Ok(output) => Response::ExecOutput { output },
+                Err(e) => error_response(e),
+            },
+            Request::TopologyView { session } => match self.topology(session) {
+                Ok((devices, links)) => Response::Topology { devices, links },
+                Err(e) => error_response(e),
+            },
+            Request::Finish { session } => match self.finish(session) {
+                Ok(report) => Response::Finished {
+                    verdict: report.verdict,
+                    applied: report.applied,
+                    attempts: report.attempts,
+                    changes: report.changes,
+                },
+                Err(e) => error_response(e),
+            },
+            Request::AuditQuery { kind, actor } => Response::Audit {
+                entries: self.audit_query(kind, actor.as_deref()),
+            },
+            Request::Stats => Response::Stats {
+                snapshot: self.stats(),
+            },
+        }
+    }
+
+    /// Serves one framed connection until the peer hangs up.
+    pub fn serve_connection<S: Read + Write>(&self, mut stream: S) {
+        loop {
+            match read_frame::<_, Request>(&mut stream) {
+                Ok(request) => {
+                    let response = self.handle(request);
+                    if write_frame(&mut stream, &response).is_err() {
+                        return;
+                    }
+                }
+                Err(FrameError::Codec(m)) => {
+                    // The frame was well-formed but the JSON wasn't a
+                    // request — answer and keep the connection.
+                    let resp = Response::Error {
+                        kind: ErrorKind::BadRequest,
+                        message: m,
+                    };
+                    if write_frame(&mut stream, &resp).is_err() {
+                        return;
+                    }
+                }
+                Err(FrameError::TooLarge(n)) => {
+                    // Cannot resync after an oversized frame: reply, drop.
+                    let _ = write_frame(
+                        &mut stream,
+                        &Response::Error {
+                            kind: ErrorKind::BadRequest,
+                            message: format!("frame of {n} bytes rejected"),
+                        },
+                    );
+                    return;
+                }
+                Err(_) => return, // Closed / Truncated / Io
+            }
+        }
+    }
+}
+
+fn error_response(e: BrokerError) -> Response {
+    Response::Error {
+        kind: e.kind(),
+        message: e.message(),
+    }
+}
+
+/// A broker plus the worker pool that runs its connections.
+pub struct SessionService {
+    broker: Arc<Broker>,
+    pool: WorkerPool,
+}
+
+impl SessionService {
+    pub fn new(broker: Broker, workers: usize, queue_depth: usize) -> SessionService {
+        SessionService {
+            broker: Arc::new(broker),
+            pool: WorkerPool::new(workers, queue_depth),
+        }
+    }
+
+    pub fn broker(&self) -> &Arc<Broker> {
+        &self.broker
+    }
+
+    /// Opens an in-process connection: the returned pipe end speaks the
+    /// framed protocol; the server side runs on the worker pool.
+    pub fn connect(&self) -> Result<crate::proto::PipeEnd, SubmitError> {
+        let (client, server) = crate::proto::duplex();
+        let broker = Arc::clone(&self.broker);
+        self.pool.submit(move || broker.serve_connection(server))?;
+        Ok(client)
+    }
+
+    /// Accepts TCP connections forever, each served on the pool. When
+    /// the pool's queue is full the connection is answered with `Busy`
+    /// and dropped — bounded intake, no thread-per-connection blowup.
+    pub fn serve_tcp(&self, listener: std::net::TcpListener) -> std::io::Result<()> {
+        for stream in listener.incoming() {
+            let mut stream = stream?;
+            let Ok(job_stream) = stream.try_clone() else {
+                continue;
+            };
+            let broker = Arc::clone(&self.broker);
+            if self
+                .pool
+                .submit(move || broker.serve_connection(job_stream))
+                .is_err()
+            {
+                let _ = write_frame(
+                    &mut stream,
+                    &Response::Error {
+                        kind: ErrorKind::Busy,
+                        message: "worker queue full, retry later".into(),
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_netmodel::acl::AclAction;
+    use heimdall_netmodel::gen::enterprise_network;
+    use heimdall_routing::converge;
+    use heimdall_verify::mine::{mine_policies, MinerInput};
+
+    /// Enterprise production with the Figure-6 ACL misconfiguration, plus
+    /// the policies mined from the healthy network.
+    fn broken_enterprise() -> (Network, PolicySet) {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        let policies = mine_policies(&g.net, &cp, &MinerInput::from_meta(&g.meta));
+        let mut broken = g.net;
+        broken
+            .device_by_name_mut("fw1")
+            .unwrap()
+            .config
+            .acls
+            .get_mut("100")
+            .unwrap()
+            .entries[1]
+            .action = AclAction::Deny;
+        (broken, policies)
+    }
+
+    fn acl_ticket() -> Task {
+        Task {
+            kind: TaskKind::AccessControl,
+            affected: vec!["h4".into(), "srv1".into()],
+        }
+    }
+
+    fn broker() -> Broker {
+        let (production, policies) = broken_enterprise();
+        Broker::new(production, policies, BrokerConfig::default())
+    }
+
+    #[test]
+    fn full_session_lifecycle_repairs_production() {
+        let b = broker();
+        let (id, devices) = b.open_session("alice", acl_ticket()).unwrap();
+        assert!(devices.contains(&"fw1".to_string()), "{devices:?}");
+        assert_eq!(b.live_sessions(), 1);
+
+        // Diagnose, fix, re-probe — all mediated.
+        b.exec(id, "fw1", "show access-lists").unwrap();
+        b.exec(id, "fw1", "no access-list 100 line 2").unwrap();
+        b.exec(
+            id,
+            "fw1",
+            "access-list 100 line 2 permit ip 10.1.2.0 0.0.0.255 10.2.1.0 0.0.0.255",
+        )
+        .unwrap();
+        let pong = b.exec(id, "h4", "ping 10.2.1.10").unwrap();
+        assert!(pong.contains("success"), "{pong}");
+
+        let report = b.finish(id).unwrap();
+        assert_eq!(report.verdict, Verdict::Accepted);
+        assert!(report.applied);
+        assert_eq!(report.attempts, 1);
+        assert!(report.changes > 0);
+        assert_eq!(b.live_sessions(), 0);
+
+        // Production healed.
+        let healed = b.production();
+        let cp = converge(&healed);
+        assert!(heimdall_verify::checker::check_policies(&healed, &cp, &b.policies).all_hold());
+        assert!(b.verify_audit());
+
+        let snap = b.stats();
+        assert_eq!(snap.sessions_opened, 1);
+        assert_eq!(snap.commits_applied, 1);
+        assert_eq!(snap.denials, 0);
+        assert!(snap.exec_count >= 4);
+    }
+
+    #[test]
+    fn out_of_privilege_commands_are_denied_and_counted() {
+        let b = broker();
+        let (id, _) = b.open_session("mallory", acl_ticket()).unwrap();
+        let err = b.exec(id, "fw1", "write erase").unwrap_err();
+        assert!(matches!(err, BrokerError::PermissionDenied(_)));
+        // Out-of-slice devices are denied by the monitor too: inside the
+        // twin they simply don't exist as grantable resources.
+        assert!(b.exec(id, "bdr1", "show running-config").is_err());
+        assert_eq!(b.stats().denials, 2);
+    }
+
+    #[test]
+    fn unknown_session_is_reported() {
+        let b = broker();
+        assert!(matches!(
+            b.exec(SessionId(99), "fw1", "show running-config"),
+            Err(BrokerError::SessionNotFound(_))
+        ));
+        assert!(matches!(
+            b.finish(SessionId(99)),
+            Err(BrokerError::SessionNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn privilege_memoization_hits_on_same_task_shape() {
+        let b = broker();
+        let (a, _) = b.open_session("alice", acl_ticket()).unwrap();
+        let (c, _) = b.open_session("bob", acl_ticket()).unwrap();
+        assert_eq!(b.priv_cache.lock().len(), 1, "one shape, one entry");
+        // Different shape adds a second entry.
+        let other = Task {
+            kind: TaskKind::Routing,
+            affected: vec!["h1".into(), "srv1".into()],
+        };
+        let (d, _) = b.open_session("carol", other).unwrap();
+        assert_eq!(b.priv_cache.lock().len(), 2);
+        for id in [a, c, d] {
+            let _ = b.finish(id);
+        }
+        // A commit applied (or not) — the cache is cleared only on apply;
+        // either way later opens still work.
+        let _ = b.open_session("dave", acl_ticket()).unwrap();
+    }
+
+    #[test]
+    fn rate_limited_technician_is_rejected() {
+        let (production, policies) = broken_enterprise();
+        let cfg = BrokerConfig {
+            rate_capacity: 2,
+            rate_refill_per_sec: 0.0,
+            ..BrokerConfig::default()
+        };
+        let b = Broker::new(production, policies, cfg);
+        let (id, _) = b.open_session("eve", acl_ticket()).unwrap(); // token 1
+        b.exec(id, "fw1", "show access-lists").unwrap(); // token 2
+        let err = b.exec(id, "fw1", "show access-lists").unwrap_err();
+        assert!(matches!(err, BrokerError::RateLimited(_)));
+        assert!(b.stats().rate_limited >= 1);
+    }
+
+    #[test]
+    fn stale_commit_is_retried_and_lands_without_clobbering() {
+        let b = broker();
+        // Two technicians race on fw1: alice fixes the ACL, bob adds an
+        // unrelated static route on the same device.
+        let (alice, _) = b.open_session("alice", acl_ticket()).unwrap();
+        let route_ticket = Task {
+            kind: TaskKind::Routing,
+            affected: vec!["h4".into(), "srv1".into()],
+        };
+        let (bob, _) = b.open_session("bob", route_ticket).unwrap();
+
+        b.exec(alice, "fw1", "no access-list 100 line 2").unwrap();
+        b.exec(
+            alice,
+            "fw1",
+            "access-list 100 line 2 permit ip 10.1.2.0 0.0.0.255 10.2.1.0 0.0.0.255",
+        )
+        .unwrap();
+        b.exec(bob, "fw1", "ip route 10.77.0.0 255.255.255.0 10.2.1.10")
+            .unwrap();
+
+        let a = b.finish(alice).unwrap();
+        assert!(a.applied);
+        assert_eq!(a.attempts, 1);
+
+        // Bob's base is now stale on fw1; the broker retries against
+        // fresh production and his granular route-add composes.
+        let r = b.finish(bob).unwrap();
+        assert!(r.applied, "{:?}", r.verdict);
+        assert!(r.attempts > 1, "expected a stale retry, got {r:?}");
+        assert!(b.stats().commit_conflicts >= 1);
+
+        let healed = b.production();
+        let fw1 = healed.device_by_name("fw1").unwrap();
+        // Alice's ACL fix survived bob's commit...
+        assert_eq!(fw1.config.acls["100"].entries[1].action, AclAction::Permit);
+        // ...and bob's route landed exactly once.
+        let hits = fw1
+            .config
+            .static_routes
+            .iter()
+            .filter(|rt| rt.prefix.to_string().starts_with("10.77.0.0"))
+            .count();
+        assert_eq!(hits, 1);
+        assert!(b.verify_audit());
+    }
+
+    #[test]
+    fn protocol_dispatch_covers_every_request() {
+        let b = broker();
+        let resp = b.handle(Request::OpenSession {
+            technician: "alice".into(),
+            ticket: acl_ticket(),
+        });
+        let Response::SessionOpened { session, .. } = resp else {
+            panic!("expected SessionOpened, got {resp:?}");
+        };
+        assert!(matches!(
+            b.handle(Request::Exec {
+                session,
+                device: "fw1".into(),
+                line: "show access-lists".into(),
+            }),
+            Response::ExecOutput { .. }
+        ));
+        let Response::Topology { devices, .. } = b.handle(Request::TopologyView { session }) else {
+            panic!("expected Topology");
+        };
+        assert!(devices.iter().any(|(name, _)| name == "fw1"));
+        assert!(matches!(
+            b.handle(Request::Finish { session }),
+            Response::Finished { .. }
+        ));
+        let Response::Audit { entries } = b.handle(Request::AuditQuery {
+            kind: Some(AuditKind::Session),
+            actor: None,
+        }) else {
+            panic!("expected Audit");
+        };
+        assert!(!entries.is_empty());
+        assert!(matches!(b.handle(Request::Stats), Response::Stats { .. }));
+        assert!(matches!(
+            b.handle(Request::Exec {
+                session,
+                device: "fw1".into(),
+                line: "show access-lists".into(),
+            }),
+            Response::Error {
+                kind: ErrorKind::SessionNotFound,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn service_serves_framed_connections_over_pipes() {
+        let (production, policies) = broken_enterprise();
+        let service = SessionService::new(
+            Broker::new(production, policies, BrokerConfig::default()),
+            4,
+            16,
+        );
+        let mut conn = service.connect().unwrap();
+        write_frame(
+            &mut conn,
+            &Request::OpenSession {
+                technician: "alice".into(),
+                ticket: acl_ticket(),
+            },
+        )
+        .unwrap();
+        let resp: Response = read_frame(&mut conn).unwrap();
+        let Response::SessionOpened { session, .. } = resp else {
+            panic!("expected SessionOpened, got {resp:?}");
+        };
+        write_frame(&mut conn, &Request::Finish { session }).unwrap();
+        let resp: Response = read_frame(&mut conn).unwrap();
+        assert!(matches!(resp, Response::Finished { .. }));
+        drop(conn);
+        assert!(service.broker().verify_audit());
+    }
+
+    #[test]
+    fn idle_eviction_removes_sessions_and_audits() {
+        let (production, policies) = broken_enterprise();
+        let cfg = BrokerConfig {
+            idle_ttl: Duration::from_millis(10),
+            ..BrokerConfig::default()
+        };
+        let b = Broker::new(production, policies, cfg);
+        let (_id, _) = b.open_session("alice", acl_ticket()).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(b.evict_idle(), 1);
+        assert_eq!(b.live_sessions(), 0);
+        assert_eq!(b.stats().sessions_evicted, 1);
+        let evictions = b.audit_query(Some(AuditKind::Session), Some("alice"));
+        assert!(evictions.iter().any(|e| e.detail.contains("evicted")));
+    }
+}

@@ -1,0 +1,58 @@
+//! heimdall-service: a concurrent multi-tenant session broker for twin
+//! networks.
+//!
+//! The paper's workflow — ticket → sliced twin → mediated session →
+//! enforced commit — is single-technician. An MSP is not: one production
+//! network is worked on by many technicians at once. This crate hosts
+//! that workflow as a service:
+//!
+//! - [`proto`] — length-prefixed JSON frames over any `Read + Write`
+//!   (TCP in production, an in-process [`proto::duplex`] pipe in tests);
+//! - [`registry`] — sharded, idle-TTL-evicted store of live sessions;
+//! - [`pool`] — bounded worker pool (backpressure) and per-technician
+//!   token-bucket rate limiting;
+//! - [`broker`] — intake, privilege memoization, and guarded optimistic
+//!   commits into the one shared production network;
+//! - [`stats`] — lock-free counters and latency histograms.
+
+pub mod broker;
+pub mod pool;
+pub mod proto;
+pub mod registry;
+pub mod stats;
+
+pub use broker::{Broker, BrokerConfig, BrokerError, FinishReport, SessionService};
+pub use pool::{RateLimiter, SubmitError, WorkerPool};
+pub use proto::{
+    duplex, read_frame, write_frame, AuditEntryView, ErrorKind, FrameError, PipeEnd, Request,
+    Response, SessionId, MAX_FRAME,
+};
+pub use registry::{SessionEntry, SessionRegistry};
+pub use stats::{LatencyHistogram, ServiceStats, StatsSnapshot};
+
+/// Compile-time thread-safety proof for everything the broker shares
+/// across worker threads. If a future change smuggles an `Rc` or raw
+/// pointer into these types, this module stops compiling — the broker's
+/// soundness depends on these bounds, not just convention.
+mod thread_safety {
+    #[allow(dead_code)]
+    fn assert_send<T: Send>() {}
+    #[allow(dead_code)]
+    fn assert_sync<T: Sync>() {}
+
+    #[allow(dead_code)]
+    fn proofs() {
+        assert_send::<heimdall_twin::session::TwinSession>();
+        assert_send::<heimdall_twin::monitor::ReferenceMonitor>();
+        assert_sync::<heimdall_twin::monitor::ReferenceMonitor>();
+        assert_send::<heimdall_enforcer::audit::AuditLog>();
+        assert_sync::<heimdall_enforcer::audit::AuditLog>();
+        assert_send::<heimdall_enforcer::concurrency::CommitGuard>();
+        assert_sync::<heimdall_enforcer::concurrency::CommitGuard>();
+        assert_send::<crate::Broker>();
+        assert_sync::<crate::Broker>();
+        assert_send::<crate::SessionRegistry>();
+        assert_sync::<crate::SessionRegistry>();
+        assert_send::<crate::PipeEnd>();
+    }
+}

@@ -1,0 +1,218 @@
+//! Bounded worker pool and per-technician token-bucket rate limiting.
+//!
+//! The broker never spawns a thread per request: connections are jobs on
+//! a fixed pool fed through a *bounded* queue, so a flood of technicians
+//! surfaces as an explicit [`SubmitError::Saturated`] (backpressure) the
+//! intake can turn into a "busy" reply instead of unbounded memory growth.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a job was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is full — shed load upstream.
+    Saturated,
+    /// The pool is shutting down.
+    Closed,
+}
+
+/// A fixed-size thread pool with a bounded intake queue.
+pub struct WorkerPool {
+    tx: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// `workers` threads consuming a queue of at most `queue_depth`
+    /// waiting jobs.
+    pub fn new(workers: usize, queue_depth: usize) -> WorkerPool {
+        assert!(workers > 0, "pool needs at least one worker");
+        let (tx, rx) = sync_channel::<Job>(queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("heimdall-worker-{i}"))
+                    .spawn(move || worker_loop(rx))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Queues a job; fails fast when the queue is full.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), SubmitError> {
+        let tx = self.tx.as_ref().ok_or(SubmitError::Closed)?;
+        match tx.try_send(Box::new(job)) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(SubmitError::Saturated),
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::Closed),
+        }
+    }
+
+    /// Queues a job, blocking while the queue is full (used by tests and
+    /// shutdown paths that must not shed).
+    pub fn submit_blocking(&self, job: impl FnOnce() + Send + 'static) -> Result<(), SubmitError> {
+        let tx = self.tx.as_ref().ok_or(SubmitError::Closed)?;
+        tx.send(Box::new(job)).map_err(|_| SubmitError::Closed)
+    }
+
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+fn worker_loop(rx: Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        // Hold the receiver lock only while dequeuing, not while running.
+        let job = match rx.lock().recv() {
+            Ok(job) => job,
+            Err(_) => return,
+        };
+        job();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel wakes every worker with a recv error.
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Classic token bucket: `capacity` burst, `refill_per_sec` sustained.
+#[derive(Debug, Clone)]
+struct Bucket {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+/// Per-technician rate limiter.
+///
+/// Each technician gets an independent bucket, so one noisy automation
+/// account cannot starve interactive operators — the service-layer
+/// analogue of the paper's per-technician privilege scoping.
+pub struct RateLimiter {
+    capacity: f64,
+    refill_per_sec: f64,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl RateLimiter {
+    pub fn new(capacity: u32, refill_per_sec: f64) -> RateLimiter {
+        RateLimiter {
+            capacity: capacity as f64,
+            refill_per_sec,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// An effectively unlimited limiter (for tests and demos).
+    pub fn unlimited() -> RateLimiter {
+        RateLimiter::new(u32::MAX, f64::INFINITY)
+    }
+
+    /// Takes one token for `technician`; false means rate-limited.
+    pub fn try_acquire(&self, technician: &str) -> bool {
+        let now = Instant::now();
+        let mut buckets = self.buckets.lock();
+        let bucket = buckets.entry(technician.to_string()).or_insert(Bucket {
+            tokens: self.capacity,
+            last_refill: now,
+        });
+        let elapsed = now.duration_since(bucket.last_refill).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * self.refill_per_sec).min(self.capacity);
+        bucket.last_refill = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of technicians currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.buckets.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn pool_runs_jobs_on_all_workers() {
+        let pool = WorkerPool::new(4, 16);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let counter = Arc::clone(&counter);
+            pool.submit_blocking(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        drop(pool); // joins workers
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn full_queue_reports_saturation() {
+        let pool = WorkerPool::new(1, 1);
+        let gate = Arc::new(Mutex::new(()));
+        let held = gate.lock();
+        {
+            let gate = Arc::clone(&gate);
+            pool.submit(move || {
+                let _g = gate.lock(); // blocks the only worker
+            })
+            .unwrap();
+        }
+        // Give the worker time to pick up the blocking job, then fill
+        // the single queue slot.
+        std::thread::sleep(Duration::from_millis(50));
+        pool.submit(|| {}).unwrap();
+        let mut saturated = false;
+        for _ in 0..100 {
+            if pool.submit(|| {}) == Err(SubmitError::Saturated) {
+                saturated = true;
+                break;
+            }
+        }
+        assert!(saturated, "bounded queue should shed load");
+        drop(held);
+    }
+
+    #[test]
+    fn token_bucket_limits_burst_then_refills() {
+        let rl = RateLimiter::new(3, 1000.0);
+        assert!(rl.try_acquire("eve"));
+        assert!(rl.try_acquire("eve"));
+        assert!(rl.try_acquire("eve"));
+        // Burst exhausted — an instant 4th call may only pass if the
+        // clock already refilled (1000/s ⇒ 1ms per token), so drain hard:
+        let rl = RateLimiter::new(2, 0.0);
+        assert!(rl.try_acquire("mallory"));
+        assert!(rl.try_acquire("mallory"));
+        assert!(!rl.try_acquire("mallory"), "no refill, bucket empty");
+        // Other technicians are unaffected.
+        assert!(rl.try_acquire("alice"));
+        assert_eq!(rl.tracked(), 2);
+    }
+}

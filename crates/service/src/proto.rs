@@ -1,0 +1,418 @@
+//! Wire protocol: length-prefixed JSON frames over any `Read + Write`.
+//!
+//! A frame is a 4-byte big-endian length followed by that many bytes of
+//! JSON. The codec is transport-agnostic: production serves
+//! `std::net::TcpStream`, tests and the demo use the in-process
+//! [`duplex`] pipe, and both go through exactly the same
+//! [`read_frame`]/[`write_frame`] path so the tests exercise the real
+//! framing.
+//!
+//! Frames larger than [`MAX_FRAME`] are rejected before allocation — a
+//! malicious or broken client cannot make the broker reserve gigabytes by
+//! sending a huge prefix.
+
+use heimdall_enforcer::audit::AuditKind;
+use heimdall_enforcer::verifier::Verdict;
+use heimdall_privilege::derive::Task;
+use parking_lot::{Condvar, Mutex};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+/// Hard cap on a single frame's payload (1 MiB).
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Opaque handle to a hosted twin session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SessionId(pub u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Open a twin session for `technician` scoped to `ticket`.
+    OpenSession { technician: String, ticket: Task },
+    /// Run one mediated console line inside a session.
+    Exec {
+        session: SessionId,
+        device: String,
+        line: String,
+    },
+    /// The (privilege-scoped) topology the technician may see.
+    TopologyView { session: SessionId },
+    /// Close the session and push its change-set through the enforcer.
+    Finish { session: SessionId },
+    /// Read the audit log, optionally filtered by kind and/or actor.
+    AuditQuery {
+        kind: Option<AuditKind>,
+        actor: Option<String>,
+    },
+    /// A point-in-time stats snapshot.
+    Stats,
+}
+
+/// Why a request was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// Unknown or already-finished session.
+    SessionNotFound,
+    /// The reference monitor denied the command.
+    PermissionDenied,
+    /// The command did not parse or execute.
+    BadCommand,
+    /// The technician exceeded their token bucket.
+    RateLimited,
+    /// The broker's worker queue is full.
+    Busy,
+    /// The request could not be decoded or was malformed.
+    BadRequest,
+}
+
+/// A serializable audit entry (mirror of the enforcer's, minus chain
+/// internals the client has no use for).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditEntryView {
+    pub seq: u64,
+    pub kind: AuditKind,
+    pub actor: String,
+    pub detail: String,
+}
+
+/// One broker reply. Replies pair with requests positionally: the broker
+/// answers every frame it reads, in order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    SessionOpened {
+        session: SessionId,
+        /// Devices inside the technician's twin slice.
+        devices: Vec<String>,
+    },
+    ExecOutput {
+        output: String,
+    },
+    Topology {
+        /// `(name, role)` pairs.
+        devices: Vec<(String, String)>,
+        /// `(device_a, iface_a, device_b, iface_b)` tuples.
+        links: Vec<(String, String, String, String)>,
+    },
+    Finished {
+        verdict: Verdict,
+        applied: bool,
+        /// Commit attempts (1 = landed first try; >1 = retried stale).
+        attempts: u32,
+        /// Change-set size handed to the enforcer.
+        changes: usize,
+    },
+    Audit {
+        entries: Vec<AuditEntryView>,
+    },
+    Stats {
+        snapshot: crate::stats::StatsSnapshot,
+    },
+    Error {
+        kind: ErrorKind,
+        message: String,
+    },
+}
+
+/// Frame-level failures.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying transport error.
+    Io(io::Error),
+    /// Clean end-of-stream at a frame boundary.
+    Closed,
+    /// The stream ended mid-frame.
+    Truncated,
+    /// Declared length exceeds [`MAX_FRAME`].
+    TooLarge(usize),
+    /// The payload was not valid JSON for the expected type.
+    Codec(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Truncated => write!(f, "stream ended mid-frame"),
+            FrameError::TooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds cap of {MAX_FRAME}")
+            }
+            FrameError::Codec(m) => write!(f, "codec error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one value as a length-prefixed JSON frame.
+pub fn write_frame<W: Write, T: Serialize>(w: &mut W, value: &T) -> Result<(), FrameError> {
+    let payload = serde_json::to_string(value).map_err(|e| FrameError::Codec(e.to_string()))?;
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME {
+        return Err(FrameError::TooLarge(bytes.len()));
+    }
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed JSON frame.
+///
+/// EOF before any prefix byte is [`FrameError::Closed`] (the peer hung up
+/// cleanly); EOF anywhere after that is [`FrameError::Truncated`].
+pub fn read_frame<R: Read, T: Deserialize>(r: &mut R) -> Result<T, FrameError> {
+    let mut prefix = [0u8; 4];
+    read_exact_or(r, &mut prefix, true)?;
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_or(r, &mut payload, false)?;
+    let text = std::str::from_utf8(&payload)
+        .map_err(|_| FrameError::Codec("frame payload is not UTF-8".into()))?;
+    serde_json::from_str(text).map_err(|e| FrameError::Codec(e.to_string()))
+}
+
+/// `read_exact` that distinguishes a clean close (EOF with zero bytes of
+/// the prefix read, when `at_boundary`) from mid-frame truncation.
+fn read_exact_or<R: Read>(r: &mut R, buf: &mut [u8], at_boundary: bool) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if at_boundary && filled == 0 {
+                    FrameError::Closed
+                } else {
+                    FrameError::Truncated
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------- duplex pipe
+
+struct PipeBuf {
+    data: VecDeque<u8>,
+    closed: bool,
+}
+
+struct PipeState {
+    buf: Mutex<PipeBuf>,
+    readable: Condvar,
+}
+
+impl PipeState {
+    fn new() -> Arc<PipeState> {
+        Arc::new(PipeState {
+            buf: Mutex::new(PipeBuf {
+                data: VecDeque::new(),
+                closed: false,
+            }),
+            readable: Condvar::new(),
+        })
+    }
+
+    fn close(&self) {
+        self.buf.lock().closed = true;
+        self.readable.notify_all();
+    }
+}
+
+/// One end of an in-process bidirectional byte pipe.
+///
+/// Semantically a loopback `TcpStream`: blocking reads, writes visible to
+/// the peer in order, and dropping an end gives the peer EOF on read and
+/// `BrokenPipe` on write. Lets protocol tests and the demo run the full
+/// framed path deterministically with no sockets.
+pub struct PipeEnd {
+    incoming: Arc<PipeState>,
+    outgoing: Arc<PipeState>,
+}
+
+/// A connected pair of pipe ends.
+pub fn duplex() -> (PipeEnd, PipeEnd) {
+    let a_to_b = PipeState::new();
+    let b_to_a = PipeState::new();
+    (
+        PipeEnd {
+            incoming: Arc::clone(&b_to_a),
+            outgoing: Arc::clone(&a_to_b),
+        },
+        PipeEnd {
+            incoming: a_to_b,
+            outgoing: b_to_a,
+        },
+    )
+}
+
+impl Read for PipeEnd {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let mut state = self.incoming.buf.lock();
+        while state.data.is_empty() {
+            if state.closed {
+                return Ok(0); // EOF
+            }
+            self.incoming.readable.wait(&mut state);
+        }
+        let n = buf.len().min(state.data.len());
+        for slot in buf.iter_mut().take(n) {
+            *slot = state.data.pop_front().expect("checked non-empty");
+        }
+        Ok(n)
+    }
+}
+
+impl Write for PipeEnd {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut state = self.outgoing.buf.lock();
+        if state.closed {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "peer end dropped",
+            ));
+        }
+        state.data.extend(buf.iter().copied());
+        self.outgoing.readable.notify_all();
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for PipeEnd {
+    fn drop(&mut self) {
+        // Peer reads drain then hit EOF; peer writes fail fast.
+        self.outgoing.close();
+        self.incoming.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_privilege::derive::TaskKind;
+
+    fn ticket() -> Task {
+        Task {
+            kind: TaskKind::Connectivity,
+            affected: vec!["h1".into(), "srv1".into()],
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip_over_memory() {
+        let mut buf: Vec<u8> = Vec::new();
+        let req = Request::OpenSession {
+            technician: "alice".into(),
+            ticket: ticket(),
+        };
+        write_frame(&mut buf, &req).unwrap();
+        let mut cursor = &buf[..];
+        let back: Request = read_frame(&mut cursor).unwrap();
+        assert_eq!(back, req);
+        // Stream exhausted: next read is a clean close.
+        assert!(matches!(
+            read_frame::<_, Request>(&mut cursor),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn oversized_prefix_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        buf.extend_from_slice(b"whatever");
+        let mut cursor = &buf[..];
+        assert!(matches!(
+            read_frame::<_, Request>(&mut cursor),
+            Err(FrameError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_mid_frame_detected() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_frame(&mut buf, &Request::Stats).unwrap();
+        for cut in 1..buf.len() {
+            let mut cursor = &buf[..cut];
+            assert!(
+                matches!(
+                    read_frame::<_, Request>(&mut cursor),
+                    Err(FrameError::Truncated)
+                ),
+                "cut at {cut} should be Truncated"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_payload_is_codec_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&7u32.to_be_bytes());
+        buf.extend_from_slice(b"not svc");
+        let mut cursor = &buf[..];
+        assert!(matches!(
+            read_frame::<_, Request>(&mut cursor),
+            Err(FrameError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn duplex_pipe_carries_frames_both_ways() {
+        let (mut client, mut server) = duplex();
+        let t = std::thread::spawn(move || {
+            let req: Request = read_frame(&mut server).unwrap();
+            assert!(matches!(req, Request::Stats));
+            write_frame(
+                &mut server,
+                &Response::Error {
+                    kind: ErrorKind::BadRequest,
+                    message: "demo".into(),
+                },
+            )
+            .unwrap();
+        });
+        write_frame(&mut client, &Request::Stats).unwrap();
+        let resp: Response = read_frame(&mut client).unwrap();
+        assert!(matches!(resp, Response::Error { .. }));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn dropping_an_end_gives_peer_eof() {
+        let (client, mut server) = duplex();
+        drop(client);
+        assert!(matches!(
+            read_frame::<_, Request>(&mut server),
+            Err(FrameError::Closed)
+        ));
+    }
+}

@@ -1,0 +1,221 @@
+//! Sharded session store.
+//!
+//! Hosted [`TwinSession`]s live here between requests. The map is split
+//! across N shards, each behind its own `RwLock`, so technicians working
+//! in different sessions never contend on one global lock — the broker's
+//! throughput scales with shard count, not session count. IDs are
+//! allocated from one atomic counter and hashed onto shards.
+//!
+//! Sessions a technician walks away from are reclaimed by idle-TTL
+//! eviction ([`SessionRegistry::evict_idle`]); an MSP cannot accumulate
+//! abandoned twins indefinitely.
+
+use crate::proto::SessionId;
+use heimdall_netmodel::topology::Network;
+use heimdall_privilege::derive::Task;
+use heimdall_privilege::model::PrivilegeMsp;
+use heimdall_twin::session::TwinSession;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Everything the broker needs to resume and later commit a session.
+pub struct SessionEntry {
+    pub technician: String,
+    pub task: Task,
+    pub session: TwinSession,
+    /// The production snapshot the twin was sliced from — used to
+    /// fingerprint the base the change-set was built against when it
+    /// reaches the enforcer. (Not the twin slice: slicing sanitizes
+    /// configs, which would make every base look stale.)
+    pub baseline: Network,
+    /// Privileges the session was opened under (kept for the enforcer's
+    /// out-of-scope check at commit time).
+    pub privilege: PrivilegeMsp,
+    pub opened_at: Instant,
+    pub last_used: Instant,
+}
+
+struct Shard {
+    sessions: RwLock<HashMap<u64, SessionEntry>>,
+}
+
+/// Concurrent session table.
+pub struct SessionRegistry {
+    shards: Vec<Shard>,
+    next_id: AtomicU64,
+}
+
+/// Mixes the ID before sharding so sequential IDs spread out.
+fn spread(id: u64) -> u64 {
+    let mut z = id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z ^= z >> 29;
+    z
+}
+
+impl SessionRegistry {
+    /// `shards` is rounded up to at least 1.
+    pub fn new(shards: usize) -> SessionRegistry {
+        let n = shards.max(1);
+        SessionRegistry {
+            shards: (0..n)
+                .map(|_| Shard {
+                    sessions: RwLock::new(HashMap::new()),
+                })
+                .collect(),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    fn shard_for(&self, id: SessionId) -> &Shard {
+        let idx = (spread(id.0) % self.shards.len() as u64) as usize;
+        &self.shards[idx]
+    }
+
+    /// Stores a new session, returning its handle.
+    pub fn insert(&self, entry: SessionEntry) -> SessionId {
+        let id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.shard_for(id).sessions.write().insert(id.0, entry);
+        id
+    }
+
+    /// Runs `f` with mutable access to the session, refreshing its idle
+    /// clock. `None` if the session does not exist (or was evicted).
+    pub fn with_session_mut<R>(
+        &self,
+        id: SessionId,
+        f: impl FnOnce(&mut SessionEntry) -> R,
+    ) -> Option<R> {
+        let shard = self.shard_for(id);
+        let mut sessions = shard.sessions.write();
+        let entry = sessions.get_mut(&id.0)?;
+        entry.last_used = Instant::now();
+        Some(f(entry))
+    }
+
+    /// Removes and returns the session (the finish path).
+    pub fn remove(&self, id: SessionId) -> Option<SessionEntry> {
+        self.shard_for(id).sessions.write().remove(&id.0)
+    }
+
+    /// Evicts every session idle longer than `ttl`; returns the victims
+    /// (so the broker can audit the evictions).
+    pub fn evict_idle(&self, ttl: Duration) -> Vec<(SessionId, SessionEntry)> {
+        let now = Instant::now();
+        let mut evicted = Vec::new();
+        for shard in &self.shards {
+            let mut sessions = shard.sessions.write();
+            let expired: Vec<u64> = sessions
+                .iter()
+                .filter(|(_, e)| now.duration_since(e.last_used) > ttl)
+                .map(|(id, _)| *id)
+                .collect();
+            for id in expired {
+                if let Some(entry) = sessions.remove(&id) {
+                    evicted.push((SessionId(id), entry));
+                }
+            }
+        }
+        evicted
+    }
+
+    /// Live session count (sums shard sizes; racy by nature, exact when
+    /// quiescent).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.sessions.read().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_netmodel::gen::enterprise_network;
+    use heimdall_privilege::derive::{derive_privileges, TaskKind};
+    use heimdall_twin::slice::slice_for_task;
+
+    fn entry(technician: &str) -> SessionEntry {
+        let g = enterprise_network();
+        let task = Task {
+            kind: TaskKind::Connectivity,
+            affected: vec!["h1".into(), "srv1".into()],
+        };
+        let privilege = derive_privileges(&g.net, &task);
+        let twin = slice_for_task(&g.net, &task);
+        let baseline = twin.net.clone();
+        let session = TwinSession::open(technician, twin, privilege.clone());
+        let now = Instant::now();
+        SessionEntry {
+            technician: technician.into(),
+            task,
+            session,
+            baseline,
+            privilege,
+            opened_at: now,
+            last_used: now,
+        }
+    }
+
+    #[test]
+    fn insert_access_remove_lifecycle() {
+        let reg = SessionRegistry::new(4);
+        let id = reg.insert(entry("alice"));
+        assert_eq!(reg.len(), 1);
+        let tech = reg
+            .with_session_mut(id, |e| e.technician.clone())
+            .expect("session exists");
+        assert_eq!(tech, "alice");
+        let removed = reg.remove(id).expect("still there");
+        assert_eq!(removed.technician, "alice");
+        assert!(reg.is_empty());
+        assert!(reg.with_session_mut(id, |_| ()).is_none());
+    }
+
+    #[test]
+    fn ids_are_unique_across_threads() {
+        use std::collections::HashSet;
+        use std::sync::Arc;
+
+        let reg = Arc::new(SessionRegistry::new(8));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    (0..16)
+                        .map(|_| reg.insert(entry(&format!("tech{t}"))))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut seen = HashSet::new();
+        for h in handles {
+            for id in h.join().unwrap() {
+                assert!(seen.insert(id), "duplicate session id {id}");
+            }
+        }
+        assert_eq!(reg.len(), 64);
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted_fresh_ones_kept() {
+        let reg = SessionRegistry::new(2);
+        let old = reg.insert(entry("idle"));
+        std::thread::sleep(Duration::from_millis(40));
+        // Touch only the fresh session; "idle" ages past the TTL.
+        let fresh = reg.insert(entry("busy"));
+        let evicted = reg.evict_idle(Duration::from_millis(20));
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, old);
+        assert_eq!(evicted[0].1.technician, "idle");
+        assert!(reg.with_session_mut(fresh, |_| ()).is_some());
+        assert_eq!(reg.len(), 1);
+    }
+}

@@ -28,33 +28,57 @@ pub enum Command {
     ShowInterfaces,
     ShowAccessLists,
     ShowVlan,
-    Ping { dst: Ipv4Addr },
-    Traceroute { dst: Ipv4Addr },
+    Ping {
+        dst: Ipv4Addr,
+    },
+    Traceroute {
+        dst: Ipv4Addr,
+    },
     // --- interface edits -------------------------------------------------
-    IfState { iface: String, up: bool },
+    IfState {
+        iface: String,
+        up: bool,
+    },
     IfAddress {
         iface: String,
         address: Option<(Ipv4Addr, u8)>,
     },
-    IfSwitchportAccess { iface: String, vlan: u16 },
+    IfSwitchportAccess {
+        iface: String,
+        vlan: u16,
+    },
     IfAclBind {
         iface: String,
         direction: AclDirection,
         acl: Option<String>,
     },
-    IfOspfCost { iface: String, cost: Option<u32> },
+    IfOspfCost {
+        iface: String,
+        cost: Option<u32>,
+    },
     // --- ACL edits ---------------------------------------------------------
-    AclAppend { name: String, entry: AclEntry },
+    AclAppend {
+        name: String,
+        entry: AclEntry,
+    },
     AclInsertLine {
         name: String,
         line: usize,
         entry: AclEntry,
     },
-    AclRemoveLine { name: String, line: usize },
-    AclDelete { name: String },
+    AclRemoveLine {
+        name: String,
+        line: usize,
+    },
+    AclDelete {
+        name: String,
+    },
     // --- routing edits -------------------------------------------------------
     RouteAdd(StaticRoute),
-    RouteDel { prefix: Prefix, gateway: Ipv4Addr },
+    RouteDel {
+        prefix: Prefix,
+        gateway: Ipv4Addr,
+    },
     OspfNetwork {
         prefix: Prefix,
         area: u32,
@@ -63,7 +87,9 @@ pub enum Command {
     // --- destructive / credential (exist to be denied) ---------------------
     Reload,
     WriteErase,
-    SetEnableSecret { secret: String },
+    SetEnableSecret {
+        secret: String,
+    },
 }
 
 /// A console parse or execution failure.
@@ -234,10 +260,9 @@ impl Command {
             Command::IfState { iface, .. } => (Action::ModifyInterfaceState, ifr(iface)),
             Command::IfAddress { iface, .. } => (Action::ModifyIpAddress, ifr(iface)),
             Command::IfSwitchportAccess { iface, .. } => (Action::ModifyVlan, ifr(iface)),
-            Command::IfAclBind { acl, .. } => (
-                Action::ModifyAcl,
-                aclr(acl.as_deref().unwrap_or("*")),
-            ),
+            Command::IfAclBind { acl, .. } => {
+                (Action::ModifyAcl, aclr(acl.as_deref().unwrap_or("*")))
+            }
             Command::IfOspfCost { .. } => (Action::ModifyOspf, dev()),
             Command::AclAppend { name, .. }
             | Command::AclInsertLine { name, .. }
@@ -304,7 +329,11 @@ pub fn execute(
                     .address
                     .map(|a| format!("{}/{}", a.ip, a.prefix_len))
                     .unwrap_or_else(|| "unassigned".to_string());
-                let state = if i.is_up() { "up" } else { "administratively down" };
+                let state = if i.is_up() {
+                    "up"
+                } else {
+                    "administratively down"
+                };
                 out.push_str(&format!("{:<12} {:<20} {state}\n", i.name, addr));
             }
             Ok(out)
@@ -466,7 +495,9 @@ pub fn execute(
                 .get_mut(name)
                 .ok_or_else(|| CommandError::NoSuchObject(format!("acl {name}")))?;
             if *line == 0 || *line > acl.entries.len() {
-                return Err(CommandError::NoSuchObject(format!("acl {name} line {line}")));
+                return Err(CommandError::NoSuchObject(format!(
+                    "acl {name} line {line}"
+                )));
             }
             acl.entries.remove(line - 1);
             Ok(String::new())
@@ -573,9 +604,15 @@ mod tests {
             ("traceroute 10.2.1.10", false),
             ("interface Gi0/2 shutdown", true),
             ("interface Gi0/2 no shutdown", true),
-            ("interface Gi0/9 ip address 203.0.113.2 255.255.255.252", true),
+            (
+                "interface Gi0/9 ip address 203.0.113.2 255.255.255.252",
+                true,
+            ),
             ("interface Gi0/2 switchport access vlan 30", true),
-            ("access-list 100 permit ip 10.1.2.0 0.0.0.255 10.2.1.0 0.0.0.255", true),
+            (
+                "access-list 100 permit ip 10.1.2.0 0.0.0.255 10.2.1.0 0.0.0.255",
+                true,
+            ),
             ("no access-list 100 line 2", true),
             ("ip route 0.0.0.0 0.0.0.0 203.0.113.1", true),
             ("router ospf network 10.255.0.12 0.0.0.3 area 0", true),
@@ -638,7 +675,12 @@ mod tests {
         .unwrap();
         let out = execute(&mut emu, "h4", &Command::parse("ping 10.2.1.10").unwrap()).unwrap();
         assert!(out.starts_with("....."), "{out}");
-        execute(&mut emu, "fw1", &Command::parse("no access-list 100 line 1").unwrap()).unwrap();
+        execute(
+            &mut emu,
+            "fw1",
+            &Command::parse("no access-list 100 line 1").unwrap(),
+        )
+        .unwrap();
         let out = execute(&mut emu, "h4", &Command::parse("ping 10.2.1.10").unwrap()).unwrap();
         assert!(out.starts_with("!!!!!"), "{out}");
     }
@@ -672,11 +714,19 @@ mod tests {
     fn errors_name_missing_objects() {
         let g = enterprise_network();
         let mut emu = EmulatedNetwork::new(g.net);
-        let e = execute(&mut emu, "fw1", &Command::parse("interface Nope0 shutdown").unwrap());
+        let e = execute(
+            &mut emu,
+            "fw1",
+            &Command::parse("interface Nope0 shutdown").unwrap(),
+        );
         assert!(matches!(e, Err(CommandError::NoSuchObject(_))));
         let e = execute(&mut emu, "nodev", &Command::ShowRunning);
         assert!(matches!(e, Err(CommandError::NoSuchObject(_))));
-        let e = execute(&mut emu, "fw1", &Command::parse("no access-list 100 line 99").unwrap());
+        let e = execute(
+            &mut emu,
+            "fw1",
+            &Command::parse("no access-list 100 line 99").unwrap(),
+        );
         assert!(matches!(e, Err(CommandError::NoSuchObject(_))));
     }
 

@@ -91,7 +91,10 @@ mod tests {
 
     fn spec_view_fw1() -> PrivilegeMsp {
         PrivilegeMsp::new()
-            .with(Predicate::allow(Action::View, ResourcePattern::Device("fw1".into())))
+            .with(Predicate::allow(
+                Action::View,
+                ResourcePattern::Device("fw1".into()),
+            ))
             .with(Predicate::allow(
                 Action::ModifyAcl,
                 ResourcePattern::Acl {
@@ -106,11 +109,17 @@ mod tests {
         let mut m = ReferenceMonitor::new("t1", spec_view_fw1());
         let show = Command::parse("show running-config").unwrap();
         assert!(m.mediate("fw1", "show running-config", &show).is_allowed());
-        assert!(!m.mediate("core1", "show running-config", &show).is_allowed());
+        assert!(!m
+            .mediate("core1", "show running-config", &show)
+            .is_allowed());
         let edit = Command::parse("no access-list 100 line 1").unwrap();
-        assert!(m.mediate("fw1", "no access-list 100 line 1", &edit).is_allowed());
+        assert!(m
+            .mediate("fw1", "no access-list 100 line 1", &edit)
+            .is_allowed());
         let edit101 = Command::parse("no access-list 101 line 1").unwrap();
-        assert!(!m.mediate("fw1", "no access-list 101 line 1", &edit101).is_allowed());
+        assert!(!m
+            .mediate("fw1", "no access-list 101 line 1", &edit101)
+            .is_allowed());
     }
 
     #[test]

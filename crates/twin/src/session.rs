@@ -174,7 +174,9 @@ mod tests {
         let mut s = TwinSession::open("mallory", twin, spec);
 
         // The ACL task does not include route changes.
-        let e = s.exec("fw1", "ip route 0.0.0.0 0.0.0.0 10.255.0.1").unwrap_err();
+        let e = s
+            .exec("fw1", "ip route 0.0.0.0 0.0.0.0 10.255.0.1")
+            .unwrap_err();
         assert!(matches!(e, SessionError::PermissionDenied { .. }));
         // And certainly not credential theft or destruction.
         let e = s.exec("fw1", "write erase").unwrap_err();
@@ -212,7 +214,12 @@ mod tests {
         assert_eq!(diff.len(), 1);
         match &diff.changes[0] {
             heimdall_netmodel::diff::ConfigChange::ReplaceAcl { entries, .. } => {
-                assert_eq!(entries.len(), 7, "5 original + 1 malicious + ... got {}", entries.len());
+                assert_eq!(
+                    entries.len(),
+                    7,
+                    "5 original + 1 malicious + ... got {}",
+                    entries.len()
+                );
             }
             other => panic!("unexpected change {other:?}"),
         }

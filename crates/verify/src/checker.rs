@@ -19,7 +19,9 @@ use std::fmt;
 pub enum PolicyVerdict {
     Holds,
     /// Violated, with a human-readable counterexample.
-    Violated { counterexample: String },
+    Violated {
+        counterexample: String,
+    },
     /// The policy references endpoints that do not exist in this snapshot.
     Unresolvable,
 }
@@ -129,7 +131,10 @@ pub fn check_one(net: &Network, dp: &DataPlane<'_>, policy: &Policy) -> PolicyVe
                             counterexample: format!("{} -> {}: not reachable", sdev, dip),
                         };
                     }
-                    if let Some(t) = traces.iter().find(|t| !t.hops.iter().any(|h| &h.device == via)) {
+                    if let Some(t) = traces
+                        .iter()
+                        .find(|t| !t.hops.iter().any(|h| &h.device == via))
+                    {
                         return PolicyVerdict::Violated {
                             counterexample: format!(
                                 "{} -> {}: a path skips waypoint {via} ({} hops)",
@@ -163,8 +168,14 @@ mod tests {
         let cp = converge(&g.net);
         let set = PolicySet {
             policies: vec![
-                Policy::Reachability { src: host("h1"), dst: host("srv1") },
-                Policy::Reachability { src: host("h1"), dst: host("h4") }, // locked down
+                Policy::Reachability {
+                    src: host("h1"),
+                    dst: host("srv1"),
+                },
+                Policy::Reachability {
+                    src: host("h1"),
+                    dst: host("h4"),
+                }, // locked down
             ],
         };
         let rep = check_policies(&g.net, &cp, &set);
@@ -180,8 +191,14 @@ mod tests {
         let cp = converge(&g.net);
         let set = PolicySet {
             policies: vec![
-                Policy::Isolation { src: host("h2"), dst: host("h7") }, // holds
-                Policy::Isolation { src: host("h1"), dst: host("srv1") }, // violated (reachable)
+                Policy::Isolation {
+                    src: host("h2"),
+                    dst: host("h7"),
+                }, // holds
+                Policy::Isolation {
+                    src: host("h1"),
+                    dst: host("srv1"),
+                }, // violated (reachable)
             ],
         };
         let rep = check_policies(&g.net, &cp, &set);
@@ -195,8 +212,16 @@ mod tests {
         let cp = converge(&g.net);
         let set = PolicySet {
             policies: vec![
-                Policy::Waypoint { src: host("h1"), dst: host("srv1"), via: "fw1".into() },
-                Policy::Waypoint { src: host("h1"), dst: host("srv1"), via: "acc3".into() },
+                Policy::Waypoint {
+                    src: host("h1"),
+                    dst: host("srv1"),
+                    via: "fw1".into(),
+                },
+                Policy::Waypoint {
+                    src: host("h1"),
+                    dst: host("srv1"),
+                    via: "acc3".into(),
+                },
             ],
         };
         let rep = check_policies(&g.net, &cp, &set);
@@ -209,7 +234,10 @@ mod tests {
         let g = enterprise_network();
         let cp = converge(&g.net);
         let set = PolicySet {
-            policies: vec![Policy::Reachability { src: host("ghost"), dst: host("srv1") }],
+            policies: vec![Policy::Reachability {
+                src: host("ghost"),
+                dst: host("srv1"),
+            }],
         };
         let rep = check_policies(&g.net, &cp, &set);
         assert_eq!(rep.results[0].1, PolicyVerdict::Unresolvable);
@@ -222,7 +250,10 @@ mod tests {
         let g = enterprise_network();
         let cp = converge(&g.net);
         let set = PolicySet {
-            policies: vec![Policy::Reachability { src: host("h4"), dst: host("h1") }],
+            policies: vec![Policy::Reachability {
+                src: host("h4"),
+                dst: host("h1"),
+            }],
         };
         let rep = check_policies(&g.net, &cp, &set);
         match &rep.results[0].1 {
@@ -239,7 +270,10 @@ mod tests {
         let g = enterprise_network();
         let cp = converge(&g.net);
         let set = PolicySet {
-            policies: vec![Policy::Reachability { src: host("h1"), dst: host("h4") }],
+            policies: vec![Policy::Reachability {
+                src: host("h1"),
+                dst: host("h4"),
+            }],
         };
         let rep = check_policies(&g.net, &cp, &set);
         let text = rep.to_string();

@@ -82,7 +82,10 @@ mod tests {
 
         let (d, _, _) = differential_check(&g.net, &after, &set);
         assert!(!d.is_safe());
-        assert!(d.newly_violated.iter().any(|id| id.contains("LAN1") && id.contains("DMZ")));
+        assert!(d
+            .newly_violated
+            .iter()
+            .any(|id| id.contains("LAN1") && id.contains("DMZ")));
         assert!(d.newly_fixed.is_empty());
     }
 

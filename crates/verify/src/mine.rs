@@ -170,7 +170,12 @@ mod tests {
         let g = enterprise_network();
         let cp = converge(&g.net);
         let set = mine_policies(&g.net, &cp, &MinerInput::from_meta(&g.meta));
-        assert_eq!(set.len(), 21, "Table 1: 21 policies; got\n{}", set.to_json());
+        assert_eq!(
+            set.len(),
+            21,
+            "Table 1: 21 policies; got\n{}",
+            set.to_json()
+        );
     }
 
     #[test]

@@ -60,9 +60,15 @@ impl fmt::Display for PolicyEndpoint {
 pub enum Policy {
     /// Every source endpoint must reach every destination endpoint
     /// (canonical TCP/80 probe).
-    Reachability { src: PolicyEndpoint, dst: PolicyEndpoint },
+    Reachability {
+        src: PolicyEndpoint,
+        dst: PolicyEndpoint,
+    },
     /// No source endpoint may reach any destination endpoint.
-    Isolation { src: PolicyEndpoint, dst: PolicyEndpoint },
+    Isolation {
+        src: PolicyEndpoint,
+        dst: PolicyEndpoint,
+    },
     /// Reachable, and every path crosses `via`.
     Waypoint {
         src: PolicyEndpoint,
@@ -177,7 +183,9 @@ mod tests {
     #[test]
     fn unknown_host_resolves_empty() {
         let g = enterprise_network();
-        assert!(PolicyEndpoint::Host("nope".to_string()).resolve(&g.net).is_empty());
+        assert!(PolicyEndpoint::Host("nope".to_string())
+            .resolve(&g.net)
+            .is_empty());
     }
 
     #[test]

@@ -16,17 +16,29 @@ fn main() {
 
     println!("=== Table 1: evaluation networks ===");
     println!("paper:   enterprise 9/9/22/21/1394, university 13/17/92/175/2146");
-    println!("{}", heimdall::experiments::render_table1(&heimdall::experiments::table1()));
+    println!(
+        "{}",
+        heimdall::experiments::render_table1(&heimdall::experiments::table1())
+    );
 
     println!("=== Figure 7: time to solve three issues (enterprise) ===");
     println!("paper:   +28 s average overhead (15 s isp ... 42 s vlan), operations dominate");
-    println!("{}", heimdall::experiments::render_fig7(&heimdall::experiments::fig7()));
+    println!(
+        "{}",
+        heimdall::experiments::render_fig7(&heimdall::experiments::fig7())
+    );
 
     println!("=== Figure 8: feasibility vs attack surface (enterprise) ===");
     println!("paper:   Heimdall cuts attack surface by up to ~39 points, feasibility ~= All");
-    println!("{}", heimdall::experiments::render_surface(&heimdall::experiments::fig8()));
+    println!(
+        "{}",
+        heimdall::experiments::render_surface(&heimdall::experiments::fig8())
+    );
 
     println!("=== Figure 9: feasibility vs attack surface (university, stride {stride}) ===");
     println!("paper:   Heimdall cuts attack surface by up to ~40 points, feasibility ~= All");
-    println!("{}", heimdall::experiments::render_surface(&heimdall::experiments::fig9(stride)));
+    println!(
+        "{}",
+        heimdall::experiments::render_surface(&heimdall::experiments::fig9(stride))
+    );
 }

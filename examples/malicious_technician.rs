@@ -42,20 +42,38 @@ fn main() {
 
     println!("\n=== scenario 2: malicious ACL edit (Figure 6) ===");
     let o = malicious_acl_change(&net, &meta);
-    println!("RMM: policies newly violated in production: {}", o.rmm_new_violations);
+    println!(
+        "RMM: policies newly violated in production: {}",
+        o.rmm_new_violations
+    );
     println!(
         "Heimdall: command allowed at console: {} (it looks legitimate)",
         o.heimdall_command_allowed
     );
-    println!("Heimdall: change-set imported:        {}", o.heimdall_applied);
-    println!("Heimdall: rejected for policies:      {:?}", o.heimdall_rejected_for);
+    println!(
+        "Heimdall: change-set imported:        {}",
+        o.heimdall_applied
+    );
+    println!(
+        "Heimdall: rejected for policies:      {:?}",
+        o.heimdall_rejected_for
+    );
     assert!(!o.heimdall_applied && o.rmm_new_violations > 0);
 
     println!("\n=== scenario 3: careless destruction (Figure 3) ===");
     let o = careless_destruction(&net, &meta);
-    println!("RMM: policies violated after `write erase`: {}", o.rmm_violations);
-    println!("Heimdall: command blocked at monitor:        {}", o.heimdall_blocked);
-    println!("Heimdall: production policy violations:      {}", o.heimdall_violations);
+    println!(
+        "RMM: policies violated after `write erase`: {}",
+        o.rmm_violations
+    );
+    println!(
+        "Heimdall: command blocked at monitor:        {}",
+        o.heimdall_blocked
+    );
+    println!(
+        "Heimdall: production policy violations:      {}",
+        o.heimdall_violations
+    );
     assert!(o.heimdall_blocked && o.heimdall_violations == 0);
 
     println!("\nall incidents contained by Heimdall; all succeed over RMM.");
@@ -83,7 +101,11 @@ fn main() {
             let _ = session.exec(d, "show running-config");
         }
         for e in session.monitor().events() {
-            let verdict = if e.decision.is_allowed() { "[allowed]" } else { "[DENIED: privilege]" };
+            let verdict = if e.decision.is_allowed() {
+                "[allowed]"
+            } else {
+                "[DENIED: privilege]"
+            };
             log.append(
                 heimdall::enforcer::audit::AuditKind::Command,
                 &e.technician,
@@ -94,7 +116,10 @@ fn main() {
     let summary = heimdall::enforcer::forensics::review(&log);
     println!("chain intact: {}", summary.chain_intact);
     for a in &summary.anomalies {
-        println!("ANOMALY [{}] {}: {} (evidence: {:?})", a.rule, a.actor, a.detail, a.evidence);
+        println!(
+            "ANOMALY [{}] {}: {} (evidence: {:?})",
+            a.rule, a.actor, a.detail, a.evidence
+        );
     }
     assert!(!summary.clean(), "the probing pattern must be flagged");
 }

@@ -37,8 +37,14 @@ fn main() {
         issue.affected.clone(),
         TaskKind::Connectivity,
     ));
-    let ticket = tickets.assign_next("alice").expect("one open ticket").clone();
-    println!("== ticket {} assigned to alice: {}", ticket.id, ticket.title);
+    let ticket = tickets
+        .assign_next("alice")
+        .expect("one open ticket")
+        .clone();
+    println!(
+        "== ticket {} assigned to alice: {}",
+        ticket.id, ticket.title
+    );
 
     // 2. Heimdall derives least privileges for a *connectivity* task and
     //    builds the twin.
@@ -82,7 +88,10 @@ fn main() {
     // The trace names fw1's ACL; alice tries to inspect and edit it — but
     // a connectivity ticket carries no ACL rights.
     let denied = session.exec("fw1", "no access-list 100 line 2");
-    println!("fw1# no access-list 100 line 2\n   {:?}", denied.err().map(|e| e.to_string()));
+    println!(
+        "fw1# no access-list 100 line 2\n   {:?}",
+        denied.err().map(|e| e.to_string())
+    );
 
     // 4. Escalation: connectivity -> access-control, on an on-path device.
     let req = EscalationRequest {
@@ -92,7 +101,10 @@ fn main() {
         justification: "trace shows acl 100 denying LAN2 toward the DMZ".into(),
     };
     let decision = decide_escalation(&production, &task, &mut spec, &req);
-    println!("== escalation request ({} on fw1): {decision:?}", req.action);
+    println!(
+        "== escalation request ({} on fw1): {decision:?}",
+        req.action
+    );
     session.monitor_mut().set_spec(spec.clone());
 
     // 5. Fix, verify inside the twin.
@@ -121,7 +133,9 @@ fn main() {
         "== enclave attested: measurement {}...",
         &enforcer.enclave().measurement_hex()[..16]
     );
-    platform.verify_report(&report).expect("attestation verifies");
+    platform
+        .verify_report(&report)
+        .expect("attestation verifies");
 
     let outcome = enforcer.process("alice", &production, &changes, &policies, &spec);
     println!("== enforcer verdict: {:?}", outcome.report.verdict);

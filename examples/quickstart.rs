@@ -32,16 +32,27 @@ fn main() {
     // The Heimdall workflow: derive Privilege_msp, debug in a sanitized
     // twin, verify + schedule + apply through the enforcer.
     let run = run_heimdall(&production, &issue, &policies);
-    println!("\ntwin exposed {} of {} devices", run.twin_devices, production.device_count());
+    println!(
+        "\ntwin exposed {} of {} devices",
+        run.twin_devices,
+        production.device_count()
+    );
     println!("privilege predicates derived: {}", run.predicates);
-    println!("commands executed: {} (denied: {})", run.commands, run.denials);
+    println!(
+        "commands executed: {} (denied: {})",
+        run.commands, run.denials
+    );
     println!("change-set size: {}", run.changes);
     println!("enforcer verdict: {:?}", run.outcome.report.verdict);
     println!("issue resolved in production: {}", run.resolved);
     println!(
         "audit trail: {} chained entries, integrity {}",
         run.audit.len(),
-        if run.audit.verify_chain().is_ok() { "OK" } else { "BROKEN" }
+        if run.audit.verify_chain().is_ok() {
+            "OK"
+        } else {
+            "BROKEN"
+        }
     );
 
     assert!(run.resolved && run.outcome.applied());

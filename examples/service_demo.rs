@@ -1,0 +1,230 @@
+//! Serving-mode demo: one broker, one shared production network, 33
+//! technicians working at the same time over framed in-process
+//! connections.
+//!
+//! Technician 0 holds the canonical Figure-6 repair ticket (the fw1 ACL
+//! misconfiguration); the other 32 run routing tickets that each add one
+//! unique static route on fw1 — maximal base-fingerprint contention. The
+//! demo asserts the broker's contract end to end: every commit lands
+//! exactly once, the ACL repair heals the mined policies, and the shared
+//! audit chain verifies. Exit code 0 means all of that held.
+
+use heimdall::netmodel::acl::AclAction;
+use heimdall::netmodel::gen::enterprise_network;
+use heimdall::netmodel::topology::Network;
+use heimdall::privilege::derive::{Task, TaskKind};
+use heimdall::routing::converge;
+use heimdall::service::{
+    read_frame, write_frame, Broker, BrokerConfig, PipeEnd, Request, Response, SessionService,
+};
+use heimdall::verify::checker::check_policies;
+use heimdall::verify::mine::{mine_policies, MinerInput};
+use std::sync::Arc;
+use std::thread;
+
+/// Route-adding technicians, on top of the one ACL-repair technician.
+const ROUTE_TECHS: usize = 32;
+
+fn send(conn: &mut PipeEnd, req: &Request) -> Response {
+    write_frame(conn, req).expect("write frame");
+    read_frame(conn).expect("read frame")
+}
+
+fn open(conn: &mut PipeEnd, technician: &str, ticket: Task) -> heimdall::service::SessionId {
+    let resp = send(
+        conn,
+        &Request::OpenSession {
+            technician: technician.to_string(),
+            ticket,
+        },
+    );
+    match resp {
+        Response::SessionOpened { session, .. } => session,
+        other => panic!("{technician}: expected SessionOpened, got {other:?}"),
+    }
+}
+
+fn exec(conn: &mut PipeEnd, session: heimdall::service::SessionId, device: &str, line: &str) {
+    let resp = send(
+        conn,
+        &Request::Exec {
+            session,
+            device: device.to_string(),
+            line: line.to_string(),
+        },
+    );
+    let Response::ExecOutput { .. } = resp else {
+        panic!("exec `{line}` on {device}: {resp:?}");
+    };
+}
+
+/// `(applied, attempts)` from finishing the session.
+fn finish(conn: &mut PipeEnd, session: heimdall::service::SessionId) -> (bool, u32) {
+    let resp = send(conn, &Request::Finish { session });
+    match resp {
+        Response::Finished {
+            applied, attempts, ..
+        } => (applied, attempts),
+        other => panic!("expected Finished, got {other:?}"),
+    }
+}
+
+fn main() {
+    // Healthy enterprise → mined intent → the Figure-6 breakage.
+    let g = enterprise_network();
+    let cp = converge(&g.net);
+    let policies = mine_policies(&g.net, &cp, &MinerInput::from_meta(&g.meta));
+    let mut production = g.net;
+    production
+        .device_by_name_mut("fw1")
+        .expect("fw1 exists")
+        .config
+        .acls
+        .get_mut("100")
+        .expect("acl 100 exists")
+        .entries[1]
+        .action = AclAction::Deny;
+
+    let config = BrokerConfig {
+        // 33 sessions all editing fw1: stale retries are expected, lost
+        // commits are not.
+        max_commit_retries: 64,
+        ..BrokerConfig::default()
+    };
+    let service = Arc::new(SessionService::new(
+        Broker::new(production, policies, config),
+        8,  // workers: intentionally fewer than clients — backpressure path
+        64, // queue depth
+    ));
+
+    println!(
+        "broker up: {} workers serving {} concurrent technician sessions",
+        8,
+        ROUTE_TECHS + 1
+    );
+
+    let mut handles = Vec::new();
+
+    // Technician 0: the canonical ACL repair.
+    {
+        let service = Arc::clone(&service);
+        handles.push(thread::spawn(move || {
+            let mut conn = service.connect().expect("connect");
+            let session = open(
+                &mut conn,
+                "tech00",
+                Task {
+                    kind: TaskKind::AccessControl,
+                    affected: vec!["h4".to_string(), "srv1".to_string()],
+                },
+            );
+            exec(&mut conn, session, "fw1", "show access-lists");
+            exec(&mut conn, session, "fw1", "no access-list 100 line 2");
+            exec(
+                &mut conn,
+                session,
+                "fw1",
+                "access-list 100 line 2 permit ip 10.1.2.0 0.0.0.255 10.2.1.0 0.0.0.255",
+            );
+            exec(&mut conn, session, "h4", "ping 10.2.1.10");
+            finish(&mut conn, session)
+        }));
+    }
+
+    // Technicians 1..=32: one unique static route each, all on fw1.
+    for i in 1..=ROUTE_TECHS {
+        let service = Arc::clone(&service);
+        handles.push(thread::spawn(move || {
+            let mut conn = service.connect().expect("connect");
+            let host = ["h1", "h4", "h7"][i % 3];
+            let session = open(
+                &mut conn,
+                &format!("tech{i:02}"),
+                Task {
+                    kind: TaskKind::Routing,
+                    affected: vec![host.to_string(), "srv1".to_string()],
+                },
+            );
+            exec(&mut conn, session, "fw1", "show running-config");
+            exec(
+                &mut conn,
+                session,
+                "fw1",
+                &format!("ip route 10.{}.0.0 255.255.255.0 10.2.1.10", 100 + i),
+            );
+            finish(&mut conn, session)
+        }));
+    }
+
+    let mut lost = 0usize;
+    let mut retried_commits = 0usize;
+    let mut max_attempts = 1u32;
+    for h in handles {
+        let (applied, attempts) = h.join().expect("technician thread");
+        if !applied {
+            lost += 1;
+        }
+        if attempts > 1 {
+            retried_commits += 1;
+        }
+        max_attempts = max_attempts.max(attempts);
+    }
+    println!(
+        "{} sessions finished: {} lost, {} retried stale (worst case {} attempts)",
+        ROUTE_TECHS + 1,
+        lost,
+        retried_commits,
+        max_attempts
+    );
+    assert_eq!(lost, 0, "no commit may be lost");
+
+    // Control connection: stats + audit over the same wire protocol.
+    let mut conn = service.connect().expect("control connect");
+    let Response::Stats { snapshot } = send(&mut conn, &Request::Stats) else {
+        panic!("expected Stats");
+    };
+    println!("\n--- broker stats ---\n{snapshot}");
+    assert_eq!(snapshot.sessions_opened, (ROUTE_TECHS + 1) as u64);
+    assert_eq!(snapshot.commits_applied, (ROUTE_TECHS + 1) as u64);
+    assert_eq!(snapshot.commits_rejected, 0);
+
+    let Response::Audit { entries } = send(
+        &mut conn,
+        &Request::AuditQuery {
+            kind: None,
+            actor: None,
+        },
+    ) else {
+        panic!("expected Audit");
+    };
+    println!("audit entries: {}", entries.len());
+    drop(conn);
+
+    // Out-of-band ground truth: production healed, every route landed
+    // exactly once, chain verifies.
+    let healed: Network = service.broker().production();
+    let fw1 = healed.device_by_name("fw1").expect("fw1");
+    assert_eq!(
+        fw1.config.acls["100"].entries[1].action,
+        AclAction::Permit,
+        "ACL repair must have survived 32 racing commits"
+    );
+    for i in 1..=ROUTE_TECHS {
+        let prefix = format!("10.{}.0.0", 100 + i);
+        let hits = fw1
+            .config
+            .static_routes
+            .iter()
+            .filter(|r| r.prefix.to_string().starts_with(&prefix))
+            .count();
+        assert_eq!(hits, 1, "route {prefix} must land exactly once");
+    }
+    let cp = converge(&healed);
+    assert!(
+        check_policies(&healed, &cp, service.broker().policies()).all_hold(),
+        "mined policies must hold on healed production"
+    );
+    assert!(service.broker().verify_audit(), "audit chain must verify");
+
+    println!("\nall commits landed exactly once; policies hold; audit chain verified");
+}

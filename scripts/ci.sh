@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full CI gate: formatting, lints, release build, all tests.
+# Everything runs offline — dependencies are vendored under vendor/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q
+
+echo "CI green."

@@ -22,7 +22,11 @@ fn heimdall_heals_every_enterprise_issue_and_restores_policy() {
         let mut broken = net.clone();
         let issue = inject_issue(&mut broken, &meta, kind).expect("enterprise issue");
         let run = run_heimdall(&broken, &issue, &policies);
-        assert!(run.resolved, "{kind:?} not resolved: {:?}", run.outcome.report);
+        assert!(
+            run.resolved,
+            "{kind:?} not resolved: {:?}",
+            run.outcome.report
+        );
 
         let updated = run.outcome.updated_production.expect("applied");
         let cp = converge(&updated);
@@ -39,7 +43,11 @@ fn heimdall_heals_university_issues() {
         let issue = inject_issue(&mut broken, &meta, kind).expect("university issue");
         assert!(!probe_ok(&broken, &issue), "{kind:?} starts broken");
         let run = run_heimdall(&broken, &issue, &policies);
-        assert!(run.resolved, "{kind:?} not resolved: {:?}", run.outcome.report);
+        assert!(
+            run.resolved,
+            "{kind:?} not resolved: {:?}",
+            run.outcome.report
+        );
         // Twin never exposed the whole campus.
         assert!(
             run.twin_devices < net.device_count() / 2,
@@ -61,7 +69,10 @@ fn both_approaches_agree_on_the_fix_result() {
         // The resulting production configurations are semantically equal.
         let updated = heimdall.outcome.updated_production.expect("applied");
         for (_, d) in updated.devices() {
-            let rmm_dev = current.production.device_by_name(&d.name).expect("same devices");
+            let rmm_dev = current
+                .production
+                .device_by_name(&d.name)
+                .expect("same devices");
             assert_eq!(
                 d.config.canonicalized(),
                 rmm_dev.config.canonicalized(),
@@ -87,7 +98,10 @@ fn workflow_is_idempotent_on_healthy_networks() {
     // re-apply the same ACL line, so the diff must be empty.
     let run2 = run_heimdall(&healed, &issue, &policies);
     assert_eq!(run2.changes, 0, "no-op re-run produces no changes");
-    assert!(run2.outcome.applied(), "empty change-set is trivially accepted");
+    assert!(
+        run2.outcome.applied(),
+        "empty change-set is trivially accepted"
+    );
 }
 
 #[test]
@@ -101,7 +115,11 @@ fn snapshot_round_trip_preserves_behavior() {
     let back = heimdall::netmodel::snapshot::load_snapshot(&dir).expect("load");
     let cp_a = converge(&net);
     let cp_b = converge(&back);
-    for (name, _) in net.devices().map(|(i, d)| (d.name.clone(), i)).collect::<Vec<_>>() {
+    for (name, _) in net
+        .devices()
+        .map(|(i, d)| (d.name.clone(), i))
+        .collect::<Vec<_>>()
+    {
         let ia = net.idx(&name).expect("orig");
         let ib = back.idx(&name).expect("loaded");
         assert_eq!(cp_a.rib(ia), cp_b.rib(ib), "{name} RIBs diverge");
@@ -155,7 +173,8 @@ fn racing_technicians_are_serialized_by_the_base_check() {
     let run_session = |name: &str, line: usize| {
         let twin = slice_for_task(&production, &task);
         let mut s = TwinSession::open(name, twin, spec.clone());
-        s.exec("fw1", &format!("no access-list 100 line {line}")).expect("in privilege");
+        s.exec("fw1", &format!("no access-list 100 line {line}"))
+            .expect("in privilege");
         s.exec(
             "fw1",
             &format!("access-list 100 line {line} permit ip 10.1.2.0 0.0.0.255 10.2.1.0 0.0.0.255"),

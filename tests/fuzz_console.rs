@@ -5,8 +5,8 @@
 
 use heimdall::enforcer::verifier::verify_changes;
 use heimdall::msp::issues::{inject_issue, IssueKind};
-use heimdall::nets::enterprise;
 use heimdall::netmodel::diff::{AclDirection, ConfigChange, ConfigDiff};
+use heimdall::nets::enterprise;
 use heimdall::privilege::derive::derive_privileges;
 use heimdall::privilege::model::PrivilegeMsp;
 use heimdall::twin::session::TwinSession;
@@ -35,14 +35,19 @@ fn arb_command() -> impl Strategy<Value = String> {
         Just("show vlan".to_string()),
         ip.clone().prop_map(|i| format!("ping {i}")),
         ip.clone().prop_map(|i| format!("traceroute {i}")),
-        iface.clone().prop_map(|f| format!("interface {f} shutdown")),
-        iface.clone().prop_map(|f| format!("interface {f} no shutdown")),
+        iface
+            .clone()
+            .prop_map(|f| format!("interface {f} shutdown")),
+        iface
+            .clone()
+            .prop_map(|f| format!("interface {f} no shutdown")),
         (iface.clone(), ip.clone())
             .prop_map(|(f, i)| format!("interface {f} ip address {i} 255.255.255.0")),
         (iface.clone(), 1u16..4095)
             .prop_map(|(f, v)| format!("interface {f} switchport access vlan {v}")),
         (aclname, 0usize..9).prop_map(|(a, l)| format!("no access-list {a} line {l}")),
-        ip.clone().prop_map(|i| format!("ip route 0.0.0.0 0.0.0.0 {i}")),
+        ip.clone()
+            .prop_map(|i| format!("ip route 0.0.0.0 0.0.0.0 {i}")),
         Just("write erase".to_string()),
         Just("reload".to_string()),
         Just("enable secret hacked".to_string()),

@@ -13,14 +13,8 @@ use heimdall::verify::mine::{mine_policies, MinerInput};
 use proptest::prelude::*;
 
 fn arb_cfg() -> impl Strategy<Value = (u64, RandomNetConfig)> {
-    (
-        any::<u64>(),
-        2usize..10,
-        0usize..6,
-        1usize..4,
-        1usize..4,
-    )
-        .prop_map(|(seed, routers, extra, lans, hosts)| {
+    (any::<u64>(), 2usize..10, 0usize..6, 1usize..4, 1usize..4).prop_map(
+        |(seed, routers, extra, lans, hosts)| {
             (
                 seed,
                 RandomNetConfig {
@@ -30,7 +24,8 @@ fn arb_cfg() -> impl Strategy<Value = (u64, RandomNetConfig)> {
                     hosts_per_lan: hosts,
                 },
             )
-        })
+        },
+    )
 }
 
 proptest! {

@@ -18,7 +18,12 @@ fn no_secret_survives_into_any_twin() {
             secrets.extend(d.config.secrets.all_values().iter().map(|s| s.to_string()));
         }
         assert!(!secrets.is_empty());
-        for kind in [IssueKind::Vlan, IssueKind::Ospf, IssueKind::Isp, IssueKind::AclDeny] {
+        for kind in [
+            IssueKind::Vlan,
+            IssueKind::Ospf,
+            IssueKind::Isp,
+            IssueKind::AclDeny,
+        ] {
             let mut broken = net.clone();
             let Some(issue) = inject_issue(&mut broken, &meta, kind) else {
                 continue;
@@ -74,7 +79,12 @@ fn deny_by_default_holds_for_unknown_devices() {
 #[test]
 fn destructive_actions_denied_across_all_issue_kinds() {
     let (net, meta, _) = enterprise();
-    for kind in [IssueKind::Vlan, IssueKind::Ospf, IssueKind::Isp, IssueKind::AclDeny] {
+    for kind in [
+        IssueKind::Vlan,
+        IssueKind::Ospf,
+        IssueKind::Isp,
+        IssueKind::AclDeny,
+    ] {
         let mut broken = net.clone();
         let issue = inject_issue(&mut broken, &meta, kind).expect("issue");
         let task = heimdall::privilege::derive::Task {

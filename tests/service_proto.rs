@@ -1,0 +1,254 @@
+//! Property tests for the heimdall-service wire protocol: every frame
+//! type round-trips through the length-prefixed JSON codec byte-for-value,
+//! truncated streams are always detected, and oversized length prefixes
+//! are always rejected before allocation.
+
+use heimdall::enforcer::audit::AuditKind;
+use heimdall::enforcer::verifier::Verdict;
+use heimdall::privilege::derive::{Task, TaskKind};
+use heimdall::service::stats::StatsSnapshot;
+use heimdall::service::{
+    read_frame, write_frame, AuditEntryView, ErrorKind, FrameError, Request, Response, SessionId,
+    MAX_FRAME,
+};
+use proptest::prelude::*;
+
+// ------------------------------------------------------------ strategies
+
+fn name_s() -> BoxedStrategy<String> {
+    "[a-z][a-z0-9_]{0,11}".boxed()
+}
+
+fn line_s() -> BoxedStrategy<String> {
+    // Printable ASCII incl. spaces and JSON-hostile quotes/backslashes.
+    "[ -~]{0,48}".boxed()
+}
+
+fn task_kind_s() -> BoxedStrategy<TaskKind> {
+    prop_oneof![
+        Just(TaskKind::Connectivity),
+        Just(TaskKind::Routing),
+        Just(TaskKind::AccessControl),
+        Just(TaskKind::Vlan),
+        Just(TaskKind::IspChange),
+        Just(TaskKind::Monitoring),
+    ]
+    .boxed()
+}
+
+fn task_s() -> BoxedStrategy<Task> {
+    (task_kind_s(), collection::vec(name_s(), 0..4))
+        .prop_map(|(kind, affected)| Task { kind, affected })
+        .boxed()
+}
+
+fn audit_kind_s() -> BoxedStrategy<AuditKind> {
+    prop_oneof![
+        Just(AuditKind::Command),
+        Just(AuditKind::Escalation),
+        Just(AuditKind::Verification),
+        Just(AuditKind::ChangeApplied),
+        Just(AuditKind::Session),
+    ]
+    .boxed()
+}
+
+fn verdict_s() -> BoxedStrategy<Verdict> {
+    prop_oneof![
+        Just(Verdict::Accepted),
+        Just(Verdict::RejectedPrivilege),
+        Just(Verdict::RejectedPolicy),
+        Just(Verdict::RejectedLint),
+        Just(Verdict::RejectedStale),
+    ]
+    .boxed()
+}
+
+fn error_kind_s() -> BoxedStrategy<ErrorKind> {
+    prop_oneof![
+        Just(ErrorKind::SessionNotFound),
+        Just(ErrorKind::PermissionDenied),
+        Just(ErrorKind::BadCommand),
+        Just(ErrorKind::RateLimited),
+        Just(ErrorKind::Busy),
+        Just(ErrorKind::BadRequest),
+    ]
+    .boxed()
+}
+
+/// Every `Request` variant.
+fn request_s() -> BoxedStrategy<Request> {
+    prop_oneof![
+        (name_s(), task_s())
+            .prop_map(|(technician, ticket)| Request::OpenSession { technician, ticket }),
+        (any::<u64>(), name_s(), line_s()).prop_map(|(id, device, line)| Request::Exec {
+            session: SessionId(id),
+            device,
+            line,
+        }),
+        any::<u64>().prop_map(|id| Request::TopologyView {
+            session: SessionId(id)
+        }),
+        any::<u64>().prop_map(|id| Request::Finish {
+            session: SessionId(id)
+        }),
+        (option::of(audit_kind_s()), option::of(name_s()))
+            .prop_map(|(kind, actor)| Request::AuditQuery { kind, actor }),
+        Just(Request::Stats),
+    ]
+    .boxed()
+}
+
+fn audit_entry_s() -> BoxedStrategy<AuditEntryView> {
+    (any::<u64>(), audit_kind_s(), name_s(), line_s())
+        .prop_map(|(seq, kind, actor, detail)| AuditEntryView {
+            seq,
+            kind,
+            actor,
+            detail,
+        })
+        .boxed()
+}
+
+fn snapshot_s() -> BoxedStrategy<StatsSnapshot> {
+    (
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+    )
+        .prop_map(|(a, b)| StatsSnapshot {
+            sessions_opened: a.0,
+            sessions_finished: a.1,
+            sessions_evicted: a.2,
+            commands_mediated: a.3,
+            denials: a.4,
+            commits_applied: a.5,
+            commits_rejected: a.6,
+            commit_conflicts: b.0,
+            rate_limited: b.1,
+            exec_p50_ns: b.2,
+            exec_p99_ns: b.3,
+            exec_count: b.4,
+            finish_p50_ns: b.5,
+            finish_p99_ns: b.6,
+        })
+        .boxed()
+}
+
+/// Every `Response` variant.
+fn response_s() -> BoxedStrategy<Response> {
+    prop_oneof![
+        (any::<u64>(), collection::vec(name_s(), 0..5)).prop_map(|(id, devices)| {
+            Response::SessionOpened {
+                session: SessionId(id),
+                devices,
+            }
+        }),
+        line_s().prop_map(|output| Response::ExecOutput { output }),
+        (
+            collection::vec((name_s(), name_s()), 0..4),
+            collection::vec((name_s(), name_s(), name_s(), name_s()), 0..4),
+        )
+            .prop_map(|(devices, links)| Response::Topology { devices, links }),
+        (verdict_s(), any::<bool>(), 1u32..8, 0usize..16).prop_map(
+            |(verdict, applied, attempts, changes)| Response::Finished {
+                verdict,
+                applied,
+                attempts,
+                changes,
+            }
+        ),
+        collection::vec(audit_entry_s(), 0..4).prop_map(|entries| Response::Audit { entries }),
+        snapshot_s().prop_map(|snapshot| Response::Stats { snapshot }),
+        (error_kind_s(), line_s()).prop_map(|(kind, message)| Response::Error { kind, message }),
+    ]
+    .boxed()
+}
+
+fn encode<T: serde::Serialize>(value: &T) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, value).expect("encode");
+    buf
+}
+
+// ----------------------------------------------------------- properties
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn every_request_roundtrips(req in request_s()) {
+        let buf = encode(&req);
+        let mut cursor = &buf[..];
+        let back: Request = read_frame(&mut cursor).expect("decode");
+        prop_assert_eq!(back, req);
+        prop_assert!(cursor.is_empty(), "frame must consume itself exactly");
+    }
+
+    #[test]
+    fn every_response_roundtrips(resp in response_s()) {
+        let buf = encode(&resp);
+        let mut cursor = &buf[..];
+        let back: Response = read_frame(&mut cursor).expect("decode");
+        prop_assert_eq!(back, resp);
+        prop_assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_always_detected(req in request_s(), frac in 0u32..1000) {
+        let buf = encode(&req);
+        // Cut strictly inside the frame: after at least one byte, before
+        // the last.
+        let cut = 1 + (frac as usize * (buf.len() - 2)) / 1000;
+        let mut cursor = &buf[..cut];
+        prop_assert!(
+            matches!(read_frame::<_, Request>(&mut cursor), Err(FrameError::Truncated)),
+            "cut at {} of {} must be Truncated", cut, buf.len()
+        );
+    }
+
+    #[test]
+    fn oversized_prefix_is_always_rejected(extra in 1usize..1_000_000) {
+        let declared = MAX_FRAME + extra;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(declared as u32).to_be_bytes());
+        buf.extend_from_slice(b"ignored");
+        let mut cursor = &buf[..];
+        match read_frame::<_, Request>(&mut cursor) {
+            Err(FrameError::TooLarge(n)) => prop_assert_eq!(n, declared),
+            other => panic!("expected TooLarge, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn frames_stream_back_to_back(reqs in collection::vec(request_s(), 1..6)) {
+        let mut buf = Vec::new();
+        for r in &reqs {
+            write_frame(&mut buf, r).expect("encode");
+        }
+        let mut cursor = &buf[..];
+        for expected in &reqs {
+            let got: Request = read_frame(&mut cursor).expect("decode");
+            prop_assert_eq!(&got, expected);
+        }
+        prop_assert!(matches!(
+            read_frame::<_, Request>(&mut cursor),
+            Err(FrameError::Closed)
+        ));
+    }
+}

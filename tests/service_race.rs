@@ -1,0 +1,214 @@
+//! Stress: many scripted technicians race their commits into one shared
+//! production network through the session broker.
+//!
+//! The invariant under test is the broker's optimistic-commit contract:
+//! every change-set that is *not* permanently stale lands exactly once —
+//! none lost to a lost-update race, none double-applied by a retry — and
+//! the shared audit chain stays verifiable throughout.
+
+use heimdall::netmodel::gen::enterprise_network;
+use heimdall::netmodel::topology::Network;
+use heimdall::privilege::derive::{Task, TaskKind};
+use heimdall::routing::converge;
+use heimdall::service::{
+    read_frame, write_frame, Broker, BrokerConfig, Request, Response, SessionService,
+};
+use heimdall::verify::checker::check_policies;
+use heimdall::verify::mine::{mine_policies, MinerInput};
+use heimdall::verify::policy::PolicySet;
+use std::sync::Arc;
+use std::thread;
+
+/// Healthy enterprise production plus the policies mined from it.
+fn healthy_enterprise() -> (Network, PolicySet) {
+    let g = enterprise_network();
+    let cp = converge(&g.net);
+    let policies = mine_policies(&g.net, &cp, &MinerInput::from_meta(&g.meta));
+    (g.net, policies)
+}
+
+/// How many times `prefix` appears as a static route anywhere in `net`.
+fn route_count(net: &Network, prefix: &str) -> usize {
+    net.devices()
+        .flat_map(|(_, d)| d.config.static_routes.iter())
+        .filter(|r| r.prefix.to_string().starts_with(prefix))
+        .count()
+}
+
+/// The unique route prefix technician `i` announces.
+fn prefix_for(i: usize) -> String {
+    format!("10.{}.0.0", 100 + i)
+}
+
+#[test]
+fn concurrent_commits_none_lost_none_duplicated() {
+    const N: usize = 24;
+    let (production, policies) = healthy_enterprise();
+    let config = BrokerConfig {
+        // Contention is the point here: give retries enough budget that
+        // every racing change-set eventually lands on fresh state.
+        max_commit_retries: 64,
+        ..BrokerConfig::default()
+    };
+    let broker = Arc::new(Broker::new(production, policies, config));
+
+    let handles: Vec<_> = (0..N)
+        .map(|i| {
+            let broker = Arc::clone(&broker);
+            thread::spawn(move || {
+                let host = ["h1", "h4", "h7"][i % 3];
+                let ticket = Task {
+                    kind: TaskKind::Routing,
+                    affected: vec![host.to_string(), "srv1".to_string()],
+                };
+                let technician = format!("tech{i:02}");
+                let (id, devices) = broker.open_session(&technician, ticket).unwrap();
+                assert!(
+                    devices.contains(&"fw1".to_string()),
+                    "{technician}: slice {devices:?} must reach fw1"
+                );
+                // Every technician edits the same shared device, so base
+                // fingerprints collide constantly.
+                let line = format!("ip route {} 255.255.255.0 10.2.1.10", prefix_for(i));
+                broker.exec(id, "fw1", &line).unwrap();
+                broker.finish(id).unwrap()
+            })
+        })
+        .collect();
+
+    let reports: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // Every change-set landed, each exactly once.
+    let mut retried = 0u64;
+    for (i, report) in reports.iter().enumerate() {
+        assert!(report.applied, "tech{i:02} lost its commit: {report:?}");
+        assert!(report.changes > 0);
+        retried += u64::from(report.attempts - 1);
+    }
+    let healed = broker.production();
+    for i in 0..N {
+        assert_eq!(
+            route_count(&healed, &prefix_for(i)),
+            1,
+            "route {} must appear exactly once",
+            prefix_for(i)
+        );
+    }
+
+    let snap = broker.stats();
+    assert_eq!(snap.commits_applied, N as u64);
+    assert_eq!(snap.commits_rejected, 0);
+    assert_eq!(snap.commit_conflicts, retried);
+    assert_eq!(broker.live_sessions(), 0);
+
+    // Mined policies still hold on the healed network, and the shared
+    // audit chain survived N concurrent writers.
+    let cp = converge(&healed);
+    assert!(check_policies(&healed, &cp, broker.policies()).all_hold());
+    assert!(broker.verify_audit());
+}
+
+#[test]
+fn stale_commit_beyond_retry_budget_is_rejected_not_applied() {
+    let (production, policies) = healthy_enterprise();
+    let config = BrokerConfig {
+        // No retry budget: the second commit on the same device must be
+        // rejected as stale rather than silently rebased.
+        max_commit_retries: 0,
+        ..BrokerConfig::default()
+    };
+    let broker = Broker::new(production, policies, config);
+    let ticket = || Task {
+        kind: TaskKind::Routing,
+        affected: vec!["h4".to_string(), "srv1".to_string()],
+    };
+    let (alice, _) = broker.open_session("alice", ticket()).unwrap();
+    let (bob, _) = broker.open_session("bob", ticket()).unwrap();
+    broker
+        .exec(alice, "fw1", "ip route 10.200.0.0 255.255.255.0 10.2.1.10")
+        .unwrap();
+    broker
+        .exec(bob, "fw1", "ip route 10.201.0.0 255.255.255.0 10.2.1.10")
+        .unwrap();
+
+    let first = broker.finish(alice).unwrap();
+    assert!(first.applied);
+    assert_eq!(first.attempts, 1);
+
+    let second = broker.finish(bob).unwrap();
+    assert!(!second.applied, "stale commit must not apply: {second:?}");
+    assert_eq!(second.attempts, 1);
+
+    // Exactly the non-stale change-set landed.
+    let net = broker.production();
+    assert_eq!(route_count(&net, "10.200.0.0"), 1);
+    assert_eq!(route_count(&net, "10.201.0.0"), 0);
+    let snap = broker.stats();
+    assert_eq!(snap.commits_applied, 1);
+    assert_eq!(snap.commits_rejected, 1);
+    assert!(broker.verify_audit());
+}
+
+#[test]
+fn racing_sessions_over_framed_connections() {
+    const N: usize = 8;
+    let (production, policies) = healthy_enterprise();
+    let config = BrokerConfig {
+        max_commit_retries: 64,
+        ..BrokerConfig::default()
+    };
+    let service = Arc::new(SessionService::new(
+        Broker::new(production, policies, config),
+        N,
+        N * 2,
+    ));
+
+    let handles: Vec<_> = (0..N)
+        .map(|i| {
+            let service = Arc::clone(&service);
+            thread::spawn(move || {
+                let mut conn = service.connect().unwrap();
+                write_frame(
+                    &mut conn,
+                    &Request::OpenSession {
+                        technician: format!("remote{i}"),
+                        ticket: Task {
+                            kind: TaskKind::Routing,
+                            affected: vec!["h4".to_string(), "srv1".to_string()],
+                        },
+                    },
+                )
+                .unwrap();
+                let Response::SessionOpened { session, .. } = read_frame(&mut conn).unwrap() else {
+                    panic!("expected SessionOpened");
+                };
+                write_frame(
+                    &mut conn,
+                    &Request::Exec {
+                        session,
+                        device: "fw1".to_string(),
+                        line: format!("ip route 10.{}.0.0 255.255.255.0 10.2.1.10", 150 + i),
+                    },
+                )
+                .unwrap();
+                let Response::ExecOutput { .. } = read_frame(&mut conn).unwrap() else {
+                    panic!("expected ExecOutput");
+                };
+                write_frame(&mut conn, &Request::Finish { session }).unwrap();
+                let Response::Finished { applied, .. } = read_frame(&mut conn).unwrap() else {
+                    panic!("expected Finished");
+                };
+                applied
+            })
+        })
+        .collect();
+
+    for h in handles {
+        assert!(h.join().unwrap(), "a framed commit was lost");
+    }
+    let net = service.broker().production();
+    for i in 0..N {
+        assert_eq!(route_count(&net, &format!("10.{}.0.0", 150 + i)), 1);
+    }
+    assert!(service.broker().verify_audit());
+}

@@ -1,0 +1,257 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], and the
+//! `criterion_group!`/`criterion_main!` macros — measuring wall-clock
+//! time with a short warmup and reporting mean/median per iteration.
+//! When invoked by `cargo test` (libtest passes `--test`), each benchmark
+//! body runs once so benches double as smoke tests.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `function_id/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    smoke_only: bool,
+    /// Mean/median nanoseconds per iteration, filled by `iter`.
+    result: Option<(f64, f64)>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.smoke_only {
+            black_box(routine());
+            self.result = Some((0.0, 0.0));
+            return;
+        }
+        // Short warmup, then timed samples.
+        let warmup_deadline = Instant::now() + Duration::from_millis(50);
+        while Instant::now() < warmup_deadline {
+            black_box(routine());
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            samples.push(start.elapsed().as_nanos() as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let median = samples[samples.len() / 2];
+        self.result = Some((mean, median));
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    smoke_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            smoke_only: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) {
+        let name = id.into_id();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            smoke_only: self.smoke_only,
+            result: None,
+        };
+        f(&mut b);
+        report(&name, &b);
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    match b.result {
+        Some((0.0, 0.0)) => println!("bench {name}: ok (smoke)"),
+        Some((mean, median)) => println!(
+            "bench {name}: mean {} / median {} per iter",
+            format_ns(mean),
+            format_ns(median)
+        ),
+        None => println!("bench {name}: no measurement recorded"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) {
+        let name = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher {
+            sample_size: self.criterion.sample_size,
+            smoke_only: self.criterion.smoke_only,
+            result: None,
+        };
+        f(&mut b);
+        report(&name, &b);
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let name = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher {
+            sample_size: self.criterion.sample_size,
+            smoke_only: self.criterion.smoke_only,
+            result: None,
+        };
+        f(&mut b, input);
+        report(&name, &b);
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        c.smoke_only = true;
+        let mut runs = 0;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion::default().sample_size(2);
+        c.smoke_only = true;
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("f", 7), &7usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,139 @@
+//! Offline stand-in for `rand` 0.9.
+//!
+//! Provides the seeded-RNG surface the workspace uses:
+//! `StdRng::seed_from_u64` and `Rng::random_range`. The generator is a
+//! splitmix64 — not cryptographic, but deterministic per seed, which is
+//! all the random-network generators need.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    /// Deterministic 64-bit generator (splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+pub use rngs::StdRng;
+
+/// Seedable constructors (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        StdRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+/// Ranges samplable by [`Rng::random_range`].
+pub trait SampleRange {
+    type Output;
+
+    fn sample(self, rng: &mut dyn RngCore) -> Self::Output;
+}
+
+/// Object-safe raw generation core.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    rng.next_u64() as $t
+                } else {
+                    lo.wrapping_add((rng.next_u64() % span) as $t)
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// User-facing generation methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let draw = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        draw < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.random_range(0..5usize);
+            assert!(x < 5);
+            let y = rng.random_range(10u32..=20);
+            assert!((10..=20).contains(&y));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,635 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the slice of serde the workspace actually uses: a
+//! self-describing [`Value`] model, [`Serialize`]/[`Deserialize`] traits
+//! implemented for the std types that appear in derived structs, and (via
+//! the `derive` feature) `#[derive(Serialize, Deserialize)]` proc-macros
+//! that map structs and enums onto the same externally-tagged JSON shape
+//! real serde would produce.
+//!
+//! It is intentionally *not* the real serde data model: there is no
+//! `Serializer`/`Deserializer` visitor machinery, just `T -> Value` and
+//! `Value -> T`. The `serde_json` stand-in prints and parses [`Value`].
+
+pub mod json;
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+use std::net::Ipv4Addr;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered object (field order is preserved in output).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    pub fn msg(m: impl Into<String>) -> Error {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert a value into the self-describing [`Value`] model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+
+    /// Whether a struct field holding this value should be omitted from
+    /// the serialized object (`None` options are skipped, matching the
+    /// common `skip_serializing_if = "Option::is_none"` convention).
+    #[doc(hidden)]
+    fn omit_as_field(&self) -> bool {
+        false
+    }
+}
+
+/// Reconstruct a value from the [`Value`] model.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+fn unexpected(expected: &str, got: &Value) -> Error {
+    Error(format!("expected {expected}, got {}", got.type_name()))
+}
+
+// ---------------------------------------------------------------- numbers
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide: i64 = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| Error::msg("integer out of range"))?,
+                    Value::F64(n) if n.fract() == 0.0 => *n as i64,
+                    other => return Err(unexpected("integer", other)),
+                };
+                <$t>::try_from(wide).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide: u64 = match v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) => u64::try_from(*n)
+                        .map_err(|_| Error::msg("integer out of range"))?,
+                    Value::F64(n) if n.fract() == 0.0 && *n >= 0.0 => *n as u64,
+                    other => return Err(unexpected("integer", other)),
+                };
+                <$t>::try_from(wide).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int128 {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            /// 128-bit values within u64/i64 range use the native number
+            /// encoding; wider values fall back to a decimal string (the
+            /// workspace stores durations-as-nanos, which fit).
+            fn to_value(&self) -> Value {
+                if let Ok(n) = u64::try_from(*self) {
+                    Value::U64(n)
+                } else if let Ok(n) = i64::try_from(*self) {
+                    Value::I64(n)
+                } else {
+                    Value::Str(self.to_string())
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::msg("integer out of range")),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::msg("integer out of range")),
+                    Value::F64(n) if n.fract() == 0.0 => Ok(*n as $t),
+                    Value::Str(s) => s
+                        .parse()
+                        .map_err(|_| Error::msg("invalid 128-bit integer")),
+                    other => Err(unexpected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int128!(u128, i128);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::F64(n) => Ok(*n as $t),
+                    Value::I64(n) => Ok(*n as $t),
+                    Value::U64(n) => Ok(*n as $t),
+                    other => Err(unexpected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+// ------------------------------------------------------------- primitives
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(unexpected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| unexpected("string", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::msg("expected single-character string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| unexpected("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Real serde borrows `&str` zero-copy from the input document; this
+    /// stub has no borrowed path, so it leaks the (small, enum-like)
+    /// strings that use it — the workspace only derives this for stable
+    /// lint codes.
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| unexpected("string", v))?;
+        Ok(Box::leak(s.to_string().into_boxed_str()))
+    }
+}
+
+impl Serialize for Ipv4Addr {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for Ipv4Addr {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| unexpected("string", v))?;
+        s.parse().map_err(|_| Error::msg("invalid IPv4 address"))
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+
+    fn omit_as_field(&self) -> bool {
+        self.is_none()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let arr = v.as_array().ok_or_else(|| unexpected("array", v))?;
+        arr.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        items
+            .try_into()
+            .map_err(|_| Error(format!("expected array of length {N}")))
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let arr = v.as_array().ok_or_else(|| unexpected("array", v))?;
+        arr.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize, S: BuildHasher> Serialize for HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash, S: BuildHasher + Default> Deserialize for HashSet<T, S> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let arr = v.as_array().ok_or_else(|| unexpected("array", v))?;
+        arr.iter().map(T::from_value).collect()
+    }
+}
+
+/// Maps serialize as objects; non-string keys are encoded as their
+/// compact-JSON text (the same convention serde_json applies to integer
+/// keys).
+fn key_to_string<K: Serialize>(key: &K) -> String {
+    match key.to_value() {
+        Value::Str(s) => s,
+        other => json::to_string_value(&other),
+    }
+}
+
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, Error> {
+    match K::from_value(&Value::Str(s.to_string())) {
+        Ok(k) => Ok(k),
+        Err(first) => {
+            let reparsed = json::parse(s).map_err(|_| first)?;
+            K::from_value(&reparsed)
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_to_string(k), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(unexpected("object", other)),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S: BuildHasher> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(k), v.to_value()))
+            .collect();
+        // Hash iteration order is arbitrary; sort for stable output.
+        fields.sort_by(|(a, _), (b, _)| a.cmp(b));
+        Value::Object(fields)
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize, S: BuildHasher + Default> Deserialize
+    for HashMap<K, V, S>
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(unexpected("object", other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let arr = v.as_array().ok_or_else(|| unexpected("array", v))?;
+                let expected = [$($idx),+].len();
+                if arr.len() != expected {
+                    return Err(Error(format!(
+                        "expected array of length {expected}, got {}",
+                        arr.len()
+                    )));
+                }
+                Ok(($($name::from_value(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// --------------------------------------------------- derive support glue
+
+/// Helpers the `serde_derive` stand-in generates calls to. Not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{Deserialize, Error, Serialize, Value};
+
+    /// Appends one named struct field, honoring field omission (`None`).
+    pub fn put<S: Serialize + ?Sized>(obj: &mut Vec<(String, Value)>, name: &str, value: &S) {
+        if !value.omit_as_field() {
+            obj.push((name.to_string(), value.to_value()));
+        }
+    }
+
+    /// Reads one named struct field; missing fields deserialize from
+    /// `Null` so optional fields default to `None`.
+    pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+        match v {
+            Value::Object(_) => match v.get(name) {
+                Some(inner) => {
+                    T::from_value(inner).map_err(|e| Error(format!("field `{name}`: {e}")))
+                }
+                None => T::from_value(&Value::Null)
+                    .map_err(|_| Error(format!("missing field `{name}`"))),
+            },
+            other => Err(Error(format!("expected object, got {}", other.type_name()))),
+        }
+    }
+
+    /// Reads one positional element of a tuple struct/variant.
+    pub fn elem<T: Deserialize>(arr: &[Value], idx: usize) -> Result<T, Error> {
+        let v = arr
+            .get(idx)
+            .ok_or_else(|| Error(format!("missing tuple element {idx}")))?;
+        T::from_value(v).map_err(|e| Error(format!("element {idx}: {e}")))
+    }
+
+    /// The payload array of a tuple variant.
+    pub fn tuple_payload(v: &Value, arity: usize) -> Result<&[Value], Error> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| Error(format!("expected array, got {}", v.type_name())))?;
+        if arr.len() != arity {
+            return Err(Error(format!(
+                "expected array of length {arity}, got {}",
+                arr.len()
+            )));
+        }
+        Ok(arr)
+    }
+
+    pub fn unknown_variant(ty: &str, tag: &str) -> Error {
+        Error(format!("unknown {ty} variant `{tag}`"))
+    }
+
+    pub fn bad_enum_shape(ty: &str, v: &Value) -> Error {
+        Error(format!(
+            "expected {ty} variant tag (string or single-key object), got {}",
+            v.type_name()
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for v in [
+            Value::I64(-3),
+            Value::U64(7),
+            Value::Bool(true),
+            Value::Null,
+        ] {
+            match &v {
+                Value::I64(n) => assert_eq!(i32::from_value(&v).unwrap(), *n as i32),
+                Value::U64(n) => assert_eq!(u64::from_value(&v).unwrap(), *n),
+                Value::Bool(b) => assert_eq!(bool::from_value(&v).unwrap(), *b),
+                Value::Null => assert_eq!(Option::<u8>::from_value(&v).unwrap(), None),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn range_checked_integers() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(u32::from_value(&Value::I64(-1)).is_err());
+    }
+
+    #[test]
+    fn map_with_non_string_keys_round_trips() {
+        let mut m = BTreeMap::new();
+        m.insert(3u32, "three".to_string());
+        m.insert(7u32, "seven".to_string());
+        let v = m.to_value();
+        let back: BTreeMap<u32, String> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn option_fields_are_omitted() {
+        let some = Some(5u8);
+        let none: Option<u8> = None;
+        assert!(!some.omit_as_field());
+        assert!(none.omit_as_field());
+    }
+
+    #[test]
+    fn ipv4_round_trips() {
+        let ip: Ipv4Addr = "10.1.2.3".parse().unwrap();
+        let v = ip.to_value();
+        assert_eq!(Ipv4Addr::from_value(&v).unwrap(), ip);
+    }
+
+    #[test]
+    fn arrays_round_trip() {
+        let a = [1u8, 2, 3];
+        let v = a.to_value();
+        let back: [u8; 3] = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, a);
+        assert!(<[u8; 4]>::from_value(&v).is_err());
+    }
+}

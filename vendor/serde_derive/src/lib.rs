@@ -1,0 +1,429 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `serde::Serialize`/`serde::Deserialize` impls for the stub
+//! `serde` crate's simplified `T <-> Value` model. Built directly on
+//! `proc_macro` (no `syn`/`quote` in this environment), so it parses the
+//! item token stream by hand. Supported shapes — which cover every derived
+//! type in this workspace:
+//!
+//! - structs with named fields (externally visible as JSON objects),
+//! - tuple structs (newtypes serialize transparently, wider ones as
+//!   arrays),
+//! - enums with unit / tuple / struct variants (externally tagged, like
+//!   real serde's default representation).
+//!
+//! Generics are not supported; `#[serde(...)]` attributes are accepted and
+//! ignored (`Option` fields are always omitted when `None` and default to
+//! `None` when missing, which subsumes the one
+//! `#[serde(default, skip_serializing_if = "Option::is_none")]` use in the
+//! workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    item.serialize_impl()
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    item.deserialize_impl()
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ------------------------------------------------------------------ model
+
+enum Fields {
+    Unit,
+    /// Tuple fields: only the arity matters.
+    Tuple(usize),
+    /// Named fields in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(peek_punct(&tokens, pos), Some('<')) {
+        panic!("serde stub derive: generic type `{name}` is not supported");
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde stub derive: expected enum body, got {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde stub derive: unsupported item kind `{other}`"),
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) {
+    while let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *pos += 1; // `#`
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(_))) {
+            *pos += 1; // `[...]`
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            // `pub(crate)` / `pub(super)` etc.
+            if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                *pos += 1;
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("serde stub derive: expected identifier, got {other:?}"),
+    }
+}
+
+fn peek_punct(tokens: &[TokenTree], pos: usize) -> Option<char> {
+    match tokens.get(pos) {
+        Some(TokenTree::Punct(p)) => Some(p.as_char()),
+        _ => None,
+    }
+}
+
+/// Advances past one type, tracking `<...>` nesting so commas inside
+/// generic arguments don't terminate the field. Delimited groups are
+/// single atomic tokens in `proc_macro`, so only angle brackets need
+/// explicit depth tracking.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0usize;
+    let mut prev_dash = false;
+    while let Some(tok) = tokens.get(*pos) {
+        match tok {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == ',' && angle_depth == 0 {
+                    return;
+                }
+                if c == '<' {
+                    angle_depth += 1;
+                } else if c == '>' && !prev_dash {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                prev_dash = c == '-';
+            }
+            _ => prev_dash = false,
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        match peek_punct(&tokens, pos) {
+            Some(':') => pos += 1,
+            other => panic!("serde stub derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&tokens, &mut pos);
+        if peek_punct(&tokens, pos) == Some(',') {
+            pos += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut pos);
+        count += 1;
+        if peek_punct(&tokens, pos) == Some(',') {
+            pos += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if peek_punct(&tokens, pos) == Some('=') {
+            pos += 1;
+            while pos < tokens.len() && peek_punct(&tokens, pos) != Some(',') {
+                pos += 1;
+            }
+        }
+        if peek_punct(&tokens, pos) == Some(',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ------------------------------------------------------------- generation
+
+impl Item {
+    fn serialize_impl(&self) -> String {
+        match self {
+            Item::Struct { name, fields } => {
+                let body = match fields {
+                    Fields::Unit => "::serde::Value::Null".to_string(),
+                    Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                    Fields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                            .collect();
+                        format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                    }
+                    Fields::Named(names) => named_to_object(names, "&self."),
+                };
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                     }}"
+                )
+            }
+            Item::Enum { name, variants } => {
+                let mut arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                        )),
+                        Fields::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let elems: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                            };
+                            arms.push_str(&format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {payload})]),\n",
+                                binders.join(", ")
+                            ));
+                        }
+                        Fields::Named(names) => {
+                            let payload = named_to_object(names, "");
+                            arms.push_str(&format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {payload})]),\n",
+                                names.join(", ")
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{\n{arms}}} }}\n\
+                     }}"
+                )
+            }
+        }
+    }
+
+    fn deserialize_impl(&self) -> String {
+        match self {
+            Item::Struct { name, fields } => {
+                let body = match fields {
+                    Fields::Unit => format!("{{ let _ = __v; Ok({name}) }}"),
+                    Fields::Tuple(1) => {
+                        format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+                    }
+                    Fields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::__private::elem(__arr, {i})?"))
+                            .collect();
+                        format!(
+                            "{{ let __arr = ::serde::__private::tuple_payload(__v, {n})?;\n\
+                             Ok({name}({})) }}",
+                            elems.join(", ")
+                        )
+                    }
+                    Fields::Named(names) => {
+                        format!("Ok({name} {{ {} }})", named_from_object(names))
+                    }
+                };
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{ {body} }}\n\
+                     }}"
+                )
+            }
+            Item::Enum { name, variants } => {
+                let mut unit_arms = String::new();
+                let mut tagged_arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => {
+                            unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                            // A unit variant may also arrive tagged with a
+                            // null payload.
+                            tagged_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                        }
+                        Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(__payload)?)),\n"
+                        )),
+                        Fields::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::__private::elem(__arr, {i})?"))
+                                .collect();
+                            tagged_arms.push_str(&format!(
+                                "\"{vn}\" => {{ let __arr = ::serde::__private::tuple_payload(__payload, {n})?;\n\
+                                 Ok({name}::{vn}({})) }},\n",
+                                elems.join(", ")
+                            ));
+                        }
+                        Fields::Named(names) => {
+                            let fields: Vec<String> = names
+                                .iter()
+                                .map(|f| {
+                                    format!("{f}: ::serde::__private::field(__payload, \"{f}\")?")
+                                })
+                                .collect();
+                            tagged_arms.push_str(&format!(
+                                "\"{vn}\" => Ok({name}::{vn} {{ {} }}),\n",
+                                fields.join(", ")
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                     match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                     {unit_arms}\
+                     __tag => Err(::serde::__private::unknown_variant(\"{name}\", __tag)),\n\
+                     }},\n\
+                     ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                     let (__tag, __payload) = &__fields[0];\n\
+                     match __tag.as_str() {{\n\
+                     {tagged_arms}\
+                     __tag => Err(::serde::__private::unknown_variant(\"{name}\", __tag)),\n\
+                     }}\n\
+                     }},\n\
+                     __other => Err(::serde::__private::bad_enum_shape(\"{name}\", __other)),\n\
+                     }}\n\
+                     }}\n\
+                     }}"
+                )
+            }
+        }
+    }
+}
+
+/// `put` calls building a `Value::Object` from named fields. `accessor` is
+/// prefixed to each field name (`"&self."` for structs, `""` for
+/// pattern-bound variant fields, which are already references).
+fn named_to_object(names: &[String], accessor: &str) -> String {
+    let mut out = String::from("{ let mut __obj: Vec<(String, ::serde::Value)> = Vec::new();\n");
+    for f in names {
+        out.push_str(&format!(
+            "::serde::__private::put(&mut __obj, \"{f}\", {accessor}{f});\n"
+        ));
+    }
+    out.push_str("::serde::Value::Object(__obj) }");
+    out
+}
+
+fn named_from_object(names: &[String]) -> String {
+    names
+        .iter()
+        .map(|f| format!("{f}: ::serde::__private::field(__v, \"{f}\")?"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}

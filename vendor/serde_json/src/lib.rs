@@ -1,0 +1,36 @@
+//! Offline stand-in for `serde_json`, backed by the stub `serde` crate's
+//! [`Value`] model and JSON codec.
+
+pub use serde::json::{from_str, to_string, to_string_pretty};
+pub use serde::{Error, Value};
+
+/// `serde_json::Result`, for signature compatibility.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Parses arbitrary JSON text into a [`Value`].
+pub fn from_str_value(text: &str) -> Result<Value> {
+    serde::json::parse(text)
+}
+
+/// Serializes into a [`Value`] (the stand-in for `serde_json::to_value`).
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_round_trip() {
+        let v: Vec<u32> = from_str("[1,2,3]").unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert_eq!(to_string(&v).unwrap(), "[1,2,3]");
+    }
+
+    #[test]
+    fn error_is_displayable() {
+        let e = from_str::<u32>("{").unwrap_err();
+        assert!(!e.to_string().is_empty());
+    }
+}
