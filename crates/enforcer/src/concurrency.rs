@@ -11,10 +11,11 @@
 //! touched devices lets unrelated tickets land concurrently.
 
 use crate::crypto::{hex, Sha256};
-use heimdall_netmodel::diff::ConfigDiff;
+use heimdall_netmodel::diff::{ConfigChange, ConfigDiff};
 use heimdall_netmodel::printer::print_config;
 use heimdall_netmodel::topology::Network;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Fingerprint of the named devices' configurations (sorted, so the same
 /// set yields the same digest regardless of order).
@@ -44,6 +45,59 @@ pub fn base_fingerprint(net: &Network, diff: &ConfigDiff) -> String {
 /// Whether a change-set's recorded base still matches production.
 pub fn base_matches(net: &Network, diff: &ConfigDiff, recorded: &str) -> bool {
     base_fingerprint(net, diff) == recorded
+}
+
+/// Whether every config *object* `diff` writes is identical between
+/// `baseline` (the state the twin was opened from) and `current`.
+///
+/// The device-level base fingerprint is deliberately coarse: any change
+/// to a touched device makes a change-set stale. This is the fine-grained
+/// question a retry policy needs — if the intervening commits only
+/// touched *other* objects on the same devices (a different ACL, another
+/// interface), the diff still composes and can be safely re-based; if
+/// they touched the same object, re-applying would silently clobber them
+/// (a lost update), and the change-set must go back to the technician.
+pub fn diff_composes(baseline: &Network, current: &Network, diff: &ConfigDiff) -> bool {
+    diff.changes
+        .iter()
+        .all(|c| change_target_unchanged(baseline, current, c))
+}
+
+/// Whether the specific object one change writes is identical in both
+/// networks.
+fn change_target_unchanged(baseline: &Network, current: &Network, change: &ConfigChange) -> bool {
+    use ConfigChange::*;
+    let dev = change.device();
+    let (b, c) = match (baseline.device_by_name(dev), current.device_by_name(dev)) {
+        (Some(b), Some(c)) => (&b.config, &c.config),
+        (None, None) => return true,
+        _ => return false,
+    };
+    match change {
+        AddInterface { iface, .. } => b.interface(&iface.name) == c.interface(&iface.name),
+        RemoveInterface { iface, .. }
+        | SetInterfaceAddress { iface, .. }
+        | SetInterfaceEnabled { iface, .. }
+        | SetInterfaceAcl { iface, .. }
+        | SetSwitchport { iface, .. }
+        | SetOspfCost { iface, .. }
+        | SetBandwidth { iface, .. }
+        | SetDescription { iface, .. } => b.interface(iface) == c.interface(iface),
+        ReplaceAcl { name, .. } | RemoveAcl { name, .. } => b.acls.get(name) == c.acls.get(name),
+        // Static routes have set semantics, so adds/removes of *distinct*
+        // routes commute; the conflict unit is the one route's membership.
+        // Add-vs-add of the same route (or add-vs-remove) flips it and is
+        // caught here.
+        AddStaticRoute { route, .. } | RemoveStaticRoute { route, .. } => {
+            b.static_routes.contains(route) == c.static_routes.contains(route)
+        }
+        SetOspf { .. } => b.ospf == c.ospf,
+        SetBgp { .. } => b.bgp == c.bgp,
+        UpsertVlan { vlan, .. } => b.vlans.get(&vlan.id) == c.vlans.get(&vlan.id),
+        RemoveVlan { vlan, .. } => b.vlans.get(vlan) == c.vlans.get(vlan),
+        SetRawGlobals { .. } => b.raw_globals == c.raw_globals,
+        ReplaceSecrets { .. } => b.secrets == c.secrets,
+    }
 }
 
 /// Outcome of a [`CommitGuard::commit`] attempt.
@@ -90,6 +144,11 @@ impl<R> CommitAttempt<R> {
 /// installation is serialized, so no accepted change-set is ever lost.
 pub struct CommitGuard {
     production: Mutex<Network>,
+    /// Bumped (under the production lock) every time a commit installs an
+    /// updated network. Lets callers tag derived state — caches, twins —
+    /// with the production version it was computed from and detect that
+    /// production has moved without re-fingerprinting anything.
+    epoch: AtomicU64,
 }
 
 impl CommitGuard {
@@ -97,12 +156,26 @@ impl CommitGuard {
     pub fn new(production: Network) -> CommitGuard {
         CommitGuard {
             production: Mutex::new(production),
+            epoch: AtomicU64::new(0),
         }
     }
 
     /// A point-in-time copy of production (to slice a twin from).
     pub fn snapshot(&self) -> Network {
         self.production.lock().clone()
+    }
+
+    /// The current production epoch (number of applied commits).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot plus the epoch it was taken at, in one lock acquisition —
+    /// the pair is guaranteed consistent, unlike separate `snapshot()` /
+    /// `epoch()` calls.
+    pub fn snapshot_with_epoch(&self) -> (Network, u64) {
+        let prod = self.production.lock();
+        (prod.clone(), self.epoch.load(Ordering::SeqCst))
     }
 
     /// Records the base fingerprint for a change-set shaped like `diff`.
@@ -141,6 +214,7 @@ impl CommitGuard {
         let applied = updated.is_some();
         if let Some(next) = updated {
             *prod = next;
+            self.epoch.fetch_add(1, Ordering::SeqCst);
         }
         CommitAttempt::Committed { result, applied }
     }
@@ -232,6 +306,95 @@ mod tests {
                 description: Some(text.into()),
             }],
         }
+    }
+
+    #[test]
+    fn compose_check_distinguishes_object_level_conflicts() {
+        let g = enterprise_network();
+        let baseline = g.net.clone();
+
+        // An intervening commit edits a *different* object on fw1 (a
+        // static route); a diff writing Gi0/3's description still
+        // composes even though the device-level fingerprint moved.
+        let mut routed = g.net.clone();
+        routed
+            .device_by_name_mut("fw1")
+            .unwrap()
+            .config
+            .static_routes
+            .push(heimdall_netmodel::proto::StaticRoute::default_via(
+                "10.255.0.1".parse().unwrap(),
+            ));
+        let desc_diff = description_diff("fw1", "mine");
+        assert!(!base_matches(
+            &routed,
+            &desc_diff,
+            &base_fingerprint(&baseline, &desc_diff)
+        ));
+        assert!(diff_composes(&baseline, &routed, &desc_diff));
+
+        // Routes are set-semantic: adding a *different* route still
+        // composes even though the route list moved...
+        let other_route = ConfigDiff {
+            changes: vec![ConfigChange::AddStaticRoute {
+                device: "fw1".into(),
+                route: heimdall_netmodel::proto::StaticRoute::default_via(
+                    "10.9.9.9".parse().unwrap(),
+                ),
+            }],
+        };
+        assert!(diff_composes(&baseline, &routed, &other_route));
+        // ...but re-adding the route the intervening commit just added
+        // (membership flipped) is a conflict.
+        let same_route = ConfigDiff {
+            changes: vec![ConfigChange::AddStaticRoute {
+                device: "fw1".into(),
+                route: heimdall_netmodel::proto::StaticRoute::default_via(
+                    "10.255.0.1".parse().unwrap(),
+                ),
+            }],
+        };
+        assert!(!diff_composes(&baseline, &routed, &same_route));
+
+        // Same-object edit conflicts too.
+        let mut redescribed = g.net.clone();
+        redescribed
+            .device_by_name_mut("fw1")
+            .unwrap()
+            .config
+            .interface_mut("Gi0/3")
+            .unwrap()
+            .description = Some("theirs".into());
+        assert!(!diff_composes(&baseline, &redescribed, &desc_diff));
+        // Identical networks always compose.
+        assert!(diff_composes(&baseline, &baseline, &desc_diff));
+    }
+
+    #[test]
+    fn epoch_advances_only_on_applied_commits() {
+        let g = enterprise_network();
+        let guard = CommitGuard::new(g.net.clone());
+        assert_eq!(guard.epoch(), 0);
+
+        let diff = description_diff("fw1", "v1");
+        let base = guard.record_base(&diff);
+        // A commit that applies nothing leaves the epoch alone.
+        guard.commit(&diff, &base, |_| ((), None));
+        assert_eq!(guard.epoch(), 0);
+        // An installed update bumps it.
+        guard.commit(&diff, &base, |prod| {
+            let mut next = prod.clone();
+            next.device_by_name_mut("fw1")
+                .unwrap()
+                .config
+                .interface_mut("Gi0/3")
+                .unwrap()
+                .description = Some("v1".into());
+            ((), Some(next))
+        });
+        assert_eq!(guard.epoch(), 1);
+        let (_, epoch) = guard.snapshot_with_epoch();
+        assert_eq!(epoch, 1);
     }
 
     #[test]

@@ -105,6 +105,15 @@ pub struct FinishReport {
 
 type PrivKey = (TaskKind, Vec<String>);
 
+/// Memoized privilege derivations, valid for exactly one production
+/// epoch. Entries derived from an epoch-`N` snapshot must never be served
+/// once a commit moves production to `N+1` — paths may have shifted — so
+/// the whole map is tagged with the epoch it was derived at.
+struct PrivCache {
+    epoch: u64,
+    entries: HashMap<PrivKey, PrivilegeMsp>,
+}
+
 /// A concurrent multi-tenant session broker over one production network.
 pub struct Broker {
     guard: CommitGuard,
@@ -112,7 +121,7 @@ pub struct Broker {
     registry: SessionRegistry,
     policies: PolicySet,
     limiter: RateLimiter,
-    priv_cache: Mutex<HashMap<PrivKey, PrivilegeMsp>>,
+    priv_cache: Mutex<PrivCache>,
     stats: ServiceStats,
     config: BrokerConfig,
 }
@@ -126,7 +135,10 @@ impl Broker {
             registry: SessionRegistry::new(config.shards),
             policies,
             limiter: RateLimiter::new(config.rate_capacity, config.rate_refill_per_sec),
-            priv_cache: Mutex::new(HashMap::new()),
+            priv_cache: Mutex::new(PrivCache {
+                epoch: 0,
+                entries: HashMap::new(),
+            }),
             stats: ServiceStats::new(),
             config,
         }
@@ -134,15 +146,36 @@ impl Broker {
 
     /// Privileges for a task shape, derived once per shape per
     /// production epoch.
-    fn privileges_for(&self, production: &Network, task: &Task) -> PrivilegeMsp {
+    ///
+    /// `epoch` must be the epoch `production` was snapshotted at (from
+    /// [`CommitGuard::snapshot_with_epoch`]). Lookups hit only entries
+    /// derived at that same epoch, and a derivation is inserted only if
+    /// production has not moved since the snapshot — checked under the
+    /// cache lock, so a concurrent `finish()` either already bumped the
+    /// guard epoch (we skip the insert) or is still waiting on this lock
+    /// to clear the cache (our entry is wiped with the rest). A stale
+    /// derivation can therefore never outlive the commit that staled it.
+    fn privileges_for(&self, production: &Network, epoch: u64, task: &Task) -> PrivilegeMsp {
         let mut key_devices = task.affected.clone();
         key_devices.sort();
         let key = (task.kind, key_devices);
-        if let Some(hit) = self.priv_cache.lock().get(&key) {
-            return hit.clone();
+        {
+            let cache = self.priv_cache.lock();
+            if cache.epoch == epoch {
+                if let Some(hit) = cache.entries.get(&key) {
+                    return hit.clone();
+                }
+            }
         }
         let derived = derive_privileges(production, task);
-        self.priv_cache.lock().insert(key, derived.clone());
+        let mut cache = self.priv_cache.lock();
+        if self.guard.epoch() == epoch {
+            if cache.epoch != epoch {
+                cache.entries.clear();
+                cache.epoch = epoch;
+            }
+            cache.entries.insert(key, derived.clone());
+        }
         derived
     }
 
@@ -156,8 +189,8 @@ impl Broker {
             ServiceStats::bump(&self.stats.rate_limited);
             return Err(BrokerError::RateLimited(technician.to_string()));
         }
-        let production = self.guard.snapshot();
-        let privilege = self.privileges_for(&production, &ticket);
+        let (production, epoch) = self.guard.snapshot_with_epoch();
+        let privilege = self.privileges_for(&production, epoch, &ticket);
         let twin = slice_for_task(&production, &ticket);
         let devices = twin.included.clone();
         let session = TwinSession::open(technician, twin, privilege.clone());
@@ -254,22 +287,42 @@ impl Broker {
                 &self.policies,
                 &privilege,
             );
-            if outcome.report.verdict == Verdict::RejectedStale
-                && attempts <= self.config.max_commit_retries
-            {
+            if outcome.report.verdict == Verdict::RejectedStale {
                 ServiceStats::bump(&self.stats.commit_conflicts);
-                // Retry against current production: re-record the base so
-                // the enforcer re-verifies the diff on fresh state.
-                base = self.guard.record_base(&diff);
-                continue;
+                if attempts <= self.config.max_commit_retries {
+                    // A stale base means *something* changed on the
+                    // touched devices — but re-basing is only safe when
+                    // the intervening commits left the exact objects this
+                    // diff writes untouched (say, another ACL on the same
+                    // firewall). If they collide, re-applying would
+                    // silently overwrite the other technician's change, so
+                    // the stale verdict stands and the technician must
+                    // re-open a twin from current state. The compose check
+                    // and the fresh base come from one lock acquisition so
+                    // the base cannot move between them; anything landing
+                    // after is caught by the guard's own re-check.
+                    let rebased = self.guard.with_production(|prod| {
+                        heimdall_enforcer::concurrency::diff_composes(&baseline, prod, &diff)
+                            .then(|| heimdall_enforcer::concurrency::base_fingerprint(prod, &diff))
+                    });
+                    if let Some(fresh) = rebased {
+                        base = fresh;
+                        continue;
+                    }
+                }
             }
             break outcome;
         };
 
         if outcome.applied() {
             ServiceStats::bump(&self.stats.commits_applied);
-            // Production moved: cached privilege derivations may be stale.
-            self.priv_cache.lock().clear();
+            // Production moved: cached privilege derivations may be
+            // stale. The guard epoch was already bumped (inside the
+            // commit), so clearing here also invalidates any entry a
+            // racing `privileges_for` slipped in after the bump.
+            let mut cache = self.priv_cache.lock();
+            cache.entries.clear();
+            cache.epoch = self.guard.epoch();
         } else {
             ServiceStats::bump(&self.stats.commits_rejected);
         }
@@ -591,14 +644,14 @@ mod tests {
         let b = broker();
         let (a, _) = b.open_session("alice", acl_ticket()).unwrap();
         let (c, _) = b.open_session("bob", acl_ticket()).unwrap();
-        assert_eq!(b.priv_cache.lock().len(), 1, "one shape, one entry");
+        assert_eq!(b.priv_cache.lock().entries.len(), 1, "one shape, one entry");
         // Different shape adds a second entry.
         let other = Task {
             kind: TaskKind::Routing,
             affected: vec!["h1".into(), "srv1".into()],
         };
         let (d, _) = b.open_session("carol", other).unwrap();
-        assert_eq!(b.priv_cache.lock().len(), 2);
+        assert_eq!(b.priv_cache.lock().entries.len(), 2);
         for id in [a, c, d] {
             let _ = b.finish(id);
         }
@@ -668,6 +721,48 @@ mod tests {
             .filter(|rt| rt.prefix.to_string().starts_with("10.77.0.0"))
             .count();
         assert_eq!(hits, 1);
+        assert!(b.verify_audit());
+    }
+
+    #[test]
+    fn conflicting_edits_to_same_object_reject_instead_of_clobbering() {
+        let b = broker();
+        // Both technicians open twins of the *same* broken state and both
+        // rewrite ACL 100 on fw1 — a true write-write conflict.
+        let (alice, _) = b.open_session("alice", acl_ticket()).unwrap();
+        let (bob, _) = b.open_session("bob", acl_ticket()).unwrap();
+
+        b.exec(alice, "fw1", "no access-list 100 line 2").unwrap();
+        b.exec(
+            alice,
+            "fw1",
+            "access-list 100 line 2 permit ip 10.1.2.0 0.0.0.255 10.2.1.0 0.0.0.255",
+        )
+        .unwrap();
+        b.exec(bob, "fw1", "no access-list 100 line 2").unwrap();
+        b.exec(
+            bob,
+            "fw1",
+            "access-list 100 line 2 permit ip 10.1.2.0 0.0.0.255 10.2.1.0 0.0.0.255",
+        )
+        .unwrap();
+
+        let a = b.finish(alice).unwrap();
+        assert!(a.applied);
+
+        // Bob's diff writes the object alice just changed: auto-retrying
+        // would overwrite her commit with a diff built against state that
+        // no longer exists. It must come back stale, not applied.
+        let r = b.finish(bob).unwrap();
+        assert_eq!(r.verdict, Verdict::RejectedStale);
+        assert!(!r.applied);
+        assert!(b.stats().commit_conflicts >= 1);
+        assert!(b.stats().commits_rejected >= 1);
+
+        // Alice's fix survived.
+        let prod = b.production();
+        let fw1 = prod.device_by_name("fw1").unwrap();
+        assert_eq!(fw1.config.acls["100"].entries[1].action, AclAction::Permit);
         assert!(b.verify_audit());
     }
 

@@ -101,48 +101,147 @@ struct Bucket {
     last_refill: Instant,
 }
 
-/// Per-technician rate limiter.
+impl Bucket {
+    fn full(capacity: f64, now: Instant) -> Bucket {
+        Bucket {
+            tokens: capacity,
+            last_refill: now,
+        }
+    }
+
+    fn refill(&mut self, capacity: f64, refill_per_sec: f64, now: Instant) {
+        let elapsed = now.duration_since(self.last_refill).as_secs_f64();
+        self.tokens = (self.tokens + elapsed * refill_per_sec).min(capacity);
+        self.last_refill = now;
+    }
+
+    fn take(&mut self) -> bool {
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// How much larger the identity-independent global bucket is than a
+/// single technician's (burst and refill alike).
+const GLOBAL_FACTOR: f64 = 64.0;
+
+/// Per-technician bucket maps larger than this trigger an eviction sweep,
+/// and are never grown past it — a client streaming fresh names cannot
+/// balloon broker memory.
+const MAX_TRACKED: usize = 4096;
+
+/// Per-technician rate limiter behind a global backstop.
 ///
 /// Each technician gets an independent bucket, so one noisy automation
 /// account cannot starve interactive operators — the service-layer
 /// analogue of the paper's per-technician privilege scoping.
+///
+/// Technician names arrive verbatim from unauthenticated clients, so the
+/// per-name buckets alone would be both unbounded (one map entry per
+/// unique name) and bypassable (a fresh name starts with a full bucket).
+/// Two backstops close that: every acquire is also charged against one
+/// *global* bucket that no choice of identity escapes, and the bucket map
+/// is bounded — effectively-full buckets carry no throttle state and are
+/// evicted losslessly; past [`MAX_TRACKED`] new names share the global
+/// bucket only instead of growing the map.
 pub struct RateLimiter {
     capacity: f64,
     refill_per_sec: f64,
     buckets: Mutex<HashMap<String, Bucket>>,
+    global: Mutex<Bucket>,
+    global_capacity: f64,
+    global_refill_per_sec: f64,
+    max_tracked: usize,
 }
 
 impl RateLimiter {
     pub fn new(capacity: u32, refill_per_sec: f64) -> RateLimiter {
+        let capacity = capacity as f64;
+        RateLimiter::with_limits(
+            capacity,
+            refill_per_sec,
+            capacity * GLOBAL_FACTOR,
+            refill_per_sec * GLOBAL_FACTOR,
+            MAX_TRACKED,
+        )
+    }
+
+    /// Full control over both buckets and the map bound (tests, tuning).
+    pub fn with_limits(
+        capacity: f64,
+        refill_per_sec: f64,
+        global_capacity: f64,
+        global_refill_per_sec: f64,
+        max_tracked: usize,
+    ) -> RateLimiter {
         RateLimiter {
-            capacity: capacity as f64,
+            capacity,
             refill_per_sec,
             buckets: Mutex::new(HashMap::new()),
+            global: Mutex::new(Bucket::full(global_capacity, Instant::now())),
+            global_capacity,
+            global_refill_per_sec,
+            max_tracked,
         }
     }
 
     /// An effectively unlimited limiter (for tests and demos).
     pub fn unlimited() -> RateLimiter {
-        RateLimiter::new(u32::MAX, f64::INFINITY)
+        RateLimiter::with_limits(
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::INFINITY,
+            MAX_TRACKED,
+        )
     }
 
     /// Takes one token for `technician`; false means rate-limited.
     pub fn try_acquire(&self, technician: &str) -> bool {
         let now = Instant::now();
-        let mut buckets = self.buckets.lock();
-        let bucket = buckets.entry(technician.to_string()).or_insert(Bucket {
-            tokens: self.capacity,
-            last_refill: now,
-        });
-        let elapsed = now.duration_since(bucket.last_refill).as_secs_f64();
-        bucket.tokens = (bucket.tokens + elapsed * self.refill_per_sec).min(self.capacity);
-        bucket.last_refill = now;
-        if bucket.tokens >= 1.0 {
-            bucket.tokens -= 1.0;
-            true
-        } else {
-            false
+        // Identity-independent backstop first: a flood of unique names is
+        // still one stream of requests.
+        {
+            let mut global = self.global.lock();
+            global.refill(self.global_capacity, self.global_refill_per_sec, now);
+            if !global.take() {
+                return false;
+            }
         }
+        let mut buckets = self.buckets.lock();
+        if let Some(bucket) = buckets.get_mut(technician) {
+            bucket.refill(self.capacity, self.refill_per_sec, now);
+            return bucket.take();
+        }
+        if buckets.len() >= self.max_tracked {
+            self.evict_full(&mut buckets, now);
+        }
+        if buckets.len() >= self.max_tracked {
+            // Map is at capacity with genuinely-throttled entries. A new
+            // name's first token would always be granted anyway (fresh
+            // buckets start full), so granting without inserting loses no
+            // enforcement; the global bucket above still meters the flood.
+            return true;
+        }
+        let mut bucket = Bucket::full(self.capacity, now);
+        let granted = bucket.take();
+        buckets.insert(technician.to_string(), bucket);
+        granted
+    }
+
+    /// Drops buckets that have refilled to (effectively) full: they are
+    /// indistinguishable from absent entries, so eviction is lossless.
+    fn evict_full(&self, buckets: &mut HashMap<String, Bucket>, now: Instant) {
+        let capacity = self.capacity;
+        let refill = self.refill_per_sec;
+        buckets.retain(|_, b| {
+            let elapsed = now.duration_since(b.last_refill).as_secs_f64();
+            (b.tokens + elapsed * refill) < capacity - 1e-9
+        });
     }
 
     /// Number of technicians currently tracked.
@@ -214,5 +313,50 @@ mod tests {
         // Other technicians are unaffected.
         assert!(rl.try_acquire("alice"));
         assert_eq!(rl.tracked(), 2);
+    }
+
+    #[test]
+    fn unique_names_cannot_grow_bucket_map_unbounded() {
+        // Idle buckets refill to full almost instantly here, making them
+        // losslessly evictable — a stream of fresh names keeps the map at
+        // the bound instead of growing it.
+        let rl = RateLimiter::with_limits(4.0, 1e12, f64::INFINITY, f64::INFINITY, 8);
+        for i in 0..1000 {
+            rl.try_acquire(&format!("sock-puppet-{i}"));
+            assert!(rl.tracked() <= 8, "map grew to {}", rl.tracked());
+        }
+    }
+
+    #[test]
+    fn map_at_bound_keeps_throttled_entries_and_still_enforces() {
+        // Empty buckets (refill 0) are NOT evictable — they carry real
+        // throttle state — so the map pins at the bound and known-drained
+        // names stay rejected even as new names flood in.
+        let rl = RateLimiter::with_limits(1.0, 0.0, f64::INFINITY, f64::INFINITY, 4);
+        for name in ["a", "b", "c", "d"] {
+            assert!(rl.try_acquire(name));
+            assert!(!rl.try_acquire(name), "{name} burst spent");
+        }
+        for i in 0..100 {
+            rl.try_acquire(&format!("fresh-{i}"));
+        }
+        assert_eq!(rl.tracked(), 4);
+        assert!(!rl.try_acquire("a"), "drained bucket must survive flood");
+    }
+
+    #[test]
+    fn global_bucket_limits_identity_hopping_clients() {
+        // Per-name buckets are generous, but the global backstop does not
+        // care what name the client claims.
+        let rl = RateLimiter::with_limits(1000.0, 1000.0, 5.0, 0.0, MAX_TRACKED);
+        let mut granted = 0;
+        for i in 0..50 {
+            if rl.try_acquire(&format!("alias-{i}")) {
+                granted += 1;
+            }
+        }
+        assert_eq!(granted, 5, "global bucket caps the total");
+        // And it throttles a single well-known name identically.
+        assert!(!rl.try_acquire("alice"));
     }
 }

@@ -171,14 +171,26 @@ fn take_guard<'a, T>(
     slot: &mut MutexGuard<'a, T>,
     f: impl FnOnce(MutexGuard<'a, T>) -> MutexGuard<'a, T>,
 ) {
+    /// If `f` unwinds, `*slot` holds a moved-out guard the caller would
+    /// drop a second time (a double unlock — UB). There is no guard value
+    /// to restore at that point, so the only sound exit is no exit.
+    struct AbortOnUnwind;
+    impl Drop for AbortOnUnwind {
+        fn drop(&mut self) {
+            std::process::abort();
+        }
+    }
     // SAFETY: `old` is moved out and a replacement is written back before
-    // returning. If `f` panics the guard has been consumed by the wait
-    // call (which unlocks on unwind), and the process is already
-    // propagating a panic through `wait`, matching std semantics.
+    // returning. Unwinding out of `f` would leave the moved-out value in
+    // `*slot` to be dropped again by the caller; the armed bomb turns
+    // that path into an abort instead, and is defused only after the
+    // replacement is written.
     unsafe {
         let old = std::ptr::read(slot);
+        let bomb = AbortOnUnwind;
         let new = f(old);
         std::ptr::write(slot, new);
+        std::mem::forget(bomb);
     }
 }
 

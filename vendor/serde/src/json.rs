@@ -127,11 +127,17 @@ fn write_pretty(v: &Value, indent: usize, out: &mut String) {
     }
 }
 
+/// Maximum container nesting the parser accepts, matching serde_json's
+/// default. The parser recurses per level, so untrusted input (e.g. a
+/// megabyte of `[`) must hit this error long before the thread's stack.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parses JSON text into a [`Value`].
 pub fn parse(text: &str) -> Result<Value, Error> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -145,6 +151,7 @@ pub fn parse(text: &str) -> Result<Value, Error> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -213,12 +220,23 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn descend(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            Err(Error(format!("recursion limit of {MAX_DEPTH} exceeded")))
+        } else {
+            Ok(())
+        }
+    }
+
     fn array(&mut self) -> Result<Value, Error> {
         self.expect(b'[')?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -227,7 +245,10 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             match self.bump() {
                 Some(b',') => continue,
-                Some(b']') => return Ok(Value::Array(items)),
+                Some(b']') => {
+                    self.depth -= 1;
+                    return Ok(Value::Array(items));
+                }
                 _ => return Err(Error(format!("expected `,` or `]` at offset {}", self.pos))),
             }
         }
@@ -235,10 +256,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Value, Error> {
         self.expect(b'{')?;
+        self.descend()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(fields));
         }
         loop {
@@ -252,7 +275,10 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             match self.bump() {
                 Some(b',') => continue,
-                Some(b'}') => return Ok(Value::Object(fields)),
+                Some(b'}') => {
+                    self.depth -= 1;
+                    return Ok(Value::Object(fields));
+                }
                 _ => {
                     return Err(Error(format!(
                         "expected `,` or `}}` at offset {}",
@@ -429,6 +455,28 @@ mod tests {
         let doc = "\"\\u0041\\u00e9\\ud83d\\ude00\"";
         let v = parse(doc).unwrap();
         assert_eq!(v.as_str(), Some("A\u{e9}\u{1f600}"));
+    }
+
+    #[test]
+    fn depth_at_limit_parses_but_beyond_is_rejected() {
+        let nest = |n: usize| format!("{}1{}", "[".repeat(n), "]".repeat(n));
+        assert!(parse(&nest(MAX_DEPTH)).is_ok());
+        let err = parse(&nest(MAX_DEPTH + 1)).unwrap_err();
+        assert!(err.0.contains("recursion limit"), "{err:?}");
+        // Mixed nesting counts both container kinds.
+        let mixed = format!("{}null{}", r#"{"k":["#.repeat(80), "]}".repeat(80));
+        assert!(parse(&mixed).unwrap_err().0.contains("recursion limit"));
+        // Siblings at the same level do not accumulate depth.
+        let wide = format!("[{}]", vec!["[1]"; 1000].join(","));
+        assert!(parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn hostile_deep_nesting_errors_instead_of_overflowing() {
+        // ~500k unclosed '[' — the attack from an unauthenticated frame.
+        // Must return an error, not blow the stack.
+        let bomb = "[".repeat(500_000);
+        assert!(parse(&bomb).is_err());
     }
 
     #[test]
