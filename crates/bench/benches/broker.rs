@@ -4,8 +4,15 @@
 //!
 //! Every session edits the same device (fw1), so higher session counts
 //! also measure the optimistic-commit retry path, not just thread fan-out.
+//!
+//! Two modes:
+//! - default: the Criterion harness (whole-round wall-clock).
+//! - `--json`: measures per-session latency (p50/p99) and sessions/sec at
+//!   each concurrency level and writes `BENCH_service.json` at the
+//!   workspace root — the machine-readable record CI and regression
+//!   tooling can diff. Combine with `--test` for a fast smoke pass.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use heimdall::netmodel::gen::enterprise_network;
 use heimdall::netmodel::topology::Network;
 use heimdall::privilege::derive::{Task, TaskKind};
@@ -79,4 +86,98 @@ fn bench_broker_sessions(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_broker_sessions);
-criterion_main!(benches);
+
+/// One measured round at `sessions`-way concurrency: per-session
+/// latencies (ns) plus the round's wall-clock span.
+fn measure_round(
+    production: &Network,
+    policies: &PolicySet,
+    sessions: usize,
+) -> (Vec<u64>, std::time::Duration) {
+    let config = BrokerConfig {
+        max_commit_retries: 256,
+        rate_capacity: 4096,
+        rate_refill_per_sec: 1e6,
+        ..BrokerConfig::default()
+    };
+    let broker = Arc::new(Broker::new(production.clone(), policies.clone(), config));
+    let started = std::time::Instant::now();
+    let handles: Vec<_> = (0..sessions)
+        .map(|i| {
+            let broker = Arc::clone(&broker);
+            thread::spawn(move || {
+                let t = std::time::Instant::now();
+                assert!(run_session(&broker, i), "lost commit");
+                t.elapsed().as_nanos() as u64
+            })
+        })
+        .collect();
+    let latencies = handles
+        .into_iter()
+        .map(|h| h.join().expect("session thread"))
+        .collect();
+    (latencies, started.elapsed())
+}
+
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// `--json` mode: per-concurrency p50/p99/throughput into
+/// `BENCH_service.json` at the workspace root.
+fn run_json(smoke: bool) {
+    let (production, policies) = production_and_policies();
+    let levels: &[usize] = if smoke { &[1, 8] } else { &[1, 8, 32, 128] };
+    let rounds = if smoke { 1 } else { 3 };
+    let mut entries = Vec::new();
+    for &sessions in levels {
+        let mut latencies = Vec::new();
+        let mut total_wall = std::time::Duration::ZERO;
+        for _ in 0..rounds {
+            let (mut l, wall) = measure_round(&production, &policies, sessions);
+            latencies.append(&mut l);
+            total_wall += wall;
+        }
+        latencies.sort_unstable();
+        let p50 = exact_quantile(&latencies, 0.50);
+        let p99 = exact_quantile(&latencies, 0.99);
+        let throughput = latencies.len() as f64 / total_wall.as_secs_f64().max(1e-9);
+        println!("broker_sessions/{sessions}: p50 {p50}ns p99 {p99}ns {throughput:.1} sessions/s");
+        entries.push(format!(
+            concat!(
+                "    {{\"concurrency\": {}, \"sessions_measured\": {}, ",
+                "\"p50_ns\": {}, \"p99_ns\": {}, ",
+                "\"throughput_sessions_per_sec\": {:.3}}}"
+            ),
+            sessions,
+            latencies.len(),
+            p50,
+            p99,
+            throughput
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"broker_sessions\",\n  \"smoke\": {},\n  \"levels\": [\n{}\n  ]\n}}\n",
+        smoke,
+        entries.join(",\n")
+    );
+    // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_service.json");
+    std::fs::write(&path, json).expect("write BENCH_service.json");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--json") {
+        run_json(args.iter().any(|a| a == "--test"));
+    } else {
+        benches();
+    }
+}

@@ -64,5 +64,6 @@ pub use heimdall_netmodel as netmodel;
 pub use heimdall_privilege as privilege;
 pub use heimdall_routing as routing;
 pub use heimdall_service as service;
+pub use heimdall_telemetry as telemetry;
 pub use heimdall_twin as twin;
 pub use heimdall_verify as verify;

@@ -38,6 +38,12 @@ pub struct AuditEntry {
     pub actor: String,
     /// Free-form description (command text, verdict, change summary).
     pub detail: String,
+    /// The telemetry trace this event belongs to, as canonical 16-hex
+    /// digits (empty when the event happened outside a traced request).
+    /// Covered by the entry hash, so trace attribution is as
+    /// tamper-evident as the rest of the record — and joinable with span
+    /// trees via `TraceQuery`.
+    pub trace: String,
     /// Hex hash of the previous entry (all-zero for the genesis entry).
     pub prev: String,
     /// Hex hash of this entry.
@@ -52,12 +58,20 @@ impl AuditEntry {
             self.kind,
             &self.actor,
             &self.detail,
+            &self.trace,
             &self.prev,
         ))
     }
 }
 
-fn entry_digest(seq: u64, kind: AuditKind, actor: &str, detail: &str, prev: &str) -> Digest {
+fn entry_digest(
+    seq: u64,
+    kind: AuditKind,
+    actor: &str,
+    detail: &str,
+    trace: &str,
+    prev: &str,
+) -> Digest {
     // Length-prefixed concatenation prevents field-boundary ambiguity.
     let mut buf = Vec::new();
     buf.extend_from_slice(&seq.to_be_bytes());
@@ -69,7 +83,7 @@ fn entry_digest(seq: u64, kind: AuditKind, actor: &str, detail: &str, prev: &str
         AuditKind::Session => 5,
     };
     buf.push(kind_tag);
-    for field in [actor, detail, prev] {
+    for field in [actor, detail, trace, prev] {
         buf.extend_from_slice(&(field.len() as u64).to_be_bytes());
         buf.extend_from_slice(field.as_bytes());
     }
@@ -115,18 +129,31 @@ impl AuditLog {
 
     /// Appends an event, chaining it to the current head.
     pub fn append(&mut self, kind: AuditKind, actor: &str, detail: &str) -> &AuditEntry {
+        self.append_traced(kind, actor, detail, "")
+    }
+
+    /// Appends an event carrying a telemetry trace tag (canonical hex
+    /// `TraceId`, or empty for untraced events).
+    pub fn append_traced(
+        &mut self,
+        kind: AuditKind,
+        actor: &str,
+        detail: &str,
+        trace: &str,
+    ) -> &AuditEntry {
         let seq = self.entries.len() as u64;
         let prev = self
             .entries
             .last()
             .map(|e| e.hash.clone())
             .unwrap_or_else(|| GENESIS.to_string());
-        let hash = hex(&entry_digest(seq, kind, actor, detail, &prev));
+        let hash = hex(&entry_digest(seq, kind, actor, detail, trace, &prev));
         self.entries.push(AuditEntry {
             seq,
             kind,
             actor: actor.to_string(),
             detail: detail.to_string(),
+            trace: trace.to_string(),
             prev,
             hash,
         });
@@ -172,6 +199,15 @@ impl AuditLog {
     /// Entries of one kind (e.g. all denials during review).
     pub fn of_kind(&self, kind: AuditKind) -> Vec<&AuditEntry> {
         self.entries.iter().filter(|e| e.kind == kind).collect()
+    }
+
+    /// Entries stamped with a telemetry trace tag (the join key for
+    /// `TraceQuery`).
+    pub fn for_trace(&self, trace: &str) -> Vec<&AuditEntry> {
+        self.entries
+            .iter()
+            .filter(|e| !trace.is_empty() && e.trace == trace)
+            .collect()
     }
 
     /// Serializes the log (for off-box archival). The chain hashes travel
@@ -277,6 +313,19 @@ mod tests {
         assert!(AuditLog::from_json(&tampered).is_err());
         // Malformed JSON is a plain error, not a panic.
         assert!(AuditLog::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn trace_tag_is_covered_by_the_chain() {
+        let mut log = AuditLog::new();
+        log.append_traced(AuditKind::Session, "alice", "open", "00000000deadbeef");
+        log.append(AuditKind::Command, "alice", "untraced");
+        assert!(log.verify_chain().is_ok());
+        assert_eq!(log.for_trace("00000000deadbeef").len(), 1);
+        assert!(log.for_trace("").is_empty(), "empty tag never joins");
+        // Rewriting the trace attribution breaks the chain.
+        log.entries[0].trace = "00000000cafef00d".into();
+        assert_eq!(log.verify_chain(), Err(ChainError::BadHash { seq: 0 }));
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::verifier::{verify_changes, EnforcementReport};
 use heimdall_netmodel::diff::ConfigDiff;
 use heimdall_netmodel::topology::Network;
 use heimdall_privilege::model::PrivilegeMsp;
+use heimdall_telemetry::{SpanContext, SpanStatus, Stage};
 use heimdall_verify::policy::PolicySet;
 
 /// The outcome of pushing one change-set through the enforcer.
@@ -68,7 +69,7 @@ impl EnforcerPipeline {
         privilege: &PrivilegeMsp,
     ) -> EnforcerOutcome {
         if !crate::concurrency::base_matches(production, diff, base_fingerprint) {
-            return self.stale_outcome(diff);
+            return self.stale_outcome(diff, &SpanContext::disabled());
         }
         self.process(technician, production, diff, policies, privilege)
     }
@@ -86,26 +87,71 @@ impl EnforcerPipeline {
         policies: &PolicySet,
         privilege: &PrivilegeMsp,
     ) -> EnforcerOutcome {
+        self.process_guarded_traced(
+            technician,
+            guard,
+            diff,
+            base_fingerprint,
+            policies,
+            privilege,
+            &SpanContext::disabled(),
+        )
+    }
+
+    /// [`EnforcerPipeline::process_guarded`] with telemetry: the commit
+    /// attempt is timed as a `commit` span, verification and scheduling
+    /// inside it as `verify`/`schedule` spans, and every audit entry the
+    /// attempt produces is stamped with the context's `TraceId`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn process_guarded_traced(
+        &mut self,
+        technician: &str,
+        guard: &CommitGuard,
+        diff: &ConfigDiff,
+        base_fingerprint: &str,
+        policies: &PolicySet,
+        privilege: &PrivilegeMsp,
+        ctx: &SpanContext,
+    ) -> EnforcerOutcome {
+        let mut commit_span = ctx.span(Stage::Commit);
         let attempt = guard.commit(diff, base_fingerprint, |production| {
-            let outcome = self.process(technician, production, diff, policies, privilege);
+            let outcome =
+                self.process_traced(technician, production, diff, policies, privilege, ctx);
             let updated = outcome.updated_production.clone();
             (outcome, updated)
         });
         match attempt {
-            CommitAttempt::Committed { result, .. } => result,
-            CommitAttempt::Stale { .. } => self.stale_outcome(diff),
+            CommitAttempt::Committed { result, .. } => {
+                if let Some(s) = commit_span.as_mut() {
+                    if result.applied() {
+                        s.set_detail(format!("{} changes installed", diff.len()));
+                    } else {
+                        s.set_status(SpanStatus::Rejected);
+                        s.set_detail(format!("verdict={:?}", result.report.verdict));
+                    }
+                }
+                result
+            }
+            CommitAttempt::Stale { .. } => {
+                if let Some(s) = commit_span.as_mut() {
+                    s.set_status(SpanStatus::Rejected);
+                    s.set_detail("stale base fingerprint");
+                }
+                self.stale_outcome(diff, ctx)
+            }
         }
     }
 
     /// Audits and builds the rejection for a stale change-set.
-    fn stale_outcome(&mut self, diff: &ConfigDiff) -> EnforcerOutcome {
-        self.log(
+    fn stale_outcome(&mut self, diff: &ConfigDiff, ctx: &SpanContext) -> EnforcerOutcome {
+        self.log_traced(
             AuditKind::Verification,
             "enforcer",
             &format!(
                 "verdict=RejectedStale: base changed on {:?} since the twin was opened",
                 diff.devices()
             ),
+            &ctx.trace_tag(),
         );
         EnforcerOutcome {
             report: EnforcementReport {
@@ -128,7 +174,31 @@ impl EnforcerPipeline {
         policies: &PolicySet,
         privilege: &PrivilegeMsp,
     ) -> EnforcerOutcome {
-        self.log(
+        self.process_traced(
+            technician,
+            production,
+            diff,
+            policies,
+            privilege,
+            &SpanContext::disabled(),
+        )
+    }
+
+    /// [`EnforcerPipeline::process`] with telemetry: verification and
+    /// scheduling each get their own span, and all audit entries carry
+    /// the context's trace tag so `AuditQuery` results are joinable with
+    /// span trees.
+    pub fn process_traced(
+        &mut self,
+        technician: &str,
+        production: &Network,
+        diff: &ConfigDiff,
+        policies: &PolicySet,
+        privilege: &PrivilegeMsp,
+        ctx: &SpanContext,
+    ) -> EnforcerOutcome {
+        let tag = ctx.trace_tag();
+        self.log_traced(
             AuditKind::Session,
             technician,
             &format!(
@@ -136,10 +206,19 @@ impl EnforcerPipeline {
                 diff.len(),
                 diff.devices()
             ),
+            &tag,
         );
 
+        let mut verify_span = ctx.span(Stage::Verify);
         let (report, patched) = verify_changes(production, diff, policies, privilege);
-        self.log(
+        if let Some(s) = verify_span.as_mut() {
+            s.set_detail(format!("verdict={:?}", report.verdict));
+            if patched.is_none() {
+                s.set_status(SpanStatus::Rejected);
+            }
+        }
+        drop(verify_span);
+        self.log_traced(
             AuditKind::Verification,
             "enforcer",
             &format!(
@@ -148,6 +227,7 @@ impl EnforcerPipeline {
                 report.privilege_violations.len(),
                 report.differential.newly_violated
             ),
+            &tag,
         );
 
         if patched.is_none() {
@@ -158,15 +238,25 @@ impl EnforcerPipeline {
             };
         }
 
+        let mut schedule_span = ctx.span(Stage::Schedule);
         let plan = schedule(production, diff, policies);
+        if let Some(s) = schedule_span.as_mut() {
+            s.set_detail(format!(
+                "{} steps, {} transients",
+                plan.steps.len(),
+                plan.transient_count()
+            ));
+        }
+        drop(schedule_span);
         for step in &plan.steps {
-            self.log(AuditKind::ChangeApplied, technician, &step.summary());
+            self.log_traced(AuditKind::ChangeApplied, technician, &step.summary(), &tag);
         }
         if !plan.is_hitless() {
-            self.log(
+            self.log_traced(
                 AuditKind::Verification,
                 "enforcer",
                 &format!("rollout transients: {}", plan.transient_count()),
+                &tag,
             );
         }
         EnforcerOutcome {
@@ -178,7 +268,12 @@ impl EnforcerPipeline {
 
     /// Appends an audit entry and re-seals the head.
     pub fn log(&mut self, kind: AuditKind, actor: &str, detail: &str) {
-        self.audit.append(kind, actor, detail);
+        self.log_traced(kind, actor, detail, "");
+    }
+
+    /// Appends a trace-tagged audit entry and re-seals the head.
+    pub fn log_traced(&mut self, kind: AuditKind, actor: &str, detail: &str, trace: &str) {
+        self.audit.append_traced(kind, actor, detail, trace);
         self.sealed_head = self.enclave.seal(self.audit.head().as_bytes());
     }
 

@@ -29,6 +29,7 @@ use heimdall_enforcer::verifier::Verdict;
 use heimdall_netmodel::topology::Network;
 use heimdall_privilege::derive::{derive_privileges, Task, TaskKind};
 use heimdall_privilege::model::PrivilegeMsp;
+use heimdall_telemetry::{SpanContext, SpanStatus, Stage, Telemetry, TelemetryConfig, TraceId};
 use heimdall_twin::session::{SessionError, TwinSession};
 use heimdall_twin::slice::slice_for_task;
 use heimdall_verify::policy::PolicySet;
@@ -51,6 +52,8 @@ pub struct BrokerConfig {
     pub max_commit_retries: u32,
     /// Sessions idle longer than this are evictable.
     pub idle_ttl: Duration,
+    /// Span ring and flight-recorder tunables.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for BrokerConfig {
@@ -61,6 +64,7 @@ impl Default for BrokerConfig {
             rate_refill_per_sec: 512.0,
             max_commit_retries: 3,
             idle_ttl: Duration::from_secs(15 * 60),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -123,6 +127,7 @@ pub struct Broker {
     limiter: RateLimiter,
     priv_cache: Mutex<PrivCache>,
     stats: ServiceStats,
+    telemetry: Arc<Telemetry>,
     config: BrokerConfig,
 }
 
@@ -140,6 +145,7 @@ impl Broker {
                 entries: HashMap::new(),
             }),
             stats: ServiceStats::new(),
+            telemetry: Arc::new(Telemetry::new(config.telemetry.clone())),
             config,
         }
     }
@@ -189,11 +195,25 @@ impl Broker {
             ServiceStats::bump(&self.stats.rate_limited);
             return Err(BrokerError::RateLimited(technician.to_string()));
         }
+        // Root a fresh trace: the open_session span anchors the tree, and
+        // everything the session later does — console lines, execs, the
+        // commit — parents under it.
+        let trace = self.telemetry.new_trace();
+        let root = SpanContext::root(Arc::clone(&self.telemetry), trace, technician);
+        let mut open_span = root.span(Stage::OpenSession);
+        let session_ctx = match &open_span {
+            Some(s) => root.under(s),
+            None => SpanContext::disabled(),
+        };
         let (production, epoch) = self.guard.snapshot_with_epoch();
-        let privilege = self.privileges_for(&production, epoch, &ticket);
+        let privilege = {
+            let _derive = session_ctx.span(Stage::DerivePrivilege);
+            self.privileges_for(&production, epoch, &ticket)
+        };
         let twin = slice_for_task(&production, &ticket);
         let devices = twin.included.clone();
-        let session = TwinSession::open(technician, twin, privilege.clone());
+        let mut session = TwinSession::open(technician, twin, privilege.clone());
+        session.set_tracing(session_ctx.clone());
         let baseline = production;
         let now = Instant::now();
         let id = self.registry.insert(SessionEntry {
@@ -202,14 +222,19 @@ impl Broker {
             session,
             baseline,
             privilege,
+            ctx: session_ctx,
             opened_at: now,
             last_used: now,
         });
+        if let Some(s) = open_span.as_mut() {
+            s.set_detail(format!("session {id} on {} devices", devices.len()));
+        }
         ServiceStats::bump(&self.stats.sessions_opened);
-        self.pipeline.lock().log(
+        self.pipeline.lock().log_traced(
             AuditKind::Session,
             technician,
             &format!("session {id} opened on twin of {devices:?}"),
+            &root.trace_tag(),
         );
         Ok((id, devices))
     }
@@ -220,23 +245,46 @@ impl Broker {
         let result = self
             .registry
             .with_session_mut(id, |entry| {
+                let mut span = entry.ctx.span(Stage::Exec);
+                if let Some(s) = span.as_mut() {
+                    s.set_device(device);
+                }
                 if !self.limiter.try_acquire(&entry.technician) {
                     ServiceStats::bump(&self.stats.rate_limited);
+                    if let Some(s) = span.as_mut() {
+                        s.set_status(SpanStatus::Rejected);
+                        s.set_detail("rate limited");
+                    }
                     return Err(BrokerError::RateLimited(entry.technician.clone()));
                 }
                 entry.session.exec(device, line).map_err(|e| match e {
                     SessionError::PermissionDenied { .. } => {
                         ServiceStats::bump(&self.stats.denials);
+                        if let Some(s) = span.as_mut() {
+                            s.set_status(SpanStatus::Denied);
+                        }
                         BrokerError::PermissionDenied(e.to_string())
                     }
-                    SessionError::Command(_) => BrokerError::BadCommand(e.to_string()),
+                    SessionError::Command(_) => {
+                        if let Some(s) = span.as_mut() {
+                            s.set_status(SpanStatus::Error);
+                        }
+                        BrokerError::BadCommand(e.to_string())
+                    }
                 })
             })
             .ok_or(BrokerError::SessionNotFound(id))?;
         self.stats.exec_latency.record(started.elapsed());
         if result.is_ok() {
             ServiceStats::bump(&self.stats.commands_mediated);
+        } else if matches!(result, Err(BrokerError::PermissionDenied(_))) {
+            // A denial burst is a probing signature — let the flight
+            // recorder decide whether this one tips the window.
+            self.telemetry.note_denial();
         }
+        // The exec span (dropped inside the closure) has already landed in
+        // the stage histogram; check the latency ceiling against it.
+        self.telemetry.check_exec_p99();
         result
     }
 
@@ -267,8 +315,14 @@ impl Broker {
             session,
             baseline,
             privilege,
+            ctx,
             ..
         } = entry;
+        let mut finish_span = ctx.span(Stage::Finish);
+        let finish_ctx = match &finish_span {
+            Some(s) => ctx.under(s),
+            None => SpanContext::disabled(),
+        };
         let (diff, _monitor) = session.finish();
         let changes = diff.len();
         // The base the twin was opened against: the baseline slice holds
@@ -279,16 +333,18 @@ impl Broker {
         let mut attempts = 0u32;
         let outcome: EnforcerOutcome = loop {
             attempts += 1;
-            let outcome = self.pipeline.lock().process_guarded(
+            let outcome = self.pipeline.lock().process_guarded_traced(
                 &technician,
                 &self.guard,
                 &diff,
                 &base,
                 &self.policies,
                 &privilege,
+                &finish_ctx,
             );
             if outcome.report.verdict == Verdict::RejectedStale {
                 ServiceStats::bump(&self.stats.commit_conflicts);
+                self.telemetry.note_commit_conflict();
                 if attempts <= self.config.max_commit_retries {
                     // A stale base means *something* changed on the
                     // touched devices — but re-basing is only safe when
@@ -329,6 +385,15 @@ impl Broker {
         ServiceStats::bump(&self.stats.sessions_finished);
         self.stats.finish_latency.record(started.elapsed());
         let applied = outcome.applied();
+        if let Some(s) = finish_span.as_mut() {
+            s.set_detail(format!(
+                "verdict={:?} attempts={attempts} changes={changes}",
+                outcome.report.verdict
+            ));
+            if !applied {
+                s.set_status(SpanStatus::Rejected);
+            }
+        }
         Ok(FinishReport {
             verdict: outcome.report.verdict,
             applied,
@@ -346,10 +411,11 @@ impl Broker {
             let mut pipeline = self.pipeline.lock();
             for (id, entry) in victims {
                 ServiceStats::bump(&self.stats.sessions_evicted);
-                pipeline.log(
+                pipeline.log_traced(
                     AuditKind::Session,
                     &entry.technician,
                     &format!("session {id} evicted after idle TTL"),
+                    &entry.ctx.trace_tag(),
                 );
             }
         }
@@ -370,6 +436,7 @@ impl Broker {
                 kind: e.kind,
                 actor: e.actor.clone(),
                 detail: e.detail.clone(),
+                trace: e.trace.clone(),
             })
             .collect()
     }
@@ -381,6 +448,41 @@ impl Broker {
 
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// The telemetry hub (span ring, metrics registry, flight recorder).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Prometheus text exposition: every per-stage/per-device series from
+    /// the registry, plus the broker's own service counters.
+    pub fn telemetry_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut text = self.telemetry.render_prometheus();
+        let s = self.stats.snapshot();
+        for (name, value) in [
+            ("heimdall_sessions_opened_total", s.sessions_opened),
+            ("heimdall_sessions_finished_total", s.sessions_finished),
+            ("heimdall_sessions_evicted_total", s.sessions_evicted),
+            ("heimdall_commands_mediated_total", s.commands_mediated),
+            ("heimdall_denials_total", s.denials),
+            ("heimdall_commits_applied_total", s.commits_applied),
+            ("heimdall_commits_rejected_total", s.commits_rejected),
+            ("heimdall_commit_conflicts_total", s.commit_conflicts),
+            ("heimdall_rate_limited_total", s.rate_limited),
+        ] {
+            let _ = writeln!(text, "# TYPE {name} counter");
+            let _ = writeln!(text, "{name} {value}");
+        }
+        text
+    }
+
+    /// The retained spans of one trace (oldest first). `None` when the
+    /// id is not canonical 16-hex.
+    pub fn trace_query(&self, trace: &str) -> Option<Vec<heimdall_telemetry::Span>> {
+        let id = TraceId::parse(trace)?;
+        Some(self.telemetry.trace_spans(id))
     }
 
     /// Point-in-time copy of production.
@@ -432,6 +534,16 @@ impl Broker {
             },
             Request::Stats => Response::Stats {
                 snapshot: self.stats(),
+            },
+            Request::Telemetry => Response::Telemetry {
+                text: self.telemetry_text(),
+            },
+            Request::TraceQuery { trace } => match self.trace_query(&trace) {
+                Some(spans) => Response::Trace { trace, spans },
+                None => Response::Error {
+                    kind: ErrorKind::BadRequest,
+                    message: format!("trace id {trace:?} is not canonical 16-hex"),
+                },
             },
         }
     }

@@ -14,6 +14,12 @@
 //! - [`broker`] — intake, privilege memoization, and guarded optimistic
 //!   commits into the one shared production network;
 //! - [`stats`] — lock-free counters and latency histograms.
+//!
+//! Every session roots a `heimdall-telemetry` trace: open/exec/finish
+//! spans (plus the enforcer's verify/schedule/commit children) land in
+//! the broker's span ring, per-stage metrics are served as Prometheus
+//! text via [`proto::Request::Telemetry`], and span trees are joinable
+//! with audit records through [`proto::Request::TraceQuery`].
 
 pub mod broker;
 pub mod pool;

@@ -146,8 +146,8 @@ const MAX_TRACKED: usize = 4096;
 /// Two backstops close that: every acquire is also charged against one
 /// *global* bucket that no choice of identity escapes, and the bucket map
 /// is bounded — effectively-full buckets carry no throttle state and are
-/// evicted losslessly; past [`MAX_TRACKED`] new names share the global
-/// bucket only instead of growing the map.
+/// evicted losslessly; past `MAX_TRACKED` names the map stops growing and
+/// new names share the global bucket only.
 pub struct RateLimiter {
     capacity: f64,
     refill_per_sec: f64,

@@ -56,6 +56,11 @@ pub enum Request {
     },
     /// A point-in-time stats snapshot.
     Stats,
+    /// The metrics registry as Prometheus text exposition.
+    Telemetry,
+    /// The retained span tree of one trace (canonical 16-hex id, as
+    /// carried by audit entries' `trace` field).
+    TraceQuery { trace: String },
 }
 
 /// Why a request was refused.
@@ -83,6 +88,9 @@ pub struct AuditEntryView {
     pub kind: AuditKind,
     pub actor: String,
     pub detail: String,
+    /// Canonical 16-hex trace id, or empty for untraced events. Feed it
+    /// to [`Request::TraceQuery`] to join this record with its span tree.
+    pub trace: String,
 }
 
 /// One broker reply. Replies pair with requests positionally: the broker
@@ -116,6 +124,16 @@ pub enum Response {
     },
     Stats {
         snapshot: crate::stats::StatsSnapshot,
+    },
+    /// Prometheus text exposition of every metric series.
+    Telemetry {
+        text: String,
+    },
+    /// The retained spans of one trace, ordered by start time. Empty when
+    /// the trace is unknown or has rotated out of the span ring.
+    Trace {
+        trace: String,
+        spans: Vec<heimdall_telemetry::Span>,
     },
     Error {
         kind: ErrorKind,

@@ -14,6 +14,7 @@ use crate::proto::SessionId;
 use heimdall_netmodel::topology::Network;
 use heimdall_privilege::derive::Task;
 use heimdall_privilege::model::PrivilegeMsp;
+use heimdall_telemetry::SpanContext;
 use heimdall_twin::session::TwinSession;
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -33,6 +34,11 @@ pub struct SessionEntry {
     /// Privileges the session was opened under (kept for the enforcer's
     /// out-of-scope check at commit time).
     pub privilege: PrivilegeMsp,
+    /// The telemetry context rooted when the session opened (parented
+    /// under the session's `open_session` span); exec/finish spans and
+    /// audit trace tags all hang off it. Disabled ⇒ the broker runs
+    /// untraced.
+    pub ctx: SpanContext,
     pub opened_at: Instant,
     pub last_used: Instant,
 }
@@ -159,6 +165,7 @@ mod tests {
             session,
             baseline,
             privilege,
+            ctx: SpanContext::disabled(),
             opened_at: now,
             last_used: now,
         }

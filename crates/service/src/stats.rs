@@ -1,80 +1,15 @@
 //! Service-level counters and latency histograms.
 //!
 //! Everything here is lock-free (`AtomicU64`) so the hot exec path never
-//! serializes on a stats mutex. Latencies go into log₂-bucketed
-//! histograms — coarse, but enough to read p50/p99 off a running broker
-//! without storing per-request samples.
+//! serializes on a stats mutex. Latencies go into the log₂-bucketed
+//! [`LatencyHistogram`] (now hosted in `heimdall-telemetry` so the whole
+//! pipeline shares one implementation) — coarse, but enough to read
+//! p50/p99 off a running broker without storing per-request samples.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
 
-const BUCKETS: usize = 64;
-
-/// Log₂-bucketed latency histogram over nanoseconds.
-///
-/// A sample of `n` nanoseconds lands in bucket `⌊log₂ n⌋`; quantiles are
-/// answered with the geometric midpoint of the covering bucket, so the
-/// error is bounded by ~√2 of the true value — fine for p50/p99 dashboards.
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    sum_ns: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> LatencyHistogram {
-        LatencyHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum_ns: AtomicU64::new(0),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    pub fn new() -> LatencyHistogram {
-        LatencyHistogram::default()
-    }
-
-    pub fn record(&self, latency: Duration) {
-        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
-        let bucket = (64 - ns.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
-    }
-
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Approximate quantile (`q` in 0..=1) in nanoseconds.
-    pub fn quantile_ns(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                // Geometric midpoint of [2^i, 2^(i+1)).
-                let lo = 1u64 << i;
-                return lo + (lo >> 1);
-            }
-        }
-        1u64 << (BUCKETS - 1)
-    }
-
-    pub fn mean_ns(&self) -> u64 {
-        self.sum_ns
-            .load(Ordering::Relaxed)
-            .checked_div(self.count())
-            .unwrap_or(0)
-    }
-}
+pub use heimdall_telemetry::LatencyHistogram;
 
 /// Counters for one broker instance.
 #[derive(Default)]
@@ -117,6 +52,7 @@ impl ServiceStats {
             exec_count: self.exec_latency.count(),
             finish_p50_ns: self.finish_latency.quantile_ns(0.50),
             finish_p99_ns: self.finish_latency.quantile_ns(0.99),
+            finish_count: self.finish_latency.count(),
         }
     }
 }
@@ -138,6 +74,7 @@ pub struct StatsSnapshot {
     pub exec_count: u64,
     pub finish_p50_ns: u64,
     pub finish_p99_ns: u64,
+    pub finish_count: u64,
 }
 
 fn fmt_ns(ns: u64) -> String {
@@ -169,12 +106,13 @@ impl fmt::Display for StatsSnapshot {
         )?;
         write!(
             f,
-            "latency:  exec p50 {} p99 {} (n={}), finish p50 {} p99 {}",
+            "latency:  exec p50 {} p99 {} (n={}), finish p50 {} p99 {} (n={})",
             fmt_ns(self.exec_p50_ns),
             fmt_ns(self.exec_p99_ns),
             self.exec_count,
             fmt_ns(self.finish_p50_ns),
             fmt_ns(self.finish_p99_ns),
+            self.finish_count,
         )
     }
 }
@@ -182,35 +120,10 @@ impl fmt::Display for StatsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
-    #[test]
-    fn histogram_quantiles_bracket_samples() {
-        let h = LatencyHistogram::new();
-        for _ in 0..90 {
-            h.record(Duration::from_micros(10));
-        }
-        for _ in 0..10 {
-            h.record(Duration::from_millis(5));
-        }
-        let p50 = h.quantile_ns(0.50);
-        assert!(
-            (4_000..32_000).contains(&p50),
-            "p50 {p50} should bracket 10µs"
-        );
-        let p99 = h.quantile_ns(0.99);
-        assert!(
-            (2_000_000..16_000_000).contains(&p99),
-            "p99 {p99} should bracket 5ms"
-        );
-        assert_eq!(h.count(), 100);
-    }
-
-    #[test]
-    fn empty_histogram_reports_zero() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.quantile_ns(0.99), 0);
-        assert_eq!(h.mean_ns(), 0);
-    }
+    // The histogram's own behavior is tested where it lives now, in
+    // `heimdall-telemetry::metrics`.
 
     #[test]
     fn snapshot_roundtrips_and_prints() {
@@ -218,9 +131,11 @@ mod tests {
         ServiceStats::bump(&s.sessions_opened);
         ServiceStats::bump(&s.commands_mediated);
         s.exec_latency.record(Duration::from_micros(3));
+        s.finish_latency.record(Duration::from_micros(7));
         let snap = s.snapshot();
         assert_eq!(snap.sessions_opened, 1);
         assert_eq!(snap.exec_count, 1);
+        assert_eq!(snap.finish_count, 1, "finish samples are surfaced too");
         let text = snap.to_string();
         assert!(text.contains("1 opened"));
         let json = serde_json::to_string(&snap).unwrap();

@@ -1,0 +1,387 @@
+//! heimdall-telemetry: end-to-end tracing, per-stage metrics, and a
+//! flight recorder for the twin/enforcer pipeline.
+//!
+//! The paper's argument is auditability — tamper-evident logs recording
+//! all the MSP's activities — but an audit chain alone cannot answer
+//! *where time went* or *what the system was doing right before an
+//! anomaly*. This crate adds that layer, written from scratch against the
+//! vendored-deps/offline constraint (no tokio-tracing):
+//!
+//! - [`trace`] — structured [`trace::Span`]s with parent/child links and
+//!   a [`trace::TraceId`] that is also stamped into the enforcer's audit
+//!   records, retained in a fixed-capacity [`trace::SpanRing`];
+//! - [`metrics`] — named counter/histogram series per pipeline stage and
+//!   per device, with a Prometheus-style text exposition;
+//! - [`recorder`] — the [`recorder::FlightRecorder`]: on anomaly
+//!   triggers (denial burst, commit-conflict burst, p99 regression) it
+//!   freezes the last N spans as JSON lines for post-mortem.
+//!
+//! The [`Telemetry`] facade owns all three. Instrumented crates carry a
+//! [`SpanContext`] — a cheap clone holding the `Arc<Telemetry>`, the
+//! trace id, and the parent span — and open [`ActiveSpan`]s from it;
+//! spans record themselves (ring + per-stage metrics) on drop.
+
+pub mod metrics;
+pub mod recorder;
+pub mod trace;
+
+pub use metrics::{Counter, LatencyHistogram, MetricsRegistry};
+pub use recorder::{AnomalyDump, AnomalyKind, FlightRecorder, RecorderConfig};
+pub use trace::{Span, SpanId, SpanRing, SpanStatus, Stage, TraceId};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The stage-duration summary series (labels: `stage`, optionally
+/// `device`).
+pub const STAGE_DURATION_METRIC: &str = "heimdall_stage_duration_ns";
+/// The stage-completion counter series (labels: `stage`, `status`).
+pub const STAGE_TOTAL_METRIC: &str = "heimdall_stage_total";
+
+/// Tunables for one [`Telemetry`] instance.
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// Completed spans retained for trace queries and dumps.
+    pub ring_capacity: usize,
+    pub recorder: RecorderConfig,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> TelemetryConfig {
+        TelemetryConfig {
+            ring_capacity: 8192,
+            recorder: RecorderConfig::default(),
+        }
+    }
+}
+
+/// Shared telemetry hub: span ring + metrics registry + flight recorder.
+pub struct Telemetry {
+    epoch: Instant,
+    next_id: AtomicU64,
+    ring: SpanRing,
+    registry: MetricsRegistry,
+    recorder: FlightRecorder,
+}
+
+/// splitmix64: decorrelates sequential ids into well-spread u64s.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Default for Telemetry {
+    fn default() -> Telemetry {
+        Telemetry::new(TelemetryConfig::default())
+    }
+}
+
+impl Telemetry {
+    pub fn new(config: TelemetryConfig) -> Telemetry {
+        Telemetry {
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
+            ring: SpanRing::new(config.ring_capacity),
+            registry: MetricsRegistry::new(),
+            recorder: FlightRecorder::new(config.recorder),
+        }
+    }
+
+    /// Nanoseconds since this instance was created.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// A fresh trace id (never [`TraceId::NONE`]).
+    pub fn new_trace(&self) -> TraceId {
+        loop {
+            let id = splitmix64(self.next_id.fetch_add(1, Ordering::Relaxed));
+            if id != 0 {
+                return TraceId(id);
+            }
+        }
+    }
+
+    fn new_span_id(&self) -> SpanId {
+        SpanId(self.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    pub fn ring(&self) -> &SpanRing {
+        &self.ring
+    }
+
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// The retained spans of `trace`, ordered by start time.
+    pub fn trace_spans(&self, trace: TraceId) -> Vec<Span> {
+        self.ring.for_trace(trace)
+    }
+
+    /// The metrics registry rendered as Prometheus text exposition.
+    pub fn render_prometheus(&self) -> String {
+        self.registry.render_prometheus()
+    }
+
+    /// Forwards a privilege denial to the flight recorder.
+    pub fn note_denial(&self) -> Option<AnomalyKind> {
+        self.recorder.note_denial(self.now_ns(), &self.ring)
+    }
+
+    /// Forwards a commit conflict to the flight recorder.
+    pub fn note_commit_conflict(&self) -> Option<AnomalyKind> {
+        self.recorder
+            .note_commit_conflict(self.now_ns(), &self.ring)
+    }
+
+    /// Checks the exec-latency ceiling against the stage histogram.
+    pub fn check_exec_p99(&self) -> Option<AnomalyKind> {
+        let h = self
+            .registry
+            .histogram(STAGE_DURATION_METRIC, &[("stage", Stage::Exec.as_str())]);
+        self.recorder
+            .note_exec_p99(h.quantile_ns(0.99), h.count(), self.now_ns(), &self.ring)
+    }
+}
+
+/// Where new spans attach: the telemetry hub (if any), the trace, and the
+/// parent span. Cheap to clone and pass down the stack; a disabled
+/// context makes every span a no-op so uninstrumented callers pay
+/// nothing.
+#[derive(Clone, Default)]
+pub struct SpanContext {
+    telemetry: Option<Arc<Telemetry>>,
+    trace: TraceId,
+    parent: Option<SpanId>,
+    actor: String,
+}
+
+impl SpanContext {
+    /// A context that records nothing.
+    pub fn disabled() -> SpanContext {
+        SpanContext::default()
+    }
+
+    /// Roots a new trace for `actor`.
+    pub fn root(telemetry: Arc<Telemetry>, trace: TraceId, actor: &str) -> SpanContext {
+        SpanContext {
+            telemetry: Some(telemetry),
+            trace,
+            parent: None,
+            actor: actor.to_string(),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.telemetry.is_some() && !self.trace.is_none()
+    }
+
+    pub fn trace(&self) -> TraceId {
+        self.trace
+    }
+
+    /// The trace id as audit records carry it: canonical hex, or empty
+    /// when tracing is disabled.
+    pub fn trace_tag(&self) -> String {
+        if self.is_enabled() {
+            self.trace.to_string()
+        } else {
+            String::new()
+        }
+    }
+
+    /// The same context re-parented under `span` (for handing to a
+    /// deeper pipeline stage).
+    pub fn under(&self, span: &ActiveSpan) -> SpanContext {
+        SpanContext {
+            telemetry: self.telemetry.clone(),
+            trace: self.trace,
+            parent: Some(span.id()),
+            actor: self.actor.clone(),
+        }
+    }
+
+    /// Opens a span for `stage`; `None` when the context is disabled.
+    pub fn span(&self, stage: Stage) -> Option<ActiveSpan> {
+        let telemetry = self.telemetry.as_ref()?;
+        if self.trace.is_none() {
+            return None;
+        }
+        Some(ActiveSpan {
+            started: Instant::now(),
+            span: Some(Span {
+                trace: self.trace,
+                id: telemetry.new_span_id(),
+                parent: self.parent,
+                stage,
+                actor: self.actor.clone(),
+                device: None,
+                start_ns: telemetry.now_ns(),
+                duration_ns: 0,
+                status: SpanStatus::Ok,
+                detail: String::new(),
+            }),
+            telemetry: Arc::clone(telemetry),
+        })
+    }
+}
+
+/// An open span. Records itself — into the ring, the per-stage duration
+/// summary, and the per-stage/status counter — when dropped, so early
+/// returns and panics still leave a record.
+pub struct ActiveSpan {
+    telemetry: Arc<Telemetry>,
+    /// Always `Some` until drop takes it.
+    span: Option<Span>,
+    started: Instant,
+}
+
+impl ActiveSpan {
+    fn inner(&mut self) -> &mut Span {
+        self.span.as_mut().expect("span live until drop")
+    }
+
+    pub fn id(&self) -> SpanId {
+        self.span.as_ref().expect("span live until drop").id
+    }
+
+    pub fn set_device(&mut self, device: &str) {
+        self.inner().device = Some(device.to_string());
+    }
+
+    pub fn set_status(&mut self, status: SpanStatus) {
+        self.inner().status = status;
+    }
+
+    pub fn set_detail(&mut self, detail: impl Into<String>) {
+        self.inner().detail = detail.into();
+    }
+
+    /// Explicit finish (drop does the same).
+    pub fn finish(self) {}
+}
+
+impl Drop for ActiveSpan {
+    fn drop(&mut self) {
+        let Some(mut span) = self.span.take() else {
+            return;
+        };
+        span.duration_ns = self.started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let stage = span.stage.as_str();
+        let reg = self.telemetry.registry();
+        reg.histogram(STAGE_DURATION_METRIC, &[("stage", stage)])
+            .record_ns(span.duration_ns);
+        if let Some(device) = &span.device {
+            reg.histogram(
+                STAGE_DURATION_METRIC,
+                &[("stage", stage), ("device", device)],
+            )
+            .record_ns(span.duration_ns);
+        }
+        let status = match span.status {
+            SpanStatus::Ok => "ok",
+            SpanStatus::Denied => "denied",
+            SpanStatus::Rejected => "rejected",
+            SpanStatus::Error => "error",
+        };
+        reg.counter(STAGE_TOTAL_METRIC, &[("stage", stage), ("status", status)])
+            .inc();
+        self.telemetry.ring().push(span);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let t = Telemetry::default();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let id = t.new_trace();
+            assert!(!id.is_none());
+            assert!(seen.insert(id), "duplicate trace id {id}");
+        }
+    }
+
+    #[test]
+    fn spans_record_on_drop_with_parent_links() {
+        let t = Arc::new(Telemetry::default());
+        let trace = t.new_trace();
+        let ctx = SpanContext::root(Arc::clone(&t), trace, "alice");
+        let root_id;
+        {
+            let root = ctx.span(Stage::OpenSession).expect("enabled");
+            root_id = root.id();
+            let child_ctx = ctx.under(&root);
+            let mut child = child_ctx.span(Stage::DerivePrivilege).expect("enabled");
+            child.set_detail("cache miss");
+            drop(child);
+            drop(root);
+        }
+        let spans = t.trace_spans(trace);
+        assert_eq!(spans.len(), 2);
+        let child = spans
+            .iter()
+            .find(|s| s.stage == Stage::DerivePrivilege)
+            .unwrap();
+        assert_eq!(child.parent, Some(root_id));
+        let root = spans
+            .iter()
+            .find(|s| s.stage == Stage::OpenSession)
+            .unwrap();
+        assert_eq!(root.parent, None);
+        // Metrics landed too.
+        let text = t.render_prometheus();
+        assert!(text.contains("heimdall_stage_duration_ns_count{stage=\"open_session\"} 1"));
+        assert!(text.contains("heimdall_stage_total{stage=\"derive_privilege\",status=\"ok\"} 1"));
+    }
+
+    #[test]
+    fn disabled_context_records_nothing() {
+        let ctx = SpanContext::disabled();
+        assert!(!ctx.is_enabled());
+        assert!(ctx.span(Stage::Exec).is_none());
+        assert_eq!(ctx.trace_tag(), "");
+    }
+
+    #[test]
+    fn device_label_creates_a_per_device_series() {
+        let t = Arc::new(Telemetry::default());
+        let ctx = SpanContext::root(Arc::clone(&t), t.new_trace(), "bob");
+        let mut s = ctx.span(Stage::Exec).unwrap();
+        s.set_device("fw1");
+        drop(s);
+        let text = t.render_prometheus();
+        assert!(
+            text.contains("heimdall_stage_duration_ns_count{device=\"fw1\",stage=\"exec\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn exec_ceiling_check_reaches_the_recorder() {
+        let t = Telemetry::new(TelemetryConfig {
+            recorder: RecorderConfig {
+                exec_p99_ceiling_ns: 1,
+                exec_warmup_samples: 1,
+                ..RecorderConfig::default()
+            },
+            ..TelemetryConfig::default()
+        });
+        t.registry()
+            .histogram(STAGE_DURATION_METRIC, &[("stage", "exec")])
+            .record_ns(1_000_000);
+        assert_eq!(t.check_exec_p99(), Some(AnomalyKind::LatencyRegression));
+        assert_eq!(t.recorder().dump_count(), 1);
+    }
+}

@@ -1,0 +1,322 @@
+//! Named metric series: lock-free counters and log₂ latency histograms,
+//! organized by (metric name, label set) and rendered in Prometheus text
+//! exposition format.
+//!
+//! The histogram started life in `heimdall-service::stats`; it lives here
+//! now so every crate in the pipeline can record stage latencies into the
+//! same registry. Recording is `AtomicU64` all the way down — the hot
+//! exec path never serializes on a stats mutex. The registry itself is an
+//! `RwLock<BTreeMap>` that is only write-locked the first time a series
+//! is created; steady-state lookups are read-locked clones of an `Arc`,
+//! and callers on hot paths should hold the `Arc` instead of re-looking
+//! it up.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const BUCKETS: usize = 64;
+
+/// Log₂-bucketed latency histogram over nanoseconds.
+///
+/// A sample of `n` nanoseconds lands in bucket `⌊log₂ n⌋`; quantiles are
+/// answered with the geometric midpoint of the covering bucket, so the
+/// error is bounded by ~√2 of the true value — fine for p50/p99
+/// dashboards. The running sum saturates instead of wrapping, so the
+/// mean stays meaningful on arbitrarily long soak runs.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    pub fn record(&self, latency: Duration) {
+        self.record_ns(latency.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    pub fn record_ns(&self, ns: u64) {
+        let bucket = (64 - ns.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Saturating accumulation: a soak run that would overflow u64
+        // pins the sum at MAX instead of wrapping the mean around.
+        let _ = self
+            .sum_ns
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(ns))
+            });
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile (`q` in 0..=1) in nanoseconds.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Geometric midpoint of [2^i, 2^(i+1)).
+                let lo = 1u64 << i;
+                return lo + (lo >> 1);
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns().checked_div(self.count()).unwrap_or(0)
+    }
+}
+
+/// A monotone counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A metric series identity: name plus sorted `(label, value)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SeriesKey {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+}
+
+impl SeriesKey {
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        SeriesKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// `{k1="v1",k2="v2"}`, or empty when there are no labels. `extra`
+    /// pairs are appended after the stored ones (for quantile labels).
+    fn label_block(&self, extra: &[(&str, &str)]) -> String {
+        if self.labels.is_empty() && extra.is_empty() {
+            return String::new();
+        }
+        let mut parts: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .collect();
+        parts.extend(extra.iter().map(|(k, v)| format!("{k}=\"{v}\"")));
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Get-or-create registry of named counters and histograms.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<SeriesKey, Arc<Counter>>>,
+    histograms: RwLock<BTreeMap<SeriesKey, Arc<LatencyHistogram>>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter for `(name, labels)`, created on first use. Hot paths
+    /// should hold the returned `Arc` rather than re-looking it up.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = SeriesKey::new(name, labels);
+        if let Some(c) = self.counters.read().get(&key) {
+            return Arc::clone(c);
+        }
+        Arc::clone(
+            self.counters
+                .write()
+                .entry(key)
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// The histogram for `(name, labels)`, created on first use.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<LatencyHistogram> {
+        let key = SeriesKey::new(name, labels);
+        if let Some(h) = self.histograms.read().get(&key) {
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            self.histograms
+                .write()
+                .entry(key)
+                .or_insert_with(|| Arc::new(LatencyHistogram::new())),
+        )
+    }
+
+    /// Prometheus-style text exposition: counters as `counter`,
+    /// histograms as `summary` (p50/p99 quantiles plus `_count`/`_sum`).
+    /// Series are emitted in deterministic (sorted) order.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name = String::new();
+        for (key, c) in self.counters.read().iter() {
+            if key.name != last_name {
+                let _ = writeln!(out, "# TYPE {} counter", key.name);
+                last_name = key.name.clone();
+            }
+            let _ = writeln!(out, "{}{} {}", key.name, key.label_block(&[]), c.get());
+        }
+        last_name.clear();
+        for (key, h) in self.histograms.read().iter() {
+            if key.name != last_name {
+                let _ = writeln!(out, "# TYPE {} summary", key.name);
+                last_name = key.name.clone();
+            }
+            for (q, qv) in [("0.5", h.quantile_ns(0.50)), ("0.99", h.quantile_ns(0.99))] {
+                let _ = writeln!(
+                    out,
+                    "{}{} {}",
+                    key.name,
+                    key.label_block(&[("quantile", q)]),
+                    qv
+                );
+            }
+            let block = key.label_block(&[]);
+            let _ = writeln!(out, "{}_count{} {}", key.name, block, h.count());
+            let _ = writeln!(out, "{}_sum{} {}", key.name, block, h.sum_ns());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(Duration::from_micros(10));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(5));
+        }
+        let p50 = h.quantile_ns(0.50);
+        assert!(
+            (4_000..32_000).contains(&p50),
+            "p50 {p50} should bracket 10µs"
+        );
+        let p99 = h.quantile_ns(0.99);
+        assert!(
+            (2_000_000..16_000_000).contains(&p99),
+            "p99 {p99} should bracket 5ms"
+        );
+        assert_eq!(h.count(), 100);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_ns(0.99), 0);
+        assert_eq!(h.mean_ns(), 0);
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let h = LatencyHistogram::new();
+        h.record_ns(u64::MAX - 10);
+        h.record_ns(u64::MAX - 10);
+        assert_eq!(h.sum_ns(), u64::MAX, "sum pins at MAX");
+        assert_eq!(h.count(), 2);
+        // The mean stays huge rather than wrapping toward zero.
+        assert!(h.mean_ns() > u64::MAX / 4);
+    }
+
+    #[test]
+    fn registry_deduplicates_series_by_name_and_labels() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("requests_total", &[("stage", "exec")]);
+        let b = reg.counter("requests_total", &[("stage", "exec")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2, "same series, same counter");
+        let c = reg.counter("requests_total", &[("stage", "verify")]);
+        c.inc();
+        assert_eq!(c.get(), 1);
+        // Label order does not matter.
+        let d = reg.counter("x", &[("a", "1"), ("b", "2")]);
+        let e = reg.counter("x", &[("b", "2"), ("a", "1")]);
+        d.inc();
+        assert_eq!(e.get(), 1);
+    }
+
+    #[test]
+    fn prometheus_rendering_includes_quantiles_and_counts() {
+        let reg = MetricsRegistry::new();
+        reg.counter("heimdall_commits_total", &[("status", "applied")])
+            .add(3);
+        let h = reg.histogram("heimdall_stage_duration_ns", &[("stage", "exec")]);
+        for _ in 0..10 {
+            h.record(Duration::from_micros(50));
+        }
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE heimdall_commits_total counter"));
+        assert!(text.contains("heimdall_commits_total{status=\"applied\"} 3"));
+        assert!(text.contains("# TYPE heimdall_stage_duration_ns summary"));
+        assert!(text.contains("heimdall_stage_duration_ns{stage=\"exec\",quantile=\"0.5\"}"));
+        assert!(text.contains("heimdall_stage_duration_ns{stage=\"exec\",quantile=\"0.99\"}"));
+        assert!(text.contains("heimdall_stage_duration_ns_count{stage=\"exec\"} 10"));
+        assert!(text.contains("heimdall_stage_duration_ns_sum{stage=\"exec\"}"));
+    }
+
+    #[test]
+    fn unlabeled_series_render_bare() {
+        let reg = MetricsRegistry::new();
+        reg.counter("up", &[]).inc();
+        assert!(reg.render_prometheus().contains("up 1\n"));
+    }
+}

@@ -1,0 +1,367 @@
+//! The flight recorder: on anomaly triggers it freezes the recent span
+//! history into a JSON-lines dump for post-mortem analysis.
+//!
+//! Three triggers, all tunable and individually disableable (threshold
+//! 0): a burst of privilege denials (possible probing), a burst of
+//! commit conflicts (pathological contention or a livelocked retry
+//! storm), and an exec-latency p99 regression past an absolute ceiling.
+//! Each dump captures the newest spans from the ring at trigger time —
+//! the "what was the system doing right before this" record the paper's
+//! audit chain alone cannot answer.
+
+use crate::trace::{Span, SpanRing};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// What tripped the recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AnomalyKind {
+    /// ≥ `denial_burst` privilege denials inside `denial_window`.
+    DenialBurst,
+    /// ≥ `conflict_burst` commit conflicts inside `conflict_window`.
+    CommitConflictBurst,
+    /// Exec p99 exceeded `exec_p99_ceiling_ns` (after warmup samples).
+    LatencyRegression,
+}
+
+impl AnomalyKind {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AnomalyKind::DenialBurst => "denial_burst",
+            AnomalyKind::CommitConflictBurst => "commit_conflict_burst",
+            AnomalyKind::LatencyRegression => "latency_regression",
+        }
+    }
+}
+
+/// Recorder tunables. A burst threshold of 0 disables that trigger; a
+/// ceiling of 0 disables the latency trigger.
+#[derive(Debug, Clone)]
+pub struct RecorderConfig {
+    /// Spans per dump (the newest N at trigger time).
+    pub dump_len: usize,
+    /// Dumps retained before the recorder stops capturing (bounded
+    /// memory under a sustained anomaly).
+    pub max_dumps: usize,
+    pub denial_burst: u32,
+    pub denial_window: Duration,
+    pub conflict_burst: u32,
+    pub conflict_window: Duration,
+    /// Absolute exec-p99 ceiling in nanoseconds.
+    pub exec_p99_ceiling_ns: u64,
+    /// Samples required before the latency trigger arms.
+    pub exec_warmup_samples: u64,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> RecorderConfig {
+        RecorderConfig {
+            dump_len: 256,
+            max_dumps: 8,
+            denial_burst: 8,
+            denial_window: Duration::from_secs(10),
+            conflict_burst: 128,
+            conflict_window: Duration::from_secs(5),
+            exec_p99_ceiling_ns: 250_000_000, // 250ms: mediated execs are µs-scale
+            exec_warmup_samples: 64,
+        }
+    }
+}
+
+/// One frozen anomaly record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnomalyDump {
+    pub kind: AnomalyKind,
+    /// Human-readable trigger description.
+    pub reason: String,
+    /// Nanoseconds since the telemetry epoch at trigger time.
+    pub at_ns: u64,
+    /// Spans captured, newest last.
+    pub span_count: usize,
+    /// The spans, one JSON object per line (the post-mortem artifact).
+    pub spans_jsonl: String,
+}
+
+/// Sliding-window event counter for burst triggers.
+struct BurstWindow {
+    events_ns: VecDeque<u64>,
+}
+
+impl BurstWindow {
+    fn new() -> BurstWindow {
+        BurstWindow {
+            events_ns: VecDeque::new(),
+        }
+    }
+
+    /// Records an event at `now_ns`; true when the window holds ≥
+    /// `burst` events. On trigger the window resets (debounce).
+    fn note(&mut self, now_ns: u64, burst: u32, window: Duration) -> bool {
+        if burst == 0 {
+            return false;
+        }
+        let horizon = now_ns.saturating_sub(window.as_nanos().min(u64::MAX as u128) as u64);
+        while self.events_ns.front().is_some_and(|&t| t < horizon) {
+            self.events_ns.pop_front();
+        }
+        self.events_ns.push_back(now_ns);
+        // Bound the deque even under absurd thresholds.
+        while self.events_ns.len() > (burst as usize).max(1) {
+            self.events_ns.pop_front();
+        }
+        if self.events_ns.len() >= burst as usize {
+            self.events_ns.clear();
+            return true;
+        }
+        false
+    }
+}
+
+/// The flight recorder itself. All entry points are cheap when nothing is
+/// anomalous: one short mutex on the relevant window.
+pub struct FlightRecorder {
+    config: RecorderConfig,
+    denials: Mutex<BurstWindow>,
+    conflicts: Mutex<BurstWindow>,
+    latency_tripped: Mutex<bool>,
+    dumps: Mutex<Vec<AnomalyDump>>,
+}
+
+impl FlightRecorder {
+    pub fn new(config: RecorderConfig) -> FlightRecorder {
+        FlightRecorder {
+            config,
+            denials: Mutex::new(BurstWindow::new()),
+            conflicts: Mutex::new(BurstWindow::new()),
+            latency_tripped: Mutex::new(false),
+            dumps: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn config(&self) -> &RecorderConfig {
+        &self.config
+    }
+
+    /// A privilege denial happened at `now_ns`.
+    pub fn note_denial(&self, now_ns: u64, ring: &SpanRing) -> Option<AnomalyKind> {
+        let fired =
+            self.denials
+                .lock()
+                .note(now_ns, self.config.denial_burst, self.config.denial_window);
+        if fired {
+            self.freeze(
+                AnomalyKind::DenialBurst,
+                format!(
+                    "{} privilege denials within {:?}",
+                    self.config.denial_burst, self.config.denial_window
+                ),
+                now_ns,
+                ring,
+            );
+            return Some(AnomalyKind::DenialBurst);
+        }
+        None
+    }
+
+    /// A commit conflict (stale rejection) happened at `now_ns`.
+    pub fn note_commit_conflict(&self, now_ns: u64, ring: &SpanRing) -> Option<AnomalyKind> {
+        let fired = self.conflicts.lock().note(
+            now_ns,
+            self.config.conflict_burst,
+            self.config.conflict_window,
+        );
+        if fired {
+            self.freeze(
+                AnomalyKind::CommitConflictBurst,
+                format!(
+                    "{} commit conflicts within {:?}",
+                    self.config.conflict_burst, self.config.conflict_window
+                ),
+                now_ns,
+                ring,
+            );
+            return Some(AnomalyKind::CommitConflictBurst);
+        }
+        None
+    }
+
+    /// Current exec p99 after a sample; trips once when it crosses the
+    /// ceiling (re-arms only if it later dips back under).
+    pub fn note_exec_p99(
+        &self,
+        p99_ns: u64,
+        samples: u64,
+        now_ns: u64,
+        ring: &SpanRing,
+    ) -> Option<AnomalyKind> {
+        if self.config.exec_p99_ceiling_ns == 0 || samples < self.config.exec_warmup_samples {
+            return None;
+        }
+        let mut tripped = self.latency_tripped.lock();
+        if p99_ns <= self.config.exec_p99_ceiling_ns {
+            *tripped = false;
+            return None;
+        }
+        if *tripped {
+            return None; // already dumped for this excursion
+        }
+        *tripped = true;
+        drop(tripped);
+        self.freeze(
+            AnomalyKind::LatencyRegression,
+            format!(
+                "exec p99 {}ns over ceiling {}ns (n={})",
+                p99_ns, self.config.exec_p99_ceiling_ns, samples
+            ),
+            now_ns,
+            ring,
+        );
+        Some(AnomalyKind::LatencyRegression)
+    }
+
+    /// Captures the newest spans into a dump (bounded by `max_dumps`).
+    fn freeze(&self, kind: AnomalyKind, reason: String, at_ns: u64, ring: &SpanRing) {
+        let mut dumps = self.dumps.lock();
+        if dumps.len() >= self.config.max_dumps {
+            return;
+        }
+        let spans: Vec<Span> = ring.tail(self.config.dump_len);
+        let mut jsonl = String::new();
+        for s in &spans {
+            jsonl.push_str(&s.to_json_line());
+            jsonl.push('\n');
+        }
+        dumps.push(AnomalyDump {
+            kind,
+            reason,
+            at_ns,
+            span_count: spans.len(),
+            spans_jsonl: jsonl,
+        });
+    }
+
+    /// All dumps captured so far.
+    pub fn dumps(&self) -> Vec<AnomalyDump> {
+        self.dumps.lock().clone()
+    }
+
+    pub fn dump_count(&self) -> usize {
+        self.dumps.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{SpanId, SpanStatus, Stage, TraceId};
+
+    fn ring_with(n: u64) -> SpanRing {
+        let ring = SpanRing::new(64);
+        for i in 0..n {
+            ring.push(Span {
+                trace: TraceId(1),
+                id: SpanId(i),
+                parent: None,
+                stage: Stage::Exec,
+                actor: "alice".into(),
+                device: Some("fw1".into()),
+                start_ns: i,
+                duration_ns: 10,
+                status: SpanStatus::Denied,
+                detail: String::new(),
+            });
+        }
+        ring
+    }
+
+    #[test]
+    fn denial_burst_freezes_a_jsonl_dump() {
+        let rec = FlightRecorder::new(RecorderConfig {
+            denial_burst: 3,
+            dump_len: 8,
+            ..RecorderConfig::default()
+        });
+        let ring = ring_with(20);
+        assert_eq!(rec.note_denial(1, &ring), None);
+        assert_eq!(rec.note_denial(2, &ring), None);
+        assert_eq!(rec.note_denial(3, &ring), Some(AnomalyKind::DenialBurst));
+        let dumps = rec.dumps();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].span_count, 8);
+        // Every line of the dump parses back into a span.
+        for line in dumps[0].spans_jsonl.lines() {
+            let s: Span = serde_json::from_str(line).expect("dump line parses");
+            assert_eq!(s.stage, Stage::Exec);
+        }
+    }
+
+    #[test]
+    fn burst_window_resets_after_trigger_and_expires_old_events() {
+        let rec = FlightRecorder::new(RecorderConfig {
+            denial_burst: 2,
+            denial_window: Duration::from_nanos(100),
+            max_dumps: 10,
+            ..RecorderConfig::default()
+        });
+        let ring = ring_with(1);
+        assert!(rec.note_denial(0, &ring).is_none());
+        assert!(rec.note_denial(1, &ring).is_some(), "burst of 2 trips");
+        // Window cleared on trigger: next event starts fresh.
+        assert!(rec.note_denial(2, &ring).is_none());
+        // Events past the window never combine.
+        assert!(rec.note_denial(500, &ring).is_none());
+        assert!(rec.note_denial(1000, &ring).is_none());
+    }
+
+    #[test]
+    fn zero_thresholds_disable_triggers() {
+        let rec = FlightRecorder::new(RecorderConfig {
+            denial_burst: 0,
+            conflict_burst: 0,
+            exec_p99_ceiling_ns: 0,
+            ..RecorderConfig::default()
+        });
+        let ring = ring_with(4);
+        for t in 0..100 {
+            assert!(rec.note_denial(t, &ring).is_none());
+            assert!(rec.note_commit_conflict(t, &ring).is_none());
+            assert!(rec.note_exec_p99(u64::MAX, 1_000_000, t, &ring).is_none());
+        }
+        assert_eq!(rec.dump_count(), 0);
+    }
+
+    #[test]
+    fn latency_trigger_needs_warmup_and_debounces() {
+        let rec = FlightRecorder::new(RecorderConfig {
+            exec_p99_ceiling_ns: 100,
+            exec_warmup_samples: 10,
+            ..RecorderConfig::default()
+        });
+        let ring = ring_with(4);
+        assert!(rec.note_exec_p99(1000, 5, 1, &ring).is_none(), "warming up");
+        assert_eq!(
+            rec.note_exec_p99(1000, 20, 2, &ring),
+            Some(AnomalyKind::LatencyRegression)
+        );
+        assert!(rec.note_exec_p99(2000, 21, 3, &ring).is_none(), "debounced");
+        // Recovery re-arms the trigger.
+        assert!(rec.note_exec_p99(50, 22, 4, &ring).is_none());
+        assert!(rec.note_exec_p99(500, 23, 5, &ring).is_some());
+    }
+
+    #[test]
+    fn dumps_are_bounded() {
+        let rec = FlightRecorder::new(RecorderConfig {
+            denial_burst: 1,
+            max_dumps: 2,
+            ..RecorderConfig::default()
+        });
+        let ring = ring_with(4);
+        for t in 0..10 {
+            rec.note_denial(t, &ring);
+        }
+        assert_eq!(rec.dump_count(), 2);
+    }
+}

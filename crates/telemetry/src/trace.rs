@@ -1,0 +1,330 @@
+//! Structured spans and the fixed-capacity span ring.
+//!
+//! A [`Span`] is one timed stage of the ticket pipeline
+//! (`open_session → derive_privilege → exec(n) → verify → schedule →
+//! commit`), linked to its parent by [`SpanId`] and to its request by
+//! [`TraceId`]. Completed spans land in a [`SpanRing`]: a fixed-capacity
+//! MPSC ring that keeps the last N spans for trace queries and flight
+//! recorder dumps. The hot-path cost of publishing a span is one
+//! `fetch_add` to claim a slot plus one touch of that slot's micro-lock —
+//! producers only ever contend on a slot when they lap the whole ring.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifies every span of one request's journey through the pipeline.
+///
+/// The same id is stamped into the enforcer's audit records (as
+/// lowercase hex, see `AuditEntry::trace`), so audit queries are joinable
+/// with span trees.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// The null trace: tracing disabled / no trace attached.
+    pub const NONE: TraceId = TraceId(0);
+
+    pub fn is_none(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Parses the canonical 16-hex-digit form (what [`fmt::Display`]
+    /// produces and what audit records carry).
+    pub fn parse(s: &str) -> Option<TraceId> {
+        if s.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(TraceId)
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Identifies one span within a trace.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct SpanId(pub u64);
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:x}", self.0)
+    }
+}
+
+/// The pipeline stage a span measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Stage {
+    /// Ticket intake: twin sliced, session hosted (the trace root).
+    OpenSession,
+    /// Shortest-path privilege derivation (cache misses only).
+    DerivePrivilege,
+    /// One mediated console line, broker-side (queueing + registry).
+    Exec,
+    /// The twin-side share of an exec: mediation + emulation.
+    Console,
+    /// Session close: diff extraction through commit (parent of
+    /// verify/schedule/commit).
+    Finish,
+    /// Enforcer verification (privilege compliance + policy safety).
+    Verify,
+    /// Consistent-update scheduling of an accepted change-set.
+    Schedule,
+    /// Guarded installation into shared production.
+    Commit,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 8] = [
+        Stage::OpenSession,
+        Stage::DerivePrivilege,
+        Stage::Exec,
+        Stage::Console,
+        Stage::Finish,
+        Stage::Verify,
+        Stage::Schedule,
+        Stage::Commit,
+    ];
+
+    /// The metric label for this stage.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Stage::OpenSession => "open_session",
+            Stage::DerivePrivilege => "derive_privilege",
+            Stage::Exec => "exec",
+            Stage::Console => "console",
+            Stage::Finish => "finish",
+            Stage::Verify => "verify",
+            Stage::Schedule => "schedule",
+            Stage::Commit => "commit",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How a span ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpanStatus {
+    Ok,
+    /// The reference monitor (or rate limiter) refused the operation.
+    Denied,
+    /// The enforcer rejected the change-set (any rejection verdict).
+    Rejected,
+    /// Anything else that failed.
+    Error,
+}
+
+/// One completed, timed pipeline stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    pub trace: TraceId,
+    pub id: SpanId,
+    /// `None` for the trace root (`open_session`).
+    pub parent: Option<SpanId>,
+    pub stage: Stage,
+    /// The technician (or subsystem) the span belongs to.
+    pub actor: String,
+    /// Device label, when the stage targets one device.
+    pub device: Option<String>,
+    /// Start, in nanoseconds since the telemetry epoch.
+    pub start_ns: u64,
+    pub duration_ns: u64,
+    pub status: SpanStatus,
+    /// Free-form context (verdict, command summary, …).
+    pub detail: String,
+}
+
+impl Span {
+    /// One JSON line (the flight-recorder dump format).
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(self).expect("spans serialize")
+    }
+}
+
+struct Slot {
+    span: Mutex<Option<Span>>,
+}
+
+/// Fixed-capacity ring of the most recent completed spans.
+///
+/// Many producers, snapshot readers. A push claims a slot with one
+/// `fetch_add` and publishes under that slot's micro-lock; the lock is
+/// only ever contended when producers lap the entire ring, so the hot
+/// path never serializes on a global lock. Old spans are overwritten —
+/// this is a flight recorder's retention model, not a durable store.
+pub struct SpanRing {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+}
+
+impl SpanRing {
+    /// `capacity` is rounded up to at least 16.
+    pub fn new(capacity: usize) -> SpanRing {
+        let n = capacity.max(16);
+        SpanRing {
+            slots: (0..n)
+                .map(|_| Slot {
+                    span: Mutex::new(None),
+                })
+                .collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total spans ever pushed (not the retained count).
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Publishes a completed span, overwriting the oldest if full.
+    pub fn push(&self, span: Span) {
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
+        *slot.span.lock() = Some(span);
+    }
+
+    /// Copies out every retained span, oldest first (approximate order
+    /// while producers are live; exact when quiescent).
+    pub fn snapshot(&self) -> Vec<Span> {
+        let n = self.slots.len() as u64;
+        let head = self.head.load(Ordering::Relaxed);
+        let mut out = Vec::new();
+        // Walk from the oldest retained slot toward the newest.
+        for off in 0..n {
+            let idx = ((head + off) % n) as usize;
+            if let Some(span) = self.slots[idx].span.lock().clone() {
+                out.push(span);
+            }
+        }
+        out
+    }
+
+    /// The retained spans of one trace, ordered by start time.
+    pub fn for_trace(&self, trace: TraceId) -> Vec<Span> {
+        let mut spans: Vec<Span> = self
+            .snapshot()
+            .into_iter()
+            .filter(|s| s.trace == trace)
+            .collect();
+        spans.sort_by_key(|s| (s.start_ns, s.id.0));
+        spans
+    }
+
+    /// The newest `n` retained spans, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<Span> {
+        let mut all = self.snapshot();
+        let skip = all.len().saturating_sub(n);
+        all.drain(..skip);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace: u64, id: u64, stage: Stage) -> Span {
+        Span {
+            trace: TraceId(trace),
+            id: SpanId(id),
+            parent: None,
+            stage,
+            actor: "alice".into(),
+            device: None,
+            start_ns: id * 10,
+            duration_ns: 5,
+            status: SpanStatus::Ok,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn trace_id_round_trips_through_hex() {
+        let t = TraceId(0xdead_beef_0042_1337);
+        assert_eq!(TraceId::parse(&t.to_string()), Some(t));
+        assert_eq!(TraceId::parse("xyz"), None);
+        assert_eq!(TraceId::parse(""), None);
+        assert!(TraceId::NONE.is_none());
+        assert!(!t.is_none());
+    }
+
+    #[test]
+    fn ring_retains_last_capacity_spans() {
+        let ring = SpanRing::new(16);
+        for i in 0..40u64 {
+            ring.push(span(1, i, Stage::Exec));
+        }
+        let got = ring.snapshot();
+        assert_eq!(got.len(), 16);
+        assert_eq!(ring.pushed(), 40);
+        // Oldest retained is 24, newest 39, oldest-first.
+        assert_eq!(got.first().unwrap().id, SpanId(24));
+        assert_eq!(got.last().unwrap().id, SpanId(39));
+    }
+
+    #[test]
+    fn for_trace_filters_and_orders() {
+        let ring = SpanRing::new(64);
+        ring.push(span(2, 9, Stage::Commit));
+        ring.push(span(1, 3, Stage::Exec));
+        ring.push(span(1, 1, Stage::OpenSession));
+        let t1 = ring.for_trace(TraceId(1));
+        assert_eq!(t1.len(), 2);
+        assert_eq!(t1[0].stage, Stage::OpenSession, "start-time order");
+        assert!(ring.for_trace(TraceId(7)).is_empty());
+    }
+
+    #[test]
+    fn concurrent_pushes_never_lose_the_newest() {
+        use std::sync::Arc;
+        let ring = Arc::new(SpanRing::new(128));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        ring.push(span(t, i, Stage::Exec));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ring.pushed(), 4000);
+        assert_eq!(ring.snapshot().len(), 128, "ring stays at capacity");
+    }
+
+    #[test]
+    fn span_serializes_to_one_json_line() {
+        let s = span(1, 2, Stage::Verify);
+        let line = s.to_json_line();
+        assert!(!line.contains('\n'));
+        let back: Span = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn every_stage_has_a_unique_label() {
+        let labels: std::collections::BTreeSet<_> = Stage::ALL.iter().map(|s| s.as_str()).collect();
+        assert_eq!(labels.len(), Stage::ALL.len());
+    }
+}

@@ -14,6 +14,7 @@ use crate::slice::TwinSpec;
 use heimdall_netmodel::diff::{diff_networks, ConfigDiff};
 use heimdall_netmodel::topology::Network;
 use heimdall_privilege::model::PrivilegeMsp;
+use heimdall_telemetry::{SpanContext, SpanStatus, Stage};
 
 /// Why a session command failed.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +44,7 @@ pub struct TwinSession {
     emu: EmulatedNetwork,
     monitor: ReferenceMonitor,
     commands_run: usize,
+    tracing: SpanContext,
 }
 
 impl TwinSession {
@@ -53,20 +55,53 @@ impl TwinSession {
             emu: EmulatedNetwork::new(twin.net),
             monitor: ReferenceMonitor::new(technician, spec),
             commands_run: 0,
+            tracing: SpanContext::disabled(),
         }
+    }
+
+    /// Attaches a telemetry context: every subsequent mediated console
+    /// line records a `console` span (child of the context's span) with
+    /// the device label and the monitor's allow/deny decision.
+    pub fn set_tracing(&mut self, ctx: SpanContext) {
+        self.tracing = ctx;
     }
 
     /// Executes one mediated console line on `device`.
     pub fn exec(&mut self, device: &str, line: &str) -> Result<String, SessionError> {
-        let cmd = Command::parse(line).map_err(SessionError::Command)?;
+        let mut span = self.tracing.span(Stage::Console);
+        if let Some(s) = span.as_mut() {
+            s.set_device(device);
+        }
+        let cmd = match Command::parse(line) {
+            Ok(cmd) => cmd,
+            Err(e) => {
+                if let Some(s) = span.as_mut() {
+                    s.set_status(SpanStatus::Error);
+                    s.set_detail("unparseable command");
+                }
+                return Err(SessionError::Command(e));
+            }
+        };
         let decision = self.monitor.mediate(device, line, &cmd);
         if !decision.is_allowed() {
+            if let Some(s) = span.as_mut() {
+                s.set_status(SpanStatus::Denied);
+                s.set_detail(format!("denied: {line}"));
+            }
             return Err(SessionError::PermissionDenied {
                 command: line.to_string(),
             });
         }
         self.commands_run += 1;
-        execute(&mut self.emu, device, &cmd).map_err(SessionError::Command)
+        match execute(&mut self.emu, device, &cmd) {
+            Ok(out) => Ok(out),
+            Err(e) => {
+                if let Some(s) = span.as_mut() {
+                    s.set_status(SpanStatus::Error);
+                }
+                Err(SessionError::Command(e))
+            }
+        }
     }
 
     /// The topology view the technician sees.

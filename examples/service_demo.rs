@@ -7,7 +7,12 @@
 //! unique static route on fw1 — maximal base-fingerprint contention. The
 //! demo asserts the broker's contract end to end: every commit lands
 //! exactly once, the ACL repair heals the mined policies, and the shared
-//! audit chain verifies. Exit code 0 means all of that held.
+//! audit chain verifies. It then walks the observability surface: the
+//! Prometheus exposition, an audit-record trace id resolved back to its
+//! span tree via `TraceQuery`, and a flight-recorder drill on a second
+//! broker. On the main broker no anomaly may fire; if one does, the demo
+//! prints a `FLIGHT-RECORDER DUMP` line (which CI greps for) and exits
+//! non-zero. Exit code 0 means all of that held.
 
 use heimdall::netmodel::acl::AclAction;
 use heimdall::netmodel::gen::enterprise_network;
@@ -17,6 +22,7 @@ use heimdall::routing::converge;
 use heimdall::service::{
     read_frame, write_frame, Broker, BrokerConfig, PipeEnd, Request, Response, SessionService,
 };
+use heimdall::telemetry::{RecorderConfig, TelemetryConfig};
 use heimdall::verify::checker::check_policies;
 use heimdall::verify::mine::{mine_policies, MinerInput};
 use std::sync::Arc;
@@ -89,6 +95,15 @@ fn main() {
         // 33 sessions all editing fw1: stale retries are expected, lost
         // commits are not.
         max_commit_retries: 64,
+        telemetry: TelemetryConfig {
+            recorder: RecorderConfig {
+                // Stale retries are this workload's design, not an
+                // anomaly — leave only the denial and p99 triggers armed.
+                conflict_burst: 0,
+                ..RecorderConfig::default()
+            },
+            ..TelemetryConfig::default()
+        },
         ..BrokerConfig::default()
     };
     let service = Arc::new(SessionService::new(
@@ -198,7 +213,78 @@ fn main() {
         panic!("expected Audit");
     };
     println!("audit entries: {}", entries.len());
+
+    // Observability: the Prometheus exposition over the same wire.
+    let Response::Telemetry { text } = send(&mut conn, &Request::Telemetry) else {
+        panic!("expected Telemetry");
+    };
+    println!("\n--- telemetry exposition (commit stage) ---");
+    for line in text
+        .lines()
+        .filter(|l| l.contains("stage=\"commit\"") && !l.contains("device="))
+    {
+        println!("{line}");
+    }
+    assert!(
+        text.contains("stage=\"exec\"") && text.contains("heimdall_commits_applied_total"),
+        "exposition must carry per-stage series and service counters"
+    );
+
+    // Pick one applied commit's audit record and walk its trace back to
+    // the full span tree — the ticket-to-commit join the paper asks for.
+    let Response::Audit { entries: applied } = send(
+        &mut conn,
+        &Request::AuditQuery {
+            kind: Some(heimdall::enforcer::audit::AuditKind::ChangeApplied),
+            actor: None,
+        },
+    ) else {
+        panic!("expected Audit");
+    };
+    let sample = applied.first().expect("at least one applied commit");
+    assert_eq!(sample.trace.len(), 16, "applied commit must carry a trace");
+    let Response::Trace { spans, .. } = send(
+        &mut conn,
+        &Request::TraceQuery {
+            trace: sample.trace.clone(),
+        },
+    ) else {
+        panic!("expected Trace");
+    };
+    println!(
+        "\ntrace {} ({}, seq {}): {} spans",
+        sample.trace,
+        sample.actor,
+        sample.seq,
+        spans.len()
+    );
+    for s in &spans {
+        println!(
+            "  {:<16} {:>9}ns  {:?}  {}",
+            s.stage.as_str(),
+            s.duration_ns,
+            s.status,
+            s.detail
+        );
+    }
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.stage == heimdall::telemetry::Stage::Commit),
+        "trace must reach the commit stage"
+    );
     drop(conn);
+
+    // The main broker saw expected contention only: any frozen dump here
+    // is a real regression. CI greps for the marker below.
+    let dumps = service.broker().telemetry().recorder().dumps();
+    for dump in &dumps {
+        println!(
+            "FLIGHT-RECORDER DUMP: {:?} at {}ns, {} spans\n{}",
+            dump.kind, dump.at_ns, dump.span_count, dump.spans_jsonl
+        );
+    }
+    assert!(dumps.is_empty(), "no anomaly may fire on the healthy run");
 
     // Out-of-band ground truth: production healed, every route landed
     // exactly once, chain verifies.
@@ -225,6 +311,53 @@ fn main() {
         "mined policies must hold on healed production"
     );
     assert!(service.broker().verify_audit(), "audit chain must verify");
+
+    // Flight-recorder drill, on a broker of its own: a probing session
+    // hammers a destructive command until the denial-burst trigger
+    // freezes the ring. Expected here — the drill wording deliberately
+    // differs from the regression marker above.
+    let drill_net = enterprise_network();
+    let drill_cp = converge(&drill_net.net);
+    let drill_policies = mine_policies(
+        &drill_net.net,
+        &drill_cp,
+        &MinerInput::from_meta(&drill_net.meta),
+    );
+    let drill = Broker::new(
+        drill_net.net,
+        drill_policies,
+        BrokerConfig {
+            telemetry: TelemetryConfig {
+                recorder: RecorderConfig {
+                    denial_burst: 4,
+                    ..RecorderConfig::default()
+                },
+                ..TelemetryConfig::default()
+            },
+            ..BrokerConfig::default()
+        },
+    );
+    let (probe, _) = drill
+        .open_session(
+            "probe",
+            Task {
+                kind: TaskKind::AccessControl,
+                affected: vec!["h4".to_string(), "srv1".to_string()],
+            },
+        )
+        .expect("open drill session");
+    for _ in 0..4 {
+        assert!(
+            drill.exec(probe, "fw1", "write erase").is_err(),
+            "destructive command must be denied"
+        );
+    }
+    let drill_dumps = drill.telemetry().recorder().dumps();
+    assert_eq!(drill_dumps.len(), 1, "denial burst must freeze one dump");
+    println!(
+        "\nrecorder drill: {:?} froze {} spans ({})",
+        drill_dumps[0].kind, drill_dumps[0].span_count, drill_dumps[0].reason
+    );
 
     println!("\nall commits landed exactly once; policies hold; audit chain verified");
 }

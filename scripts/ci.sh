@@ -16,4 +16,24 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
+echo "==> cargo doc (deny warnings)"
+# Gate our own crates only; the vendored stand-ins document separately.
+doc_pkgs=()
+for crate in crates/*/Cargo.toml; do
+    doc_pkgs+=(-p "$(sed -n 's/^name = "\(.*\)"/\1/p' "$crate" | head -1)")
+done
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q "${doc_pkgs[@]}"
+
+echo "==> service demo (headless, flight recorder must stay quiet)"
+demo_out="$(cargo run --release --example service_demo 2>&1)" || {
+    echo "$demo_out"
+    echo "service_demo exited non-zero"
+    exit 1
+}
+if grep -q "FLIGHT-RECORDER DUMP" <<<"$demo_out"; then
+    echo "$demo_out"
+    echo "service_demo tripped the flight recorder on a healthy run"
+    exit 1
+fi
+
 echo "CI green."

@@ -11,6 +11,7 @@ use heimdall::service::{
     read_frame, write_frame, AuditEntryView, ErrorKind, FrameError, Request, Response, SessionId,
     MAX_FRAME,
 };
+use heimdall::telemetry::{Span, SpanId, SpanStatus, Stage, TraceId};
 use proptest::prelude::*;
 
 // ------------------------------------------------------------ strategies
@@ -95,17 +96,84 @@ fn request_s() -> BoxedStrategy<Request> {
         (option::of(audit_kind_s()), option::of(name_s()))
             .prop_map(|(kind, actor)| Request::AuditQuery { kind, actor }),
         Just(Request::Stats),
+        Just(Request::Telemetry),
+        trace_tag_s().prop_map(|trace| Request::TraceQuery { trace }),
     ]
     .boxed()
 }
 
+/// Canonical 16-hex trace tags plus the empty (untraced) tag.
+fn trace_tag_s() -> BoxedStrategy<String> {
+    prop_oneof![
+        any::<u64>().prop_map(|id| format!("{id:016x}")),
+        Just(String::new()),
+    ]
+    .boxed()
+}
+
+fn stage_s() -> BoxedStrategy<Stage> {
+    prop_oneof![
+        Just(Stage::OpenSession),
+        Just(Stage::DerivePrivilege),
+        Just(Stage::Exec),
+        Just(Stage::Console),
+        Just(Stage::Finish),
+        Just(Stage::Verify),
+        Just(Stage::Schedule),
+        Just(Stage::Commit),
+    ]
+    .boxed()
+}
+
+fn span_status_s() -> BoxedStrategy<SpanStatus> {
+    prop_oneof![
+        Just(SpanStatus::Ok),
+        Just(SpanStatus::Denied),
+        Just(SpanStatus::Rejected),
+        Just(SpanStatus::Error),
+    ]
+    .boxed()
+}
+
+fn span_s() -> BoxedStrategy<Span> {
+    (
+        (any::<u64>(), any::<u64>(), option::of(any::<u64>())),
+        stage_s(),
+        name_s(),
+        option::of(name_s()),
+        (any::<u64>(), any::<u64>()),
+        span_status_s(),
+        line_s(),
+    )
+        .prop_map(|(ids, stage, actor, device, times, status, detail)| Span {
+            trace: TraceId(ids.0),
+            id: SpanId(ids.1),
+            parent: ids.2.map(SpanId),
+            stage,
+            actor,
+            device,
+            start_ns: times.0,
+            duration_ns: times.1,
+            status,
+            detail,
+        })
+        .boxed()
+}
+
 fn audit_entry_s() -> BoxedStrategy<AuditEntryView> {
-    (any::<u64>(), audit_kind_s(), name_s(), line_s())
-        .prop_map(|(seq, kind, actor, detail)| AuditEntryView {
+    (
+        any::<u64>(),
+        audit_kind_s(),
+        name_s(),
+        line_s(),
+        trace_tag_s(),
+    )
+        .prop_map(|(seq, kind, actor, detail, trace)| AuditEntryView {
             seq,
             kind,
             actor,
             detail,
+            trace,
         })
         .boxed()
 }
@@ -122,6 +190,7 @@ fn snapshot_s() -> BoxedStrategy<StatsSnapshot> {
             any::<u64>(),
         ),
         (
+            any::<u64>(),
             any::<u64>(),
             any::<u64>(),
             any::<u64>(),
@@ -146,6 +215,7 @@ fn snapshot_s() -> BoxedStrategy<StatsSnapshot> {
             exec_count: b.4,
             finish_p50_ns: b.5,
             finish_p99_ns: b.6,
+            finish_count: b.7,
         })
         .boxed()
 }
@@ -175,6 +245,9 @@ fn response_s() -> BoxedStrategy<Response> {
         ),
         collection::vec(audit_entry_s(), 0..4).prop_map(|entries| Response::Audit { entries }),
         snapshot_s().prop_map(|snapshot| Response::Stats { snapshot }),
+        line_s().prop_map(|text| Response::Telemetry { text }),
+        (trace_tag_s(), collection::vec(span_s(), 0..4))
+            .prop_map(|(trace, spans)| Response::Trace { trace, spans }),
         (error_kind_s(), line_s()).prop_map(|(kind, message)| Response::Error { kind, message }),
     ]
     .boxed()

@@ -150,6 +150,99 @@ fn stale_commit_beyond_retry_budget_is_rejected_not_applied() {
 }
 
 #[test]
+fn idle_eviction_races_open_and_exec_without_double_counting() {
+    use std::time::Duration;
+
+    const IDLE: usize = 6;
+    const BUSY: usize = 4;
+    let (production, policies) = healthy_enterprise();
+    let config = BrokerConfig {
+        idle_ttl: Duration::from_millis(60),
+        ..BrokerConfig::default()
+    };
+    let broker = Arc::new(Broker::new(production, policies, config));
+    let ticket = || Task {
+        kind: TaskKind::Routing,
+        affected: vec!["h4".to_string(), "srv1".to_string()],
+    };
+
+    // The idle cohort opens twins and walks away.
+    let abandoned: Vec<_> = (0..IDLE)
+        .map(|i| {
+            broker
+                .open_session(&format!("idle{i}"), ticket())
+                .unwrap()
+                .0
+        })
+        .collect();
+
+    // The busy cohort keeps exec-ing (refreshing last_used) while two
+    // evictor threads sweep concurrently with the traffic.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let busy_handles: Vec<_> = (0..BUSY)
+        .map(|i| {
+            let broker = Arc::clone(&broker);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let (id, _) = broker.open_session(&format!("busy{i}"), ticket()).unwrap();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    broker.exec(id, "fw1", "show running-config").unwrap();
+                    thread::sleep(Duration::from_millis(10));
+                }
+                id
+            })
+        })
+        .collect();
+    let evictors: Vec<_> = (0..2)
+        .map(|_| {
+            let broker = Arc::clone(&broker);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut total = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    total += broker.evict_idle();
+                    thread::sleep(Duration::from_millis(15));
+                }
+                total
+            })
+        })
+        .collect();
+
+    thread::sleep(Duration::from_millis(250));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let busy_ids: Vec<_> = busy_handles
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .collect();
+    let evicted_total: usize = evictors.into_iter().map(|h| h.join().unwrap()).sum();
+
+    // Each abandoned session was evicted exactly once — two racing
+    // sweepers never double-count a victim — and its twin slice is gone.
+    assert_eq!(evicted_total, IDLE);
+    assert_eq!(broker.stats().sessions_evicted, IDLE as u64);
+    for id in abandoned {
+        assert!(
+            broker.exec(id, "fw1", "show running-config").is_err(),
+            "evicted session {id} must not be reachable"
+        );
+    }
+    // The busy cohort survived every sweep.
+    assert_eq!(broker.live_sessions(), BUSY);
+    for id in busy_ids {
+        broker.exec(id, "fw1", "show running-config").unwrap();
+    }
+    // Every eviction left exactly one audited record.
+    let session_entries =
+        broker.audit_query(Some(heimdall::enforcer::audit::AuditKind::Session), None);
+    let eviction_records = session_entries
+        .iter()
+        .filter(|e| e.detail.contains("evicted"))
+        .count();
+    assert_eq!(eviction_records, IDLE);
+    assert!(broker.verify_audit());
+}
+
+#[test]
 fn racing_sessions_over_framed_connections() {
     const N: usize = 8;
     let (production, policies) = healthy_enterprise();

@@ -1,0 +1,282 @@
+//! End-to-end telemetry: many technicians work through the framed
+//! protocol, and every applied commit's audit record carries a trace id
+//! that resolves — over the same protocol — to a complete span tree
+//! (open_session → exec → finish → verify/schedule/commit), while the
+//! Prometheus exposition reports per-stage latency series with non-zero
+//! counts.
+
+use heimdall::netmodel::gen::enterprise_network;
+use heimdall::netmodel::topology::Network;
+use heimdall::privilege::derive::{Task, TaskKind};
+use heimdall::routing::converge;
+use heimdall::service::{
+    read_frame, write_frame, Broker, BrokerConfig, Request, Response, SessionService,
+};
+use heimdall::telemetry::{
+    AnomalyKind, RecorderConfig, Span, SpanId, SpanStatus, Stage, TelemetryConfig, TraceId,
+};
+use heimdall::verify::mine::{mine_policies, MinerInput};
+use heimdall::verify::policy::PolicySet;
+use heimdall_enforcer::audit::AuditKind;
+use std::collections::{BTreeSet, HashSet};
+use std::sync::Arc;
+use std::thread;
+
+fn healthy_enterprise() -> (Network, PolicySet) {
+    let g = enterprise_network();
+    let cp = converge(&g.net);
+    let policies = mine_policies(&g.net, &cp, &MinerInput::from_meta(&g.meta));
+    (g.net, policies)
+}
+
+/// The spans of one trace, indexed for tree assertions.
+struct Tree {
+    spans: Vec<Span>,
+}
+
+impl Tree {
+    fn ids(&self) -> HashSet<SpanId> {
+        self.spans.iter().map(|s| s.id).collect()
+    }
+
+    fn of_stage(&self, stage: Stage) -> Vec<&Span> {
+        self.spans.iter().filter(|s| s.stage == stage).collect()
+    }
+
+    fn single(&self, stage: Stage) -> &Span {
+        let found = self.of_stage(stage);
+        assert_eq!(found.len(), 1, "expected exactly one {stage:?} span");
+        found[0]
+    }
+}
+
+#[test]
+fn applied_commits_resolve_to_complete_span_trees() {
+    const N: usize = 16;
+    let (production, policies) = healthy_enterprise();
+    let config = BrokerConfig {
+        max_commit_retries: 64,
+        telemetry: TelemetryConfig {
+            recorder: RecorderConfig {
+                // 16 racing commits on one device conflict by design; the
+                // recorder must not flag the expected contention here.
+                conflict_burst: 0,
+                ..RecorderConfig::default()
+            },
+            ..TelemetryConfig::default()
+        },
+        ..BrokerConfig::default()
+    };
+    let service = Arc::new(SessionService::new(
+        Broker::new(production, policies, config),
+        N,
+        N * 2,
+    ));
+
+    let handles: Vec<_> = (0..N)
+        .map(|i| {
+            let service = Arc::clone(&service);
+            thread::spawn(move || {
+                let mut conn = service.connect().unwrap();
+                write_frame(
+                    &mut conn,
+                    &Request::OpenSession {
+                        technician: format!("tech{i:02}"),
+                        ticket: Task {
+                            kind: TaskKind::Routing,
+                            affected: vec!["h4".to_string(), "srv1".to_string()],
+                        },
+                    },
+                )
+                .unwrap();
+                let Response::SessionOpened { session, .. } = read_frame(&mut conn).unwrap() else {
+                    panic!("expected SessionOpened");
+                };
+                for line in [
+                    "show running-config".to_string(),
+                    format!("ip route 10.{}.0.0 255.255.255.0 10.2.1.10", 60 + i),
+                ] {
+                    write_frame(
+                        &mut conn,
+                        &Request::Exec {
+                            session,
+                            device: "fw1".to_string(),
+                            line,
+                        },
+                    )
+                    .unwrap();
+                    let Response::ExecOutput { .. } = read_frame(&mut conn).unwrap() else {
+                        panic!("expected ExecOutput");
+                    };
+                }
+                write_frame(&mut conn, &Request::Finish { session }).unwrap();
+                let Response::Finished { applied, .. } = read_frame(&mut conn).unwrap() else {
+                    panic!("expected Finished");
+                };
+                assert!(applied, "composable route-add must land");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let mut conn = service.connect().unwrap();
+
+    // Every applied commit's audit record carries a resolvable trace id.
+    write_frame(
+        &mut conn,
+        &Request::AuditQuery {
+            kind: Some(AuditKind::ChangeApplied),
+            actor: None,
+        },
+    )
+    .unwrap();
+    let Response::Audit { entries } = read_frame(&mut conn).unwrap() else {
+        panic!("expected Audit");
+    };
+    assert!(!entries.is_empty());
+    let traces: BTreeSet<String> = entries
+        .iter()
+        .map(|e| {
+            assert_eq!(e.trace.len(), 16, "applied commit missing trace: {e:?}");
+            assert!(TraceId::parse(&e.trace).is_some(), "bad tag {:?}", e.trace);
+            e.trace.clone()
+        })
+        .collect();
+    assert_eq!(traces.len(), N, "one trace per technician's commit");
+
+    for trace in &traces {
+        write_frame(
+            &mut conn,
+            &Request::TraceQuery {
+                trace: trace.clone(),
+            },
+        )
+        .unwrap();
+        let Response::Trace { spans, .. } = read_frame(&mut conn).unwrap() else {
+            panic!("expected Trace");
+        };
+        let tree = Tree { spans };
+        let ids = tree.ids();
+        for s in &tree.spans {
+            assert_eq!(s.trace.to_string(), *trace);
+            if let Some(parent) = s.parent {
+                assert!(ids.contains(&parent), "dangling parent in {trace}");
+            }
+        }
+        // open_session roots the tree; exec and finish hang off it; the
+        // enforcer stages hang off finish.
+        let open = tree.single(Stage::OpenSession);
+        assert_eq!(open.parent, None);
+        let execs = tree.of_stage(Stage::Exec);
+        assert_eq!(execs.len(), 2, "both mediated lines leave exec spans");
+        for e in &execs {
+            assert_eq!(e.parent, Some(open.id));
+            assert_eq!(e.device.as_deref(), Some("fw1"));
+            assert_eq!(e.status, SpanStatus::Ok);
+        }
+        assert_eq!(tree.single(Stage::DerivePrivilege).parent, Some(open.id));
+        let finish = tree.single(Stage::Finish);
+        assert_eq!(finish.parent, Some(open.id));
+        assert_eq!(finish.status, SpanStatus::Ok);
+        // Stale retries may add extra verify/commit rounds; at least one
+        // of each must be there, all parented under finish.
+        for stage in [Stage::Verify, Stage::Schedule, Stage::Commit] {
+            let found = tree.of_stage(stage);
+            assert!(!found.is_empty(), "{trace} missing {stage:?}");
+            for s in found {
+                assert_eq!(s.parent, Some(finish.id), "{stage:?} not under finish");
+            }
+        }
+        // The last commit round succeeded.
+        assert!(tree
+            .of_stage(Stage::Commit)
+            .iter()
+            .any(|s| s.status == SpanStatus::Ok));
+    }
+
+    // The exposition carries per-stage p50/p99 summaries with real counts.
+    write_frame(&mut conn, &Request::Telemetry).unwrap();
+    let Response::Telemetry { text } = read_frame(&mut conn).unwrap() else {
+        panic!("expected Telemetry");
+    };
+    for stage in ["open_session", "exec", "finish", "verify", "commit"] {
+        for q in ["0.5", "0.99"] {
+            let needle =
+                format!("heimdall_stage_duration_ns{{quantile=\"{q}\",stage=\"{stage}\"}}");
+            let alt = format!("heimdall_stage_duration_ns{{stage=\"{stage}\",quantile=\"{q}\"}}");
+            assert!(
+                text.contains(&needle) || text.contains(&alt),
+                "missing {stage} {q} series in:\n{text}"
+            );
+        }
+        let count_line = text
+            .lines()
+            .find(|l| {
+                l.starts_with("heimdall_stage_duration_ns_count")
+                    && l.contains(&format!("stage=\"{stage}\""))
+                    && !l.contains("device=")
+            })
+            .unwrap_or_else(|| panic!("no count line for {stage}"));
+        let n: u64 = count_line
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(n > 0, "{stage} count must be non-zero: {count_line}");
+    }
+    // Per-device series exist for the shared firewall.
+    assert!(text.contains("device=\"fw1\""));
+    // Service counters ride along.
+    assert!(text.contains(&format!("heimdall_commits_applied_total {N}")));
+
+    assert!(service.broker().verify_audit());
+    assert_eq!(service.broker().telemetry().recorder().dump_count(), 0);
+}
+
+#[test]
+fn denial_burst_trips_the_flight_recorder_with_parseable_dump() {
+    let (production, policies) = healthy_enterprise();
+    let config = BrokerConfig {
+        telemetry: TelemetryConfig {
+            recorder: RecorderConfig {
+                denial_burst: 4,
+                ..RecorderConfig::default()
+            },
+            ..TelemetryConfig::default()
+        },
+        ..BrokerConfig::default()
+    };
+    let broker = Broker::new(production, policies, config);
+    let (id, _) = broker
+        .open_session(
+            "prober",
+            Task {
+                kind: TaskKind::AccessControl,
+                affected: vec!["h4".to_string(), "srv1".to_string()],
+            },
+        )
+        .unwrap();
+    for _ in 0..4 {
+        let err = broker.exec(id, "fw1", "write erase");
+        assert!(err.is_err(), "destructive command must be denied");
+    }
+    let recorder = broker.telemetry().recorder();
+    let dumps = recorder.dumps();
+    assert_eq!(dumps.len(), 1, "4 denials in-window must freeze one dump");
+    assert_eq!(dumps[0].kind, AnomalyKind::DenialBurst);
+    assert!(dumps[0].span_count > 0);
+    // Every dump line is a parseable span; the denied execs are in there.
+    let mut denied = 0;
+    for line in dumps[0].spans_jsonl.lines() {
+        let span: Span = serde_json::from_str(line).expect("dump line parses");
+        if span.status == SpanStatus::Denied {
+            denied += 1;
+        }
+    }
+    assert!(denied >= 4, "dump must contain the denied spans");
+    // The denials are also audit-joinable via the session's trace.
+    assert!(broker.verify_audit());
+}
