@@ -1,0 +1,159 @@
+//! Time-series store throughput under concurrency: 1, 8 and 32 writer
+//! threads ingesting into one shared `TimeSeriesStore` (with inline
+//! tiered downsampling), plus query latency against a fully-warmed
+//! store at all three resolutions.
+//!
+//! Two modes:
+//! - default: the Criterion harness (whole-round wall-clock).
+//! - `--json`: measures ingest throughput per writer count and query
+//!   p50/p99 per resolution, writing `BENCH_obs.json` at the workspace
+//!   root. Combine with `--test` for a fast smoke pass.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use heimdall::obs::{Resolution, SeriesConfig, TimeSeriesStore};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::thread;
+
+const SAMPLES_PER_WRITER: u64 = 20_000;
+
+/// One ingest round: `writers` threads each push `per_writer` samples.
+/// Half the writers share one hot series (lock contention), half write
+/// their own (the sharded fast path) — both paths matter for a scrape
+/// loop fanning out over stages and devices.
+fn ingest_round(writers: usize, per_writer: u64) -> Arc<TimeSeriesStore> {
+    let store = Arc::new(TimeSeriesStore::new(SeriesConfig::default()));
+    let handles: Vec<_> = (0..writers as u64)
+        .map(|w| {
+            let store = Arc::clone(&store);
+            thread::spawn(move || {
+                let name = if w % 2 == 0 {
+                    "hot.shared".to_string()
+                } else {
+                    format!("writer{w}.own")
+                };
+                for i in 0..per_writer {
+                    store.push(&name, w * per_writer + i, (i % 251) as f64);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("writer thread");
+    }
+    store
+}
+
+fn bench_obs_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_ingest");
+    for &writers in &[1usize, 8, 32] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(writers),
+            &writers,
+            |b, &writers| {
+                b.iter(|| black_box(ingest_round(writers, SAMPLES_PER_WRITER / writers as u64)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_obs_query(c: &mut Criterion) {
+    let store = ingest_round(8, SAMPLES_PER_WRITER);
+    let mut group = c.benchmark_group("obs_query");
+    for (name, res) in [
+        ("raw", Resolution::Raw),
+        ("mid", Resolution::Mid),
+        ("coarse", Resolution::Coarse),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(store.query("hot.shared", 0, u64::MAX, res)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_ingest, bench_obs_query);
+
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// `--json` mode: ingest throughput per writer count plus query p50/p99
+/// per resolution into `BENCH_obs.json` at the workspace root.
+fn run_json(smoke: bool) {
+    let levels: &[usize] = if smoke { &[1, 8] } else { &[1, 8, 32] };
+    let per_writer = if smoke { 2_000 } else { SAMPLES_PER_WRITER };
+    let rounds = if smoke { 1 } else { 3 };
+
+    let mut ingest_entries = Vec::new();
+    for &writers in levels {
+        let mut total_samples = 0u64;
+        let mut total_wall = std::time::Duration::ZERO;
+        for _ in 0..rounds {
+            let started = std::time::Instant::now();
+            let store = ingest_round(writers, per_writer);
+            total_wall += started.elapsed();
+            total_samples += writers as u64 * per_writer;
+            black_box(store);
+        }
+        let throughput = total_samples as f64 / total_wall.as_secs_f64().max(1e-9);
+        println!("obs_ingest/{writers}: {throughput:.0} samples/s");
+        ingest_entries.push(format!(
+            "    {{\"writers\": {writers}, \"samples\": {total_samples}, \"throughput_samples_per_sec\": {throughput:.1}}}"
+        ));
+    }
+
+    let store = ingest_round(8, per_writer);
+    let query_rounds = if smoke { 200 } else { 2_000 };
+    let mut query_entries = Vec::new();
+    for (name, res) in [
+        ("raw", Resolution::Raw),
+        ("mid", Resolution::Mid),
+        ("coarse", Resolution::Coarse),
+    ] {
+        let mut latencies: Vec<u64> = (0..query_rounds)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                black_box(store.query("hot.shared", 0, u64::MAX, res));
+                t.elapsed().as_nanos() as u64
+            })
+            .collect();
+        latencies.sort_unstable();
+        let p50 = exact_quantile(&latencies, 0.50);
+        let p99 = exact_quantile(&latencies, 0.99);
+        println!("obs_query/{name}: p50 {p50}ns p99 {p99}ns");
+        query_entries.push(format!(
+            "    {{\"resolution\": \"{name}\", \"p50_ns\": {p50}, \"p99_ns\": {p99}}}"
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n  \"benchmark\": \"obs\",\n  \"smoke\": {},\n",
+            "  \"ingest\": [\n{}\n  ],\n  \"query\": [\n{}\n  ]\n}}\n"
+        ),
+        smoke,
+        ingest_entries.join(",\n"),
+        query_entries.join(",\n")
+    );
+    // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_obs.json");
+    std::fs::write(&path, json).expect("write BENCH_obs.json");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--json") {
+        run_json(args.iter().any(|a| a == "--test"));
+    } else {
+        benches();
+    }
+}

@@ -61,6 +61,7 @@ pub use heimdall_dataplane as dataplane;
 pub use heimdall_enforcer as enforcer;
 pub use heimdall_msp as msp;
 pub use heimdall_netmodel as netmodel;
+pub use heimdall_obs as obs;
 pub use heimdall_privilege as privilege;
 pub use heimdall_routing as routing;
 pub use heimdall_service as service;

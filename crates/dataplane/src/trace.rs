@@ -53,6 +53,16 @@ impl Disposition {
         )
     }
 
+    /// `(device, acl, line)` when the flow was dropped by an ACL — the
+    /// hook monitoring counters use to attribute ACL hits per device.
+    pub fn acl_hit(&self) -> Option<(&str, &str, usize)> {
+        match self {
+            Disposition::DeniedIn { device, acl, line }
+            | Disposition::DeniedOut { device, acl, line } => Some((device, acl, *line)),
+            _ => None,
+        }
+    }
+
     /// The device where the flow ended.
     pub fn device(&self) -> &str {
         match self {

@@ -40,6 +40,13 @@ pub struct EnforcerPipeline {
     enclave: Enclave,
     audit: AuditLog,
     sealed_head: SealedBlob,
+    /// Change-sets verified (any verdict) — the denominator for the
+    /// verify-failure SLO rule.
+    verify_total: u64,
+    /// Change-sets that did not come back `Accepted` (including stale
+    /// rejections) — the obs layer scrapes this as
+    /// `enforcer.verify_failures_total` and alerts on its burn rate.
+    verify_failures: u64,
 }
 
 impl EnforcerPipeline {
@@ -52,7 +59,20 @@ impl EnforcerPipeline {
             enclave,
             audit,
             sealed_head,
+            verify_total: 0,
+            verify_failures: 0,
         }
+    }
+
+    /// Lifetime count of verified change-sets.
+    pub fn verify_total(&self) -> u64 {
+        self.verify_total
+    }
+
+    /// Lifetime count of change-sets rejected at verification (any
+    /// non-`Accepted` verdict, stale included).
+    pub fn verify_failures(&self) -> u64 {
+        self.verify_failures
     }
 
     /// Like [`EnforcerPipeline::process`], but first checks that the
@@ -144,6 +164,8 @@ impl EnforcerPipeline {
 
     /// Audits and builds the rejection for a stale change-set.
     fn stale_outcome(&mut self, diff: &ConfigDiff, ctx: &SpanContext) -> EnforcerOutcome {
+        self.verify_total += 1;
+        self.verify_failures += 1;
         self.log_traced(
             AuditKind::Verification,
             "enforcer",
@@ -211,6 +233,10 @@ impl EnforcerPipeline {
 
         let mut verify_span = ctx.span(Stage::Verify);
         let (report, patched) = verify_changes(production, diff, policies, privilege);
+        self.verify_total += 1;
+        if patched.is_none() {
+            self.verify_failures += 1;
+        }
         if let Some(s) = verify_span.as_mut() {
             s.set_detail(format!("verdict={:?}", report.verdict));
             if patched.is_none() {
@@ -432,6 +458,9 @@ mod tests {
             crate::verifier::Verdict::RejectedStale
         );
         assert!(p.verify_audit_integrity());
+        // Verification counters: one accepted + one stale rejection.
+        assert_eq!(p.verify_total(), 2);
+        assert_eq!(p.verify_failures(), 1);
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Critical-path analysis over stored span trees: where did the
+//! end-to-end latency actually go?
+//!
+//! For every span, *self time* is its duration minus the summed durations
+//! of its direct children (saturating — clock skew between spans must
+//! not produce negative attributions). Aggregated per stage this answers
+//! "which stage made p99 bad" directly: the stage with the most self
+//! time is the critical path's top contributor.
+
+use heimdall_telemetry::{Span, SpanId, TraceId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Latency attributed to one pipeline stage within a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageCost {
+    pub stage: String,
+    pub count: u64,
+    /// Summed wall-clock of the stage's spans (children included).
+    pub total_ns: u64,
+    /// Time spent in the stage itself: duration minus direct children.
+    pub self_ns: u64,
+}
+
+/// The critical-path breakdown of one trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CriticalPathReport {
+    /// Canonical 16-hex trace tag.
+    pub trace: String,
+    /// Wall-clock of the trace's root span (0 when no root is retained).
+    pub total_ns: u64,
+    /// Per-stage attribution, worst self-time first.
+    pub stages: Vec<StageCost>,
+    /// The stage with the most self time (empty for an empty report).
+    pub top_contributor: String,
+}
+
+impl CriticalPathReport {
+    /// The report for a trace with no retained spans.
+    pub fn empty(trace: &str) -> CriticalPathReport {
+        CriticalPathReport {
+            trace: trace.to_string(),
+            total_ns: 0,
+            stages: Vec::new(),
+            top_contributor: String::new(),
+        }
+    }
+}
+
+/// Walks `spans` (one trace's spans, any order) and attributes latency
+/// per stage. Returns [`CriticalPathReport::empty`] when `spans` is
+/// empty.
+pub fn analyze(trace: &str, spans: &[Span]) -> CriticalPathReport {
+    if spans.is_empty() {
+        return CriticalPathReport::empty(trace);
+    }
+    // Sum of direct-children durations per parent.
+    let mut child_ns: HashMap<SpanId, u64> = HashMap::new();
+    for s in spans {
+        if let Some(parent) = s.parent {
+            *child_ns.entry(parent).or_insert(0) += s.duration_ns;
+        }
+    }
+    let mut by_stage: HashMap<&str, StageCost> = HashMap::new();
+    let mut root_ns = 0u64;
+    for s in spans {
+        let self_ns = s
+            .duration_ns
+            .saturating_sub(child_ns.get(&s.id).copied().unwrap_or(0));
+        let entry = by_stage
+            .entry(s.stage.as_str())
+            .or_insert_with(|| StageCost {
+                stage: s.stage.as_str().to_string(),
+                count: 0,
+                total_ns: 0,
+                self_ns: 0,
+            });
+        entry.count += 1;
+        entry.total_ns += s.duration_ns;
+        entry.self_ns += self_ns;
+        if s.parent.is_none() {
+            root_ns = root_ns.max(s.duration_ns);
+        }
+    }
+    let mut stages: Vec<StageCost> = by_stage.into_values().collect();
+    stages.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.stage.cmp(&b.stage)));
+    let top_contributor = stages.first().map(|s| s.stage.clone()).unwrap_or_default();
+    CriticalPathReport {
+        trace: trace.to_string(),
+        total_ns: root_ns,
+        stages,
+        top_contributor,
+    }
+}
+
+/// Picks, among the traces represented in `spans`, the one whose root
+/// span duration sits at quantile `q` (0..=1) — e.g. `q = 1.0` is the
+/// slowest retained trace, the natural target for a deep dive.
+pub fn quantile_trace(spans: &[Span], q: f64) -> Option<TraceId> {
+    let mut roots: Vec<(u64, TraceId)> = spans
+        .iter()
+        .filter(|s| s.parent.is_none())
+        .map(|s| (s.duration_ns, s.trace))
+        .collect();
+    if roots.is_empty() {
+        return None;
+    }
+    roots.sort_by_key(|&(d, _)| d);
+    let rank = ((roots.len() as f64) * q.clamp(0.0, 1.0)).ceil() as usize;
+    Some(roots[rank.max(1) - 1].1)
+}
+
+/// The top-`k` slowest traces by root duration with their critical-path
+/// reports, slowest first — "top-k contributors per quantile" for a
+/// dashboard.
+pub fn top_k_reports(spans: &[Span], k: usize) -> Vec<CriticalPathReport> {
+    let mut roots: Vec<(u64, TraceId)> = spans
+        .iter()
+        .filter(|s| s.parent.is_none())
+        .map(|s| (s.duration_ns, s.trace))
+        .collect();
+    roots.sort_by_key(|&(d, _)| std::cmp::Reverse(d));
+    roots
+        .iter()
+        .take(k)
+        .map(|&(_, trace)| {
+            let of_trace: Vec<Span> = spans.iter().filter(|s| s.trace == trace).cloned().collect();
+            analyze(&trace.to_string(), &of_trace)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_telemetry::{SpanStatus, Stage};
+
+    fn span(
+        trace: u64,
+        id: u64,
+        parent: Option<u64>,
+        stage: Stage,
+        start_ns: u64,
+        duration_ns: u64,
+    ) -> Span {
+        Span {
+            trace: TraceId(trace),
+            id: SpanId(id),
+            parent: parent.map(SpanId),
+            stage,
+            actor: "t".to_string(),
+            device: None,
+            start_ns,
+            duration_ns,
+            status: SpanStatus::Ok,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children_only() {
+        // open_session(1000) ⊃ exec(700) ⊃ console(600); exec is the top
+        // self-time contributor (console work is exec's child).
+        let spans = vec![
+            span(1, 1, None, Stage::OpenSession, 0, 1000),
+            span(1, 2, Some(1), Stage::Exec, 100, 700),
+            span(1, 3, Some(2), Stage::Console, 150, 600),
+        ];
+        let report = analyze("0000000000000001", &spans);
+        assert_eq!(report.total_ns, 1000);
+        assert_eq!(report.top_contributor, "console");
+        let get = |name: &str| report.stages.iter().find(|s| s.stage == name).unwrap();
+        assert_eq!(get("open_session").self_ns, 300);
+        assert_eq!(get("exec").self_ns, 100);
+        assert_eq!(get("console").self_ns, 600);
+        assert_eq!(get("exec").total_ns, 700);
+    }
+
+    #[test]
+    fn skewed_clocks_never_go_negative() {
+        // Child claims more time than its parent: saturate, don't wrap.
+        let spans = vec![
+            span(1, 1, None, Stage::Exec, 0, 100),
+            span(1, 2, Some(1), Stage::Console, 0, 500),
+        ];
+        let report = analyze("t", &spans);
+        let exec = report.stages.iter().find(|s| s.stage == "exec").unwrap();
+        assert_eq!(exec.self_ns, 0);
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_report() {
+        let report = analyze("dead", &[]);
+        assert_eq!(report, CriticalPathReport::empty("dead"));
+    }
+
+    #[test]
+    fn quantile_and_top_k_pick_by_root_duration() {
+        let spans: Vec<Span> = (1..=10u64)
+            .map(|i| span(i, i * 100, None, Stage::OpenSession, 0, i * 1000))
+            .collect();
+        assert_eq!(quantile_trace(&spans, 1.0), Some(TraceId(10)));
+        assert_eq!(quantile_trace(&spans, 0.5), Some(TraceId(5)));
+        assert_eq!(quantile_trace(&[], 0.5), None);
+        let top = top_k_reports(&spans, 3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].total_ns, 10_000);
+        assert_eq!(top[2].total_ns, 8_000);
+    }
+}

@@ -1,0 +1,71 @@
+//! # heimdall-obs
+//!
+//! Second-generation observability for the Heimdall pipeline, consuming
+//! `heimdall-telemetry` rather than replacing it. The paper's RMM model
+//! is Remote Management **and Monitoring**; PR 2 gave the management
+//! pipeline an instantaneous view (spans, histograms, flight recorder) —
+//! this crate adds history, judgment, and attribution:
+//!
+//! - [`store`] — a lock-light [`store::TimeSeriesStore`]: fixed-capacity
+//!   per-series rings with tiered downsampling (raw → 16-sample →
+//!   256-sample min/max/sum/count aggregates), fed by the broker's
+//!   scrape loop and queried over the wire via `TimeQuery`;
+//! - [`slo`] — an [`slo::SloEngine`] evaluating declarative rules as
+//!   multi-window burn rates; alerts carry exemplar trace tags harvested
+//!   from the worst spans, so every alert pivots into `TraceQuery` and
+//!   the audit chain;
+//! - [`critical`] — a critical-path analyzer walking stored span trees
+//!   and attributing end-to-end latency per stage (self-time vs
+//!   child-time, top-k contributors per quantile).
+//!
+//! The "watching the watchmen" twist: monitoring reads of twin devices
+//! go *through* `ReferenceMonitor::mediate` with read-only privileges —
+//! scraping a device a technician may not view is a recorded denial (see
+//! `heimdall_twin::TwinSession::poll_counters`), not a silent leak.
+
+pub mod critical;
+pub mod slo;
+pub mod store;
+
+pub use critical::{analyze, quantile_trace, top_k_reports, CriticalPathReport, StageCost};
+pub use slo::{harvest_exemplar, Alert, SloEngine, SloKind, SloRule};
+pub use store::{
+    is_canonical_series, Bucket, Resolution, Series, SeriesConfig, TimeSeriesStore, FOLD,
+};
+
+/// Configuration for one broker's observability layer.
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    pub series: SeriesConfig,
+    /// SLO rules the scrape loop evaluates; see [`ObsConfig::default`]
+    /// for the built-in set.
+    pub rules: Vec<SloRule>,
+    /// Alert history retained for `AlertQuery`.
+    pub max_alerts: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> ObsConfig {
+        ObsConfig {
+            series: SeriesConfig::default(),
+            rules: vec![
+                // Mirrors the flight recorder's latency trigger: mediated
+                // execs are µs-scale, 250ms of p99 is an excursion.
+                SloRule::ceiling("exec_p99", "stage.exec.p99_ns", 250_000_000.0),
+                // A handful of denials per scrape is a probing client.
+                SloRule::rate("denial_rate", "service.denials_total", 8.0),
+                // Optimistic-commit conflicts are expected under
+                // contention; a sustained storm is not.
+                SloRule::rate(
+                    "commit_conflict_rate",
+                    "service.commit_conflicts_total",
+                    64.0,
+                ),
+                // The enforcer rejecting change-sets repeatedly means a
+                // technician (or automation) keeps submitting bad diffs.
+                SloRule::rate("verify_failure_rate", "enforcer.verify_failures_total", 8.0),
+            ],
+            max_alerts: 256,
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! The SLO engine: declarative rules evaluated as multi-window burn
+//! rates over the time-series store.
+//!
+//! Each rule watches one series through two windows of scrape points — a
+//! short window (fast detection) and a long window (flap suppression).
+//! Per window, the *burn rate* is the fraction of breaching points
+//! divided by the rule's error budget (`burn_threshold`); the rule fires
+//! only when **both** windows burn at ≥ 1.0 — the classic SRE
+//! multi-window pattern: the short window alone would page on a single
+//! noisy scrape, the long window alone would page minutes late.
+//!
+//! A fired rule trips a debounce latch (the flight recorder's trip/re-arm
+//! pattern) so one sustained excursion yields exactly one alert; the
+//! latch re-arms once the short window is clean again. Every alert
+//! carries an exemplar trace tag harvested from the worst span in the
+//! window, so operators pivot straight from alert → `TraceQuery` → the
+//! audit chain.
+
+use crate::store::TimeSeriesStore;
+use heimdall_telemetry::{SpanStatus, Stage, Telemetry, STAGE_DURATION_METRIC};
+use serde::{Deserialize, Serialize};
+
+/// What a rule checks about its series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SloKind {
+    /// Each scrape point must stay at or below `max` (gauge series, e.g.
+    /// a stage p99).
+    Ceiling { max: f64 },
+    /// The increase between consecutive scrape points must stay at or
+    /// below `max` (cumulative counter series, e.g. denials).
+    RatePerScrape { max: f64 },
+}
+
+/// One declarative SLO rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloRule {
+    pub name: String,
+    /// The store series the rule watches.
+    pub series: String,
+    pub kind: SloKind,
+    /// Scrape points in the fast window (≥ 1).
+    pub short_window: usize,
+    /// Scrape points in the slow window (≥ short_window).
+    pub long_window: usize,
+    /// Error budget: fraction of window points allowed to breach before
+    /// the window counts as burning (0 < x ≤ 1).
+    pub burn_threshold: f64,
+}
+
+impl SloRule {
+    /// A ceiling rule with the 4/16-point windows and a half-window
+    /// budget — the defaults every built-in rule uses.
+    pub fn ceiling(name: &str, series: &str, max: f64) -> SloRule {
+        SloRule {
+            name: name.to_string(),
+            series: series.to_string(),
+            kind: SloKind::Ceiling { max },
+            short_window: 4,
+            long_window: 16,
+            burn_threshold: 0.5,
+        }
+    }
+
+    /// A per-scrape rate rule over a cumulative counter series.
+    pub fn rate(name: &str, series: &str, max_per_scrape: f64) -> SloRule {
+        SloRule {
+            kind: SloKind::RatePerScrape {
+                max: max_per_scrape,
+            },
+            ..SloRule::ceiling(name, series, 0.0)
+        }
+    }
+
+    /// Breach fraction over the last `window` points, or `None` while
+    /// the window is not yet fully populated (cold starts never burn).
+    fn breach_fraction(&self, store: &TimeSeriesStore, window: usize) -> Option<f64> {
+        match &self.kind {
+            SloKind::Ceiling { max } => {
+                let points = store.tail(&self.series, window);
+                if points.len() < window {
+                    return None;
+                }
+                let breaches = points.iter().filter(|&&(_, v)| v > *max).count();
+                Some(breaches as f64 / window as f64)
+            }
+            SloKind::RatePerScrape { max } => {
+                // Deltas need one extra point.
+                let points = store.tail(&self.series, window + 1);
+                if points.len() < window + 1 {
+                    return None;
+                }
+                let breaches = points.windows(2).filter(|w| w[1].1 - w[0].1 > *max).count();
+                Some(breaches as f64 / window as f64)
+            }
+        }
+    }
+}
+
+/// A fired SLO rule, ready for the `AlertQuery` wire frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    pub rule: String,
+    pub series: String,
+    pub fired_at_ns: u64,
+    /// Short-window burn rate at fire time (≥ 1.0 by construction).
+    pub burn_short: f64,
+    pub burn_long: f64,
+    /// Canonical 16-hex trace tag of the worst span in the window;
+    /// empty when no tagged span was available.
+    pub exemplar_trace: String,
+    pub detail: String,
+}
+
+/// Evaluates rules against the store; owns the debounce latches and the
+/// bounded alert history.
+pub struct SloEngine {
+    rules: Vec<SloRule>,
+    tripped: Vec<bool>,
+    alerts: Vec<Alert>,
+    max_alerts: usize,
+}
+
+impl SloEngine {
+    pub fn new(rules: Vec<SloRule>, max_alerts: usize) -> SloEngine {
+        let tripped = vec![false; rules.len()];
+        SloEngine {
+            rules,
+            tripped,
+            alerts: Vec::new(),
+            max_alerts: max_alerts.max(1),
+        }
+    }
+
+    pub fn rules(&self) -> &[SloRule] {
+        &self.rules
+    }
+
+    /// Alerts fired so far, oldest first (bounded to `max_alerts`).
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Evaluates every rule once against the store; `exemplar` supplies
+    /// the worst-span trace tag for a firing rule. Returns how many new
+    /// alerts fired this pass.
+    pub fn evaluate(
+        &mut self,
+        store: &TimeSeriesStore,
+        now_ns: u64,
+        mut exemplar: impl FnMut(&SloRule) -> String,
+    ) -> usize {
+        let mut fired = 0;
+        for (i, rule) in self.rules.iter().enumerate() {
+            let threshold = rule.burn_threshold.max(f64::EPSILON);
+            let short = rule.short_window.max(1);
+            let long = rule.long_window.max(short);
+            let (Some(frac_short), Some(frac_long)) = (
+                rule.breach_fraction(store, short),
+                rule.breach_fraction(store, long),
+            ) else {
+                continue;
+            };
+            let burn_short = frac_short / threshold;
+            let burn_long = frac_long / threshold;
+            if burn_short >= 1.0 && burn_long >= 1.0 {
+                if !self.tripped[i] {
+                    self.tripped[i] = true;
+                    fired += 1;
+                    self.alerts.push(Alert {
+                        rule: rule.name.clone(),
+                        series: rule.series.clone(),
+                        fired_at_ns: now_ns,
+                        burn_short,
+                        burn_long,
+                        exemplar_trace: exemplar(rule),
+                        detail: format!(
+                            "{}: burn {burn_short:.2}x/{burn_long:.2}x over {short}/{long} scrapes",
+                            rule.name
+                        ),
+                    });
+                    if self.alerts.len() > self.max_alerts {
+                        let overflow = self.alerts.len() - self.max_alerts;
+                        self.alerts.drain(..overflow);
+                    }
+                }
+            } else if burn_short < 1.0 {
+                // Re-arm only once the fast window is clean: a sustained
+                // excursion stays one alert, a fresh one fires anew.
+                self.tripped[i] = false;
+            }
+        }
+        fired
+    }
+}
+
+/// Harvests the exemplar trace tag for a firing `rule` from the
+/// telemetry hub: stage-latency rules read the tagged worst sample off
+/// the stage histogram; denial/rejection rate rules take the most recent
+/// matching span from the ring; anything else falls back to the slowest
+/// recent span.
+pub fn harvest_exemplar(telemetry: &Telemetry, rule: &SloRule) -> String {
+    // `stage.<name>.p99_ns` (or `.p50_ns`): the histogram's own exemplar.
+    if let Some(stage_name) = rule
+        .series
+        .strip_prefix("stage.")
+        .and_then(|rest| rest.split('.').next())
+    {
+        if let Some(stage) = Stage::ALL.iter().find(|s| s.as_str() == stage_name) {
+            let h = telemetry
+                .registry()
+                .histogram(STAGE_DURATION_METRIC, &[("stage", stage.as_str())]);
+            if let Some((_, trace)) = h.exemplar() {
+                return trace.to_string();
+            }
+        }
+    }
+    let wanted_status = if rule.series.contains("denial") {
+        Some(SpanStatus::Denied)
+    } else if rule.series.contains("conflict")
+        || rule.series.contains("reject")
+        || rule.series.contains("verify_failures")
+    {
+        Some(SpanStatus::Rejected)
+    } else {
+        None
+    };
+    let recent = telemetry.ring().tail(256);
+    if let Some(status) = wanted_status {
+        if let Some(span) = recent.iter().rev().find(|s| s.status == status) {
+            return span.trace.to_string();
+        }
+    }
+    recent
+        .iter()
+        .max_by_key(|s| s.duration_ns)
+        .map(|s| s.trace.to_string())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::SeriesConfig;
+
+    fn store_with(series: &str, values: &[f64]) -> TimeSeriesStore {
+        let store = TimeSeriesStore::new(SeriesConfig::default());
+        for (i, v) in values.iter().enumerate() {
+            store.push(series, i as u64, *v);
+        }
+        store
+    }
+
+    #[test]
+    fn ceiling_rule_fires_once_per_excursion_and_rearms() {
+        let rule = SloRule::ceiling("p99", "lat", 100.0);
+        let mut engine = SloEngine::new(vec![rule], 64);
+        let store = TimeSeriesStore::default();
+        let mut t = 0u64;
+        let mut scrape = |engine: &mut SloEngine, store: &TimeSeriesStore, v: f64| {
+            store.push("lat", t, v);
+            t += 1;
+            engine.evaluate(store, t, |_| "cafe0123deadbeef".to_string())
+        };
+        // Quiet warm-up: windows fill, nothing fires.
+        let mut total = 0;
+        for _ in 0..20 {
+            total += scrape(&mut engine, &store, 50.0);
+        }
+        assert_eq!(total, 0, "quiet run must fire nothing");
+        // Sustained excursion: long window needs ≥ 8/16 breaches.
+        let mut fired_at = Vec::new();
+        for i in 0..12 {
+            if scrape(&mut engine, &store, 500.0) > 0 {
+                fired_at.push(i);
+            }
+        }
+        assert_eq!(fired_at.len(), 1, "one excursion, one alert: {fired_at:?}");
+        let alert = &engine.alerts()[0];
+        assert_eq!(alert.rule, "p99");
+        assert_eq!(alert.exemplar_trace, "cafe0123deadbeef");
+        assert!(alert.burn_short >= 1.0 && alert.burn_long >= 1.0);
+        // Recovery cleans the short window → re-arm → a second excursion
+        // fires again.
+        for _ in 0..20 {
+            assert_eq!(scrape(&mut engine, &store, 50.0), 0);
+        }
+        for _ in 0..12 {
+            scrape(&mut engine, &store, 500.0);
+        }
+        assert_eq!(engine.alerts().len(), 2);
+    }
+
+    #[test]
+    fn rate_rule_watches_deltas_not_levels() {
+        let rule = SloRule::rate("denials", "d", 2.0);
+        let mut engine = SloEngine::new(vec![rule], 8);
+        // A high but flat counter never fires…
+        let store = store_with("d", &[900.0; 40]);
+        assert_eq!(engine.evaluate(&store, 1, |_| String::new()), 0);
+        // …but a counter climbing 10/scrape does.
+        let climbing: Vec<f64> = (0..40).map(|i| (i * 10) as f64).collect();
+        let store = store_with("d", &climbing);
+        assert_eq!(engine.evaluate(&store, 2, |_| String::new()), 1);
+    }
+
+    #[test]
+    fn cold_store_never_burns() {
+        let rule = SloRule::ceiling("p99", "lat", 1.0);
+        let mut engine = SloEngine::new(vec![rule], 8);
+        // Fewer points than the long window — even all-breaching.
+        let store = store_with("lat", &[999.0; 10]);
+        assert_eq!(engine.evaluate(&store, 1, |_| String::new()), 0);
+    }
+
+    #[test]
+    fn alert_history_is_bounded() {
+        let rule = SloRule {
+            short_window: 1,
+            long_window: 1,
+            ..SloRule::ceiling("p", "s", 0.0)
+        };
+        let mut engine = SloEngine::new(vec![rule], 3);
+        let store = TimeSeriesStore::default();
+        for i in 0..10u64 {
+            // Alternate breach / clean so the latch re-arms every time.
+            store.push("s", 2 * i, 5.0);
+            engine.evaluate(&store, 2 * i, |_| String::new());
+            store.push("s", 2 * i + 1, -5.0);
+            engine.evaluate(&store, 2 * i + 1, |_| String::new());
+        }
+        assert_eq!(engine.alerts().len(), 3, "history capped at max_alerts");
+    }
+}

@@ -1,0 +1,426 @@
+//! The time-series store: fixed-capacity per-series rings with tiered
+//! downsampling.
+//!
+//! Each series holds three tiers: raw samples, mid buckets (each folding
+//! [`FOLD`] raw samples), and coarse buckets (each folding [`FOLD`] mid
+//! buckets, i.e. [`FOLD`]² raw samples). Folding is *exact-once*: a raw
+//! sample is folded into precisely one mid bucket before it can be
+//! evicted, and a mid bucket into precisely one coarse bucket, so the
+//! invariant
+//!
+//! ```text
+//! Σ coarse.sum + Σ unfolded mid.sum + Σ unfolded raw = lifetime sum
+//! ```
+//!
+//! holds at every instant (the concurrency test in `tests/obs_race.rs`
+//! asserts it under racing writers and downsamplers). The store is
+//! lock-light in the same way as `MetricsRegistry`: the series map is an
+//! `RwLock<BTreeMap>` write-locked only on first creation, and each
+//! series serializes on its own short mutex.
+
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// Samples per mid bucket, and mid buckets per coarse bucket (so one
+/// coarse bucket covers `FOLD²` = 256 raw samples).
+pub const FOLD: usize = 16;
+
+/// Which tier a [`TimeQuery`](crate) reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Resolution {
+    /// Individual samples (each rendered as a one-sample bucket).
+    Raw,
+    /// 16-sample aggregates.
+    Mid,
+    /// 256-sample aggregates.
+    Coarse,
+}
+
+/// One aggregate: min/max/sum/count over a time span. A raw sample is a
+/// degenerate bucket with `count == 1` and `start_ns == end_ns`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bucket {
+    pub start_ns: u64,
+    pub end_ns: u64,
+    pub min: f64,
+    pub max: f64,
+    pub sum: f64,
+    pub count: u64,
+}
+
+impl Bucket {
+    /// The degenerate bucket of one sample.
+    pub fn from_sample(t_ns: u64, value: f64) -> Bucket {
+        Bucket {
+            start_ns: t_ns,
+            end_ns: t_ns,
+            min: value,
+            max: value,
+            sum: value,
+            count: 1,
+        }
+    }
+
+    /// Folds `other` into this bucket.
+    pub fn merge(&mut self, other: &Bucket) {
+        self.start_ns = self.start_ns.min(other.start_ns);
+        self.end_ns = self.end_ns.max(other.end_ns);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Per-tier ring capacities.
+#[derive(Debug, Clone)]
+pub struct SeriesConfig {
+    pub raw_capacity: usize,
+    pub mid_capacity: usize,
+    pub coarse_capacity: usize,
+}
+
+impl Default for SeriesConfig {
+    fn default() -> SeriesConfig {
+        SeriesConfig {
+            raw_capacity: 4096,
+            mid_capacity: 1024,
+            coarse_capacity: 256,
+        }
+    }
+}
+
+impl SeriesConfig {
+    /// Capacities floored so a full fold group always fits unfolded.
+    fn clamped(&self) -> SeriesConfig {
+        SeriesConfig {
+            raw_capacity: self.raw_capacity.max(2 * FOLD),
+            mid_capacity: self.mid_capacity.max(2 * FOLD),
+            coarse_capacity: self.coarse_capacity.max(FOLD),
+        }
+    }
+}
+
+/// Whether `name` is a canonical series name: nonempty, at most 128
+/// chars, leading `[a-z]`, then `[a-z0-9_.]`. The wire layer rejects
+/// anything else as `BadRequest` before touching the store.
+pub fn is_canonical_series(name: &str) -> bool {
+    if name.is_empty() || name.len() > 128 {
+        return false;
+    }
+    let mut chars = name.chars();
+    let first = chars.next().expect("nonempty");
+    first.is_ascii_lowercase()
+        && chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.')
+}
+
+#[derive(Default)]
+struct SeriesInner {
+    raw: VecDeque<(u64, f64)>,
+    /// Prefix of `raw` already folded into `mid` (eviction-eligible).
+    raw_folded: usize,
+    mid: VecDeque<Bucket>,
+    /// Prefix of `mid` already folded into `coarse`.
+    mid_folded: usize,
+    coarse: VecDeque<Bucket>,
+    total_count: u64,
+    total_sum: f64,
+}
+
+impl SeriesInner {
+    /// Folds every complete group at both tiers, then evicts folded
+    /// overflow down to the ring capacities. Idempotent: with no new
+    /// samples a second call does nothing.
+    fn downsample(&mut self, cfg: &SeriesConfig) {
+        while self.raw.len() - self.raw_folded >= FOLD {
+            let mut group: Option<Bucket> = None;
+            for i in self.raw_folded..self.raw_folded + FOLD {
+                let (t, v) = self.raw[i];
+                let sample = Bucket::from_sample(t, v);
+                match group.as_mut() {
+                    None => group = Some(sample),
+                    Some(g) => g.merge(&sample),
+                }
+            }
+            self.mid.push_back(group.expect("FOLD >= 1"));
+            self.raw_folded += FOLD;
+        }
+        while self.raw.len() > cfg.raw_capacity && self.raw_folded > 0 {
+            self.raw.pop_front();
+            self.raw_folded -= 1;
+        }
+
+        while self.mid.len() - self.mid_folded >= FOLD {
+            let mut group = self.mid[self.mid_folded];
+            for i in self.mid_folded + 1..self.mid_folded + FOLD {
+                group.merge(&self.mid[i].clone());
+            }
+            self.coarse.push_back(group);
+            self.mid_folded += FOLD;
+        }
+        while self.mid.len() > cfg.mid_capacity && self.mid_folded > 0 {
+            self.mid.pop_front();
+            self.mid_folded -= 1;
+        }
+        while self.coarse.len() > cfg.coarse_capacity {
+            self.coarse.pop_front();
+        }
+    }
+}
+
+/// One named series. Shared as an `Arc` so hot writers skip the map.
+#[derive(Default)]
+pub struct Series {
+    inner: Mutex<SeriesInner>,
+}
+
+impl Series {
+    /// Appends a sample and folds any completed groups inline, keeping
+    /// the rings bounded without a separate downsampler thread.
+    pub fn push(&self, t_ns: u64, value: f64, cfg: &SeriesConfig) {
+        let mut inner = self.inner.lock();
+        inner.raw.push_back((t_ns, value));
+        inner.total_count += 1;
+        inner.total_sum += value;
+        inner.downsample(cfg);
+    }
+}
+
+/// The store: a registry of per-series tiered rings.
+pub struct TimeSeriesStore {
+    series: RwLock<BTreeMap<String, Arc<Series>>>,
+    cfg: SeriesConfig,
+}
+
+impl Default for TimeSeriesStore {
+    fn default() -> TimeSeriesStore {
+        TimeSeriesStore::new(SeriesConfig::default())
+    }
+}
+
+impl TimeSeriesStore {
+    pub fn new(cfg: SeriesConfig) -> TimeSeriesStore {
+        TimeSeriesStore {
+            series: RwLock::new(BTreeMap::new()),
+            cfg: cfg.clamped(),
+        }
+    }
+
+    /// The series handle for `name`, created on first use. Hot writers
+    /// should hold the `Arc` and call [`Series::push`] directly.
+    pub fn series(&self, name: &str) -> Arc<Series> {
+        if let Some(s) = self.series.read().get(name) {
+            return Arc::clone(s);
+        }
+        Arc::clone(
+            self.series
+                .write()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Series::default())),
+        )
+    }
+
+    /// Whether `name` already exists (does not create it).
+    pub fn contains(&self, name: &str) -> bool {
+        self.series.read().contains_key(name)
+    }
+
+    pub fn series_names(&self) -> Vec<String> {
+        self.series.read().keys().cloned().collect()
+    }
+
+    pub fn config(&self) -> &SeriesConfig {
+        &self.cfg
+    }
+
+    /// Appends one sample to `name`.
+    pub fn push(&self, name: &str, t_ns: u64, value: f64) {
+        self.series(name).push(t_ns, value, &self.cfg);
+    }
+
+    /// Folds completed groups on every series. `push` already folds
+    /// inline; this exists for an external downsampler cadence and is
+    /// idempotent.
+    pub fn downsample(&self) {
+        let all: Vec<Arc<Series>> = self.series.read().values().cloned().collect();
+        for s in all {
+            s.inner.lock().downsample(&self.cfg);
+        }
+    }
+
+    /// Buckets of `name` overlapping the inclusive range
+    /// `[start_ns, end_ns]` at `resolution`; `None` for unknown series.
+    pub fn query(
+        &self,
+        name: &str,
+        start_ns: u64,
+        end_ns: u64,
+        resolution: Resolution,
+    ) -> Option<Vec<Bucket>> {
+        let series = Arc::clone(self.series.read().get(name)?);
+        let inner = series.inner.lock();
+        let overlaps = |b: &Bucket| b.end_ns >= start_ns && b.start_ns <= end_ns;
+        Some(match resolution {
+            Resolution::Raw => inner
+                .raw
+                .iter()
+                .filter(|(t, _)| *t >= start_ns && *t <= end_ns)
+                .map(|&(t, v)| Bucket::from_sample(t, v))
+                .collect(),
+            Resolution::Mid => inner.mid.iter().filter(|b| overlaps(b)).cloned().collect(),
+            Resolution::Coarse => inner
+                .coarse
+                .iter()
+                .filter(|b| overlaps(b))
+                .cloned()
+                .collect(),
+        })
+    }
+
+    /// The last `n` raw samples of `name`, oldest first — the SLO
+    /// engine's window feed.
+    pub fn tail(&self, name: &str, n: usize) -> Vec<(u64, f64)> {
+        let Some(series) = self.series.read().get(name).cloned() else {
+            return Vec::new();
+        };
+        let inner = series.inner.lock();
+        let skip = inner.raw.len().saturating_sub(n);
+        inner.raw.iter().skip(skip).copied().collect()
+    }
+
+    /// Lifetime `(count, sum)` of `name` including evicted samples.
+    pub fn totals(&self, name: &str) -> Option<(u64, f64)> {
+        let series = Arc::clone(self.series.read().get(name)?);
+        let inner = series.inner.lock();
+        Some((inner.total_count, inner.total_sum))
+    }
+
+    /// The three-tier sum decomposition of `name`: coarse plus unfolded
+    /// mid plus unfolded raw. Always equals [`TimeSeriesStore::totals`]'
+    /// sum — the exact-once folding invariant the race test leans on.
+    pub fn tier_sum(&self, name: &str) -> Option<f64> {
+        let series = Arc::clone(self.series.read().get(name)?);
+        let inner = series.inner.lock();
+        let coarse: f64 = inner.coarse.iter().map(|b| b.sum).sum();
+        let mid: f64 = inner.mid.iter().skip(inner.mid_folded).map(|b| b.sum).sum();
+        let raw: f64 = inner
+            .raw
+            .iter()
+            .skip(inner.raw_folded)
+            .map(|&(_, v)| v)
+            .sum();
+        Some(coarse + mid + raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_store() -> TimeSeriesStore {
+        TimeSeriesStore::new(SeriesConfig {
+            raw_capacity: 2 * FOLD,
+            mid_capacity: 2 * FOLD,
+            coarse_capacity: FOLD,
+        })
+    }
+
+    #[test]
+    fn canonical_series_names() {
+        for good in ["a", "stage.exec.p99_ns", "device.fw1.acl_hits", "x9_y"] {
+            assert!(is_canonical_series(good), "{good}");
+        }
+        for bad in ["", "9x", "Stage.exec", "a b", "a-b", "a/b", "日本"] {
+            assert!(!is_canonical_series(bad), "{bad:?}");
+        }
+        assert!(!is_canonical_series(&"a".repeat(129)));
+    }
+
+    #[test]
+    fn buckets_aggregate_exactly() {
+        let store = TimeSeriesStore::default();
+        // 10_000 samples of value i at t = i.
+        let n = 10_000u64;
+        for i in 0..n {
+            store.push("s", i, i as f64);
+        }
+        let expect_sum = (n * (n - 1) / 2) as f64;
+        assert_eq!(store.totals("s"), Some((n, expect_sum)));
+        assert_eq!(store.tier_sum("s"), Some(expect_sum));
+
+        // Mid buckets cover FOLD consecutive samples exactly.
+        let mids = store.query("s", 0, n, Resolution::Mid).unwrap();
+        for b in &mids {
+            assert_eq!(b.count, FOLD as u64);
+            assert_eq!(b.end_ns - b.start_ns + 1, FOLD as u64);
+            // Sum of an arithmetic run = count * midpoint.
+            let expect = (b.start_ns + b.end_ns) as f64 * FOLD as f64 / 2.0;
+            assert_eq!(b.sum, expect, "bucket {b:?}");
+            assert_eq!(b.min, b.start_ns as f64);
+            assert_eq!(b.max, b.end_ns as f64);
+        }
+        let coarse = store.query("s", 0, n, Resolution::Coarse).unwrap();
+        for b in &coarse {
+            assert_eq!(b.count, (FOLD * FOLD) as u64);
+        }
+        // Raw is capped but mid/coarse carry the history.
+        let raw = store.query("s", 0, n, Resolution::Raw).unwrap();
+        assert!(raw.len() <= store.config().raw_capacity);
+    }
+
+    #[test]
+    fn query_ranges_are_inclusive_and_clipped() {
+        let store = TimeSeriesStore::default();
+        for i in 0..100u64 {
+            store.push("s", i * 10, 1.0);
+        }
+        let raw = store.query("s", 200, 300, Resolution::Raw).unwrap();
+        assert_eq!(raw.len(), 11, "inclusive [200, 300] at step 10");
+        assert!(store.query("missing", 0, 10, Resolution::Raw).is_none());
+        assert!(store
+            .query("s", 5_000, 6_000, Resolution::Raw)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn eviction_never_loses_folded_mass() {
+        let store = small_store();
+        let n = 100_000u64;
+        for i in 0..n {
+            store.push("s", i, 1.0);
+        }
+        store.downsample();
+        // Raw ring is tiny, coarse ring capped — but totals are exact.
+        assert_eq!(store.totals("s"), Some((n, n as f64)));
+        let raw = store.query("s", 0, n, Resolution::Raw).unwrap();
+        assert!(raw.len() <= store.config().raw_capacity);
+        let coarse = store.query("s", 0, n, Resolution::Coarse).unwrap();
+        assert!(coarse.len() <= store.config().coarse_capacity);
+        // Every surviving coarse bucket still aggregates FOLD² samples.
+        assert!(coarse.iter().all(|b| b.count == (FOLD * FOLD) as u64));
+    }
+
+    #[test]
+    fn tail_returns_newest_samples_in_order() {
+        let store = TimeSeriesStore::default();
+        for i in 0..50u64 {
+            store.push("s", i, i as f64);
+        }
+        let t = store.tail("s", 5);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t[0], (45, 45.0));
+        assert_eq!(t[4], (49, 49.0));
+        assert!(store.tail("missing", 5).is_empty());
+    }
+}

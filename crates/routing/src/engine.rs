@@ -28,6 +28,12 @@ impl ControlPlane {
             .unwrap_or_else(|| EMPTY.get_or_init(Rib::new))
     }
 
+    /// Installed route count of `device` — the `fib_routes` operational
+    /// counter surfaced by mediated device monitoring.
+    pub fn route_count(&self, device: DeviceIdx) -> usize {
+        self.rib(device).len()
+    }
+
     /// The FIB of `device` (empty FIB if the device computed none).
     pub fn fib(&self, device: DeviceIdx) -> &Fib {
         static EMPTY: std::sync::OnceLock<Fib> = std::sync::OnceLock::new();

@@ -27,9 +27,12 @@ use heimdall_enforcer::enclave::Platform;
 use heimdall_enforcer::pipeline::{EnforcerOutcome, EnforcerPipeline};
 use heimdall_enforcer::verifier::Verdict;
 use heimdall_netmodel::topology::Network;
+use heimdall_obs::{harvest_exemplar, is_canonical_series, ObsConfig, SloEngine, TimeSeriesStore};
 use heimdall_privilege::derive::{derive_privileges, Task, TaskKind};
 use heimdall_privilege::model::PrivilegeMsp;
-use heimdall_telemetry::{SpanContext, SpanStatus, Stage, Telemetry, TelemetryConfig, TraceId};
+use heimdall_telemetry::{
+    SpanContext, SpanStatus, Stage, Telemetry, TelemetryConfig, TraceId, STAGE_DURATION_METRIC,
+};
 use heimdall_twin::session::{SessionError, TwinSession};
 use heimdall_twin::slice::slice_for_task;
 use heimdall_verify::policy::PolicySet;
@@ -54,6 +57,8 @@ pub struct BrokerConfig {
     pub idle_ttl: Duration,
     /// Span ring and flight-recorder tunables.
     pub telemetry: TelemetryConfig,
+    /// Time-series capacities and SLO rules for the scrape loop.
+    pub obs: ObsConfig,
 }
 
 impl Default for BrokerConfig {
@@ -65,6 +70,7 @@ impl Default for BrokerConfig {
             max_commit_retries: 3,
             idle_ttl: Duration::from_secs(15 * 60),
             telemetry: TelemetryConfig::default(),
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -128,6 +134,8 @@ pub struct Broker {
     priv_cache: Mutex<PrivCache>,
     stats: ServiceStats,
     telemetry: Arc<Telemetry>,
+    obs_store: Arc<TimeSeriesStore>,
+    slo: Mutex<SloEngine>,
     config: BrokerConfig,
 }
 
@@ -146,6 +154,11 @@ impl Broker {
             }),
             stats: ServiceStats::new(),
             telemetry: Arc::new(Telemetry::new(config.telemetry.clone())),
+            obs_store: Arc::new(TimeSeriesStore::new(config.obs.series.clone())),
+            slo: Mutex::new(SloEngine::new(
+                config.obs.rules.clone(),
+                config.obs.max_alerts,
+            )),
             config,
         }
     }
@@ -485,6 +498,146 @@ impl Broker {
         Some(self.telemetry.trace_spans(id))
     }
 
+    /// One pass of the monitoring scrape loop: stage latency quantiles,
+    /// service counters, enforcer verification outcomes, and mediated
+    /// per-device twin counters all land in the time-series store, then
+    /// the SLO engine evaluates its rules over the refreshed windows.
+    /// Returns how many alerts fired this pass.
+    pub fn scrape_once(&self) -> usize {
+        let now = self.telemetry.now_ns();
+        let store = &self.obs_store;
+        // Stage latency quantiles from the telemetry histograms.
+        for stage in Stage::ALL {
+            let h = self
+                .telemetry
+                .registry()
+                .histogram(STAGE_DURATION_METRIC, &[("stage", stage.as_str())]);
+            if h.count() == 0 {
+                continue;
+            }
+            let name = stage.as_str();
+            store.push(
+                &format!("stage.{name}.p50_ns"),
+                now,
+                h.quantile_ns(0.5) as f64,
+            );
+            store.push(
+                &format!("stage.{name}.p99_ns"),
+                now,
+                h.quantile_ns(0.99) as f64,
+            );
+            store.push(&format!("stage.{name}.count"), now, h.count() as f64);
+        }
+        // Cumulative service counters; SLO rate rules watch the deltas.
+        let s = self.stats.snapshot();
+        for (name, value) in [
+            ("service.sessions_opened_total", s.sessions_opened),
+            ("service.sessions_finished_total", s.sessions_finished),
+            ("service.sessions_evicted_total", s.sessions_evicted),
+            ("service.commands_mediated_total", s.commands_mediated),
+            ("service.denials_total", s.denials),
+            ("service.commits_applied_total", s.commits_applied),
+            ("service.commits_rejected_total", s.commits_rejected),
+            ("service.commit_conflicts_total", s.commit_conflicts),
+            ("service.rate_limited_total", s.rate_limited),
+        ] {
+            store.push(name, now, value as f64);
+        }
+        {
+            let pipeline = self.pipeline.lock();
+            store.push("enforcer.verify_total", now, pipeline.verify_total() as f64);
+            store.push(
+                "enforcer.verify_failures_total",
+                now,
+                pipeline.verify_failures() as f64,
+            );
+        }
+        // Mediated device monitoring: every live session's twin devices
+        // are polled *through* the session's reference monitor with view
+        // privileges — an unviewable device yields a recorded denial,
+        // never data. `for_each_session` deliberately skips the idle
+        // clock so scrapes cannot keep abandoned sessions alive.
+        let mut denied = 0u64;
+        self.registry.for_each_session(|_, entry| {
+            let devices: Vec<String> = entry
+                .session
+                .view()
+                .devices
+                .into_iter()
+                .map(|(name, _)| name)
+                .collect();
+            for device in devices {
+                match entry.session.poll_counters(&device) {
+                    Ok(c) => {
+                        store.push(&format!("device.{device}.if_up"), now, c.if_up as f64);
+                        store.push(
+                            &format!("device.{device}.fib_routes"),
+                            now,
+                            c.fib_routes as f64,
+                        );
+                        store.push(
+                            &format!("device.{device}.acl_entries"),
+                            now,
+                            c.acl_entries as f64,
+                        );
+                        store.push(&format!("device.{device}.acl_hits"), now, c.acl_hits as f64);
+                    }
+                    Err(SessionError::PermissionDenied { .. }) => denied += 1,
+                    Err(_) => {}
+                }
+            }
+        });
+        for _ in 0..denied {
+            ServiceStats::bump(&self.stats.denials);
+            self.telemetry.note_denial();
+        }
+        self.slo
+            .lock()
+            .evaluate(store, now, |rule| harvest_exemplar(&self.telemetry, rule))
+    }
+
+    /// One explicit mediated counter poll against a hosted session's twin
+    /// device. A poll of a device outside the technician's view privilege
+    /// is a recorded denial that leaks nothing — monitoring reads are
+    /// mediated exactly like console commands.
+    pub fn poll_device_counters(
+        &self,
+        id: SessionId,
+        device: &str,
+    ) -> Result<heimdall_twin::DeviceCounters, BrokerError> {
+        let result = self
+            .registry
+            .with_session_mut(id, |entry| entry.session.poll_counters(device))
+            .ok_or(BrokerError::SessionNotFound(id))?;
+        result.map_err(|e| match e {
+            SessionError::PermissionDenied { .. } => {
+                ServiceStats::bump(&self.stats.denials);
+                self.telemetry.note_denial();
+                BrokerError::PermissionDenied(e.to_string())
+            }
+            SessionError::Command(_) => BrokerError::BadCommand(e.to_string()),
+        })
+    }
+
+    /// The historical time-series store fed by [`Broker::scrape_once`].
+    pub fn obs_store(&self) -> &Arc<TimeSeriesStore> {
+        &self.obs_store
+    }
+
+    /// Alerts fired so far, oldest first (bounded per [`ObsConfig`]).
+    pub fn alerts(&self) -> Vec<heimdall_obs::Alert> {
+        self.slo.lock().alerts().to_vec()
+    }
+
+    /// Critical-path attribution for one trace's retained spans. `None`
+    /// when `trace` is not canonical 16-hex; a canonical but unknown
+    /// trace yields an empty report.
+    pub fn critical_path(&self, trace: &str) -> Option<heimdall_obs::CriticalPathReport> {
+        let id = TraceId::parse(trace)?;
+        let spans = self.telemetry.trace_spans(id);
+        Some(heimdall_obs::analyze(trace, &spans))
+    }
+
     /// Point-in-time copy of production.
     pub fn production(&self) -> Network {
         self.guard.snapshot()
@@ -540,6 +693,47 @@ impl Broker {
             },
             Request::TraceQuery { trace } => match self.trace_query(&trace) {
                 Some(spans) => Response::Trace { trace, spans },
+                None => Response::Error {
+                    kind: ErrorKind::BadRequest,
+                    message: format!("trace id {trace:?} is not canonical 16-hex"),
+                },
+            },
+            Request::TimeQuery {
+                series,
+                start_ns,
+                end_ns,
+                resolution,
+            } => {
+                if !is_canonical_series(&series) {
+                    Response::Error {
+                        kind: ErrorKind::BadRequest,
+                        message: format!("series name {series:?} is not canonical"),
+                    }
+                } else if start_ns > end_ns {
+                    Response::Error {
+                        kind: ErrorKind::BadRequest,
+                        message: format!("inverted time range: {start_ns} > {end_ns}"),
+                    }
+                } else {
+                    // Unknown-but-canonical series is an empty result,
+                    // not an error: dashboards probe series that may not
+                    // have scraped yet.
+                    let points = self
+                        .obs_store
+                        .query(&series, start_ns, end_ns, resolution)
+                        .unwrap_or_default();
+                    Response::TimeSeries {
+                        series,
+                        resolution,
+                        points,
+                    }
+                }
+            }
+            Request::AlertQuery => Response::Alerts {
+                alerts: self.alerts(),
+            },
+            Request::CriticalPath { trace } => match self.critical_path(&trace) {
+                Some(report) => Response::CriticalPath { report },
                 None => Response::Error {
                     kind: ErrorKind::BadRequest,
                     message: format!("trace id {trace:?} is not canonical 16-hex"),

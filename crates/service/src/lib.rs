@@ -20,6 +20,15 @@
 //! the broker's span ring, per-stage metrics are served as Prometheus
 //! text via [`proto::Request::Telemetry`], and span trees are joinable
 //! with audit records through [`proto::Request::TraceQuery`].
+//!
+//! On top of that instantaneous view sits `heimdall-obs`: the broker's
+//! [`broker::Broker::scrape_once`] loop feeds a tiered time-series store
+//! (queried via [`proto::Request::TimeQuery`]), an SLO engine fires
+//! burn-rate alerts carrying exemplar trace tags
+//! ([`proto::Request::AlertQuery`]), and stored span trees are
+//! attributed per stage via [`proto::Request::CriticalPath`]. Device
+//! counters are scraped *through* each session's reference monitor —
+//! monitoring reads obey least privilege too.
 
 pub mod broker;
 pub mod pool;
@@ -60,5 +69,8 @@ mod thread_safety {
         assert_send::<crate::SessionRegistry>();
         assert_sync::<crate::SessionRegistry>();
         assert_send::<crate::PipeEnd>();
+        assert_send::<heimdall_obs::TimeSeriesStore>();
+        assert_sync::<heimdall_obs::TimeSeriesStore>();
+        assert_send::<heimdall_obs::SloEngine>();
     }
 }

@@ -61,6 +61,20 @@ pub enum Request {
     /// The retained span tree of one trace (canonical 16-hex id, as
     /// carried by audit entries' `trace` field).
     TraceQuery { trace: String },
+    /// Buckets of one time series over an inclusive range. `series` must
+    /// be canonical ([`heimdall_obs::is_canonical_series`]) and
+    /// `start_ns <= end_ns`; anything else is a `BadRequest`.
+    TimeQuery {
+        series: String,
+        start_ns: u64,
+        end_ns: u64,
+        resolution: heimdall_obs::Resolution,
+    },
+    /// The SLO alerts fired so far (each carries an exemplar trace tag
+    /// to feed back into [`Request::TraceQuery`]).
+    AlertQuery,
+    /// Per-stage latency attribution of one trace's span tree.
+    CriticalPath { trace: String },
 }
 
 /// Why a request was refused.
@@ -134,6 +148,22 @@ pub enum Response {
     Trace {
         trace: String,
         spans: Vec<heimdall_telemetry::Span>,
+    },
+    /// Buckets answering a [`Request::TimeQuery`]. Empty when the series
+    /// exists but has no samples in range, or is simply unknown.
+    TimeSeries {
+        series: String,
+        resolution: heimdall_obs::Resolution,
+        points: Vec<heimdall_obs::Bucket>,
+    },
+    /// The broker's fired SLO alerts, oldest first.
+    Alerts {
+        alerts: Vec<heimdall_obs::Alert>,
+    },
+    /// Per-stage latency attribution of one trace (empty report when the
+    /// trace has rotated out of the span ring).
+    CriticalPath {
+        report: heimdall_obs::CriticalPathReport,
     },
     Error {
         kind: ErrorKind,
@@ -389,6 +419,39 @@ mod tests {
                 "cut at {cut} should be Truncated"
             );
         }
+    }
+
+    #[test]
+    fn eof_mid_payload_is_truncated_not_closed() {
+        // Regression: a peer that sends the full 4-byte prefix and part
+        // of the payload, then hangs up, must surface as `Truncated` —
+        // `Closed` is reserved for EOF at a frame boundary.
+        let mut buf: Vec<u8> = Vec::new();
+        write_frame(&mut buf, &Request::Stats).unwrap();
+        assert!(buf.len() > 6, "need some payload to cut into");
+        let cut = 4 + (buf.len() - 4) / 2; // prefix intact, payload half-sent
+        let mut cursor = &buf[..cut];
+        assert!(matches!(
+            read_frame::<_, Request>(&mut cursor),
+            Err(FrameError::Truncated)
+        ));
+        // Prefix fully sent but zero payload bytes: still Truncated.
+        let mut cursor = &buf[..4];
+        assert!(matches!(
+            read_frame::<_, Request>(&mut cursor),
+            Err(FrameError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn too_large_display_names_the_configured_cap() {
+        let err = FrameError::TooLarge(MAX_FRAME + 1);
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&MAX_FRAME.to_string()),
+            "operators must see the limit to know which side to raise: {msg}"
+        );
+        assert!(msg.contains(&(MAX_FRAME + 1).to_string()), "{msg}");
     }
 
     #[test]

@@ -126,6 +126,20 @@ impl SessionRegistry {
         evicted
     }
 
+    /// Visits every live session read-mostly (shard by shard, write lock
+    /// per shard because callers may poll mutable twin state). Unlike
+    /// [`SessionRegistry::with_session_mut`] this does NOT refresh
+    /// `last_used`: a monitoring scrape must not keep an abandoned
+    /// session alive past its idle TTL.
+    pub fn for_each_session(&self, mut f: impl FnMut(SessionId, &mut SessionEntry)) {
+        for shard in &self.shards {
+            let mut sessions = shard.sessions.write();
+            for (id, entry) in sessions.iter_mut() {
+                f(SessionId(*id), entry);
+            }
+        }
+    }
+
     /// Live session count (sums shard sizes; racy by nature, exact when
     /// quiescent).
     pub fn len(&self) -> usize {

@@ -278,7 +278,7 @@ impl Drop for ActiveSpan {
         let stage = span.stage.as_str();
         let reg = self.telemetry.registry();
         reg.histogram(STAGE_DURATION_METRIC, &[("stage", stage)])
-            .record_ns(span.duration_ns);
+            .record_ns_tagged(span.duration_ns, span.trace);
         if let Some(device) = &span.device {
             reg.histogram(
                 STAGE_DURATION_METRIC,

@@ -11,6 +11,7 @@
 //! and callers on hot paths should hold the `Arc` instead of re-looking
 //! it up.
 
+use crate::trace::TraceId;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -31,6 +32,10 @@ pub struct LatencyHistogram {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum_ns: AtomicU64,
+    /// Worst sample seen since the last [`LatencyHistogram::take_exemplar`].
+    exemplar_ns: AtomicU64,
+    /// Raw trace id of that worst sample; 0 when untagged.
+    exemplar_trace: AtomicU64,
 }
 
 impl Default for LatencyHistogram {
@@ -39,6 +44,8 @@ impl Default for LatencyHistogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum_ns: AtomicU64::new(0),
+            exemplar_ns: AtomicU64::new(0),
+            exemplar_trace: AtomicU64::new(0),
         }
     }
 }
@@ -63,6 +70,40 @@ impl LatencyHistogram {
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
                 Some(s.saturating_add(ns))
             });
+    }
+
+    /// Records a sample and, when it is the worst since the exemplar was
+    /// last taken, tags it with `trace` so alerts can pivot into the span
+    /// ring. The max/trace pair is updated without a lock; under a race
+    /// the stored trace may belong to a near-worst sample, which is fine
+    /// for an exemplar.
+    pub fn record_ns_tagged(&self, ns: u64, trace: TraceId) {
+        self.record_ns(ns);
+        if !trace.is_none() {
+            let prev = self.exemplar_ns.fetch_max(ns, Ordering::Relaxed);
+            if ns >= prev {
+                self.exemplar_trace.store(trace.0, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// `(duration_ns, trace)` of the worst tagged sample in the current
+    /// window, or `None` when no tagged sample has been recorded.
+    pub fn exemplar(&self) -> Option<(u64, TraceId)> {
+        let trace = TraceId(self.exemplar_trace.load(Ordering::Relaxed));
+        if trace.is_none() {
+            return None;
+        }
+        Some((self.exemplar_ns.load(Ordering::Relaxed), trace))
+    }
+
+    /// Returns the current exemplar and resets the window so the next
+    /// scrape harvests a fresh worst sample.
+    pub fn take_exemplar(&self) -> Option<(u64, TraceId)> {
+        let taken = self.exemplar();
+        self.exemplar_ns.store(0, Ordering::Relaxed);
+        self.exemplar_trace.store(0, Ordering::Relaxed);
+        taken
     }
 
     pub fn count(&self) -> u64 {
@@ -274,6 +315,25 @@ mod tests {
         assert_eq!(h.count(), 2);
         // The mean stays huge rather than wrapping toward zero.
         assert!(h.mean_ns() > u64::MAX / 4);
+    }
+
+    #[test]
+    fn exemplar_tracks_the_worst_tagged_sample() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.exemplar(), None);
+        h.record_ns_tagged(100, TraceId(7));
+        h.record_ns_tagged(5_000, TraceId(9));
+        h.record_ns_tagged(200, TraceId(11));
+        assert_eq!(h.exemplar(), Some((5_000, TraceId(9))));
+        // Untagged samples never displace the exemplar.
+        h.record_ns(1_000_000);
+        assert_eq!(h.exemplar(), Some((5_000, TraceId(9))));
+        // Taking resets the window.
+        assert_eq!(h.take_exemplar(), Some((5_000, TraceId(9))));
+        assert_eq!(h.exemplar(), None);
+        h.record_ns_tagged(50, TraceId(3));
+        assert_eq!(h.exemplar(), Some((50, TraceId(3))));
+        assert_eq!(h.count(), 5);
     }
 
     #[test]

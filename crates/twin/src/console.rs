@@ -28,6 +28,9 @@ pub enum Command {
     ShowInterfaces,
     ShowAccessLists,
     ShowVlan,
+    /// Operational counters (interfaces up, routes, ACL hits) — the
+    /// monitoring poller's read path.
+    ShowCounters,
     Ping {
         dst: Ipv4Addr,
     },
@@ -125,6 +128,7 @@ impl Command {
             }
             ["show", "access-lists"] => Ok(Command::ShowAccessLists),
             ["show", "vlan"] => Ok(Command::ShowVlan),
+            ["show", "counters"] => Ok(Command::ShowCounters),
             ["ping", dst] => Ok(Command::Ping {
                 dst: parse_ip(dst).map_err(|e| err(&e.to_string()))?,
             }),
@@ -255,7 +259,8 @@ impl Command {
             | Command::ShowIpOspf
             | Command::ShowInterfaces
             | Command::ShowAccessLists
-            | Command::ShowVlan => (Action::View, dev()),
+            | Command::ShowVlan
+            | Command::ShowCounters => (Action::View, dev()),
             Command::Ping { .. } | Command::Traceroute { .. } => (Action::Ping, dev()),
             Command::IfState { iface, .. } => (Action::ModifyInterfaceState, ifr(iface)),
             Command::IfAddress { iface, .. } => (Action::ModifyIpAddress, ifr(iface)),
@@ -362,6 +367,13 @@ pub fn execute(
                 }
             }
             Ok(out)
+        }
+        Command::ShowCounters => {
+            let c = emu.device_counters(device).ok_or_else(no_dev)?;
+            Ok(format!(
+                "interfaces: {}/{} up\nfib routes: {}\nacl entries: {}\nacl hits: {}\n",
+                c.if_up, c.if_total, c.fib_routes, c.acl_entries, c.acl_hits
+            ))
         }
         Command::Ping { dst } => {
             let src = emu
@@ -600,6 +612,7 @@ mod tests {
         for (line, mutating) in [
             ("show running-config", false),
             ("show ip route", false),
+            ("show counters", false),
             ("ping 10.2.1.10", false),
             ("traceroute 10.2.1.10", false),
             ("interface Gi0/2 shutdown", true),
@@ -708,6 +721,9 @@ mod tests {
         assert!(vlans.contains("access vlan 30"));
         let acls = execute(&mut emu, "fw1", &Command::ShowAccessLists).unwrap();
         assert!(acls.contains("permit ip 10.1.1.0 0.0.0.255"));
+        let counters = execute(&mut emu, "fw1", &Command::ShowCounters).unwrap();
+        assert!(counters.contains("fib routes:"), "{counters}");
+        assert!(counters.contains("acl hits: 0"), "{counters}");
     }
 
     #[test]

@@ -9,6 +9,24 @@
 use heimdall_dataplane::{DataPlane, Flow, Trace};
 use heimdall_netmodel::topology::Network;
 use heimdall_routing::{converge, ControlPlane};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Read-only operational counters for one emulated device — the payload
+/// of a mediated `show counters` monitoring poll.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceCounters {
+    pub device: String,
+    /// Administratively up interfaces.
+    pub if_up: u64,
+    pub if_total: u64,
+    /// Installed routes (RIB size after convergence).
+    pub fib_routes: u64,
+    /// Configured ACL entries across all ACLs.
+    pub acl_entries: u64,
+    /// Flows this emulation dropped on one of the device's ACLs.
+    pub acl_hits: u64,
+}
 
 /// A simulated network: configs plus (lazily) converged control plane.
 #[derive(Debug, Clone)]
@@ -16,6 +34,8 @@ pub struct EmulatedNetwork {
     net: Network,
     cp: Option<ControlPlane>,
     converge_count: usize,
+    /// Per-device count of traced flows dropped by that device's ACLs.
+    acl_hits: HashMap<String, u64>,
 }
 
 impl EmulatedNetwork {
@@ -25,6 +45,7 @@ impl EmulatedNetwork {
             net,
             cp: None,
             converge_count: 0,
+            acl_hits: HashMap::new(),
         }
     }
 
@@ -59,7 +80,35 @@ impl EmulatedNetwork {
         self.control_plane();
         let cp = self.cp.as_ref().expect("converged above");
         let dp = DataPlane::new(&self.net, cp);
-        Some(dp.trace(idx, flow))
+        let trace = dp.trace(idx, flow);
+        if let Some((dropper, _, _)) = trace.disposition.acl_hit() {
+            *self.acl_hits.entry(dropper.to_string()).or_insert(0) += 1;
+        }
+        Some(trace)
+    }
+
+    /// The operational counters of `device` (converging first so route
+    /// counts reflect the current configs); `None` for unknown devices.
+    pub fn device_counters(&mut self, device: &str) -> Option<DeviceCounters> {
+        let idx = self.net.idx(device).ok()?;
+        let (if_up, if_total, acl_entries) = {
+            let cfg = &self.net.device(idx).config;
+            (
+                cfg.interfaces.iter().filter(|i| i.is_up()).count() as u64,
+                cfg.interfaces.len() as u64,
+                cfg.acls.values().map(|a| a.entries.len() as u64).sum(),
+            )
+        };
+        self.control_plane();
+        let fib_routes = self.cp.as_ref().expect("converged above").route_count(idx) as u64;
+        Some(DeviceCounters {
+            device: device.to_string(),
+            if_up,
+            if_total,
+            fib_routes,
+            acl_entries,
+            acl_hits: self.acl_hits.get(device).copied().unwrap_or(0),
+        })
     }
 
     /// Strong reachability from the named device.
@@ -107,6 +156,36 @@ mod tests {
             .unwrap()
             .enabled = false;
         assert!(!emu.reachable_from("h1", &flow));
+    }
+
+    #[test]
+    fn device_counters_track_interfaces_routes_and_acl_hits() {
+        let g = enterprise_network();
+        let mut emu = EmulatedNetwork::new(g.net);
+        let fw1 = emu.device_counters("fw1").expect("fw1 exists");
+        assert_eq!(fw1.device, "fw1");
+        assert!(fw1.if_total >= fw1.if_up && fw1.if_up > 0);
+        assert!(fw1.fib_routes > 0, "converged RIB must not be empty");
+        assert!(fw1.acl_entries > 0, "fw1 carries ACL 100");
+        assert_eq!(fw1.acl_hits, 0, "no flows traced yet");
+        assert!(emu.device_counters("ghost").is_none());
+
+        // A flow fw1's ACL denies must bump exactly fw1's hit counter.
+        use heimdall_netmodel::acl::AclAction;
+        emu.network_mut()
+            .device_by_name_mut("fw1")
+            .unwrap()
+            .config
+            .acls
+            .get_mut("100")
+            .unwrap()
+            .entries[1]
+            .action = AclAction::Deny;
+        let flow = Flow::probe("10.1.2.10".parse().unwrap(), "10.2.1.10".parse().unwrap());
+        let trace = emu.trace_from("h4", &flow).unwrap();
+        assert!(trace.disposition.acl_hit().is_some(), "{trace:?}");
+        assert_eq!(emu.device_counters("fw1").unwrap().acl_hits, 1);
+        assert_eq!(emu.device_counters("h4").unwrap().acl_hits, 0);
     }
 
     #[test]

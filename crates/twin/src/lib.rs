@@ -50,7 +50,7 @@ pub mod session;
 pub mod slice;
 
 pub use console::{Command, CommandError};
-pub use emu::EmulatedNetwork;
+pub use emu::{DeviceCounters, EmulatedNetwork};
 pub use monitor::{MediationEvent, ReferenceMonitor};
 pub use session::{SessionError, TwinSession};
 pub use slice::{slice_for_task, TwinSpec};

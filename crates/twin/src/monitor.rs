@@ -6,6 +6,12 @@ use crate::console::Command;
 use heimdall_privilege::eval::{evaluate, Decision};
 use heimdall_privilege::model::{Action, PrivilegeMsp, Resource};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Default retained-event window. Long monitoring sessions poll counters
+/// continuously; totals stay exact as counters while the event detail is
+/// bounded to the most recent window.
+pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
 
 /// One mediated request, as recorded for the audit trail.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -22,20 +28,41 @@ pub struct MediationEvent {
 }
 
 /// Mediates commands against a privilege specification.
+///
+/// The event trail is a fixed-capacity ring: the newest
+/// [`DEFAULT_EVENT_CAPACITY`] events are retained in full detail, while
+/// [`ReferenceMonitor::total_events`] / [`ReferenceMonitor::total_denials`]
+/// count every mediation for the session's lifetime, so a long-running
+/// monitoring poll cannot grow memory without bound.
 #[derive(Debug, Clone)]
 pub struct ReferenceMonitor {
     spec: PrivilegeMsp,
     technician: String,
-    events: Vec<MediationEvent>,
+    events: VecDeque<MediationEvent>,
+    capacity: usize,
+    total_events: u64,
+    total_denials: u64,
 }
 
 impl ReferenceMonitor {
     /// A monitor enforcing `spec` for `technician`.
     pub fn new(technician: impl Into<String>, spec: PrivilegeMsp) -> Self {
+        ReferenceMonitor::with_capacity(technician, spec, DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// A monitor retaining at most `capacity` events (min 1).
+    pub fn with_capacity(
+        technician: impl Into<String>,
+        spec: PrivilegeMsp,
+        capacity: usize,
+    ) -> Self {
         ReferenceMonitor {
             spec,
             technician: technician.into(),
-            events: Vec::new(),
+            events: VecDeque::new(),
+            capacity: capacity.max(1),
+            total_events: 0,
+            total_denials: 0,
         }
     }
 
@@ -43,8 +70,8 @@ impl ReferenceMonitor {
     pub fn mediate(&mut self, device: &str, raw: &str, cmd: &Command) -> Decision {
         let (action, resource) = cmd.classify(device);
         let decision = evaluate(&self.spec, action, &resource);
-        self.events.push(MediationEvent {
-            seq: self.events.len() as u64,
+        self.events.push_back(MediationEvent {
+            seq: self.total_events,
             technician: self.technician.clone(),
             device: device.to_string(),
             command: raw.to_string(),
@@ -52,6 +79,13 @@ impl ReferenceMonitor {
             resource,
             decision: decision.clone(),
         });
+        self.total_events += 1;
+        if !decision.is_allowed() {
+            self.total_denials += 1;
+        }
+        if self.events.len() > self.capacity {
+            self.events.pop_front();
+        }
         decision
     }
 
@@ -70,17 +104,34 @@ impl ReferenceMonitor {
         &mut self.spec
     }
 
-    /// Everything mediated so far.
-    pub fn events(&self) -> &[MediationEvent] {
+    /// The retained event window (newest [`ReferenceMonitor::capacity`]
+    /// mediations; `seq` stays monotone across evictions).
+    pub fn events(&self) -> &VecDeque<MediationEvent> {
         &self.events
     }
 
-    /// Denied requests (the interesting part of the audit trail).
+    /// Denied requests within the retained window (the interesting part
+    /// of the audit trail).
     pub fn denials(&self) -> Vec<&MediationEvent> {
         self.events
             .iter()
             .filter(|e| !e.decision.is_allowed())
             .collect()
+    }
+
+    /// Maximum retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime mediation count (including evicted events).
+    pub fn total_events(&self) -> u64 {
+        self.total_events
+    }
+
+    /// Lifetime denial count (including evicted events).
+    pub fn total_denials(&self) -> u64 {
+        self.total_denials
     }
 }
 
@@ -133,6 +184,26 @@ mod tests {
         assert_eq!(m.events()[1].seq, 1);
         assert_eq!(m.denials().len(), 1);
         assert_eq!(m.denials()[0].device, "core1");
+    }
+
+    #[test]
+    fn event_ring_caps_memory_but_totals_stay_exact() {
+        let mut m = ReferenceMonitor::with_capacity("t1", spec_view_fw1(), 4);
+        let show = Command::parse("show ip route").unwrap();
+        for i in 0..10 {
+            // Odd polls hit an out-of-scope device: 5 lifetime denials.
+            let device = if i % 2 == 0 { "fw1" } else { "core1" };
+            m.mediate(device, "show ip route", &show);
+        }
+        assert_eq!(m.events().len(), 4, "window capped at capacity");
+        assert_eq!(m.total_events(), 10, "lifetime total counts evictions");
+        assert_eq!(m.total_denials(), 5);
+        // seq stays monotone across evictions: the window holds 6..=9.
+        let seqs: Vec<u64> = m.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        // denials() answers over the retained window only.
+        assert_eq!(m.denials().len(), 2);
+        assert!(m.denials().iter().all(|e| e.device == "core1"));
     }
 
     #[test]

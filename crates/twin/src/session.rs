@@ -104,6 +104,41 @@ impl TwinSession {
         }
     }
 
+    /// Polls `device`'s operational counters *through* the reference
+    /// monitor: the poll is classified as a read-only `View`, mediated
+    /// against the session's `Privilege_msp`, and recorded like any other
+    /// command — scraping a device the technician may not view is a
+    /// recorded denial, and no counters leak.
+    pub fn poll_counters(
+        &mut self,
+        device: &str,
+    ) -> Result<crate::emu::DeviceCounters, SessionError> {
+        let cmd = Command::ShowCounters;
+        let decision = self.monitor.mediate(device, "show counters", &cmd);
+        if !decision.is_allowed() {
+            // Only a denied (or failed) poll leaves a span: successful
+            // polls run at scrape cadence, and span-per-poll would both
+            // drown the technician's interactive trace in monitoring
+            // noise and evict real spans from the ring.
+            if let Some(mut s) = self.tracing.span(Stage::Console) {
+                s.set_device(device);
+                s.set_status(SpanStatus::Denied);
+                s.set_detail(format!("denied: counter poll on {device}"));
+            }
+            return Err(SessionError::PermissionDenied {
+                command: format!("show counters ({device})"),
+            });
+        }
+        self.emu.device_counters(device).ok_or_else(|| {
+            if let Some(mut s) = self.tracing.span(Stage::Console) {
+                s.set_device(device);
+                s.set_status(SpanStatus::Error);
+                s.set_detail(format!("counter poll on missing device {device}"));
+            }
+            SessionError::Command(CommandError::NoSuchObject(format!("device {device}")))
+        })
+    }
+
     /// The topology view the technician sees.
     pub fn view(&self) -> TopologyView {
         topology_view(self.emu.network(), self.monitor.spec())
@@ -258,6 +293,32 @@ mod tests {
             }
             other => panic!("unexpected change {other:?}"),
         }
+    }
+
+    #[test]
+    fn counter_poll_is_mediated_and_denied_polls_leak_nothing() {
+        let net = broken_production();
+        let task = acl_task();
+        let twin = slice_for_task(&net, &task);
+        let spec = derive_privileges(&net, &task);
+        let mut s = TwinSession::open("alice", twin, spec);
+
+        // In-slice device: counters come back.
+        let c = s.poll_counters("fw1").expect("fw1 is viewable");
+        assert_eq!(c.device, "fw1");
+        assert!(c.fib_routes > 0);
+
+        // bdr1 is outside the ACL ticket's slice: the poll is a recorded
+        // denial and returns no counters.
+        let before = s.monitor().total_denials();
+        let e = s.poll_counters("bdr1").unwrap_err();
+        assert!(matches!(e, SessionError::PermissionDenied { .. }));
+        assert_eq!(s.monitor().total_denials(), before + 1);
+        let denied = s.monitor().denials();
+        assert!(
+            denied.iter().any(|ev| ev.device == "bdr1"),
+            "denied poll must be in the audit trail"
+        );
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use heimdall::netmodel::acl::AclAction;
 use heimdall::netmodel::gen::enterprise_network;
 use heimdall::netmodel::topology::Network;
+use heimdall::obs::{ObsConfig, Resolution, SloRule};
 use heimdall::privilege::derive::{Task, TaskKind};
 use heimdall::routing::converge;
 use heimdall::service::{
@@ -334,6 +335,12 @@ fn main() {
                 },
                 ..TelemetryConfig::default()
             },
+            obs: ObsConfig {
+                // A 1ns exec-p99 ceiling: every scrape of real work is an
+                // excursion, so the burn-rate drill below fires.
+                rules: vec![SloRule::ceiling("exec_p99", "stage.exec.p99_ns", 1.0)],
+                ..ObsConfig::default()
+            },
             ..BrokerConfig::default()
         },
     );
@@ -358,6 +365,87 @@ fn main() {
         "\nrecorder drill: {:?} froze {} spans ({})",
         drill_dumps[0].kind, drill_dumps[0].span_count, drill_dumps[0].reason
     );
+
+    // Observability, quiet side: the healthy broker's scrape loop builds
+    // history under the default SLO rules and fires nothing. CI greps
+    // for the `obs quiet: 0 alerts` line.
+    let mut quiet_fired = 0;
+    for _ in 0..20 {
+        quiet_fired += service.broker().scrape_once();
+    }
+    assert_eq!(quiet_fired, 0, "healthy run must fire no alerts");
+    println!(
+        "\nobs quiet: 0 alerts over 20 scrapes ({} series retained)",
+        service.broker().obs_store().series_names().len()
+    );
+    // The history is wire-queryable at every resolution.
+    let mut conn = service.connect().expect("obs connect");
+    let Response::TimeSeries { points, .. } = send(
+        &mut conn,
+        &Request::TimeQuery {
+            series: "stage.exec.p99_ns".to_string(),
+            start_ns: 0,
+            end_ns: u64::MAX,
+            resolution: Resolution::Raw,
+        },
+    ) else {
+        panic!("expected TimeSeries");
+    };
+    assert_eq!(points.len(), 20, "one exec-p99 point per scrape");
+    println!(
+        "exec p99 history: {} points, latest {}ns",
+        points.len(),
+        points.last().expect("nonempty").max
+    );
+    drop(conn);
+
+    // Excursion side, on the drill broker: real mediated work against a
+    // 1ns exec-p99 ceiling. The multi-window burn fires exactly once for
+    // the sustained excursion, and the alert's exemplar pivots through
+    // the trace store into a critical-path report. CI greps for the
+    // `obs drill: 1 alert` line.
+    let (work, _) = drill
+        .open_session(
+            "driller",
+            Task {
+                kind: TaskKind::AccessControl,
+                affected: vec!["h4".to_string(), "srv1".to_string()],
+            },
+        )
+        .expect("open drill work session");
+    for _ in 0..10 {
+        drill
+            .exec(work, "fw1", "show access-lists")
+            .expect("drill show");
+        drill
+            .exec(work, "h4", "ping 10.2.1.10")
+            .expect("drill ping");
+    }
+    let mut drill_fired = 0;
+    for _ in 0..30 {
+        drill_fired += drill.scrape_once();
+    }
+    assert_eq!(drill_fired, 1, "one sustained excursion, one alert");
+    let alerts = drill.alerts();
+    let alert = alerts.first().expect("the drill alert");
+    let report = drill
+        .critical_path(&alert.exemplar_trace)
+        .expect("exemplar must be a canonical trace tag");
+    assert_eq!(
+        report.top_contributor, "exec",
+        "exec-heavy exemplar must attribute to exec: {:?}",
+        report.stages
+    );
+    println!(
+        "obs drill: 1 alert ({}, burn {:.1}x/{:.1}x), exemplar {} → critical path:",
+        alert.rule, alert.burn_short, alert.burn_long, alert.exemplar_trace
+    );
+    for s in &report.stages {
+        println!(
+            "  {:<16} ×{:<3} self {:>9}ns  total {:>9}ns",
+            s.stage, s.count, s.self_ns, s.total_ns
+        );
+    }
 
     println!("\nall commits landed exactly once; policies hold; audit chain verified");
 }

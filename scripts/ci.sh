@@ -35,5 +35,21 @@ if grep -q "FLIGHT-RECORDER DUMP" <<<"$demo_out"; then
     echo "service_demo tripped the flight recorder on a healthy run"
     exit 1
 fi
+# The obs drill inside the demo: a quiet broker fires zero alerts, the
+# excursion broker fires exactly one.
+if ! grep -q "obs quiet: 0 alerts" <<<"$demo_out"; then
+    echo "$demo_out"
+    echo "service_demo: quiet broker fired alerts (or drill missing)"
+    exit 1
+fi
+if ! grep -q "obs drill: 1 alert" <<<"$demo_out"; then
+    echo "$demo_out"
+    echo "service_demo: excursion broker did not fire exactly one alert"
+    exit 1
+fi
+
+echo "==> obs bench (json smoke)"
+cargo bench --bench obs -- --json --test
+test -s BENCH_obs.json || { echo "BENCH_obs.json missing"; exit 1; }
 
 echo "CI green."

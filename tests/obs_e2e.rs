@@ -1,0 +1,283 @@
+//! End-to-end observability: the broker's scrape loop feeds the tiered
+//! time-series store (queried over the wire at three resolutions), an
+//! exec-latency excursion fires exactly one burn-rate alert whose
+//! exemplar trace pivots through `TraceQuery` into a critical-path
+//! report topped by the exec stage, mediated device polls surface twin
+//! counters — and a poll of an unprivileged device is a recorded denial
+//! that leaks nothing. A quiet run fires zero alerts.
+
+use heimdall::netmodel::acl::AclAction;
+use heimdall::netmodel::gen::enterprise_network;
+use heimdall::netmodel::topology::Network;
+use heimdall::obs::{Resolution, SloRule};
+use heimdall::privilege::derive::{Task, TaskKind};
+use heimdall::routing::converge;
+use heimdall::service::{
+    read_frame, write_frame, Broker, BrokerConfig, BrokerError, Request, Response, SessionService,
+};
+use heimdall::telemetry::TraceId;
+use heimdall::verify::mine::{mine_policies, MinerInput};
+use heimdall::verify::policy::PolicySet;
+
+fn healthy_enterprise() -> (Network, PolicySet) {
+    let g = enterprise_network();
+    let cp = converge(&g.net);
+    let policies = mine_policies(&g.net, &cp, &MinerInput::from_meta(&g.meta));
+    (g.net, policies)
+}
+
+/// Enterprise production with the Figure-6 ACL break, so pings hit the
+/// firewall's deny path and ACL-hit counters move.
+fn broken_enterprise() -> (Network, PolicySet) {
+    let (mut net, policies) = healthy_enterprise();
+    net.device_by_name_mut("fw1")
+        .unwrap()
+        .config
+        .acls
+        .get_mut("100")
+        .unwrap()
+        .entries[1]
+        .action = AclAction::Deny;
+    (net, policies)
+}
+
+fn acl_ticket() -> Task {
+    Task {
+        kind: TaskKind::AccessControl,
+        affected: vec!["h4".into(), "srv1".into()],
+    }
+}
+
+#[test]
+fn time_queries_serve_ten_thousand_samples_at_three_resolutions() {
+    let (production, policies) = healthy_enterprise();
+    let service = SessionService::new(
+        Broker::new(production, policies, BrokerConfig::default()),
+        2,
+        8,
+    );
+    let store = service.broker().obs_store().clone();
+    const N: u64 = 10_000;
+    for i in 0..N {
+        store.push("bulk.samples", i, i as f64);
+    }
+    let expected_sum: f64 = (0..N).map(|i| i as f64).sum();
+    assert_eq!(store.totals("bulk.samples"), Some((N, expected_sum)));
+    assert_eq!(store.tier_sum("bulk.samples"), Some(expected_sum));
+
+    let mut conn = service.connect().unwrap();
+    let mut query = |resolution: Resolution| {
+        write_frame(
+            &mut conn,
+            &Request::TimeQuery {
+                series: "bulk.samples".into(),
+                start_ns: 0,
+                end_ns: N,
+                resolution,
+            },
+        )
+        .unwrap();
+        let Response::TimeSeries { points, .. } = read_frame(&mut conn).unwrap() else {
+            panic!("expected TimeSeries");
+        };
+        points
+    };
+
+    // Raw: one-sample buckets, bounded by the raw ring, newest retained.
+    let raw = query(Resolution::Raw);
+    assert!(!raw.is_empty() && raw.len() <= 4096, "{}", raw.len());
+    assert!(raw.iter().all(|b| b.count == 1));
+    assert_eq!(raw.last().unwrap().sum, (N - 1) as f64);
+
+    // Mid: exact 16-sample aggregates.
+    let mid = query(Resolution::Mid);
+    assert!(!mid.is_empty());
+    assert!(mid.iter().all(|b| b.count == 16), "{:?}", mid[0]);
+    assert!(mid.iter().all(|b| b.min <= b.max && b.start_ns <= b.end_ns));
+
+    // Coarse: exact 256-sample aggregates covering the evicted history.
+    let coarse = query(Resolution::Coarse);
+    assert!(!coarse.is_empty());
+    assert!(coarse.iter().all(|b| b.count == 256));
+    // The oldest raw sample has been evicted, but its mass survives in
+    // the coarse tier: the first coarse bucket starts at t=0.
+    assert!(raw.first().unwrap().start_ns > 0);
+    assert_eq!(coarse.first().unwrap().start_ns, 0);
+
+    // Wire-level validation: non-canonical series and inverted ranges
+    // are BadRequest, unknown-but-canonical series are empty results.
+    write_frame(
+        &mut conn,
+        &Request::TimeQuery {
+            series: "Not Canonical!".into(),
+            start_ns: 0,
+            end_ns: 1,
+            resolution: Resolution::Raw,
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        read_frame::<_, Response>(&mut conn).unwrap(),
+        Response::Error { .. }
+    ));
+    write_frame(
+        &mut conn,
+        &Request::TimeQuery {
+            series: "bulk.samples".into(),
+            start_ns: 9,
+            end_ns: 3,
+            resolution: Resolution::Raw,
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        read_frame::<_, Response>(&mut conn).unwrap(),
+        Response::Error { .. }
+    ));
+    write_frame(
+        &mut conn,
+        &Request::TimeQuery {
+            series: "no.such.series".into(),
+            start_ns: 0,
+            end_ns: u64::MAX,
+            resolution: Resolution::Coarse,
+        },
+    )
+    .unwrap();
+    let Response::TimeSeries { points, .. } = read_frame(&mut conn).unwrap() else {
+        panic!("expected empty TimeSeries");
+    };
+    assert!(points.is_empty());
+}
+
+#[test]
+fn exec_excursion_fires_one_alert_whose_exemplar_tops_with_exec() {
+    let (production, policies) = broken_enterprise();
+    let mut config = BrokerConfig::default();
+    // A 1ns exec-p99 ceiling: every mediated command is an excursion, so
+    // the windows burn as soon as they are warm.
+    config.obs.rules = vec![SloRule::ceiling("exec_p99", "stage.exec.p99_ns", 1.0)];
+    let broker = Broker::new(production, policies, config);
+
+    let (id, _) = broker.open_session("alice", acl_ticket()).unwrap();
+    // Plenty of mediated work so the exec stage dominates the trace.
+    for _ in 0..20 {
+        broker.exec(id, "fw1", "show access-lists").unwrap();
+        broker.exec(id, "h4", "ping 10.2.1.10").unwrap();
+    }
+
+    let mut fired_total = 0;
+    for _ in 0..30 {
+        fired_total += broker.scrape_once();
+    }
+    assert_eq!(fired_total, 1, "one sustained excursion, one alert");
+    let alerts = broker.alerts();
+    assert_eq!(alerts.len(), 1);
+    let alert = &alerts[0];
+    assert_eq!(alert.rule, "exec_p99");
+    assert_eq!(alert.series, "stage.exec.p99_ns");
+    assert!(alert.burn_short >= 1.0 && alert.burn_long >= 1.0);
+
+    // The exemplar is a canonical trace tag that resolves to a span tree.
+    assert!(
+        TraceId::parse(&alert.exemplar_trace).is_some(),
+        "bad exemplar {:?}",
+        alert.exemplar_trace
+    );
+    let spans = broker.trace_query(&alert.exemplar_trace).unwrap();
+    assert!(!spans.is_empty(), "exemplar must resolve to retained spans");
+
+    // Pivot over the wire: AlertQuery → CriticalPath on the exemplar.
+    let Response::Alerts {
+        alerts: wire_alerts,
+    } = broker.handle(Request::AlertQuery)
+    else {
+        panic!("expected Alerts");
+    };
+    assert_eq!(wire_alerts.len(), 1);
+    let Response::CriticalPath { report } = broker.handle(Request::CriticalPath {
+        trace: wire_alerts[0].exemplar_trace.clone(),
+    }) else {
+        panic!("expected CriticalPath");
+    };
+    assert_eq!(
+        report.top_contributor, "exec",
+        "exec-heavy trace must attribute to exec: {:?}",
+        report.stages
+    );
+    assert!(report.total_ns > 0);
+    let exec = report.stages.iter().find(|s| s.stage == "exec").unwrap();
+    assert_eq!(exec.count, 40, "all mediated lines attributed");
+
+    // Malformed pivots are rejected, unknown-but-canonical traces are
+    // empty reports — never errors that would break a dashboard.
+    assert!(matches!(
+        broker.handle(Request::CriticalPath {
+            trace: "not-hex".into()
+        }),
+        Response::Error { .. }
+    ));
+    let Response::CriticalPath { report } = broker.handle(Request::CriticalPath {
+        trace: "00000000000000aa".into(),
+    }) else {
+        panic!("expected CriticalPath");
+    };
+    assert!(report.stages.is_empty());
+}
+
+#[test]
+fn mediated_polls_feed_series_and_denied_polls_leak_nothing() {
+    let (production, policies) = broken_enterprise();
+    let broker = Broker::new(production, policies, BrokerConfig::default());
+    let (id, devices) = broker.open_session("alice", acl_ticket()).unwrap();
+    assert!(devices.contains(&"fw1".to_string()));
+    assert!(!devices.contains(&"bdr1".to_string()), "{devices:?}");
+
+    // A denied ping moves fw1's ACL-hit counter inside the twin…
+    let pong = broker.exec(id, "h4", "ping 10.2.1.10").unwrap();
+    assert!(pong.contains("denied") || pong.contains("failed"), "{pong}");
+    broker.scrape_once();
+
+    // …and the mediated scrape surfaced it as a device series.
+    let store = broker.obs_store();
+    let fw1_hits = store.tail("device.fw1.acl_hits", 1);
+    assert_eq!(fw1_hits.len(), 1);
+    assert!(fw1_hits[0].1 >= 1.0, "acl hit not scraped: {fw1_hits:?}");
+    assert!(!store.tail("device.fw1.if_up", 1).is_empty());
+
+    // The border router is outside alice's privilege: polling it is a
+    // recorded denial and writes nothing.
+    let denials_before = broker.stats().denials;
+    let err = broker.poll_device_counters(id, "bdr1").unwrap_err();
+    assert!(matches!(err, BrokerError::PermissionDenied(_)));
+    assert_eq!(broker.stats().denials, denials_before + 1);
+    assert!(
+        !store
+            .series_names()
+            .iter()
+            .any(|n| n.starts_with("device.bdr1")),
+        "denied poll must not leak series"
+    );
+
+    // The in-twin scrape itself stayed denial-free: every sliced device
+    // is viewable by construction.
+    assert_eq!(denials_before, 0);
+}
+
+#[test]
+fn quiet_run_fires_zero_alerts_under_default_rules() {
+    let (production, policies) = healthy_enterprise();
+    let broker = Broker::new(production, policies, BrokerConfig::default());
+    let (id, _) = broker.open_session("bob", acl_ticket()).unwrap();
+    broker.exec(id, "fw1", "show access-lists").unwrap();
+    broker.exec(id, "h4", "ping 10.2.1.10").unwrap();
+    for _ in 0..40 {
+        assert_eq!(broker.scrape_once(), 0);
+    }
+    assert!(broker.alerts().is_empty(), "{:?}", broker.alerts());
+    assert_eq!(broker.stats().denials, 0);
+    // The history is there for dashboards even though nothing fired.
+    assert!(broker.obs_store().contains("stage.exec.p99_ns"));
+    assert!(broker.obs_store().contains("service.denials_total"));
+    assert!(broker.obs_store().contains("enforcer.verify_total"));
+}

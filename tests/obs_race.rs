@@ -1,0 +1,136 @@
+//! Concurrent-ingestion stress for the time-series store: N writer
+//! threads hammer one series while a downsampler folds tiers and a
+//! reader queries mid-flight. The exact-once folding invariant must
+//! hold at every instant and at the end: no sample is ever counted in
+//! two tiers, and (with rings sized to avoid coarse eviction) the
+//! three-tier sum decomposition equals the lifetime sum exactly.
+
+use heimdall::obs::{Resolution, SeriesConfig, TimeSeriesStore};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+const WRITERS: usize = 8;
+const PER_WRITER: u64 = 8_192;
+const SERIES: &str = "race.counter";
+
+#[test]
+fn writers_downsampler_and_reader_never_double_count() {
+    // Tiny raw/mid rings force constant folding and eviction under the
+    // writers' feet; coarse is sized so no folded mass is ever dropped
+    // (8 * 8192 samples / 256 per coarse bucket = 256 buckets << 1024).
+    let store = Arc::new(TimeSeriesStore::new(SeriesConfig {
+        raw_capacity: 64,
+        mid_capacity: 64,
+        coarse_capacity: 1024,
+    }));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Integer-valued samples ≤ 97 keep every partial sum exactly
+    // representable in f64, so equality assertions are legitimate.
+    let value_of = |w: u64, i: u64| ((w * 31 + i) % 97) as f64;
+
+    let writers: Vec<_> = (0..WRITERS as u64)
+        .map(|w| {
+            let store = Arc::clone(&store);
+            thread::spawn(move || {
+                for i in 0..PER_WRITER {
+                    store.push(SERIES, w * PER_WRITER + i, value_of(w, i));
+                }
+            })
+        })
+        .collect();
+
+    let downsampler = {
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut passes = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                store.downsample();
+                passes += 1;
+            }
+            passes
+        })
+    };
+
+    let reader = {
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut reads = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                // Mid-flight consistency: the decomposition matches the
+                // lifetime totals even while folds and pushes race.
+                if let (Some((_, total)), Some(tiers)) =
+                    (store.totals(SERIES), store.tier_sum(SERIES))
+                {
+                    assert_eq!(tiers, total, "tier decomposition drifted mid-flight");
+                }
+                let _ = store.query(SERIES, 0, u64::MAX, Resolution::Mid);
+                let _ = store.tail(SERIES, 32);
+                reads += 1;
+            }
+            reads
+        })
+    };
+
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let passes = downsampler.join().unwrap();
+    let reads = reader.join().unwrap();
+    assert!(passes > 0 && reads > 0, "auxiliary threads must have run");
+
+    // Settle any group completed by the last pushes.
+    store.downsample();
+
+    let expected_count = (WRITERS as u64) * PER_WRITER;
+    let expected_sum: f64 = (0..WRITERS as u64)
+        .flat_map(|w| (0..PER_WRITER).map(move |i| value_of(w, i)))
+        .sum();
+    assert_eq!(store.totals(SERIES), Some((expected_count, expected_sum)));
+    assert_eq!(
+        store.tier_sum(SERIES),
+        Some(expected_sum),
+        "a sample was folded twice or lost"
+    );
+
+    // Aggregates are built from whole groups only — never a torn fold.
+    let mid = store.query(SERIES, 0, u64::MAX, Resolution::Mid).unwrap();
+    assert!(mid.iter().all(|b| b.count == 16), "torn mid bucket");
+    let coarse = store
+        .query(SERIES, 0, u64::MAX, Resolution::Coarse)
+        .unwrap();
+    assert!(coarse.iter().all(|b| b.count == 256), "torn coarse bucket");
+    // Everything folded to coarse is accounted exactly once there.
+    let coarse_count: u64 = coarse.iter().map(|b| b.count).sum();
+    assert!(coarse_count <= expected_count);
+    assert_eq!(coarse_count % 256, 0);
+}
+
+#[test]
+fn concurrent_distinct_series_stay_isolated() {
+    let store = Arc::new(TimeSeriesStore::default());
+    let handles: Vec<_> = (0..4u64)
+        .map(|w| {
+            let store = Arc::clone(&store);
+            thread::spawn(move || {
+                let name = format!("writer{w}.events");
+                for i in 0..2_000u64 {
+                    store.push(&name, i, 1.0);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    for w in 0..4u64 {
+        let name = format!("writer{w}.events");
+        assert_eq!(store.totals(&name), Some((2_000, 2_000.0)));
+        assert_eq!(store.tier_sum(&name), Some(2_000.0));
+    }
+    assert_eq!(store.series_names().len(), 4);
+}

@@ -5,14 +5,16 @@
 
 use heimdall::enforcer::audit::AuditKind;
 use heimdall::enforcer::verifier::Verdict;
+use heimdall::obs::{Alert, Bucket, CriticalPathReport, Resolution, StageCost};
 use heimdall::privilege::derive::{Task, TaskKind};
 use heimdall::service::stats::StatsSnapshot;
 use heimdall::service::{
-    read_frame, write_frame, AuditEntryView, ErrorKind, FrameError, Request, Response, SessionId,
-    MAX_FRAME,
+    read_frame, write_frame, AuditEntryView, Broker, BrokerConfig, ErrorKind, FrameError, Request,
+    Response, SessionId, MAX_FRAME,
 };
 use heimdall::telemetry::{Span, SpanId, SpanStatus, Stage, TraceId};
 use proptest::prelude::*;
+use std::sync::OnceLock;
 
 // ------------------------------------------------------------ strategies
 
@@ -98,6 +100,16 @@ fn request_s() -> BoxedStrategy<Request> {
         Just(Request::Stats),
         Just(Request::Telemetry),
         trace_tag_s().prop_map(|trace| Request::TraceQuery { trace }),
+        (name_s(), any::<u64>(), any::<u64>(), resolution_s()).prop_map(
+            |(series, start_ns, end_ns, resolution)| Request::TimeQuery {
+                series,
+                start_ns,
+                end_ns,
+                resolution,
+            }
+        ),
+        Just(Request::AlertQuery),
+        trace_tag_s().prop_map(|trace| Request::CriticalPath { trace }),
     ]
     .boxed()
 }
@@ -220,6 +232,93 @@ fn snapshot_s() -> BoxedStrategy<StatsSnapshot> {
         .boxed()
 }
 
+fn resolution_s() -> BoxedStrategy<Resolution> {
+    prop_oneof![
+        Just(Resolution::Raw),
+        Just(Resolution::Mid),
+        Just(Resolution::Coarse),
+    ]
+    .boxed()
+}
+
+/// Finite floats only: JSON has no NaN/Inf (the codec nulls them), so
+/// the protocol never carries them. Integer ratios exercise both short
+/// (`1.0`) and long (`0.333…`) decimal expansions, all of which the
+/// shortest-round-trip formatter reproduces exactly.
+fn finite_f64_s() -> BoxedStrategy<f64> {
+    (any::<i32>(), 1u32..1000)
+        .prop_map(|(a, b)| a as f64 / b as f64)
+        .boxed()
+}
+
+fn bucket_s() -> BoxedStrategy<Bucket> {
+    (
+        (any::<u64>(), any::<u64>()),
+        (finite_f64_s(), finite_f64_s(), finite_f64_s()),
+        any::<u64>(),
+    )
+        .prop_map(|(times, vals, count)| Bucket {
+            start_ns: times.0,
+            end_ns: times.1,
+            min: vals.0,
+            max: vals.1,
+            sum: vals.2,
+            count,
+        })
+        .boxed()
+}
+
+fn alert_s() -> BoxedStrategy<Alert> {
+    (
+        (name_s(), name_s()),
+        any::<u64>(),
+        (finite_f64_s(), finite_f64_s()),
+        trace_tag_s(),
+        line_s(),
+    )
+        .prop_map(
+            |(names, fired_at_ns, burns, exemplar_trace, detail)| Alert {
+                rule: names.0,
+                series: names.1,
+                fired_at_ns,
+                burn_short: burns.0,
+                burn_long: burns.1,
+                exemplar_trace,
+                detail,
+            },
+        )
+        .boxed()
+}
+
+fn stage_cost_s() -> BoxedStrategy<StageCost> {
+    (name_s(), any::<u64>(), any::<u64>(), any::<u64>())
+        .prop_map(|(stage, count, total_ns, self_ns)| StageCost {
+            stage,
+            count,
+            total_ns,
+            self_ns,
+        })
+        .boxed()
+}
+
+fn report_s() -> BoxedStrategy<CriticalPathReport> {
+    (
+        trace_tag_s(),
+        any::<u64>(),
+        collection::vec(stage_cost_s(), 0..4),
+        name_s(),
+    )
+        .prop_map(
+            |(trace, total_ns, stages, top_contributor)| CriticalPathReport {
+                trace,
+                total_ns,
+                stages,
+                top_contributor,
+            },
+        )
+        .boxed()
+}
+
 /// Every `Response` variant.
 fn response_s() -> BoxedStrategy<Response> {
     prop_oneof![
@@ -248,6 +347,15 @@ fn response_s() -> BoxedStrategy<Response> {
         line_s().prop_map(|text| Response::Telemetry { text }),
         (trace_tag_s(), collection::vec(span_s(), 0..4))
             .prop_map(|(trace, spans)| Response::Trace { trace, spans }),
+        (name_s(), resolution_s(), collection::vec(bucket_s(), 0..4)).prop_map(
+            |(series, resolution, points)| Response::TimeSeries {
+                series,
+                resolution,
+                points,
+            }
+        ),
+        collection::vec(alert_s(), 0..3).prop_map(|alerts| Response::Alerts { alerts }),
+        report_s().prop_map(|report| Response::CriticalPath { report }),
         (error_kind_s(), line_s()).prop_map(|(kind, message)| Response::Error { kind, message }),
     ]
     .boxed()
@@ -257,6 +365,34 @@ fn encode<T: serde::Serialize>(value: &T) -> Vec<u8> {
     let mut buf = Vec::new();
     write_frame(&mut buf, value).expect("encode");
     buf
+}
+
+/// Series names guaranteed non-canonical: empty, capitalized lead,
+/// embedded illegal characters, or over the length cap.
+fn bad_series_s() -> BoxedStrategy<String> {
+    prop_oneof![
+        Just(String::new()),
+        "[A-Z][a-zA-Z0-9_.]{0,8}".boxed(),
+        "[a-z]{1,4}[ !@#]{1,3}[a-z]{0,4}".boxed(),
+        Just("a".repeat(129)),
+    ]
+    .boxed()
+}
+
+/// One shared broker for the request-validation properties: validation
+/// happens before any session state, so reuse across cases is safe.
+fn validation_broker() -> &'static Broker {
+    static BROKER: OnceLock<Broker> = OnceLock::new();
+    BROKER.get_or_init(|| {
+        let g = heimdall::netmodel::gen::enterprise_network();
+        let cp = heimdall::routing::converge(&g.net);
+        let policies = heimdall::verify::mine::mine_policies(
+            &g.net,
+            &cp,
+            &heimdall::verify::mine::MinerInput::from_meta(&g.meta),
+        );
+        Broker::new(g.net, policies, BrokerConfig::default())
+    })
 }
 
 // ----------------------------------------------------------- properties
@@ -306,6 +442,53 @@ proptest! {
             Err(FrameError::TooLarge(n)) => prop_assert_eq!(n, declared),
             other => panic!("expected TooLarge, got {:?}", other.map(|_| ())),
         }
+    }
+
+    #[test]
+    fn non_canonical_series_names_are_bad_requests(series in bad_series_s(), res in resolution_s()) {
+        let resp = validation_broker().handle(Request::TimeQuery {
+            series,
+            start_ns: 0,
+            end_ns: u64::MAX,
+            resolution: res,
+        });
+        prop_assert!(
+            matches!(resp, Response::Error { kind: ErrorKind::BadRequest, .. }),
+            "expected BadRequest, got {:?}", resp
+        );
+    }
+
+    #[test]
+    fn inverted_ranges_are_bad_requests(a in any::<u64>(), b in any::<u64>(), res in resolution_s()) {
+        // Force start > end regardless of the draw.
+        let start_ns = a.max(b).max(1);
+        let end_ns = a.min(b).min(start_ns - 1);
+        let resp = validation_broker().handle(Request::TimeQuery {
+            series: "any.series".into(),
+            start_ns,
+            end_ns,
+            resolution: res,
+        });
+        prop_assert!(
+            matches!(resp, Response::Error { kind: ErrorKind::BadRequest, .. }),
+            "expected BadRequest, got {:?}", resp
+        );
+    }
+
+    #[test]
+    fn well_formed_time_queries_never_error(series in name_s(), a in any::<u64>(), b in any::<u64>(), res in resolution_s()) {
+        // Canonical name + ordered range: unknown series is an empty
+        // result, never an error.
+        let resp = validation_broker().handle(Request::TimeQuery {
+            series: series.clone(),
+            start_ns: a.min(b),
+            end_ns: a.max(b),
+            resolution: res,
+        });
+        let Response::TimeSeries { series: got, .. } = resp else {
+            panic!("expected TimeSeries, got {resp:?}");
+        };
+        prop_assert_eq!(got, series);
     }
 
     #[test]
