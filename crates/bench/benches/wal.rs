@@ -1,0 +1,219 @@
+//! WAL append throughput and recovery cost: 1, 8 and 32 appender
+//! threads journaling durable records through group commit versus
+//! per-record sync on a `MemStorage` with a simulated device-flush
+//! latency, plus cold-start recovery time against growing log sizes.
+//!
+//! Two modes:
+//! - default: the Criterion harness (whole-round wall-clock).
+//! - `--json`: measures append throughput per appender count for both
+//!   sync disciplines (reporting the group-commit speedup) and recovery
+//!   time per log size, writing `BENCH_wal.json` at the workspace root.
+//!   Combine with `--test` for a fast smoke pass.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use heimdall::store::{Durability, MemStorage, Wal, WalConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Simulated device flush latency — the ballpark of a disk-backed
+/// fsync. Spin-based in `MemStorage`, so the cost is exact at a scale
+/// OS timers cannot hit; it is what makes batching visible: one flush
+/// amortized over a batch versus one per record.
+const SYNC_COST: Duration = Duration::from_micros(250);
+
+/// A payload the size of a typical broker journal event.
+const PAYLOAD: &[u8] = &[0x5a; 96];
+
+fn wal_on(storage: &MemStorage, group_commit: bool) -> Wal {
+    let cfg = WalConfig {
+        durability: Durability::GroupCommitSync,
+        segment_max_bytes: 1 << 20,
+        group_commit,
+    };
+    let (wal, _) = Wal::open(Box::new(storage.clone()), cfg).expect("open empty wal");
+    wal
+}
+
+/// One append round: `appenders` threads each land `per_appender`
+/// durable records (`append_sync` — every return is an acknowledged,
+/// crash-safe record). Returns the wall-clock for the whole round.
+fn append_round(appenders: usize, per_appender: u64, group_commit: bool) -> Duration {
+    let storage = MemStorage::new();
+    storage.set_sync_cost(SYNC_COST);
+    let wal = Arc::new(wal_on(&storage, group_commit));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..appenders)
+        .map(|_| {
+            let wal = Arc::clone(&wal);
+            thread::spawn(move || {
+                for _ in 0..per_appender {
+                    wal.append_sync(1, PAYLOAD).expect("durable append");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("appender thread");
+    }
+    let elapsed = started.elapsed();
+    assert_eq!(wal.durable(), appenders as u64 * per_appender);
+    elapsed
+}
+
+/// Builds a synced log of `records` entries and returns its storage.
+fn build_log(records: u64) -> MemStorage {
+    let storage = MemStorage::new();
+    let wal = wal_on(&storage, true);
+    for _ in 0..records {
+        wal.append(1, PAYLOAD).expect("append");
+    }
+    wal.sync_barrier().expect("sync");
+    storage
+}
+
+/// Cold-start recovery: reopen the log, re-verifying every CRC and
+/// chain digest. Returns the wall-clock of `Wal::open`.
+fn recover_round(storage: &MemStorage) -> Duration {
+    let started = Instant::now();
+    let (_, recovered) =
+        Wal::open(Box::new(storage.clone()), WalConfig::default()).expect("recover");
+    black_box(recovered.records.len());
+    started.elapsed()
+}
+
+fn bench_wal_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_append");
+    group.sample_size(10);
+    for &appenders in &[1usize, 8, 32] {
+        for (label, group_commit) in [("group", true), ("per_record", false)] {
+            group.bench_with_input(
+                BenchmarkId::new(label, appenders),
+                &appenders,
+                |b, &appenders| b.iter(|| black_box(append_round(appenders, 32, group_commit))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_wal_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_recovery");
+    group.sample_size(10);
+    for &records in &[1_000u64, 8_000] {
+        let storage = build_log(records);
+        group.bench_with_input(BenchmarkId::from_parameter(records), &records, |b, _| {
+            b.iter(|| black_box(recover_round(&storage)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wal_append, bench_wal_recovery);
+
+/// `--json` mode: append throughput per appender count under both sync
+/// disciplines plus recovery time per log size, into `BENCH_wal.json`
+/// at the workspace root.
+fn run_json(smoke: bool) {
+    // All three concurrency levels even in smoke mode: the ≥5x batching
+    // win only shows at high concurrency (closed-loop appenders cap the
+    // steady-state batch near N/2, so 8 appenders top out around 4x).
+    let levels: &[usize] = &[1, 8, 32];
+    let per_appender: u64 = if smoke { 48 } else { 128 };
+    let rounds = if smoke { 1 } else { 2 };
+
+    let mut append_entries = Vec::new();
+    let mut max_speedup = 0.0f64;
+    for &appenders in levels {
+        let throughput = |group_commit: bool| -> f64 {
+            let mut wall = Duration::ZERO;
+            for _ in 0..rounds {
+                wall += append_round(appenders, per_appender, group_commit);
+            }
+            let records = rounds as u64 * appenders as u64 * per_appender;
+            records as f64 / wall.as_secs_f64().max(1e-9)
+        };
+        let grouped = throughput(true);
+        let per_record = throughput(false);
+        let speedup = grouped / per_record.max(1e-9);
+        max_speedup = max_speedup.max(speedup);
+        println!(
+            "wal_append/{appenders}: group {grouped:.0} rec/s, per-record {per_record:.0} rec/s, speedup {speedup:.1}x"
+        );
+        append_entries.push(format!(
+            concat!(
+                "    {{\"appenders\": {}, \"records_per_round\": {}, ",
+                "\"group_commit_records_per_sec\": {:.1}, ",
+                "\"per_record_sync_records_per_sec\": {:.1}, ",
+                "\"speedup_vs_per_record\": {:.2}}}"
+            ),
+            appenders,
+            appenders as u64 * per_appender,
+            grouped,
+            per_record,
+            speedup
+        ));
+    }
+    assert!(
+        max_speedup >= 5.0,
+        "group commit must amortize the simulated sync at least 5x over \
+         per-record sync at some concurrency (best observed: {max_speedup:.1}x)"
+    );
+
+    let sizes: &[u64] = if smoke {
+        &[500, 2_000]
+    } else {
+        &[1_000, 8_000, 32_000]
+    };
+    let mut recovery_entries = Vec::new();
+    for &records in sizes {
+        let storage = build_log(records);
+        let mut wall = Duration::ZERO;
+        for _ in 0..rounds {
+            wall += recover_round(&storage);
+        }
+        let per_open = wall / rounds as u32;
+        let rate = records as f64 / per_open.as_secs_f64().max(1e-9);
+        println!(
+            "wal_recovery/{records}: {:.2}ms per open, {rate:.0} rec/s verified",
+            per_open.as_secs_f64() * 1e3
+        );
+        recovery_entries.push(format!(
+            concat!(
+                "    {{\"records\": {}, \"recover_ms\": {:.3}, ",
+                "\"verified_records_per_sec\": {:.1}}}"
+            ),
+            records,
+            per_open.as_secs_f64() * 1e3,
+            rate
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n  \"benchmark\": \"wal\",\n  \"smoke\": {},\n",
+            "  \"sync_cost_us\": {},\n",
+            "  \"append\": [\n{}\n  ],\n  \"recovery\": [\n{}\n  ]\n}}\n"
+        ),
+        smoke,
+        SYNC_COST.as_micros(),
+        append_entries.join(",\n"),
+        recovery_entries.join(",\n")
+    );
+    // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_wal.json");
+    std::fs::write(&path, json).expect("write BENCH_wal.json");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--json") {
+        run_json(args.iter().any(|a| a == "--test"));
+    } else {
+        benches();
+    }
+}

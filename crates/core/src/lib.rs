@@ -65,6 +65,7 @@ pub use heimdall_obs as obs;
 pub use heimdall_privilege as privilege;
 pub use heimdall_routing as routing;
 pub use heimdall_service as service;
+pub use heimdall_store as store;
 pub use heimdall_telemetry as telemetry;
 pub use heimdall_twin as twin;
 pub use heimdall_verify as verify;

@@ -160,6 +160,17 @@ impl CommitGuard {
         }
     }
 
+    /// Wraps a *recovered* production network, resuming the epoch
+    /// counter where the pre-crash guard left off so derived state
+    /// (privilege caches, journal records) keeps a monotonic version
+    /// history across restarts.
+    pub fn new_at_epoch(production: Network, epoch: u64) -> CommitGuard {
+        CommitGuard {
+            production: Mutex::new(production),
+            epoch: AtomicU64::new(epoch),
+        }
+    }
+
     /// A point-in-time copy of production (to slice a twin from).
     pub fn snapshot(&self) -> Network {
         self.production.lock().clone()
@@ -205,16 +216,31 @@ impl CommitGuard {
         recorded_base: &str,
         apply: impl FnOnce(&Network) -> (R, Option<Network>),
     ) -> CommitAttempt<R> {
+        self.commit_with_epoch(diff, recorded_base, |prod, _| apply(prod))
+    }
+
+    /// Like [`CommitGuard::commit`], but the apply closure also receives
+    /// the epoch this commit will carry *if* it installs an update (the
+    /// current epoch + 1, read under the production lock). Durability
+    /// layers journal the commit under that epoch while the lock is
+    /// still held, so journal order can never disagree with epoch order.
+    pub fn commit_with_epoch<R>(
+        &self,
+        diff: &ConfigDiff,
+        recorded_base: &str,
+        apply: impl FnOnce(&Network, u64) -> (R, Option<Network>),
+    ) -> CommitAttempt<R> {
         let mut prod = self.production.lock();
         let current_base = base_fingerprint(&prod, diff);
         if current_base != recorded_base {
             return CommitAttempt::Stale { current_base };
         }
-        let (result, updated) = apply(&prod);
+        let next_epoch = self.epoch.load(Ordering::SeqCst) + 1;
+        let (result, updated) = apply(&prod, next_epoch);
         let applied = updated.is_some();
         if let Some(next) = updated {
             *prod = next;
-            self.epoch.fetch_add(1, Ordering::SeqCst);
+            self.epoch.store(next_epoch, Ordering::SeqCst);
         }
         CommitAttempt::Committed { result, applied }
     }

@@ -30,13 +30,35 @@ impl Measurement {
     }
 }
 
+/// Current sealed-blob format version. Blobs carrying any other value
+/// are rejected with [`EnclaveError::UnsupportedVersion`] — a future
+/// format change (e.g. adding confidentiality) can never be misparsed
+/// as today's integrity-only layout.
+pub const SEALED_BLOB_VERSION: u8 = 1;
+
 /// A sealed blob: ciphertext-free integrity sealing (data + MAC under a
 /// measurement-derived key). Confidential sealing would add an XOR-pad
-/// here; the enforcer's guarantees only need integrity.
+/// here; the enforcer's guarantees only need integrity. The version
+/// byte is covered by the MAC, so it cannot be rewritten to smuggle a
+/// blob past a newer parser.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SealedBlob {
+    version: u8,
     pub data: Vec<u8>,
     mac: [u8; 32],
+}
+
+impl SealedBlob {
+    /// The format version this blob claims.
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    /// Test/diagnostic hook: forge the version byte (the MAC is left
+    /// untouched, so unsealing must fail closed).
+    pub fn override_version_for_test(&mut self, version: u8) {
+        self.version = version;
+    }
 }
 
 /// An attestation report: binds a caller nonce to the enclave measurement.
@@ -54,6 +76,9 @@ pub enum EnclaveError {
     SealBroken,
     /// The attestation report failed verification.
     BadReport,
+    /// The sealed blob declares a format version this code does not
+    /// understand; refusing beats misparsing.
+    UnsupportedVersion(u8),
 }
 
 impl std::fmt::Display for EnclaveError {
@@ -61,6 +86,9 @@ impl std::fmt::Display for EnclaveError {
         match self {
             EnclaveError::SealBroken => write!(f, "sealed state failed integrity check"),
             EnclaveError::BadReport => write!(f, "attestation report invalid"),
+            EnclaveError::UnsupportedVersion(v) => {
+                write!(f, "sealed blob version {v} not supported")
+            }
         }
     }
 }
@@ -126,15 +154,25 @@ impl Enclave {
 
     /// Seals data to this enclave identity.
     pub fn seal(&self, data: &[u8]) -> SealedBlob {
+        let mut msg = Vec::with_capacity(1 + data.len());
+        msg.push(SEALED_BLOB_VERSION);
+        msg.extend_from_slice(data);
         SealedBlob {
+            version: SEALED_BLOB_VERSION,
             data: data.to_vec(),
-            mac: hmac_sha256(&self.seal_key, data),
+            mac: hmac_sha256(&self.seal_key, &msg),
         }
     }
 
-    /// Unseals, verifying integrity and identity.
+    /// Unseals, verifying format version, integrity and identity.
     pub fn unseal(&self, blob: &SealedBlob) -> Result<Vec<u8>, EnclaveError> {
-        if hmac_sha256(&self.seal_key, &blob.data) != blob.mac {
+        if blob.version != SEALED_BLOB_VERSION {
+            return Err(EnclaveError::UnsupportedVersion(blob.version));
+        }
+        let mut msg = Vec::with_capacity(1 + blob.data.len());
+        msg.push(blob.version);
+        msg.extend_from_slice(&blob.data);
+        if hmac_sha256(&self.seal_key, &msg) != blob.mac {
             return Err(EnclaveError::SealBroken);
         }
         Ok(blob.data.clone())
@@ -177,6 +215,22 @@ mod tests {
         let mut blob = enclave.seal(b"audit-head:abcd");
         blob.data[0] ^= 0xff;
         assert_eq!(enclave.unseal(&blob), Err(EnclaveError::SealBroken));
+    }
+
+    #[test]
+    fn unknown_sealed_version_rejected_with_typed_error() {
+        let platform = Platform::new("test");
+        let enclave = platform.launch("heimdall-enforcer-v1");
+        let mut blob = enclave.seal(b"audit-head:abcd");
+        blob.override_version_for_test(7);
+        assert_eq!(
+            enclave.unseal(&blob),
+            Err(EnclaveError::UnsupportedVersion(7))
+        );
+        // Restoring the version byte restores unsealing: the MAC still
+        // matches because it covers (version, data) as sealed.
+        blob.override_version_for_test(SEALED_BLOB_VERSION);
+        assert_eq!(enclave.unseal(&blob).unwrap(), b"audit-head:abcd");
     }
 
     #[test]

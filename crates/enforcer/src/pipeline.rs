@@ -7,7 +7,7 @@
 //! with storage access cannot rewrite history without breaking either the
 //! chain or the seal.
 
-use crate::audit::{AuditKind, AuditLog};
+use crate::audit::{AuditEntry, AuditKind, AuditLog};
 use crate::concurrency::{CommitAttempt, CommitGuard};
 use crate::enclave::{Enclave, Platform, SealedBlob};
 use crate::scheduler::{schedule, Schedule};
@@ -35,6 +35,16 @@ impl EnforcerOutcome {
     }
 }
 
+/// Observer invoked (while the pipeline is held) for every appended
+/// audit entry — the durability layer journals entries through this.
+pub type AuditSink = Box<dyn Fn(&AuditEntry) + Send>;
+
+/// Observer invoked *inside the commit guard's production lock* when a
+/// guarded commit installs an update: `(technician, diff, epoch)`. The
+/// lock guarantees invocation order equals epoch order, which is what
+/// lets a write-ahead log replay commits deterministically.
+pub type CommitSink = Box<dyn Fn(&str, &ConfigDiff, u64) + Send>;
+
 /// A long-lived enforcer instance: enclave identity + audit log.
 pub struct EnforcerPipeline {
     enclave: Enclave,
@@ -47,6 +57,8 @@ pub struct EnforcerPipeline {
     /// rejections) — the obs layer scrapes this as
     /// `enforcer.verify_failures_total` and alerts on its burn rate.
     verify_failures: u64,
+    audit_sink: Option<AuditSink>,
+    commit_sink: Option<CommitSink>,
 }
 
 impl EnforcerPipeline {
@@ -61,7 +73,57 @@ impl EnforcerPipeline {
             sealed_head,
             verify_total: 0,
             verify_failures: 0,
+            audit_sink: None,
+            commit_sink: None,
         }
+    }
+
+    /// Installs an observer for every subsequently appended audit entry.
+    pub fn set_audit_sink(&mut self, sink: AuditSink) {
+        self.audit_sink = Some(sink);
+    }
+
+    /// Installs an observer for every installed guarded commit; see
+    /// [`CommitSink`] for the ordering guarantee.
+    pub fn set_commit_sink(&mut self, sink: CommitSink) {
+        self.commit_sink = Some(sink);
+    }
+
+    /// Replaces the audit log with a restored (e.g. recovered-from-disk)
+    /// one after re-verifying its chain, optionally cross-checking a
+    /// recovered sealed head against the restored chain's head, and
+    /// re-sealing under this enclave's identity.
+    pub fn restore_audit(
+        &mut self,
+        log: AuditLog,
+        sealed: Option<&SealedBlob>,
+    ) -> Result<(), String> {
+        log.verify_chain()
+            .map_err(|e| format!("restored audit chain invalid: {e}"))?;
+        if let Some(blob) = sealed {
+            let head = self
+                .enclave
+                .unseal(blob)
+                .map_err(|e| format!("recovered sealed head rejected: {e}"))?;
+            if head != log.head().as_bytes() {
+                return Err("sealed head does not match restored audit chain".into());
+            }
+        }
+        self.sealed_head = self.enclave.seal(log.head().as_bytes());
+        self.audit = log;
+        Ok(())
+    }
+
+    /// Restores the lifetime verification counters (recovery path; the
+    /// counters feed the obs layer's burn-rate denominators).
+    pub fn restore_verify_counters(&mut self, total: u64, failures: u64) {
+        self.verify_total = total;
+        self.verify_failures = failures;
+    }
+
+    /// The current sealed audit head (for checkpointing).
+    pub fn sealed_head(&self) -> &SealedBlob {
+        &self.sealed_head
     }
 
     /// Lifetime count of verified change-sets.
@@ -134,10 +196,18 @@ impl EnforcerPipeline {
         ctx: &SpanContext,
     ) -> EnforcerOutcome {
         let mut commit_span = ctx.span(Stage::Commit);
-        let attempt = guard.commit(diff, base_fingerprint, |production| {
+        let attempt = guard.commit_with_epoch(diff, base_fingerprint, |production, epoch| {
             let outcome =
                 self.process_traced(technician, production, diff, policies, privilege, ctx);
             let updated = outcome.updated_production.clone();
+            if updated.is_some() {
+                // Journal the commit while the production lock is held:
+                // journal order is then provably epoch order, so replay
+                // can never interleave two commits the wrong way round.
+                if let Some(sink) = &self.commit_sink {
+                    sink(technician, diff, epoch);
+                }
+            }
             (outcome, updated)
         });
         match attempt {
@@ -301,6 +371,11 @@ impl EnforcerPipeline {
     pub fn log_traced(&mut self, kind: AuditKind, actor: &str, detail: &str, trace: &str) {
         self.audit.append_traced(kind, actor, detail, trace);
         self.sealed_head = self.enclave.seal(self.audit.head().as_bytes());
+        if let Some(sink) = &self.audit_sink {
+            if let Some(entry) = self.audit.entries.last() {
+                sink(entry);
+            }
+        }
     }
 
     /// The audit log (read-only).
@@ -461,6 +536,71 @@ mod tests {
         // Verification counters: one accepted + one stale rejection.
         assert_eq!(p.verify_total(), 2);
         assert_eq!(p.verify_failures(), 1);
+    }
+
+    #[test]
+    fn sinks_observe_audit_entries_and_commits_in_epoch_order() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::{Arc, Mutex};
+
+        let (healthy, broken, policies, privilege) = setup();
+        let diff = diff_networks(&broken, &healthy);
+        let platform = Platform::new("host");
+        let mut p = EnforcerPipeline::launch(&platform);
+        let entries = Arc::new(AtomicU64::new(0));
+        let commits: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        {
+            let entries = Arc::clone(&entries);
+            p.set_audit_sink(Box::new(move |_| {
+                entries.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        {
+            let commits = Arc::clone(&commits);
+            p.set_commit_sink(Box::new(move |tech, _, epoch| {
+                assert_eq!(tech, "alice");
+                commits.lock().unwrap().push(epoch);
+            }));
+        }
+        let guard = CommitGuard::new(broken.clone());
+        let base = guard.record_base(&diff);
+        let outcome = p.process_guarded("alice", &guard, &diff, &base, &policies, &privilege);
+        assert!(outcome.applied());
+        assert_eq!(entries.load(Ordering::SeqCst), p.audit().len() as u64);
+        assert_eq!(
+            &*commits.lock().unwrap(),
+            &[1],
+            "first commit carries epoch 1"
+        );
+        assert_eq!(guard.epoch(), 1);
+    }
+
+    #[test]
+    fn restore_audit_verifies_chain_and_reseals() {
+        let (healthy, broken, policies, privilege) = setup();
+        let diff = diff_networks(&broken, &healthy);
+        let platform = Platform::new("host");
+        let mut p = EnforcerPipeline::launch(&platform);
+        p.process("alice", &broken, &diff, &policies, &privilege);
+        let log = p.audit().clone();
+        let sealed = p.sealed_head().clone();
+
+        // A fresh pipeline on the same platform restores the log.
+        let mut fresh = EnforcerPipeline::launch(&platform);
+        fresh
+            .restore_audit(log.clone(), Some(&sealed))
+            .expect("restore succeeds");
+        assert!(fresh.verify_audit_integrity());
+        assert_eq!(fresh.audit().len(), log.len());
+
+        // A tampered chain is rejected on restore.
+        let mut bad = log.clone();
+        bad.entries[0].detail = "rewritten".into();
+        assert!(fresh.restore_audit(bad, None).is_err());
+
+        // A sealed head from a different log is rejected.
+        let other = EnforcerPipeline::launch(&platform);
+        assert!(fresh.restore_audit(log, Some(other.sealed_head())).is_err());
     }
 
     #[test]

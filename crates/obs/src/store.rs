@@ -305,6 +305,35 @@ impl TimeSeriesStore {
         Some((inner.total_count, inner.total_sum))
     }
 
+    /// Lifetime `(name, count, sum)` of every series — the compact form
+    /// a durability checkpoint persists.
+    pub fn totals_all(&self) -> Vec<(String, u64, f64)> {
+        let series: Vec<(String, Arc<Series>)> = self
+            .series
+            .read()
+            .iter()
+            .map(|(n, s)| (n.clone(), Arc::clone(s)))
+            .collect();
+        series
+            .into_iter()
+            .map(|(name, s)| {
+                let inner = s.inner.lock();
+                (name, inner.total_count, inner.total_sum)
+            })
+            .collect()
+    }
+
+    /// Seeds `name`'s lifetime counters from a recovered checkpoint.
+    /// Intended *before* new samples arrive: the restored baseline is
+    /// added to whatever the series has already accumulated, so the
+    /// lifetime totals continue across the restart instead of resetting.
+    pub fn restore_totals(&self, name: &str, count: u64, sum: f64) {
+        let series = self.series(name);
+        let mut inner = series.inner.lock();
+        inner.total_count += count;
+        inner.total_sum += sum;
+    }
+
     /// The three-tier sum decomposition of `name`: coarse plus unfolded
     /// mid plus unfolded raw. Always equals [`TimeSeriesStore::totals`]'
     /// sum — the exact-once folding invariant the race test leans on.
@@ -422,5 +451,23 @@ mod tests {
         assert_eq!(t[0], (45, 45.0));
         assert_eq!(t[4], (49, 49.0));
         assert!(store.tail("missing", 5).is_empty());
+    }
+
+    #[test]
+    fn restored_totals_continue_across_restart() {
+        let store = TimeSeriesStore::default();
+        for i in 0..10u64 {
+            store.push("svc.counter", i, 2.0);
+        }
+        let dumped = store.totals_all();
+        assert_eq!(dumped.len(), 1);
+        let (ref name, count, sum) = dumped[0];
+        assert_eq!((name.as_str(), count, sum), ("svc.counter", 10, 20.0));
+        // "Restart": a fresh store seeds the checkpointed totals, then
+        // keeps counting from there.
+        let fresh = TimeSeriesStore::default();
+        fresh.restore_totals(name, count, sum);
+        fresh.push("svc.counter", 11, 3.0);
+        assert_eq!(fresh.totals("svc.counter"), Some((11, 23.0)));
     }
 }

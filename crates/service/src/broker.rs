@@ -15,13 +15,14 @@
 //! of intake. The cache is invalidated whenever a commit changes
 //! production, since path sets may shift.
 
+use crate::journal::{BrokerSnapshot, JournalEvent, PersistedCounters};
 use crate::pool::{RateLimiter, SubmitError, WorkerPool};
 use crate::proto::{
     read_frame, write_frame, AuditEntryView, ErrorKind, FrameError, Request, Response, SessionId,
 };
 use crate::registry::{SessionEntry, SessionRegistry};
 use crate::stats::{ServiceStats, StatsSnapshot};
-use heimdall_enforcer::audit::AuditKind;
+use heimdall_enforcer::audit::{AuditKind, AuditLog};
 use heimdall_enforcer::concurrency::CommitGuard;
 use heimdall_enforcer::enclave::Platform;
 use heimdall_enforcer::pipeline::{EnforcerOutcome, EnforcerPipeline};
@@ -30,6 +31,7 @@ use heimdall_netmodel::topology::Network;
 use heimdall_obs::{harvest_exemplar, is_canonical_series, ObsConfig, SloEngine, TimeSeriesStore};
 use heimdall_privilege::derive::{derive_privileges, Task, TaskKind};
 use heimdall_privilege::model::PrivilegeMsp;
+use heimdall_store::{CompactReport, Durability, Storage, Wal, WalConfig};
 use heimdall_telemetry::{
     SpanContext, SpanStatus, Stage, Telemetry, TelemetryConfig, TraceId, STAGE_DURATION_METRIC,
 };
@@ -39,6 +41,7 @@ use heimdall_verify::policy::PolicySet;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{Read, Write};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -59,6 +62,13 @@ pub struct BrokerConfig {
     pub telemetry: TelemetryConfig,
     /// Time-series capacities and SLO rules for the scrape loop.
     pub obs: ObsConfig,
+    /// Journal sync policy (only meaningful for brokers opened through
+    /// [`Broker::open_durable`]): `GroupCommitSync` batches fsyncs and
+    /// blocks `finish` acknowledgements on the barrier, `Async` journals
+    /// without waiting, `Off` recovers but journals nothing new.
+    pub durability: Durability,
+    /// Journal segment rotation threshold, in bytes.
+    pub wal_segment_bytes: usize,
 }
 
 impl Default for BrokerConfig {
@@ -71,6 +81,8 @@ impl Default for BrokerConfig {
             idle_ttl: Duration::from_secs(15 * 60),
             telemetry: TelemetryConfig::default(),
             obs: ObsConfig::default(),
+            durability: Durability::GroupCommitSync,
+            wal_segment_bytes: 1 << 20,
         }
     }
 }
@@ -132,35 +144,339 @@ pub struct Broker {
     policies: PolicySet,
     limiter: RateLimiter,
     priv_cache: Mutex<PrivCache>,
-    stats: ServiceStats,
+    stats: Arc<ServiceStats>,
     telemetry: Arc<Telemetry>,
     obs_store: Arc<TimeSeriesStore>,
     slo: Mutex<SloEngine>,
+    /// The write-ahead journal, when this broker was opened durably.
+    journal: Option<Arc<Wal>>,
+    /// Live sessions as the *journal* sees them: updated in the same
+    /// critical section as the corresponding journal append, so a
+    /// checkpoint (which holds both the pipeline lock and this one)
+    /// captures a session list exactly consistent with its journal cut.
+    /// The registry itself cannot serve that role — it is touched
+    /// outside the journaling locks on the intake path.
+    mirror: Mutex<HashMap<u64, String>>,
     config: BrokerConfig,
 }
 
 impl Broker {
     pub fn new(production: Network, policies: PolicySet, config: BrokerConfig) -> Broker {
         let platform = Platform::new("heimdall-broker-host");
+        let pipeline = EnforcerPipeline::launch(&platform);
+        Broker::assemble(
+            production,
+            0,
+            pipeline,
+            policies,
+            config,
+            Arc::new(ServiceStats::new()),
+            None,
+        )
+    }
+
+    /// Final assembly shared by [`Broker::new`] and
+    /// [`Broker::open_durable`]: installs the enforcer sinks and wires
+    /// the guard at the given epoch.
+    fn assemble(
+        production: Network,
+        epoch: u64,
+        mut pipeline: EnforcerPipeline,
+        policies: PolicySet,
+        config: BrokerConfig,
+        stats: Arc<ServiceStats>,
+        journal: Option<Arc<Wal>>,
+    ) -> Broker {
+        // The commit sink runs inside the guard's production lock, so
+        // the applied counter and the journaled commit move together —
+        // a checkpoint can never capture one without the other.
+        {
+            let stats = Arc::clone(&stats);
+            let journal = journal.clone();
+            pipeline.set_commit_sink(Box::new(move |technician, diff, epoch| {
+                ServiceStats::bump(&stats.commits_applied);
+                if let Some(wal) = &journal {
+                    let ev = JournalEvent::Commit {
+                        technician: technician.to_string(),
+                        diff: diff.clone(),
+                        epoch,
+                    };
+                    if wal.append(ev.kind_byte(), &ev.encode()).is_err() {
+                        ServiceStats::bump(&stats.journal_errors);
+                    }
+                }
+            }));
+        }
+        if let Some(wal) = &journal {
+            let stats = Arc::clone(&stats);
+            let wal = Arc::clone(wal);
+            pipeline.set_audit_sink(Box::new(move |entry| {
+                let ev = JournalEvent::Audit {
+                    entry: entry.clone(),
+                };
+                if wal.append(ev.kind_byte(), &ev.encode()).is_err() {
+                    ServiceStats::bump(&stats.journal_errors);
+                }
+            }));
+        }
         Broker {
-            guard: CommitGuard::new(production),
-            pipeline: Mutex::new(EnforcerPipeline::launch(&platform)),
+            guard: CommitGuard::new_at_epoch(production, epoch),
+            pipeline: Mutex::new(pipeline),
             registry: SessionRegistry::new(config.shards),
             policies,
             limiter: RateLimiter::new(config.rate_capacity, config.rate_refill_per_sec),
             priv_cache: Mutex::new(PrivCache {
-                epoch: 0,
+                epoch,
                 entries: HashMap::new(),
             }),
-            stats: ServiceStats::new(),
+            stats,
             telemetry: Arc::new(Telemetry::new(config.telemetry.clone())),
             obs_store: Arc::new(TimeSeriesStore::new(config.obs.series.clone())),
             slo: Mutex::new(SloEngine::new(
                 config.obs.rules.clone(),
                 config.obs.max_alerts,
             )),
+            journal,
+            mirror: Mutex::new(HashMap::new()),
             config,
         }
+    }
+
+    /// Opens a broker backed by a write-ahead journal on `storage`,
+    /// recovering whatever state the journal holds.
+    ///
+    /// `production` is the genesis network: it seeds recovery only when
+    /// the journal holds no snapshot (an empty or snapshot-less log must
+    /// replay onto the same network the journal started from — that is
+    /// the caller's contract). When a snapshot exists, its production
+    /// wins.
+    ///
+    /// Recovery is deterministic: newest decodable snapshot, then every
+    /// verified journal record after its cut, in sequence order. Commits
+    /// re-apply their diffs (journal order is epoch order, enforced by
+    /// appending inside the production lock), audit entries rebuild the
+    /// chain (which must pass `verify_chain`, and the snapshot's sealed
+    /// head must unseal to the snapshot chain's head), counters and obs
+    /// lifetime totals are restored, and sessions that were live at the
+    /// crash — whose in-memory twins are unrecoverable — are evicted
+    /// with an audit trail. Torn tails and corrupt suffixes were already
+    /// discarded by the WAL layer; their byte counts surface in
+    /// [`StatsSnapshot`].
+    pub fn open_durable(
+        production: Network,
+        policies: PolicySet,
+        config: BrokerConfig,
+        storage: Box<dyn Storage>,
+    ) -> Result<Broker, String> {
+        let wal_cfg = WalConfig {
+            durability: config.durability,
+            segment_max_bytes: config.wal_segment_bytes,
+            group_commit: true,
+        };
+        let (wal, recovered) =
+            Wal::open(storage, wal_cfg).map_err(|e| format!("journal open failed: {e}"))?;
+
+        let snapshot: Option<BrokerSnapshot> = match &recovered.snapshot {
+            Some(payload) => {
+                let text = std::str::from_utf8(payload)
+                    .map_err(|e| format!("snapshot payload is not UTF-8: {e}"))?;
+                Some(
+                    serde_json::from_str(text)
+                        .map_err(|e| format!("snapshot payload undecodable: {e}"))?,
+                )
+            }
+            None => None,
+        };
+        let mut counters = PersistedCounters::default();
+        let mut obs_totals: Vec<(String, u64, f64)> = Vec::new();
+        let mut live: HashMap<u64, String> = HashMap::new();
+        let mut next_session_id = 1u64;
+        let (mut production, mut epoch, mut audit, sealed, verify_total, verify_failures) =
+            match snapshot {
+                Some(s) => {
+                    counters = s.counters;
+                    obs_totals = s.obs_totals;
+                    live = s.live_sessions.into_iter().collect();
+                    next_session_id = s.next_session_id;
+                    (
+                        s.production,
+                        s.epoch,
+                        s.audit,
+                        Some(s.sealed_head),
+                        s.verify_total,
+                        s.verify_failures,
+                    )
+                }
+                None => (production, 0, AuditLog::new(), None, 0, 0),
+            };
+
+        let platform = Platform::new("heimdall-broker-host");
+        let mut pipeline = EnforcerPipeline::launch(&platform);
+
+        // Cross-check the sealed head against the snapshot's chain
+        // *before* replaying post-cut entries: the seal attests the
+        // chain as of the cut, so a swapped-in snapshot with a
+        // consistent-but-forged chain fails here even though
+        // `verify_chain` alone would pass it.
+        if let Some(blob) = &sealed {
+            let head = pipeline
+                .enclave()
+                .unseal(blob)
+                .map_err(|e| format!("recovered sealed audit head rejected: {e}"))?;
+            if head != audit.head().as_bytes() {
+                return Err("sealed head does not match snapshot audit chain".into());
+            }
+        }
+
+        for rec in &recovered.records {
+            let event = JournalEvent::decode(rec.kind, &rec.payload)
+                .map_err(|e| format!("journal record {}: {e}", rec.seq))?;
+            match event {
+                JournalEvent::Audit { entry } => audit.entries.push(entry),
+                JournalEvent::Commit { diff, epoch: e, .. } => {
+                    if e != epoch + 1 {
+                        return Err(format!(
+                            "journal commit epoch gap: production at {epoch}, record {} carries {e}",
+                            rec.seq
+                        ));
+                    }
+                    diff.apply_to_network(&mut production)
+                        .map_err(|err| format!("replaying commit to epoch {e} failed: {err}"))?;
+                    epoch = e;
+                    counters.commits_applied += 1;
+                }
+                JournalEvent::SessionOpen {
+                    session,
+                    technician,
+                    ..
+                } => {
+                    next_session_id = next_session_id.max(session + 1);
+                    live.insert(session, technician);
+                    counters.sessions_opened += 1;
+                }
+                JournalEvent::SessionFinish { session, .. } => {
+                    if live.remove(&session).is_some() {
+                        counters.sessions_finished += 1;
+                    }
+                }
+                JournalEvent::SessionEvict { session } => {
+                    if live.remove(&session).is_some() {
+                        counters.sessions_evicted += 1;
+                    }
+                }
+                JournalEvent::PrivilegeDerive { .. } => {}
+            }
+        }
+
+        // The reconstructed chain must verify end to end; restore
+        // re-seals the head under this broker's enclave identity.
+        pipeline
+            .restore_audit(audit, None)
+            .map_err(|e| format!("audit restore failed: {e}"))?;
+        pipeline.restore_verify_counters(verify_total, verify_failures);
+
+        let stats = Arc::new(ServiceStats::new());
+        counters.store_into(&stats);
+        let report = &recovered.report;
+        stats
+            .records_replayed
+            .store(report.records_replayed, Ordering::Relaxed);
+        stats
+            .torn_bytes_discarded
+            .store(report.torn_bytes_discarded, Ordering::Relaxed);
+        stats
+            .recovered_sessions_evicted
+            .store(live.len() as u64, Ordering::Relaxed);
+
+        let journal = (!matches!(config.durability, Durability::Off)).then(|| Arc::new(wal));
+        let broker = Broker::assemble(
+            production, epoch, pipeline, policies, config, stats, journal,
+        );
+        broker.registry.ensure_next_id(next_session_id);
+        for (name, count, sum) in &obs_totals {
+            broker.obs_store.restore_totals(name, *count, *sum);
+        }
+
+        // Sessions live at the crash: their twins died with the old
+        // process, so they are evicted — audited (and re-journaled, so a
+        // second crash does not resurrect them as live a second time).
+        if !live.is_empty() {
+            let mut orphans: Vec<(u64, String)> = live.into_iter().collect();
+            orphans.sort();
+            let mut pipeline = broker.pipeline.lock();
+            let _mirror = broker.mirror.lock();
+            for (id, technician) in orphans {
+                ServiceStats::bump(&broker.stats.sessions_evicted);
+                broker.journal_event(&JournalEvent::SessionEvict { session: id });
+                pipeline.log_traced(
+                    AuditKind::Session,
+                    &technician,
+                    &format!("session {id} evicted during crash recovery"),
+                    "",
+                );
+            }
+        }
+        Ok(broker)
+    }
+
+    /// Appends one event to the journal, if one is attached. Append
+    /// failures are counted, never propagated: the WAL's sticky error
+    /// already fails every later durability claim, and the broker keeps
+    /// serving from memory.
+    fn journal_event(&self, event: &JournalEvent) {
+        if let Some(wal) = &self.journal {
+            if wal.append(event.kind_byte(), &event.encode()).is_err() {
+                ServiceStats::bump(&self.stats.journal_errors);
+            }
+        }
+    }
+
+    /// Writes a [`BrokerSnapshot`] of all durable state at the current
+    /// journal cut, then drops segments the snapshot covers. Holding the
+    /// pipeline lock and the mirror lock together freezes every journal
+    /// append (commits and audit entries ride the pipeline lock, session
+    /// events the mirror lock), so the captured state and the cut agree
+    /// exactly.
+    pub fn checkpoint(&self) -> Result<CompactReport, String> {
+        let journal = self
+            .journal
+            .as_ref()
+            .ok_or("broker has no journal (not opened durably, or durability off)")?;
+        let pipeline = self.pipeline.lock();
+        let mirror = self.mirror.lock();
+        let (production, epoch) = self.guard.snapshot_with_epoch();
+        let snapshot = BrokerSnapshot {
+            production,
+            epoch,
+            verify_total: pipeline.verify_total(),
+            verify_failures: pipeline.verify_failures(),
+            audit: pipeline.audit().clone(),
+            sealed_head: pipeline.sealed_head().clone(),
+            counters: PersistedCounters::capture(&self.stats),
+            obs_totals: self.obs_store.totals_all(),
+            live_sessions: mirror.iter().map(|(id, t)| (*id, t.clone())).collect(),
+            next_session_id: self.registry.next_id_hint(),
+        };
+        let payload =
+            serde_json::to_string(&snapshot).map_err(|e| format!("snapshot serialization: {e}"))?;
+        journal
+            .write_snapshot(payload.as_bytes())
+            .map_err(|e| format!("snapshot write failed: {e}"))?;
+        drop(mirror);
+        drop(pipeline);
+        let report = journal
+            .compact()
+            .map_err(|e| format!("compaction failed: {e}"))?;
+        self.stats
+            .segments_compacted
+            .fetch_add(report.segments_removed, Ordering::Relaxed);
+        Ok(report)
+    }
+
+    /// How many journal records are on stable storage (`None` when the
+    /// broker has no journal).
+    pub fn journal_durable(&self) -> Option<u64> {
+        self.journal.as_ref().map(|w| w.durable())
     }
 
     /// Privileges for a task shape, derived once per shape per
@@ -187,6 +503,14 @@ impl Broker {
             }
         }
         let derived = derive_privileges(production, task);
+        // Informational journal record (no replayable state, so no lock
+        // discipline needed): reconstructs what was derivable at which
+        // epoch from the log alone.
+        self.journal_event(&JournalEvent::PrivilegeDerive {
+            kind: task.kind,
+            affected: task.affected.clone(),
+            epoch,
+        });
         let mut cache = self.priv_cache.lock();
         if self.guard.epoch() == epoch {
             if cache.epoch != epoch {
@@ -229,6 +553,7 @@ impl Broker {
         session.set_tracing(session_ctx.clone());
         let baseline = production;
         let now = Instant::now();
+        let (ticket_kind, ticket_affected) = (ticket.kind, ticket.affected.clone());
         let id = self.registry.insert(SessionEntry {
             technician: technician.to_string(),
             task: ticket,
@@ -242,8 +567,22 @@ impl Broker {
         if let Some(s) = open_span.as_mut() {
             s.set_detail(format!("session {id} on {} devices", devices.len()));
         }
-        ServiceStats::bump(&self.stats.sessions_opened);
-        self.pipeline.lock().log_traced(
+        let mut pipeline = self.pipeline.lock();
+        {
+            // Counter, journal record, and mirror move together under
+            // the locks a checkpoint holds — its snapshot can never
+            // capture one without the others.
+            let mut mirror = self.mirror.lock();
+            ServiceStats::bump(&self.stats.sessions_opened);
+            self.journal_event(&JournalEvent::SessionOpen {
+                session: id.0,
+                technician: technician.to_string(),
+                kind: ticket_kind,
+                affected: ticket_affected,
+            });
+            mirror.insert(id.0, technician.to_string());
+        }
+        pipeline.log_traced(
             AuditKind::Session,
             technician,
             &format!("session {id} opened on twin of {devices:?}"),
@@ -383,8 +722,10 @@ impl Broker {
             break outcome;
         };
 
-        if outcome.applied() {
-            ServiceStats::bump(&self.stats.commits_applied);
+        let applied = outcome.applied();
+        if applied {
+            // (commits_applied is bumped by the commit sink, inside the
+            // production lock, atomically with the journaled commit.)
             // Production moved: cached privilege derivations may be
             // stale. The guard epoch was already bumped (inside the
             // commit), so clearing here also invalidates any entry a
@@ -395,9 +736,29 @@ impl Broker {
         } else {
             ServiceStats::bump(&self.stats.commits_rejected);
         }
-        ServiceStats::bump(&self.stats.sessions_finished);
+        {
+            let mut mirror = self.mirror.lock();
+            ServiceStats::bump(&self.stats.sessions_finished);
+            self.journal_event(&JournalEvent::SessionFinish {
+                session: id.0,
+                applied,
+            });
+            mirror.remove(&id.0);
+        }
+        if applied && matches!(self.config.durability, Durability::GroupCommitSync) {
+            // Acknowledgement point: a success reply must imply the
+            // commit is on stable storage. The commit record was
+            // appended inside the production lock (so it is ordered
+            // before this barrier), and the barrier returns only once
+            // every prior append is synced — batched with whatever
+            // other technicians are landing concurrently.
+            if let Some(wal) = &self.journal {
+                if wal.sync_barrier().is_err() {
+                    ServiceStats::bump(&self.stats.journal_errors);
+                }
+            }
+        }
         self.stats.finish_latency.record(started.elapsed());
-        let applied = outcome.applied();
         if let Some(s) = finish_span.as_mut() {
             s.set_detail(format!(
                 "verdict={:?} attempts={attempts} changes={changes}",
@@ -422,8 +783,11 @@ impl Broker {
         let count = victims.len();
         if count > 0 {
             let mut pipeline = self.pipeline.lock();
+            let mut mirror = self.mirror.lock();
             for (id, entry) in victims {
                 ServiceStats::bump(&self.stats.sessions_evicted);
+                self.journal_event(&JournalEvent::SessionEvict { session: id.0 });
+                mirror.remove(&id.0);
                 pipeline.log_traced(
                     AuditKind::Session,
                     &entry.technician,
@@ -457,6 +821,12 @@ impl Broker {
     /// Chain + seal verification of the shared audit log.
     pub fn verify_audit(&self) -> bool {
         self.pipeline.lock().verify_audit_integrity()
+    }
+
+    /// A copy of the full audit log, e.g. for JSON archival through
+    /// [`heimdall_enforcer::audit::AuditLog::to_json`].
+    pub fn export_audit(&self) -> AuditLog {
+        self.pipeline.lock().audit().clone()
     }
 
     pub fn stats(&self) -> StatsSnapshot {

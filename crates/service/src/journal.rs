@@ -1,0 +1,278 @@
+//! The broker's durable journal vocabulary.
+//!
+//! Every state transition the broker must survive a crash with is one
+//! [`JournalEvent`], serialized as JSON into a `heimdall-store` WAL
+//! record whose kind byte names the variant. Checkpoints write a
+//! [`BrokerSnapshot`] — the full durable state at a journal cut — so
+//! recovery is `snapshot + replay(events after the cut)`.
+//!
+//! Replay determinism rests on two ordering guarantees upheld by the
+//! broker, not by this module:
+//!
+//! - [`JournalEvent::Commit`] records are appended *inside* the commit
+//!   guard's production lock (via the enforcer's `CommitSink`), so
+//!   journal order equals epoch order and re-applying diffs in journal
+//!   order reconstructs production exactly;
+//! - [`JournalEvent::Audit`] records are appended while the pipeline
+//!   lock is held (via the `AuditSink`), so journal order equals audit
+//!   chain order and the reconstructed log re-verifies with
+//!   `verify_chain`.
+
+use crate::stats::ServiceStats;
+use heimdall_enforcer::audit::{AuditEntry, AuditLog};
+use heimdall_enforcer::enclave::SealedBlob;
+use heimdall_netmodel::diff::ConfigDiff;
+use heimdall_netmodel::topology::Network;
+use heimdall_privilege::derive::TaskKind;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::Ordering;
+
+/// WAL record kind byte for [`JournalEvent::SessionOpen`].
+pub const KIND_SESSION_OPEN: u8 = 1;
+/// WAL record kind byte for [`JournalEvent::PrivilegeDerive`].
+pub const KIND_PRIVILEGE_DERIVE: u8 = 2;
+/// WAL record kind byte for [`JournalEvent::Commit`].
+pub const KIND_COMMIT: u8 = 3;
+/// WAL record kind byte for [`JournalEvent::SessionFinish`].
+pub const KIND_SESSION_FINISH: u8 = 4;
+/// WAL record kind byte for [`JournalEvent::SessionEvict`].
+pub const KIND_SESSION_EVICT: u8 = 5;
+/// WAL record kind byte for [`JournalEvent::Audit`].
+pub const KIND_AUDIT: u8 = 6;
+
+/// One durable broker state transition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalEvent {
+    /// A technician opened a hosted session.
+    SessionOpen {
+        session: u64,
+        technician: String,
+        kind: TaskKind,
+        affected: Vec<String>,
+    },
+    /// A privilege set was freshly derived (cache miss). Informational:
+    /// carries no replayable state, but lets an operator reconstruct
+    /// what was derivable at which epoch from the log alone.
+    PrivilegeDerive {
+        kind: TaskKind,
+        affected: Vec<String>,
+        epoch: u64,
+    },
+    /// A guarded commit installed `diff`, moving production to `epoch`.
+    /// Appended inside the production lock: journal order == epoch order.
+    Commit {
+        technician: String,
+        diff: ConfigDiff,
+        epoch: u64,
+    },
+    /// A session closed through [`crate::Broker::finish`].
+    SessionFinish { session: u64, applied: bool },
+    /// A session was reclaimed by idle-TTL (or crash-recovery) eviction.
+    SessionEvict { session: u64 },
+    /// One appended audit entry, verbatim — `prev`/`hash` included, so
+    /// the restored log re-verifies without re-deriving the chain.
+    Audit { entry: AuditEntry },
+}
+
+impl JournalEvent {
+    /// The WAL record kind byte for this variant.
+    pub fn kind_byte(&self) -> u8 {
+        match self {
+            JournalEvent::SessionOpen { .. } => KIND_SESSION_OPEN,
+            JournalEvent::PrivilegeDerive { .. } => KIND_PRIVILEGE_DERIVE,
+            JournalEvent::Commit { .. } => KIND_COMMIT,
+            JournalEvent::SessionFinish { .. } => KIND_SESSION_FINISH,
+            JournalEvent::SessionEvict { .. } => KIND_SESSION_EVICT,
+            JournalEvent::Audit { .. } => KIND_AUDIT,
+        }
+    }
+
+    /// The record payload for this event.
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_string(self)
+            .expect("journal events always serialize")
+            .into_bytes()
+    }
+
+    /// Decodes a record payload, cross-checking the record's kind byte
+    /// against the decoded variant — a mismatch means the log was
+    /// written by code with a different kind mapping and must not be
+    /// silently replayed.
+    pub fn decode(kind: u8, payload: &[u8]) -> Result<JournalEvent, String> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|e| format!("journal payload is not UTF-8: {e}"))?;
+        let event: JournalEvent =
+            serde_json::from_str(text).map_err(|e| format!("journal payload undecodable: {e}"))?;
+        if event.kind_byte() != kind {
+            return Err(format!(
+                "record kind byte {kind} does not match payload variant (expected {})",
+                event.kind_byte()
+            ));
+        }
+        Ok(event)
+    }
+}
+
+/// The monotonic service counters worth surviving a restart. Latency
+/// histograms are deliberately absent — they describe one process
+/// lifetime, not the service's history.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PersistedCounters {
+    pub sessions_opened: u64,
+    pub sessions_finished: u64,
+    pub sessions_evicted: u64,
+    pub commands_mediated: u64,
+    pub denials: u64,
+    pub commits_applied: u64,
+    pub commits_rejected: u64,
+    pub commit_conflicts: u64,
+    pub rate_limited: u64,
+}
+
+impl PersistedCounters {
+    /// Reads the current counter values out of live stats.
+    pub fn capture(stats: &ServiceStats) -> PersistedCounters {
+        let get = |c: &std::sync::atomic::AtomicU64| c.load(Ordering::Relaxed);
+        PersistedCounters {
+            sessions_opened: get(&stats.sessions_opened),
+            sessions_finished: get(&stats.sessions_finished),
+            sessions_evicted: get(&stats.sessions_evicted),
+            commands_mediated: get(&stats.commands_mediated),
+            denials: get(&stats.denials),
+            commits_applied: get(&stats.commits_applied),
+            commits_rejected: get(&stats.commits_rejected),
+            commit_conflicts: get(&stats.commit_conflicts),
+            rate_limited: get(&stats.rate_limited),
+        }
+    }
+
+    /// Seeds live stats from recovered values (recovery path only; the
+    /// target counters are expected to be zero).
+    pub fn store_into(&self, stats: &ServiceStats) {
+        stats
+            .sessions_opened
+            .store(self.sessions_opened, Ordering::Relaxed);
+        stats
+            .sessions_finished
+            .store(self.sessions_finished, Ordering::Relaxed);
+        stats
+            .sessions_evicted
+            .store(self.sessions_evicted, Ordering::Relaxed);
+        stats
+            .commands_mediated
+            .store(self.commands_mediated, Ordering::Relaxed);
+        stats.denials.store(self.denials, Ordering::Relaxed);
+        stats
+            .commits_applied
+            .store(self.commits_applied, Ordering::Relaxed);
+        stats
+            .commits_rejected
+            .store(self.commits_rejected, Ordering::Relaxed);
+        stats
+            .commit_conflicts
+            .store(self.commit_conflicts, Ordering::Relaxed);
+        stats
+            .rate_limited
+            .store(self.rate_limited, Ordering::Relaxed);
+    }
+}
+
+/// Everything a recovering broker needs from before the journal cut:
+/// the snapshot payload written at every checkpoint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BrokerSnapshot {
+    /// Production as of the cut.
+    pub production: Network,
+    /// The commit-guard epoch production was at.
+    pub epoch: u64,
+    /// Enforcer lifetime verification counters.
+    pub verify_total: u64,
+    pub verify_failures: u64,
+    /// The full audit chain as of the cut.
+    pub audit: AuditLog,
+    /// The sealed audit head as of the cut — cross-checked against
+    /// `audit`'s head on recovery before any post-cut entries are
+    /// replayed, so a swapped-in snapshot with a consistent-but-forged
+    /// chain is rejected by the enclave seal.
+    pub sealed_head: SealedBlob,
+    /// Monotonic service counters.
+    pub counters: PersistedCounters,
+    /// Lifetime `(series, count, sum)` totals from the obs store.
+    pub obs_totals: Vec<(String, u64, f64)>,
+    /// Sessions live at the cut, `(id, technician)`. Their in-memory
+    /// twins cannot be reconstructed, so recovery evicts them with an
+    /// audit trail.
+    pub live_sessions: Vec<(u64, String)>,
+    /// Lower bound for the session-ID allocator: recovery never reuses
+    /// an ID that appears anywhere in the journal.
+    pub next_session_id: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_enforcer::audit::AuditKind;
+
+    fn sample_events() -> Vec<JournalEvent> {
+        let mut log = AuditLog::new();
+        let entry = log
+            .append(AuditKind::Session, "alice", "session 1 opened")
+            .clone();
+        vec![
+            JournalEvent::SessionOpen {
+                session: 1,
+                technician: "alice".into(),
+                kind: TaskKind::AccessControl,
+                affected: vec!["h4".into(), "srv1".into()],
+            },
+            JournalEvent::PrivilegeDerive {
+                kind: TaskKind::Routing,
+                affected: vec!["h1".into()],
+                epoch: 3,
+            },
+            JournalEvent::Commit {
+                technician: "alice".into(),
+                diff: ConfigDiff::default(),
+                epoch: 4,
+            },
+            JournalEvent::SessionFinish {
+                session: 1,
+                applied: true,
+            },
+            JournalEvent::SessionEvict { session: 2 },
+            JournalEvent::Audit { entry },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips_under_its_kind_byte() {
+        for (i, event) in sample_events().into_iter().enumerate() {
+            assert_eq!(event.kind_byte(), (i + 1) as u8, "kind bytes are 1..=6");
+            let back = JournalEvent::decode(event.kind_byte(), &event.encode()).unwrap();
+            assert_eq!(back, event);
+        }
+    }
+
+    #[test]
+    fn kind_byte_mismatch_is_rejected() {
+        let event = JournalEvent::SessionEvict { session: 9 };
+        let err = JournalEvent::decode(KIND_COMMIT, &event.encode()).unwrap_err();
+        assert!(err.contains("does not match"), "{err}");
+        assert!(JournalEvent::decode(KIND_AUDIT, b"not json").is_err());
+    }
+
+    #[test]
+    fn persisted_counters_capture_and_restore() {
+        let stats = ServiceStats::new();
+        for _ in 0..3 {
+            ServiceStats::bump(&stats.commits_applied);
+        }
+        ServiceStats::bump(&stats.denials);
+        let snap = PersistedCounters::capture(&stats);
+        assert_eq!(snap.commits_applied, 3);
+        assert_eq!(snap.denials, 1);
+        let fresh = ServiceStats::new();
+        snap.store_into(&fresh);
+        assert_eq!(PersistedCounters::capture(&fresh), snap);
+    }
+}

@@ -29,14 +29,26 @@
 //! attributed per stage via [`proto::Request::CriticalPath`]. Device
 //! counters are scraped *through* each session's reference monitor —
 //! monitoring reads obey least privilege too.
+//!
+//! Durability comes from `heimdall-store`: a broker opened through
+//! [`broker::Broker::open_durable`] journals session opens, privilege
+//! derivations, commits, finishes, and every audit entry into a
+//! crash-safe WAL ([`journal`] defines the event vocabulary), batches
+//! fsyncs via group commit, and checkpoints full-state snapshots so
+//! recovery is snapshot + bounded replay. A restarted broker gets back
+//! its production network at the exact committed epoch, its re-verified
+//! audit chain, its counters and obs lifetime totals — and evicts the
+//! sessions that died with the old process, on the record.
 
 pub mod broker;
+pub mod journal;
 pub mod pool;
 pub mod proto;
 pub mod registry;
 pub mod stats;
 
 pub use broker::{Broker, BrokerConfig, BrokerError, FinishReport, SessionService};
+pub use journal::{BrokerSnapshot, JournalEvent, PersistedCounters};
 pub use pool::{RateLimiter, SubmitError, WorkerPool};
 pub use proto::{
     duplex, read_frame, write_frame, AuditEntryView, ErrorKind, FrameError, PipeEnd, Request,

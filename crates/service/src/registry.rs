@@ -153,6 +153,18 @@ impl SessionRegistry {
     pub fn shard_count(&self) -> usize {
         self.shards.len()
     }
+
+    /// Raises the ID allocator to at least `min`. Recovery calls this so
+    /// a restarted broker never re-issues a session ID that appears
+    /// anywhere in the journal — replayed audit lines stay unambiguous.
+    pub fn ensure_next_id(&self, min: u64) {
+        self.next_id.fetch_max(min, Ordering::Relaxed);
+    }
+
+    /// The next ID the allocator would hand out (checkpointing).
+    pub fn next_id_hint(&self) -> u64 {
+        self.next_id.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]

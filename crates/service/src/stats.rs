@@ -23,6 +23,20 @@ pub struct ServiceStats {
     pub commits_rejected: AtomicU64,
     pub commit_conflicts: AtomicU64,
     pub rate_limited: AtomicU64,
+    /// Journal appends or syncs that failed (the WAL error is sticky, so
+    /// a non-zero value means durability is lost from that point on).
+    pub journal_errors: AtomicU64,
+    /// Set once at recovery: journal records replayed after the newest
+    /// snapshot cut.
+    pub records_replayed: AtomicU64,
+    /// Set once at recovery: bytes discarded from torn tails and
+    /// corrupt/orphaned journal suffixes.
+    pub torn_bytes_discarded: AtomicU64,
+    /// Segments removed by checkpoint compaction this process lifetime.
+    pub segments_compacted: AtomicU64,
+    /// Set once at recovery: sessions found live in the journal whose
+    /// in-memory twins died with the previous process, evicted on boot.
+    pub recovered_sessions_evicted: AtomicU64,
     pub exec_latency: LatencyHistogram,
     pub finish_latency: LatencyHistogram,
 }
@@ -47,6 +61,11 @@ impl ServiceStats {
             commits_rejected: self.commits_rejected.load(Ordering::Relaxed),
             commit_conflicts: self.commit_conflicts.load(Ordering::Relaxed),
             rate_limited: self.rate_limited.load(Ordering::Relaxed),
+            journal_errors: self.journal_errors.load(Ordering::Relaxed),
+            records_replayed: self.records_replayed.load(Ordering::Relaxed),
+            torn_bytes_discarded: self.torn_bytes_discarded.load(Ordering::Relaxed),
+            segments_compacted: self.segments_compacted.load(Ordering::Relaxed),
+            recovered_sessions_evicted: self.recovered_sessions_evicted.load(Ordering::Relaxed),
             exec_p50_ns: self.exec_latency.quantile_ns(0.50),
             exec_p99_ns: self.exec_latency.quantile_ns(0.99),
             exec_count: self.exec_latency.count(),
@@ -69,6 +88,11 @@ pub struct StatsSnapshot {
     pub commits_rejected: u64,
     pub commit_conflicts: u64,
     pub rate_limited: u64,
+    pub journal_errors: u64,
+    pub records_replayed: u64,
+    pub torn_bytes_discarded: u64,
+    pub segments_compacted: u64,
+    pub recovered_sessions_evicted: u64,
     pub exec_p50_ns: u64,
     pub exec_p99_ns: u64,
     pub exec_count: u64,
@@ -103,6 +127,15 @@ impl fmt::Display for StatsSnapshot {
             f,
             "commits:  {} applied, {} rejected, {} stale conflicts, {} rate-limited",
             self.commits_applied, self.commits_rejected, self.commit_conflicts, self.rate_limited
+        )?;
+        writeln!(
+            f,
+            "journal:  {} replayed, {} torn bytes dropped, {} segs compacted, {} orphans evicted, {} errors",
+            self.records_replayed,
+            self.torn_bytes_discarded,
+            self.segments_compacted,
+            self.recovered_sessions_evicted,
+            self.journal_errors
         )?;
         write!(
             f,

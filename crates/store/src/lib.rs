@@ -1,0 +1,45 @@
+//! heimdall-store: crash-safe persistence for the Heimdall pipeline.
+//!
+//! The paper's trust story rests on a tamper-evident audit trail and
+//! integrity-sealed enforcer state — none of which helps if a crashed
+//! broker forgets it. This crate makes durability a first-class
+//! subsystem: a segmented append-only write-ahead log whose records are
+//! CRC-framed *and* SHA-256 hash-chained (the same primitive as the
+//! enforcer's in-memory audit chain, so the on-disk log extends the
+//! same tamper-evidence argument to rest), with group-commit batching
+//! for concurrent appenders, snapshots plus segment compaction to bound
+//! replay, and a deterministic recovery pass that hands back the
+//! longest fully-verified prefix.
+//!
+//! Storage sits behind the [`Storage`] trait: [`FileStorage`] for real
+//! fsync-backed files, and [`MemStorage`] with deterministic fault
+//! injection (torn tail, bit flip, short read, delayed sync, simulated
+//! power loss) so crash tests run offline and reproducibly.
+//!
+//! The contract consumers build on: a record acknowledged by
+//! [`Wal::append_sync`] or covered by a returned [`Wal::sync_barrier`]
+//! survives any crash; recovery never yields a record that fails CRC,
+//! sequence, or chain verification; and whatever is lost is a suffix —
+//! never a hole.
+
+pub mod record;
+pub mod storage;
+pub mod wal;
+
+pub use record::{chain_digest, crc32, DecodeError, Record, GENESIS_CHAIN, RECORD_VERSION};
+pub use storage::{FileStorage, MemStorage, Storage};
+pub use wal::{CompactReport, Durability, Recovered, RecoveryReport, Wal, WalConfig, WalError};
+
+#[cfg(test)]
+mod thread_safety {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn wal_is_send_sync() {
+        assert_send_sync::<Wal>();
+        assert_send_sync::<MemStorage>();
+        assert_send_sync::<FileStorage>();
+    }
+}

@@ -1,0 +1,283 @@
+//! WAL record framing: CRC-guarded, hash-chained, versioned.
+//!
+//! Every record carries enough redundancy that *any* single corrupted
+//! byte in a frame is detected and surfaces as a typed [`DecodeError`]
+//! rather than a garbage record:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic   "HWL1"
+//! 4       1     format version (see RECORD_VERSION)
+//! 5       1     record kind (caller-defined)
+//! 6       4     payload length, u32 LE
+//! 10      8     sequence number, u64 LE
+//! 18      32    chain digest = SHA-256(prev || seq || ver || kind || len || payload)
+//! 50      4     CRC-32 (IEEE) over bytes [4, 50) ++ payload, u32 LE
+//! 54      len   payload
+//! ```
+//!
+//! The chain digest extends the same construction the enforcer's
+//! in-memory audit chain uses (SHA-256 over the previous head plus the
+//! entry), so the on-disk log is a tamper-evident chain in its own
+//! right: replay verifies each record's digest against the running
+//! chain, and a record spliced, reordered, or altered after the fact
+//! breaks the chain even if its CRC is recomputed.
+
+use heimdall_enforcer::crypto::{Digest, Sha256};
+
+/// Per-record magic, distinct from the snapshot magic.
+pub const RECORD_MAGIC: [u8; 4] = *b"HWL1";
+/// Current record format version. Decoders reject other values with
+/// [`DecodeError::UnsupportedVersion`] so a future format bump can never
+/// be misparsed as v1 data.
+pub const RECORD_VERSION: u8 = 1;
+/// Fixed header length in bytes (payload follows).
+pub const HEADER_LEN: usize = 54;
+/// Hard cap on payload size; a corrupted length field cannot ask the
+/// decoder to allocate unbounded memory.
+pub const MAX_PAYLOAD: usize = 1 << 26;
+
+/// The chain value before any record exists (mirrors the audit log's
+/// all-zero genesis head).
+pub const GENESIS_CHAIN: Digest = [0u8; 32];
+
+/// A decoded WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Monotonic sequence number, global across segments.
+    pub seq: u64,
+    /// Caller-defined record kind byte.
+    pub kind: u8,
+    /// Opaque payload bytes.
+    pub payload: Vec<u8>,
+    /// Chain digest stored in the frame (already verified on decode).
+    pub chain: Digest,
+}
+
+/// Typed decode failures. Every corruption mode maps to exactly one of
+/// these; none of them can yield a partially-believed record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The frame does not start with [`RECORD_MAGIC`].
+    BadMagic,
+    /// The version byte is not one this decoder understands.
+    UnsupportedVersion(u8),
+    /// The buffer ends before the frame does (torn tail / short read).
+    Truncated { have: usize, need: usize },
+    /// The length field exceeds [`MAX_PAYLOAD`].
+    TooLarge(u32),
+    /// CRC mismatch: at least one bit of the frame is corrupt.
+    BadCrc,
+    /// The stored chain digest does not extend the expected predecessor.
+    BadChain { seq: u64 },
+    /// The sequence number is not the expected next one.
+    BadSeq { expected: u64, found: u64 },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "bad record magic"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported record version {v}"),
+            DecodeError::Truncated { have, need } => {
+                write!(f, "truncated frame: have {have} bytes, need {need}")
+            }
+            DecodeError::TooLarge(n) => write!(f, "payload length {n} exceeds cap"),
+            DecodeError::BadCrc => write!(f, "frame CRC mismatch"),
+            DecodeError::BadChain { seq } => write!(f, "chain digest mismatch at seq {seq}"),
+            DecodeError::BadSeq { expected, found } => {
+                write!(f, "sequence gap: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// Feed `data` into a running CRC-32 state (start from `0xFFFF_FFFF`).
+fn crc32_update(mut state: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        state = (state >> 8) ^ CRC_TABLE[((state ^ b as u32) & 0xff) as usize];
+    }
+    state
+}
+
+/// One-shot CRC-32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    !crc32_update(0xFFFF_FFFF, data)
+}
+
+/// The chain digest for a record, extending `prev`.
+pub fn chain_digest(prev: &Digest, seq: u64, kind: u8, payload: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(prev);
+    h.update(&seq.to_be_bytes());
+    h.update(&[RECORD_VERSION, kind]);
+    h.update(&(payload.len() as u64).to_be_bytes());
+    h.update(payload);
+    h.finalize()
+}
+
+/// Encodes one record frame, returning the frame bytes and the new
+/// chain digest.
+pub fn encode(seq: u64, kind: u8, payload: &[u8], prev_chain: &Digest) -> (Vec<u8>, Digest) {
+    assert!(payload.len() <= MAX_PAYLOAD, "payload exceeds MAX_PAYLOAD");
+    let chain = chain_digest(prev_chain, seq, kind, payload);
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    frame.extend_from_slice(&RECORD_MAGIC);
+    frame.push(RECORD_VERSION);
+    frame.push(kind);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&seq.to_le_bytes());
+    frame.extend_from_slice(&chain);
+    let mut crc = crc32_update(0xFFFF_FFFF, &frame[4..50]);
+    crc = crc32_update(crc, payload);
+    frame.extend_from_slice(&(!crc).to_le_bytes());
+    frame.extend_from_slice(payload);
+    (frame, chain)
+}
+
+/// Decodes the frame at the start of `buf` without chain verification.
+///
+/// Returns the record and the number of bytes consumed. Chain linkage
+/// is checked separately by [`decode_chained`] because recovery must be
+/// able to CRC-skip records that precede a snapshot cut point.
+pub fn decode(buf: &[u8]) -> Result<(Record, usize), DecodeError> {
+    if buf.len() < HEADER_LEN {
+        return Err(DecodeError::Truncated {
+            have: buf.len(),
+            need: HEADER_LEN,
+        });
+    }
+    if buf[0..4] != RECORD_MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    if buf[4] != RECORD_VERSION {
+        return Err(DecodeError::UnsupportedVersion(buf[4]));
+    }
+    let kind = buf[5];
+    let len = u32::from_le_bytes([buf[6], buf[7], buf[8], buf[9]]);
+    if len as usize > MAX_PAYLOAD {
+        return Err(DecodeError::TooLarge(len));
+    }
+    let total = HEADER_LEN + len as usize;
+    if buf.len() < total {
+        return Err(DecodeError::Truncated {
+            have: buf.len(),
+            need: total,
+        });
+    }
+    let seq = u64::from_le_bytes(buf[10..18].try_into().expect("8 bytes"));
+    let mut chain = [0u8; 32];
+    chain.copy_from_slice(&buf[18..50]);
+    let stored_crc = u32::from_le_bytes(buf[50..54].try_into().expect("4 bytes"));
+    let payload = &buf[HEADER_LEN..total];
+    let mut crc = crc32_update(0xFFFF_FFFF, &buf[4..50]);
+    crc = crc32_update(crc, payload);
+    if !crc != stored_crc {
+        return Err(DecodeError::BadCrc);
+    }
+    Ok((
+        Record {
+            seq,
+            kind,
+            payload: payload.to_vec(),
+            chain,
+        },
+        total,
+    ))
+}
+
+/// Decodes the frame at the start of `buf` and verifies both sequence
+/// continuity and chain linkage against the caller's running state.
+pub fn decode_chained(
+    buf: &[u8],
+    expected_seq: u64,
+    prev_chain: &Digest,
+) -> Result<(Record, usize), DecodeError> {
+    let (rec, used) = decode(buf)?;
+    if rec.seq != expected_seq {
+        return Err(DecodeError::BadSeq {
+            expected: expected_seq,
+            found: rec.seq,
+        });
+    }
+    if rec.chain != chain_digest(prev_chain, rec.seq, rec.kind, &rec.payload) {
+        return Err(DecodeError::BadChain { seq: rec.seq });
+    }
+    Ok((rec, used))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn round_trip() {
+        let (frame, chain) = encode(7, 3, b"hello wal", &GENESIS_CHAIN);
+        let (rec, used) = decode_chained(&frame, 7, &GENESIS_CHAIN).unwrap();
+        assert_eq!(used, frame.len());
+        assert_eq!(rec.seq, 7);
+        assert_eq!(rec.kind, 3);
+        assert_eq!(rec.payload, b"hello wal");
+        assert_eq!(rec.chain, chain);
+    }
+
+    #[test]
+    fn unknown_version_rejected_with_typed_error() {
+        let (mut frame, _) = encode(0, 1, b"x", &GENESIS_CHAIN);
+        frame[4] = 2;
+        assert_eq!(
+            decode(&frame).unwrap_err(),
+            DecodeError::UnsupportedVersion(2)
+        );
+    }
+
+    #[test]
+    fn wrong_predecessor_breaks_chain() {
+        let (frame, _) = encode(5, 1, b"payload", &GENESIS_CHAIN);
+        let other_prev = [9u8; 32];
+        assert_eq!(
+            decode_chained(&frame, 5, &other_prev).unwrap_err(),
+            DecodeError::BadChain { seq: 5 }
+        );
+    }
+
+    #[test]
+    fn truncation_reports_needed_length() {
+        let (frame, _) = encode(0, 1, b"abcdef", &GENESIS_CHAIN);
+        match decode(&frame[..frame.len() - 1]).unwrap_err() {
+            DecodeError::Truncated { need, .. } => assert_eq!(need, frame.len()),
+            e => panic!("unexpected error {e:?}"),
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! Storage backends for the WAL.
+//!
+//! Everything the log needs from the world sits behind the [`Storage`]
+//! trait: named append-only blobs with explicit sync and an atomic
+//! whole-file write for snapshots. Two implementations ship:
+//!
+//! - [`FileStorage`]: real files under a root directory (fsync-backed).
+//! - [`MemStorage`]: an in-memory store with deterministic fault
+//!   injection — torn tails, single-bit flips, short reads, simulated
+//!   sync latency, and a power-loss `crash()` that discards every byte
+//!   written since the last sync. Crash tests run offline and
+//!   byte-for-byte reproducibly against it.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Abstract storage: a flat namespace of append-only blobs.
+///
+/// Implementations must be safe to share across threads; the WAL
+/// serializes writes itself but recovery and compaction may race reads
+/// from other handles in tests.
+pub trait Storage: Send + Sync {
+    /// All blob names currently present, in unspecified order.
+    fn list(&self) -> io::Result<Vec<String>>;
+    /// Reads an entire blob.
+    fn read(&self, name: &str) -> io::Result<Vec<u8>>;
+    /// Appends bytes to a blob, creating it if absent. Appended bytes
+    /// are *not* durable until [`Storage::sync`] returns.
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()>;
+    /// Makes all previously appended bytes of `name` durable.
+    fn sync(&self, name: &str) -> io::Result<()>;
+    /// Atomically replaces (or creates) a blob with `data`, durably.
+    fn write_atomic(&self, name: &str, data: &[u8]) -> io::Result<()>;
+    /// Removes a blob (used by compaction and suffix discard).
+    fn remove(&self, name: &str) -> io::Result<()>;
+    /// Truncates a blob to `len` bytes (used to cut a torn tail).
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()>;
+    /// Current size of a blob in bytes.
+    fn size(&self, name: &str) -> io::Result<u64>;
+}
+
+/// Real files under a root directory.
+///
+/// `write_atomic` uses the classic tmp-file + rename + directory-sync
+/// dance so a crash mid-snapshot leaves either the old file or the new
+/// one, never a torn hybrid.
+#[derive(Debug, Clone)]
+pub struct FileStorage {
+    root: PathBuf,
+}
+
+impl FileStorage {
+    /// Opens (creating if needed) a storage root directory.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(FileStorage { root })
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+impl Storage for FileStorage {
+    fn list(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                if let Some(name) = entry.file_name().to_str() {
+                    // Skip leftover atomic-write temporaries.
+                    if !name.starts_with(".tmp-") {
+                        names.push(name.to_string());
+                    }
+                }
+            }
+        }
+        Ok(names)
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        std::fs::read(self.path(name))
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(name))?;
+        f.write_all(data)
+    }
+
+    fn sync(&self, name: &str) -> io::Result<()> {
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(self.path(name))?
+            .sync_all()
+    }
+
+    fn write_atomic(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        let tmp = self.path(&format!(".tmp-{name}"));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(data)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, self.path(name))?;
+        // Sync the directory so the rename itself is durable.
+        if let Ok(dir) = std::fs::File::open(&self.root) {
+            let _ = dir.sync_all();
+        }
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        std::fs::remove_file(self.path(name))
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(self.path(name))?;
+        f.set_len(len)?;
+        f.sync_all()
+    }
+
+    fn size(&self, name: &str) -> io::Result<u64> {
+        Ok(std::fs::metadata(self.path(name))?.len())
+    }
+}
+
+#[derive(Debug, Default)]
+struct MemFile {
+    data: Vec<u8>,
+    /// Bytes [0, synced_len) survive a simulated power loss.
+    synced_len: usize,
+}
+
+#[derive(Debug, Default)]
+struct MemInner {
+    files: BTreeMap<String, MemFile>,
+    sync_cost: Duration,
+    sync_count: u64,
+    append_count: u64,
+    /// One-shot: the next `read` of this name returns only a prefix.
+    short_read: Option<(String, usize)>,
+}
+
+/// In-memory storage with deterministic fault injection. Cloning shares
+/// the underlying store, so a test can keep a handle across a simulated
+/// broker crash (drop the broker, keep the storage, "reboot").
+#[derive(Debug, Clone, Default)]
+pub struct MemStorage {
+    inner: Arc<Mutex<MemInner>>,
+}
+
+impl MemStorage {
+    /// An empty in-memory store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Every `sync` spin-waits this long, simulating device flush
+    /// latency. Spin (not sleep) keeps the cost meaningful at the
+    /// tens-of-microseconds scale OS timers cannot hit.
+    pub fn set_sync_cost(&self, cost: Duration) {
+        self.inner.lock().sync_cost = cost;
+    }
+
+    /// How many syncs have been issued (batching assertions).
+    pub fn sync_count(&self) -> u64 {
+        self.inner.lock().sync_count
+    }
+
+    /// How many appends have been issued.
+    pub fn append_count(&self) -> u64 {
+        self.inner.lock().append_count
+    }
+
+    /// Simulated power loss: every file loses the bytes appended since
+    /// its last sync (the torn tail a real disk would leave).
+    pub fn crash(&self) {
+        let mut inner = self.inner.lock();
+        for file in inner.files.values_mut() {
+            file.data.truncate(file.synced_len);
+        }
+    }
+
+    /// Truncates a file to exactly `len` bytes, regardless of sync
+    /// state — used to sweep "crash at every byte boundary".
+    pub fn tear_to(&self, name: &str, len: usize) {
+        let mut inner = self.inner.lock();
+        if let Some(file) = inner.files.get_mut(name) {
+            file.data.truncate(len);
+            file.synced_len = file.synced_len.min(len);
+        }
+    }
+
+    /// Flips one bit of one byte in a file.
+    pub fn flip_bit(&self, name: &str, offset: usize, bit: u8) {
+        let mut inner = self.inner.lock();
+        if let Some(file) = inner.files.get_mut(name) {
+            if let Some(b) = file.data.get_mut(offset) {
+                *b ^= 1 << (bit % 8);
+            }
+        }
+    }
+
+    /// Arms a one-shot short read: the next `read(name)` returns only
+    /// the first `len` bytes.
+    pub fn set_short_read(&self, name: &str, len: usize) {
+        self.inner.lock().short_read = Some((name.to_string(), len));
+    }
+
+    /// Raw contents of a file (diagnostics in tests).
+    pub fn contents(&self, name: &str) -> Option<Vec<u8>> {
+        self.inner.lock().files.get(name).map(|f| f.data.clone())
+    }
+}
+
+impl Storage for MemStorage {
+    fn list(&self) -> io::Result<Vec<String>> {
+        Ok(self.inner.lock().files.keys().cloned().collect())
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        let mut inner = self.inner.lock();
+        let short = match &inner.short_read {
+            Some((n, len)) if n == name => {
+                let len = *len;
+                inner.short_read = None;
+                Some(len)
+            }
+            _ => None,
+        };
+        let file = inner
+            .files
+            .get(name)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))?;
+        let mut data = file.data.clone();
+        if let Some(len) = short {
+            data.truncate(len);
+        }
+        Ok(data)
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        inner.append_count += 1;
+        inner
+            .files
+            .entry(name.to_string())
+            .or_default()
+            .data
+            .extend_from_slice(data);
+        Ok(())
+    }
+
+    fn sync(&self, name: &str) -> io::Result<()> {
+        let cost = {
+            let mut inner = self.inner.lock();
+            inner.sync_count += 1;
+            if let Some(file) = inner.files.get_mut(name) {
+                file.synced_len = file.data.len();
+            }
+            inner.sync_cost
+        };
+        if !cost.is_zero() {
+            let end = Instant::now() + cost;
+            while Instant::now() < end {
+                std::hint::spin_loop();
+            }
+        }
+        Ok(())
+    }
+
+    fn write_atomic(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        let file = inner.files.entry(name.to_string()).or_default();
+        file.data = data.to_vec();
+        file.synced_len = data.len();
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        inner
+            .files
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        let file = inner
+            .files
+            .get_mut(name)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))?;
+        file.data.truncate(len as usize);
+        file.synced_len = file.synced_len.min(len as usize);
+        Ok(())
+    }
+
+    fn size(&self, name: &str) -> io::Result<u64> {
+        let inner = self.inner.lock();
+        inner
+            .files
+            .get(name)
+            .map(|f| f.data.len() as u64)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_crash_discards_unsynced_tail() {
+        let s = MemStorage::new();
+        s.append("a.log", b"durable").unwrap();
+        s.sync("a.log").unwrap();
+        s.append("a.log", b" volatile").unwrap();
+        s.crash();
+        assert_eq!(s.read("a.log").unwrap(), b"durable");
+    }
+
+    #[test]
+    fn mem_short_read_is_one_shot() {
+        let s = MemStorage::new();
+        s.append("a.log", b"0123456789").unwrap();
+        s.set_short_read("a.log", 4);
+        assert_eq!(s.read("a.log").unwrap(), b"0123");
+        assert_eq!(s.read("a.log").unwrap(), b"0123456789");
+    }
+
+    #[test]
+    fn mem_clone_shares_state() {
+        let s = MemStorage::new();
+        let t = s.clone();
+        s.append("a.log", b"xyz").unwrap();
+        assert_eq!(t.read("a.log").unwrap(), b"xyz");
+    }
+
+    #[test]
+    fn file_storage_round_trip() {
+        let root = std::env::temp_dir().join(format!(
+            "heimdall-store-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let s = FileStorage::open(&root).unwrap();
+        s.append("seg.log", b"abc").unwrap();
+        s.append("seg.log", b"def").unwrap();
+        s.sync("seg.log").unwrap();
+        assert_eq!(s.read("seg.log").unwrap(), b"abcdef");
+        s.write_atomic("snap", b"state").unwrap();
+        let mut names = s.list().unwrap();
+        names.sort();
+        assert_eq!(names, vec!["seg.log".to_string(), "snap".to_string()]);
+        s.truncate("seg.log", 2).unwrap();
+        assert_eq!(s.read("seg.log").unwrap(), b"ab");
+        s.remove("snap").unwrap();
+        assert_eq!(s.list().unwrap(), vec!["seg.log".to_string()]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

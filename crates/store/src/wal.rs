@@ -1,0 +1,994 @@
+//! The segmented write-ahead log: group commit, snapshots, compaction,
+//! and deterministic recovery.
+//!
+//! # Write path
+//!
+//! Appenders encode their record under the state lock (which serializes
+//! sequence numbers and the hash chain) and enqueue the frame into a
+//! shared pending buffer. The first appender to find no active writer
+//! becomes the *leader*: it repeatedly swaps the pending buffer out and
+//! writes it as one `append` + (in [`Durability::GroupCommitSync`]
+//! mode) one `sync`, while later appenders keep enqueuing concurrently.
+//! One device flush therefore amortizes over every record that arrived
+//! while the previous flush was in flight — the classic group commit.
+//! With `group_commit` disabled each record is written and synced alone
+//! under the state lock, which is the honest per-record baseline the
+//! bench compares against.
+//!
+//! # Recovery invariants
+//!
+//! [`Wal::open`] restores the longest *prefix* of the log that is fully
+//! intact: it picks the newest decodable snapshot, then replays records
+//! in sequence order, verifying CRC, sequence continuity, and hash-chain
+//! linkage. The first undecodable byte ends the prefix — the torn tail
+//! is truncated away and any later segments are discarded, so a
+//! subsequent append continues a clean, verified chain. A record is
+//! *acknowledged* only after its sync barrier returns, and sync order
+//! equals sequence order, so an acknowledged record can never sit after
+//! a lost one: prefix recovery implies zero lost acknowledged records.
+
+use crate::record::{self, DecodeError, Record, GENESIS_CHAIN};
+use crate::storage::Storage;
+use heimdall_enforcer::crypto::Digest;
+use parking_lot::{Condvar, Mutex};
+
+/// How much durability the caller wants from the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// No journal at all (callers skip the WAL entirely).
+    Off,
+    /// Records are written but not fsynced on the hot path; a crash may
+    /// lose the tail. Explicit [`Wal::sync_barrier`] calls still flush.
+    Async,
+    /// Acknowledgements wait for a (group-committed) sync.
+    #[default]
+    GroupCommitSync,
+}
+
+/// WAL tuning knobs.
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Durability level; [`Durability::Off`] behaves like `Async` if a
+    /// `Wal` is constructed with it (callers normally skip the WAL).
+    pub durability: Durability,
+    /// Rotate the active segment once it exceeds this many bytes.
+    pub segment_max_bytes: usize,
+    /// Batch concurrent appenders into shared flushes (leader/follower
+    /// group commit). `false` serializes one write + sync per record.
+    pub group_commit: bool,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            durability: Durability::GroupCommitSync,
+            segment_max_bytes: 1 << 20,
+            group_commit: true,
+        }
+    }
+}
+
+/// Errors from WAL operations. IO errors are sticky: once a write
+/// fails the log refuses further appends rather than leaving a gap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// Underlying storage failure.
+    Io(String),
+    /// The on-disk layout is inconsistent (gaps, bad snapshot linkage).
+    Corrupt(String),
+    /// Segments exist but the prefix needed to verify them from genesis
+    /// (or a snapshot) is gone.
+    MissingPrefix,
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io error: {e}"),
+            WalError::Corrupt(e) => write!(f, "wal corrupt: {e}"),
+            WalError::MissingPrefix => write!(f, "wal prefix missing: cannot verify chain"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+/// What a recovery pass found and discarded.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Records after the snapshot cut returned to the caller.
+    pub records_replayed: u64,
+    /// Pre-snapshot records CRC-skipped while locating the cut point.
+    pub records_skipped: u64,
+    /// Bytes dropped from torn tails, corrupt frames, and orphaned
+    /// suffix segments.
+    pub torn_bytes_discarded: u64,
+    /// Segment files visited.
+    pub segments_scanned: u64,
+    /// Whole segment files discarded (suffix after a corrupt frame).
+    pub segments_discarded: u64,
+    /// Snapshot files that failed to decode and were removed.
+    pub snapshots_discarded: u64,
+    /// Whether a snapshot seeded the recovered state.
+    pub used_snapshot: bool,
+}
+
+/// The outcome of [`Wal::open`]: the recovered prefix.
+#[derive(Debug)]
+pub struct Recovered {
+    /// Payload of the newest valid snapshot, if any.
+    pub snapshot: Option<Vec<u8>>,
+    /// Sequence-count cut point of that snapshot (records with
+    /// `seq < snapshot_through` are inside the snapshot).
+    pub snapshot_through: Option<u64>,
+    /// Verified records after the cut, in sequence order.
+    pub records: Vec<Record>,
+    /// What was replayed and what was discarded.
+    pub report: RecoveryReport,
+}
+
+/// Compaction summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Segment files removed (fully covered by the newest snapshot).
+    pub segments_removed: u64,
+    /// Superseded snapshot files removed.
+    pub snapshots_removed: u64,
+}
+
+const SNAP_MAGIC: [u8; 4] = *b"HSN1";
+const SNAP_VERSION: u8 = 1;
+const SNAP_HEADER_LEN: usize = 60;
+
+fn encode_snapshot(through: u64, chain: &Digest, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(SNAP_HEADER_LEN + payload.len());
+    buf.extend_from_slice(&SNAP_MAGIC);
+    buf.push(SNAP_VERSION);
+    buf.extend_from_slice(&[0u8; 3]);
+    buf.extend_from_slice(&through.to_le_bytes());
+    buf.extend_from_slice(chain);
+    buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    let mut crc = record::crc32(&buf[4..56]);
+    crc ^= record::crc32(payload).rotate_left(1);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+fn decode_snapshot(buf: &[u8]) -> Result<(u64, Digest, Vec<u8>), DecodeError> {
+    if buf.len() < SNAP_HEADER_LEN {
+        return Err(DecodeError::Truncated {
+            have: buf.len(),
+            need: SNAP_HEADER_LEN,
+        });
+    }
+    if buf[0..4] != SNAP_MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    if buf[4] != SNAP_VERSION {
+        return Err(DecodeError::UnsupportedVersion(buf[4]));
+    }
+    let through = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+    let mut chain = [0u8; 32];
+    chain.copy_from_slice(&buf[16..48]);
+    let len = u64::from_le_bytes(buf[48..56].try_into().expect("8 bytes")) as usize;
+    if len > record::MAX_PAYLOAD {
+        return Err(DecodeError::TooLarge(len as u32));
+    }
+    if buf.len() < SNAP_HEADER_LEN + len {
+        return Err(DecodeError::Truncated {
+            have: buf.len(),
+            need: SNAP_HEADER_LEN + len,
+        });
+    }
+    let stored = u32::from_le_bytes(buf[56..60].try_into().expect("4 bytes"));
+    let payload = &buf[SNAP_HEADER_LEN..SNAP_HEADER_LEN + len];
+    let mut crc = record::crc32(&buf[4..56]);
+    crc ^= record::crc32(payload).rotate_left(1);
+    if crc != stored {
+        return Err(DecodeError::BadCrc);
+    }
+    Ok((through, chain, payload.to_vec()))
+}
+
+fn segment_name(first_seq: u64) -> String {
+    format!("wal-{first_seq:016x}.log")
+}
+
+fn snapshot_name(through: u64) -> String {
+    format!("snap-{through:016x}.snap")
+}
+
+fn parse_segment_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    u64::from_str_radix(hex, 16).ok()
+}
+
+fn parse_snapshot_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("snap-")?.strip_suffix(".snap")?;
+    u64::from_str_radix(hex, 16).ok()
+}
+
+#[derive(Debug, Clone)]
+struct Segment {
+    first_seq: u64,
+    name: String,
+    bytes: usize,
+}
+
+struct WalState {
+    /// Encoded frames waiting for the leader to write them.
+    pending: Vec<u8>,
+    /// Sequence number of the first frame in `pending`.
+    pending_first_seq: u64,
+    /// Next sequence number to assign.
+    next_seq: u64,
+    /// Running chain digest (of the last assigned record).
+    chain: Digest,
+    /// Whether a leader is currently draining `pending`.
+    writer_active: bool,
+    /// Cut point of the newest snapshot written or recovered.
+    last_snapshot: Option<u64>,
+}
+
+struct Progress {
+    /// Records `[0, written)` have reached storage.
+    written: u64,
+    /// Records `[0, durable)` have been synced.
+    durable: u64,
+    /// Sticky IO failure: the log is wedged once set.
+    error: Option<String>,
+}
+
+/// A segmented, hash-chained, group-committing write-ahead log.
+pub struct Wal {
+    storage: Box<dyn Storage>,
+    cfg: WalConfig,
+    state: Mutex<WalState>,
+    /// Segment bookkeeping; locked by whichever thread is writing.
+    /// Lock order: `state` → `segments` → `progress`.
+    segments: Mutex<Vec<Segment>>,
+    progress: Mutex<Progress>,
+    cv: Condvar,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("Wal")
+            .field("next_seq", &st.next_seq)
+            .field("last_snapshot", &st.last_snapshot)
+            .finish()
+    }
+}
+
+impl Wal {
+    /// Opens (recovering if data exists) a WAL on `storage`.
+    pub fn open(storage: Box<dyn Storage>, cfg: WalConfig) -> Result<(Wal, Recovered), WalError> {
+        let names = storage.list().map_err(|e| WalError::Io(e.to_string()))?;
+        let mut seg_names: Vec<(u64, String)> = names
+            .iter()
+            .filter_map(|n| parse_segment_name(n).map(|f| (f, n.clone())))
+            .collect();
+        seg_names.sort();
+        let mut snap_names: Vec<(u64, String)> = names
+            .iter()
+            .filter_map(|n| parse_snapshot_name(n).map(|t| (t, n.clone())))
+            .collect();
+        snap_names.sort_by_key(|s| std::cmp::Reverse(s.0));
+
+        let mut report = RecoveryReport::default();
+        let mut snapshot: Option<(u64, Digest, Vec<u8>)> = None;
+        for (through, name) in &snap_names {
+            if snapshot.is_some() {
+                break;
+            }
+            let decoded = storage
+                .read(name)
+                .ok()
+                .and_then(|bytes| decode_snapshot(&bytes).ok())
+                .filter(|(t, _, _)| t == through);
+            match decoded {
+                Some(found) => snapshot = Some(found),
+                None => {
+                    let _ = storage.remove(name);
+                    report.snapshots_discarded += 1;
+                }
+            }
+        }
+        report.used_snapshot = snapshot.is_some();
+        let (start, snap_chain) = match &snapshot {
+            Some((t, c, _)) => (*t, *c),
+            None => (0, GENESIS_CHAIN),
+        };
+
+        let scan_from = if seg_names.is_empty() {
+            0
+        } else {
+            match seg_names.iter().rposition(|(f, _)| *f <= start) {
+                Some(i) => i,
+                None if snapshot.is_none() => return Err(WalError::MissingPrefix),
+                None => {
+                    return Err(WalError::Corrupt(format!(
+                        "gap between snapshot cut {start} and first segment {}",
+                        seg_names[0].0
+                    )))
+                }
+            }
+        };
+
+        let mut chain = snap_chain;
+        // `next` tracks the sequence expected at the scan cursor; records
+        // below `start` are CRC-skipped, records at/after it are
+        // chain-verified against the snapshot's digest.
+        let mut next = seg_names.get(scan_from).map(|(f, _)| *f).unwrap_or(start);
+        let mut records = Vec::new();
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut discard_from: Option<usize> = None;
+
+        'scan: for (idx, (first, name)) in seg_names.iter().enumerate() {
+            if idx < scan_from {
+                let bytes = storage.size(name).unwrap_or(0) as usize;
+                segments.push(Segment {
+                    first_seq: *first,
+                    name: name.clone(),
+                    bytes,
+                });
+                continue;
+            }
+            report.segments_scanned += 1;
+            if idx > scan_from && *first != next {
+                discard_from = Some(idx);
+                break 'scan;
+            }
+            let data = match storage.read(name) {
+                Ok(d) => d,
+                Err(_) => {
+                    discard_from = Some(idx);
+                    break 'scan;
+                }
+            };
+            let mut off = 0usize;
+            while off < data.len() {
+                let res = if next < start {
+                    record::decode(&data[off..]).and_then(|(r, used)| {
+                        if r.seq != next {
+                            Err(DecodeError::BadSeq {
+                                expected: next,
+                                found: r.seq,
+                            })
+                        } else {
+                            Ok((r, used))
+                        }
+                    })
+                } else {
+                    record::decode_chained(&data[off..], next, &chain)
+                };
+                match res {
+                    Ok((rec, used)) => {
+                        off += used;
+                        next += 1;
+                        if rec.seq >= start {
+                            chain = rec.chain;
+                            report.records_replayed += 1;
+                            records.push(rec);
+                        } else {
+                            report.records_skipped += 1;
+                        }
+                    }
+                    Err(_) => {
+                        report.torn_bytes_discarded += (data.len() - off) as u64;
+                        storage
+                            .truncate(name, off as u64)
+                            .map_err(|e| WalError::Io(e.to_string()))?;
+                        segments.push(Segment {
+                            first_seq: *first,
+                            name: name.clone(),
+                            bytes: off,
+                        });
+                        discard_from = Some(idx + 1);
+                        break 'scan;
+                    }
+                }
+            }
+            segments.push(Segment {
+                first_seq: *first,
+                name: name.clone(),
+                bytes: data.len(),
+            });
+        }
+        if let Some(from) = discard_from {
+            for (_, name) in &seg_names[from..] {
+                report.torn_bytes_discarded += storage.size(name).unwrap_or(0);
+                let _ = storage.remove(name);
+                report.segments_discarded += 1;
+            }
+        }
+        if segments.is_empty() {
+            segments.push(Segment {
+                first_seq: next,
+                name: segment_name(next),
+                bytes: 0,
+            });
+        }
+
+        let snapshot_through = snapshot.as_ref().map(|(t, _, _)| *t);
+        let snapshot_payload = snapshot.map(|(_, _, p)| p);
+        let wal = Wal {
+            storage,
+            cfg,
+            state: Mutex::new(WalState {
+                pending: Vec::new(),
+                pending_first_seq: 0,
+                next_seq: next,
+                chain,
+                writer_active: false,
+                last_snapshot: snapshot_through,
+            }),
+            segments: Mutex::new(segments),
+            progress: Mutex::new(Progress {
+                written: next,
+                durable: next,
+                error: None,
+            }),
+            cv: Condvar::new(),
+        };
+        Ok((
+            wal,
+            Recovered {
+                snapshot: snapshot_payload,
+                snapshot_through,
+                records,
+                report,
+            },
+        ))
+    }
+
+    /// The next sequence number the log will assign.
+    pub fn next_seq(&self) -> u64 {
+        self.state.lock().next_seq
+    }
+
+    /// The running chain digest (of the last assigned record).
+    pub fn chain(&self) -> Digest {
+        self.state.lock().chain
+    }
+
+    /// How many records are durable (`[0, n)`).
+    pub fn durable(&self) -> u64 {
+        self.progress.lock().durable
+    }
+
+    /// Names of the current segment files, oldest first.
+    pub fn segment_names(&self) -> Vec<String> {
+        self.segments
+            .lock()
+            .iter()
+            .map(|s| s.name.clone())
+            .collect()
+    }
+
+    /// Cut point of the newest snapshot, if one exists.
+    pub fn last_snapshot(&self) -> Option<u64> {
+        self.state.lock().last_snapshot
+    }
+
+    fn sticky(&self, e: std::io::Error) -> WalError {
+        let msg = e.to_string();
+        let mut p = self.progress.lock();
+        p.error = Some(msg.clone());
+        self.cv.notify_all();
+        WalError::Io(msg)
+    }
+
+    fn check_error(&self) -> Result<(), WalError> {
+        let p = self.progress.lock();
+        match &p.error {
+            Some(e) => Err(WalError::Io(e.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// Writes one contiguous run of frames covering seqs
+    /// `[first, last]`, rotating segments as needed. Caller coordinates
+    /// exclusivity (leader role or the per-record state lock).
+    fn write_batch(&self, bytes: &[u8], first: u64, last: u64, sync: bool) -> Result<(), WalError> {
+        let mut segs = self.segments.lock();
+        let rotate = match segs.last() {
+            None => true,
+            Some(s) => s.bytes > 0 && s.bytes + bytes.len() > self.cfg.segment_max_bytes,
+        };
+        if rotate {
+            if let Some(prev) = segs.last() {
+                // Keep the invariant that only the active segment can
+                // hold unsynced bytes: flush before rotating away.
+                let name = prev.name.clone();
+                self.storage.sync(&name).map_err(|e| self.sticky(e))?;
+                let mut p = self.progress.lock();
+                p.durable = p.durable.max(p.written);
+            }
+            segs.push(Segment {
+                first_seq: first,
+                name: segment_name(first),
+                bytes: 0,
+            });
+        }
+        let active = segs.last_mut().expect("active segment");
+        let name = active.name.clone();
+        self.storage
+            .append(&name, bytes)
+            .map_err(|e| self.sticky(e))?;
+        active.bytes += bytes.len();
+        if sync {
+            self.storage.sync(&name).map_err(|e| self.sticky(e))?;
+        }
+        drop(segs);
+        let mut p = self.progress.lock();
+        p.written = p.written.max(last + 1);
+        if sync {
+            p.durable = p.durable.max(last + 1);
+        }
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Leader loop: drains the pending buffer batch by batch until it
+    /// is empty, then retires the leader role.
+    fn drain(&self) -> Result<(), WalError> {
+        let sync = matches!(self.cfg.durability, Durability::GroupCommitSync);
+        loop {
+            let (batch, first, last) = {
+                let mut st = self.state.lock();
+                if st.pending.is_empty() {
+                    st.writer_active = false;
+                    return Ok(());
+                }
+                (
+                    std::mem::take(&mut st.pending),
+                    st.pending_first_seq,
+                    st.next_seq - 1,
+                )
+            };
+            if let Err(e) = self.write_batch(&batch, first, last, sync) {
+                self.state.lock().writer_active = false;
+                return Err(e);
+            }
+        }
+    }
+
+    /// Encodes and enqueues one record; returns its seq and whether the
+    /// caller became the leader.
+    fn enqueue(&self, kind: u8, payload: &[u8]) -> Result<(u64, bool), WalError> {
+        let mut st = self.state.lock();
+        self.check_error()?;
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        let (frame, chain) = record::encode(seq, kind, payload, &st.chain);
+        st.chain = chain;
+        if st.pending.is_empty() {
+            st.pending_first_seq = seq;
+        }
+        st.pending.extend_from_slice(&frame);
+        let lead = !st.writer_active;
+        if lead {
+            st.writer_active = true;
+        }
+        Ok((seq, lead))
+    }
+
+    /// Appends a record without waiting for durability. The record is
+    /// ordered before any later append, so a later [`Wal::sync_barrier`]
+    /// (or synced record) also makes this one durable.
+    pub fn append(&self, kind: u8, payload: &[u8]) -> Result<u64, WalError> {
+        if self.cfg.group_commit {
+            let (seq, lead) = self.enqueue(kind, payload)?;
+            if lead {
+                self.drain()?;
+            }
+            Ok(seq)
+        } else {
+            let mut st = self.state.lock();
+            self.check_error()?;
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            let (frame, chain) = record::encode(seq, kind, payload, &st.chain);
+            st.chain = chain;
+            self.write_batch(&frame, seq, seq, false)?;
+            Ok(seq)
+        }
+    }
+
+    /// Appends a record and waits until it is durable.
+    pub fn append_sync(&self, kind: u8, payload: &[u8]) -> Result<u64, WalError> {
+        if !matches!(self.cfg.durability, Durability::GroupCommitSync) {
+            let seq = self.append(kind, payload)?;
+            self.sync_barrier()?;
+            return Ok(seq);
+        }
+        if self.cfg.group_commit {
+            let (seq, lead) = self.enqueue(kind, payload)?;
+            if lead {
+                self.drain()?;
+            }
+            self.wait_durable(seq + 1)?;
+            Ok(seq)
+        } else {
+            let mut st = self.state.lock();
+            self.check_error()?;
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            let (frame, chain) = record::encode(seq, kind, payload, &st.chain);
+            st.chain = chain;
+            self.write_batch(&frame, seq, seq, true)?;
+            Ok(seq)
+        }
+    }
+
+    fn wait_durable(&self, target: u64) -> Result<(), WalError> {
+        let mut p = self.progress.lock();
+        loop {
+            if let Some(e) = &p.error {
+                return Err(WalError::Io(e.clone()));
+            }
+            if p.durable >= target {
+                return Ok(());
+            }
+            self.cv.wait(&mut p);
+        }
+    }
+
+    /// Flushes and syncs everything appended so far. On return, every
+    /// previously appended record is durable — this is the
+    /// acknowledgement point for group-committed commits.
+    pub fn sync_barrier(&self) -> Result<(), WalError> {
+        let target = self.state.lock().next_seq;
+        if target == 0 {
+            return Ok(());
+        }
+        if self.cfg.group_commit {
+            let lead = {
+                let mut st = self.state.lock();
+                if !st.pending.is_empty() && !st.writer_active {
+                    st.writer_active = true;
+                    true
+                } else {
+                    false
+                }
+            };
+            if lead {
+                self.drain()?;
+            }
+            // Wait for the (possibly other-thread) leader to land our
+            // prefix in storage.
+            let mut p = self.progress.lock();
+            loop {
+                if let Some(e) = &p.error {
+                    return Err(WalError::Io(e.clone()));
+                }
+                if p.written >= target {
+                    break;
+                }
+                self.cv.wait(&mut p);
+            }
+        }
+        if self.progress.lock().durable >= target {
+            return Ok(());
+        }
+        // Only the active segment can hold unsynced bytes (rotation
+        // flushes the previous one), so one sync covers the gap.
+        let name = self.segments.lock().last().map(|s| s.name.clone());
+        if let Some(name) = name {
+            self.storage.sync(&name).map_err(|e| self.sticky(e))?;
+        }
+        let mut p = self.progress.lock();
+        p.durable = p.durable.max(target);
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Writes a snapshot whose payload must describe all state through
+    /// the current cut (every record appended so far). Returns the cut
+    /// point. The prefix is synced before the snapshot lands, and the
+    /// snapshot file is written atomically, so a crash anywhere leaves
+    /// either the old recovery path or the new one — never neither.
+    pub fn write_snapshot(&self, payload: &[u8]) -> Result<u64, WalError> {
+        let (through, chain) = {
+            let st = self.state.lock();
+            (st.next_seq, st.chain)
+        };
+        self.sync_barrier()?;
+        let bytes = encode_snapshot(through, &chain, payload);
+        self.storage
+            .write_atomic(&snapshot_name(through), &bytes)
+            .map_err(|e| self.sticky(e))?;
+        self.state.lock().last_snapshot = Some(through);
+        Ok(through)
+    }
+
+    /// Removes segments fully covered by the newest snapshot, plus
+    /// superseded snapshot files.
+    pub fn compact(&self) -> Result<CompactReport, WalError> {
+        let mut report = CompactReport::default();
+        let through = match self.state.lock().last_snapshot {
+            Some(t) => t,
+            None => return Ok(report),
+        };
+        let names = self
+            .storage
+            .list()
+            .map_err(|e| WalError::Io(e.to_string()))?;
+        for name in names {
+            if let Some(t) = parse_snapshot_name(&name) {
+                if t < through {
+                    let _ = self.storage.remove(&name);
+                    report.snapshots_removed += 1;
+                }
+            }
+        }
+        let mut segs = self.segments.lock();
+        while segs.len() > 1 && segs[1].first_seq <= through {
+            let victim = segs.remove(0);
+            self.storage
+                .remove(&victim.name)
+                .map_err(|e| WalError::Io(e.to_string()))?;
+            report.segments_removed += 1;
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+    use std::sync::Arc;
+
+    fn mem_wal(cfg: WalConfig) -> (Wal, MemStorage) {
+        let storage = MemStorage::new();
+        let (wal, rec) = Wal::open(Box::new(storage.clone()), cfg).unwrap();
+        assert_eq!(rec.records.len(), 0);
+        (wal, storage)
+    }
+
+    #[test]
+    fn append_recover_round_trip() {
+        let (wal, storage) = mem_wal(WalConfig::default());
+        for i in 0..20u8 {
+            wal.append_sync(i % 3, format!("payload-{i}").as_bytes())
+                .unwrap();
+        }
+        drop(wal);
+        let (wal2, rec) = Wal::open(Box::new(storage), WalConfig::default()).unwrap();
+        assert_eq!(rec.records.len(), 20);
+        assert_eq!(rec.report.records_replayed, 20);
+        assert_eq!(rec.records[7].payload, b"payload-7");
+        assert_eq!(wal2.next_seq(), 20);
+    }
+
+    #[test]
+    fn unsynced_tail_lost_on_crash_but_prefix_survives() {
+        let (wal, storage) = mem_wal(WalConfig {
+            durability: Durability::Async,
+            ..WalConfig::default()
+        });
+        wal.append(1, b"one").unwrap();
+        wal.append(1, b"two").unwrap();
+        wal.sync_barrier().unwrap();
+        wal.append(1, b"three-unsynced").unwrap();
+        storage.crash();
+        let (_, rec) = Wal::open(Box::new(storage), WalConfig::default()).unwrap();
+        assert_eq!(rec.records.len(), 2);
+        assert_eq!(rec.records[1].payload, b"two");
+    }
+
+    #[test]
+    fn group_commit_batches_syncs() {
+        let storage = MemStorage::new();
+        storage.set_sync_cost(std::time::Duration::from_micros(200));
+        let (wal, _) = Wal::open(Box::new(storage.clone()), WalConfig::default()).unwrap();
+        let wal = Arc::new(wal);
+        let threads = 8;
+        let per = 40u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let wal = Arc::clone(&wal);
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        wal.append_sync(1, format!("t{t}-{i}").as_bytes()).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = threads as u64 * per;
+        assert_eq!(wal.durable(), total);
+        assert!(
+            storage.sync_count() < total,
+            "expected batched syncs, got {} for {} records",
+            storage.sync_count(),
+            total
+        );
+        drop(wal);
+        let (_, rec) = Wal::open(Box::new(storage), WalConfig::default()).unwrap();
+        assert_eq!(rec.records.len(), total as usize);
+        // Sequence order and chain already verified by open(); spot-check order.
+        for (i, r) in rec.records.iter().enumerate() {
+            assert_eq!(r.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn rotation_spans_segments_and_recovers() {
+        let cfg = WalConfig {
+            segment_max_bytes: 256,
+            ..WalConfig::default()
+        };
+        let (wal, storage) = mem_wal(cfg.clone());
+        for i in 0..50u64 {
+            wal.append_sync(2, format!("record-number-{i:04}").as_bytes())
+                .unwrap();
+        }
+        assert!(wal.segment_names().len() > 1, "expected rotation");
+        drop(wal);
+        let (_, rec) = Wal::open(Box::new(storage), cfg).unwrap();
+        assert_eq!(rec.records.len(), 50);
+        assert!(rec.report.segments_scanned > 1);
+    }
+
+    #[test]
+    fn snapshot_and_compaction() {
+        let cfg = WalConfig {
+            segment_max_bytes: 200,
+            ..WalConfig::default()
+        };
+        let (wal, storage) = mem_wal(cfg.clone());
+        for i in 0..30u64 {
+            wal.append_sync(1, format!("pre-snapshot-{i:03}").as_bytes())
+                .unwrap();
+        }
+        let through = wal.write_snapshot(b"state-at-30").unwrap();
+        assert_eq!(through, 30);
+        let report = wal.compact().unwrap();
+        assert!(report.segments_removed > 0, "expected compaction");
+        for i in 0..5u64 {
+            wal.append_sync(1, format!("post-snapshot-{i}").as_bytes())
+                .unwrap();
+        }
+        drop(wal);
+        let (_, rec) = Wal::open(Box::new(storage), cfg).unwrap();
+        assert!(rec.report.used_snapshot);
+        assert_eq!(rec.snapshot.as_deref(), Some(&b"state-at-30"[..]));
+        assert_eq!(rec.snapshot_through, Some(30));
+        assert_eq!(rec.records.len(), 5);
+        assert_eq!(rec.records[0].seq, 30);
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_older() {
+        let (wal, storage) = mem_wal(WalConfig::default());
+        for i in 0..10u64 {
+            wal.append_sync(1, format!("r{i}").as_bytes()).unwrap();
+        }
+        wal.write_snapshot(b"older-good").unwrap();
+        for i in 10..14u64 {
+            wal.append_sync(1, format!("r{i}").as_bytes()).unwrap();
+        }
+        wal.write_snapshot(b"newer-corrupted").unwrap();
+        drop(wal);
+        storage.flip_bit(&snapshot_name(14), 61, 0);
+        let (_, rec) = Wal::open(Box::new(storage), WalConfig::default()).unwrap();
+        assert_eq!(rec.snapshot.as_deref(), Some(&b"older-good"[..]));
+        assert_eq!(rec.snapshot_through, Some(10));
+        assert_eq!(rec.records.len(), 4);
+        assert_eq!(rec.report.snapshots_discarded, 1);
+    }
+
+    #[test]
+    fn bit_flip_mid_log_discards_suffix_only() {
+        let (wal, storage) = mem_wal(WalConfig::default());
+        let mut offsets = Vec::new();
+        let seg = wal.segment_names().pop().unwrap();
+        for i in 0..10u64 {
+            wal.append_sync(1, format!("record-{i}").as_bytes())
+                .unwrap();
+            offsets.push(storage.size(&seg).unwrap());
+        }
+        drop(wal);
+        // Flip one bit inside record 6's frame.
+        storage.flip_bit(&seg, offsets[5] as usize + 10, 3);
+        let (_, rec) = Wal::open(Box::new(storage), WalConfig::default()).unwrap();
+        assert_eq!(rec.records.len(), 6, "prefix before the flip survives");
+        assert!(rec.report.torn_bytes_discarded > 0);
+    }
+
+    #[test]
+    fn short_read_recovers_prefix() {
+        let (wal, storage) = mem_wal(WalConfig::default());
+        for i in 0..8u64 {
+            wal.append_sync(1, format!("record-{i}").as_bytes())
+                .unwrap();
+        }
+        let seg = wal.segment_names().pop().unwrap();
+        drop(wal);
+        let full = storage.size(&seg).unwrap();
+        storage.set_short_read(&seg, full as usize / 2);
+        let (_, rec) = Wal::open(Box::new(storage), WalConfig::default()).unwrap();
+        assert!(rec.records.len() < 8);
+        assert!(!rec.records.is_empty());
+    }
+
+    #[test]
+    fn missing_prefix_is_detected() {
+        let cfg = WalConfig {
+            segment_max_bytes: 128,
+            ..WalConfig::default()
+        };
+        let (wal, storage) = mem_wal(cfg.clone());
+        for i in 0..40u64 {
+            wal.append_sync(1, format!("record-number-{i:04}").as_bytes())
+                .unwrap();
+        }
+        let first = wal.segment_names().remove(0);
+        drop(wal);
+        storage.remove(&first).unwrap();
+        assert!(matches!(
+            Wal::open(Box::new(storage), cfg),
+            Err(WalError::MissingPrefix)
+        ));
+    }
+
+    #[test]
+    fn sticky_error_after_storage_failure() {
+        // Removing the active segment out from under FileStorage makes
+        // sync fail; MemStorage never fails, so use a tiny adversarial
+        // wrapper instead.
+        struct FailingSync(MemStorage, std::sync::atomic::AtomicBool);
+        impl Storage for FailingSync {
+            fn list(&self) -> std::io::Result<Vec<String>> {
+                self.0.list()
+            }
+            fn read(&self, name: &str) -> std::io::Result<Vec<u8>> {
+                self.0.read(name)
+            }
+            fn append(&self, name: &str, data: &[u8]) -> std::io::Result<()> {
+                self.0.append(name, data)
+            }
+            fn sync(&self, name: &str) -> std::io::Result<()> {
+                if self.1.load(std::sync::atomic::Ordering::SeqCst) {
+                    return Err(std::io::Error::other("injected sync failure"));
+                }
+                self.0.sync(name)
+            }
+            fn write_atomic(&self, name: &str, data: &[u8]) -> std::io::Result<()> {
+                self.0.write_atomic(name, data)
+            }
+            fn remove(&self, name: &str) -> std::io::Result<()> {
+                self.0.remove(name)
+            }
+            fn truncate(&self, name: &str, len: u64) -> std::io::Result<()> {
+                self.0.truncate(name, len)
+            }
+            fn size(&self, name: &str) -> std::io::Result<u64> {
+                self.0.size(name)
+            }
+        }
+        let backing = MemStorage::new();
+        let failing = FailingSync(backing, std::sync::atomic::AtomicBool::new(false));
+        let (wal, _) = Wal::open(Box::new(failing), WalConfig::default()).unwrap();
+        wal.append_sync(1, b"fine").unwrap();
+        // Flip the failure on via the storage trait object: we no longer
+        // hold it, so drive the state through a fresh handle instead.
+        // (Simpler: construct the wal with the flag pre-armed.)
+        let backing = MemStorage::new();
+        let failing = FailingSync(backing, std::sync::atomic::AtomicBool::new(true));
+        let (wal, _) = Wal::open(Box::new(failing), WalConfig::default()).unwrap();
+        assert!(matches!(
+            wal.append_sync(1, b"doomed"),
+            Err(WalError::Io(_))
+        ));
+        // And the error is sticky.
+        assert!(matches!(wal.append(1, b"after"), Err(WalError::Io(_))));
+    }
+}

@@ -12,8 +12,13 @@
 //! span tree via `TraceQuery`, and a flight-recorder drill on a second
 //! broker. On the main broker no anomaly may fire; if one does, the demo
 //! prints a `FLIGHT-RECORDER DUMP` line (which CI greps for) and exits
-//! non-zero. Exit code 0 means all of that held.
+//! non-zero. Two closing drills exercise the persistence story: the
+//! audit chain is archived to JSON, reloaded verified, and a tampered
+//! copy rejected; then a journaling broker is power-cut mid-service and
+//! recovered with every acknowledged commit intact. Exit code 0 means
+//! all of that held.
 
+use heimdall::enforcer::audit::AuditLog;
 use heimdall::netmodel::acl::AclAction;
 use heimdall::netmodel::gen::enterprise_network;
 use heimdall::netmodel::topology::Network;
@@ -23,6 +28,7 @@ use heimdall::routing::converge;
 use heimdall::service::{
     read_frame, write_frame, Broker, BrokerConfig, PipeEnd, Request, Response, SessionService,
 };
+use heimdall::store::MemStorage;
 use heimdall::telemetry::{RecorderConfig, TelemetryConfig};
 use heimdall::verify::checker::check_policies;
 use heimdall::verify::mine::{mine_policies, MinerInput};
@@ -446,6 +452,92 @@ fn main() {
             s.stage, s.count, s.self_ns, s.total_ns
         );
     }
+
+    // Audit archival drill: the chain exports to JSON for off-box
+    // archival, reloads verified, and a tampered archive is rejected at
+    // reload — the hashes travel with the entries. CI greps for the
+    // `audit archive:` line.
+    let exported = service.broker().export_audit();
+    let archive = exported.to_json();
+    let reloaded = AuditLog::from_json(&archive).expect("clean archive must reload verified");
+    assert_eq!(
+        reloaded.head(),
+        exported.head(),
+        "archival must preserve the chain head"
+    );
+    let tampered = archive.replace("tech00", "mallory");
+    assert_ne!(
+        tampered, archive,
+        "the drill must actually tamper something"
+    );
+    assert!(
+        AuditLog::from_json(&tampered).is_err(),
+        "a tampered archive must fail chain verification on reload"
+    );
+    println!(
+        "audit archive: {} entries exported, reload verified, tampered copy rejected",
+        reloaded.len()
+    );
+
+    // Durability drill: a broker journaling into heimdall-store loses
+    // power mid-service; a fresh broker recovering from the same storage
+    // holds every acknowledged commit, evicts the orphaned session on
+    // the record, and the audit chain still verifies. CI greps for the
+    // `durability drill:` line.
+    let wal_storage = MemStorage::new();
+    let genesis = enterprise_network();
+    let genesis_cp = converge(&genesis.net);
+    let genesis_policies = mine_policies(
+        &genesis.net,
+        &genesis_cp,
+        &MinerInput::from_meta(&genesis.meta),
+    );
+    let routing_ticket = || Task {
+        kind: TaskKind::Routing,
+        affected: vec!["h4".to_string(), "srv1".to_string()],
+    };
+    let durable = Broker::open_durable(
+        genesis.net.clone(),
+        genesis_policies.clone(),
+        BrokerConfig::default(),
+        Box::new(wal_storage.clone()),
+    )
+    .expect("open durable broker");
+    durable
+        .open_session("ghost", routing_ticket())
+        .expect("open orphan session");
+    for i in 0..2 {
+        let (s, _) = durable
+            .open_session(&format!("dur{i}"), routing_ticket())
+            .expect("open durable session");
+        durable
+            .exec(
+                s,
+                "fw1",
+                &format!("ip route 10.{}.0.0 255.255.255.0 10.2.1.10", 200 + i),
+            )
+            .expect("durable exec");
+        let report = durable.finish(s).expect("durable finish");
+        assert!(report.applied, "durable commit {i} must land");
+    }
+    wal_storage.crash(); // power cut: unsynced bytes gone, memory gone
+    drop(durable);
+    let recovered = Broker::open_durable(
+        genesis.net,
+        genesis_policies,
+        BrokerConfig::default(),
+        Box::new(wal_storage.clone()),
+    )
+    .expect("recover durable broker");
+    let dsnap = recovered.stats();
+    assert_eq!(dsnap.commits_applied, 2, "both acked commits must survive");
+    assert_eq!(dsnap.recovered_sessions_evicted, 1, "the orphan is evicted");
+    assert_eq!(recovered.live_sessions(), 0);
+    assert!(recovered.verify_audit(), "recovered chain must verify");
+    println!(
+        "durability drill: 2 acked commits recovered, 1 orphan evicted, {} records replayed, audit chain verified",
+        dsnap.records_replayed
+    );
 
     println!("\nall commits landed exactly once; policies hold; audit chain verified");
 }

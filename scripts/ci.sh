@@ -47,9 +47,28 @@ if ! grep -q "obs drill: 1 alert" <<<"$demo_out"; then
     echo "service_demo: excursion broker did not fire exactly one alert"
     exit 1
 fi
+# The persistence drills: archived audit chains reject tampering, and a
+# power-cut journaling broker recovers every acknowledged commit.
+if ! grep -q "tampered copy rejected" <<<"$demo_out"; then
+    echo "$demo_out"
+    echo "service_demo: audit archival drill missing or tamper undetected"
+    exit 1
+fi
+if ! grep -q "durability drill: 2 acked commits recovered" <<<"$demo_out"; then
+    echo "$demo_out"
+    echo "service_demo: durability drill missing or commits lost"
+    exit 1
+fi
+
+echo "==> crash-recovery drills (durable broker over heimdall-store)"
+cargo test --release -q --test store_recovery
 
 echo "==> obs bench (json smoke)"
 cargo bench --bench obs -- --json --test
 test -s BENCH_obs.json || { echo "BENCH_obs.json missing"; exit 1; }
+
+echo "==> wal bench (json smoke; asserts group commit >= 5x per-record sync)"
+cargo bench --bench wal -- --json --test
+test -s BENCH_wal.json || { echo "BENCH_wal.json missing"; exit 1; }
 
 echo "CI green."

@@ -211,8 +211,15 @@ fn snapshot_s() -> BoxedStrategy<StatsSnapshot> {
             any::<u64>(),
             any::<u64>(),
         ),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
     )
-        .prop_map(|(a, b)| StatsSnapshot {
+        .prop_map(|(a, b, c)| StatsSnapshot {
             sessions_opened: a.0,
             sessions_finished: a.1,
             sessions_evicted: a.2,
@@ -228,6 +235,11 @@ fn snapshot_s() -> BoxedStrategy<StatsSnapshot> {
             finish_p50_ns: b.5,
             finish_p99_ns: b.6,
             finish_count: b.7,
+            journal_errors: c.0,
+            records_replayed: c.1,
+            torn_bytes_discarded: c.2,
+            segments_compacted: c.3,
+            recovered_sessions_evicted: c.4,
         })
         .boxed()
 }
