@@ -1,0 +1,285 @@
+//! Pass 3 — escalation reachability.
+//!
+//! The §7 workflow lets a technician widen their own privilege at runtime:
+//! `escalate::decide_escalation` auto-grants any non-destructive action
+//! that is plausible for the task kind (its own mutating repertoire plus
+//! the `related_kinds` table) on any device in the task's relevance set.
+//! The admin therefore authorizes not the spec they signed but its
+//! *closure* under those rules. This pass computes that closure — the
+//! transitive closure over the `related_kinds` graph times the relevant
+//! device set — and reports:
+//!
+//! - how far self-service escalation can widen the spec (`Info`),
+//! - widened grant sets spanning many devices (blast radius, `Warning`),
+//! - destructive actions reachable without an admin (`Error`). Auto-grant
+//!   never adds those, so any such reachability flows from the spec's own
+//!   predicates — typically an unnoticed wildcard — and the offending
+//!   predicate is cited.
+//!
+//! The closure is a sound over-approximation of `decide_escalation`:
+//! anything outside it is guaranteed `NeedsAdmin`/`Denied` (property-
+//! tested in `tests/analyze_e2e.rs`).
+
+use crate::report::{codes, Finding, Severity};
+use heimdall_netmodel::topology::Network;
+use heimdall_privilege::derive::{relevant_devices, Task, TaskKind};
+use heimdall_privilege::escalate::related_kinds;
+use heimdall_privilege::eval::{evaluate, is_allowed, Decision};
+use heimdall_privilege::model::{Action, PrivilegeMsp, Resource};
+use std::collections::BTreeSet;
+
+use crate::overgrant::DESTRUCTIVE;
+
+/// Everything a technician could reach from `task` without admin
+/// approval, independent of any particular spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EscalationClosure {
+    /// Task kinds reachable through the `related_kinds` graph, starting
+    /// kind first (BFS order).
+    pub kinds: Vec<TaskKind>,
+    /// Names of the devices in the task's relevance set — escalation
+    /// never grants outside it.
+    pub devices: Vec<String>,
+    /// Every (action, device) pair the auto-grant path could add.
+    pub auto_grantable: BTreeSet<(Action, String)>,
+}
+
+impl EscalationClosure {
+    /// Whether the auto-grant path could ever yield `action` on `device`.
+    pub fn reaches(&self, action: Action, device: &str) -> bool {
+        self.auto_grantable.contains(&(action, device.to_string()))
+    }
+}
+
+/// Computes the escalation closure for a task.
+pub fn escalation_closure(net: &Network, task: &Task) -> EscalationClosure {
+    // Transitive closure over the related-kinds graph. (decide_escalation
+    // checks plausibility against the *original* kind only, i.e. one hop;
+    // taking the full closure keeps this sound even if escalation policy
+    // ever starts compounding.)
+    let mut kinds = vec![task.kind];
+    let mut i = 0;
+    while i < kinds.len() {
+        for &r in related_kinds(kinds[i]) {
+            if !kinds.contains(&r) {
+                kinds.push(r);
+            }
+        }
+        i += 1;
+    }
+    let devices: Vec<String> = relevant_devices(net, task)
+        .iter()
+        .map(|&d| net.device(d).name.clone())
+        .collect();
+    let mut auto_grantable = BTreeSet::new();
+    for &k in &kinds {
+        for &a in k.mutating_actions() {
+            // decide_escalation flatly denies destructive actions.
+            if DESTRUCTIVE.contains(&a) {
+                continue;
+            }
+            for d in &devices {
+                auto_grantable.insert((a, d.clone()));
+            }
+        }
+    }
+    EscalationClosure {
+        kinds,
+        devices,
+        auto_grantable,
+    }
+}
+
+/// Runs the escalation-reachability pass over a spec.
+pub fn check(net: &Network, task: &Task, spec: &PrivilegeMsp) -> Vec<Finding> {
+    let closure = escalation_closure(net, task);
+    let mut out = Vec::new();
+
+    // Grants the closure adds on top of what the spec already allows.
+    let widened: Vec<&(Action, String)> = closure
+        .auto_grantable
+        .iter()
+        .filter(|(a, d)| !is_allowed(spec, *a, &Resource::Device(d.clone())))
+        .collect();
+    if !widened.is_empty() {
+        let kinds = closure
+            .kinds
+            .iter()
+            .map(|k| format!("{k:?}"))
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        out.push(Finding {
+            severity: Severity::Info,
+            code: codes::ESCALATION_WIDEN.to_string(),
+            device: "*".to_string(),
+            predicate: None,
+            message: format!(
+                "self-service escalation can add {} grant(s) the spec does not carry (reachable kinds: {kinds})",
+                widened.len()
+            ),
+            suggestion: None,
+        });
+        let devices: BTreeSet<&str> = widened.iter().map(|(_, d)| d.as_str()).collect();
+        if devices.len() >= 3 {
+            let list = devices.iter().copied().collect::<Vec<_>>().join(", ");
+            out.push(Finding {
+                severity: Severity::Warning,
+                code: codes::ESCALATION_BLAST_RADIUS.to_string(),
+                device: "*".to_string(),
+                predicate: None,
+                message: format!(
+                    "escalation blast radius spans {} devices without admin approval: [{list}]",
+                    devices.len()
+                ),
+                suggestion: Some(
+                    "tighten the ticket's affected endpoints, or require admin sign-off for escalations on this task".to_string(),
+                ),
+            });
+        }
+    }
+
+    // Destructive reachability: auto-grant never adds these, so any that
+    // are reachable come from the spec itself — cite the predicate.
+    for (_, d) in net.devices() {
+        let r = Resource::Device(d.name.clone());
+        let mut granted: Vec<Action> = Vec::new();
+        let mut cited: Option<usize> = None;
+        for &a in &DESTRUCTIVE {
+            if let Decision::Allowed { by } = evaluate(spec, a, &r) {
+                granted.push(a);
+                cited.get_or_insert(by);
+            }
+        }
+        if let Some(by) = cited {
+            out.push(Finding {
+                severity: Severity::Error,
+                code: codes::ESCALATION_DESTRUCTIVE.to_string(),
+                device: d.name.clone(),
+                predicate: Some(by),
+                message: format!(
+                    "destructive action(s) [{}] on {} are reachable without admin approval, granted by `{}`",
+                    granted
+                        .iter()
+                        .map(Action::keyword)
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    d.name,
+                    spec.predicates[by]
+                ),
+                suggestion: Some(format!(
+                    "add deny({}, {}) (and peers) or narrow the granting predicate",
+                    granted[0].keyword(),
+                    d.name
+                )),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_netmodel::gen::enterprise_network;
+    use heimdall_privilege::derive::derive_privileges;
+    use heimdall_privilege::model::{Predicate, ResourcePattern};
+
+    #[test]
+    fn closure_covers_one_hop_escalations_exactly() {
+        let g = enterprise_network();
+        let task = Task::connectivity("h4", "srv1");
+        let closure = escalation_closure(&g.net, &task);
+        // Connectivity reaches Routing/AccessControl/Vlan (and through
+        // them nothing new except what they relate back to).
+        for k in [
+            TaskKind::Connectivity,
+            TaskKind::Routing,
+            TaskKind::AccessControl,
+            TaskKind::Vlan,
+        ] {
+            assert!(closure.kinds.contains(&k), "{k:?} missing");
+        }
+        assert!(!closure.kinds.contains(&TaskKind::IspChange));
+        // fw1 is on the slice: ACL work is auto-grantable there.
+        assert!(closure.reaches(Action::ModifyAcl, "fw1"));
+        // Destructive never is; off-slice never is.
+        assert!(!closure.reaches(Action::Erase, "fw1"));
+        assert!(!closure.reaches(Action::ModifyAcl, "acc3"));
+    }
+
+    #[test]
+    fn monitoring_closure_is_empty() {
+        let g = enterprise_network();
+        let task = Task {
+            kind: TaskKind::Monitoring,
+            affected: vec!["core1".to_string()],
+        };
+        let closure = escalation_closure(&g.net, &task);
+        assert_eq!(closure.kinds, vec![TaskKind::Monitoring]);
+        assert!(closure.auto_grantable.is_empty());
+    }
+
+    #[test]
+    fn derived_spec_reports_widening_but_no_errors() {
+        let g = enterprise_network();
+        let task = Task::connectivity("h4", "srv1");
+        let spec = derive_privileges(&g.net, &task);
+        let findings = check(&g.net, &task, &spec);
+        assert!(
+            findings.iter().any(|f| f.code == codes::ESCALATION_WIDEN),
+            "{findings:?}"
+        );
+        assert!(
+            findings.iter().all(|f| f.severity < Severity::Error),
+            "derived specs must never trip the error gate: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn destructive_reachability_cites_the_wildcard() {
+        let g = enterprise_network();
+        let task = Task::connectivity("h4", "srv1");
+        let spec = derive_privileges(&g.net, &task).with(Predicate::allow_all(
+            ResourcePattern::Device("fw1".to_string()),
+        ));
+        let findings = check(&g.net, &task, &spec);
+        let destr = findings
+            .iter()
+            .find(|f| f.code == codes::ESCALATION_DESTRUCTIVE)
+            .expect("destructive reachability finding");
+        assert_eq!(destr.severity, Severity::Error);
+        assert_eq!(destr.device, "fw1");
+        let by = destr.predicate.expect("cites a predicate");
+        assert_eq!(spec.predicates[by].to_string(), "allow(*, fw1)");
+        assert!(destr.message.contains("erase"), "{}", destr.message);
+    }
+
+    #[test]
+    fn explicit_deny_clears_destructive_reachability() {
+        let g = enterprise_network();
+        let task = Task::connectivity("h4", "srv1");
+        let spec = derive_privileges(&g.net, &task)
+            .with(Predicate::allow_all(ResourcePattern::Device(
+                "fw1".to_string(),
+            )))
+            .with(Predicate::deny(
+                Action::Erase,
+                ResourcePattern::Device("fw1".to_string()),
+            ))
+            .with(Predicate::deny(
+                Action::Reboot,
+                ResourcePattern::Device("fw1".to_string()),
+            ))
+            .with(Predicate::deny(
+                Action::ModifyCredentials,
+                ResourcePattern::Device("fw1".to_string()),
+            ));
+        let findings = check(&g.net, &task, &spec);
+        assert!(
+            !findings
+                .iter()
+                .any(|f| f.code == codes::ESCALATION_DESTRUCTIVE),
+            "{findings:?}"
+        );
+    }
+}

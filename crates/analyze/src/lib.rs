@@ -1,0 +1,138 @@
+//! # heimdall-analyze
+//!
+//! Static least-privilege analysis of `Privilege_msp` specifications —
+//! the admin-side answer to "is this spec actually minimal, and what
+//! could a technician ultimately reach?", asked *before* any privilege
+//! is exercised.
+//!
+//! Where `netmodel::lint` statically checks device configurations, this
+//! crate statically checks privilege specifications against a network.
+//! Four passes, each with stable diagnostic codes (see
+//! [`report::codes`]):
+//!
+//! | pass | codes | catches |
+//! |------|-------|---------|
+//! | [`shadow`] | `priv-shadowed`, `priv-unknown-resource` | dead predicates |
+//! | [`overgrant`] | `priv-over-grant`, `priv-over-grant-destructive`, `priv-wildcard-broad` | surplus over the derived minimum |
+//! | [`escalation`] | `priv-escalation-widen`, `priv-escalation-blast-radius`, `priv-escalation-destructive` | what §7 self-service escalation reaches |
+//! | [`conflict`] | `priv-conflict-ambiguous`, `priv-concurrent-overlap` | allow/deny ties; specs that cannot commit concurrently |
+//!
+//! The broker runs [`analyze`] at privilege-derivation time and can deny
+//! session opens above a configured severity; the same report is served
+//! over the wire via the service's `AnalyzeQuery` frame.
+//!
+//! ```
+//! use heimdall_analyze::{analyze, codes};
+//! use heimdall_netmodel::gen::enterprise_network;
+//! use heimdall_privilege::derive::{Task, TaskKind};
+//! use heimdall_privilege::dsl;
+//!
+//! let g = enterprise_network();
+//! let task = Task { kind: TaskKind::AccessControl,
+//!                   affected: vec!["h4".into(), "srv1".into()] };
+//! // A hand-written spec with a lazy wildcard.
+//! let spec = dsl::parse("allow(*, fw1)\n").unwrap();
+//! let report = analyze(&g.net, &task, &spec);
+//! // The wildcard over-grants — all the way to `erase` — and the
+//! // analyzer says exactly how to narrow it.
+//! assert!(report.has_code(codes::OVER_GRANT));
+//! assert!(report.has_code(codes::ESCALATION_DESTRUCTIVE));
+//! let fix = report.with_code(codes::OVER_GRANT)[0].suggestion.clone().unwrap();
+//! assert!(fix.contains("allow(acl, fw1)"));
+//! ```
+
+pub mod conflict;
+pub mod escalation;
+pub mod overgrant;
+pub mod report;
+pub mod shadow;
+pub mod universe;
+
+pub use escalation::{escalation_closure, EscalationClosure};
+pub use report::{codes, AnalysisReport, Finding, Severity};
+
+use heimdall_netmodel::topology::Network;
+use heimdall_privilege::derive::Task;
+use heimdall_privilege::model::PrivilegeMsp;
+
+/// Runs every single-spec pass — shadow/unreachable, over-grant,
+/// escalation-reachability, intra-spec conflict — and returns the
+/// canonically sorted report.
+pub fn analyze(net: &Network, task: &Task, spec: &PrivilegeMsp) -> AnalysisReport {
+    let mut findings = Vec::new();
+    findings.extend(shadow::check(net, spec));
+    findings.extend(overgrant::check(net, task, spec));
+    findings.extend(escalation::check(net, task, spec));
+    findings.extend(conflict::check(net, spec));
+    AnalysisReport::from_findings(findings)
+}
+
+/// Runs the pairwise compose check between two specs (two concurrent
+/// tickets): reports every device where both may mutate the same object
+/// class and the enforcer's compose check would reject the second commit.
+pub fn analyze_pair(net: &Network, a: &PrivilegeMsp, b: &PrivilegeMsp) -> AnalysisReport {
+    AnalysisReport::from_findings(conflict::concurrent_overlap(net, a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_netmodel::gen::enterprise_network;
+    use heimdall_privilege::derive::{derive_privileges, TaskKind};
+    use heimdall_privilege::dsl;
+
+    #[test]
+    fn derived_specs_never_reach_the_error_gate() {
+        let g = enterprise_network();
+        for task in [
+            Task::connectivity("h1", "srv1"),
+            Task {
+                kind: TaskKind::AccessControl,
+                affected: vec!["h4".to_string(), "srv1".to_string()],
+            },
+            Task {
+                kind: TaskKind::IspChange,
+                affected: vec!["bdr1".to_string()],
+            },
+            Task {
+                kind: TaskKind::Monitoring,
+                affected: vec!["core1".to_string(), "core2".to_string()],
+            },
+        ] {
+            let spec = derive_privileges(&g.net, &task);
+            let report = analyze(&g.net, &task, &spec);
+            assert!(
+                report.max_severity() < Some(Severity::Error),
+                "{task:?}: {report}"
+            );
+        }
+    }
+
+    #[test]
+    fn the_three_seeded_defect_classes_are_detected() {
+        let g = enterprise_network();
+        let task = Task {
+            kind: TaskKind::AccessControl,
+            affected: vec!["h4".to_string(), "srv1".to_string()],
+        };
+        // Seeded defects: a wildcard over-grant (which also makes erase
+        // reachable) and a predicate shadowed by the wildcard.
+        let spec = dsl::parse("allow(*, fw1)\nallow(view, fw1)\n").unwrap();
+        let report = analyze(&g.net, &task, &spec);
+        assert!(report.has_code(codes::SHADOWED), "{report}");
+        assert!(report.has_code(codes::OVER_GRANT), "{report}");
+        assert!(report.has_code(codes::ESCALATION_DESTRUCTIVE), "{report}");
+        assert_eq!(report.max_severity(), Some(Severity::Error));
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let g = enterprise_network();
+        let task = Task::connectivity("h4", "srv1");
+        let spec = dsl::parse("allow(*, fw1)\nallow(view, ghost)\n").unwrap();
+        let first = analyze(&g.net, &task, &spec);
+        for _ in 0..4 {
+            assert_eq!(analyze(&g.net, &task, &spec), first);
+        }
+    }
+}

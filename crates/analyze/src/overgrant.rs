@@ -1,0 +1,278 @@
+//! Pass 2 — over-grant against the derived minimum.
+//!
+//! `privilege::derive` already computes the least privilege a task needs
+//! (view+ping on the relevant slice, the kind's mutating actions on its
+//! non-host members). Anything a hand-written spec allows beyond that is
+//! surplus attack surface — the paper's Figure 3 accident is exactly a
+//! technician holding `erase` they never needed. This pass reports the
+//! granted−needed delta per device and, when the surplus flows from a
+//! wildcard, suggests the concrete minimization
+//! (`allow(*, fw1)` → `allow(view, fw1), allow(ping, fw1), ...`).
+
+use crate::report::{codes, pattern_device, Finding, Severity};
+use heimdall_netmodel::topology::Network;
+use heimdall_privilege::derive::{derive_privileges, Task};
+use heimdall_privilege::eval::{evaluate, is_allowed, Decision};
+use heimdall_privilege::model::{Action, Effect, PrivilegeMsp, Resource, ResourcePattern};
+
+/// Actions no task kind ever derives; granting one is always an error.
+pub const DESTRUCTIVE: [Action; 3] = [Action::ModifyCredentials, Action::Reboot, Action::Erase];
+
+/// Runs the over-grant pass: `spec` is compared against the minimal
+/// privilege derived for `task` on `net`.
+pub fn check(net: &Network, task: &Task, spec: &PrivilegeMsp) -> Vec<Finding> {
+    let minimal = derive_privileges(net, task);
+    let mut out = Vec::new();
+    for (_, d) in net.devices() {
+        let r = Resource::Device(d.name.clone());
+        let extra: Vec<Action> = Action::ALL
+            .iter()
+            .copied()
+            .filter(|&a| is_allowed(spec, a, &r) && !is_allowed(&minimal, a, &r))
+            .collect();
+        if extra.is_empty() {
+            continue;
+        }
+        let needed: Vec<&'static str> = Action::ALL
+            .iter()
+            .filter(|&&a| is_allowed(&minimal, a, &r))
+            .map(Action::keyword)
+            .collect();
+        let extra_kw: Vec<&'static str> = extra.iter().map(Action::keyword).collect();
+        out.push(Finding {
+            severity: Severity::Warning,
+            code: codes::OVER_GRANT.to_string(),
+            device: d.name.clone(),
+            predicate: None,
+            message: format!(
+                "grants [{}] on {} beyond the minimum a {:?} task needs",
+                extra_kw.join(", "),
+                d.name,
+                task.kind
+            ),
+            suggestion: Some(if needed.is_empty() {
+                format!(
+                    "the task needs nothing on {}; drop it from the spec",
+                    d.name
+                )
+            } else {
+                format!(
+                    "narrow to the derived minimum: {}",
+                    needed
+                        .iter()
+                        .map(|k| format!("allow({k}, {})", d.name))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            }),
+        });
+        let destructive: Vec<Action> = extra
+            .iter()
+            .copied()
+            .filter(|a| DESTRUCTIVE.contains(a))
+            .collect();
+        if let Some(&first) = destructive.first() {
+            let cited = match evaluate(spec, first, &r) {
+                Decision::Allowed { by } => Some(by),
+                _ => None,
+            };
+            out.push(Finding {
+                severity: Severity::Error,
+                code: codes::OVER_GRANT_DESTRUCTIVE.to_string(),
+                device: d.name.clone(),
+                predicate: cited,
+                message: format!(
+                    "destructive actions [{}] are granted on {}; no task kind ever derives them",
+                    destructive
+                        .iter()
+                        .map(Action::keyword)
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    d.name
+                ),
+                suggestion: Some(
+                    "destructive actions must stay admin-only; deny them explicitly".to_string(),
+                ),
+            });
+        }
+    }
+    out.extend(wildcard_minimization(net, &minimal, task, spec));
+    out
+}
+
+/// Flags wildcard predicates whose breadth is the source of an over-grant
+/// and computes the narrowed replacement.
+fn wildcard_minimization(
+    net: &Network,
+    minimal: &PrivilegeMsp,
+    task: &Task,
+    spec: &PrivilegeMsp,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, p) in spec.predicates.iter().enumerate() {
+        if p.effect != Effect::Allow {
+            continue;
+        }
+        if p.action.is_some() && !matches!(p.resource, ResourcePattern::Any) {
+            continue;
+        }
+        let mut surplus = false;
+        let mut kept: Vec<String> = Vec::new();
+        for (_, d) in net.devices() {
+            let r = Resource::Device(d.name.clone());
+            for &a in &Action::ALL {
+                if !p.matches(a, &r) {
+                    continue;
+                }
+                if is_allowed(minimal, a, &r) {
+                    kept.push(format!("allow({}, {})", a.keyword(), d.name));
+                } else {
+                    surplus = true;
+                }
+            }
+        }
+        if !surplus {
+            continue;
+        }
+        let replacement = if kept.is_empty() {
+            format!(
+                "`{p}` grants nothing the {:?} task needs; remove it",
+                task.kind
+            )
+        } else {
+            let shown = kept.len().min(4);
+            let mut text = kept[..shown].join(", ");
+            if kept.len() > shown {
+                text.push_str(&format!(" ... ({} more)", kept.len() - shown));
+            }
+            format!("`{p}` -> {text}")
+        };
+        out.push(Finding {
+            severity: Severity::Info,
+            code: codes::WILDCARD_BROAD.to_string(),
+            device: pattern_device(p),
+            predicate: Some(i),
+            message: format!(
+                "wildcard `{p}` grants more than the {:?} task's derived minimum",
+                task.kind
+            ),
+            suggestion: Some(replacement),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_netmodel::gen::enterprise_network;
+    use heimdall_privilege::model::Predicate;
+
+    fn acl_task() -> Task {
+        Task {
+            kind: heimdall_privilege::derive::TaskKind::AccessControl,
+            affected: vec!["h4".to_string(), "srv1".to_string()],
+        }
+    }
+
+    #[test]
+    fn derived_spec_is_never_over_granted() {
+        let g = enterprise_network();
+        let task = acl_task();
+        let spec = derive_privileges(&g.net, &task);
+        assert!(check(&g.net, &task, &spec).is_empty());
+    }
+
+    #[test]
+    fn wildcard_over_grant_is_flagged_with_minimization() {
+        let g = enterprise_network();
+        let task = acl_task();
+        let spec = PrivilegeMsp::new().with(Predicate::allow_all(ResourcePattern::Device(
+            "fw1".to_string(),
+        )));
+        let findings = check(&g.net, &task, &spec);
+        let over: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.code == codes::OVER_GRANT)
+            .collect();
+        assert_eq!(over.len(), 1, "{findings:?}");
+        assert_eq!(over[0].device, "fw1");
+        // The suggestion names the derived minimum.
+        let sugg = over[0].suggestion.as_deref().unwrap();
+        assert!(sugg.contains("allow(view, fw1)"), "{sugg}");
+        assert!(sugg.contains("allow(acl, fw1)"), "{sugg}");
+        // The wildcard is cited as the source, with a narrowing.
+        let broad = findings
+            .iter()
+            .find(|f| f.code == codes::WILDCARD_BROAD)
+            .expect("wildcard finding");
+        assert_eq!(broad.predicate, Some(0));
+        assert!(
+            broad
+                .suggestion
+                .as_deref()
+                .unwrap()
+                .contains("allow(view, fw1)"),
+            "{:?}",
+            broad.suggestion
+        );
+    }
+
+    #[test]
+    fn wildcard_reaching_destructive_is_an_error() {
+        let g = enterprise_network();
+        let task = acl_task();
+        let spec = PrivilegeMsp::new().with(Predicate::allow_all(ResourcePattern::Device(
+            "fw1".to_string(),
+        )));
+        let findings = check(&g.net, &task, &spec);
+        let destr = findings
+            .iter()
+            .find(|f| f.code == codes::OVER_GRANT_DESTRUCTIVE)
+            .expect("destructive finding");
+        assert_eq!(destr.severity, Severity::Error);
+        assert_eq!(destr.device, "fw1");
+        assert_eq!(destr.predicate, Some(0), "cites the wildcard");
+        assert!(destr.message.contains("erase"), "{}", destr.message);
+    }
+
+    #[test]
+    fn exact_surplus_action_is_named() {
+        let g = enterprise_network();
+        let task = acl_task();
+        // Minimal plus one stray ospf grant.
+        let spec = derive_privileges(&g.net, &task).with(Predicate::allow(
+            Action::ModifyOspf,
+            ResourcePattern::Device("fw1".to_string()),
+        ));
+        let findings = check(&g.net, &task, &spec);
+        let over = findings
+            .iter()
+            .find(|f| f.code == codes::OVER_GRANT)
+            .expect("over-grant finding");
+        assert_eq!(over.device, "fw1");
+        assert!(over.message.contains("[ospf]"), "{}", over.message);
+        assert!(!findings.iter().any(|f| f.severity == Severity::Error));
+    }
+
+    #[test]
+    fn off_slice_grant_suggests_dropping_the_device() {
+        let g = enterprise_network();
+        let task = acl_task();
+        // acc3 is off the h4<->srv1 slice entirely.
+        let spec = derive_privileges(&g.net, &task).with(Predicate::allow(
+            Action::View,
+            ResourcePattern::Device("acc3".to_string()),
+        ));
+        let findings = check(&g.net, &task, &spec);
+        let over = findings
+            .iter()
+            .find(|f| f.code == codes::OVER_GRANT && f.device == "acc3")
+            .expect("acc3 over-grant");
+        assert!(
+            over.suggestion.as_deref().unwrap().contains("drop it"),
+            "{:?}",
+            over.suggestion
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Structured diagnostics: findings with stable codes, sorted reports.
+//!
+//! The shape deliberately mirrors `heimdall_netmodel::lint` — admins read
+//! config lint and privilege analysis side by side — and reuses its
+//! [`Severity`] so one deny/warn threshold covers both.
+
+use heimdall_privilege::model::{Predicate, ResourcePattern};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+pub use heimdall_netmodel::lint::Severity;
+
+/// Stable diagnostic codes, one per defect class. Tests and CI gates match
+/// on these by name; never renumber or reuse them.
+pub mod codes {
+    /// Predicate removable without changing any decision on this network.
+    pub const SHADOWED: &str = "priv-shadowed";
+    /// Predicate references a device/interface/ACL the network lacks.
+    pub const UNKNOWN_RESOURCE: &str = "priv-unknown-resource";
+    /// Grants on a device exceed the task's derived minimum.
+    pub const OVER_GRANT: &str = "priv-over-grant";
+    /// The excess includes a destructive action no task kind ever derives.
+    pub const OVER_GRANT_DESTRUCTIVE: &str = "priv-over-grant-destructive";
+    /// A wildcard predicate is the source of an over-grant.
+    pub const WILDCARD_BROAD: &str = "priv-wildcard-broad";
+    /// Allow and deny tie at equal specificity for some concrete request.
+    pub const CONFLICT_AMBIGUOUS: &str = "priv-conflict-ambiguous";
+    /// Two specs allow the same mutating action on the same device and
+    /// the resulting edits cannot compose.
+    pub const CONCURRENT_OVERLAP: &str = "priv-concurrent-overlap";
+    /// A destructive action is reachable without admin approval.
+    pub const ESCALATION_DESTRUCTIVE: &str = "priv-escalation-destructive";
+    /// Self-service escalation can widen the spec beyond its grants.
+    pub const ESCALATION_WIDEN: &str = "priv-escalation-widen";
+    /// The escalation-widened grant set spans many devices.
+    pub const ESCALATION_BLAST_RADIUS: &str = "priv-escalation-blast-radius";
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Finding {
+    pub severity: Severity,
+    /// One of the [`codes`] constants (owned so reports deserialize off
+    /// the wire).
+    pub code: String,
+    /// Device the finding is anchored to, or `"*"` for spec-wide ones.
+    pub device: String,
+    /// Index of the predicate at fault, when one can be cited.
+    pub predicate: Option<usize>,
+    pub message: String,
+    /// Concrete remediation, when the analyzer can compute one.
+    pub suggestion: Option<String>,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:?}] {} {}", self.severity, self.code, self.device)?;
+        if let Some(i) = self.predicate {
+            write!(f, " #{i}")?;
+        }
+        write!(f, ": {}", self.message)?;
+        if let Some(s) = &self.suggestion {
+            write!(f, "\n    fix: {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A complete analysis report: findings sorted by (severity descending,
+/// device, code, message) and deduplicated, so identical inputs always
+/// render identically.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnalysisReport {
+    pub findings: Vec<Finding>,
+}
+
+impl AnalysisReport {
+    /// Builds a report with the canonical ordering applied.
+    pub fn from_findings(mut findings: Vec<Finding>) -> AnalysisReport {
+        findings.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then_with(|| a.device.cmp(&b.device))
+                .then_with(|| a.code.cmp(&b.code))
+                .then_with(|| a.message.cmp(&b.message))
+        });
+        findings.dedup();
+        AnalysisReport { findings }
+    }
+
+    /// No findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The worst severity present, if any.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.findings.iter().map(|f| f.severity).max()
+    }
+
+    /// Number of findings at or above `min`.
+    pub fn count_at_least(&self, min: Severity) -> usize {
+        self.findings.iter().filter(|f| f.severity >= min).count()
+    }
+
+    /// Whether any finding carries the given code.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.findings.iter().any(|f| f.code == code)
+    }
+
+    /// All findings carrying the given code.
+    pub fn with_code(&self, code: &str) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| f.code == code).collect()
+    }
+
+    /// One-line summary, e.g. `4 findings (1 error, 2 warnings, 1 info)`.
+    pub fn summary(&self) -> String {
+        if self.findings.is_empty() {
+            return "clean".to_string();
+        }
+        let count = |s: Severity| self.findings.iter().filter(|f| f.severity == s).count();
+        format!(
+            "{} findings ({} errors, {} warnings, {} info)",
+            self.findings.len(),
+            count(Severity::Error),
+            count(Severity::Warning),
+            count(Severity::Info),
+        )
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for finding in &self.findings {
+            writeln!(f, "{finding}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The device a predicate's resource pattern is anchored to (`"*"` for
+/// `Any`).
+pub(crate) fn pattern_device(p: &Predicate) -> String {
+    match &p.resource {
+        ResourcePattern::Any => "*".to_string(),
+        ResourcePattern::Device(d) => d.clone(),
+        ResourcePattern::Interface { device, .. } | ResourcePattern::Acl { device, .. } => {
+            device.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(sev: Severity, code: &str, device: &str, msg: &str) -> Finding {
+        Finding {
+            severity: sev,
+            code: code.to_string(),
+            device: device.to_string(),
+            predicate: None,
+            message: msg.to_string(),
+            suggestion: None,
+        }
+    }
+
+    #[test]
+    fn report_sorts_and_dedupes() {
+        let report = AnalysisReport::from_findings(vec![
+            finding(Severity::Info, codes::WILDCARD_BROAD, "z9", "a"),
+            finding(Severity::Error, codes::OVER_GRANT_DESTRUCTIVE, "fw1", "b"),
+            finding(Severity::Error, codes::OVER_GRANT_DESTRUCTIVE, "fw1", "b"),
+            finding(Severity::Warning, codes::OVER_GRANT, "acc1", "c"),
+        ]);
+        assert_eq!(report.findings.len(), 3, "duplicate removed");
+        assert_eq!(report.findings[0].severity, Severity::Error);
+        assert_eq!(report.max_severity(), Some(Severity::Error));
+        assert_eq!(report.count_at_least(Severity::Warning), 2);
+        assert!(report.has_code(codes::OVER_GRANT));
+        assert!(!report.has_code(codes::SHADOWED));
+    }
+
+    #[test]
+    fn summary_counts_by_severity() {
+        assert_eq!(AnalysisReport::default().summary(), "clean");
+        let report = AnalysisReport::from_findings(vec![
+            finding(Severity::Error, codes::ESCALATION_DESTRUCTIVE, "fw1", "x"),
+            finding(Severity::Info, codes::ESCALATION_WIDEN, "*", "y"),
+        ]);
+        assert_eq!(
+            report.summary(),
+            "2 findings (1 errors, 0 warnings, 1 info)"
+        );
+    }
+
+    #[test]
+    fn findings_serialize_round_trip() {
+        let report = AnalysisReport::from_findings(vec![Finding {
+            severity: Severity::Warning,
+            code: codes::SHADOWED.to_string(),
+            device: "fw1".to_string(),
+            predicate: Some(3),
+            message: "m".to_string(),
+            suggestion: Some("s".to_string()),
+        }]);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: AnalysisReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn display_cites_predicate_and_fix() {
+        let f = Finding {
+            severity: Severity::Warning,
+            code: codes::SHADOWED.to_string(),
+            device: "fw1".to_string(),
+            predicate: Some(2),
+            message: "shadowed".to_string(),
+            suggestion: Some("delete it".to_string()),
+        };
+        let text = f.to_string();
+        assert!(text.contains("priv-shadowed fw1 #2"), "{text}");
+        assert!(text.contains("fix: delete it"), "{text}");
+    }
+}

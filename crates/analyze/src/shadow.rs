@@ -1,0 +1,211 @@
+//! Pass 1 — shadowed and unreachable predicates.
+//!
+//! A predicate earns its place in a `Privilege_msp` by changing at least
+//! one decision. Two ways it can fail to:
+//!
+//! - **unreachable**: its resource pattern matches nothing the network
+//!   actually has (typo'd device name, ACL that was deleted, interface
+//!   that never existed) — the grant is dead text;
+//! - **shadowed**: it matches real resources, but the other predicates
+//!   already force the same outcome everywhere (a broad wildcard drowns a
+//!   specific allow, a duplicate line, an allow neutralized by an
+//!   equal-specificity deny).
+//!
+//! Shadowing is decided semantically — remove the predicate and compare
+//! every decision over the concrete universe — not syntactically, so it
+//! is exact for the network at hand.
+
+use crate::report::{codes, pattern_device, Finding, Severity};
+use crate::universe::resource_universe;
+use heimdall_netmodel::topology::Network;
+use heimdall_privilege::model::{Action, Effect, PrivilegeMsp};
+
+/// The winning effect over one (resource, action) cell's matching
+/// predicates under the shared evaluation rules: most specific wins,
+/// deny beats allow on an exact tie, deny by default. The predicate
+/// *index* cannot change the boolean outcome, so it is not tracked.
+fn winner(matches: &[(usize, (u8, u8), Effect)], skip: Option<usize>) -> bool {
+    let mut best: Option<((u8, u8), Effect)> = None;
+    for &(i, s, e) in matches {
+        if Some(i) == skip {
+            continue;
+        }
+        match &mut best {
+            None => best = Some((s, e)),
+            Some((bs, be)) => {
+                if s > *bs || (s == *bs && e == Effect::Deny) {
+                    *bs = s;
+                    *be = e;
+                }
+            }
+        }
+    }
+    matches!(best, Some((_, Effect::Allow)))
+}
+
+/// Runs the shadow/unreachable pass.
+///
+/// Decisions only change where the removed predicate matches, so each
+/// (resource, action) cell is materialized once — the per-cell match
+/// list — and every predicate's counterfactual is answered from that
+/// list, instead of re-evaluating the whole spec per predicate.
+pub fn check(net: &Network, spec: &PrivilegeMsp) -> Vec<Finding> {
+    let universe = resource_universe(net);
+    let n = spec.predicates.len();
+    let mut matches_any = vec![false; n];
+    let mut changes_decision = vec![false; n];
+    let mut cell: Vec<(usize, (u8, u8), Effect)> = Vec::with_capacity(n);
+    for r in &universe {
+        for &a in &Action::ALL {
+            cell.clear();
+            cell.extend(
+                spec.predicates
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.matches(a, r))
+                    .map(|(i, p)| (i, p.specificity(), p.effect)),
+            );
+            if cell.is_empty() {
+                continue;
+            }
+            let with = winner(&cell, None);
+            for &(i, _, _) in &cell {
+                matches_any[i] = true;
+                if !changes_decision[i] && with != winner(&cell, Some(i)) {
+                    changes_decision[i] = true;
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (i, p) in spec.predicates.iter().enumerate() {
+        if !matches_any[i] {
+            out.push(Finding {
+                severity: Severity::Warning,
+                code: codes::UNKNOWN_RESOURCE.to_string(),
+                device: pattern_device(p),
+                predicate: Some(i),
+                message: format!("`{p}` matches no resource in the network; the predicate is dead"),
+                suggestion: Some(
+                    "remove it, or fix the device/interface/ACL name it refers to".to_string(),
+                ),
+            });
+        } else if !changes_decision[i] {
+            out.push(Finding {
+                severity: Severity::Warning,
+                code: codes::SHADOWED.to_string(),
+                device: pattern_device(p),
+                predicate: Some(i),
+                message: format!(
+                    "`{p}` is shadowed: removing it changes no decision on this network"
+                ),
+                suggestion: Some(
+                    "delete it, or narrow the broader predicate that subsumes it".to_string(),
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_netmodel::gen::enterprise_network;
+    use heimdall_privilege::model::{Predicate, ResourcePattern};
+
+    fn dev(d: &str) -> ResourcePattern {
+        ResourcePattern::Device(d.to_string())
+    }
+
+    #[test]
+    fn specific_allow_under_wildcard_is_shadowed() {
+        let g = enterprise_network();
+        // allow(*, fw1) already allows view on fw1; the narrow grant is noise.
+        let spec = PrivilegeMsp::new()
+            .with(Predicate::allow_all(dev("fw1")))
+            .with(Predicate::allow(Action::View, dev("fw1")));
+        let findings = check(&g.net, &spec);
+        let shadowed: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.code == codes::SHADOWED)
+            .collect();
+        assert_eq!(shadowed.len(), 1, "{findings:?}");
+        assert_eq!(shadowed[0].predicate, Some(1));
+        assert_eq!(shadowed[0].device, "fw1");
+    }
+
+    #[test]
+    fn duplicate_predicates_are_both_shadowed() {
+        let g = enterprise_network();
+        let spec = PrivilegeMsp::new()
+            .with(Predicate::allow(Action::View, dev("fw1")))
+            .with(Predicate::allow(Action::View, dev("fw1")));
+        let findings = check(&g.net, &spec);
+        assert_eq!(
+            findings
+                .iter()
+                .filter(|f| f.code == codes::SHADOWED)
+                .count(),
+            2,
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn ghost_device_is_unreachable_not_shadowed() {
+        let g = enterprise_network();
+        let spec = PrivilegeMsp::new().with(Predicate::allow(Action::View, dev("ghost")));
+        let findings = check(&g.net, &spec);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].code, codes::UNKNOWN_RESOURCE);
+        assert_eq!(findings[0].device, "ghost");
+    }
+
+    #[test]
+    fn missing_interface_and_acl_are_unreachable() {
+        let g = enterprise_network();
+        let spec = PrivilegeMsp::new()
+            .with(Predicate::allow(
+                Action::ModifyInterfaceState,
+                ResourcePattern::Interface {
+                    device: "fw1".to_string(),
+                    iface: "Gi9/9".to_string(),
+                },
+            ))
+            .with(Predicate::allow(
+                Action::ModifyAcl,
+                ResourcePattern::Acl {
+                    device: "fw1".to_string(),
+                    name: "404".to_string(),
+                },
+            ));
+        let findings = check(&g.net, &spec);
+        assert_eq!(
+            findings
+                .iter()
+                .filter(|f| f.code == codes::UNKNOWN_RESOURCE)
+                .count(),
+            2,
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn effective_predicates_are_clean() {
+        let g = enterprise_network();
+        // Wildcard plus a *piercing* deny: both change decisions.
+        let spec = PrivilegeMsp::new()
+            .with(Predicate::allow_all(dev("fw1")))
+            .with(Predicate::deny(Action::Erase, dev("fw1")));
+        assert!(check(&g.net, &spec).is_empty());
+    }
+
+    #[test]
+    fn derived_specs_have_no_shadowed_predicates() {
+        use heimdall_privilege::derive::{derive_privileges, Task};
+        let g = enterprise_network();
+        let spec = derive_privileges(&g.net, &Task::connectivity("h1", "srv1"));
+        assert!(check(&g.net, &spec).is_empty());
+    }
+}

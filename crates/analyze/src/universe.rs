@@ -1,0 +1,65 @@
+//! The concrete resource universe of a network: every `Resource` a
+//! predicate could ever be asked about. Pattern semantics are *defined*
+//! by `ResourcePattern::matches`; enumerating the universe lets the
+//! passes decide questions like "does this predicate match anything?"
+//! or "are these two predicates distinguishable?" by exhaustion instead
+//! of by re-implementing the matcher.
+
+use heimdall_netmodel::topology::Network;
+use heimdall_privilege::model::Resource;
+
+/// Every concrete resource in the network: one `Device` per device, one
+/// `Interface` per configured interface, one `Acl` per defined ACL.
+/// Deterministic: devices in insertion order, interfaces in config order,
+/// ACLs in `BTreeMap` order.
+pub fn resource_universe(net: &Network) -> Vec<Resource> {
+    let mut out = Vec::new();
+    for (_, d) in net.devices() {
+        out.push(Resource::Device(d.name.clone()));
+        for i in &d.config.interfaces {
+            out.push(Resource::Interface {
+                device: d.name.clone(),
+                iface: i.name.clone(),
+            });
+        }
+        for name in d.config.acls.keys() {
+            out.push(Resource::Acl {
+                device: d.name.clone(),
+                name: name.clone(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_netmodel::gen::enterprise_network;
+
+    #[test]
+    fn universe_covers_devices_interfaces_and_acls() {
+        let g = enterprise_network();
+        let universe = resource_universe(&g.net);
+        assert!(universe.contains(&Resource::Device("fw1".to_string())));
+        assert!(
+            universe
+                .iter()
+                .any(|r| matches!(r, Resource::Interface { device, .. } if device == "fw1")),
+            "fw1 interfaces present"
+        );
+        assert!(
+            universe
+                .iter()
+                .any(|r| matches!(r, Resource::Acl { device, .. } if device == "fw1")),
+            "fw1 ACLs present"
+        );
+        let device_entries = universe
+            .iter()
+            .filter(|r| matches!(r, Resource::Device(_)))
+            .count();
+        assert_eq!(device_entries, g.net.device_count());
+        // Deterministic across calls.
+        assert_eq!(resource_universe(&g.net), universe);
+    }
+}

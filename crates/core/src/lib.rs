@@ -57,6 +57,7 @@ pub use metrics::{attack_surface, AttackSurface};
 pub use workflow::{run_current_approach, run_heimdall, HeimdallRun};
 
 // Re-export the stack so downstream users need only one dependency.
+pub use heimdall_analyze as analyze;
 pub use heimdall_dataplane as dataplane;
 pub use heimdall_enforcer as enforcer;
 pub use heimdall_msp as msp;

@@ -60,7 +60,17 @@ pub fn lint(net: &Network) -> Vec<LintFinding> {
     hosts_without_gateway(net, &mut out);
     ospf_networks_matching_nothing(net, &mut out);
     subnet_split_across_domains(net, &mut out);
-    out.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.device.cmp(&b.device)));
+    // Stable report order regardless of HashMap iteration: severity
+    // descending, then device, then code, then message — and dedupe,
+    // since two passes can surface the same defect.
+    out.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| a.device.cmp(&b.device))
+            .then_with(|| a.code.cmp(b.code))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+    out.dedup();
     out
 }
 
@@ -444,6 +454,46 @@ mod tests {
             findings.iter().any(|f| f.code == "subnet-split"),
             "{findings:?}"
         );
+    }
+
+    #[test]
+    fn findings_are_stable_and_deduped() {
+        // Seed several defect classes at once; repeated lint runs must
+        // produce identical, duplicate-free reports even though several
+        // passes iterate HashMaps internally.
+        let g = enterprise_network();
+        let mut net = g.net;
+        net.device_by_name_mut("acc1")
+            .unwrap()
+            .config
+            .interface_mut("Gi0/0")
+            .unwrap()
+            .acl_in = Some("404".to_string());
+        net.device_by_name_mut("core1")
+            .unwrap()
+            .config
+            .upsert_acl(Acl::new("150"));
+        net.device_by_name_mut("h5")
+            .unwrap()
+            .config
+            .static_routes
+            .clear();
+        let first = lint(&net);
+        for _ in 0..8 {
+            assert_eq!(lint(&net), first, "lint order must be deterministic");
+        }
+        // Sorted by (severity desc, device, code, message) and deduped.
+        for w in first.windows(2) {
+            let key = |f: &LintFinding| {
+                (
+                    std::cmp::Reverse(f.severity),
+                    f.device.clone(),
+                    f.code,
+                    f.message.clone(),
+                )
+            };
+            assert!(key(&w[0]) < key(&w[1]), "unsorted or duplicate: {w:?}");
+        }
     }
 
     #[test]

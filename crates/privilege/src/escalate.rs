@@ -45,7 +45,10 @@ pub enum EscalationDecision {
 }
 
 /// Task kinds a given kind may escalate into.
-fn related_kinds(kind: TaskKind) -> &'static [TaskKind] {
+///
+/// Public so static analysis (`heimdall-analyze`) can compute the
+/// transitive closure of what a technician could reach without an admin.
+pub fn related_kinds(kind: TaskKind) -> &'static [TaskKind] {
     match kind {
         TaskKind::Connectivity => &[TaskKind::Routing, TaskKind::AccessControl, TaskKind::Vlan],
         TaskKind::Routing => &[TaskKind::Connectivity, TaskKind::AccessControl],
@@ -58,7 +61,10 @@ fn related_kinds(kind: TaskKind) -> &'static [TaskKind] {
 
 /// Whether `action` belongs to the mutating repertoire of `kind` or a
 /// related kind.
-fn action_plausible(kind: TaskKind, action: Action) -> bool {
+///
+/// Public for the same reason as [`related_kinds`]: the analyzer's
+/// reachability closure must over-approximate exactly this check.
+pub fn action_plausible(kind: TaskKind, action: Action) -> bool {
     if kind.mutating_actions().contains(&action) {
         return true;
     }

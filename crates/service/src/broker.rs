@@ -22,6 +22,7 @@ use crate::proto::{
 };
 use crate::registry::{SessionEntry, SessionRegistry};
 use crate::stats::{ServiceStats, StatsSnapshot};
+use heimdall_analyze::{analyze, AnalysisReport, Severity};
 use heimdall_enforcer::audit::{AuditKind, AuditLog};
 use heimdall_enforcer::concurrency::CommitGuard;
 use heimdall_enforcer::enclave::Platform;
@@ -69,6 +70,15 @@ pub struct BrokerConfig {
     pub durability: Durability,
     /// Journal segment rotation threshold, in bytes.
     pub wal_segment_bytes: usize,
+    /// Session opens whose derived spec carries a finding at or above
+    /// this severity are refused (`None` disables the gate). Derived
+    /// specs never reach `Error` on their own, so the default gate only
+    /// trips if derivation itself regresses — tighten to
+    /// `Some(Severity::Warning)` for a stricter intake policy.
+    pub analysis_deny_at: Option<Severity>,
+    /// Findings at or above this severity are tagged into the audit
+    /// trail when a session opens anyway.
+    pub analysis_warn_at: Severity,
 }
 
 impl Default for BrokerConfig {
@@ -83,6 +93,8 @@ impl Default for BrokerConfig {
             obs: ObsConfig::default(),
             durability: Durability::GroupCommitSync,
             wal_segment_bytes: 1 << 20,
+            analysis_deny_at: Some(Severity::Error),
+            analysis_warn_at: Severity::Warning,
         }
     }
 }
@@ -94,6 +106,7 @@ pub enum BrokerError {
     PermissionDenied(String),
     BadCommand(String),
     RateLimited(String),
+    BadRequest(String),
 }
 
 impl BrokerError {
@@ -103,13 +116,16 @@ impl BrokerError {
             BrokerError::PermissionDenied(_) => ErrorKind::PermissionDenied,
             BrokerError::BadCommand(_) => ErrorKind::BadCommand,
             BrokerError::RateLimited(_) => ErrorKind::RateLimited,
+            BrokerError::BadRequest(_) => ErrorKind::BadRequest,
         }
     }
 
     pub fn message(&self) -> String {
         match self {
             BrokerError::SessionNotFound(id) => format!("no such session: {id}"),
-            BrokerError::PermissionDenied(m) | BrokerError::BadCommand(m) => m.clone(),
+            BrokerError::PermissionDenied(m)
+            | BrokerError::BadCommand(m)
+            | BrokerError::BadRequest(m) => m.clone(),
             BrokerError::RateLimited(t) => format!("technician {t} is over their rate limit"),
         }
     }
@@ -125,15 +141,23 @@ pub struct FinishReport {
     pub changes: usize,
 }
 
+/// Hard cap on predicates in an `AnalyzeQuery` spec: the shadow pass is
+/// quadratic in predicates, and a hostile client must not buy O(n²)
+/// evaluation sweeps with one cheap frame.
+pub const MAX_ANALYZE_PREDICATES: usize = 512;
+
 type PrivKey = (TaskKind, Vec<String>);
 
 /// Memoized privilege derivations, valid for exactly one production
 /// epoch. Entries derived from an epoch-`N` snapshot must never be served
 /// once a commit moves production to `N+1` — paths may have shifted — so
-/// the whole map is tagged with the epoch it was derived at.
+/// the whole map is tagged with the epoch it was derived at. Each entry
+/// carries the static-analysis report for its spec: analysis is a pure
+/// function of (network, task, spec), so it is exactly as cacheable as
+/// the derivation itself.
 struct PrivCache {
     epoch: u64,
-    entries: HashMap<PrivKey, PrivilegeMsp>,
+    entries: HashMap<PrivKey, (PrivilegeMsp, Arc<AnalysisReport>)>,
 }
 
 /// A concurrent multi-tenant session broker over one production network.
@@ -479,8 +503,8 @@ impl Broker {
         self.journal.as_ref().map(|w| w.durable())
     }
 
-    /// Privileges for a task shape, derived once per shape per
-    /// production epoch.
+    /// Privileges for a task shape — plus the static-analysis report on
+    /// them — derived once per shape per production epoch.
     ///
     /// `epoch` must be the epoch `production` was snapshotted at (from
     /// [`CommitGuard::snapshot_with_epoch`]). Lookups hit only entries
@@ -490,19 +514,28 @@ impl Broker {
     /// guard epoch (we skip the insert) or is still waiting on this lock
     /// to clear the cache (our entry is wiped with the rest). A stale
     /// derivation can therefore never outlive the commit that staled it.
-    fn privileges_for(&self, production: &Network, epoch: u64, task: &Task) -> PrivilegeMsp {
+    fn privileges_for(
+        &self,
+        production: &Network,
+        epoch: u64,
+        task: &Task,
+    ) -> (PrivilegeMsp, Arc<AnalysisReport>) {
         let mut key_devices = task.affected.clone();
         key_devices.sort();
         let key = (task.kind, key_devices);
         {
             let cache = self.priv_cache.lock();
             if cache.epoch == epoch {
-                if let Some(hit) = cache.entries.get(&key) {
-                    return hit.clone();
+                if let Some((spec, report)) = cache.entries.get(&key) {
+                    return (spec.clone(), Arc::clone(report));
                 }
             }
         }
         let derived = derive_privileges(production, task);
+        let report = Arc::new(analyze(production, task, &derived));
+        self.stats
+            .analysis_findings
+            .fetch_add(report.findings.len() as u64, Ordering::Relaxed);
         // Informational journal record (no replayable state, so no lock
         // discipline needed): reconstructs what was derivable at which
         // epoch from the log alone.
@@ -517,9 +550,11 @@ impl Broker {
                 cache.entries.clear();
                 cache.epoch = epoch;
             }
-            cache.entries.insert(key, derived.clone());
+            cache
+                .entries
+                .insert(key, (derived.clone(), Arc::clone(&report)));
         }
-        derived
+        (derived, report)
     }
 
     /// Ticket intake: slice a twin, derive privileges, host the session.
@@ -543,10 +578,54 @@ impl Broker {
             None => SpanContext::disabled(),
         };
         let (production, epoch) = self.guard.snapshot_with_epoch();
-        let privilege = {
+        let (privilege, analysis) = {
             let _derive = session_ctx.span(Stage::DerivePrivilege);
             self.privileges_for(&production, epoch, &ticket)
         };
+        // Static-analysis gate: a derived spec that trips the configured
+        // deny threshold never becomes a hosted session. The refusal is
+        // audited with the worst finding so the admin can see *why*.
+        if let Some(gate) = self.config.analysis_deny_at {
+            if analysis.max_severity() >= Some(gate) {
+                ServiceStats::bump(&self.stats.analysis_denials);
+                let detail = format!(
+                    "session refused by static analysis ({}): {}",
+                    analysis.summary(),
+                    analysis
+                        .findings
+                        .first()
+                        .map(|f| f.to_string())
+                        .unwrap_or_default()
+                );
+                if let Some(s) = open_span.as_mut() {
+                    s.set_status(SpanStatus::Rejected);
+                    s.set_detail("analysis gate");
+                }
+                self.pipeline.lock().log_traced(
+                    AuditKind::Verification,
+                    technician,
+                    &detail,
+                    &root.trace_tag(),
+                );
+                return Err(BrokerError::PermissionDenied(detail));
+            }
+        }
+        // Findings below the gate but at/above the warn threshold ride
+        // into the audit trail alongside the session-open record.
+        let warn_count = analysis.count_at_least(self.config.analysis_warn_at);
+        let warn_detail = (warn_count > 0).then(|| {
+            format!(
+                "static analysis flagged the derived spec ({}): {}",
+                analysis.summary(),
+                analysis
+                    .findings
+                    .iter()
+                    .filter(|f| f.severity >= self.config.analysis_warn_at)
+                    .map(|f| format!("{}({})", f.code, f.device))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        });
         let twin = slice_for_task(&production, &ticket);
         let devices = twin.included.clone();
         let mut session = TwinSession::open(technician, twin, privilege.clone());
@@ -588,6 +667,14 @@ impl Broker {
             &format!("session {id} opened on twin of {devices:?}"),
             &root.trace_tag(),
         );
+        if let Some(detail) = warn_detail {
+            pipeline.log_traced(
+                AuditKind::Verification,
+                technician,
+                &detail,
+                &root.trace_tag(),
+            );
+        }
         Ok((id, devices))
     }
 
@@ -797,6 +884,61 @@ impl Broker {
             }
         }
         count
+    }
+
+    /// Runs the static analyzer for an `AnalyzeQuery`: either over a live
+    /// session's spec and baseline, or over a DSL `spec` + `ticket` pair
+    /// against current production. See [`Request::AnalyzeQuery`] for the
+    /// exactly-one-form contract; violations are [`BrokerError::BadRequest`].
+    pub fn analyze_query(
+        &self,
+        session: Option<SessionId>,
+        spec: Option<String>,
+        ticket: Option<Task>,
+    ) -> Result<AnalysisReport, BrokerError> {
+        let report = match (session, spec) {
+            (Some(_), Some(_)) => {
+                return Err(BrokerError::BadRequest(
+                    "analyze takes a session or a spec, not both".into(),
+                ))
+            }
+            (None, None) => {
+                return Err(BrokerError::BadRequest(
+                    "analyze needs a session, or a spec with a ticket".into(),
+                ))
+            }
+            (Some(id), None) => {
+                if ticket.is_some() {
+                    return Err(BrokerError::BadRequest(
+                        "a session analysis takes its ticket from the session".into(),
+                    ));
+                }
+                self.registry
+                    .with_session_mut(id, |entry| {
+                        analyze(&entry.baseline, &entry.task, &entry.privilege)
+                    })
+                    .ok_or(BrokerError::SessionNotFound(id))?
+            }
+            (None, Some(text)) => {
+                let ticket = ticket.ok_or_else(|| {
+                    BrokerError::BadRequest("a spec analysis needs a ticket for context".into())
+                })?;
+                let parsed = heimdall_privilege::dsl::parse(&text)
+                    .map_err(|e| BrokerError::BadRequest(format!("spec does not parse: {e}")))?;
+                if parsed.predicates.len() > MAX_ANALYZE_PREDICATES {
+                    return Err(BrokerError::BadRequest(format!(
+                        "spec carries {} predicates, cap is {MAX_ANALYZE_PREDICATES}",
+                        parsed.predicates.len()
+                    )));
+                }
+                let production = self.guard.snapshot();
+                analyze(&production, &ticket, &parsed)
+            }
+        };
+        self.stats
+            .analysis_findings
+            .fetch_add(report.findings.len() as u64, Ordering::Relaxed);
+        Ok(report)
     }
 
     /// Audit entries, optionally filtered.
@@ -1108,6 +1250,14 @@ impl Broker {
                     kind: ErrorKind::BadRequest,
                     message: format!("trace id {trace:?} is not canonical 16-hex"),
                 },
+            },
+            Request::AnalyzeQuery {
+                session,
+                spec,
+                ticket,
+            } => match self.analyze_query(session, spec, ticket) {
+                Ok(report) => Response::Analysis { report },
+                Err(e) => error_response(e),
             },
         }
     }
@@ -1515,6 +1665,117 @@ mod tests {
         assert!(matches!(resp, Response::Finished { .. }));
         drop(conn);
         assert!(service.broker().verify_audit());
+    }
+
+    #[test]
+    fn analysis_gate_denies_below_threshold_and_audits() {
+        let (production, policies) = broken_enterprise();
+        // Deny at Info: even the derived spec's informational
+        // escalation-widening finding refuses intake.
+        let cfg = BrokerConfig {
+            analysis_deny_at: Some(heimdall_analyze::Severity::Info),
+            ..BrokerConfig::default()
+        };
+        let b = Broker::new(production, policies, cfg);
+        let err = b.open_session("alice", acl_ticket()).unwrap_err();
+        assert!(matches!(err, BrokerError::PermissionDenied(_)));
+        assert!(
+            err.message().contains("static analysis"),
+            "{}",
+            err.message()
+        );
+        assert_eq!(b.live_sessions(), 0, "no session may exist after a refusal");
+        let snap = b.stats();
+        assert_eq!(snap.analysis_denials, 1);
+        assert!(snap.analysis_findings > 0);
+        assert_eq!(snap.sessions_opened, 0);
+        let audited = b.audit_query(Some(AuditKind::Verification), Some("alice"));
+        assert!(
+            audited
+                .iter()
+                .any(|e| e.detail.contains("refused by static analysis")),
+            "{audited:?}"
+        );
+        assert!(b.verify_audit());
+    }
+
+    #[test]
+    fn default_gate_admits_derived_specs_but_tags_warnings() {
+        let b = broker();
+        let (id, _) = b.open_session("alice", acl_ticket()).unwrap();
+        let snap = b.stats();
+        assert_eq!(snap.analysis_denials, 0);
+        // The derived spec still carries sub-error findings (escalation
+        // widening at least), counted and audit-tagged.
+        assert!(snap.analysis_findings > 0);
+        let _ = b.finish(id);
+        assert!(b.verify_audit());
+    }
+
+    #[test]
+    fn analyze_query_reports_seeded_defects_over_the_session_form() {
+        let b = broker();
+        let (id, _) = b.open_session("alice", acl_ticket()).unwrap();
+        // Session form: the derived spec is clean of errors.
+        let report = b.analyze_query(Some(id), None, None).unwrap();
+        assert!(report.max_severity() < Some(heimdall_analyze::Severity::Error));
+        // Spec form: a lazy wildcard trips over-grant and destructive
+        // reachability against the same ticket.
+        let report = b
+            .analyze_query(
+                None,
+                Some("allow(*, fw1)\nallow(view, fw1)\n".into()),
+                Some(acl_ticket()),
+            )
+            .unwrap();
+        assert!(
+            report.has_code(heimdall_analyze::codes::SHADOWED),
+            "{report}"
+        );
+        assert!(
+            report.has_code(heimdall_analyze::codes::OVER_GRANT),
+            "{report}"
+        );
+        assert!(
+            report.has_code(heimdall_analyze::codes::ESCALATION_DESTRUCTIVE),
+            "{report}"
+        );
+        assert!(b.stats().analysis_findings >= report.findings.len() as u64);
+    }
+
+    #[test]
+    fn analyze_query_rejects_malformed_forms() {
+        let b = broker();
+        let (id, _) = b.open_session("alice", acl_ticket()).unwrap();
+        for (session, spec, ticket) in [
+            (Some(id), Some("allow(view, fw1)\n".to_string()), None),
+            (None, None, None),
+            (None, None, Some(acl_ticket())),
+            (Some(id), None, Some(acl_ticket())),
+            (None, Some("allow(view, fw1)\n".to_string()), None),
+            (
+                None,
+                Some("this is not DSL".to_string()),
+                Some(acl_ticket()),
+            ),
+        ] {
+            let err = b.analyze_query(session, spec.clone(), ticket).unwrap_err();
+            assert!(
+                matches!(err, BrokerError::BadRequest(_)),
+                "({session:?}, {spec:?}) should be BadRequest, got {err:?}"
+            );
+        }
+        // Over the predicate cap.
+        let huge = "allow(view, fw1)\n".repeat(MAX_ANALYZE_PREDICATES + 1);
+        let err = b
+            .analyze_query(None, Some(huge), Some(acl_ticket()))
+            .unwrap_err();
+        assert!(err.message().contains("cap"), "{}", err.message());
+        // Unknown session is its own error kind, not BadRequest.
+        assert!(matches!(
+            b.analyze_query(Some(SessionId(999)), None, None),
+            Err(BrokerError::SessionNotFound(_))
+        ));
     }
 
     #[test]

@@ -127,6 +127,8 @@ pub struct PersistedCounters {
     pub commits_rejected: u64,
     pub commit_conflicts: u64,
     pub rate_limited: u64,
+    pub analysis_findings: u64,
+    pub analysis_denials: u64,
 }
 
 impl PersistedCounters {
@@ -143,6 +145,8 @@ impl PersistedCounters {
             commits_rejected: get(&stats.commits_rejected),
             commit_conflicts: get(&stats.commit_conflicts),
             rate_limited: get(&stats.rate_limited),
+            analysis_findings: get(&stats.analysis_findings),
+            analysis_denials: get(&stats.analysis_denials),
         }
     }
 
@@ -174,6 +178,12 @@ impl PersistedCounters {
         stats
             .rate_limited
             .store(self.rate_limited, Ordering::Relaxed);
+        stats
+            .analysis_findings
+            .store(self.analysis_findings, Ordering::Relaxed);
+        stats
+            .analysis_denials
+            .store(self.analysis_denials, Ordering::Relaxed);
     }
 }
 

@@ -12,7 +12,11 @@
 //! - [`pool`] — bounded worker pool (backpressure) and per-technician
 //!   token-bucket rate limiting;
 //! - [`broker`] — intake, privilege memoization, and guarded optimistic
-//!   commits into the one shared production network;
+//!   commits into the one shared production network. Intake runs the
+//!   `heimdall-analyze` static analyzer over every derived spec
+//!   (memoized with the derivation) and refuses opens above a
+//!   configurable severity; reports are served over the wire via
+//!   [`proto::Request::AnalyzeQuery`];
 //! - [`stats`] — lock-free counters and latency histograms.
 //!
 //! Every session roots a `heimdall-telemetry` trace: open/exec/finish
@@ -47,7 +51,9 @@ pub mod proto;
 pub mod registry;
 pub mod stats;
 
-pub use broker::{Broker, BrokerConfig, BrokerError, FinishReport, SessionService};
+pub use broker::{
+    Broker, BrokerConfig, BrokerError, FinishReport, SessionService, MAX_ANALYZE_PREDICATES,
+};
 pub use journal::{BrokerSnapshot, JournalEvent, PersistedCounters};
 pub use pool::{RateLimiter, SubmitError, WorkerPool};
 pub use proto::{

@@ -75,6 +75,22 @@ pub enum Request {
     AlertQuery,
     /// Per-stage latency attribution of one trace's span tree.
     CriticalPath { trace: String },
+    /// Run the static least-privilege analyzer. Exactly one input form:
+    ///
+    /// - `session` — analyze a live session's privilege spec against the
+    ///   baseline it was sliced from (ticket comes from the session;
+    ///   `ticket` must be absent);
+    /// - `spec` + `ticket` — parse `spec` as privilege DSL and analyze it
+    ///   for `ticket` against current production.
+    ///
+    /// Anything else — both forms, neither, a spec without a ticket, a
+    /// spec that does not parse, or one over the predicate cap — is a
+    /// `BadRequest`.
+    AnalyzeQuery {
+        session: Option<SessionId>,
+        spec: Option<String>,
+        ticket: Option<Task>,
+    },
 }
 
 /// Why a request was refused.
@@ -164,6 +180,11 @@ pub enum Response {
     /// trace has rotated out of the span ring).
     CriticalPath {
         report: heimdall_obs::CriticalPathReport,
+    },
+    /// The static analyzer's findings for an [`Request::AnalyzeQuery`],
+    /// canonically sorted (severity desc, device, code, message).
+    Analysis {
+        report: heimdall_analyze::AnalysisReport,
     },
     Error {
         kind: ErrorKind,

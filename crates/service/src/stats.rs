@@ -23,6 +23,12 @@ pub struct ServiceStats {
     pub commits_rejected: AtomicU64,
     pub commit_conflicts: AtomicU64,
     pub rate_limited: AtomicU64,
+    /// Static-analysis findings produced at privilege-derivation time and
+    /// by `AnalyzeQuery` requests (every severity counts).
+    pub analysis_findings: AtomicU64,
+    /// Session opens refused because the derived spec tripped the
+    /// configured analysis deny threshold.
+    pub analysis_denials: AtomicU64,
     /// Journal appends or syncs that failed (the WAL error is sticky, so
     /// a non-zero value means durability is lost from that point on).
     pub journal_errors: AtomicU64,
@@ -61,6 +67,8 @@ impl ServiceStats {
             commits_rejected: self.commits_rejected.load(Ordering::Relaxed),
             commit_conflicts: self.commit_conflicts.load(Ordering::Relaxed),
             rate_limited: self.rate_limited.load(Ordering::Relaxed),
+            analysis_findings: self.analysis_findings.load(Ordering::Relaxed),
+            analysis_denials: self.analysis_denials.load(Ordering::Relaxed),
             journal_errors: self.journal_errors.load(Ordering::Relaxed),
             records_replayed: self.records_replayed.load(Ordering::Relaxed),
             torn_bytes_discarded: self.torn_bytes_discarded.load(Ordering::Relaxed),
@@ -88,6 +96,8 @@ pub struct StatsSnapshot {
     pub commits_rejected: u64,
     pub commit_conflicts: u64,
     pub rate_limited: u64,
+    pub analysis_findings: u64,
+    pub analysis_denials: u64,
     pub journal_errors: u64,
     pub records_replayed: u64,
     pub torn_bytes_discarded: u64,
@@ -127,6 +137,11 @@ impl fmt::Display for StatsSnapshot {
             f,
             "commits:  {} applied, {} rejected, {} stale conflicts, {} rate-limited",
             self.commits_applied, self.commits_rejected, self.commit_conflicts, self.rate_limited
+        )?;
+        writeln!(
+            f,
+            "analysis: {} findings, {} denied opens",
+            self.analysis_findings, self.analysis_denials
         )?;
         writeln!(
             f,

@@ -1,0 +1,123 @@
+//! CI static-analysis gate.
+//!
+//! ```text
+//! cargo run --release --example analyze_gate
+//! ```
+//!
+//! Two sweeps, both of which must come back free of `Error`-severity
+//! findings for the gate to pass:
+//!
+//! 1. `netmodel` lint over every generated evaluation network;
+//! 2. the `heimdall-analyze` privilege analyzer over the spec derived for
+//!    every standard ticket shape on those networks.
+//!
+//! The gate also self-tests: the seeded wildcard spec from the analyzer's
+//! documentation *must* trip the error threshold, so a regression that
+//! silences the analyzer fails CI too. Exits non-zero on any violation.
+
+use heimdall::analyze::{analyze, codes, Severity};
+use heimdall::netmodel::gen::{enterprise_network, university_network, GeneratedNet};
+use heimdall::netmodel::lint;
+use heimdall::privilege::derive::{derive_privileges, Task, TaskKind};
+use heimdall::privilege::dsl;
+use std::process::ExitCode;
+
+/// The ticket shapes the examples and experiments exercise, instantiated
+/// from a network's own metadata.
+fn standard_tickets(g: &GeneratedNet) -> Vec<Task> {
+    let mgmt = g.meta.mgmt_host.clone();
+    let service = g.meta.service_host.clone();
+    let border = g.meta.border_router.clone();
+    vec![
+        Task::connectivity(&mgmt, &service),
+        Task {
+            kind: TaskKind::AccessControl,
+            affected: vec![mgmt.clone(), service.clone()],
+        },
+        Task {
+            kind: TaskKind::Routing,
+            affected: vec![mgmt.clone(), service.clone()],
+        },
+        Task {
+            kind: TaskKind::Vlan,
+            affected: vec![service.clone()],
+        },
+        Task {
+            kind: TaskKind::IspChange,
+            affected: vec![border.clone()],
+        },
+        Task {
+            kind: TaskKind::Monitoring,
+            affected: vec![border],
+        },
+    ]
+}
+
+fn main() -> ExitCode {
+    let mut errors = 0usize;
+
+    for g in [enterprise_network(), university_network()] {
+        // Sweep 1: structural lint over the generated network itself.
+        let findings = lint::lint(&g.net);
+        let lint_errors = findings
+            .iter()
+            .filter(|f| f.severity >= lint::Severity::Error)
+            .count();
+        println!(
+            "lint {:<10} {} findings, {} errors",
+            g.meta.name,
+            findings.len(),
+            lint_errors
+        );
+        for f in findings
+            .iter()
+            .filter(|f| f.severity >= lint::Severity::Error)
+        {
+            println!("  {f}");
+        }
+        errors += lint_errors;
+
+        // Sweep 2: the privilege analyzer over every derived spec.
+        for task in standard_tickets(&g) {
+            let spec = derive_privileges(&g.net, &task);
+            let report = analyze(&g.net, &task, &spec);
+            let errs = report.count_at_least(Severity::Error);
+            println!(
+                "analyze {:<10} {:?} {:?}: {}",
+                g.meta.name,
+                task.kind,
+                task.affected,
+                report.summary()
+            );
+            if errs > 0 {
+                println!("{report}");
+            }
+            errors += errs;
+        }
+    }
+
+    // Self-test: the analyzer must still catch the seeded wildcard spec.
+    let g = enterprise_network();
+    let task = Task {
+        kind: TaskKind::AccessControl,
+        affected: vec![g.meta.mgmt_host.clone(), g.meta.service_host.clone()],
+    };
+    let seeded = dsl::parse("allow(*, fw1)\nallow(view, fw1)\n").expect("seeded spec parses");
+    let report = analyze(&g.net, &task, &seeded);
+    let caught = report.has_code(codes::OVER_GRANT)
+        && report.has_code(codes::ESCALATION_DESTRUCTIVE)
+        && report.has_code(codes::SHADOWED)
+        && report.max_severity() == Some(Severity::Error);
+    if !caught {
+        println!("analysis gate: SELF-TEST FAILED — seeded defects not detected:\n{report}");
+        errors += 1;
+    }
+
+    if errors > 0 {
+        println!("analysis gate: {errors} error-severity finding(s)");
+        ExitCode::FAILURE
+    } else {
+        println!("analysis gate: clean");
+        ExitCode::SUCCESS
+    }
+}

@@ -41,4 +41,61 @@ fn main() {
         "{}",
         heimdall::experiments::render_surface(&heimdall::experiments::fig9(stride))
     );
+
+    analyzer_drill();
+}
+
+/// Static-analysis drill: how much narrower is the derived Privilege_msp
+/// than the wildcard grant an MSP would hand out today? The analyzer's
+/// over-grant report quantifies the gap per ticket shape.
+fn analyzer_drill() {
+    use heimdall::analyze::{analyze, Severity};
+    use heimdall::privilege::derive::{derive_privileges, Task, TaskKind};
+    use heimdall::privilege::dsl;
+
+    println!("=== Analyzer drill: wildcard grant vs. derived minimum (enterprise) ===");
+    let g = heimdall::netmodel::gen::enterprise_network();
+    let tickets = [
+        Task::connectivity(&g.meta.mgmt_host, &g.meta.service_host),
+        Task {
+            kind: TaskKind::AccessControl,
+            affected: vec![g.meta.mgmt_host.clone(), g.meta.service_host.clone()],
+        },
+        Task {
+            kind: TaskKind::IspChange,
+            affected: vec![g.meta.border_router.clone()],
+        },
+    ];
+    println!(
+        "{:<14} {:>6} {:>8} {:>6} | wildcard findings",
+        "ticket", "minim.", "errors", "warns"
+    );
+    for task in tickets {
+        // What today's MSPs get: full control of every affected device.
+        let wildcard: String = task
+            .affected
+            .iter()
+            .map(|d| format!("allow(*, {d})\n"))
+            .collect();
+        let spec = dsl::parse(&wildcard).expect("wildcard spec parses");
+        let report = analyze(&g.net, &task, &spec);
+        let minimal = derive_privileges(&g.net, &task);
+        println!(
+            "{:<14} {:>6} {:>8} {:>6} | {}",
+            format!("{:?}", task.kind),
+            minimal.predicates.len(),
+            report.count_at_least(Severity::Error),
+            report.count_at_least(Severity::Warning) - report.count_at_least(Severity::Error),
+            report.summary()
+        );
+        for f in report
+            .findings
+            .iter()
+            .filter(|f| f.severity >= Severity::Warning)
+            .take(3)
+        {
+            println!("    {f}");
+        }
+    }
+    println!("(run `cargo run --release --example analyze_gate` for the CI gate)");
 }

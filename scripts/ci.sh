@@ -63,6 +63,21 @@ fi
 echo "==> crash-recovery drills (durable broker over heimdall-store)"
 cargo test --release -q --test store_recovery
 
+echo "==> static-analysis gate (privilege analyzer + netmodel lint)"
+# Lints every generated network and analyzes the derived spec for every
+# standard ticket shape; any Error-severity finding exits non-zero. Also
+# self-tests that the analyzer still catches the seeded wildcard spec.
+gate_out="$(cargo run --release --example analyze_gate)" || {
+    echo "$gate_out"
+    echo "analyze_gate found error-severity findings (or its self-test failed)"
+    exit 1
+}
+if ! grep -q "analysis gate: clean" <<<"$gate_out"; then
+    echo "$gate_out"
+    echo "analyze_gate did not report a clean gate"
+    exit 1
+fi
+
 echo "==> obs bench (json smoke)"
 cargo bench --bench obs -- --json --test
 test -s BENCH_obs.json || { echo "BENCH_obs.json missing"; exit 1; }

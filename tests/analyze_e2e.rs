@@ -1,0 +1,236 @@
+//! End-to-end tests for the static privilege analyzer: the three seeded
+//! defect classes surface through the broker's wire protocol with their
+//! stable diagnostic codes, the escalation-reachability closure is a
+//! sound over-approximation of `escalate::decide_escalation`, and the
+//! intake gate refuses sessions above the configured severity.
+
+use heimdall::analyze::{analyze_pair, codes, escalation_closure, Severity};
+use heimdall::netmodel::gen::enterprise_network;
+use heimdall::privilege::derive::{derive_privileges, Task, TaskKind};
+use heimdall::privilege::escalate::{decide_escalation, EscalationDecision, EscalationRequest};
+use heimdall::privilege::model::Action;
+use heimdall::service::{
+    read_frame, write_frame, Broker, BrokerConfig, ErrorKind, Request, Response,
+};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn acl_ticket() -> Task {
+    Task {
+        kind: TaskKind::AccessControl,
+        affected: vec!["h4".into(), "srv1".into()],
+    }
+}
+
+fn broker() -> Broker {
+    let g = enterprise_network();
+    let cp = heimdall::routing::converge(&g.net);
+    let policies = heimdall::verify::mine::mine_policies(
+        &g.net,
+        &cp,
+        &heimdall::verify::mine::MinerInput::from_meta(&g.meta),
+    );
+    Broker::new(g.net, policies, BrokerConfig::default())
+}
+
+/// One request → one reply, through the real frame codec both ways.
+fn roundtrip(b: &Broker, req: Request) -> Response {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &req).unwrap();
+    let mut cursor = &buf[..];
+    let decoded: Request = read_frame(&mut cursor).unwrap();
+    let resp = b.handle(decoded);
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &resp).unwrap();
+    let mut cursor = &buf[..];
+    read_frame(&mut cursor).unwrap()
+}
+
+#[test]
+fn seeded_defect_classes_surface_over_the_wire() {
+    let b = broker();
+    // The seeded spec: a wildcard over-grant (reaching `erase`), which
+    // also shadows the explicit view grant behind it.
+    let resp = roundtrip(
+        &b,
+        Request::AnalyzeQuery {
+            session: None,
+            spec: Some("allow(*, fw1)\nallow(view, fw1)\n".into()),
+            ticket: Some(acl_ticket()),
+        },
+    );
+    let Response::Analysis { report } = resp else {
+        panic!("expected Analysis, got {resp:?}");
+    };
+    // Defect class 1: shadowed predicate.
+    assert!(report.has_code(codes::SHADOWED), "{report}");
+    // Defect class 2: wildcard over-grant vs. the derived minimum, with a
+    // concrete narrowing.
+    assert!(report.has_code(codes::OVER_GRANT), "{report}");
+    let fix = report.with_code(codes::OVER_GRANT)[0]
+        .suggestion
+        .clone()
+        .unwrap();
+    assert!(fix.contains("allow(acl, fw1)"), "{fix}");
+    // Defect class 3: escalation chain reaching a destructive action.
+    assert!(report.has_code(codes::ESCALATION_DESTRUCTIVE), "{report}");
+    assert_eq!(report.max_severity(), Some(Severity::Error));
+}
+
+#[test]
+fn live_sessions_are_analyzable_and_clean_of_errors() {
+    let b = broker();
+    let Response::SessionOpened { session, .. } = b.handle(Request::OpenSession {
+        technician: "alice".into(),
+        ticket: acl_ticket(),
+    }) else {
+        panic!("open failed");
+    };
+    let resp = roundtrip(
+        &b,
+        Request::AnalyzeQuery {
+            session: Some(session),
+            spec: None,
+            ticket: None,
+        },
+    );
+    let Response::Analysis { report } = resp else {
+        panic!("expected Analysis, got {resp:?}");
+    };
+    assert!(
+        report.max_severity() < Some(Severity::Error),
+        "derived specs must be error-free: {report}"
+    );
+    // The broker counted the findings it produced.
+    let Response::Stats { snapshot } = b.handle(Request::Stats) else {
+        panic!("expected Stats");
+    };
+    assert!(snapshot.analysis_findings >= report.findings.len() as u64);
+}
+
+#[test]
+fn intake_gate_refuses_sessions_over_the_wire() {
+    let g = enterprise_network();
+    let cp = heimdall::routing::converge(&g.net);
+    let policies = heimdall::verify::mine::mine_policies(
+        &g.net,
+        &cp,
+        &heimdall::verify::mine::MinerInput::from_meta(&g.meta),
+    );
+    let cfg = BrokerConfig {
+        analysis_deny_at: Some(Severity::Info),
+        ..BrokerConfig::default()
+    };
+    let b = Broker::new(g.net, policies, cfg);
+    let resp = roundtrip(
+        &b,
+        Request::OpenSession {
+            technician: "mallory".into(),
+            ticket: acl_ticket(),
+        },
+    );
+    let Response::Error { kind, message } = resp else {
+        panic!("expected Error, got {resp:?}");
+    };
+    assert_eq!(kind, ErrorKind::PermissionDenied);
+    assert!(message.contains("static analysis"), "{message}");
+    let Response::Stats { snapshot } = b.handle(Request::Stats) else {
+        panic!("expected Stats");
+    };
+    assert_eq!(snapshot.analysis_denials, 1);
+    assert_eq!(snapshot.sessions_opened, 0);
+}
+
+#[test]
+fn overlapping_tickets_are_flagged_before_they_collide() {
+    let g = enterprise_network();
+    let spec_a = derive_privileges(&g.net, &acl_ticket());
+    let spec_b = spec_a.clone();
+    let report = analyze_pair(&g.net, &spec_a, &spec_b);
+    assert!(report.has_code(codes::CONCURRENT_OVERLAP), "{report}");
+    // Disjoint tickets are clean.
+    let c = derive_privileges(&g.net, &Task::connectivity("h1", "h2"));
+    let d = derive_privileges(
+        &g.net,
+        &Task {
+            kind: TaskKind::IspChange,
+            affected: vec!["bdr1".into()],
+        },
+    );
+    assert!(analyze_pair(&g.net, &c, &d).is_clean());
+}
+
+// --------------------------------------------------- closure soundness
+
+fn kind_s() -> BoxedStrategy<TaskKind> {
+    prop_oneof![
+        Just(TaskKind::Connectivity),
+        Just(TaskKind::Routing),
+        Just(TaskKind::AccessControl),
+        Just(TaskKind::Vlan),
+        Just(TaskKind::IspChange),
+        Just(TaskKind::Monitoring),
+    ]
+    .boxed()
+}
+
+fn action_s() -> BoxedStrategy<Action> {
+    (0usize..Action::ALL.len())
+        .prop_map(|i| Action::ALL[i])
+        .boxed()
+}
+
+fn device_names() -> &'static Vec<String> {
+    static NAMES: OnceLock<Vec<String>> = OnceLock::new();
+    NAMES.get_or_init(|| {
+        enterprise_network()
+            .net
+            .devices()
+            .map(|(_, d)| d.name.clone())
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Soundness: any (action, device) the closure says is unreachable
+    /// must never be auto-granted by the runtime escalation policy.
+    #[test]
+    fn closure_over_approximates_decide_escalation(
+        kind in kind_s(),
+        affected_idx in proptest::collection::vec(0usize..9, 0..3),
+        action in action_s(),
+        device_idx in 0usize..9,
+    ) {
+        let g = enterprise_network();
+        let names = device_names();
+        let affected: Vec<String> = affected_idx
+            .iter()
+            .map(|&i| names[i % names.len()].clone())
+            .collect();
+        let task = Task { kind, affected };
+        let device = names[device_idx % names.len()].clone();
+        let closure = escalation_closure(&g.net, &task);
+        if !closure.reaches(action, &device) {
+            let mut spec = derive_privileges(&g.net, &task);
+            let decision = decide_escalation(
+                &g.net,
+                &task,
+                &mut spec,
+                &EscalationRequest {
+                    technician: "t1".into(),
+                    action,
+                    device: device.clone(),
+                    justification: "probe".into(),
+                },
+            );
+            prop_assert_ne!(
+                decision,
+                EscalationDecision::AutoGranted,
+                "closure says ({:?}, {}) is unreachable for {:?}, but decide auto-granted it",
+                action, device, task.kind
+            );
+        }
+    }
+}

@@ -3,6 +3,7 @@
 //! truncated streams are always detected, and oversized length prefixes
 //! are always rejected before allocation.
 
+use heimdall::analyze::{AnalysisReport, Finding, Severity};
 use heimdall::enforcer::audit::AuditKind;
 use heimdall::enforcer::verifier::Verdict;
 use heimdall::obs::{Alert, Bucket, CriticalPathReport, Resolution, StageCost};
@@ -110,6 +111,16 @@ fn request_s() -> BoxedStrategy<Request> {
         ),
         Just(Request::AlertQuery),
         trace_tag_s().prop_map(|trace| Request::CriticalPath { trace }),
+        (
+            option::of(any::<u64>()),
+            option::of(line_s()),
+            option::of(task_s()),
+        )
+            .prop_map(|(session, spec, ticket)| Request::AnalyzeQuery {
+                session: session.map(SessionId),
+                spec,
+                ticket,
+            }),
     ]
     .boxed()
 }
@@ -217,6 +228,8 @@ fn snapshot_s() -> BoxedStrategy<StatsSnapshot> {
             any::<u64>(),
             any::<u64>(),
             any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
         ),
     )
         .prop_map(|(a, b, c)| StatsSnapshot {
@@ -240,6 +253,8 @@ fn snapshot_s() -> BoxedStrategy<StatsSnapshot> {
             torn_bytes_discarded: c.2,
             segments_compacted: c.3,
             recovered_sessions_evicted: c.4,
+            analysis_findings: c.5,
+            analysis_denials: c.6,
         })
         .boxed()
 }
@@ -313,6 +328,43 @@ fn stage_cost_s() -> BoxedStrategy<StageCost> {
         .boxed()
 }
 
+fn severity_s() -> BoxedStrategy<Severity> {
+    prop_oneof![
+        Just(Severity::Info),
+        Just(Severity::Warning),
+        Just(Severity::Error),
+    ]
+    .boxed()
+}
+
+fn finding_s() -> BoxedStrategy<Finding> {
+    (
+        severity_s(),
+        name_s(),
+        name_s(),
+        option::of(0usize..64),
+        line_s(),
+        option::of(line_s()),
+    )
+        .prop_map(
+            |(severity, code, device, predicate, message, suggestion)| Finding {
+                severity,
+                code,
+                device,
+                predicate,
+                message,
+                suggestion,
+            },
+        )
+        .boxed()
+}
+
+fn analysis_report_s() -> BoxedStrategy<AnalysisReport> {
+    collection::vec(finding_s(), 0..5)
+        .prop_map(|findings| AnalysisReport { findings })
+        .boxed()
+}
+
 fn report_s() -> BoxedStrategy<CriticalPathReport> {
     (
         trace_tag_s(),
@@ -368,6 +420,7 @@ fn response_s() -> BoxedStrategy<Response> {
         ),
         collection::vec(alert_s(), 0..3).prop_map(|alerts| Response::Alerts { alerts }),
         report_s().prop_map(|report| Response::CriticalPath { report }),
+        analysis_report_s().prop_map(|report| Response::Analysis { report }),
         (error_kind_s(), line_s()).prop_map(|(kind, message)| Response::Error { kind, message }),
     ]
     .boxed()
@@ -501,6 +554,78 @@ proptest! {
             panic!("expected TimeSeries, got {resp:?}");
         };
         prop_assert_eq!(got, series);
+    }
+
+    #[test]
+    fn analyze_with_both_session_and_spec_is_bad_request(
+        id in any::<u64>(),
+        spec in line_s(),
+        ticket in option::of(task_s()),
+    ) {
+        let resp = validation_broker().handle(Request::AnalyzeQuery {
+            session: Some(SessionId(id)),
+            spec: Some(spec),
+            ticket,
+        });
+        prop_assert!(
+            matches!(resp, Response::Error { kind: ErrorKind::BadRequest, .. }),
+            "expected BadRequest, got {:?}", resp
+        );
+    }
+
+    #[test]
+    fn analyze_with_neither_session_nor_spec_is_bad_request(ticket in option::of(task_s())) {
+        let resp = validation_broker().handle(Request::AnalyzeQuery {
+            session: None,
+            spec: None,
+            ticket,
+        });
+        prop_assert!(
+            matches!(resp, Response::Error { kind: ErrorKind::BadRequest, .. }),
+            "expected BadRequest, got {:?}", resp
+        );
+    }
+
+    #[test]
+    fn analyze_spec_without_ticket_is_bad_request(spec in line_s()) {
+        let resp = validation_broker().handle(Request::AnalyzeQuery {
+            session: None,
+            spec: Some(spec),
+            ticket: None,
+        });
+        prop_assert!(
+            matches!(resp, Response::Error { kind: ErrorKind::BadRequest, .. }),
+            "expected BadRequest, got {:?}", resp
+        );
+    }
+
+    #[test]
+    fn unparseable_specs_are_bad_requests(junk in "[a-z]{2,8} [a-z]{2,8}", ticket in task_s()) {
+        // Two bare words never form a valid DSL predicate.
+        let resp = validation_broker().handle(Request::AnalyzeQuery {
+            session: None,
+            spec: Some(junk),
+            ticket: Some(ticket),
+        });
+        prop_assert!(
+            matches!(resp, Response::Error { kind: ErrorKind::BadRequest, .. }),
+            "expected BadRequest, got {:?}", resp
+        );
+    }
+
+    #[test]
+    fn well_formed_spec_analyses_always_answer(ticket in task_s()) {
+        // A parseable spec plus any ticket — even one naming unknown
+        // devices — must produce a report, never an error.
+        let resp = validation_broker().handle(Request::AnalyzeQuery {
+            session: None,
+            spec: Some("allow(view, fw1)\n".into()),
+            ticket: Some(ticket),
+        });
+        prop_assert!(
+            matches!(resp, Response::Analysis { .. }),
+            "expected Analysis, got {:?}", resp
+        );
     }
 
     #[test]
