@@ -8,9 +8,11 @@
 //! Two modes:
 //! - default: the Criterion harness (whole-round wall-clock).
 //! - `--json`: measures per-session latency (p50/p99) and sessions/sec at
-//!   each concurrency level and writes `BENCH_service.json` at the
+//!   each concurrency level and writes `BENCH_broker.json` at the
 //!   workspace root — the machine-readable record CI and regression
 //!   tooling can diff. Combine with `--test` for a fast smoke pass.
+//!   (The tracked `BENCH_service.json` is owned by the `service_net`
+//!   bench, which measures the same cycle over real sockets.)
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use heimdall::netmodel::gen::enterprise_network;
@@ -128,7 +130,7 @@ fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
 }
 
 /// `--json` mode: per-concurrency p50/p99/throughput into
-/// `BENCH_service.json` at the workspace root.
+/// `BENCH_broker.json` at the workspace root.
 fn run_json(smoke: bool) {
     let (production, policies) = production_and_policies();
     let levels: &[usize] = if smoke { &[1, 8] } else { &[1, 8, 32, 128] };
@@ -168,8 +170,8 @@ fn run_json(smoke: bool) {
     // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
-        .join("BENCH_service.json");
-    std::fs::write(&path, json).expect("write BENCH_service.json");
+        .join("BENCH_broker.json");
+    std::fs::write(&path, json).expect("write BENCH_broker.json");
     println!("wrote {}", path.display());
 }
 

@@ -1,0 +1,335 @@
+//! `bench service-net`: the broker fleet measured over real TCP
+//! sockets — handshake, multiplexed frames, sharded brokers and all.
+//!
+//! Two measurements, both written to `BENCH_service.json` at the
+//! workspace root (git-tracked — the perf trajectory is part of the
+//! repo's record):
+//!
+//! - **Connection sweep**: N authenticated connections (one tenant
+//!   each) run full open → exec → finish session cycles against a
+//!   4-shard fleet; per-session latency p50/p99 and fleet throughput
+//!   are reported per concurrency level, up to 1024 connections.
+//! - **Shard scaling**: the same contended workload at 32 connections
+//!   against 1 shard vs 4 shards. On a single core the win is not
+//!   parallelism — it is that each shard carries a quarter of the
+//!   committed state, so every snapshot, verify and converge pass
+//!   touches a smaller production. Full mode asserts the 4-shard
+//!   fleet clears 2.5x the single-shard throughput.
+//!
+//! Modes: default runs the Criterion harness over a small sweep;
+//! `--json` runs the full sweep and writes the JSON artifact;
+//! `--json --test` is the CI smoke variant (two levels, no scaling
+//! assertion).
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use heimdall::net::{BoundAcceptor, BrokerFleet, NetClient, NetConfig, NetServer, TenantKeys};
+use heimdall::netmodel::gen::enterprise_network;
+use heimdall::netmodel::topology::Network;
+use heimdall::privilege::derive::{Task, TaskKind};
+use heimdall::routing::converge;
+use heimdall::service::{BrokerConfig, Request, Response};
+use heimdall::verify::mine::{mine_policies, MinerInput};
+use heimdall::verify::policy::PolicySet;
+use std::hint::black_box;
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+
+fn production_and_policies() -> (Network, PolicySet) {
+    let g = enterprise_network();
+    let cp = converge(&g.net);
+    let policies = mine_policies(&g.net, &cp, &MinerInput::from_meta(&g.meta));
+    (g.net, policies)
+}
+
+fn broker_config() -> BrokerConfig {
+    BrokerConfig {
+        max_commit_retries: 256,
+        rate_capacity: 4096,
+        rate_refill_per_sec: 1e6,
+        ..BrokerConfig::default()
+    }
+}
+
+/// Sized for connection storms: deep shard queues so 1k in-flight
+/// requests never bounce as `Backpressure`, and generous timeouts so a
+/// 3k-thread pileup on a small CPU cannot miss a handshake deadline.
+fn net_config() -> NetConfig {
+    NetConfig {
+        shard_queue_depth: 4096,
+        handshake_timeout: Duration::from_secs(60),
+        write_timeout: Duration::from_secs(60),
+        ..NetConfig::default()
+    }
+}
+
+fn key_for(tenant: &str) -> Vec<u8> {
+    format!("bench-key-{tenant}").into_bytes()
+}
+
+fn tenant_name(i: usize) -> String {
+    format!("t{i:04}")
+}
+
+/// Connects with retries: a 1k-connection storm overflows the listen
+/// backlog, so refused/reset attempts back off and try again.
+fn connect_retry(addr: &str, tenant: &str) -> NetClient {
+    let key = key_for(tenant);
+    let mut last = String::new();
+    for _ in 0..500 {
+        match NetClient::connect_tcp(addr, tenant, &key) {
+            Ok(c) => return c,
+            Err(e) => {
+                last = e.to_string();
+                thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+    panic!("{tenant}: could not connect to {addr}: {last}");
+}
+
+/// One full session cycle over the wire: open, `routes` route-add
+/// execs, finish. `n` disambiguates the prefixes so concurrent diffs
+/// always compose; `routes` sets how much state each commit adds to
+/// its shard's production. Returns applied.
+fn run_cycle(client: &mut NetClient, n: usize, routes: usize) -> bool {
+    let session = match client
+        .call(Request::OpenSession {
+            technician: String::new(),
+            ticket: Task {
+                kind: TaskKind::Routing,
+                affected: vec![["h1", "h4", "h7"][n % 3].to_string(), "srv1".to_string()],
+            },
+        })
+        .expect("open session")
+    {
+        Response::SessionOpened { session, .. } => session,
+        other => panic!("expected SessionOpened, got {other:?}"),
+    };
+    for j in 0..routes {
+        let m = n * routes + j;
+        let resp = client
+            .call(Request::Exec {
+                session,
+                device: "fw1".to_string(),
+                line: format!(
+                    "ip route 10.{}.{}.0 255.255.255.0 10.2.1.10",
+                    16 + m / 200,
+                    m % 200
+                ),
+            })
+            .expect("exec");
+        assert!(matches!(resp, Response::ExecOutput { .. }), "{resp:?}");
+    }
+    match client.call(Request::Finish { session }).expect("finish") {
+        Response::Finished { applied, .. } => applied,
+        other => panic!("expected Finished, got {other:?}"),
+    }
+}
+
+/// One measured round: `conns` authenticated connections each run
+/// `cycles` full session cycles. Returns per-session latencies (ns)
+/// and the round's wall clock (barrier release to last completion).
+fn measure_level(
+    production: &Network,
+    policies: &PolicySet,
+    shards: usize,
+    conns: usize,
+    cycles: usize,
+    routes: usize,
+) -> (Vec<u64>, Duration) {
+    let fleet = Arc::new(BrokerFleet::from_template(
+        production,
+        policies,
+        &broker_config(),
+        shards,
+    ));
+    let mut keys = TenantKeys::new();
+    for i in 0..conns {
+        let t = tenant_name(i);
+        keys.insert(&t, &key_for(&t));
+    }
+    let (acceptor, addr) = BoundAcceptor::tcp("127.0.0.1:0").expect("bind tcp");
+    let server = NetServer::start(Arc::clone(&fleet), keys, net_config(), vec![acceptor]);
+    let addr = addr.to_string();
+
+    let barrier = Arc::new(Barrier::new(conns + 1));
+    let workers: Vec<_> = (0..conns)
+        .map(|i| {
+            let addr = addr.clone();
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let tenant = tenant_name(i);
+                let mut client = connect_retry(&addr, &tenant);
+                barrier.wait();
+                let mut latencies = Vec::with_capacity(cycles);
+                for c in 0..cycles {
+                    let t = Instant::now();
+                    assert!(
+                        run_cycle(&mut client, i * cycles + c, routes),
+                        "lost commit"
+                    );
+                    latencies.push(t.elapsed().as_nanos() as u64);
+                }
+                client.bye().ok();
+                latencies
+            })
+        })
+        .collect();
+    barrier.wait();
+    let started = Instant::now();
+    let latencies: Vec<u64> = workers
+        .into_iter()
+        .flat_map(|w| w.join().expect("client thread"))
+        .collect();
+    let wall = started.elapsed();
+    let report = server.shutdown();
+    assert!(report.journals_synced, "shutdown sync barrier");
+    assert_eq!(
+        fleet.aggregate_stats().commits_applied,
+        (conns * cycles) as u64,
+        "every acked cycle is a fleet commit"
+    );
+    (latencies, wall)
+}
+
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Criterion mode: whole-round wall clock at a few small levels.
+fn bench_service_net(c: &mut Criterion) {
+    let (production, policies) = production_and_policies();
+    let mut group = c.benchmark_group("service_net");
+    group.sample_size(10);
+    for &conns in &[1usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(conns), &conns, |b, &conns| {
+            b.iter(|| black_box(measure_level(&production, &policies, 4, conns, 1, 1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_service_net);
+
+/// `--json` mode: the sweep + shard scaling, into `BENCH_service.json`.
+fn run_json(smoke: bool) {
+    let (production, policies) = production_and_policies();
+    const SHARDS: usize = 4;
+    // (connections, cycles-per-connection): higher levels run fewer
+    // cycles so the sweep stays tractable while still holding every
+    // connection concurrently open and committing.
+    let levels: &[(usize, usize)] = if smoke {
+        &[(1, 2), (32, 1)]
+    } else {
+        &[(1, 16), (8, 8), (32, 4), (128, 2), (512, 1), (1024, 1)]
+    };
+    let mut entries = Vec::new();
+    for &(conns, cycles) in levels {
+        let (mut latencies, wall) = measure_level(&production, &policies, SHARDS, conns, cycles, 1);
+        latencies.sort_unstable();
+        let p50 = exact_quantile(&latencies, 0.50);
+        let p99 = exact_quantile(&latencies, 0.99);
+        let throughput = latencies.len() as f64 / wall.as_secs_f64().max(1e-9);
+        println!(
+            "service_net/{conns} conns x {cycles}: p50 {p50}ns p99 {p99}ns {throughput:.1} sessions/s"
+        );
+        entries.push(format!(
+            concat!(
+                "    {{\"connections\": {}, \"cycles_per_connection\": {}, ",
+                "\"sessions_measured\": {}, \"p50_ns\": {}, \"p99_ns\": {}, ",
+                "\"throughput_sessions_per_sec\": {:.3}}}"
+            ),
+            conns,
+            cycles,
+            latencies.len(),
+            p50,
+            p99,
+            throughput
+        ));
+    }
+
+    // Shard scaling at 32 connections: same offered load, 1 vs 4
+    // shards. On one core the win is state partitioning, not
+    // parallelism: every commit grows its shard's production config, and
+    // session cost (snapshot clone, base fingerprint, converge, verify)
+    // grows with it. The single shard absorbs all 32 tenants' commits —
+    // 4x the per-shard state of the 4-shard fleet — so the run is long
+    // enough for that 4x to dominate the fixed per-session cost. Smoke
+    // mode runs a single light cycle (artifact shape only); full mode
+    // runs the contended workload and enforces the 2.5x acceptance bar.
+    let (scale_cycles, scale_routes) = if smoke { (1, 1) } else { (192, 1) };
+    let (l1, w1) = measure_level(&production, &policies, 1, 32, scale_cycles, scale_routes);
+    let (l4, w4) = measure_level(
+        &production,
+        &policies,
+        SHARDS,
+        32,
+        scale_cycles,
+        scale_routes,
+    );
+    let t1 = l1.len() as f64 / w1.as_secs_f64().max(1e-9);
+    let t4 = l4.len() as f64 / w4.as_secs_f64().max(1e-9);
+    let speedup = t4 / t1.max(1e-9);
+    println!(
+        "shard_scaling/32 conns x {scale_cycles} x {scale_routes} routes: 1 shard {t1:.1}/s, {SHARDS} shards {t4:.1}/s ({speedup:.2}x)"
+    );
+    if !smoke {
+        assert!(
+            speedup >= 2.5,
+            "4-shard fleet must clear 2.5x single-shard throughput at 32 conns, got {speedup:.2}x"
+        );
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n  \"benchmark\": \"service_net\",\n  \"smoke\": {},\n",
+            "  \"transport\": \"tcp localhost\",\n  \"shards\": {},\n",
+            "  \"levels\": [\n{}\n  ],\n",
+            "  \"shard_scaling\": {{\"connections\": 32, \"cycles_per_connection\": {}, ",
+            "\"routes_per_session\": {}, \"single_shard_sessions_per_sec\": {:.3}, ",
+            "\"four_shard_sessions_per_sec\": {:.3}, \"speedup\": {:.3}}}\n}}\n"
+        ),
+        smoke,
+        SHARDS,
+        entries.join(",\n"),
+        scale_cycles,
+        scale_routes,
+        t1,
+        t4,
+        speedup
+    );
+    // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_service.json");
+    std::fs::write(&path, json).expect("write BENCH_service.json");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--scale") {
+        // Tuning probe: just the shard-scaling comparison, no artifact.
+        let (production, policies) = production_and_policies();
+        let pos = args.iter().position(|a| a == "--scale").unwrap();
+        let cycles: usize = args.get(pos + 1).and_then(|v| v.parse().ok()).unwrap_or(8);
+        let routes: usize = args.get(pos + 2).and_then(|v| v.parse().ok()).unwrap_or(8);
+        let (l1, w1) = measure_level(&production, &policies, 1, 32, cycles, routes);
+        let (l4, w4) = measure_level(&production, &policies, 4, 32, cycles, routes);
+        let t1 = l1.len() as f64 / w1.as_secs_f64().max(1e-9);
+        let t4 = l4.len() as f64 / w4.as_secs_f64().max(1e-9);
+        println!(
+            "scale probe @32x{cycles}x{routes}: 1 shard {t1:.1}/s, 4 shards {t4:.1}/s ({:.2}x)",
+            t4 / t1.max(1e-9)
+        );
+    } else if args.iter().any(|a| a == "--json") {
+        run_json(args.iter().any(|a| a == "--test"));
+    } else {
+        benches();
+    }
+}

@@ -61,6 +61,7 @@ pub use heimdall_analyze as analyze;
 pub use heimdall_dataplane as dataplane;
 pub use heimdall_enforcer as enforcer;
 pub use heimdall_msp as msp;
+pub use heimdall_net as net;
 pub use heimdall_netmodel as netmodel;
 pub use heimdall_obs as obs;
 pub use heimdall_privilege as privilege;

@@ -1,0 +1,246 @@
+//! A multiplexing client for the net front-end.
+//!
+//! [`NetClient`] runs the handshake on construction, then exposes the
+//! broker vocabulary over tagged channels: [`NetClient::call`] for one
+//! request/reply round trip, or [`NetClient::open_channel`] /
+//! [`NetClient::send_on`] / [`NetClient::recv_on`] to interleave many
+//! logical conversations on one socket. Replies are matched by channel
+//! tag — frames for other channels observed while waiting are buffered,
+//! so interleaved use never loses or reorders a reply.
+
+use crate::auth::handshake_mac;
+use crate::conn::NetStream;
+use crate::wire::{ClientFrame, RejectReason, ServerFrame};
+use heimdall_service::proto::{read_frame, write_frame, FrameError, Request, Response};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Frame-level transport failure.
+    Frame(FrameError),
+    /// A typed net-layer rejection from the server.
+    Rejected {
+        reason: RejectReason,
+        message: String,
+    },
+    /// The server announced a graceful shutdown.
+    ShuttingDown,
+    /// The server broke the protocol (e.g. no Challenge after Hello).
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "transport: {e}"),
+            ClientError::Rejected { reason, message } => {
+                write!(f, "rejected ({reason}): {message}")
+            }
+            ClientError::ShuttingDown => write!(f, "server is shutting down"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> ClientError {
+        ClientError::Frame(e)
+    }
+}
+
+/// Process-wide counter so every client connection picks fresh client
+/// nonces even when many clients spin up in the same nanosecond.
+static CLIENT_NONCE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_nonce(tenant: &str) -> String {
+    let seq = CLIENT_NONCE_SEQ.fetch_add(1, Ordering::Relaxed);
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    let digest = heimdall_enforcer::crypto::sha256(
+        format!("client|{tenant}|{}|{seq}|{now}", std::process::id()).as_bytes(),
+    );
+    heimdall_enforcer::crypto::hex(&digest)
+}
+
+/// An authenticated, multiplexing connection to a [`crate::NetServer`].
+///
+/// The `Debug` form elides the stream and buffered replies.
+pub struct NetClient {
+    stream: Box<dyn NetStream>,
+    tenant: String,
+    shard: usize,
+    next_channel: u64,
+    /// Replies observed for channels other than the one being awaited.
+    pending: HashMap<u64, VecDeque<Response>>,
+}
+
+impl fmt::Debug for NetClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NetClient")
+            .field("tenant", &self.tenant)
+            .field("shard", &self.shard)
+            .field("next_channel", &self.next_channel)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NetClient {
+    /// Connects over TCP and authenticates.
+    pub fn connect_tcp(addr: &str, tenant: &str, key: &[u8]) -> Result<NetClient, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ClientError::Frame(FrameError::Io(e)))?;
+        stream.set_nodelay(true).ok();
+        NetClient::from_stream(Box::new(stream), tenant, key)
+    }
+
+    /// Connects over a Unix-domain socket and authenticates.
+    pub fn connect_uds(path: &Path, tenant: &str, key: &[u8]) -> Result<NetClient, ClientError> {
+        let stream =
+            UnixStream::connect(path).map_err(|e| ClientError::Frame(FrameError::Io(e)))?;
+        NetClient::from_stream(Box::new(stream), tenant, key)
+    }
+
+    /// Authenticates over an already-connected stream with a fresh
+    /// client nonce.
+    pub fn from_stream(
+        stream: Box<dyn NetStream>,
+        tenant: &str,
+        key: &[u8],
+    ) -> Result<NetClient, ClientError> {
+        NetClient::from_stream_with_nonce(stream, tenant, key, &fresh_nonce(tenant))
+    }
+
+    /// Authenticates with a caller-chosen client nonce. Exists so tests
+    /// can replay a nonce on purpose; normal callers want
+    /// [`NetClient::from_stream`].
+    pub fn from_stream_with_nonce(
+        mut stream: Box<dyn NetStream>,
+        tenant: &str,
+        key: &[u8],
+        nonce: &str,
+    ) -> Result<NetClient, ClientError> {
+        write_frame(
+            &mut stream,
+            &ClientFrame::Hello {
+                tenant: tenant.to_string(),
+                nonce: nonce.to_string(),
+            },
+        )?;
+        let server_nonce = match read_frame::<_, ServerFrame>(&mut stream)? {
+            ServerFrame::Challenge { nonce } => nonce,
+            ServerFrame::Reject {
+                reason, message, ..
+            } => return Err(ClientError::Rejected { reason, message }),
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected Challenge, got {other:?}"
+                )))
+            }
+        };
+        let mac = handshake_mac(key, tenant, nonce, &server_nonce);
+        write_frame(&mut stream, &ClientFrame::Proof { mac })?;
+        let (tenant, shard) = match read_frame::<_, ServerFrame>(&mut stream)? {
+            ServerFrame::Welcome { tenant, shard } => (tenant, shard),
+            ServerFrame::Reject {
+                reason, message, ..
+            } => return Err(ClientError::Rejected { reason, message }),
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected Welcome, got {other:?}"
+                )))
+            }
+        };
+        Ok(NetClient {
+            stream,
+            tenant,
+            shard,
+            next_channel: 1,
+            pending: HashMap::new(),
+        })
+    }
+
+    /// The identity this connection is authenticated as.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// The broker shard this tenant homes on.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// A fresh channel id for an interleaved conversation.
+    pub fn open_channel(&mut self) -> u64 {
+        let c = self.next_channel;
+        self.next_channel += 1;
+        c
+    }
+
+    /// Sends one request on `channel` without waiting for the reply.
+    pub fn send_on(&mut self, channel: u64, request: Request) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, &ClientFrame::Mux { channel, request })?;
+        Ok(())
+    }
+
+    /// The next reply for `channel`, buffering replies for other
+    /// channels seen along the way.
+    pub fn recv_on(&mut self, channel: u64) -> Result<Response, ClientError> {
+        if let Some(queue) = self.pending.get_mut(&channel) {
+            if let Some(response) = queue.pop_front() {
+                return Ok(response);
+            }
+        }
+        loop {
+            match read_frame::<_, ServerFrame>(&mut self.stream)? {
+                ServerFrame::Mux {
+                    channel: ch,
+                    response,
+                } => {
+                    if ch == channel {
+                        return Ok(response);
+                    }
+                    self.pending.entry(ch).or_default().push_back(response);
+                }
+                ServerFrame::Reject {
+                    channel: ch,
+                    reason,
+                    message,
+                } => {
+                    // A reject for another channel still fails this call:
+                    // surfacing it beats silently waiting on a reply that
+                    // may never come.
+                    let _ = ch;
+                    return Err(ClientError::Rejected { reason, message });
+                }
+                ServerFrame::ShuttingDown => return Err(ClientError::ShuttingDown),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected frame mid-session: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// One request/reply round trip on a fresh channel.
+    pub fn call(&mut self, request: Request) -> Result<Response, ClientError> {
+        let channel = self.open_channel();
+        self.send_on(channel, request)?;
+        self.recv_on(channel)
+    }
+
+    /// Polite goodbye; the server closes the connection after flushing.
+    pub fn bye(&mut self) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, &ClientFrame::Bye)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,329 @@
+//! Transport abstraction and per-connection plumbing.
+//!
+//! [`NetStream`] unifies `TcpStream` and `UnixStream` behind one
+//! object-safe trait (clone, timeouts, shutdown), so the whole server —
+//! handshake, reader, writer, eviction — is written once for both
+//! transports. [`NetAcceptor`] does the same for the listeners, polled
+//! non-blockingly so acceptor threads can notice shutdown.
+//!
+//! [`ConnHandle`] is the server's view of one authenticated connection:
+//! the bounded reply queue (slow consumers are evicted, never awaited)
+//! and a control clone of the socket used to slam it shut from any
+//! thread. [`PatientReader`] adapts a timeout-equipped blocking socket
+//! for `read_frame`: timeouts are absorbed (so a frame split across
+//! timeout windows reassembles instead of desyncing the length prefix)
+//! until the server-wide shutdown flag flips, at which point it
+//! surfaces a marker error the reader loop treats as "stop now".
+
+use crate::wire::ServerFrame;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One bidirectional byte stream the server can serve.
+pub trait NetStream: Read + Write + Send + Sync {
+    /// Another handle onto the same underlying socket (shared fd).
+    fn try_clone_stream(&self) -> io::Result<Box<dyn NetStream>>;
+    /// Bounds how long a `read` may block (`None` = forever).
+    fn set_stream_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
+    /// Bounds how long a `write` may block (`None` = forever).
+    fn set_stream_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
+    /// Half-closes both directions; blocked reads and writes on *any*
+    /// clone of this socket fail promptly.
+    fn shutdown_stream(&self);
+}
+
+impl NetStream for TcpStream {
+    fn try_clone_stream(&self) -> io::Result<Box<dyn NetStream>> {
+        self.try_clone().map(|s| Box::new(s) as Box<dyn NetStream>)
+    }
+
+    fn set_stream_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+
+    fn set_stream_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_write_timeout(timeout)
+    }
+
+    fn shutdown_stream(&self) {
+        let _ = self.shutdown(Shutdown::Both);
+    }
+}
+
+impl NetStream for UnixStream {
+    fn try_clone_stream(&self) -> io::Result<Box<dyn NetStream>> {
+        self.try_clone().map(|s| Box::new(s) as Box<dyn NetStream>)
+    }
+
+    fn set_stream_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+
+    fn set_stream_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_write_timeout(timeout)
+    }
+
+    fn shutdown_stream(&self) {
+        let _ = self.shutdown(Shutdown::Both);
+    }
+}
+
+/// A listener the server can poll without blocking forever.
+pub trait NetAcceptor: Send {
+    /// One accepted connection, `None` when nothing is pending.
+    fn poll_accept(&self) -> io::Result<Option<Box<dyn NetStream>>>;
+    /// Human-readable bind address, for logs.
+    fn describe(&self) -> String;
+}
+
+/// Wraps a `TcpListener` as a pollable acceptor (sets non-blocking).
+pub fn tcp_acceptor(listener: TcpListener) -> io::Result<Box<dyn NetAcceptor>> {
+    listener.set_nonblocking(true)?;
+    Ok(Box::new(TcpAcceptor { listener }))
+}
+
+/// Wraps a `UnixListener` as a pollable acceptor (sets non-blocking).
+pub fn uds_acceptor(listener: UnixListener) -> io::Result<Box<dyn NetAcceptor>> {
+    listener.set_nonblocking(true)?;
+    Ok(Box::new(UdsAcceptor { listener }))
+}
+
+struct TcpAcceptor {
+    listener: TcpListener,
+}
+
+impl NetAcceptor for TcpAcceptor {
+    fn poll_accept(&self) -> io::Result<Option<Box<dyn NetStream>>> {
+        match self.listener.accept() {
+            Ok((stream, _)) => {
+                // Accepted sockets go back to blocking mode: the
+                // per-connection threads use timeouts, not polling.
+                stream.set_nonblocking(false)?;
+                stream.set_nodelay(true).ok();
+                Ok(Some(Box::new(stream)))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self.listener.local_addr() {
+            Ok(a) => format!("tcp://{a}"),
+            Err(_) => "tcp://?".into(),
+        }
+    }
+}
+
+struct UdsAcceptor {
+    listener: UnixListener,
+}
+
+impl NetAcceptor for UdsAcceptor {
+    fn poll_accept(&self) -> io::Result<Option<Box<dyn NetStream>>> {
+        match self.listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                Ok(Some(Box::new(stream)))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self.listener.local_addr() {
+            Ok(a) => format!(
+                "uds://{:?}",
+                a.as_pathname().unwrap_or(std::path::Path::new("?"))
+            ),
+            Err(_) => "uds://?".into(),
+        }
+    }
+}
+
+/// What [`ConnHandle::push`] did with a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Queued for the writer thread.
+    Sent,
+    /// The bounded queue was full: the connection was marked evicted and
+    /// its socket slammed shut. This frame (and the connection) is gone.
+    Evicted,
+    /// The writer already exited; the connection is dead.
+    Gone,
+}
+
+/// The server's shared handle to one authenticated connection.
+pub struct ConnHandle {
+    /// Server-assigned connection id (never reused within a process).
+    pub id: u64,
+    /// The tenant the handshake bound to this connection.
+    pub tenant: String,
+    /// The broker shard this tenant homes on.
+    pub shard: usize,
+    tx: SyncSender<ServerFrame>,
+    evicted: AtomicBool,
+    control: Box<dyn NetStream>,
+}
+
+impl ConnHandle {
+    /// Builds the handle plus the receiving end for the writer thread.
+    pub fn new(
+        id: u64,
+        tenant: String,
+        shard: usize,
+        queue_depth: usize,
+        control: Box<dyn NetStream>,
+    ) -> (Arc<ConnHandle>, Receiver<ServerFrame>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(queue_depth.max(1));
+        (
+            Arc::new(ConnHandle {
+                id,
+                tenant,
+                shard,
+                tx,
+                evicted: AtomicBool::new(false),
+                control,
+            }),
+            rx,
+        )
+    }
+
+    /// Queues a frame for the writer without ever blocking. A full queue
+    /// means the peer stopped reading: the connection is evicted on the
+    /// spot — the reference monitor must not let one stalled client pin
+    /// server memory or threads.
+    pub fn push(&self, frame: ServerFrame) -> PushOutcome {
+        if self.evicted.load(Ordering::Acquire) {
+            return PushOutcome::Gone;
+        }
+        match self.tx.try_send(frame) {
+            Ok(()) => PushOutcome::Sent,
+            Err(TrySendError::Full(_)) => {
+                self.evict();
+                PushOutcome::Evicted
+            }
+            Err(TrySendError::Disconnected(_)) => PushOutcome::Gone,
+        }
+    }
+
+    /// Marks the connection evicted and shuts the socket down, waking
+    /// any thread blocked on it.
+    pub fn evict(&self) {
+        self.evicted.store(true, Ordering::Release);
+        self.control.shutdown_stream();
+    }
+
+    pub fn is_evicted(&self) -> bool {
+        self.evicted.load(Ordering::Acquire)
+    }
+}
+
+/// Marker `ErrorKind` [`PatientReader`] uses to signal "shutdown flag
+/// observed" to the reader loop. Deliberately *not* `Interrupted` —
+/// `read_frame` retries `Interrupted` internally and would spin.
+pub const SHUTDOWN_MARKER: io::ErrorKind = io::ErrorKind::ConnectionAborted;
+
+/// Adapts a blocking socket with a read timeout for `read_frame`.
+///
+/// Timeouts (`WouldBlock`/`TimedOut`) are absorbed and the read retried,
+/// so a frame that trickles in across several timeout windows
+/// reassembles correctly — the length prefix never desyncs. When `stop`
+/// flips, the next timeout surfaces as [`SHUTDOWN_MARKER`] and the
+/// reader loop exits cleanly between frames.
+pub struct PatientReader<S> {
+    inner: S,
+    stop: Arc<AtomicBool>,
+}
+
+impl<S: Read> PatientReader<S> {
+    pub fn new(inner: S, stop: Arc<AtomicBool>) -> PatientReader<S> {
+        PatientReader { inner, stop }
+    }
+}
+
+impl<S: Read> Read for PatientReader<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            if self.stop.load(Ordering::Acquire) {
+                return Err(io::Error::new(SHUTDOWN_MARKER, "server shutting down"));
+            }
+            match self.inner.read(buf) {
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::RejectReason;
+
+    fn loopback_pair() -> (UnixStream, UnixStream) {
+        UnixStream::pair().expect("socketpair")
+    }
+
+    #[test]
+    fn push_evicts_on_full_queue() {
+        let (a, _b) = loopback_pair();
+        let (handle, rx) = ConnHandle::new(1, "t".into(), 0, 2, Box::new(a));
+        assert_eq!(handle.push(ServerFrame::ShuttingDown), PushOutcome::Sent);
+        assert_eq!(handle.push(ServerFrame::ShuttingDown), PushOutcome::Sent);
+        // Third frame overflows the depth-2 queue: typed eviction.
+        assert_eq!(
+            handle.push(ServerFrame::Reject {
+                channel: None,
+                reason: RejectReason::SlowConsumer,
+                message: String::new(),
+            }),
+            PushOutcome::Evicted
+        );
+        assert!(handle.is_evicted());
+        // Once evicted, everything is Gone — no resurrection.
+        assert_eq!(handle.push(ServerFrame::ShuttingDown), PushOutcome::Gone);
+        drop(rx);
+    }
+
+    #[test]
+    fn push_reports_gone_after_writer_exit() {
+        let (a, _b) = loopback_pair();
+        let (handle, rx) = ConnHandle::new(2, "t".into(), 0, 4, Box::new(a));
+        drop(rx); // Writer thread finished.
+        assert_eq!(handle.push(ServerFrame::ShuttingDown), PushOutcome::Gone);
+        assert!(!handle.is_evicted(), "gone is not evicted");
+    }
+
+    #[test]
+    fn patient_reader_absorbs_timeouts_until_stopped() {
+        struct AlwaysTimeout;
+        impl Read for AlwaysTimeout {
+            fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "timeout"))
+            }
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut r = PatientReader::new(AlwaysTimeout, Arc::clone(&stop));
+        let flag = Arc::clone(&stop);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            flag.store(true, Ordering::Release);
+        });
+        let mut buf = [0u8; 4];
+        let err = r.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), SHUTDOWN_MARKER);
+        t.join().unwrap();
+    }
+}

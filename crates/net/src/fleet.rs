@@ -1,0 +1,246 @@
+//! The sharded broker fleet: N independent [`Broker`]s behind a
+//! consistent-hash router.
+//!
+//! Each shard is a full broker — its own `CommitGuard`, locks, journal
+//! handle, privilege memo, audit chain — over its own production
+//! replica, modelling the per-customer-cluster layout of a real MSP:
+//! tenants are partitioned across shards, and nothing a shard does ever
+//! takes another shard's locks. On one core the win is the same as at
+//! fleet scale, just for a different resource: optimistic-commit verify
+//! and retry work is quadratic in the number of tenants racing one
+//! `CommitGuard`, so splitting T tenants across S shards divides the
+//! wasted re-verification roughly by S.
+//!
+//! Cross-shard reads go through the *exchange API* — explicit,
+//! lock-free-across-shards calls ([`BrokerFleet::aggregate_stats`],
+//! [`BrokerFleet::compose_exchange`]) that each shard answers from its
+//! own state. There is deliberately no fleet-wide lock to take.
+//!
+//! Routing is a 64-vnode consistent-hash ring over SHA-256: adding a
+//! shard moves ~1/N of tenants, and the mapping is stable across
+//! processes (no process-seeded hasher).
+
+use heimdall_analyze::{analyze_pair, AnalysisReport};
+use heimdall_enforcer::crypto::sha256;
+use heimdall_netmodel::topology::Network;
+use heimdall_privilege::derive::Task;
+use heimdall_service::{Broker, BrokerConfig, StatsSnapshot};
+use heimdall_verify::policy::PolicySet;
+use std::sync::Arc;
+
+/// Virtual nodes per shard on the hash ring.
+const VNODES: usize = 64;
+
+/// N independent broker shards plus the ring that routes tenants.
+pub struct BrokerFleet {
+    shards: Vec<Arc<Broker>>,
+    /// `(ring position, shard index)`, sorted by position.
+    ring: Vec<(u64, usize)>,
+}
+
+fn ring_point(label: &str) -> u64 {
+    let d = sha256(label.as_bytes());
+    u64::from_be_bytes([d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7]])
+}
+
+impl BrokerFleet {
+    /// Assembles a fleet from already-built shards (e.g. durable brokers
+    /// recovered from their own journals).
+    pub fn new(shards: Vec<Arc<Broker>>) -> BrokerFleet {
+        assert!(!shards.is_empty(), "a fleet needs at least one shard");
+        let mut ring = Vec::with_capacity(shards.len() * VNODES);
+        for (i, _) in shards.iter().enumerate() {
+            for v in 0..VNODES {
+                ring.push((ring_point(&format!("shard-{i}-vnode-{v}")), i));
+            }
+        }
+        ring.sort_unstable();
+        BrokerFleet { shards, ring }
+    }
+
+    /// Builds `n` in-memory shards, each its own replica of `production`
+    /// under the same policies and config.
+    pub fn from_template(
+        production: &Network,
+        policies: &PolicySet,
+        config: &BrokerConfig,
+        n: usize,
+    ) -> BrokerFleet {
+        let shards = (0..n.max(1))
+            .map(|_| {
+                Arc::new(Broker::new(
+                    production.clone(),
+                    policies.clone(),
+                    config.clone(),
+                ))
+            })
+            .collect();
+        BrokerFleet::new(shards)
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn shard(&self, i: usize) -> &Arc<Broker> {
+        &self.shards[i]
+    }
+
+    pub fn shards(&self) -> &[Arc<Broker>] {
+        &self.shards
+    }
+
+    /// The shard index `tenant` homes on: first ring point at or after
+    /// the tenant's hash, wrapping at the top.
+    pub fn route(&self, tenant: &str) -> usize {
+        let h = ring_point(tenant);
+        match self.ring.binary_search_by(|(p, _)| p.cmp(&h)) {
+            Ok(i) => self.ring[i].1,
+            Err(i) if i < self.ring.len() => self.ring[i].1,
+            Err(_) => self.ring[0].1,
+        }
+    }
+
+    /// The broker `tenant` homes on.
+    pub fn broker_for(&self, tenant: &str) -> &Arc<Broker> {
+        &self.shards[self.route(tenant)]
+    }
+
+    /// Exchange API: fleet-wide stats, one snapshot per shard, merged.
+    /// Counters sum; latency quantiles take the per-shard max.
+    pub fn aggregate_stats(&self) -> StatsSnapshot {
+        let mut it = self.shards.iter();
+        let mut total = it.next().expect("non-empty fleet").stats();
+        for shard in it {
+            total.merge(&shard.stats());
+        }
+        total
+    }
+
+    /// Exchange API: would `tenant_a`'s task compose safely with
+    /// `tenant_b`'s if they ran concurrently? Each home shard derives
+    /// its own tenant's privilege spec (hitting that shard's memo);
+    /// the pair is then analyzed against shard A's production replica.
+    /// No shard takes another shard's locks — the exchange moves derived
+    /// specs, not lock guards.
+    pub fn compose_exchange(
+        &self,
+        tenant_a: &str,
+        task_a: &Task,
+        tenant_b: &str,
+        task_b: &Task,
+    ) -> AnalysisReport {
+        let shard_a = self.broker_for(tenant_a);
+        let shard_b = self.broker_for(tenant_b);
+        let (spec_a, _) = shard_a.derive_for(task_a);
+        let (spec_b, _) = shard_b.derive_for(task_b);
+        analyze_pair(&shard_a.production(), &spec_a, &spec_b)
+    }
+
+    /// Sync barrier across every shard's journal. `true` only when every
+    /// journal (that exists) reached stable storage.
+    pub fn sync_journals(&self) -> bool {
+        self.shards.iter().all(|s| s.sync_journal())
+    }
+
+    /// Idle-TTL eviction across the fleet; total sessions evicted.
+    pub fn evict_idle_all(&self) -> usize {
+        self.shards.iter().map(|s| s.evict_idle()).sum()
+    }
+
+    /// Audit-chain verification across the fleet.
+    pub fn verify_audit_all(&self) -> bool {
+        self.shards.iter().all(|s| s.verify_audit())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_netmodel::gen::enterprise_network;
+    use heimdall_privilege::derive::TaskKind;
+    use heimdall_routing::converge;
+    use heimdall_verify::mine::{mine_policies, MinerInput};
+
+    fn fleet(n: usize) -> BrokerFleet {
+        let g = enterprise_network();
+        let cp = converge(&g.net);
+        let policies = mine_policies(&g.net, &cp, &MinerInput::from_meta(&g.meta));
+        BrokerFleet::from_template(&g.net, &policies, &BrokerConfig::default(), n)
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_covers_all_shards() {
+        let f = fleet(4);
+        let mut hit = vec![false; 4];
+        for i in 0..200 {
+            let tenant = format!("tech{i:02}");
+            let s = f.route(&tenant);
+            assert_eq!(s, f.route(&tenant), "stable route");
+            hit[s] = true;
+        }
+        assert!(
+            hit.iter().all(|h| *h),
+            "200 tenants should touch all 4 shards: {hit:?}"
+        );
+    }
+
+    #[test]
+    fn ring_rebalance_moves_a_minority_of_tenants() {
+        let f4 = fleet(4);
+        let f5 = fleet(5);
+        let tenants: Vec<String> = (0..500).map(|i| format!("tech{i:03}")).collect();
+        let moved = tenants
+            .iter()
+            .filter(|t| {
+                let (a, b) = (f4.route(t), f5.route(t));
+                a != b && b != 4 // moved somewhere other than the new shard
+            })
+            .count();
+        let onto_new = tenants.iter().filter(|t| f5.route(t) == 4).count();
+        assert!(
+            moved < tenants.len() / 10,
+            "consistent hashing should not reshuffle existing shards: {moved}"
+        );
+        assert!(onto_new > 0, "the new shard must take some tenants");
+    }
+
+    #[test]
+    fn aggregate_stats_sums_across_shards() {
+        let f = fleet(2);
+        let t = Task {
+            kind: TaskKind::Connectivity,
+            affected: vec!["h1".into(), "h4".into()],
+        };
+        // Open one session on each shard directly.
+        f.shard(0).open_session("a", t.clone()).unwrap();
+        f.shard(1).open_session("b", t).unwrap();
+        let total = f.aggregate_stats();
+        assert_eq!(total.sessions_opened, 2, "summed across shards");
+        assert_eq!(f.shard(0).stats().sessions_opened, 1);
+    }
+
+    #[test]
+    fn compose_exchange_analyzes_cross_shard_pairs() {
+        let f = fleet(2);
+        let overlapping = Task {
+            kind: TaskKind::Connectivity,
+            affected: vec!["h1".into(), "h4".into()],
+        };
+        let report = f.compose_exchange("tech00", &overlapping, "tech17", &overlapping);
+        // Identical tasks derive identical specs: the pair must overlap.
+        assert!(
+            report.has_code(heimdall_analyze::codes::CONCURRENT_OVERLAP),
+            "identical tasks should flag concurrent overlap: {}",
+            report.summary()
+        );
+    }
+
+    #[test]
+    fn sync_and_verify_cover_every_shard() {
+        let f = fleet(3);
+        assert!(f.sync_journals(), "no journals attached: vacuous sync");
+        assert!(f.verify_audit_all());
+        assert_eq!(f.evict_idle_all(), 0);
+    }
+}

@@ -1,0 +1,554 @@
+//! The network front-end: acceptors, per-connection reader/writer
+//! threads, and per-shard executors.
+//!
+//! Thread layout (one process):
+//!
+//! ```text
+//! acceptor (per listener) ──spawns──► reader (per conn) ──► shard queue
+//!                                        │                      │
+//!                                        ▼                      ▼
+//!                                     writer (per conn) ◄── executor (per shard)
+//! ```
+//!
+//! A reader authenticates its connection ([`crate::auth`]), then parses
+//! [`ClientFrame::Mux`] envelopes and enqueues work onto the home
+//! shard's bounded queue — full queue is a typed `Backpressure` reject,
+//! never a blocked reader. Executors drain their queue in batches of up
+//! to [`NetConfig::max_batch`], run each request against their shard's
+//! [`heimdall_service::Broker`], and push replies onto the owning
+//! connection's bounded write queue — full queue is slow-consumer
+//! eviction, never a blocked executor. Writers do nothing but drain
+//! that queue onto the socket.
+//!
+//! Net-layer guards run before any request touches a broker:
+//!
+//! - `OpenSession` must name the authenticated tenant (or leave the
+//!   technician empty to inherit it) — `IdentityMismatch` otherwise;
+//! - session-bearing requests must address a session opened on *this*
+//!   connection — `ForeignSession` otherwise;
+//! - `Stats` answers with the fleet-wide aggregate via the exchange API.
+//!
+//! [`NetServer::shutdown`] drains in flight work in order: stop
+//! acceptors and readers (peers with queued replies still get them plus
+//! a [`ServerFrame::ShuttingDown`]), let executors finish every queued
+//! request, flush writers, then run a sync barrier over every shard
+//! journal so every acknowledged commit is on stable storage before the
+//! process exits.
+
+use crate::auth::{server_handshake, HandshakeError, NonceGen, NonceLedger, TenantKeys};
+use crate::conn::{
+    tcp_acceptor, uds_acceptor, ConnHandle, NetAcceptor, NetStream, PatientReader, PushOutcome,
+    SHUTDOWN_MARKER,
+};
+use crate::fleet::BrokerFleet;
+use crate::stats::{NetStats, NetStatsSnapshot};
+use crate::wire::{ClientFrame, RejectReason, ServerFrame};
+use heimdall_service::proto::{read_frame, write_frame, FrameError, Request, Response};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::net::UnixListener;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tunables for one [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Requests queued per shard before readers bounce `Backpressure`.
+    pub shard_queue_depth: usize,
+    /// Replies queued per connection before the slow consumer is evicted.
+    pub write_queue_depth: usize,
+    /// Max requests one executor wake-up handles back-to-back.
+    pub max_batch: usize,
+    /// Socket read timeout; bounds how fast readers notice shutdown.
+    pub read_timeout: Duration,
+    /// Socket write timeout; bounds how long a writer can stall.
+    pub write_timeout: Duration,
+    /// Whole-handshake deadline for a fresh connection.
+    pub handshake_timeout: Duration,
+    /// Client nonces remembered for replay detection.
+    pub nonce_history: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            shard_queue_depth: 1024,
+            write_queue_depth: 256,
+            max_batch: 32,
+            read_timeout: Duration::from_millis(50),
+            write_timeout: Duration::from_secs(5),
+            handshake_timeout: Duration::from_secs(2),
+            nonce_history: 4096,
+        }
+    }
+}
+
+/// A listener ready to hand to [`NetServer::start`], plus any filesystem
+/// cleanup it owes (UDS socket files).
+pub struct BoundAcceptor {
+    acceptor: Box<dyn NetAcceptor>,
+    cleanup: Option<PathBuf>,
+}
+
+impl BoundAcceptor {
+    /// Binds a TCP listener; returns the acceptor and the actual bound
+    /// address (useful with port 0).
+    pub fn tcp(addr: &str) -> io::Result<(BoundAcceptor, SocketAddr)> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        Ok((
+            BoundAcceptor {
+                acceptor: tcp_acceptor(listener)?,
+                cleanup: None,
+            },
+            local,
+        ))
+    }
+
+    /// Binds a Unix-domain socket, replacing any stale socket file.
+    pub fn uds(path: &Path) -> io::Result<BoundAcceptor> {
+        if path.exists() {
+            std::fs::remove_file(path)?;
+        }
+        let listener = UnixListener::bind(path)?;
+        Ok(BoundAcceptor {
+            acceptor: uds_acceptor(listener)?,
+            cleanup: Some(path.to_path_buf()),
+        })
+    }
+}
+
+/// One unit of work: a request, the channel it rode in on, and the
+/// connection its reply must go back to.
+struct Work {
+    conn: Arc<ConnHandle>,
+    channel: u64,
+    request: Request,
+}
+
+/// Everything the server's threads share.
+struct Shared {
+    fleet: Arc<BrokerFleet>,
+    keys: TenantKeys,
+    ledger: NonceLedger,
+    nonces: NonceGen,
+    stats: Arc<NetStats>,
+    config: NetConfig,
+    /// Flipped first: acceptors stop accepting, readers stop reading.
+    shutdown: Arc<AtomicBool>,
+    /// Flipped after readers are joined: executors may exit once their
+    /// queue is empty (nothing can enqueue anymore).
+    drained: AtomicBool,
+    conn_ids: AtomicU64,
+    /// `(shard, session id)` → owning connection id. Keyed per shard
+    /// because each shard numbers its sessions independently.
+    owners: Mutex<HashMap<(usize, u64), u64>>,
+    shard_txs: Vec<SyncSender<Work>>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+    writers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// What [`NetServer::shutdown`] observed.
+#[derive(Debug, Clone)]
+pub struct ShutdownReport {
+    /// Every shard journal reached stable storage (vacuously true for
+    /// journal-less shards).
+    pub journals_synced: bool,
+    /// Connections accepted over the server's lifetime.
+    pub connections_served: u64,
+    /// Requests executed over the server's lifetime (all shards).
+    pub frames_handled: u64,
+}
+
+/// A running front-end over a [`BrokerFleet`].
+pub struct NetServer {
+    shared: Arc<Shared>,
+    acceptors: Vec<JoinHandle<()>>,
+    executors: Vec<JoinHandle<()>>,
+    cleanup: Vec<PathBuf>,
+}
+
+impl NetServer {
+    /// Spawns acceptor and executor threads and starts serving.
+    pub fn start(
+        fleet: Arc<BrokerFleet>,
+        keys: TenantKeys,
+        config: NetConfig,
+        acceptors: Vec<BoundAcceptor>,
+    ) -> NetServer {
+        let mut shard_txs = Vec::with_capacity(fleet.shard_count());
+        let mut shard_rxs = Vec::with_capacity(fleet.shard_count());
+        for _ in 0..fleet.shard_count() {
+            let (tx, rx) = std::sync::mpsc::sync_channel(config.shard_queue_depth.max(1));
+            shard_txs.push(tx);
+            shard_rxs.push(rx);
+        }
+        let shared = Arc::new(Shared {
+            ledger: NonceLedger::new(config.nonce_history),
+            nonces: NonceGen::new("heimdall-net-server"),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            drained: AtomicBool::new(false),
+            conn_ids: AtomicU64::new(1),
+            owners: Mutex::new(HashMap::new()),
+            shard_txs,
+            readers: Mutex::new(Vec::new()),
+            writers: Mutex::new(Vec::new()),
+            fleet,
+            keys,
+            config,
+            stats: Arc::new(NetStats::new()),
+        });
+        let executors = shard_rxs
+            .into_iter()
+            .enumerate()
+            .map(|(i, rx)| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || executor_loop(&shared, i, rx))
+            })
+            .collect();
+        let mut cleanup = Vec::new();
+        let acceptors = acceptors
+            .into_iter()
+            .map(|bound| {
+                if let Some(path) = bound.cleanup {
+                    cleanup.push(path);
+                }
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || acceptor_loop(&shared, bound.acceptor))
+            })
+            .collect();
+        NetServer {
+            shared,
+            acceptors,
+            executors,
+            cleanup,
+        }
+    }
+
+    /// Net-layer counters (handshakes, rejects, evictions, batches).
+    pub fn net_stats(&self) -> NetStatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// The fleet this server fronts.
+    pub fn fleet(&self) -> &Arc<BrokerFleet> {
+        &self.shared.fleet
+    }
+
+    /// Graceful stop: quiesce intake, drain every queued request, flush
+    /// replies, sync every journal, unlink UDS socket files.
+    pub fn shutdown(self) -> ShutdownReport {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for h in self.acceptors {
+            let _ = h.join();
+        }
+        // Acceptors are done, so the reader set is final now.
+        let readers = std::mem::take(&mut *self.shared.readers.lock());
+        for h in readers {
+            let _ = h.join();
+        }
+        // Nothing can enqueue anymore: let executors drain and exit.
+        self.shared.drained.store(true, Ordering::Release);
+        for h in self.executors {
+            let _ = h.join();
+        }
+        // Executors dropped their ConnHandles; writers flush and exit.
+        let writers = std::mem::take(&mut *self.shared.writers.lock());
+        for h in writers {
+            let _ = h.join();
+        }
+        let journals_synced = self.shared.fleet.sync_journals();
+        for path in &self.cleanup {
+            let _ = std::fs::remove_file(path);
+        }
+        let stats = self.shared.stats.snapshot();
+        ShutdownReport {
+            journals_synced,
+            connections_served: stats.connections_opened,
+            frames_handled: stats.batched_frames,
+        }
+    }
+}
+
+fn acceptor_loop(shared: &Arc<Shared>, acceptor: Box<dyn NetAcceptor>) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match acceptor.poll_accept() {
+            Ok(Some(stream)) => {
+                let shared2 = Arc::clone(shared);
+                let handle = std::thread::spawn(move || run_connection(&shared2, stream));
+                shared.readers.lock().push(handle);
+            }
+            Ok(None) => std::thread::sleep(Duration::from_millis(2)),
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// One connection, handshake to hangup. Runs on the reader thread.
+fn run_connection(shared: &Arc<Shared>, mut stream: Box<dyn NetStream>) {
+    NetStats::bump(&shared.stats.connections_opened);
+    let _ = stream.set_stream_read_timeout(Some(shared.config.handshake_timeout));
+    let tenant = match server_handshake(&mut stream, &shared.keys, &shared.ledger, &shared.nonces) {
+        Ok(tenant) => tenant,
+        Err(HandshakeError::Rejected(reason, _)) => {
+            shared.stats.count_reject(reason);
+            NetStats::bump(&shared.stats.connections_closed);
+            return;
+        }
+        Err(HandshakeError::Transport(_)) => {
+            NetStats::bump(&shared.stats.protocol_errors);
+            NetStats::bump(&shared.stats.connections_closed);
+            return;
+        }
+    };
+    let shard = shared.fleet.route(&tenant);
+    let conn_id = shared.conn_ids.fetch_add(1, Ordering::Relaxed);
+    let (control, write_half) = match (stream.try_clone_stream(), stream.try_clone_stream()) {
+        (Ok(c), Ok(w)) => (c, w),
+        _ => {
+            NetStats::bump(&shared.stats.connections_closed);
+            return;
+        }
+    };
+    let _ = write_half.set_stream_write_timeout(Some(shared.config.write_timeout));
+    let (conn, reply_rx) = ConnHandle::new(
+        conn_id,
+        tenant.clone(),
+        shard,
+        shared.config.write_queue_depth,
+        control,
+    );
+    {
+        let stats = Arc::clone(&shared.stats);
+        let writer = std::thread::spawn(move || writer_loop(write_half, reply_rx, &stats));
+        shared.writers.lock().push(writer);
+    }
+    conn.push(ServerFrame::Welcome {
+        tenant: tenant.clone(),
+        shard,
+    });
+    NetStats::bump(&shared.stats.handshakes_ok);
+
+    let _ = stream.set_stream_read_timeout(Some(shared.config.read_timeout));
+    let shard_tx = shared.shard_txs[shard].clone();
+    let mut reader = PatientReader::new(stream, Arc::clone(&shared.shutdown));
+    loop {
+        if conn.is_evicted() {
+            break;
+        }
+        match read_frame::<_, ClientFrame>(&mut reader) {
+            Ok(ClientFrame::Mux { channel, request }) => {
+                NetStats::bump(&shared.stats.frames_in);
+                let work = Work {
+                    conn: Arc::clone(&conn),
+                    channel,
+                    request,
+                };
+                match shard_tx.try_send(work) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => {
+                        shared.stats.count_reject(RejectReason::Backpressure);
+                        conn.push(ServerFrame::Reject {
+                            channel: Some(channel),
+                            reason: RejectReason::Backpressure,
+                            message: format!("shard {shard} queue is full, retry"),
+                        });
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+            Ok(ClientFrame::Bye) => break,
+            Ok(ClientFrame::Hello { .. }) | Ok(ClientFrame::Proof { .. }) => {
+                shared.stats.count_reject(RejectReason::BadFrame);
+                conn.push(ServerFrame::Reject {
+                    channel: None,
+                    reason: RejectReason::BadFrame,
+                    message: "connection is already authenticated".into(),
+                });
+            }
+            Err(FrameError::Io(e)) if e.kind() == SHUTDOWN_MARKER => {
+                conn.push(ServerFrame::ShuttingDown);
+                break;
+            }
+            Err(FrameError::Codec(m)) => {
+                NetStats::bump(&shared.stats.protocol_errors);
+                conn.push(ServerFrame::Reject {
+                    channel: None,
+                    reason: RejectReason::BadFrame,
+                    message: m,
+                });
+            }
+            Err(FrameError::Closed) => break,
+            Err(_) => {
+                // Truncated / TooLarge / transport error: cannot resync.
+                NetStats::bump(&shared.stats.protocol_errors);
+                break;
+            }
+        }
+    }
+    // This connection's session claims die with it; the sessions
+    // themselves live on in the broker until finished or idle-evicted.
+    shared.owners.lock().retain(|_, owner| *owner != conn_id);
+    NetStats::bump(&shared.stats.connections_closed);
+}
+
+fn writer_loop(
+    mut stream: Box<dyn NetStream>,
+    replies: Receiver<ServerFrame>,
+    stats: &Arc<NetStats>,
+) {
+    while let Ok(frame) = replies.recv() {
+        if write_frame(&mut stream, &frame).is_err() {
+            break;
+        }
+        NetStats::bump(&stats.frames_out);
+    }
+    stream.shutdown_stream();
+}
+
+fn executor_loop(shared: &Arc<Shared>, shard: usize, rx: Receiver<Work>) {
+    let broker = Arc::clone(shared.fleet.shard(shard));
+    loop {
+        match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(first) => {
+                let mut batch = Vec::with_capacity(shared.config.max_batch.max(1));
+                batch.push(first);
+                while batch.len() < shared.config.max_batch.max(1) {
+                    match rx.try_recv() {
+                        Ok(work) => batch.push(work),
+                        Err(_) => break,
+                    }
+                }
+                NetStats::bump(&shared.stats.batches);
+                shared
+                    .stats
+                    .batched_frames
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                for work in batch {
+                    handle_work(shared, shard, &broker, work);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.drained.load(Ordering::Acquire) {
+                    // Final sweep: producers are gone, empty means done.
+                    while let Ok(work) = rx.try_recv() {
+                        NetStats::bump(&shared.stats.batches);
+                        shared.stats.batched_frames.fetch_add(1, Ordering::Relaxed);
+                        handle_work(shared, shard, &broker, work);
+                    }
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+/// The session id a request addresses, when it addresses one.
+fn session_of(request: &Request) -> Option<u64> {
+    match request {
+        Request::Exec { session, .. }
+        | Request::TopologyView { session }
+        | Request::Finish { session } => Some(session.0),
+        Request::AnalyzeQuery {
+            session: Some(id), ..
+        } => Some(id.0),
+        _ => None,
+    }
+}
+
+/// Net-layer guards, then one broker round-trip, then the reply push.
+/// Runs on the shard's executor thread.
+fn handle_work(
+    shared: &Arc<Shared>,
+    shard: usize,
+    broker: &Arc<heimdall_service::Broker>,
+    work: Work,
+) {
+    let Work {
+        conn,
+        channel,
+        mut request,
+    } = work;
+    let reject = |reason: RejectReason, message: String| {
+        shared.stats.count_reject(reason);
+        conn.push(ServerFrame::Reject {
+            channel: Some(channel),
+            reason,
+            message,
+        });
+    };
+    // Attribution guard: a session is opened *as* the authenticated
+    // tenant. An empty technician inherits the connection identity;
+    // naming anyone else is a typed mismatch.
+    if let Request::OpenSession { technician, .. } = &mut request {
+        if technician.is_empty() {
+            *technician = conn.tenant.clone();
+        } else if *technician != conn.tenant {
+            reject(
+                RejectReason::IdentityMismatch,
+                format!(
+                    "connection is authenticated as {:?}, not {technician:?}",
+                    conn.tenant
+                ),
+            );
+            return;
+        }
+    }
+    // Ownership guard: session handles are connection-scoped capabilities
+    // at the net layer. A claimed session owned by another connection is
+    // refused without touching the broker (no oracle about its state).
+    if let Some(sid) = session_of(&request) {
+        let owners = shared.owners.lock();
+        if let Some(owner) = owners.get(&(shard, sid)) {
+            if *owner != conn.id {
+                drop(owners);
+                reject(
+                    RejectReason::ForeignSession,
+                    format!("session s{sid} belongs to another connection"),
+                );
+                return;
+            }
+        }
+    }
+    let is_finish = matches!(request, Request::Finish { .. });
+    let claimed = session_of(&request);
+    let response = match request {
+        // Stats goes through the exchange API: the caller sees the whole
+        // fleet, not just their home shard.
+        Request::Stats => Response::Stats {
+            snapshot: shared.fleet.aggregate_stats(),
+        },
+        other => broker.handle(other),
+    };
+    match &response {
+        Response::SessionOpened { session, .. } => {
+            shared.owners.lock().insert((shard, session.0), conn.id);
+        }
+        Response::Finished { .. } if is_finish => {
+            if let Some(sid) = claimed {
+                shared.owners.lock().remove(&(shard, sid));
+            }
+        }
+        Response::Error {
+            kind: heimdall_service::proto::ErrorKind::SessionNotFound,
+            ..
+        } => {
+            // The broker no longer knows the session (finished elsewhere
+            // or idle-evicted): drop any stale claim.
+            if let Some(sid) = claimed {
+                shared.owners.lock().remove(&(shard, sid));
+            }
+        }
+        _ => {}
+    }
+    if conn.push(ServerFrame::Mux { channel, response }) == PushOutcome::Evicted {
+        shared.stats.count_reject(RejectReason::SlowConsumer);
+    }
+}

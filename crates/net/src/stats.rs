@@ -1,0 +1,179 @@
+//! Net-layer counters: every typed rejection, eviction, and batch has a
+//! number, so auth failures and misbehaving clients are visible in
+//! monitoring — not just in per-connection error replies.
+
+use crate::wire::RejectReason;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free counters for one [`crate::server::NetServer`].
+#[derive(Default)]
+pub struct NetStats {
+    pub connections_opened: AtomicU64,
+    pub connections_closed: AtomicU64,
+    pub handshakes_ok: AtomicU64,
+    pub rejects_unknown_tenant: AtomicU64,
+    pub rejects_bad_mac: AtomicU64,
+    pub rejects_replayed_nonce: AtomicU64,
+    pub rejects_unauthenticated: AtomicU64,
+    pub rejects_identity_mismatch: AtomicU64,
+    pub rejects_foreign_session: AtomicU64,
+    pub rejects_bad_frame: AtomicU64,
+    /// Requests bounced because the home shard's queue was full.
+    pub rejects_backpressure: AtomicU64,
+    /// Connections killed because their bounded write queue overflowed.
+    pub slow_consumer_evictions: AtomicU64,
+    pub frames_in: AtomicU64,
+    pub frames_out: AtomicU64,
+    /// Executor wake-ups that handled at least one request.
+    pub batches: AtomicU64,
+    /// Requests handled across all batches (mean batch depth =
+    /// `batched_frames / batches`).
+    pub batched_frames: AtomicU64,
+    /// Frames that failed to decode or arrived out of protocol.
+    pub protocol_errors: AtomicU64,
+}
+
+impl NetStats {
+    pub fn new() -> NetStats {
+        NetStats::default()
+    }
+
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Routes a typed rejection to its dedicated counter.
+    pub fn count_reject(&self, reason: RejectReason) {
+        let counter = match reason {
+            RejectReason::UnknownTenant => &self.rejects_unknown_tenant,
+            RejectReason::BadMac => &self.rejects_bad_mac,
+            RejectReason::ReplayedNonce => &self.rejects_replayed_nonce,
+            RejectReason::NotAuthenticated => &self.rejects_unauthenticated,
+            RejectReason::IdentityMismatch => &self.rejects_identity_mismatch,
+            RejectReason::ForeignSession => &self.rejects_foreign_session,
+            RejectReason::SlowConsumer => &self.slow_consumer_evictions,
+            RejectReason::Backpressure => &self.rejects_backpressure,
+            RejectReason::BadFrame => &self.rejects_bad_frame,
+        };
+        NetStats::bump(counter);
+    }
+
+    pub fn snapshot(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            connections_opened: self.connections_opened.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.load(Ordering::Relaxed),
+            handshakes_ok: self.handshakes_ok.load(Ordering::Relaxed),
+            rejects_unknown_tenant: self.rejects_unknown_tenant.load(Ordering::Relaxed),
+            rejects_bad_mac: self.rejects_bad_mac.load(Ordering::Relaxed),
+            rejects_replayed_nonce: self.rejects_replayed_nonce.load(Ordering::Relaxed),
+            rejects_unauthenticated: self.rejects_unauthenticated.load(Ordering::Relaxed),
+            rejects_identity_mismatch: self.rejects_identity_mismatch.load(Ordering::Relaxed),
+            rejects_foreign_session: self.rejects_foreign_session.load(Ordering::Relaxed),
+            rejects_bad_frame: self.rejects_bad_frame.load(Ordering::Relaxed),
+            rejects_backpressure: self.rejects_backpressure.load(Ordering::Relaxed),
+            slow_consumer_evictions: self.slow_consumer_evictions.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_frames: self.batched_frames.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`NetStats`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStatsSnapshot {
+    pub connections_opened: u64,
+    pub connections_closed: u64,
+    pub handshakes_ok: u64,
+    pub rejects_unknown_tenant: u64,
+    pub rejects_bad_mac: u64,
+    pub rejects_replayed_nonce: u64,
+    pub rejects_unauthenticated: u64,
+    pub rejects_identity_mismatch: u64,
+    pub rejects_foreign_session: u64,
+    pub rejects_bad_frame: u64,
+    pub rejects_backpressure: u64,
+    pub slow_consumer_evictions: u64,
+    pub frames_in: u64,
+    pub frames_out: u64,
+    pub batches: u64,
+    pub batched_frames: u64,
+    pub protocol_errors: u64,
+}
+
+impl fmt::Display for NetStatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "conns:    {} opened / {} closed, {} handshakes ok",
+            self.connections_opened, self.connections_closed, self.handshakes_ok
+        )?;
+        writeln!(
+            f,
+            "rejects:  {} unknown-tenant, {} bad-mac, {} replayed-nonce, {} unauthenticated",
+            self.rejects_unknown_tenant,
+            self.rejects_bad_mac,
+            self.rejects_replayed_nonce,
+            self.rejects_unauthenticated
+        )?;
+        writeln!(
+            f,
+            "          {} identity-mismatch, {} foreign-session, {} bad-frame, {} backpressure",
+            self.rejects_identity_mismatch,
+            self.rejects_foreign_session,
+            self.rejects_bad_frame,
+            self.rejects_backpressure
+        )?;
+        write!(
+            f,
+            "traffic:  {} in / {} out, {} batches ({} framed), {} slow-consumer evictions, {} protocol errors",
+            self.frames_in,
+            self.frames_out,
+            self.batches,
+            self.batched_frames,
+            self.slow_consumer_evictions,
+            self.protocol_errors
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_reject_reason_lands_in_its_own_counter() {
+        let stats = NetStats::new();
+        let reasons = [
+            RejectReason::UnknownTenant,
+            RejectReason::BadMac,
+            RejectReason::ReplayedNonce,
+            RejectReason::NotAuthenticated,
+            RejectReason::IdentityMismatch,
+            RejectReason::ForeignSession,
+            RejectReason::SlowConsumer,
+            RejectReason::Backpressure,
+            RejectReason::BadFrame,
+        ];
+        for r in reasons {
+            stats.count_reject(r);
+        }
+        let snap = stats.snapshot();
+        assert_eq!(snap.rejects_unknown_tenant, 1);
+        assert_eq!(snap.rejects_bad_mac, 1);
+        assert_eq!(snap.rejects_replayed_nonce, 1);
+        assert_eq!(snap.rejects_unauthenticated, 1);
+        assert_eq!(snap.rejects_identity_mismatch, 1);
+        assert_eq!(snap.rejects_foreign_session, 1);
+        assert_eq!(snap.slow_consumer_evictions, 1);
+        assert_eq!(snap.rejects_backpressure, 1);
+        assert_eq!(snap.rejects_bad_frame, 1);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: NetStatsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,166 @@
+//! Net-layer framing: handshake and multiplexing envelopes.
+//!
+//! The broker's `Request`/`Response` vocabulary is unchanged — this
+//! module wraps it. A connection starts with a three-frame handshake
+//! (`Hello` → `Challenge` → `Proof`), after which every broker request
+//! rides in a [`ClientFrame::Mux`] tagged with a client-chosen channel
+//! id, and every reply comes back in a [`ServerFrame::Mux`] carrying the
+//! same tag. Channels let one connection host many logical sessions
+//! concurrently: replies are matched by tag, not by position, so a slow
+//! `Finish` on one channel never head-of-line-blocks a `Stats` poll on
+//! another.
+//!
+//! Everything the server refuses at the net layer — before a request
+//! ever reaches a broker shard — is a typed [`ServerFrame::Reject`]
+//! carrying a [`RejectReason`], mirrored into
+//! [`crate::stats::NetStats`].
+
+use heimdall_service::proto::{Request, Response};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Frames a client sends.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClientFrame {
+    /// Opens the handshake: the tenant this connection will speak for,
+    /// plus a client nonce mixed into the proof so a recorded exchange
+    /// cannot be replayed against a future challenge.
+    Hello { tenant: String, nonce: String },
+    /// Answers the server's [`ServerFrame::Challenge`]:
+    /// `hex(HMAC(key, "heimdall-net-v1|tenant|client_nonce|server_nonce"))`.
+    Proof { mac: String },
+    /// One multiplexed broker request on a client-chosen channel.
+    Mux { channel: u64, request: Request },
+    /// Polite end-of-connection; the server drops the connection after
+    /// flushing queued replies.
+    Bye,
+}
+
+/// Frames the server sends.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServerFrame {
+    /// The server nonce the client must bind into its proof.
+    Challenge { nonce: String },
+    /// Handshake accepted: the connection is bound to `tenant`, homed on
+    /// broker shard `shard`.
+    Welcome { tenant: String, shard: usize },
+    /// The reply for the request sent on `channel`.
+    Mux { channel: u64, response: Response },
+    /// A net-layer refusal. `channel` is the offending request's channel
+    /// when one exists; handshake-time rejects carry `None`.
+    Reject {
+        channel: Option<u64>,
+        reason: RejectReason,
+        message: String,
+    },
+    /// Graceful shutdown: the server stops reading; already-queued
+    /// replies still arrive before the stream closes.
+    ShuttingDown,
+}
+
+/// Why the net layer refused a frame. Each variant has a dedicated
+/// counter in [`crate::stats::NetStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// `Hello` named a tenant with no registered key.
+    UnknownTenant,
+    /// The proof MAC did not verify against the tenant's key.
+    BadMac,
+    /// The client nonce was already used by an earlier handshake.
+    ReplayedNonce,
+    /// A non-handshake frame arrived before authentication completed.
+    NotAuthenticated,
+    /// An `OpenSession` named a technician other than the authenticated
+    /// tenant.
+    IdentityMismatch,
+    /// The frame addressed a session opened by a different connection.
+    ForeignSession,
+    /// The connection's write queue overflowed; the connection is being
+    /// evicted.
+    SlowConsumer,
+    /// The home shard's request queue is full; retry later.
+    Backpressure,
+    /// The frame decoded but was not meaningful at this point in the
+    /// protocol (e.g. a second `Hello`).
+    BadFrame,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RejectReason::UnknownTenant => "unknown tenant",
+            RejectReason::BadMac => "bad mac",
+            RejectReason::ReplayedNonce => "replayed nonce",
+            RejectReason::NotAuthenticated => "not authenticated",
+            RejectReason::IdentityMismatch => "identity mismatch",
+            RejectReason::ForeignSession => "foreign session",
+            RejectReason::SlowConsumer => "slow consumer",
+            RejectReason::Backpressure => "backpressure",
+            RejectReason::BadFrame => "bad frame",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_json() {
+        let frames = vec![
+            ClientFrame::Hello {
+                tenant: "tech01".into(),
+                nonce: "abc".into(),
+            },
+            ClientFrame::Proof { mac: "00ff".into() },
+            ClientFrame::Mux {
+                channel: 7,
+                request: Request::Stats,
+            },
+            ClientFrame::Bye,
+        ];
+        for f in frames {
+            let json = serde_json::to_string(&f).unwrap();
+            let back: ClientFrame = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, f);
+        }
+        let rejects = vec![
+            ServerFrame::Challenge { nonce: "n".into() },
+            ServerFrame::Welcome {
+                tenant: "tech01".into(),
+                shard: 3,
+            },
+            ServerFrame::Reject {
+                channel: Some(7),
+                reason: RejectReason::ForeignSession,
+                message: "session s9 belongs to another connection".into(),
+            },
+            ServerFrame::ShuttingDown,
+        ];
+        for f in rejects {
+            let json = serde_json::to_string(&f).unwrap();
+            let back: ServerFrame = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn reject_reasons_display_distinctly() {
+        let all = [
+            RejectReason::UnknownTenant,
+            RejectReason::BadMac,
+            RejectReason::ReplayedNonce,
+            RejectReason::NotAuthenticated,
+            RejectReason::IdentityMismatch,
+            RejectReason::ForeignSession,
+            RejectReason::SlowConsumer,
+            RejectReason::Backpressure,
+            RejectReason::BadFrame,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for r in all {
+            assert!(seen.insert(r.to_string()), "duplicate display for {r:?}");
+        }
+    }
+}

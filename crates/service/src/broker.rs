@@ -503,6 +503,33 @@ impl Broker {
         self.journal.as_ref().map(|w| w.durable())
     }
 
+    /// Derives the privilege spec (and its static-analysis report) for a
+    /// task shape against current production, without opening a session.
+    ///
+    /// This is the cross-shard exchange primitive: a fleet router asks
+    /// each home shard for its tenant's derived spec, then composes the
+    /// pair with `analyze_pair` — no shard ever takes another shard's
+    /// locks. Hits the same epoch-guarded memo as session intake.
+    pub fn derive_for(&self, task: &Task) -> (PrivilegeMsp, Arc<AnalysisReport>) {
+        let (production, epoch) = self.guard.snapshot_with_epoch();
+        self.privileges_for(&production, epoch, task)
+    }
+
+    /// Flushes the journal to stable storage via a sync barrier. Returns
+    /// `true` when durable (or when the broker has no journal, where the
+    /// barrier is vacuous); on failure bumps `journal_errors` and returns
+    /// `false`, matching the broker's count-don't-propagate WAL policy.
+    pub fn sync_journal(&self) -> bool {
+        let Some(wal) = &self.journal else {
+            return true;
+        };
+        if wal.sync_barrier().is_err() {
+            ServiceStats::bump(&self.stats.journal_errors);
+            return false;
+        }
+        true
+    }
+
     /// Privileges for a task shape — plus the static-analysis report on
     /// them — derived once per shape per production epoch.
     ///

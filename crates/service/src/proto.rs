@@ -517,4 +517,65 @@ mod tests {
             Err(FrameError::Closed)
         ));
     }
+
+    /// Delivers bytes one at a time, the worst-case fragmentation a real
+    /// socket can produce. `read_frame` must reassemble across however
+    /// many partial reads the kernel hands it.
+    struct Trickle {
+        data: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos >= self.data.len() || buf.is_empty() {
+                return Ok(0); // EOF
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn byte_at_a_time_delivery_reassembles() {
+        let mut buf: Vec<u8> = Vec::new();
+        let req = Request::OpenSession {
+            technician: "alice".into(),
+            ticket: ticket(),
+        };
+        write_frame(&mut buf, &req).unwrap();
+        write_frame(&mut buf, &Request::Stats).unwrap();
+        let mut stream = Trickle { data: buf, pos: 0 };
+        let first: Request = read_frame(&mut stream).unwrap();
+        assert_eq!(first, req);
+        let second: Request = read_frame(&mut stream).unwrap();
+        assert!(matches!(second, Request::Stats));
+        assert!(matches!(
+            read_frame::<_, Request>(&mut stream),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn byte_at_a_time_truncation_at_every_offset() {
+        // A peer that trickles a frame byte-by-byte then dies mid-frame
+        // must surface as the typed `Truncated` at every possible cut —
+        // never a hang, never a spurious clean `Closed`.
+        let mut buf: Vec<u8> = Vec::new();
+        write_frame(&mut buf, &Request::Stats).unwrap();
+        for cut in 1..buf.len() {
+            let mut stream = Trickle {
+                data: buf[..cut].to_vec(),
+                pos: 0,
+            };
+            assert!(
+                matches!(
+                    read_frame::<_, Request>(&mut stream),
+                    Err(FrameError::Truncated)
+                ),
+                "trickled cut at {cut} should be Truncated"
+            );
+        }
+    }
 }

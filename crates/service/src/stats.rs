@@ -111,6 +111,37 @@ pub struct StatsSnapshot {
     pub finish_count: u64,
 }
 
+impl StatsSnapshot {
+    /// Folds another shard's snapshot into this one for fleet-wide
+    /// aggregation. Counters add; latency quantiles take the max across
+    /// shards (a conservative ceiling — true fleet quantiles would need
+    /// the underlying histograms, which don't travel in snapshots).
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        self.sessions_opened += other.sessions_opened;
+        self.sessions_finished += other.sessions_finished;
+        self.sessions_evicted += other.sessions_evicted;
+        self.commands_mediated += other.commands_mediated;
+        self.denials += other.denials;
+        self.commits_applied += other.commits_applied;
+        self.commits_rejected += other.commits_rejected;
+        self.commit_conflicts += other.commit_conflicts;
+        self.rate_limited += other.rate_limited;
+        self.analysis_findings += other.analysis_findings;
+        self.analysis_denials += other.analysis_denials;
+        self.journal_errors += other.journal_errors;
+        self.records_replayed += other.records_replayed;
+        self.torn_bytes_discarded += other.torn_bytes_discarded;
+        self.segments_compacted += other.segments_compacted;
+        self.recovered_sessions_evicted += other.recovered_sessions_evicted;
+        self.exec_p50_ns = self.exec_p50_ns.max(other.exec_p50_ns);
+        self.exec_p99_ns = self.exec_p99_ns.max(other.exec_p99_ns);
+        self.exec_count += other.exec_count;
+        self.finish_p50_ns = self.finish_p50_ns.max(other.finish_p50_ns);
+        self.finish_p99_ns = self.finish_p99_ns.max(other.finish_p99_ns);
+        self.finish_count += other.finish_count;
+    }
+}
+
 fn fmt_ns(ns: u64) -> String {
     if ns >= 1_000_000 {
         format!("{:.2}ms", ns as f64 / 1e6)
@@ -189,5 +220,25 @@ mod tests {
         let json = serde_json::to_string(&snap).unwrap();
         let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_takes_max_quantiles() {
+        let a = ServiceStats::new();
+        ServiceStats::bump(&a.sessions_opened);
+        ServiceStats::bump(&a.commands_mediated);
+        a.exec_latency.record(Duration::from_micros(2));
+        let b = ServiceStats::new();
+        ServiceStats::bump(&b.sessions_opened);
+        ServiceStats::bump(&b.denials);
+        b.exec_latency.record(Duration::from_millis(4));
+        let mut merged = a.snapshot();
+        let snap_b = b.snapshot();
+        merged.merge(&snap_b);
+        assert_eq!(merged.sessions_opened, 2);
+        assert_eq!(merged.commands_mediated, 1);
+        assert_eq!(merged.denials, 1);
+        assert_eq!(merged.exec_count, 2);
+        assert_eq!(merged.exec_p99_ns, snap_b.exec_p99_ns, "max wins");
     }
 }

@@ -1,13 +1,15 @@
-//! Serving-mode demo: one broker, one shared production network, 33
-//! technicians working at the same time over framed in-process
-//! connections.
+//! Serving-mode demo: one broker fleet, one shared production network,
+//! 33 technicians working at the same time over a real Unix-domain
+//! socket through the heimdall-net front-end.
 //!
 //! Technician 0 holds the canonical Figure-6 repair ticket (the fw1 ACL
 //! misconfiguration); the other 32 run routing tickets that each add one
-//! unique static route on fw1 — maximal base-fingerprint contention. The
-//! demo asserts the broker's contract end to end: every commit lands
-//! exactly once, the ACL repair heals the mined policies, and the shared
-//! audit chain verifies. It then walks the observability surface: the
+//! unique static route on fw1 — maximal base-fingerprint contention.
+//! Every technician authenticates with a per-tenant HMAC handshake and
+//! opens sessions attributed to that connection identity. The demo
+//! asserts the broker's contract end to end: every commit lands exactly
+//! once, the ACL repair heals the mined policies, and the shared audit
+//! chain verifies. It then walks the observability surface: the
 //! Prometheus exposition, an audit-record trace id resolved back to its
 //! span tree via `TraceQuery`, and a flight-recorder drill on a second
 //! broker. On the main broker no anomaly may fire; if one does, the demo
@@ -15,52 +17,63 @@
 //! non-zero. Two closing drills exercise the persistence story: the
 //! audit chain is archived to JSON, reloaded verified, and a tampered
 //! copy rejected; then a journaling broker is power-cut mid-service and
-//! recovered with every acknowledged commit intact. Exit code 0 means
-//! all of that held.
+//! recovered with every acknowledged commit intact. Finally the net
+//! server is shut down gracefully — CI greps for the `net shutdown:
+//! clean` line. Exit code 0 means all of that held.
 
 use heimdall::enforcer::audit::AuditLog;
+use heimdall::net::{BoundAcceptor, BrokerFleet, NetClient, NetConfig, NetServer, TenantKeys};
 use heimdall::netmodel::acl::AclAction;
 use heimdall::netmodel::gen::enterprise_network;
 use heimdall::netmodel::topology::Network;
 use heimdall::obs::{ObsConfig, Resolution, SloRule};
 use heimdall::privilege::derive::{Task, TaskKind};
 use heimdall::routing::converge;
-use heimdall::service::{
-    read_frame, write_frame, Broker, BrokerConfig, PipeEnd, Request, Response, SessionService,
-};
+use heimdall::service::{Broker, BrokerConfig, Request, Response};
 use heimdall::store::MemStorage;
 use heimdall::telemetry::{RecorderConfig, TelemetryConfig};
 use heimdall::verify::checker::check_policies;
 use heimdall::verify::mine::{mine_policies, MinerInput};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::thread;
 
 /// Route-adding technicians, on top of the one ACL-repair technician.
 const ROUTE_TECHS: usize = 32;
 
-fn send(conn: &mut PipeEnd, req: &Request) -> Response {
-    write_frame(conn, req).expect("write frame");
-    read_frame(conn).expect("read frame")
+/// Per-tenant pre-shared key; a real deployment would provision these.
+fn key_for(tenant: &str) -> Vec<u8> {
+    format!("demo-key-{tenant}").into_bytes()
 }
 
-fn open(conn: &mut PipeEnd, technician: &str, ticket: Task) -> heimdall::service::SessionId {
+fn connect(path: &Path, tenant: &str) -> NetClient {
+    NetClient::connect_uds(path, tenant, &key_for(tenant)).expect("connect + handshake")
+}
+
+fn send(conn: &mut NetClient, req: Request) -> Response {
+    conn.call(req).expect("net call")
+}
+
+/// Opens a session attributed to the connection's authenticated tenant
+/// (empty technician field = inherit the handshake identity).
+fn open(conn: &mut NetClient, ticket: Task) -> heimdall::service::SessionId {
     let resp = send(
         conn,
-        &Request::OpenSession {
-            technician: technician.to_string(),
+        Request::OpenSession {
+            technician: String::new(),
             ticket,
         },
     );
     match resp {
         Response::SessionOpened { session, .. } => session,
-        other => panic!("{technician}: expected SessionOpened, got {other:?}"),
+        other => panic!("{}: expected SessionOpened, got {other:?}", conn.tenant()),
     }
 }
 
-fn exec(conn: &mut PipeEnd, session: heimdall::service::SessionId, device: &str, line: &str) {
+fn exec(conn: &mut NetClient, session: heimdall::service::SessionId, device: &str, line: &str) {
     let resp = send(
         conn,
-        &Request::Exec {
+        Request::Exec {
             session,
             device: device.to_string(),
             line: line.to_string(),
@@ -72,8 +85,8 @@ fn exec(conn: &mut PipeEnd, session: heimdall::service::SessionId, device: &str,
 }
 
 /// `(applied, attempts)` from finishing the session.
-fn finish(conn: &mut PipeEnd, session: heimdall::service::SessionId) -> (bool, u32) {
-    let resp = send(conn, &Request::Finish { session });
+fn finish(conn: &mut NetClient, session: heimdall::service::SessionId) -> (bool, u32) {
+    let resp = send(conn, Request::Finish { session });
     match resp {
         Response::Finished {
             applied, attempts, ..
@@ -113,15 +126,32 @@ fn main() {
         },
         ..BrokerConfig::default()
     };
-    let service = Arc::new(SessionService::new(
-        Broker::new(production, policies, config),
-        8,  // workers: intentionally fewer than clients — backpressure path
-        64, // queue depth
-    ));
+    let fleet = Arc::new(BrokerFleet::new(vec![Arc::new(Broker::new(
+        production, policies, config,
+    ))]));
+
+    // Real transport: a Unix-domain socket in the temp dir, one
+    // authenticated connection per technician plus a control plane.
+    let sock: PathBuf =
+        std::env::temp_dir().join(format!("heimdall-demo-{}.sock", std::process::id()));
+    let mut keys = TenantKeys::new();
+    for i in 0..=ROUTE_TECHS {
+        let tenant = format!("tech{i:02}");
+        keys.insert(&tenant, &key_for(&tenant));
+    }
+    keys.insert("control", &key_for("control"));
+    let acceptor = BoundAcceptor::uds(&sock).expect("bind UDS");
+    let server = NetServer::start(
+        Arc::clone(&fleet),
+        keys,
+        NetConfig::default(),
+        vec![acceptor],
+    );
 
     println!(
-        "broker up: {} workers serving {} concurrent technician sessions",
-        8,
+        "broker up: {} shard(s) on {} serving {} concurrent technician sessions",
+        fleet.shard_count(),
+        sock.display(),
         ROUTE_TECHS + 1
     );
 
@@ -129,12 +159,11 @@ fn main() {
 
     // Technician 0: the canonical ACL repair.
     {
-        let service = Arc::clone(&service);
+        let sock = sock.clone();
         handles.push(thread::spawn(move || {
-            let mut conn = service.connect().expect("connect");
+            let mut conn = connect(&sock, "tech00");
             let session = open(
                 &mut conn,
-                "tech00",
                 Task {
                     kind: TaskKind::AccessControl,
                     affected: vec!["h4".to_string(), "srv1".to_string()],
@@ -155,13 +184,12 @@ fn main() {
 
     // Technicians 1..=32: one unique static route each, all on fw1.
     for i in 1..=ROUTE_TECHS {
-        let service = Arc::clone(&service);
+        let sock = sock.clone();
         handles.push(thread::spawn(move || {
-            let mut conn = service.connect().expect("connect");
+            let mut conn = connect(&sock, &format!("tech{i:02}"));
             let host = ["h1", "h4", "h7"][i % 3];
             let session = open(
                 &mut conn,
-                &format!("tech{i:02}"),
                 Task {
                     kind: TaskKind::Routing,
                     affected: vec![host.to_string(), "srv1".to_string()],
@@ -201,8 +229,9 @@ fn main() {
     assert_eq!(lost, 0, "no commit may be lost");
 
     // Control connection: stats + audit over the same wire protocol.
-    let mut conn = service.connect().expect("control connect");
-    let Response::Stats { snapshot } = send(&mut conn, &Request::Stats) else {
+    // `Stats` over the net front-end returns the fleet aggregate.
+    let mut conn = connect(&sock, "control");
+    let Response::Stats { snapshot } = send(&mut conn, Request::Stats) else {
         panic!("expected Stats");
     };
     println!("\n--- broker stats ---\n{snapshot}");
@@ -212,7 +241,7 @@ fn main() {
 
     let Response::Audit { entries } = send(
         &mut conn,
-        &Request::AuditQuery {
+        Request::AuditQuery {
             kind: None,
             actor: None,
         },
@@ -222,7 +251,7 @@ fn main() {
     println!("audit entries: {}", entries.len());
 
     // Observability: the Prometheus exposition over the same wire.
-    let Response::Telemetry { text } = send(&mut conn, &Request::Telemetry) else {
+    let Response::Telemetry { text } = send(&mut conn, Request::Telemetry) else {
         panic!("expected Telemetry");
     };
     println!("\n--- telemetry exposition (commit stage) ---");
@@ -241,7 +270,7 @@ fn main() {
     // the full span tree — the ticket-to-commit join the paper asks for.
     let Response::Audit { entries: applied } = send(
         &mut conn,
-        &Request::AuditQuery {
+        Request::AuditQuery {
             kind: Some(heimdall::enforcer::audit::AuditKind::ChangeApplied),
             actor: None,
         },
@@ -252,7 +281,7 @@ fn main() {
     assert_eq!(sample.trace.len(), 16, "applied commit must carry a trace");
     let Response::Trace { spans, .. } = send(
         &mut conn,
-        &Request::TraceQuery {
+        Request::TraceQuery {
             trace: sample.trace.clone(),
         },
     ) else {
@@ -280,11 +309,12 @@ fn main() {
             .any(|s| s.stage == heimdall::telemetry::Stage::Commit),
         "trace must reach the commit stage"
     );
+    conn.bye().ok();
     drop(conn);
 
     // The main broker saw expected contention only: any frozen dump here
     // is a real regression. CI greps for the marker below.
-    let dumps = service.broker().telemetry().recorder().dumps();
+    let dumps = fleet.shard(0).telemetry().recorder().dumps();
     for dump in &dumps {
         println!(
             "FLIGHT-RECORDER DUMP: {:?} at {}ns, {} spans\n{}",
@@ -295,7 +325,7 @@ fn main() {
 
     // Out-of-band ground truth: production healed, every route landed
     // exactly once, chain verifies.
-    let healed: Network = service.broker().production();
+    let healed: Network = fleet.shard(0).production();
     let fw1 = healed.device_by_name("fw1").expect("fw1");
     assert_eq!(
         fw1.config.acls["100"].entries[1].action,
@@ -314,10 +344,10 @@ fn main() {
     }
     let cp = converge(&healed);
     assert!(
-        check_policies(&healed, &cp, service.broker().policies()).all_hold(),
+        check_policies(&healed, &cp, fleet.shard(0).policies()).all_hold(),
         "mined policies must hold on healed production"
     );
-    assert!(service.broker().verify_audit(), "audit chain must verify");
+    assert!(fleet.shard(0).verify_audit(), "audit chain must verify");
 
     // Flight-recorder drill, on a broker of its own: a probing session
     // hammers a destructive command until the denial-burst trigger
@@ -377,18 +407,18 @@ fn main() {
     // for the `obs quiet: 0 alerts` line.
     let mut quiet_fired = 0;
     for _ in 0..20 {
-        quiet_fired += service.broker().scrape_once();
+        quiet_fired += fleet.shard(0).scrape_once();
     }
     assert_eq!(quiet_fired, 0, "healthy run must fire no alerts");
     println!(
         "\nobs quiet: 0 alerts over 20 scrapes ({} series retained)",
-        service.broker().obs_store().series_names().len()
+        fleet.shard(0).obs_store().series_names().len()
     );
     // The history is wire-queryable at every resolution.
-    let mut conn = service.connect().expect("obs connect");
+    let mut conn = connect(&sock, "control");
     let Response::TimeSeries { points, .. } = send(
         &mut conn,
-        &Request::TimeQuery {
+        Request::TimeQuery {
             series: "stage.exec.p99_ns".to_string(),
             start_ns: 0,
             end_ns: u64::MAX,
@@ -403,6 +433,7 @@ fn main() {
         points.len(),
         points.last().expect("nonempty").max
     );
+    conn.bye().ok();
     drop(conn);
 
     // Excursion side, on the drill broker: real mediated work against a
@@ -457,7 +488,7 @@ fn main() {
     // archival, reloads verified, and a tampered archive is rejected at
     // reload — the hashes travel with the entries. CI greps for the
     // `audit archive:` line.
-    let exported = service.broker().export_audit();
+    let exported = fleet.shard(0).export_audit();
     let archive = exported.to_json();
     let reloaded = AuditLog::from_json(&archive).expect("clean archive must reload verified");
     assert_eq!(
@@ -537,6 +568,18 @@ fn main() {
     println!(
         "durability drill: 2 acked commits recovered, 1 orphan evicted, {} records replayed, audit chain verified",
         dsnap.records_replayed
+    );
+
+    // Graceful shutdown: drain in-flight work, run the journal sync
+    // barrier (vacuous here — no journal), close the listener, unlink
+    // the socket file. CI greps for the `net shutdown: clean` line.
+    let net = server.net_stats();
+    let shutdown = server.shutdown();
+    assert!(shutdown.journals_synced, "sync barrier must pass");
+    assert!(!sock.exists(), "socket file must be unlinked");
+    println!(
+        "net shutdown: clean ({} connections served, {} frames handled, {} handshakes ok)",
+        shutdown.connections_served, shutdown.frames_handled, net.handshakes_ok
     );
 
     println!("\nall commits landed exactly once; policies hold; audit chain verified");

@@ -59,6 +59,14 @@ if ! grep -q "durability drill: 2 acked commits recovered" <<<"$demo_out"; then
     echo "service_demo: durability drill missing or commits lost"
     exit 1
 fi
+# The demo now runs over a real Unix-domain socket through heimdall-net;
+# the server must drain and shut down cleanly (socket unlinked, journals
+# synced) at the end of the run.
+if ! grep -q "net shutdown: clean" <<<"$demo_out"; then
+    echo "$demo_out"
+    echo "service_demo: net server did not shut down cleanly"
+    exit 1
+fi
 
 echo "==> crash-recovery drills (durable broker over heimdall-store)"
 cargo test --release -q --test store_recovery
@@ -85,5 +93,18 @@ test -s BENCH_obs.json || { echo "BENCH_obs.json missing"; exit 1; }
 echo "==> wal bench (json smoke; asserts group commit >= 5x per-record sync)"
 cargo bench --bench wal -- --json --test
 test -s BENCH_wal.json || { echo "BENCH_wal.json missing"; exit 1; }
+
+echo "==> service-net bench (json smoke over real TCP sockets)"
+# Writes the git-tracked BENCH_service.json; the smoke run covers two
+# concurrency levels and must report p50/p99 for each. (The committed
+# artifact comes from the full run: cargo bench --bench service_net -- --json)
+bench_bak="$(mktemp)"
+cp BENCH_service.json "$bench_bak" 2>/dev/null || true
+cargo bench --bench service_net -- --json --test
+test -s BENCH_service.json || { echo "BENCH_service.json missing"; exit 1; }
+grep -q '"p50_ns"' BENCH_service.json || { echo "BENCH_service.json lacks p50"; exit 1; }
+grep -q '"p99_ns"' BENCH_service.json || { echo "BENCH_service.json lacks p99"; exit 1; }
+# Put the tracked full-run artifact back over the smoke output.
+if [ -s "$bench_bak" ]; then mv "$bench_bak" BENCH_service.json; else rm -f "$bench_bak"; fi
 
 echo "CI green."

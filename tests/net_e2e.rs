@@ -1,0 +1,382 @@
+//! End-to-end drills for the heimdall-net front-end: real TCP sockets,
+//! authenticated handshakes, multiplexed sessions against a sharded
+//! broker fleet, and a typed rejection for every way a client can
+//! misbehave — bad proofs, replayed nonces, stolen sessions, stalled
+//! readers.
+
+use heimdall::net::{
+    BoundAcceptor, BrokerFleet, ClientError, NetClient, NetConfig, NetServer, RejectReason,
+    TenantKeys,
+};
+use heimdall::net::{ClientFrame, ServerFrame};
+use heimdall::netmodel::gen::enterprise_network;
+use heimdall::netmodel::topology::Network;
+use heimdall::privilege::derive::{Task, TaskKind};
+use heimdall::routing::converge;
+use heimdall::service::proto::{read_frame, write_frame, Request, Response};
+use heimdall::service::BrokerConfig;
+use heimdall::verify::mine::{mine_policies, MinerInput};
+use heimdall::verify::policy::PolicySet;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn healthy_enterprise() -> (Network, PolicySet) {
+    let g = enterprise_network();
+    let cp = converge(&g.net);
+    let policies = mine_policies(&g.net, &cp, &MinerInput::from_meta(&g.meta));
+    (g.net, policies)
+}
+
+fn key_for(tenant: &str) -> Vec<u8> {
+    format!("shared-key-{tenant}").into_bytes()
+}
+
+fn ticket() -> Task {
+    Task {
+        kind: TaskKind::Routing,
+        affected: vec!["h4".into(), "srv1".into()],
+    }
+}
+
+/// A TCP server over an `n`-shard fleet, with keys for tech00..tech31.
+fn start_server(shards: usize, config: NetConfig) -> (NetServer, SocketAddr) {
+    let (production, policies) = healthy_enterprise();
+    let fleet = Arc::new(BrokerFleet::from_template(
+        &production,
+        &policies,
+        &BrokerConfig::default(),
+        shards,
+    ));
+    let tenants: Vec<String> = (0..32).map(|i| format!("tech{i:02}")).collect();
+    let mut keys = TenantKeys::new();
+    for t in &tenants {
+        keys.insert(t, &key_for(t));
+    }
+    let (acceptor, addr) = BoundAcceptor::tcp("127.0.0.1:0").expect("bind tcp");
+    let server = NetServer::start(fleet, keys, config, vec![acceptor]);
+    (server, addr)
+}
+
+/// Handshake rejects are counted on the server's reader thread *after*
+/// the reject frame is written, so a client can observe the rejection
+/// a moment before the counter moves — poll instead of asserting raw.
+fn wait_counter(read: impl Fn() -> u64, want: u64, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while read() < want {
+        assert!(Instant::now() < deadline, "{what} never reached {want}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn connect(addr: SocketAddr, tenant: &str) -> NetClient {
+    NetClient::connect_tcp(&addr.to_string(), tenant, &key_for(tenant)).expect("connect")
+}
+
+/// Open (inheriting the connection identity), land one route, finish.
+fn session_roundtrip(client: &mut NetClient, route_octet: u8) {
+    let opened = client
+        .call(Request::OpenSession {
+            technician: String::new(),
+            ticket: ticket(),
+        })
+        .expect("open");
+    let session = match opened {
+        Response::SessionOpened { session, .. } => session,
+        other => panic!("expected SessionOpened, got {other:?}"),
+    };
+    let exec = client
+        .call(Request::Exec {
+            session,
+            device: "fw1".into(),
+            line: format!("ip route 10.{route_octet}.0.0 255.255.255.0 10.2.1.10"),
+        })
+        .expect("exec");
+    assert!(matches!(exec, Response::ExecOutput { .. }), "{exec:?}");
+    let finished = client.call(Request::Finish { session }).expect("finish");
+    match finished {
+        Response::Finished { applied, .. } => assert!(applied, "commit must land"),
+        other => panic!("expected Finished, got {other:?}"),
+    }
+}
+
+#[test]
+fn lifecycle_over_tcp_across_shards() {
+    let (server, addr) = start_server(4, NetConfig::default());
+    // Find tenants homed on different shards so the fleet aggregation
+    // provably crosses a shard boundary.
+    let mut clients: Vec<NetClient> = Vec::new();
+    let mut shards_seen = std::collections::HashSet::new();
+    for i in 0..32 {
+        let c = connect(addr, &format!("tech{i:02}"));
+        shards_seen.insert(c.shard());
+        clients.push(c);
+        if shards_seen.len() >= 2 && clients.len() >= 4 {
+            break;
+        }
+    }
+    assert!(
+        shards_seen.len() >= 2,
+        "32 tenants on 4 shards must span >= 2 shards"
+    );
+    let n = clients.len() as u64;
+    for (i, c) in clients.iter_mut().enumerate() {
+        session_roundtrip(c, 100 + i as u8);
+    }
+    // The Stats request answers through the exchange API: the aggregate
+    // must count sessions from every shard, not just the caller's home.
+    let stats = clients[0].call(Request::Stats).expect("stats");
+    match stats {
+        Response::Stats { snapshot } => {
+            assert_eq!(snapshot.sessions_opened, n, "fleet-wide aggregate");
+            assert_eq!(snapshot.commits_applied, n);
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+    for mut c in clients {
+        let _ = c.bye();
+    }
+    let report = server.shutdown();
+    assert!(report.journals_synced);
+    assert!(
+        report.frames_handled > 3 * n,
+        "open+exec+finish per client plus the stats poll"
+    );
+}
+
+#[test]
+fn channels_interleave_on_one_connection() {
+    let (server, addr) = start_server(1, NetConfig::default());
+    let mut client = connect(addr, "tech00");
+    // Two logical sessions on one socket, replies claimed out of order.
+    let ch_a = client.open_channel();
+    let ch_b = client.open_channel();
+    client
+        .send_on(
+            ch_a,
+            Request::OpenSession {
+                technician: String::new(),
+                ticket: ticket(),
+            },
+        )
+        .unwrap();
+    client
+        .send_on(
+            ch_b,
+            Request::OpenSession {
+                technician: String::new(),
+                ticket: ticket(),
+            },
+        )
+        .unwrap();
+    // Claim B first: A's reply must be buffered, not lost.
+    let opened_b = client.recv_on(ch_b).unwrap();
+    let opened_a = client.recv_on(ch_a).unwrap();
+    let (sa, sb) = match (opened_a, opened_b) {
+        (
+            Response::SessionOpened { session: sa, .. },
+            Response::SessionOpened { session: sb, .. },
+        ) => (sa, sb),
+        other => panic!("expected two SessionOpened, got {other:?}"),
+    };
+    assert_ne!(sa, sb, "distinct sessions per channel");
+    for s in [sa, sb] {
+        let done = client.call(Request::Finish { session: s }).unwrap();
+        assert!(matches!(done, Response::Finished { .. }), "{done:?}");
+    }
+    let stats = server.net_stats();
+    assert!(stats.batches >= 1, "executor must have batched work");
+    assert!(stats.batched_frames >= stats.batches);
+    server.shutdown();
+}
+
+#[test]
+fn bad_hmac_is_typed_rejection() {
+    let (server, addr) = start_server(1, NetConfig::default());
+    let stream = TcpStream::connect(addr).unwrap();
+    let err = NetClient::from_stream(Box::new(stream), "tech00", b"wrong-key").unwrap_err();
+    match err {
+        ClientError::Rejected { reason, .. } => assert_eq!(reason, RejectReason::BadMac),
+        other => panic!("expected BadMac rejection, got {other:?}"),
+    }
+    wait_counter(|| server.net_stats().rejects_bad_mac, 1, "bad-mac counter");
+    assert_eq!(server.net_stats().handshakes_ok, 0);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_tenant_is_typed_rejection() {
+    let (server, addr) = start_server(1, NetConfig::default());
+    let stream = TcpStream::connect(addr).unwrap();
+    let err = NetClient::from_stream(Box::new(stream), "nobody", b"any").unwrap_err();
+    match err {
+        ClientError::Rejected { reason, .. } => {
+            assert_eq!(reason, RejectReason::UnknownTenant)
+        }
+        other => panic!("expected UnknownTenant rejection, got {other:?}"),
+    }
+    wait_counter(
+        || server.net_stats().rejects_unknown_tenant,
+        1,
+        "unknown-tenant counter",
+    );
+    server.shutdown();
+}
+
+#[test]
+fn replayed_handshake_nonce_is_typed_rejection() {
+    let (server, addr) = start_server(1, NetConfig::default());
+    let nonce = "nonce-under-replay";
+    let first = NetClient::from_stream_with_nonce(
+        Box::new(TcpStream::connect(addr).unwrap()),
+        "tech00",
+        &key_for("tech00"),
+        nonce,
+    );
+    assert!(first.is_ok(), "first use of the nonce authenticates");
+    let replay = NetClient::from_stream_with_nonce(
+        Box::new(TcpStream::connect(addr).unwrap()),
+        "tech00",
+        &key_for("tech00"),
+        nonce,
+    );
+    match replay.unwrap_err() {
+        ClientError::Rejected { reason, .. } => {
+            assert_eq!(reason, RejectReason::ReplayedNonce)
+        }
+        other => panic!("expected ReplayedNonce rejection, got {other:?}"),
+    }
+    wait_counter(
+        || server.net_stats().rejects_replayed_nonce,
+        1,
+        "replayed-nonce counter",
+    );
+    server.shutdown();
+}
+
+#[test]
+fn frames_before_handshake_are_unauthenticated() {
+    let (server, addr) = start_server(1, NetConfig::default());
+    let mut stream = TcpStream::connect(addr).unwrap();
+    // Skip the handshake entirely and try to use the broker.
+    write_frame(
+        &mut stream,
+        &ClientFrame::Mux {
+            channel: 1,
+            request: Request::Stats,
+        },
+    )
+    .unwrap();
+    let reply: ServerFrame = read_frame(&mut stream).unwrap();
+    match reply {
+        ServerFrame::Reject { reason, .. } => {
+            assert_eq!(reason, RejectReason::NotAuthenticated)
+        }
+        other => panic!("expected NotAuthenticated reject, got {other:?}"),
+    }
+    wait_counter(
+        || server.net_stats().rejects_unauthenticated,
+        1,
+        "unauthenticated counter",
+    );
+    server.shutdown();
+}
+
+#[test]
+fn opening_as_someone_else_is_identity_mismatch() {
+    let (server, addr) = start_server(1, NetConfig::default());
+    let mut client = connect(addr, "tech00");
+    let err = client
+        .call(Request::OpenSession {
+            technician: "tech07".into(), // registered, but not *us*
+            ticket: ticket(),
+        })
+        .unwrap_err();
+    match err {
+        ClientError::Rejected { reason, .. } => {
+            assert_eq!(reason, RejectReason::IdentityMismatch)
+        }
+        other => panic!("expected IdentityMismatch, got {other:?}"),
+    }
+    assert_eq!(server.net_stats().rejects_identity_mismatch, 1);
+    server.shutdown();
+}
+
+#[test]
+fn foreign_session_access_is_typed_rejection() {
+    let (server, addr) = start_server(1, NetConfig::default());
+    let mut owner = connect(addr, "tech00");
+    let opened = owner
+        .call(Request::OpenSession {
+            technician: String::new(),
+            ticket: ticket(),
+        })
+        .unwrap();
+    let session = match opened {
+        Response::SessionOpened { session, .. } => session,
+        other => panic!("{other:?}"),
+    };
+    // Same tenant, *different connection*: session handles are
+    // connection-scoped capabilities, so even the same identity cannot
+    // reach across.
+    let mut thief = connect(addr, "tech00");
+    let err = thief
+        .call(Request::Exec {
+            session,
+            device: "fw1".into(),
+            line: "show access-lists".into(),
+        })
+        .unwrap_err();
+    match err {
+        ClientError::Rejected { reason, .. } => {
+            assert_eq!(reason, RejectReason::ForeignSession)
+        }
+        other => panic!("expected ForeignSession, got {other:?}"),
+    }
+    assert_eq!(server.net_stats().rejects_foreign_session, 1);
+    // The owner is unaffected.
+    let done = owner.call(Request::Finish { session }).unwrap();
+    assert!(matches!(done, Response::Finished { .. }), "{done:?}");
+    server.shutdown();
+}
+
+#[test]
+fn stalled_reader_is_evicted_as_slow_consumer() {
+    let config = NetConfig {
+        write_queue_depth: 1,
+        ..NetConfig::default()
+    };
+    let (server, addr) = start_server(1, config);
+    let mut client = connect(addr, "tech00");
+    // Pipeline a flood of large replies and never read: the kernel
+    // buffers fill, the writer blocks, the depth-1 reply queue
+    // overflows, and the connection is evicted — the server never
+    // blocks on our stall.
+    let mut channel = 1;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if server.net_stats().slow_consumer_evictions >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "eviction did not trigger: {:?}",
+            server.net_stats()
+        );
+        if client.send_on(channel, Request::Telemetry).is_err() {
+            // Socket already slammed shut by the eviction.
+            break;
+        }
+        channel += 1;
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.net_stats().slow_consumer_evictions < 1 {
+        assert!(Instant::now() < deadline, "eviction counter never moved");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // A fresh connection still works: the eviction was surgical.
+    let mut healthy = connect(addr, "tech01");
+    session_roundtrip(&mut healthy, 120);
+    server.shutdown();
+}
