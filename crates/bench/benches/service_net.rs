@@ -15,6 +15,13 @@
 //!   committed state, so every snapshot, verify and converge pass
 //!   touches a smaller production. Full mode asserts the 4-shard
 //!   fleet clears 2.5x the single-shard throughput.
+//! - **Subscriber fan-out**: N authenticated connections (each holding
+//!   a live session, the standing view grant that authorizes
+//!   fleet-scoped streams) subscribe to the `Net` topic; the bench
+//!   publishes a run of `NetThreshold` events through the server's bus
+//!   and measures publish-to-receipt latency at every subscriber, at
+//!   1, 64 and 256 subscribers. Queues are sized so nothing is ever
+//!   gap-marked — every published event reaches every subscriber.
 //!
 //! Modes: default runs the Criterion harness over a small sweep;
 //! `--json` runs the full sweep and writes the JSON artifact;
@@ -25,12 +32,14 @@ use criterion::{criterion_group, BenchmarkId, Criterion};
 use heimdall::net::{BoundAcceptor, BrokerFleet, NetClient, NetConfig, NetServer, TenantKeys};
 use heimdall::netmodel::gen::enterprise_network;
 use heimdall::netmodel::topology::Network;
+use heimdall::obs::{ObsEvent, Topic};
 use heimdall::privilege::derive::{Task, TaskKind};
 use heimdall::routing::converge;
 use heimdall::service::{BrokerConfig, Request, Response};
 use heimdall::verify::mine::{mine_policies, MinerInput};
 use heimdall::verify::policy::PolicySet;
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -193,6 +202,107 @@ fn measure_level(
     (latencies, wall)
 }
 
+/// One fan-out round: `subscribers` connections each open a session
+/// (the view grant that authorizes fleet-scoped topics), subscribe to
+/// `Net`, then the bench publishes `events` numbered `NetThreshold`
+/// events through the server's bus. Returns every subscriber's
+/// publish-to-receipt latency (ns) — `subscribers * events` samples.
+fn measure_fanout(
+    production: &Network,
+    policies: &PolicySet,
+    subscribers: usize,
+    events: usize,
+) -> Vec<u64> {
+    let fleet = Arc::new(BrokerFleet::from_template(
+        production,
+        policies,
+        &broker_config(),
+        4,
+    ));
+    let mut keys = TenantKeys::new();
+    for i in 0..subscribers {
+        let t = tenant_name(i);
+        keys.insert(&t, &key_for(&t));
+    }
+    // Deep enough that even a subscriber that never drained during the
+    // publish run could not lose an event: the measurement is latency,
+    // not loss, so gap markers would invalidate the sample set.
+    let mut cfg = net_config();
+    cfg.event_queue_depth = events + 8;
+    cfg.write_queue_depth = events + 8;
+    let (acceptor, addr) = BoundAcceptor::tcp("127.0.0.1:0").expect("bind tcp");
+    let server = NetServer::start(Arc::clone(&fleet), keys, cfg, vec![acceptor]);
+    let addr = addr.to_string();
+
+    let epoch = Instant::now();
+    let publish_ns: Arc<Vec<AtomicU64>> =
+        Arc::new((0..events).map(|_| AtomicU64::new(0)).collect());
+    let barrier = Arc::new(Barrier::new(subscribers + 1));
+    let workers: Vec<_> = (0..subscribers)
+        .map(|i| {
+            let addr = addr.clone();
+            let barrier = Arc::clone(&barrier);
+            let publish_ns = Arc::clone(&publish_ns);
+            thread::spawn(move || {
+                let tenant = tenant_name(i);
+                let mut client = connect_retry(&addr, &tenant);
+                match client
+                    .call(Request::OpenSession {
+                        technician: String::new(),
+                        ticket: Task {
+                            kind: TaskKind::Routing,
+                            affected: vec!["h4".to_string(), "srv1".to_string()],
+                        },
+                    })
+                    .expect("open session")
+                {
+                    Response::SessionOpened { .. } => {}
+                    other => panic!("expected SessionOpened, got {other:?}"),
+                }
+                client.subscribe(&[Topic::Net]).expect("subscribe Net");
+                barrier.wait();
+                let mut latencies = Vec::with_capacity(events);
+                while latencies.len() < events {
+                    match client.next_event().expect("event stream") {
+                        (_, ObsEvent::NetThreshold { value, .. }) => {
+                            let sent = publish_ns[value as usize].load(Ordering::Acquire);
+                            let now = epoch.elapsed().as_nanos() as u64;
+                            latencies.push(now.saturating_sub(sent));
+                        }
+                        (_, ObsEvent::Lagged { dropped }) => {
+                            panic!("fan-out bench must not lag (dropped {dropped})")
+                        }
+                        _ => {}
+                    }
+                }
+                client.bye().ok();
+                latencies
+            })
+        })
+        .collect();
+    barrier.wait();
+    let bus = server.event_bus();
+    for k in 0..events {
+        publish_ns[k].store(epoch.elapsed().as_nanos() as u64, Ordering::Release);
+        bus.publish(&ObsEvent::NetThreshold {
+            counter: "bench_fanout".to_string(),
+            value: k as u64,
+            threshold: 0,
+            at_ns: k as u64,
+        });
+        // Paced: the writers get to drain, so the tail of the run does
+        // not measure queueing behind the bench's own burst.
+        thread::sleep(Duration::from_micros(500));
+    }
+    let latencies: Vec<u64> = workers
+        .into_iter()
+        .flat_map(|w| w.join().expect("subscriber thread"))
+        .collect();
+    assert_eq!(latencies.len(), subscribers * events, "conservation");
+    server.shutdown();
+    latencies
+}
+
 fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -253,6 +363,38 @@ fn run_json(smoke: bool) {
         ));
     }
 
+    // Subscriber fan-out: publish-to-receipt latency of pushed events
+    // as the audience grows. The interesting number is the p99 at 256
+    // subscribers versus 1 — the cost of fanning one event out across
+    // every bounded per-subscriber queue and write queue.
+    let fanout_levels: &[(usize, usize)] = if smoke {
+        &[(1, 16), (8, 16)]
+    } else {
+        &[(1, 128), (64, 128), (256, 64)]
+    };
+    let mut fanout_entries = Vec::new();
+    for &(subs, events) in fanout_levels {
+        let mut lats = measure_fanout(&production, &policies, subs, events);
+        lats.sort_unstable();
+        let p50 = exact_quantile(&lats, 0.50);
+        let p99 = exact_quantile(&lats, 0.99);
+        println!(
+            "subscriber_fanout/{subs} subs x {events} events: p50 {p50}ns p99 {p99}ns ({} deliveries)",
+            lats.len()
+        );
+        fanout_entries.push(format!(
+            concat!(
+                "    {{\"subscribers\": {}, \"events\": {}, \"deliveries\": {}, ",
+                "\"p50_ns\": {}, \"p99_ns\": {}}}"
+            ),
+            subs,
+            events,
+            lats.len(),
+            p50,
+            p99
+        ));
+    }
+
     // Shard scaling at 32 connections: same offered load, 1 vs 4
     // shards. On one core the win is state partitioning, not
     // parallelism: every commit grows its shard's production config, and
@@ -290,6 +432,7 @@ fn run_json(smoke: bool) {
             "{{\n  \"benchmark\": \"service_net\",\n  \"smoke\": {},\n",
             "  \"transport\": \"tcp localhost\",\n  \"shards\": {},\n",
             "  \"levels\": [\n{}\n  ],\n",
+            "  \"subscriber_fanout\": [\n{}\n  ],\n",
             "  \"shard_scaling\": {{\"connections\": 32, \"cycles_per_connection\": {}, ",
             "\"routes_per_session\": {}, \"single_shard_sessions_per_sec\": {:.3}, ",
             "\"four_shard_sessions_per_sec\": {:.3}, \"speedup\": {:.3}}}\n}}\n"
@@ -297,6 +440,7 @@ fn run_json(smoke: bool) {
         smoke,
         SHARDS,
         entries.join(",\n"),
+        fanout_entries.join(",\n"),
         scale_cycles,
         scale_routes,
         t1,

@@ -11,13 +11,16 @@
 use crate::auth::handshake_mac;
 use crate::conn::NetStream;
 use crate::wire::{ClientFrame, RejectReason, ServerFrame};
+use heimdall_obs::{ObsEvent, Topic};
 use heimdall_service::proto::{read_frame, write_frame, FrameError, Request, Response};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::io;
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -82,6 +85,8 @@ pub struct NetClient {
     next_channel: u64,
     /// Replies observed for channels other than the one being awaited.
     pending: HashMap<u64, VecDeque<Response>>,
+    /// Server-pushed events observed while waiting for something else.
+    events: VecDeque<(u64, ObsEvent)>,
 }
 
 impl fmt::Debug for NetClient {
@@ -165,6 +170,7 @@ impl NetClient {
             shard,
             next_channel: 1,
             pending: HashMap::new(),
+            events: VecDeque::new(),
         })
     }
 
@@ -191,8 +197,24 @@ impl NetClient {
         Ok(())
     }
 
+    /// Buffers a frame that arrived while waiting for a different one:
+    /// replies keyed by channel, pushed events in arrival order.
+    fn stash(&mut self, frame: ServerFrame) {
+        match frame {
+            ServerFrame::Mux { channel, response } => {
+                self.pending.entry(channel).or_default().push_back(response);
+            }
+            ServerFrame::Event { channel, event } => {
+                self.events.push_back((channel, event));
+            }
+            // Subscribed/Unsubscribed acks are awaited synchronously in
+            // subscribe()/unsubscribe(); one observed elsewhere is stale.
+            _ => {}
+        }
+    }
+
     /// The next reply for `channel`, buffering replies for other
-    /// channels seen along the way.
+    /// channels (and pushed events) seen along the way.
     pub fn recv_on(&mut self, channel: u64) -> Result<Response, ClientError> {
         if let Some(queue) = self.pending.get_mut(&channel) {
             if let Some(response) = queue.pop_front() {
@@ -210,6 +232,7 @@ impl NetClient {
                     }
                     self.pending.entry(ch).or_default().push_back(response);
                 }
+                frame @ ServerFrame::Event { .. } => self.stash(frame),
                 ServerFrame::Reject {
                     channel: ch,
                     reason,
@@ -242,5 +265,126 @@ impl NetClient {
     pub fn bye(&mut self) -> Result<(), ClientError> {
         write_frame(&mut self.stream, &ClientFrame::Bye)?;
         Ok(())
+    }
+
+    /// Opens a push subscription on a fresh channel; returns the channel
+    /// pushed [`ServerFrame::Event`]s will arrive on. A denied
+    /// subscription surfaces as [`ClientError::Rejected`] with
+    /// [`RejectReason::SubscriptionDenied`].
+    pub fn subscribe(&mut self, topics: &[Topic]) -> Result<u64, ClientError> {
+        let channel = self.open_channel();
+        self.subscribe_on(channel, topics)?;
+        Ok(channel)
+    }
+
+    /// Opens a push subscription on a caller-chosen channel. Exists so
+    /// tests can provoke channel collisions; normal callers want
+    /// [`NetClient::subscribe`].
+    pub fn subscribe_on(&mut self, channel: u64, topics: &[Topic]) -> Result<(), ClientError> {
+        write_frame(
+            &mut self.stream,
+            &ClientFrame::Subscribe {
+                channel,
+                topics: topics.to_vec(),
+            },
+        )?;
+        loop {
+            match read_frame::<_, ServerFrame>(&mut self.stream)? {
+                ServerFrame::Subscribed { channel: ch, .. } if ch == channel => return Ok(()),
+                ServerFrame::Reject {
+                    reason, message, ..
+                } => return Err(ClientError::Rejected { reason, message }),
+                ServerFrame::ShuttingDown => return Err(ClientError::ShuttingDown),
+                frame @ (ServerFrame::Mux { .. } | ServerFrame::Event { .. }) => self.stash(frame),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected Subscribed, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Closes the push subscription on `channel`. Events already pushed
+    /// before the server processed the unsubscribe are still buffered
+    /// and readable.
+    pub fn unsubscribe(&mut self, channel: u64) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, &ClientFrame::Unsubscribe { channel })?;
+        loop {
+            match read_frame::<_, ServerFrame>(&mut self.stream)? {
+                ServerFrame::Unsubscribed { channel: ch } if ch == channel => return Ok(()),
+                ServerFrame::Reject {
+                    reason, message, ..
+                } => return Err(ClientError::Rejected { reason, message }),
+                ServerFrame::ShuttingDown => return Err(ClientError::ShuttingDown),
+                frame @ (ServerFrame::Mux { .. } | ServerFrame::Event { .. }) => self.stash(frame),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected Unsubscribed, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Blocks until the next pushed event arrives (or a buffered one is
+    /// ready); returns `(channel, event)`.
+    pub fn next_event(&mut self) -> Result<(u64, ObsEvent), ClientError> {
+        if let Some(e) = self.events.pop_front() {
+            return Ok(e);
+        }
+        loop {
+            match read_frame::<_, ServerFrame>(&mut self.stream)? {
+                ServerFrame::Event { channel, event } => return Ok((channel, event)),
+                ServerFrame::Reject {
+                    reason, message, ..
+                } => return Err(ClientError::Rejected { reason, message }),
+                ServerFrame::ShuttingDown => return Err(ClientError::ShuttingDown),
+                frame @ ServerFrame::Mux { .. } => self.stash(frame),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected frame while waiting for an event: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Waits up to `timeout` for a pushed event; `Ok(None)` when none
+    /// arrived. A timeout that fires mid-frame desynchronizes the
+    /// stream, so use this when events are either promptly pushed or not
+    /// coming at all (quiescence probes in tests and drills).
+    pub fn try_next_event(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<(u64, ObsEvent)>, ClientError> {
+        if let Some(e) = self.events.pop_front() {
+            return Ok(Some(e));
+        }
+        self.stream.set_stream_read_timeout(Some(timeout)).ok();
+        let result = loop {
+            match read_frame::<_, ServerFrame>(&mut self.stream) {
+                Ok(ServerFrame::Event { channel, event }) => break Ok(Some((channel, event))),
+                Ok(ServerFrame::Reject {
+                    reason, message, ..
+                }) => break Err(ClientError::Rejected { reason, message }),
+                Ok(ServerFrame::ShuttingDown) => break Err(ClientError::ShuttingDown),
+                Ok(frame @ ServerFrame::Mux { .. }) => self.stash(frame),
+                Ok(other) => {
+                    break Err(ClientError::Protocol(format!(
+                        "unexpected frame while waiting for an event: {other:?}"
+                    )))
+                }
+                Err(FrameError::Io(e))
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    break Ok(None)
+                }
+                Err(e) => break Err(e.into()),
+            }
+        };
+        self.stream.set_stream_read_timeout(None).ok();
+        result
     }
 }

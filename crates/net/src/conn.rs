@@ -159,6 +159,20 @@ pub enum PushOutcome {
     Gone,
 }
 
+/// What [`ConnHandle::try_push`] did with a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryPushOutcome {
+    /// Queued for the writer thread.
+    Sent,
+    /// The bounded queue is momentarily full. Unlike [`ConnHandle::push`],
+    /// nothing was evicted — the caller owns the retry/drop policy (the
+    /// event bus buffers and gap-marks instead of killing the connection
+    /// outright).
+    Full,
+    /// The connection is evicted or its writer exited.
+    Gone,
+}
+
 /// The server's shared handle to one authenticated connection.
 pub struct ConnHandle {
     /// Server-assigned connection id (never reused within a process).
@@ -210,6 +224,21 @@ impl ConnHandle {
                 PushOutcome::Evicted
             }
             Err(TrySendError::Disconnected(_)) => PushOutcome::Gone,
+        }
+    }
+
+    /// Queues a frame without blocking *and without evicting on a full
+    /// queue* — the push-event path's building block: the event bus
+    /// treats `Full` as backpressure (buffer + gap-mark) and applies its
+    /// own drop budget before deciding to evict.
+    pub fn try_push(&self, frame: ServerFrame) -> TryPushOutcome {
+        if self.evicted.load(Ordering::Acquire) {
+            return TryPushOutcome::Gone;
+        }
+        match self.tx.try_send(frame) {
+            Ok(()) => TryPushOutcome::Sent,
+            Err(TrySendError::Full(_)) => TryPushOutcome::Full,
+            Err(TrySendError::Disconnected(_)) => TryPushOutcome::Gone,
         }
     }
 

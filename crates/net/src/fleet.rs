@@ -20,12 +20,14 @@
 //! shard moves ~1/N of tenants, and the mapping is stable across
 //! processes (no process-seeded hasher).
 
+use crate::stats::{NetStats, NetStatsSnapshot};
 use heimdall_analyze::{analyze_pair, AnalysisReport};
 use heimdall_enforcer::crypto::sha256;
 use heimdall_netmodel::topology::Network;
 use heimdall_privilege::derive::Task;
 use heimdall_service::{Broker, BrokerConfig, StatsSnapshot};
 use heimdall_verify::policy::PolicySet;
+use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Virtual nodes per shard on the hash ring.
@@ -36,6 +38,9 @@ pub struct BrokerFleet {
     shards: Vec<Arc<Broker>>,
     /// `(ring position, shard index)`, sorted by position.
     ring: Vec<(u64, usize)>,
+    /// Net-layer counter sources registered by front-ends serving this
+    /// fleet, folded into the exchange API alongside service stats.
+    net_sources: Mutex<Vec<Arc<NetStats>>>,
 }
 
 fn ring_point(label: &str) -> u64 {
@@ -55,7 +60,11 @@ impl BrokerFleet {
             }
         }
         ring.sort_unstable();
-        BrokerFleet { shards, ring }
+        BrokerFleet {
+            shards,
+            ring,
+            net_sources: Mutex::new(Vec::new()),
+        }
     }
 
     /// Builds `n` in-memory shards, each its own replica of `production`
@@ -113,6 +122,26 @@ impl BrokerFleet {
         let mut total = it.next().expect("non-empty fleet").stats();
         for shard in it {
             total.merge(&shard.stats());
+        }
+        total
+    }
+
+    /// Registers a front-end's [`NetStats`] with the exchange so
+    /// [`BrokerFleet::aggregate_net_stats`] sees it. Multiple front-ends
+    /// (e.g. a TCP and a UDS server over the same fleet) each register
+    /// their own counters; snapshots are summed counter-by-counter.
+    pub fn attach_net_stats(&self, stats: Arc<NetStats>) {
+        self.net_sources.lock().push(stats);
+    }
+
+    /// Exchange API: fleet-wide net-layer counters, one snapshot per
+    /// registered front-end, merged by summing. Empty (all-zero) when no
+    /// front-end is attached — the fleet itself never speaks the wire.
+    pub fn aggregate_net_stats(&self) -> NetStatsSnapshot {
+        let sources = self.net_sources.lock();
+        let mut total = NetStatsSnapshot::default();
+        for s in sources.iter() {
+            total.merge(&s.snapshot());
         }
         total
     }
@@ -234,6 +263,22 @@ mod tests {
             "identical tasks should flag concurrent overlap: {}",
             report.summary()
         );
+    }
+
+    #[test]
+    fn aggregate_net_stats_sums_attached_frontends() {
+        let f = fleet(2);
+        assert_eq!(f.aggregate_net_stats(), NetStatsSnapshot::default());
+        let a = Arc::new(NetStats::new());
+        let b = Arc::new(NetStats::new());
+        NetStats::bump(&a.handshakes_ok);
+        NetStats::bump(&b.handshakes_ok);
+        NetStats::bump(&b.events_pushed);
+        f.attach_net_stats(Arc::clone(&a));
+        f.attach_net_stats(Arc::clone(&b));
+        let total = f.aggregate_net_stats();
+        assert_eq!(total.handshakes_ok, 2, "summed across front-ends");
+        assert_eq!(total.events_pushed, 1);
     }
 
     #[test]

@@ -26,12 +26,21 @@
 //! - [`client`] — the matching multiplexing client;
 //! - [`stats`] — a counter for every typed rejection and eviction.
 //!
+//! On top of request/reply, the server pushes: `Subscribe` opens a
+//! reference-monitor-mediated stream of [`heimdall_obs::ObsEvent`]s
+//! (SLO trips, recorder dumps, analyzer findings, audit appends, net
+//! thresholds, metrics deltas) multiplexed onto the same connection,
+//! fed by a background monitor thread that scrapes every shard and
+//! aggregates fleet-wide metrics. A stalled subscriber gets typed
+//! `Lagged` gap markers, then slow-consumer eviction — never unbounded
+//! buffering, and never a slowed-down fast subscriber.
+//!
 //! Everything a client can do wrong — unknown tenant, bad proof,
 //! replayed nonce, frames before authentication, opening sessions as
-//! someone else, touching another connection's session, stalling its
-//! read side, flooding a shard — is a *typed* rejection on the wire and
-//! a dedicated counter in [`NetStats`], never a hang and never a silent
-//! drop.
+//! someone else, touching another connection's session, subscribing
+//! without a view grant, stalling its read side, flooding a shard — is
+//! a *typed* rejection on the wire and a dedicated counter in
+//! [`NetStats`], never a hang and never a silent drop.
 
 pub mod auth;
 pub mod client;
@@ -43,7 +52,7 @@ pub mod wire;
 
 pub use auth::{handshake_mac, NonceGen, NonceLedger, TenantKeys};
 pub use client::{ClientError, NetClient};
-pub use conn::{ConnHandle, NetAcceptor, NetStream, PatientReader, PushOutcome};
+pub use conn::{ConnHandle, NetAcceptor, NetStream, PatientReader, PushOutcome, TryPushOutcome};
 pub use fleet::BrokerFleet;
 pub use server::{BoundAcceptor, NetConfig, NetServer, ShutdownReport};
 pub use stats::{NetStats, NetStatsSnapshot};

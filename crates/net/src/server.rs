@@ -28,6 +28,20 @@
 //!   connection — `ForeignSession` otherwise;
 //! - `Stats` answers with the fleet-wide aggregate via the exchange API.
 //!
+//! A background *monitor* thread drives the push side: every
+//! [`NetConfig::scrape_interval`] it runs each shard's
+//! [`heimdall_service::Broker::scrape_once`] (so SLO rules, flight
+//! recorder, and time-series stores stay live even though the network
+//! path never touches them), rebuilds the fleet-wide
+//! [`FleetMetrics`] served on `MetricsQuery`, checks
+//! [`NetConfig::net_thresholds`], and pumps the
+//! [`heimdall_obs::EventBus`] that fans pushed [`ServerFrame::Event`]s
+//! out to subscribed connections. Subscriptions are authorized by the
+//! tenant's home shard (reference-monitor mediated) and delivered
+//! through the connection's bounded write queue: a stalled subscriber
+//! gets [`heimdall_obs::ObsEvent::Lagged`] gap markers, then
+//! slow-consumer eviction — never unbounded buffering.
+//!
 //! [`NetServer::shutdown`] drains in flight work in order: stop
 //! acceptors and readers (peers with queued replies still get them plus
 //! a [`ServerFrame::ShuttingDown`]), let executors finish every queued
@@ -38,14 +52,16 @@
 use crate::auth::{server_handshake, HandshakeError, NonceGen, NonceLedger, TenantKeys};
 use crate::conn::{
     tcp_acceptor, uds_acceptor, ConnHandle, NetAcceptor, NetStream, PatientReader, PushOutcome,
-    SHUTDOWN_MARKER,
+    TryPushOutcome, SHUTDOWN_MARKER,
 };
 use crate::fleet::BrokerFleet;
 use crate::stats::{NetStats, NetStatsSnapshot};
 use crate::wire::{ClientFrame, RejectReason, ServerFrame};
+use heimdall_obs::{BusConfig, DeliverOutcome, EventBus, EventSink, ObsEvent};
 use heimdall_service::proto::{read_frame, write_frame, FrameError, Request, Response};
+use heimdall_service::FleetMetrics;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::os::unix::net::UnixListener;
@@ -73,6 +89,20 @@ pub struct NetConfig {
     pub handshake_timeout: Duration,
     /// Client nonces remembered for replay detection.
     pub nonce_history: usize,
+    /// Monitor-thread tick: how often each shard is scraped, fleet
+    /// metrics re-aggregated, thresholds checked, and the event bus
+    /// pumped.
+    pub scrape_interval: Duration,
+    /// Per-subscriber event queue depth on the push bus.
+    pub event_queue_depth: usize,
+    /// Lifetime dropped-event budget per subscriber before slow-consumer
+    /// eviction.
+    pub event_max_dropped: u64,
+    /// `(counter name, threshold)` pairs checked against the fleet-wide
+    /// net counters each tick; the first crossing publishes one
+    /// [`heimdall_obs::ObsEvent::NetThreshold`] (counters are monotone,
+    /// so the latch never re-fires).
+    pub net_thresholds: Vec<(String, u64)>,
 }
 
 impl Default for NetConfig {
@@ -85,6 +115,10 @@ impl Default for NetConfig {
             write_timeout: Duration::from_secs(5),
             handshake_timeout: Duration::from_secs(2),
             nonce_history: 4096,
+            scrape_interval: Duration::from_millis(25),
+            event_queue_depth: 64,
+            event_max_dropped: 256,
+            net_thresholds: Vec::new(),
         }
     }
 }
@@ -152,6 +186,14 @@ struct Shared {
     shard_txs: Vec<SyncSender<Work>>,
     readers: Mutex<Vec<JoinHandle<()>>>,
     writers: Mutex<Vec<JoinHandle<()>>>,
+    /// The push bus every shard broker and the monitor publish into.
+    bus: Arc<EventBus>,
+    /// connection id → (channel → bus subscriber id), so disconnects and
+    /// `Unsubscribe` frames can tear down exactly their subscriptions.
+    subs: Mutex<HashMap<u64, HashMap<u64, u64>>>,
+    /// Latest fleet-wide aggregate, rebuilt each monitor tick and served
+    /// on `MetricsQuery` without re-walking the shards.
+    metrics: Mutex<FleetMetrics>,
 }
 
 /// What [`NetServer::shutdown`] observed.
@@ -171,6 +213,7 @@ pub struct NetServer {
     shared: Arc<Shared>,
     acceptors: Vec<JoinHandle<()>>,
     executors: Vec<JoinHandle<()>>,
+    monitor: Option<JoinHandle<()>>,
     cleanup: Vec<PathBuf>,
 }
 
@@ -189,6 +232,18 @@ impl NetServer {
             shard_txs.push(tx);
             shard_rxs.push(rx);
         }
+        let bus = Arc::new(EventBus::new(BusConfig {
+            queue_depth: config.event_queue_depth,
+            max_dropped: config.event_max_dropped,
+        }));
+        let stats = Arc::new(NetStats::new());
+        // Wire the push side up before any thread runs: every shard
+        // broker publishes into the shared bus, and this front-end's
+        // counters join the fleet's exchange surface.
+        for (i, shard) in fleet.shards().iter().enumerate() {
+            shard.attach_event_bus(Arc::clone(&bus), i);
+        }
+        fleet.attach_net_stats(Arc::clone(&stats));
         let shared = Arc::new(Shared {
             ledger: NonceLedger::new(config.nonce_history),
             nonces: NonceGen::new("heimdall-net-server"),
@@ -199,11 +254,18 @@ impl NetServer {
             shard_txs,
             readers: Mutex::new(Vec::new()),
             writers: Mutex::new(Vec::new()),
+            bus,
+            subs: Mutex::new(HashMap::new()),
+            metrics: Mutex::new(FleetMetrics::default()),
             fleet,
             keys,
             config,
-            stats: Arc::new(NetStats::new()),
+            stats,
         });
+        let monitor = {
+            let shared = Arc::clone(&shared);
+            Some(std::thread::spawn(move || monitor_loop(&shared)))
+        };
         let executors = shard_rxs
             .into_iter()
             .enumerate()
@@ -227,6 +289,7 @@ impl NetServer {
             shared,
             acceptors,
             executors,
+            monitor,
             cleanup,
         }
     }
@@ -241,10 +304,26 @@ impl NetServer {
         &self.shared.fleet
     }
 
+    /// The push bus connecting shard brokers to subscribed connections.
+    /// Exposed so harnesses (benches, drills) can publish synthetic
+    /// events through the same delivery path real producers use.
+    pub fn event_bus(&self) -> Arc<EventBus> {
+        Arc::clone(&self.shared.bus)
+    }
+
+    /// The latest fleet-wide metrics aggregate (what `MetricsQuery`
+    /// answers with), as of the last monitor tick.
+    pub fn fleet_metrics(&self) -> FleetMetrics {
+        self.shared.metrics.lock().clone()
+    }
+
     /// Graceful stop: quiesce intake, drain every queued request, flush
     /// replies, sync every journal, unlink UDS socket files.
     pub fn shutdown(self) -> ShutdownReport {
         self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.monitor {
+            let _ = h.join();
+        }
         for h in self.acceptors {
             let _ = h.join();
         }
@@ -363,6 +442,33 @@ fn run_connection(shared: &Arc<Shared>, mut stream: Box<dyn NetStream>) {
                     Err(TrySendError::Disconnected(_)) => break,
                 }
             }
+            Ok(ClientFrame::Subscribe { channel, topics }) => {
+                NetStats::bump(&shared.stats.frames_in);
+                handle_subscribe(shared, shard, &conn, channel, topics);
+            }
+            Ok(ClientFrame::Unsubscribe { channel }) => {
+                NetStats::bump(&shared.stats.frames_in);
+                let sub = shared
+                    .subs
+                    .lock()
+                    .get_mut(&conn_id)
+                    .and_then(|m| m.remove(&channel));
+                match sub {
+                    Some(id) => {
+                        shared.bus.unsubscribe(id);
+                        NetStats::bump(&shared.stats.subscriptions_closed);
+                        conn.push(ServerFrame::Unsubscribed { channel });
+                    }
+                    None => {
+                        shared.stats.count_reject(RejectReason::BadFrame);
+                        conn.push(ServerFrame::Reject {
+                            channel: Some(channel),
+                            reason: RejectReason::BadFrame,
+                            message: format!("no subscription on channel {channel}"),
+                        });
+                    }
+                }
+            }
             Ok(ClientFrame::Bye) => break,
             Ok(ClientFrame::Hello { .. }) | Ok(ClientFrame::Proof { .. }) => {
                 shared.stats.count_reject(RejectReason::BadFrame);
@@ -395,7 +501,117 @@ fn run_connection(shared: &Arc<Shared>, mut stream: Box<dyn NetStream>) {
     // This connection's session claims die with it; the sessions
     // themselves live on in the broker until finished or idle-evicted.
     shared.owners.lock().retain(|_, owner| *owner != conn_id);
+    // Its push subscriptions die too — the bus must not keep delivering
+    // into a dead connection's write queue.
+    if let Some(channels) = shared.subs.lock().remove(&conn_id) {
+        for (_, sub_id) in channels {
+            shared.bus.unsubscribe(sub_id);
+        }
+    }
     NetStats::bump(&shared.stats.connections_closed);
+}
+
+/// One `Subscribe` frame: channel-collision check, home-shard
+/// authorization (reference-monitor mediated for fleet-scoped topics),
+/// then bus registration with the connection's write queue as the sink.
+/// Runs on the reader thread — authorization is a short mediation pass,
+/// not broker work, so it never queues behind the shard executor.
+fn handle_subscribe(
+    shared: &Arc<Shared>,
+    shard: usize,
+    conn: &Arc<ConnHandle>,
+    channel: u64,
+    topics: Vec<heimdall_obs::Topic>,
+) {
+    if topics.is_empty() {
+        shared.stats.count_reject(RejectReason::BadFrame);
+        conn.push(ServerFrame::Reject {
+            channel: Some(channel),
+            reason: RejectReason::BadFrame,
+            message: "subscribe needs at least one topic".into(),
+        });
+        return;
+    }
+    if shared
+        .subs
+        .lock()
+        .get(&conn.id)
+        .is_some_and(|m| m.contains_key(&channel))
+    {
+        shared.stats.count_reject(RejectReason::BadFrame);
+        conn.push(ServerFrame::Reject {
+            channel: Some(channel),
+            reason: RejectReason::BadFrame,
+            message: format!("channel {channel} already has a subscription"),
+        });
+        return;
+    }
+    match shared
+        .fleet
+        .shard(shard)
+        .authorize_subscription(&conn.tenant, &topics)
+    {
+        Ok(()) => {
+            let sink = Box::new(ConnEventSink {
+                conn: Arc::clone(conn),
+                channel,
+                stats: Arc::clone(&shared.stats),
+            });
+            let sub_id = shared.bus.subscribe(&conn.tenant, &topics, sink);
+            shared
+                .subs
+                .lock()
+                .entry(conn.id)
+                .or_default()
+                .insert(channel, sub_id);
+            NetStats::bump(&shared.stats.subscriptions_opened);
+            conn.push(ServerFrame::Subscribed { channel, topics });
+        }
+        Err(e) => {
+            // The denial is already recorded broker-side (audit entry +
+            // denial counter); the subscriber learns why, but no events
+            // ever flow.
+            shared.stats.count_reject(RejectReason::SubscriptionDenied);
+            conn.push(ServerFrame::Reject {
+                channel: Some(channel),
+                reason: RejectReason::SubscriptionDenied,
+                message: e.message(),
+            });
+        }
+    }
+}
+
+/// [`EventSink`] over one connection's bounded write queue. Delivery
+/// never blocks and never evicts by itself — a momentarily full queue is
+/// `Busy` (the bus buffers and gap-marks); only the bus's drop budget
+/// decides eviction, which lands here as [`EventSink::evict`] and reuses
+/// the slow-consumer path.
+struct ConnEventSink {
+    conn: Arc<ConnHandle>,
+    channel: u64,
+    stats: Arc<NetStats>,
+}
+
+impl EventSink for ConnEventSink {
+    fn deliver(&self, event: &ObsEvent) -> DeliverOutcome {
+        let frame = ServerFrame::Event {
+            channel: self.channel,
+            event: event.clone(),
+        };
+        match self.conn.try_push(frame) {
+            TryPushOutcome::Sent => {
+                NetStats::bump(&self.stats.events_pushed);
+                DeliverOutcome::Delivered
+            }
+            TryPushOutcome::Full => DeliverOutcome::Busy,
+            TryPushOutcome::Gone => DeliverOutcome::Gone,
+        }
+    }
+
+    fn evict(&self) {
+        self.stats.count_reject(RejectReason::SlowConsumer);
+        self.conn.evict();
+    }
 }
 
 fn writer_loop(
@@ -410,6 +626,132 @@ fn writer_loop(
         NetStats::bump(&stats.frames_out);
     }
     stream.shutdown_stream();
+}
+
+/// The monitor thread: the only place the fleet's observability stores
+/// advance in network mode. Each tick it (1) drives `scrape_once` on
+/// every shard — feeding SLO evaluation, flight-recorder checks, and the
+/// time-series store, and publishing trips/re-arms/dumps to the bus;
+/// (2) rebuilds the fleet-wide metrics aggregate and publishes a
+/// `MetricsDelta` when it materially changed; (3) checks net counters
+/// against configured thresholds (once-latched — the counters are
+/// monotone); (4) pumps the bus so `Busy` subscribers drain.
+fn monitor_loop(shared: &Arc<Shared>) {
+    let mut tripped: HashSet<String> = HashSet::new();
+    let mut last: Option<FleetMetrics> = None;
+    while !shared.shutdown.load(Ordering::Acquire) {
+        for broker in shared.fleet.shards() {
+            broker.scrape_once();
+        }
+        let metrics = aggregate_fleet_metrics(shared);
+        let now_ns = shared.fleet.shard(0).telemetry().now_ns();
+        if let Some(prev) = &last {
+            if let Some(changed) = describe_delta(prev, &metrics) {
+                shared.bus.publish(&ObsEvent::MetricsDelta {
+                    shards: metrics.shards,
+                    changed,
+                    at_ns: now_ns,
+                });
+            }
+        }
+        last = Some(metrics.clone());
+        *shared.metrics.lock() = metrics;
+        if !shared.config.net_thresholds.is_empty() {
+            let snapshot = shared.stats.snapshot();
+            for (name, threshold) in &shared.config.net_thresholds {
+                let value = snapshot
+                    .counters()
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0);
+                if value >= *threshold && tripped.insert(name.clone()) {
+                    shared.bus.publish(&ObsEvent::NetThreshold {
+                        counter: name.clone(),
+                        value,
+                        threshold: *threshold,
+                        at_ns: now_ns,
+                    });
+                }
+            }
+        }
+        shared.bus.pump();
+        // Sleep in small slices so shutdown is noticed promptly even
+        // with a long scrape interval.
+        let mut remaining = shared.config.scrape_interval;
+        while !remaining.is_zero() && !shared.shutdown.load(Ordering::Acquire) {
+            let slice = remaining.min(Duration::from_millis(10));
+            std::thread::sleep(slice);
+            remaining = remaining.saturating_sub(slice);
+        }
+    }
+    // One final pump so events published during the last tick still
+    // reach subscriber queues before writers flush.
+    shared.bus.pump();
+}
+
+/// Fleet-wide metrics: per-shard service snapshots merged, scrape and
+/// alert totals summed, net counters from the exchange aggregate, bus
+/// figures taken once (the bus is shared, not per-shard — summing it
+/// per shard would multiply-count every event).
+fn aggregate_fleet_metrics(shared: &Arc<Shared>) -> FleetMetrics {
+    let mut service = heimdall_service::StatsSnapshot::default();
+    let mut scrapes_total = 0;
+    let mut alerts_total = 0;
+    for broker in shared.fleet.shards() {
+        let fm = broker.fleet_metrics();
+        service.merge(&fm.service);
+        scrapes_total += fm.scrapes_total;
+        alerts_total += fm.alerts_total;
+    }
+    let net = shared
+        .fleet
+        .aggregate_net_stats()
+        .counters()
+        .into_iter()
+        .map(|(name, value)| (name.to_string(), value))
+        .collect();
+    let bus = shared.bus.stats();
+    FleetMetrics {
+        shards: shared.fleet.shard_count(),
+        service,
+        net,
+        scrapes_total,
+        alerts_total,
+        events_published: bus.published,
+        events_delivered: bus.delivered,
+        events_dropped: bus.dropped,
+        subscribers: bus.subscribers,
+    }
+}
+
+/// Which sections of the fleet aggregate changed, or `None` when only
+/// self-referential churn happened. `scrapes_total` ticks every pass,
+/// the bus figures move on every publish, and `events_pushed` /
+/// `frames_out` tick when a pushed `MetricsDelta` is *delivered* — all
+/// are excluded, because comparing any of them would make the delta
+/// stream feed itself.
+fn describe_delta(prev: &FleetMetrics, next: &FleetMetrics) -> Option<String> {
+    fn quiet_net(net: &[(String, u64)]) -> Vec<&(String, u64)> {
+        net.iter()
+            .filter(|(name, _)| name != "events_pushed" && name != "frames_out")
+            .collect()
+    }
+    let mut parts = Vec::new();
+    if prev.service != next.service {
+        parts.push("service");
+    }
+    if quiet_net(&prev.net) != quiet_net(&next.net) {
+        parts.push("net");
+    }
+    if prev.alerts_total != next.alerts_total {
+        parts.push("alerts");
+    }
+    if parts.is_empty() {
+        None
+    } else {
+        Some(parts.join("+"))
+    }
 }
 
 fn executor_loop(shared: &Arc<Shared>, shard: usize, rx: Receiver<Work>) {
@@ -525,6 +867,18 @@ fn handle_work(
         Request::Stats => Response::Stats {
             snapshot: shared.fleet.aggregate_stats(),
         },
+        // MetricsQuery answers with the monitor thread's fleet-wide
+        // aggregate — service, net, and push-bus figures in one shape.
+        Request::MetricsQuery => Response::Metrics {
+            metrics: shared.metrics.lock().clone(),
+        },
+        // Telemetry gains the net layer's own counters: the shard's
+        // Prometheus exposition plus `heimdall_net_*` series.
+        Request::Telemetry => {
+            let mut text = broker.telemetry_text();
+            shared.stats.snapshot().render_prometheus_into(&mut text);
+            Response::Telemetry { text }
+        }
         other => broker.handle(other),
     };
     match &response {

@@ -33,6 +33,16 @@ pub struct NetStats {
     pub batched_frames: AtomicU64,
     /// Frames that failed to decode or arrived out of protocol.
     pub protocol_errors: AtomicU64,
+    /// `Subscribe` frames refused by the reference monitor.
+    pub rejects_subscription_denied: AtomicU64,
+    /// Push subscriptions accepted.
+    pub subscriptions_opened: AtomicU64,
+    /// Push subscriptions closed by `Unsubscribe` (evictions and
+    /// disconnects count under their own counters).
+    pub subscriptions_closed: AtomicU64,
+    /// `Event` frames queued to subscriber connections (incl. `Lagged`
+    /// gap markers).
+    pub events_pushed: AtomicU64,
 }
 
 impl NetStats {
@@ -56,6 +66,7 @@ impl NetStats {
             RejectReason::SlowConsumer => &self.slow_consumer_evictions,
             RejectReason::Backpressure => &self.rejects_backpressure,
             RejectReason::BadFrame => &self.rejects_bad_frame,
+            RejectReason::SubscriptionDenied => &self.rejects_subscription_denied,
         };
         NetStats::bump(counter);
     }
@@ -79,12 +90,16 @@ impl NetStats {
             batches: self.batches.load(Ordering::Relaxed),
             batched_frames: self.batched_frames.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            rejects_subscription_denied: self.rejects_subscription_denied.load(Ordering::Relaxed),
+            subscriptions_opened: self.subscriptions_opened.load(Ordering::Relaxed),
+            subscriptions_closed: self.subscriptions_closed.load(Ordering::Relaxed),
+            events_pushed: self.events_pushed.load(Ordering::Relaxed),
         }
     }
 }
 
 /// Point-in-time copy of [`NetStats`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NetStatsSnapshot {
     pub connections_opened: u64,
     pub connections_closed: u64,
@@ -103,6 +118,80 @@ pub struct NetStatsSnapshot {
     pub batches: u64,
     pub batched_frames: u64,
     pub protocol_errors: u64,
+    pub rejects_subscription_denied: u64,
+    pub subscriptions_opened: u64,
+    pub subscriptions_closed: u64,
+    pub events_pushed: u64,
+}
+
+impl NetStatsSnapshot {
+    /// Every counter as a `(name, value)` pair, in stable order. The
+    /// single source of truth for the fleet exchange, the `MetricsQuery`
+    /// net section, and the Prometheus rendering — a counter added to
+    /// this list shows up on all three surfaces at once.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("connections_opened", self.connections_opened),
+            ("connections_closed", self.connections_closed),
+            ("handshakes_ok", self.handshakes_ok),
+            ("rejects_unknown_tenant", self.rejects_unknown_tenant),
+            ("rejects_bad_mac", self.rejects_bad_mac),
+            ("rejects_replayed_nonce", self.rejects_replayed_nonce),
+            ("rejects_unauthenticated", self.rejects_unauthenticated),
+            ("rejects_identity_mismatch", self.rejects_identity_mismatch),
+            ("rejects_foreign_session", self.rejects_foreign_session),
+            ("rejects_bad_frame", self.rejects_bad_frame),
+            ("rejects_backpressure", self.rejects_backpressure),
+            (
+                "rejects_subscription_denied",
+                self.rejects_subscription_denied,
+            ),
+            ("slow_consumer_evictions", self.slow_consumer_evictions),
+            ("frames_in", self.frames_in),
+            ("frames_out", self.frames_out),
+            ("batches", self.batches),
+            ("batched_frames", self.batched_frames),
+            ("protocol_errors", self.protocol_errors),
+            ("subscriptions_opened", self.subscriptions_opened),
+            ("subscriptions_closed", self.subscriptions_closed),
+            ("events_pushed", self.events_pushed),
+        ]
+    }
+
+    /// Folds another front-end's counters into this one (all counters
+    /// are monotone sums, so the fleet-wide fold is plain addition).
+    pub fn merge(&mut self, other: &NetStatsSnapshot) {
+        self.connections_opened += other.connections_opened;
+        self.connections_closed += other.connections_closed;
+        self.handshakes_ok += other.handshakes_ok;
+        self.rejects_unknown_tenant += other.rejects_unknown_tenant;
+        self.rejects_bad_mac += other.rejects_bad_mac;
+        self.rejects_replayed_nonce += other.rejects_replayed_nonce;
+        self.rejects_unauthenticated += other.rejects_unauthenticated;
+        self.rejects_identity_mismatch += other.rejects_identity_mismatch;
+        self.rejects_foreign_session += other.rejects_foreign_session;
+        self.rejects_bad_frame += other.rejects_bad_frame;
+        self.rejects_backpressure += other.rejects_backpressure;
+        self.rejects_subscription_denied += other.rejects_subscription_denied;
+        self.slow_consumer_evictions += other.slow_consumer_evictions;
+        self.frames_in += other.frames_in;
+        self.frames_out += other.frames_out;
+        self.batches += other.batches;
+        self.batched_frames += other.batched_frames;
+        self.protocol_errors += other.protocol_errors;
+        self.subscriptions_opened += other.subscriptions_opened;
+        self.subscriptions_closed += other.subscriptions_closed;
+        self.events_pushed += other.events_pushed;
+    }
+
+    /// Appends every counter to a Prometheus text exposition under the
+    /// `heimdall_net_` prefix, via the shared
+    /// [`heimdall_telemetry::render_counter`] helper.
+    pub fn render_prometheus_into(&self, out: &mut String) {
+        for (name, value) in self.counters() {
+            heimdall_telemetry::render_counter(out, &format!("heimdall_net_{name}_total"), value);
+        }
+    }
 }
 
 impl fmt::Display for NetStatsSnapshot {
@@ -128,7 +217,7 @@ impl fmt::Display for NetStatsSnapshot {
             self.rejects_bad_frame,
             self.rejects_backpressure
         )?;
-        write!(
+        writeln!(
             f,
             "traffic:  {} in / {} out, {} batches ({} framed), {} slow-consumer evictions, {} protocol errors",
             self.frames_in,
@@ -137,6 +226,14 @@ impl fmt::Display for NetStatsSnapshot {
             self.batched_frames,
             self.slow_consumer_evictions,
             self.protocol_errors
+        )?;
+        write!(
+            f,
+            "push:     {} subscribed / {} unsubscribed, {} denied, {} events pushed",
+            self.subscriptions_opened,
+            self.subscriptions_closed,
+            self.rejects_subscription_denied,
+            self.events_pushed
         )
     }
 }
@@ -158,11 +255,13 @@ mod tests {
             RejectReason::SlowConsumer,
             RejectReason::Backpressure,
             RejectReason::BadFrame,
+            RejectReason::SubscriptionDenied,
         ];
         for r in reasons {
             stats.count_reject(r);
         }
         let snap = stats.snapshot();
+        assert_eq!(snap.rejects_subscription_denied, 1);
         assert_eq!(snap.rejects_unknown_tenant, 1);
         assert_eq!(snap.rejects_bad_mac, 1);
         assert_eq!(snap.rejects_replayed_nonce, 1);
@@ -175,5 +274,38 @@ mod tests {
         let json = serde_json::to_string(&snap).unwrap();
         let back: NetStatsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn merge_sums_and_counters_cover_every_field() {
+        let a = NetStats::new();
+        NetStats::bump(&a.connections_opened);
+        NetStats::bump(&a.events_pushed);
+        let b = NetStats::new();
+        NetStats::bump(&b.connections_opened);
+        NetStats::bump(&b.subscriptions_opened);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.connections_opened, 2);
+        assert_eq!(merged.events_pushed, 1);
+        assert_eq!(merged.subscriptions_opened, 1);
+        // counters() must cover every serialized field: the JSON object
+        // and the name/value list have the same cardinality.
+        let json = serde_json::to_value(&merged).unwrap();
+        let serde_json::Value::Object(map) = json else {
+            panic!("snapshot serializes as an object");
+        };
+        assert_eq!(map.len(), merged.counters().len());
+    }
+
+    #[test]
+    fn prometheus_rendering_uses_net_prefix() {
+        let stats = NetStats::new();
+        NetStats::bump(&stats.handshakes_ok);
+        let mut out = String::new();
+        stats.snapshot().render_prometheus_into(&mut out);
+        assert!(out.contains("# TYPE heimdall_net_handshakes_ok_total counter"));
+        assert!(out.contains("heimdall_net_handshakes_ok_total 1"));
+        assert!(out.contains("heimdall_net_events_pushed_total 0"));
     }
 }

@@ -15,6 +15,7 @@
 //! carrying a [`RejectReason`], mirrored into
 //! [`crate::stats::NetStats`].
 
+use heimdall_obs::{ObsEvent, Topic};
 use heimdall_service::proto::{Request, Response};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -31,6 +32,16 @@ pub enum ClientFrame {
     Proof { mac: String },
     /// One multiplexed broker request on a client-chosen channel.
     Mux { channel: u64, request: Request },
+    /// Opens a push stream on a client-chosen channel: server-initiated
+    /// [`ServerFrame::Event`] frames for the named topics arrive on it
+    /// until an [`ClientFrame::Unsubscribe`] or disconnect. The channel
+    /// must not collide with one already in use. Authorization is
+    /// mediated: a denied subscription is a [`ServerFrame::Reject`] with
+    /// [`RejectReason::SubscriptionDenied`] and a recorded denial — no
+    /// events ever flow.
+    Subscribe { channel: u64, topics: Vec<Topic> },
+    /// Closes the push stream opened on `channel`.
+    Unsubscribe { channel: u64 },
     /// Polite end-of-connection; the server drops the connection after
     /// flushing queued replies.
     Bye,
@@ -46,6 +57,16 @@ pub enum ServerFrame {
     Welcome { tenant: String, shard: usize },
     /// The reply for the request sent on `channel`.
     Mux { channel: u64, response: Response },
+    /// A [`ClientFrame::Subscribe`] was authorized; events for its
+    /// topics will now arrive on `channel`.
+    Subscribed { channel: u64, topics: Vec<Topic> },
+    /// A [`ClientFrame::Unsubscribe`] completed; no further events will
+    /// arrive on `channel`.
+    Unsubscribed { channel: u64 },
+    /// One server-pushed observability event on a subscribed channel.
+    /// [`ObsEvent::Lagged`] marks a gap where the subscriber's bounded
+    /// queue overflowed.
+    Event { channel: u64, event: ObsEvent },
     /// A net-layer refusal. `channel` is the offending request's channel
     /// when one exists; handshake-time rejects carry `None`.
     Reject {
@@ -83,6 +104,10 @@ pub enum RejectReason {
     /// The frame decoded but was not meaningful at this point in the
     /// protocol (e.g. a second `Hello`).
     BadFrame,
+    /// The reference monitor denied a `Subscribe` (no view privilege for
+    /// a fleet-scoped topic). The denial is recorded server-side; no
+    /// events flow.
+    SubscriptionDenied,
 }
 
 impl fmt::Display for RejectReason {
@@ -97,6 +122,7 @@ impl fmt::Display for RejectReason {
             RejectReason::SlowConsumer => "slow consumer",
             RejectReason::Backpressure => "backpressure",
             RejectReason::BadFrame => "bad frame",
+            RejectReason::SubscriptionDenied => "subscription denied",
         };
         f.write_str(s)
     }
@@ -118,6 +144,11 @@ mod tests {
                 channel: 7,
                 request: Request::Stats,
             },
+            ClientFrame::Subscribe {
+                channel: 9,
+                topics: vec![Topic::Slo, Topic::Audit],
+            },
+            ClientFrame::Unsubscribe { channel: 9 },
             ClientFrame::Bye,
         ];
         for f in frames {
@@ -135,6 +166,20 @@ mod tests {
                 channel: Some(7),
                 reason: RejectReason::ForeignSession,
                 message: "session s9 belongs to another connection".into(),
+            },
+            ServerFrame::Subscribed {
+                channel: 9,
+                topics: vec![Topic::Metrics],
+            },
+            ServerFrame::Unsubscribed { channel: 9 },
+            ServerFrame::Event {
+                channel: 9,
+                event: ObsEvent::Lagged { dropped: 3 },
+            },
+            ServerFrame::Reject {
+                channel: Some(9),
+                reason: RejectReason::SubscriptionDenied,
+                message: "no view privilege".into(),
             },
             ServerFrame::ShuttingDown,
         ];
@@ -157,6 +202,7 @@ mod tests {
             RejectReason::SlowConsumer,
             RejectReason::Backpressure,
             RejectReason::BadFrame,
+            RejectReason::SubscriptionDenied,
         ];
         let mut seen = std::collections::HashSet::new();
         for r in all {

@@ -1,0 +1,580 @@
+//! Push-based event fan-out: the [`EventBus`] behind `Subscribe` frames.
+//!
+//! PR 3 made every observability surface poll-only; this module inverts
+//! it. Producers (the broker's scrape loop, the audit sink, the net
+//! front-end) publish typed [`ObsEvent`]s; each subscriber owns a
+//! *bounded* queue drained into an [`EventSink`] (the net layer wraps a
+//! connection's write queue behind one). Three invariants:
+//!
+//! - **Never unbounded memory.** A full subscriber queue drops the event
+//!   and counts it. When room reappears, a typed [`ObsEvent::Lagged`]
+//!   gap marker is queued *at the gap position* so the subscriber knows
+//!   exactly how many events it missed — the stream is a tamper-evident
+//!   record with explicit holes, never a silent sample.
+//! - **Slow consumers die, fast consumers are untouched.** A subscriber
+//!   that accumulates more than [`BusConfig::max_dropped`] lifetime drops
+//!   is evicted through its sink (the net layer slams the connection,
+//!   same as PR 6's slow-consumer eviction). Fan-out is per-subscriber:
+//!   one stalled queue never delays another.
+//! - **Tenant scoping is enforced at delivery.** Fleet-scoped topics
+//!   (SLO, recorder, net, metrics) reach any authorized subscriber;
+//!   tenant-scoped events (audit appends, analyzer findings) only ever
+//!   reach the tenant they concern. Authorization to subscribe at all is
+//!   the broker's job (mediated through the `ReferenceMonitor`); the bus
+//!   enforces the data-plane filter.
+
+use crate::slo::Alert;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Event families a subscriber opts into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Topic {
+    /// SLO trips and re-arms from any shard's scrape loop.
+    Slo,
+    /// Flight-recorder dumps becoming available.
+    Recorder,
+    /// Static-analysis findings surfaced at session intake.
+    Analyzer,
+    /// Audit-chain appends (the subscriber's own entries only).
+    Audit,
+    /// Net-layer counters crossing configured thresholds.
+    Net,
+    /// Fleet-wide metrics snapshot changed.
+    Metrics,
+}
+
+impl Topic {
+    pub const ALL: [Topic; 6] = [
+        Topic::Slo,
+        Topic::Recorder,
+        Topic::Analyzer,
+        Topic::Audit,
+        Topic::Net,
+        Topic::Metrics,
+    ];
+
+    /// Fleet-scoped topics carry data about shared infrastructure and
+    /// need a mediated read privilege; tenant-scoped topics only ever
+    /// show a tenant its own records.
+    pub fn fleet_scoped(self) -> bool {
+        matches!(
+            self,
+            Topic::Slo | Topic::Recorder | Topic::Net | Topic::Metrics
+        )
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Topic::Slo => "slo",
+            Topic::Recorder => "recorder",
+            Topic::Analyzer => "analyzer",
+            Topic::Audit => "audit",
+            Topic::Net => "net",
+            Topic::Metrics => "metrics",
+        }
+    }
+}
+
+/// One pushed observability event. Payloads are plain strings/numbers so
+/// the wire shape stays stable even as the producing crates evolve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ObsEvent {
+    /// An SLO rule tripped on `shard`; the full alert rides along.
+    SloTrip { shard: usize, alert: Alert },
+    /// A previously tripped rule re-armed (short window clean again).
+    SloRearm {
+        shard: usize,
+        rule: String,
+        at_ns: u64,
+    },
+    /// The flight recorder produced a dump (burst/latency anomaly).
+    RecorderDump {
+        shard: usize,
+        kind: String,
+        spans: usize,
+        at_ns: u64,
+    },
+    /// The static analyzer flagged a finding at session intake.
+    AnalyzerFinding {
+        shard: usize,
+        technician: String,
+        code: String,
+        severity: String,
+        device: String,
+        at_ns: u64,
+    },
+    /// An entry was appended to the tamper-evident audit chain.
+    AuditAppend {
+        shard: usize,
+        seq: u64,
+        kind: String,
+        actor: String,
+        trace: String,
+        at_ns: u64,
+    },
+    /// A net-layer counter crossed its configured threshold.
+    NetThreshold {
+        counter: String,
+        value: u64,
+        threshold: u64,
+        at_ns: u64,
+    },
+    /// The fleet-wide metrics snapshot changed since the last scrape.
+    MetricsDelta {
+        shards: usize,
+        changed: String,
+        at_ns: u64,
+    },
+    /// Gap marker: this subscriber's queue overflowed and `dropped`
+    /// events were discarded between the previous event and the next.
+    Lagged { dropped: u64 },
+}
+
+impl ObsEvent {
+    /// The topic this event publishes under; `None` for [`ObsEvent::Lagged`],
+    /// which is injected per-subscriber and never published fleet-wide.
+    pub fn topic(&self) -> Option<Topic> {
+        match self {
+            ObsEvent::SloTrip { .. } | ObsEvent::SloRearm { .. } => Some(Topic::Slo),
+            ObsEvent::RecorderDump { .. } => Some(Topic::Recorder),
+            ObsEvent::AnalyzerFinding { .. } => Some(Topic::Analyzer),
+            ObsEvent::AuditAppend { .. } => Some(Topic::Audit),
+            ObsEvent::NetThreshold { .. } => Some(Topic::Net),
+            ObsEvent::MetricsDelta { .. } => Some(Topic::Metrics),
+            ObsEvent::Lagged { .. } => None,
+        }
+    }
+
+    /// The tenant this event concerns, or `None` for fleet-scoped
+    /// events. Tenant-scoped events are only ever delivered to
+    /// subscribers whose bound identity matches.
+    pub fn scope(&self) -> Option<&str> {
+        match self {
+            ObsEvent::AnalyzerFinding { technician, .. } => Some(technician),
+            ObsEvent::AuditAppend { actor, .. } => Some(actor),
+            _ => None,
+        }
+    }
+}
+
+/// Where one delivery attempt landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliverOutcome {
+    /// The sink accepted the event.
+    Delivered,
+    /// The sink is momentarily full; the event stays queued and the bus
+    /// retries on the next publish or [`EventBus::pump`].
+    Busy,
+    /// The sink is permanently dead (connection closed); the subscriber
+    /// is garbage-collected.
+    Gone,
+}
+
+/// Downstream half of one subscriber. The net layer implements this over
+/// a connection's bounded write queue; tests implement it in-memory.
+pub trait EventSink: Send + Sync {
+    /// Attempt to hand one event to the consumer, without blocking.
+    fn deliver(&self, event: &ObsEvent) -> DeliverOutcome;
+    /// Permanently cut the consumer off (slow-consumer eviction). The
+    /// bus calls this at most once per subscriber.
+    fn evict(&self);
+}
+
+/// Bounds for every subscriber on a bus.
+#[derive(Debug, Clone)]
+pub struct BusConfig {
+    /// Per-subscriber queue depth (events buffered while the sink is
+    /// busy). One slot is spent on a `Lagged` marker after an overflow.
+    pub queue_depth: usize,
+    /// Lifetime dropped-event budget; a subscriber exceeding it is
+    /// evicted through its sink.
+    pub max_dropped: u64,
+}
+
+impl Default for BusConfig {
+    fn default() -> BusConfig {
+        BusConfig {
+            queue_depth: 64,
+            max_dropped: 256,
+        }
+    }
+}
+
+struct Subscriber {
+    id: u64,
+    tenant: String,
+    topics: Vec<Topic>,
+    sink: Box<dyn EventSink>,
+    queue: VecDeque<ObsEvent>,
+    /// Drops since the last `Lagged` marker was queued.
+    gap: u64,
+    total_dropped: u64,
+    dead: bool,
+}
+
+impl Subscriber {
+    fn wants(&self, event: &ObsEvent) -> bool {
+        let Some(topic) = event.topic() else {
+            return false;
+        };
+        if !self.topics.contains(&topic) {
+            return false;
+        }
+        match event.scope() {
+            Some(owner) => owner == self.tenant,
+            None => true,
+        }
+    }
+}
+
+/// Counters over the bus's lifetime, for `MetricsQuery` and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusStats {
+    /// Live subscribers right now.
+    pub subscribers: u64,
+    /// Events offered to `publish` (before fan-out).
+    pub published: u64,
+    /// Events (incl. `Lagged` markers) handed to sinks.
+    pub delivered: u64,
+    /// Events discarded across all subscriber queues.
+    pub dropped: u64,
+    /// `Lagged` markers queued.
+    pub lagged_markers: u64,
+    /// Subscribers evicted for exceeding the drop budget.
+    pub evicted: u64,
+}
+
+/// Per-subscriber bounded fan-out. All methods are safe from any thread;
+/// fan-out runs under one mutex but each sink's `deliver` is non-blocking
+/// by contract, so the critical section stays short.
+pub struct EventBus {
+    config: BusConfig,
+    subs: Mutex<Vec<Subscriber>>,
+    next_id: AtomicU64,
+    published: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    lagged_markers: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl EventBus {
+    pub fn new(config: BusConfig) -> EventBus {
+        EventBus {
+            config: BusConfig {
+                queue_depth: config.queue_depth.max(2),
+                max_dropped: config.max_dropped.max(1),
+            },
+            subs: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+            published: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            lagged_markers: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a subscriber; returns its bus-assigned id. Topics are
+    /// deduplicated. Authorization must already have happened — the bus
+    /// only enforces tenant scoping of individual events.
+    pub fn subscribe(&self, tenant: &str, topics: &[Topic], sink: Box<dyn EventSink>) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut dedup = Vec::new();
+        for t in topics {
+            if !dedup.contains(t) {
+                dedup.push(*t);
+            }
+        }
+        self.subs.lock().push(Subscriber {
+            id,
+            tenant: tenant.to_string(),
+            topics: dedup,
+            sink,
+            queue: VecDeque::new(),
+            gap: 0,
+            total_dropped: 0,
+            dead: false,
+        });
+        id
+    }
+
+    /// Removes a subscriber without evicting its sink (the consumer
+    /// asked to stop). Returns whether the id was live.
+    pub fn unsubscribe(&self, id: u64) -> bool {
+        let mut subs = self.subs.lock();
+        let before = subs.len();
+        subs.retain(|s| s.id != id);
+        before != subs.len()
+    }
+
+    /// Fans `event` out to every matching subscriber, respecting queue
+    /// bounds, then drains what it can. Never blocks on a consumer.
+    pub fn publish(&self, event: &ObsEvent) {
+        self.published.fetch_add(1, Ordering::Relaxed);
+        let mut subs = self.subs.lock();
+        for sub in subs.iter_mut() {
+            if sub.dead || !sub.wants(event) {
+                continue;
+            }
+            self.enqueue(sub, event);
+            self.drain(sub);
+        }
+        subs.retain(|s| !s.dead);
+    }
+
+    /// Retries delivery for subscribers whose sinks reported `Busy`.
+    /// The server's background loop calls this every tick so a queue
+    /// drains even when no new event arrives.
+    pub fn pump(&self) {
+        let mut subs = self.subs.lock();
+        for sub in subs.iter_mut() {
+            if !sub.dead {
+                self.drain(sub);
+            }
+        }
+        subs.retain(|s| !s.dead);
+    }
+
+    pub fn stats(&self) -> BusStats {
+        BusStats {
+            subscribers: self.subs.lock().len() as u64,
+            published: self.published.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            lagged_markers: self.lagged_markers.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Queue `event` for one subscriber: a gap marker first if drops
+    /// accumulated, the event itself if room remains, a counted drop
+    /// otherwise. Crossing the drop budget evicts.
+    fn enqueue(&self, sub: &mut Subscriber, event: &ObsEvent) {
+        if sub.queue.len() < self.config.queue_depth && sub.gap > 0 {
+            sub.queue.push_back(ObsEvent::Lagged { dropped: sub.gap });
+            self.lagged_markers.fetch_add(1, Ordering::Relaxed);
+            sub.gap = 0;
+        }
+        if sub.queue.len() < self.config.queue_depth {
+            sub.queue.push_back(event.clone());
+        } else {
+            sub.gap += 1;
+            sub.total_dropped += 1;
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            if sub.total_dropped > self.config.max_dropped {
+                sub.sink.evict();
+                sub.dead = true;
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Push queued events into the sink until it reports busy or the
+    /// queue empties. A `Gone` sink marks the subscriber for removal.
+    fn drain(&self, sub: &mut Subscriber) {
+        while let Some(front) = sub.queue.front() {
+            match sub.sink.deliver(front) {
+                DeliverOutcome::Delivered => {
+                    sub.queue.pop_front();
+                    self.delivered.fetch_add(1, Ordering::Relaxed);
+                }
+                DeliverOutcome::Busy => break,
+                DeliverOutcome::Gone => {
+                    sub.dead = true;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl Default for EventBus {
+    fn default() -> EventBus {
+        EventBus::new(BusConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    /// In-memory sink with a switchable busy flag.
+    struct TestSink {
+        got: Arc<Mutex<Vec<ObsEvent>>>,
+        busy: Arc<AtomicBool>,
+        evicted: Arc<AtomicBool>,
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn sink() -> (
+        Box<TestSink>,
+        Arc<Mutex<Vec<ObsEvent>>>,
+        Arc<AtomicBool>,
+        Arc<AtomicBool>,
+    ) {
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let busy = Arc::new(AtomicBool::new(false));
+        let evicted = Arc::new(AtomicBool::new(false));
+        (
+            Box::new(TestSink {
+                got: Arc::clone(&got),
+                busy: Arc::clone(&busy),
+                evicted: Arc::clone(&evicted),
+            }),
+            got,
+            busy,
+            evicted,
+        )
+    }
+
+    impl EventSink for TestSink {
+        fn deliver(&self, event: &ObsEvent) -> DeliverOutcome {
+            if self.busy.load(Ordering::Acquire) {
+                return DeliverOutcome::Busy;
+            }
+            self.got.lock().push(event.clone());
+            DeliverOutcome::Delivered
+        }
+
+        fn evict(&self) {
+            self.evicted.store(true, Ordering::Release);
+        }
+    }
+
+    fn net_event(i: u64) -> ObsEvent {
+        ObsEvent::NetThreshold {
+            counter: "accepted_total".into(),
+            value: i,
+            threshold: 0,
+            at_ns: i,
+        }
+    }
+
+    fn audit_event(actor: &str) -> ObsEvent {
+        ObsEvent::AuditAppend {
+            shard: 0,
+            seq: 1,
+            kind: "Command".into(),
+            actor: actor.into(),
+            trace: String::new(),
+            at_ns: 0,
+        }
+    }
+
+    #[test]
+    fn tenant_scoped_events_never_cross_tenants() {
+        let bus = EventBus::default();
+        let (sa, got_a, _, _) = sink();
+        let (sb, got_b, _, _) = sink();
+        bus.subscribe("alice", &[Topic::Audit, Topic::Net], sa);
+        bus.subscribe("bob", &[Topic::Audit, Topic::Net], sb);
+        bus.publish(&audit_event("alice"));
+        bus.publish(&net_event(7));
+        // Alice sees her audit append plus the fleet event; Bob only the
+        // fleet event.
+        assert_eq!(got_a.lock().len(), 2);
+        let bob = got_b.lock();
+        assert_eq!(bob.len(), 1);
+        assert!(matches!(bob[0], ObsEvent::NetThreshold { .. }));
+    }
+
+    #[test]
+    fn unsubscribed_topics_are_filtered() {
+        let bus = EventBus::default();
+        let (s, got, _, _) = sink();
+        bus.subscribe("t", &[Topic::Slo], s);
+        bus.publish(&net_event(1));
+        assert!(got.lock().is_empty());
+    }
+
+    #[test]
+    fn stalled_subscriber_gets_gap_marker_with_exact_count() {
+        let bus = EventBus::new(BusConfig {
+            queue_depth: 2,
+            max_dropped: 1_000,
+        });
+        let (s, got, busy, _) = sink();
+        bus.subscribe("t", &[Topic::Net], s);
+        busy.store(true, Ordering::Release);
+        // Queue depth 2: events 0,1 buffer; 2..7 drop (6 events).
+        for i in 0..8 {
+            bus.publish(&net_event(i));
+        }
+        assert!(got.lock().is_empty(), "busy sink receives nothing");
+        busy.store(false, Ordering::Release);
+        bus.pump(); // Drains the two buffered events.
+        bus.publish(&net_event(8)); // Room again → marker + event.
+        let seen = got.lock();
+        let values: Vec<_> = seen
+            .iter()
+            .map(|e| match e {
+                ObsEvent::NetThreshold { value, .. } => format!("v{value}"),
+                ObsEvent::Lagged { dropped } => format!("lag{dropped}"),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(values, ["v0", "v1", "lag6", "v8"]);
+        let stats = bus.stats();
+        // Conservation: published = delivered-events + dropped.
+        assert_eq!(stats.published, 9);
+        assert_eq!(stats.dropped, 6);
+        assert_eq!(stats.delivered, 4); // 3 events + 1 marker
+        assert_eq!(stats.lagged_markers, 1);
+    }
+
+    #[test]
+    fn drop_budget_evicts_slow_subscriber_only() {
+        let bus = EventBus::new(BusConfig {
+            queue_depth: 2,
+            max_dropped: 3,
+        });
+        let (slow, _, busy, evicted) = sink();
+        let (fast, got_fast, _, fast_evicted) = sink();
+        bus.subscribe("slow", &[Topic::Net], slow);
+        bus.subscribe("fast", &[Topic::Net], fast);
+        busy.store(true, Ordering::Release);
+        for i in 0..10 {
+            bus.publish(&net_event(i));
+        }
+        assert!(evicted.load(Ordering::Acquire), "budget crossed → evicted");
+        assert!(!fast_evicted.load(Ordering::Acquire));
+        assert_eq!(got_fast.lock().len(), 10, "fast subscriber lost nothing");
+        let stats = bus.stats();
+        assert_eq!(stats.evicted, 1);
+        assert_eq!(stats.subscribers, 1, "dead subscriber garbage-collected");
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery_without_eviction() {
+        let bus = EventBus::default();
+        let (s, got, _, evicted) = sink();
+        let id = bus.subscribe("t", &[Topic::Net], s);
+        bus.publish(&net_event(1));
+        assert!(bus.unsubscribe(id));
+        assert!(!bus.unsubscribe(id), "second unsubscribe is a no-op");
+        bus.publish(&net_event(2));
+        assert_eq!(got.lock().len(), 1);
+        assert!(!evicted.load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn gone_sink_is_garbage_collected() {
+        struct GoneSink;
+        impl EventSink for GoneSink {
+            fn deliver(&self, _: &ObsEvent) -> DeliverOutcome {
+                DeliverOutcome::Gone
+            }
+            fn evict(&self) {}
+        }
+        let bus = EventBus::default();
+        bus.subscribe("t", &[Topic::Net], Box::new(GoneSink));
+        bus.publish(&net_event(1));
+        assert_eq!(bus.stats().subscribers, 0);
+    }
+}

@@ -16,19 +16,25 @@
 //!   the audit chain;
 //! - [`critical`] — a critical-path analyzer walking stored span trees
 //!   and attributing end-to-end latency per stage (self-time vs
-//!   child-time, top-k contributors per quantile).
+//!   child-time, top-k contributors per quantile);
+//! - [`bus`] — a push-based [`bus::EventBus`] fanning typed
+//!   [`bus::ObsEvent`]s out through bounded per-subscriber queues with
+//!   `Lagged` gap markers and slow-consumer eviction, feeding the net
+//!   layer's `Subscribe`/`Event` frames.
 //!
 //! The "watching the watchmen" twist: monitoring reads of twin devices
 //! go *through* `ReferenceMonitor::mediate` with read-only privileges —
 //! scraping a device a technician may not view is a recorded denial (see
 //! `heimdall_twin::TwinSession::poll_counters`), not a silent leak.
 
+pub mod bus;
 pub mod critical;
 pub mod slo;
 pub mod store;
 
+pub use bus::{BusConfig, BusStats, DeliverOutcome, EventBus, EventSink, ObsEvent, Topic};
 pub use critical::{analyze, quantile_trace, top_k_reports, CriticalPathReport, StageCost};
-pub use slo::{harvest_exemplar, Alert, SloEngine, SloKind, SloRule};
+pub use slo::{harvest_exemplar, Alert, SloEngine, SloKind, SloOutcome, SloRule};
 pub use store::{
     is_canonical_series, Bucket, Resolution, Series, SeriesConfig, TimeSeriesStore, FOLD,
 };

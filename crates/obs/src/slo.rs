@@ -111,6 +111,19 @@ pub struct Alert {
     pub detail: String,
 }
 
+/// What one [`SloEngine::evaluate_detailed`] pass changed: the alerts
+/// that fired and the rules whose latches re-armed. Push-based consumers
+/// (the event bus) need both edges; poll-based consumers only count
+/// `fired`.
+#[derive(Debug, Clone, Default)]
+pub struct SloOutcome {
+    /// Alerts that fired this pass, in rule order.
+    pub fired: Vec<Alert>,
+    /// Names of rules whose trip latch re-armed this pass (the short
+    /// window went clean after a trip).
+    pub rearmed: Vec<String>,
+}
+
 /// Evaluates rules against the store; owns the debounce latches and the
 /// bounded alert history.
 pub struct SloEngine {
@@ -118,6 +131,7 @@ pub struct SloEngine {
     tripped: Vec<bool>,
     alerts: Vec<Alert>,
     max_alerts: usize,
+    total_fired: u64,
 }
 
 impl SloEngine {
@@ -128,6 +142,7 @@ impl SloEngine {
             tripped,
             alerts: Vec::new(),
             max_alerts: max_alerts.max(1),
+            total_fired: 0,
         }
     }
 
@@ -140,6 +155,11 @@ impl SloEngine {
         &self.alerts
     }
 
+    /// Lifetime count of alerts fired, unaffected by the history cap.
+    pub fn total_fired(&self) -> u64 {
+        self.total_fired
+    }
+
     /// Evaluates every rule once against the store; `exemplar` supplies
     /// the worst-span trace tag for a firing rule. Returns how many new
     /// alerts fired this pass.
@@ -147,9 +167,22 @@ impl SloEngine {
         &mut self,
         store: &TimeSeriesStore,
         now_ns: u64,
-        mut exemplar: impl FnMut(&SloRule) -> String,
+        exemplar: impl FnMut(&SloRule) -> String,
     ) -> usize {
-        let mut fired = 0;
+        self.evaluate_detailed(store, now_ns, exemplar).fired.len()
+    }
+
+    /// Like [`SloEngine::evaluate`], but reports both edges of the trip
+    /// latch: the alerts that fired *and* the rules that re-armed. The
+    /// event bus streams both so a subscriber sees the excursion end,
+    /// not just begin.
+    pub fn evaluate_detailed(
+        &mut self,
+        store: &TimeSeriesStore,
+        now_ns: u64,
+        mut exemplar: impl FnMut(&SloRule) -> String,
+    ) -> SloOutcome {
+        let mut outcome = SloOutcome::default();
         for (i, rule) in self.rules.iter().enumerate() {
             let threshold = rule.burn_threshold.max(f64::EPSILON);
             let short = rule.short_window.max(1);
@@ -165,8 +198,8 @@ impl SloEngine {
             if burn_short >= 1.0 && burn_long >= 1.0 {
                 if !self.tripped[i] {
                     self.tripped[i] = true;
-                    fired += 1;
-                    self.alerts.push(Alert {
+                    self.total_fired += 1;
+                    let alert = Alert {
                         rule: rule.name.clone(),
                         series: rule.series.clone(),
                         fired_at_ns: now_ns,
@@ -177,7 +210,9 @@ impl SloEngine {
                             "{}: burn {burn_short:.2}x/{burn_long:.2}x over {short}/{long} scrapes",
                             rule.name
                         ),
-                    });
+                    };
+                    outcome.fired.push(alert.clone());
+                    self.alerts.push(alert);
                     if self.alerts.len() > self.max_alerts {
                         let overflow = self.alerts.len() - self.max_alerts;
                         self.alerts.drain(..overflow);
@@ -186,10 +221,13 @@ impl SloEngine {
             } else if burn_short < 1.0 {
                 // Re-arm only once the fast window is clean: a sustained
                 // excursion stays one alert, a fresh one fires anew.
+                if self.tripped[i] {
+                    outcome.rearmed.push(rule.name.clone());
+                }
                 self.tripped[i] = false;
             }
         }
-        fired
+        outcome
     }
 }
 
@@ -310,6 +348,34 @@ mod tests {
         // Fewer points than the long window — even all-breaching.
         let store = store_with("lat", &[999.0; 10]);
         assert_eq!(engine.evaluate(&store, 1, |_| String::new()), 0);
+    }
+
+    #[test]
+    fn detailed_outcome_reports_both_latch_edges() {
+        let rule = SloRule {
+            short_window: 1,
+            long_window: 1,
+            ..SloRule::ceiling("p", "s", 0.0)
+        };
+        let mut engine = SloEngine::new(vec![rule], 8);
+        let store = TimeSeriesStore::default();
+        // Breach → trip.
+        store.push("s", 0, 5.0);
+        let out = engine.evaluate_detailed(&store, 0, |_| String::new());
+        assert_eq!(out.fired.len(), 1);
+        assert!(out.rearmed.is_empty());
+        // Still breaching → latched, no edge.
+        store.push("s", 1, 5.0);
+        let out = engine.evaluate_detailed(&store, 1, |_| String::new());
+        assert!(out.fired.is_empty() && out.rearmed.is_empty());
+        // Clean → re-arm edge, exactly once.
+        store.push("s", 2, -5.0);
+        let out = engine.evaluate_detailed(&store, 2, |_| String::new());
+        assert_eq!(out.rearmed, vec!["p".to_string()]);
+        store.push("s", 3, -5.0);
+        let out = engine.evaluate_detailed(&store, 3, |_| String::new());
+        assert!(out.rearmed.is_empty(), "re-arm is an edge, not a level");
+        assert_eq!(engine.total_fired(), 1);
     }
 
     #[test]

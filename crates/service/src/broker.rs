@@ -21,7 +21,7 @@ use crate::proto::{
     read_frame, write_frame, AuditEntryView, ErrorKind, FrameError, Request, Response, SessionId,
 };
 use crate::registry::{SessionEntry, SessionRegistry};
-use crate::stats::{ServiceStats, StatsSnapshot};
+use crate::stats::{FleetMetrics, ServiceStats, StatsSnapshot};
 use heimdall_analyze::{analyze, AnalysisReport, Severity};
 use heimdall_enforcer::audit::{AuditKind, AuditLog};
 use heimdall_enforcer::concurrency::CommitGuard;
@@ -29,20 +29,25 @@ use heimdall_enforcer::enclave::Platform;
 use heimdall_enforcer::pipeline::{EnforcerOutcome, EnforcerPipeline};
 use heimdall_enforcer::verifier::Verdict;
 use heimdall_netmodel::topology::Network;
-use heimdall_obs::{harvest_exemplar, is_canonical_series, ObsConfig, SloEngine, TimeSeriesStore};
+use heimdall_obs::{
+    harvest_exemplar, is_canonical_series, EventBus, ObsConfig, ObsEvent, SloEngine,
+    TimeSeriesStore, Topic,
+};
 use heimdall_privilege::derive::{derive_privileges, Task, TaskKind};
-use heimdall_privilege::model::PrivilegeMsp;
+use heimdall_privilege::model::{Effect, PrivilegeMsp, ResourcePattern};
 use heimdall_store::{CompactReport, Durability, Storage, Wal, WalConfig};
 use heimdall_telemetry::{
     SpanContext, SpanStatus, Stage, Telemetry, TelemetryConfig, TraceId, STAGE_DURATION_METRIC,
 };
+use heimdall_twin::console::Command;
+use heimdall_twin::monitor::ReferenceMonitor;
 use heimdall_twin::session::{SessionError, TwinSession};
 use heimdall_twin::slice::slice_for_task;
 use heimdall_verify::policy::PolicySet;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::io::{Read, Write};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -148,6 +153,11 @@ pub const MAX_ANALYZE_PREDICATES: usize = 512;
 
 type PrivKey = (TaskKind, Vec<String>);
 
+/// Where this broker publishes push events, once a front-end attaches a
+/// bus: the shared [`EventBus`] plus this broker's shard index (so a
+/// subscriber can tell which shard an alert came from).
+type EventHub = Arc<RwLock<Option<(Arc<EventBus>, usize)>>>;
+
 /// Memoized privilege derivations, valid for exactly one production
 /// epoch. Entries derived from an epoch-`N` snapshot must never be served
 /// once a commit moves production to `N+1` — paths may have shifted — so
@@ -181,6 +191,15 @@ pub struct Broker {
     /// The registry itself cannot serve that role — it is touched
     /// outside the journaling locks on the intake path.
     mirror: Mutex<HashMap<u64, String>>,
+    /// Push hub; `None` until a front-end calls
+    /// [`Broker::attach_event_bus`]. The audit sink holds a clone, so the
+    /// slot lives behind its own lock rather than in `config`.
+    events: EventHub,
+    /// Scrape passes driven against this broker (any driver).
+    scrapes: AtomicU64,
+    /// Flight-recorder dumps already announced on the bus (the recorder
+    /// stops capturing at its cap, so an index suffices).
+    dumps_announced: AtomicU64,
     config: BrokerConfig,
 }
 
@@ -211,6 +230,8 @@ impl Broker {
         stats: Arc<ServiceStats>,
         journal: Option<Arc<Wal>>,
     ) -> Broker {
+        let telemetry = Arc::new(Telemetry::new(config.telemetry.clone()));
+        let events: EventHub = Arc::new(RwLock::new(None));
         // The commit sink runs inside the guard's production lock, so
         // the applied counter and the journaled commit move together —
         // a checkpoint can never capture one without the other.
@@ -231,15 +252,33 @@ impl Broker {
                 }
             }));
         }
-        if let Some(wal) = &journal {
+        // The audit sink is installed unconditionally now: every append
+        // both journals (when a WAL exists) and streams to audit
+        // subscribers, so the pushed feed is ordered exactly like the
+        // tamper-evident chain.
+        {
             let stats = Arc::clone(&stats);
-            let wal = Arc::clone(wal);
+            let journal = journal.clone();
+            let events = Arc::clone(&events);
+            let telemetry = Arc::clone(&telemetry);
             pipeline.set_audit_sink(Box::new(move |entry| {
-                let ev = JournalEvent::Audit {
-                    entry: entry.clone(),
-                };
-                if wal.append(ev.kind_byte(), &ev.encode()).is_err() {
-                    ServiceStats::bump(&stats.journal_errors);
+                if let Some(wal) = &journal {
+                    let ev = JournalEvent::Audit {
+                        entry: entry.clone(),
+                    };
+                    if wal.append(ev.kind_byte(), &ev.encode()).is_err() {
+                        ServiceStats::bump(&stats.journal_errors);
+                    }
+                }
+                if let Some((bus, shard)) = events.read().clone() {
+                    bus.publish(&ObsEvent::AuditAppend {
+                        shard,
+                        seq: entry.seq,
+                        kind: format!("{:?}", entry.kind),
+                        actor: entry.actor.clone(),
+                        trace: entry.trace.clone(),
+                        at_ns: telemetry.now_ns(),
+                    });
                 }
             }));
         }
@@ -254,7 +293,7 @@ impl Broker {
                 entries: HashMap::new(),
             }),
             stats,
-            telemetry: Arc::new(Telemetry::new(config.telemetry.clone())),
+            telemetry,
             obs_store: Arc::new(TimeSeriesStore::new(config.obs.series.clone())),
             slo: Mutex::new(SloEngine::new(
                 config.obs.rules.clone(),
@@ -262,6 +301,9 @@ impl Broker {
             )),
             journal,
             mirror: Mutex::new(HashMap::new()),
+            events,
+            scrapes: AtomicU64::new(0),
+            dumps_announced: AtomicU64::new(0),
             config,
         }
     }
@@ -634,6 +676,7 @@ impl Broker {
                     &detail,
                     &root.trace_tag(),
                 );
+                self.publish_findings(technician, &analysis, gate);
                 return Err(BrokerError::PermissionDenied(detail));
             }
         }
@@ -702,7 +745,30 @@ impl Broker {
                 &root.trace_tag(),
             );
         }
+        drop(pipeline);
+        if warn_count > 0 {
+            self.publish_findings(technician, &analysis, self.config.analysis_warn_at);
+        }
         Ok((id, devices))
+    }
+
+    /// Streams every analyzer finding at or above `min` to the tenant's
+    /// analyzer subscribers (tenant-scoped: only `technician` sees them).
+    fn publish_findings(&self, technician: &str, analysis: &AnalysisReport, min: Severity) {
+        let Some((bus, shard)) = self.events.read().clone() else {
+            return;
+        };
+        let now = self.telemetry.now_ns();
+        for finding in analysis.findings.iter().filter(|f| f.severity >= min) {
+            bus.publish(&ObsEvent::AnalyzerFinding {
+                shard,
+                technician: technician.to_string(),
+                code: finding.code.clone(),
+                severity: format!("{:?}", finding.severity),
+                device: finding.device.clone(),
+                at_ns: now,
+            });
+        }
     }
 
     /// One mediated console line inside a hosted session.
@@ -1002,6 +1068,114 @@ impl Broker {
         self.stats.snapshot()
     }
 
+    /// Attaches the push bus this broker publishes to, tagged with this
+    /// broker's shard index. The net front-end calls this once per shard
+    /// at startup; publishing is a no-op until then.
+    pub fn attach_event_bus(&self, bus: Arc<EventBus>, shard: usize) {
+        *self.events.write() = Some((bus, shard));
+    }
+
+    /// The attached push bus, if any.
+    pub fn event_bus(&self) -> Option<Arc<EventBus>> {
+        self.events.read().as_ref().map(|(bus, _)| Arc::clone(bus))
+    }
+
+    /// Authorizes a `Subscribe` request for `tenant` over `topics`.
+    ///
+    /// Tenant-scoped topics (audit, analyzer) only ever show a tenant its
+    /// own records, so they are granted on identity alone. Fleet-scoped
+    /// topics (SLO, recorder, net, metrics) reveal shared-infrastructure
+    /// state, so they are mediated through a [`ReferenceMonitor`] built
+    /// over the union of the tenant's live-session privilege specs — the
+    /// same monitor that gates counter polls: a tenant with no live
+    /// session, or none with a view grant, gets a *recorded* denial that
+    /// leaks no events, matching the denied-poll semantics.
+    pub fn authorize_subscription(
+        &self,
+        tenant: &str,
+        topics: &[Topic],
+    ) -> Result<(), BrokerError> {
+        let named = topics
+            .iter()
+            .map(|t| t.as_str())
+            .collect::<Vec<_>>()
+            .join(",");
+        let fleet: Vec<Topic> = topics
+            .iter()
+            .copied()
+            .filter(|t| t.fleet_scoped())
+            .collect();
+        if !fleet.is_empty() {
+            // Union of the tenant's live-session specs: subscribing to
+            // fleet telemetry requires at least one standing view grant.
+            let mut predicates = Vec::new();
+            self.registry.for_each_session(|_, entry| {
+                if entry.technician == tenant {
+                    predicates.extend(entry.privilege.predicates.iter().cloned());
+                }
+            });
+            // Mediate as a counter read against a device the union spec
+            // names in a view-allow grant; with no such grant the probe
+            // runs against the fleet pseudo-device, which nothing allows,
+            // so the monitor records a denial.
+            let device = predicates
+                .iter()
+                .find_map(|p| match (&p.effect, &p.resource) {
+                    (Effect::Allow, ResourcePattern::Device(d)) => Some(d.clone()),
+                    (Effect::Allow, ResourcePattern::Any) => Some("fleet".to_string()),
+                    (Effect::Allow, ResourcePattern::Interface { device, .. })
+                    | (Effect::Allow, ResourcePattern::Acl { device, .. }) => Some(device.clone()),
+                    _ => None,
+                })
+                .unwrap_or_else(|| "fleet".to_string());
+            let raw = format!("subscribe {named}");
+            let mut monitor = ReferenceMonitor::new(tenant, PrivilegeMsp { predicates });
+            let decision = monitor.mediate(&device, &raw, &Command::ShowCounters);
+            if !decision.is_allowed() {
+                ServiceStats::bump(&self.stats.denials);
+                self.telemetry.note_denial();
+                let detail = format!(
+                    "subscription to fleet topics [{named}] denied: no view privilege for {tenant}"
+                );
+                self.pipeline
+                    .lock()
+                    .log_traced(AuditKind::Verification, tenant, &detail, "");
+                return Err(BrokerError::PermissionDenied(detail));
+            }
+        }
+        self.pipeline.lock().log_traced(
+            AuditKind::Session,
+            tenant,
+            &format!("subscription granted: topics [{named}]"),
+            "",
+        );
+        Ok(())
+    }
+
+    /// Lifetime scrape passes driven against this broker.
+    pub fn scrapes_total(&self) -> u64 {
+        self.scrapes.load(Ordering::Relaxed)
+    }
+
+    /// This broker's own contribution to the fleet metrics surface. The
+    /// net front-end merges one of these per shard and fills in the net
+    /// counters; an in-process broker answers `MetricsQuery` with this
+    /// single-shard view directly.
+    pub fn fleet_metrics(&self) -> FleetMetrics {
+        let bus = self.event_bus().map(|b| b.stats()).unwrap_or_default();
+        FleetMetrics {
+            shards: 1,
+            service: self.stats.snapshot(),
+            net: Vec::new(),
+            scrapes_total: self.scrapes_total(),
+            alerts_total: self.slo.lock().total_fired(),
+            events_published: bus.published,
+            events_delivered: bus.delivered,
+            events_dropped: bus.dropped,
+            subscribers: bus.subscribers,
+        }
+    }
+
     /// The telemetry hub (span ring, metrics registry, flight recorder).
     pub fn telemetry(&self) -> &Arc<Telemetry> {
         &self.telemetry
@@ -1010,7 +1184,6 @@ impl Broker {
     /// Prometheus text exposition: every per-stage/per-device series from
     /// the registry, plus the broker's own service counters.
     pub fn telemetry_text(&self) -> String {
-        use std::fmt::Write as _;
         let mut text = self.telemetry.render_prometheus();
         let s = self.stats.snapshot();
         for (name, value) in [
@@ -1024,8 +1197,7 @@ impl Broker {
             ("heimdall_commit_conflicts_total", s.commit_conflicts),
             ("heimdall_rate_limited_total", s.rate_limited),
         ] {
-            let _ = writeln!(text, "# TYPE {name} counter");
-            let _ = writeln!(text, "{name} {value}");
+            heimdall_telemetry::render_counter(&mut text, name, value);
         }
         text
     }
@@ -1043,6 +1215,7 @@ impl Broker {
     /// the SLO engine evaluates its rules over the refreshed windows.
     /// Returns how many alerts fired this pass.
     pub fn scrape_once(&self) -> usize {
+        self.scrapes.fetch_add(1, Ordering::Relaxed);
         let now = self.telemetry.now_ns();
         let store = &self.obs_store;
         // Stage latency quantiles from the telemetry histograms.
@@ -1130,9 +1303,41 @@ impl Broker {
             ServiceStats::bump(&self.stats.denials);
             self.telemetry.note_denial();
         }
-        self.slo
+        let outcome = self
+            .slo
             .lock()
-            .evaluate(store, now, |rule| harvest_exemplar(&self.telemetry, rule))
+            .evaluate_detailed(store, now, |rule| harvest_exemplar(&self.telemetry, rule));
+        // Push both latch edges plus any flight-recorder dumps that
+        // appeared since the last pass. The hub read is a cheap clone;
+        // publishing happens outside the SLO lock.
+        if let Some((bus, shard)) = self.events.read().clone() {
+            for alert in &outcome.fired {
+                bus.publish(&ObsEvent::SloTrip {
+                    shard,
+                    alert: alert.clone(),
+                });
+            }
+            for rule in &outcome.rearmed {
+                bus.publish(&ObsEvent::SloRearm {
+                    shard,
+                    rule: rule.clone(),
+                    at_ns: now,
+                });
+            }
+            let dumps = self.telemetry.recorder().dumps();
+            let seen = self
+                .dumps_announced
+                .swap(dumps.len() as u64, Ordering::Relaxed) as usize;
+            for dump in dumps.iter().skip(seen) {
+                bus.publish(&ObsEvent::RecorderDump {
+                    shard,
+                    kind: dump.kind.as_str().to_string(),
+                    spans: dump.span_count,
+                    at_ns: dump.at_ns,
+                });
+            }
+        }
+        outcome.fired.len()
     }
 
     /// One explicit mediated counter poll against a hosted session's twin
@@ -1285,6 +1490,9 @@ impl Broker {
             } => match self.analyze_query(session, spec, ticket) {
                 Ok(report) => Response::Analysis { report },
                 Err(e) => error_response(e),
+            },
+            Request::MetricsQuery => Response::Metrics {
+                metrics: self.fleet_metrics(),
             },
         }
     }

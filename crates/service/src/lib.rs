@@ -61,7 +61,7 @@ pub use proto::{
     Response, SessionId, MAX_FRAME,
 };
 pub use registry::{SessionEntry, SessionRegistry};
-pub use stats::{LatencyHistogram, ServiceStats, StatsSnapshot};
+pub use stats::{FleetMetrics, LatencyHistogram, ServiceStats, StatsSnapshot};
 
 /// Compile-time thread-safety proof for everything the broker shares
 /// across worker threads. If a future change smuggles an `Rc` or raw

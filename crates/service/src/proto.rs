@@ -91,6 +91,11 @@ pub enum Request {
         spec: Option<String>,
         ticket: Option<Task>,
     },
+    /// The fleet-wide metrics surface: merged service counters across
+    /// shards plus net-layer counters and event-bus health. In network
+    /// mode the front-end answers from its background scrape loop; an
+    /// in-process broker answers for itself (`shards == 1`).
+    MetricsQuery,
 }
 
 /// Why a request was refused.
@@ -185,6 +190,10 @@ pub enum Response {
     /// canonically sorted (severity desc, device, code, message).
     Analysis {
         report: heimdall_analyze::AnalysisReport,
+    },
+    /// The merged fleet metrics answering a [`Request::MetricsQuery`].
+    Metrics {
+        metrics: crate::stats::FleetMetrics,
     },
     Error {
         kind: ErrorKind,

@@ -85,7 +85,7 @@ impl ServiceStats {
 }
 
 /// A point-in-time copy of the counters, cheap to print or ship.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct StatsSnapshot {
     pub sessions_opened: u64,
     pub sessions_finished: u64,
@@ -139,6 +139,54 @@ impl StatsSnapshot {
         self.finish_p50_ns = self.finish_p50_ns.max(other.finish_p50_ns);
         self.finish_p99_ns = self.finish_p99_ns.max(other.finish_p99_ns);
         self.finish_count += other.finish_count;
+    }
+}
+
+/// The fleet-wide metrics surface served over `MetricsQuery`: merged
+/// service counters across every shard, net front-end counters, and
+/// event-bus health. In network mode the server's background scrape loop
+/// refreshes this continuously; a lone in-process broker answers with
+/// `shards == 1` and no net section.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FleetMetrics {
+    /// Shards folded into this snapshot.
+    pub shards: usize,
+    /// Per-shard [`StatsSnapshot`]s merged via [`StatsSnapshot::merge`].
+    pub service: StatsSnapshot,
+    /// Net-layer counters as `(name, value)` pairs — filled by the net
+    /// server, empty for an in-process broker (the service crate must
+    /// not depend on the net crate).
+    pub net: Vec<(String, u64)>,
+    /// Scrape passes driven across all shards.
+    pub scrapes_total: u64,
+    /// SLO alerts fired, lifetime, across all shards.
+    pub alerts_total: u64,
+    /// Events offered to the push bus.
+    pub events_published: u64,
+    /// Events (incl. gap markers) delivered to subscriber sinks.
+    pub events_delivered: u64,
+    /// Events dropped at full subscriber queues.
+    pub events_dropped: u64,
+    /// Live event subscribers.
+    pub subscribers: u64,
+}
+
+impl fmt::Display for FleetMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fleet: {} shard(s), {} scrapes, {} alerts fired",
+            self.shards, self.scrapes_total, self.alerts_total
+        )?;
+        writeln!(
+            f,
+            "bus:   {} subscribers, {} published / {} delivered / {} dropped",
+            self.subscribers, self.events_published, self.events_delivered, self.events_dropped
+        )?;
+        for (name, value) in &self.net {
+            writeln!(f, "net:   {name} {value}")?;
+        }
+        write!(f, "{}", self.service)
     }
 }
 

@@ -25,7 +25,7 @@ pub mod metrics;
 pub mod recorder;
 pub mod trace;
 
-pub use metrics::{Counter, LatencyHistogram, MetricsRegistry};
+pub use metrics::{render_counter, Counter, LatencyHistogram, MetricsRegistry};
 pub use recorder::{AnomalyDump, AnomalyKind, FlightRecorder, RecorderConfig};
 pub use trace::{Span, SpanId, SpanRing, SpanStatus, Stage, TraceId};
 

@@ -273,9 +273,29 @@ impl MetricsRegistry {
     }
 }
 
+/// Appends one label-less counter in Prometheus text exposition format
+/// (`# TYPE` line plus the sample). Shared by every exposition surface —
+/// the broker's `Telemetry` endpoint and the net layer's `NetStats`
+/// rendering — so they all emit the same shape and stay greppable by the
+/// same tooling.
+pub fn render_counter(out: &mut String, name: &str, value: u64) {
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn render_counter_emits_type_line_and_sample() {
+        let mut out = String::new();
+        render_counter(&mut out, "heimdall_net_accepted_total", 7);
+        assert_eq!(
+            out,
+            "# TYPE heimdall_net_accepted_total counter\nheimdall_net_accepted_total 7\n"
+        );
+    }
 
     #[test]
     fn histogram_quantiles_bracket_samples() {

@@ -22,11 +22,14 @@
 //! clean` line. Exit code 0 means all of that held.
 
 use heimdall::enforcer::audit::AuditLog;
-use heimdall::net::{BoundAcceptor, BrokerFleet, NetClient, NetConfig, NetServer, TenantKeys};
+use heimdall::net::{
+    BoundAcceptor, BrokerFleet, ClientError, NetClient, NetConfig, NetServer, RejectReason,
+    TenantKeys,
+};
 use heimdall::netmodel::acl::AclAction;
 use heimdall::netmodel::gen::enterprise_network;
 use heimdall::netmodel::topology::Network;
-use heimdall::obs::{ObsConfig, Resolution, SloRule};
+use heimdall::obs::{ObsConfig, ObsEvent, Resolution, SloRule, Topic};
 use heimdall::privilege::derive::{Task, TaskKind};
 use heimdall::routing::converge;
 use heimdall::service::{Broker, BrokerConfig, Request, Response};
@@ -402,9 +405,11 @@ fn main() {
         drill_dumps[0].kind, drill_dumps[0].span_count, drill_dumps[0].reason
     );
 
-    // Observability, quiet side: the healthy broker's scrape loop builds
-    // history under the default SLO rules and fires nothing. CI greps
-    // for the `obs quiet: 0 alerts` line.
+    // Observability, quiet side: in network mode the server's monitor
+    // thread has been scraping the whole time (no one called
+    // `scrape_once` by hand); 20 explicit passes on top still fire
+    // nothing under the default SLO rules. CI greps for the `obs quiet:
+    // 0 alerts` line.
     let mut quiet_fired = 0;
     for _ in 0..20 {
         quiet_fired += fleet.shard(0).scrape_once();
@@ -427,7 +432,13 @@ fn main() {
     ) else {
         panic!("expected TimeSeries");
     };
-    assert_eq!(points.len(), 20, "one exec-p99 point per scrape");
+    // At least the 20 explicit passes; the background monitor loop has
+    // been adding points of its own since the server came up.
+    assert!(
+        points.len() >= 20,
+        "scrape history must cover the explicit passes: {}",
+        points.len()
+    );
     println!(
         "exec p99 history: {} points, latest {}ns",
         points.len(),
@@ -569,6 +580,72 @@ fn main() {
         "durability drill: 2 acked commits recovered, 1 orphan evicted, {} records replayed, audit chain verified",
         dsnap.records_replayed
     );
+
+    // Push-subscription drill: observability arrives, it is not polled
+    // for. A tenant with a live session (standing view grant) subscribes
+    // to its audit feed and sees its own chain appends as server-pushed
+    // events; a tenant with no session is refused fleet-scoped topics
+    // with a typed, recorded denial and zero delivered events. CI greps
+    // for the `push drill:` line.
+    let mut subscriber = connect(&sock, "tech01");
+    let sub_session = open(
+        &mut subscriber,
+        Task {
+            kind: TaskKind::Routing,
+            affected: vec!["h4".to_string(), "srv1".to_string()],
+        },
+    );
+    subscriber
+        .subscribe(&[Topic::Audit, Topic::Metrics])
+        .expect("session-holding tenant may subscribe");
+    // Real mediated work → audit appends → pushed frames, no polling.
+    // Plain execs stay off the audit chain; the session *commit* is what
+    // appends to it, so finish the session and watch the append arrive.
+    exec(
+        &mut subscriber,
+        sub_session,
+        "fw1",
+        "ip route 10.250.0.0 255.255.255.0 10.2.1.10",
+    );
+    let (sub_committed, _) = finish(&mut subscriber, sub_session);
+    assert!(sub_committed, "subscriber drill session commits");
+    let pushed_seq = loop {
+        match subscriber.next_event().expect("event stream") {
+            (_, ObsEvent::AuditAppend { actor, seq, .. }) => {
+                assert_eq!(actor, "tech01", "audit stream is tenant-scoped");
+                break seq;
+            }
+            (_, ObsEvent::MetricsDelta { .. }) | (_, ObsEvent::Lagged { .. }) => continue,
+            (_, other) => panic!("unexpected event in drill: {other:?}"),
+        }
+    };
+    let mut freeloader = connect(&sock, "control");
+    match freeloader.subscribe(&[Topic::Slo, Topic::Net]) {
+        Err(ClientError::Rejected { reason, .. }) => {
+            assert_eq!(
+                reason,
+                RejectReason::SubscriptionDenied,
+                "no live session, no fleet-scoped stream"
+            );
+        }
+        other => panic!("expected SubscriptionDenied, got {other:?}"),
+    }
+    assert!(
+        freeloader
+            .try_next_event(std::time::Duration::from_millis(200))
+            .expect("denied stream stays silent")
+            .is_none(),
+        "a denied subscription must deliver nothing"
+    );
+    println!(
+        "push drill: audit append seq {} pushed to its owner; sessionless fleet subscription denied ({} recorded)",
+        pushed_seq,
+        server.net_stats().rejects_subscription_denied
+    );
+    subscriber.bye().ok();
+    freeloader.bye().ok();
+    drop(subscriber);
+    drop(freeloader);
 
     // Graceful shutdown: drain in-flight work, run the journal sync
     // barrier (vacuous here — no journal), close the listener, unlink

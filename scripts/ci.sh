@@ -67,6 +67,19 @@ if ! grep -q "net shutdown: clean" <<<"$demo_out"; then
     echo "service_demo: net server did not shut down cleanly"
     exit 1
 fi
+# The push-subscription drill: an audit append arrives as a pushed
+# event (no polling), and a sessionless tenant's fleet-scoped
+# subscription is denied with a typed, recorded rejection.
+if ! grep -q "push drill: audit append seq" <<<"$demo_out"; then
+    echo "$demo_out"
+    echo "service_demo: push-subscription drill missing or event not pushed"
+    exit 1
+fi
+if ! grep -q "sessionless fleet subscription denied (1 recorded)" <<<"$demo_out"; then
+    echo "$demo_out"
+    echo "service_demo: sessionless subscription was not denied-and-counted"
+    exit 1
+fi
 
 echo "==> crash-recovery drills (durable broker over heimdall-store)"
 cargo test --release -q --test store_recovery
@@ -104,6 +117,7 @@ cargo bench --bench service_net -- --json --test
 test -s BENCH_service.json || { echo "BENCH_service.json missing"; exit 1; }
 grep -q '"p50_ns"' BENCH_service.json || { echo "BENCH_service.json lacks p50"; exit 1; }
 grep -q '"p99_ns"' BENCH_service.json || { echo "BENCH_service.json lacks p99"; exit 1; }
+grep -q '"subscriber_fanout"' BENCH_service.json || { echo "BENCH_service.json lacks subscriber fan-out sweep"; exit 1; }
 # Put the tracked full-run artifact back over the smoke output.
 if [ -s "$bench_bak" ]; then mv "$bench_bak" BENCH_service.json; else rm -f "$bench_bak"; fi
 

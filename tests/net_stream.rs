@@ -1,0 +1,633 @@
+//! Streaming drills for the heimdall-net push side: subscriptions over
+//! real TCP sockets, server-pushed SLO alerts with no polling, mediated
+//! subscription denial that leaks zero events, tenant-scoped audit
+//! isolation, and the stalled-subscriber path — gap markers, then
+//! slow-consumer eviction, with a fast subscriber provably losing
+//! nothing.
+
+use heimdall::net::{
+    BoundAcceptor, BrokerFleet, ClientError, NetClient, NetConfig, NetServer, RejectReason,
+    TenantKeys,
+};
+use heimdall::netmodel::gen::enterprise_network;
+use heimdall::netmodel::topology::Network;
+use heimdall::obs::{ObsConfig, ObsEvent, Resolution, SloRule, Topic};
+use heimdall::privilege::derive::{Task, TaskKind};
+use heimdall::routing::converge;
+use heimdall::service::proto::{Request, Response};
+use heimdall::service::BrokerConfig;
+use heimdall::verify::mine::{mine_policies, MinerInput};
+use heimdall::verify::policy::PolicySet;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn healthy_enterprise() -> (Network, PolicySet) {
+    let g = enterprise_network();
+    let cp = converge(&g.net);
+    let policies = mine_policies(&g.net, &cp, &MinerInput::from_meta(&g.meta));
+    (g.net, policies)
+}
+
+fn key_for(tenant: &str) -> Vec<u8> {
+    format!("shared-key-{tenant}").into_bytes()
+}
+
+fn ticket() -> Task {
+    Task {
+        kind: TaskKind::Routing,
+        affected: vec!["h4".into(), "srv1".into()],
+    }
+}
+
+/// A TCP server over an `n`-shard fleet with a caller-chosen broker
+/// config, keys for tech00..tech31.
+fn start_server(
+    shards: usize,
+    broker_config: BrokerConfig,
+    net_config: NetConfig,
+) -> (NetServer, SocketAddr) {
+    let (production, policies) = healthy_enterprise();
+    let fleet = Arc::new(BrokerFleet::from_template(
+        &production,
+        &policies,
+        &broker_config,
+        shards,
+    ));
+    let mut keys = TenantKeys::new();
+    for i in 0..32 {
+        let t = format!("tech{i:02}");
+        keys.insert(&t, &key_for(&t));
+    }
+    let (acceptor, addr) = BoundAcceptor::tcp("127.0.0.1:0").expect("bind tcp");
+    let server = NetServer::start(fleet, keys, net_config, vec![acceptor]);
+    (server, addr)
+}
+
+fn connect(addr: SocketAddr, tenant: &str) -> NetClient {
+    NetClient::connect_tcp(&addr.to_string(), tenant, &key_for(tenant)).expect("connect")
+}
+
+/// Opens a session as the connection identity (granting the tenant a
+/// standing view privilege the subscription mediation can find).
+fn open_session(client: &mut NetClient) -> heimdall::service::proto::SessionId {
+    match client
+        .call(Request::OpenSession {
+            technician: String::new(),
+            ticket: ticket(),
+        })
+        .expect("open session")
+    {
+        Response::SessionOpened { session, .. } => session,
+        other => panic!("expected SessionOpened, got {other:?}"),
+    }
+}
+
+/// An SLO excursion on the tenant's home shard arrives as a pushed
+/// `Event` frame over the socket — the client never polls `AlertQuery`
+/// to learn about it. Afterwards the poll surfaces (AlertQuery,
+/// TimeQuery, Telemetry, MetricsQuery) are live over TCP too, proving
+/// the monitor loop feeds the obs stores in network mode.
+#[test]
+fn slo_trip_is_pushed_over_the_socket() {
+    let broker_config = BrokerConfig {
+        obs: ObsConfig {
+            // Any mediated exec breaches a 1ns p99 ceiling.
+            rules: vec![SloRule::ceiling("exec_p99", "stage.exec.p99_ns", 1.0)],
+            ..ObsConfig::default()
+        },
+        ..BrokerConfig::default()
+    };
+    let net_config = NetConfig {
+        scrape_interval: Duration::from_millis(5),
+        ..NetConfig::default()
+    };
+    let (server, addr) = start_server(2, broker_config, net_config);
+    let mut client = connect(addr, "tech00");
+    let session = open_session(&mut client);
+    client.subscribe(&[Topic::Slo]).expect("subscribe slo");
+    let exec = client
+        .call(Request::Exec {
+            session,
+            device: "fw1".into(),
+            line: "ip route 10.9.0.0 255.255.255.0 10.2.1.10".into(),
+        })
+        .expect("exec");
+    assert!(matches!(exec, Response::ExecOutput { .. }), "{exec:?}");
+
+    // The trip arrives by push: no AlertQuery has been issued yet.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let alert = loop {
+        assert!(Instant::now() < deadline, "no SloTrip pushed within 10s");
+        match client
+            .try_next_event(Duration::from_millis(200))
+            .expect("event stream")
+        {
+            Some((_, ObsEvent::SloTrip { alert, .. })) => break alert,
+            Some((_, ObsEvent::SloRearm { .. })) | None => continue,
+            Some((_, other)) => panic!("unexpected event on slo channel: {other:?}"),
+        }
+    };
+    assert_eq!(alert.rule, "exec_p99");
+    assert!(!alert.detail.is_empty());
+
+    // Satellite: the poll surfaces the scrape loop feeds are live over
+    // the wire in network mode — alerts, time series, Prometheus text.
+    match client.call(Request::AlertQuery).expect("alert query") {
+        Response::Alerts { alerts } => {
+            assert!(
+                alerts.iter().any(|a| a.rule == "exec_p99"),
+                "alert history must contain the pushed trip: {alerts:?}"
+            );
+        }
+        other => panic!("expected Alerts, got {other:?}"),
+    }
+    match client
+        .call(Request::TimeQuery {
+            series: "stage.exec.p99_ns".into(),
+            start_ns: 0,
+            end_ns: u64::MAX / 2,
+            resolution: Resolution::Raw,
+        })
+        .expect("time query")
+    {
+        Response::TimeSeries { points, .. } => {
+            assert!(!points.is_empty(), "scrape loop must fill the store");
+        }
+        other => panic!("expected TimeSeries, got {other:?}"),
+    }
+    match client.call(Request::Telemetry).expect("telemetry") {
+        Response::Telemetry { text } => {
+            assert!(
+                text.contains("heimdall_net_handshakes_ok_total"),
+                "net counters must join the exposition: {text}"
+            );
+        }
+        other => panic!("expected Telemetry, got {other:?}"),
+    }
+    // The fleet aggregate is rebuilt once per monitor tick, so it can
+    // lag the pushed alert by a few milliseconds — poll until it lands.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let metrics = loop {
+        let metrics = match client.call(Request::MetricsQuery).expect("metrics query") {
+            Response::Metrics { metrics } => metrics,
+            other => panic!("expected Metrics, got {other:?}"),
+        };
+        if metrics.alerts_total >= 1 {
+            break metrics;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "aggregate never caught the alert: {metrics}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert_eq!(metrics.shards, 2);
+    assert!(metrics.scrapes_total > 0, "monitor loop must be scraping");
+    let handshakes = metrics
+        .net
+        .iter()
+        .find(|(n, _)| n == "handshakes_ok")
+        .map(|(_, v)| *v);
+    assert_eq!(handshakes, Some(1), "net counters ride along: {metrics}");
+    assert!(metrics.subscribers >= 1, "this subscription is counted");
+    let _ = client.bye();
+    server.shutdown();
+}
+
+/// A tenant with no live session has no view grant: subscribing to a
+/// fleet-scoped topic is a typed `SubscriptionDenied` reject, a counted
+/// server-side denial, and — crucially — zero delivered events, even
+/// while alerts fire for authorized subscribers. Tenant-scoped topics
+/// stay available on identity alone.
+#[test]
+fn denied_subscription_receives_nothing() {
+    let (server, addr) = start_server(
+        2,
+        BrokerConfig::default(),
+        NetConfig {
+            scrape_interval: Duration::from_millis(5),
+            ..NetConfig::default()
+        },
+    );
+    let mut client = connect(addr, "tech01");
+    let denied = client.subscribe(&[Topic::Slo, Topic::Metrics]);
+    match denied {
+        Err(ClientError::Rejected { reason, .. }) => {
+            assert_eq!(reason, RejectReason::SubscriptionDenied);
+        }
+        other => panic!("expected SubscriptionDenied, got {other:?}"),
+    }
+    assert_eq!(server.net_stats().rejects_subscription_denied, 1);
+    // The denial is recorded broker-side, matching denied-poll semantics.
+    assert!(
+        server.fleet().aggregate_stats().denials >= 1,
+        "mediated denial must be counted"
+    );
+    // Make the fleet metrics churn (another tenant works a session), then
+    // confirm the denied connection still gets zero pushed events.
+    let mut worker = connect(addr, "tech02");
+    let session = open_session(&mut worker);
+    let _ = worker.call(Request::Exec {
+        session,
+        device: "fw1".into(),
+        line: "ip route 10.8.0.0 255.255.255.0 10.2.1.10".into(),
+    });
+    assert!(
+        client
+            .try_next_event(Duration::from_millis(300))
+            .expect("quiescent stream")
+            .is_none(),
+        "a denied subscription must leak no events"
+    );
+    // Identity-scoped topics need no view grant: the same tenant can
+    // subscribe to its own audit feed after the fleet-scope denial.
+    client
+        .subscribe(&[Topic::Audit])
+        .expect("audit is identity-scoped");
+    let _ = client.bye();
+    let _ = worker.bye();
+    server.shutdown();
+}
+
+/// Audit-append events are tenant-scoped at delivery: a subscriber only
+/// ever sees its own entries, no matter how busy other tenants are.
+#[test]
+fn audit_stream_is_tenant_isolated() {
+    let (server, addr) = start_server(
+        2,
+        BrokerConfig::default(),
+        NetConfig {
+            scrape_interval: Duration::from_millis(5),
+            ..NetConfig::default()
+        },
+    );
+    let mut watcher = connect(addr, "tech03");
+    watcher.subscribe(&[Topic::Audit]).expect("subscribe audit");
+    // A foreign tenant generates plenty of audit traffic.
+    let mut other = connect(addr, "tech04");
+    let session = open_session(&mut other);
+    let _ = other.call(Request::Exec {
+        session,
+        device: "fw1".into(),
+        line: "ip route 10.7.0.0 255.255.255.0 10.2.1.10".into(),
+    });
+    let _ = other.call(Request::Finish { session });
+    assert!(
+        watcher
+            .try_next_event(Duration::from_millis(400))
+            .expect("stream")
+            .is_none(),
+        "another tenant's audit entries must not be delivered"
+    );
+    // The watcher's own activity does arrive.
+    let _ = open_session(&mut watcher);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        assert!(Instant::now() < deadline, "own audit append never pushed");
+        match watcher
+            .try_next_event(Duration::from_millis(200))
+            .expect("stream")
+        {
+            Some((_, ObsEvent::AuditAppend { actor, .. })) => {
+                assert_eq!(actor, "tech03", "only own entries may arrive");
+                break;
+            }
+            None => continue,
+            Some((_, other)) => panic!("unexpected event on audit channel: {other:?}"),
+        }
+    }
+    let _ = watcher.bye();
+    let _ = other.bye();
+    server.shutdown();
+}
+
+/// The slow-consumer path end-to-end: a subscriber that pauses gets a
+/// typed `Lagged` gap marker accounting for every dropped event
+/// (conservation: received + gap == published); one that stalls for
+/// good is evicted once it exceeds the drop budget — while a fast
+/// subscriber on the same bus receives every single event with no gaps.
+#[test]
+fn stalled_subscriber_gap_marked_then_evicted_fast_one_unaffected() {
+    let (server, addr) = start_server(
+        1,
+        BrokerConfig::default(),
+        NetConfig {
+            scrape_interval: Duration::from_millis(10),
+            write_queue_depth: 16,
+            event_queue_depth: 16,
+            event_max_dropped: 32,
+            ..NetConfig::default()
+        },
+    );
+    let bus = server.event_bus();
+    // Both subscribers need a standing view grant for the Net topic.
+    let mut stalled = connect(addr, "tech05");
+    open_session(&mut stalled);
+    stalled.subscribe(&[Topic::Net]).expect("subscribe stalled");
+    let mut fast = connect(addr, "tech06");
+    open_session(&mut fast);
+    fast.subscribe(&[Topic::Net]).expect("subscribe fast");
+
+    // ~4KB payloads so queues and socket buffers fill in tens of events
+    // rather than thousands.
+    let publish = |tag: &str, i: u64| {
+        bus.publish(&ObsEvent::NetThreshold {
+            counter: format!("{tag}-{i}-{}", "x".repeat(4096)),
+            value: i,
+            threshold: 1,
+            at_ns: i,
+        });
+    };
+    // The fast subscriber drains continuously on its own thread,
+    // counting events and summing any gap markers, until the sentinel.
+    let fast_side = std::thread::spawn(move || {
+        let mut events: u64 = 0;
+        let mut lagged: u64 = 0;
+        loop {
+            match fast.try_next_event(Duration::from_secs(5)) {
+                Ok(Some((_, ObsEvent::NetThreshold { counter, .. }))) => {
+                    if counter.starts_with("done") {
+                        break;
+                    }
+                    events += 1;
+                }
+                Ok(Some((_, ObsEvent::Lagged { dropped }))) => lagged += dropped,
+                Ok(Some(_)) => {}
+                Ok(None) | Err(_) => break,
+            }
+        }
+        (events, lagged)
+    });
+
+    // Phase 1: the stalled subscriber reads nothing while events pile
+    // up past its bounded queue — publish until the bus records drops.
+    let mut published: u64 = 0;
+    let before = bus.stats().dropped;
+    for i in 0..3000 {
+        publish("p1", i);
+        published += 1;
+        if bus.stats().dropped > before {
+            break;
+        }
+        std::thread::sleep(Duration::from_micros(500));
+    }
+    assert!(
+        bus.stats().dropped > before,
+        "a non-reading subscriber must overflow its bounded queue"
+    );
+    // It wakes up and drains to quiescence...
+    let mut received: u64 = 0;
+    let mut gap: u64 = 0;
+    while let Some((_, event)) = stalled
+        .try_next_event(Duration::from_millis(400))
+        .expect("drain")
+    {
+        match event {
+            ObsEvent::NetThreshold { .. } => received += 1,
+            ObsEvent::Lagged { dropped } => gap += dropped,
+            _ => {}
+        }
+    }
+    // ...then one more publish flushes the pending gap marker at the
+    // gap position. Conservation: every published event was either
+    // received or accounted for in a typed gap — no silent loss.
+    publish("p1-flush", published);
+    published += 1;
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        assert!(Instant::now() < deadline, "flush event never arrived");
+        match stalled
+            .try_next_event(Duration::from_millis(200))
+            .expect("flush")
+        {
+            Some((_, ObsEvent::NetThreshold { counter, .. })) => {
+                if counter.starts_with("p1-flush") {
+                    received += 1;
+                    break;
+                }
+                received += 1;
+            }
+            Some((_, ObsEvent::Lagged { dropped })) => gap += dropped,
+            _ => continue,
+        }
+    }
+    assert!(gap >= 1, "the pause must surface as a typed gap marker");
+    assert_eq!(
+        received + gap,
+        published,
+        "conservation: received + gap == published"
+    );
+
+    // Phase 2: the subscriber stalls for good; once its lifetime drops
+    // exceed the budget it is evicted — and only it.
+    let evicted_before = bus.stats().evicted;
+    for i in 0..3000 {
+        publish("p2", i);
+        published += 1;
+        if bus.stats().evicted > evicted_before {
+            break;
+        }
+        std::thread::sleep(Duration::from_micros(500));
+    }
+    assert!(
+        bus.stats().evicted > evicted_before,
+        "exceeding the drop budget must evict the subscriber"
+    );
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.net_stats().slow_consumer_evictions == 0 {
+        assert!(Instant::now() < deadline, "eviction never hit net stats");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // The evicted connection's stream ends (buffered frames may still
+    // arrive first, then the socket is done).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        assert!(Instant::now() < deadline, "evicted socket never closed");
+        match stalled.try_next_event(Duration::from_millis(100)) {
+            Ok(Some(_)) | Ok(None) => continue,
+            Err(_) => break,
+        }
+    }
+    // The fast subscriber saw everything: every event, zero gaps.
+    publish("done", 0);
+    let (fast_events, fast_lagged) = fast_side.join().expect("fast side");
+    assert_eq!(fast_lagged, 0, "fast subscriber must never lag");
+    assert_eq!(
+        fast_events, published,
+        "fast subscriber must receive every published event"
+    );
+    server.shutdown();
+}
+
+/// The malformed-subscription matrix: empty topic lists, channel
+/// collisions, and unsubscribing a channel that has no subscription are
+/// all typed `BadFrame` rejects — and none of them damage the
+/// connection, which keeps working afterwards.
+#[test]
+fn malformed_subscriptions_are_typed_rejects() {
+    let (server, addr) = start_server(1, BrokerConfig::default(), NetConfig::default());
+    let mut client = connect(addr, "tech07");
+    // Empty topics.
+    match client.subscribe(&[]) {
+        Err(ClientError::Rejected { reason, .. }) => assert_eq!(reason, RejectReason::BadFrame),
+        other => panic!("expected BadFrame, got {other:?}"),
+    }
+    // Channel collision: audit is identity-scoped, so the first
+    // subscribe succeeds without a session; the second on the same
+    // channel is refused.
+    client.subscribe_on(77, &[Topic::Audit]).expect("first");
+    match client.subscribe_on(77, &[Topic::Audit]) {
+        Err(ClientError::Rejected { reason, .. }) => assert_eq!(reason, RejectReason::BadFrame),
+        other => panic!("expected BadFrame on collision, got {other:?}"),
+    }
+    // Unsubscribing a channel nobody subscribed.
+    match client.unsubscribe(9999) {
+        Err(ClientError::Rejected { reason, .. }) => assert_eq!(reason, RejectReason::BadFrame),
+        other => panic!("expected BadFrame on unknown channel, got {other:?}"),
+    }
+    // The real subscription still tears down cleanly, the channel is
+    // reusable, and the connection still serves requests.
+    client.unsubscribe(77).expect("unsubscribe");
+    client.subscribe_on(77, &[Topic::Audit]).expect("reusable");
+    assert!(matches!(
+        client.call(Request::Stats).expect("stats"),
+        Response::Stats { .. }
+    ));
+    let stats = server.net_stats();
+    assert_eq!(stats.rejects_bad_frame, 3);
+    assert_eq!(stats.subscriptions_opened, 2);
+    assert_eq!(stats.subscriptions_closed, 1);
+    let _ = client.bye();
+    server.shutdown();
+}
+
+mod frame_properties {
+    use super::*;
+    use heimdall::net::{ClientFrame, ServerFrame};
+    use heimdall::obs::Alert;
+    use proptest::prelude::*;
+
+    fn topic_s() -> BoxedStrategy<Topic> {
+        prop_oneof![
+            Just(Topic::Slo),
+            Just(Topic::Recorder),
+            Just(Topic::Analyzer),
+            Just(Topic::Audit),
+            Just(Topic::Net),
+            Just(Topic::Metrics),
+        ]
+        .boxed()
+    }
+
+    fn name_s() -> BoxedStrategy<String> {
+        "[a-z][a-z0-9_.-]{0,15}".boxed()
+    }
+
+    fn event_s() -> BoxedStrategy<ObsEvent> {
+        prop_oneof![
+            (any::<u64>()).prop_map(|dropped| ObsEvent::Lagged { dropped }),
+            (0usize..8, name_s(), any::<u64>())
+                .prop_map(|(shard, rule, at_ns)| { ObsEvent::SloRearm { shard, rule, at_ns } }),
+            (0usize..8, name_s(), 0usize..4096, any::<u64>()).prop_map(
+                |(shard, kind, spans, at_ns)| ObsEvent::RecorderDump {
+                    shard,
+                    kind,
+                    spans,
+                    at_ns,
+                }
+            ),
+            (
+                0usize..8,
+                name_s(),
+                name_s(),
+                name_s(),
+                name_s(),
+                any::<u64>()
+            )
+                .prop_map(|(shard, technician, code, severity, device, at_ns)| {
+                    ObsEvent::AnalyzerFinding {
+                        shard,
+                        technician,
+                        code,
+                        severity,
+                        device,
+                        at_ns,
+                    }
+                }),
+            (
+                0usize..8,
+                any::<u64>(),
+                name_s(),
+                name_s(),
+                name_s(),
+                any::<u64>()
+            )
+                .prop_map(|(shard, seq, kind, actor, trace, at_ns)| {
+                    ObsEvent::AuditAppend {
+                        shard,
+                        seq,
+                        kind,
+                        actor,
+                        trace,
+                        at_ns,
+                    }
+                }),
+            (name_s(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+                |(counter, value, threshold, at_ns)| ObsEvent::NetThreshold {
+                    counter,
+                    value,
+                    threshold,
+                    at_ns,
+                }
+            ),
+            (0usize..8, name_s(), any::<u64>()).prop_map(|(shards, changed, at_ns)| {
+                ObsEvent::MetricsDelta {
+                    shards,
+                    changed,
+                    at_ns,
+                }
+            }),
+            (0usize..8, name_s(), name_s(), any::<u64>(), name_s()).prop_map(
+                |(shard, rule, series, fired_at_ns, detail)| ObsEvent::SloTrip {
+                    shard,
+                    alert: Alert {
+                        rule,
+                        series,
+                        fired_at_ns,
+                        burn_short: 1.5,
+                        burn_long: 1.0,
+                        exemplar_trace: String::new(),
+                        detail,
+                    },
+                }
+            ),
+        ]
+        .boxed()
+    }
+
+    proptest! {
+        #[test]
+        fn subscribe_frames_roundtrip(
+            channel in any::<u64>(),
+            topics in proptest::collection::vec(topic_s(), 0..6),
+        ) {
+            let frame = ClientFrame::Subscribe { channel, topics: topics.clone() };
+            let json = serde_json::to_string(&frame).unwrap();
+            prop_assert_eq!(serde_json::from_str::<ClientFrame>(&json).unwrap(), frame);
+            let frame = ClientFrame::Unsubscribe { channel };
+            let json = serde_json::to_string(&frame).unwrap();
+            prop_assert_eq!(serde_json::from_str::<ClientFrame>(&json).unwrap(), frame);
+            let frame = ServerFrame::Subscribed { channel, topics };
+            let json = serde_json::to_string(&frame).unwrap();
+            prop_assert_eq!(serde_json::from_str::<ServerFrame>(&json).unwrap(), frame);
+        }
+
+        #[test]
+        fn event_frames_roundtrip(channel in any::<u64>(), event in event_s()) {
+            let frame = ServerFrame::Event { channel, event };
+            let json = serde_json::to_string(&frame).unwrap();
+            prop_assert_eq!(serde_json::from_str::<ServerFrame>(&json).unwrap(), frame);
+        }
+    }
+}
